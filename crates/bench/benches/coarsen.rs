@@ -1,0 +1,45 @@
+//! E12 kernels: coarsening throughput and KRR condensation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let ds = sgnn_data::sbm_dataset(10_000, 4, 10.0, 0.85, 16, 0.8, 0, 0.5, 0.25, 13);
+    c.bench_function("e12/hem_coarsen_10x", |b| {
+        b.iter(|| sgnn_coarsen::coarsen_to_ratio(black_box(&ds.graph), 0.1, 14))
+    });
+    c.bench_function("e12/convmatch_coarsen_3x", |b| {
+        b.iter(|| {
+            sgnn_coarsen::convmatch::convmatch_coarsen(black_box(&ds.graph), &ds.features, 0.3)
+        })
+    });
+    c.bench_function("e12/krr_condense_64", |b| {
+        b.iter(|| {
+            sgnn_coarsen::krr_condense(
+                black_box(&ds.graph),
+                &ds.features,
+                &ds.splits.train,
+                &ds.labels,
+                ds.num_classes,
+                64,
+                2,
+                1e-3,
+                15,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_coarsen
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 kernels: one full-batch GCN epoch vs decoupled precompute + one
+//! mini-batch MLP epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgnn_core::models::decoupled::PrecomputeMethod;
+use sgnn_core::trainer::{train_decoupled, train_full_gcn, TrainConfig};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_decoupled(c: &mut Criterion) {
+    let ds = sgnn_data::sbm_dataset(10_000, 5, 10.0, 0.85, 32, 1.0, 0, 0.5, 0.25, 4);
+    let one_epoch = TrainConfig { epochs: 1, hidden: vec![32], ..Default::default() };
+    c.bench_function("e4/gcn_one_epoch_10k", |b| {
+        b.iter(|| train_full_gcn(black_box(&ds), &one_epoch))
+    });
+    c.bench_function("e4/sgc_precompute_plus_epoch_10k", |b| {
+        b.iter(|| train_decoupled(black_box(&ds), &PrecomputeMethod::Sgc { k: 2 }, &one_epoch))
+    });
+    c.bench_function("e4/scara_push_precompute_10k", |b| {
+        b.iter(|| {
+            sgnn_prop::push::feature_push_matrix(black_box(&ds.graph), &ds.features, 0.15, 1e-4)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_decoupled
+}
+criterion_main!(benches);

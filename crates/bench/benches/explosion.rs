@@ -1,0 +1,36 @@
+//! E1 kernels: receptive-field expansion and the SpMM that full-batch
+//! message passing repeats every layer/epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_explosion(c: &mut Criterion) {
+    let g = sgnn_graph::generate::barabasi_albert(20_000, 4, 1);
+    let adj = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true)
+        .unwrap();
+    let x = sgnn_linalg::DenseMatrix::gaussian(20_000, 32, 1.0, 2);
+
+    c.bench_function("e1/k_hop_3_ba20k", |b| {
+        b.iter(|| sgnn_graph::traverse::k_hop_neighborhood(black_box(&g), 7, 3))
+    });
+    c.bench_function("e1/spmm_ba20k_d32", |b| {
+        b.iter(|| sgnn_graph::spmm::spmm(black_box(&adj), black_box(&x)))
+    });
+    c.bench_function("e1/power_propagate_k2", |b| {
+        b.iter(|| sgnn_prop::power_propagate(black_box(&adj), black_box(&x), 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_explosion
+}
+criterion_main!(benches);

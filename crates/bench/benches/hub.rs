@@ -1,0 +1,44 @@
+//! E7 kernels: hub-label construction and query latency vs BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_hub(c: &mut Criterion) {
+    let g = sgnn_graph::generate::barabasi_albert(10_000, 4, 7);
+    c.bench_function("e7/pll_build_ba10k", |b| {
+        b.iter(|| sgnn_sim::HubLabels::build(black_box(&g)))
+    });
+    let labels = sgnn_sim::HubLabels::build(&g);
+    c.bench_function("e7/pll_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            labels.query(black_box(i * 37 % 10_000), black_box(i * 101 % 10_000))
+        })
+    });
+    c.bench_function("e7/bidirectional_bfs_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            sgnn_graph::traverse::sp_distance(
+                black_box(&g),
+                black_box(i * 37 % 10_000),
+                black_box(i * 101 % 10_000),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_hub
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E2 kernels: streaming vs multilevel partitioning cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let (g, _) = sgnn_graph::generate::planted_partition(20_000, 8, 10.0, 0.9, 3);
+    c.bench_function("e2/ldg_20k_k8", |b| {
+        b.iter(|| sgnn_partition::ldg(black_box(&g), 8, 1.05))
+    });
+    c.bench_function("e2/fennel_20k_k8", |b| {
+        b.iter(|| sgnn_partition::fennel(black_box(&g), 8, 1.05))
+    });
+    c.bench_function("e2/multilevel_20k_k8", |b| {
+        b.iter(|| {
+            sgnn_partition::multilevel_partition(
+                black_box(&g),
+                8,
+                &sgnn_partition::multilevel::MultilevelConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! A1 kernels: SpMM under different node orderings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgnn_graph::reorder::{compute_order, relabel, Reordering};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let g0 = sgnn_graph::generate::barabasi_albert(50_000, 6, 1);
+    let (g, _) = relabel(&g0, &compute_order(&g0, Reordering::Random { seed: 2 }));
+    let x = sgnn_linalg::DenseMatrix::gaussian(g.num_nodes(), 32, 1.0, 3);
+    for order in [Reordering::Random { seed: 9 }, Reordering::DegreeSort, Reordering::Rcm] {
+        let (rg, _) = relabel(&g, &compute_order(&g, order));
+        let adj =
+            sgnn_graph::normalize::normalized_adjacency(&rg, sgnn_graph::NormKind::Sym, true)
+                .unwrap();
+        let label = format!("a1/spmm_{:?}", order).split(' ').next().unwrap().to_string();
+        c.bench_function(&label, |b| {
+            b.iter(|| sgnn_graph::spmm::spmm(black_box(&adj), black_box(&x)))
+        });
+    }
+    c.bench_function("a1/rcm_order_compute", |b| {
+        b.iter(|| compute_order(black_box(&g), Reordering::Rcm))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_reorder
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E9 kernels: entry-wise pruned propagation vs exact, and the one-shot
+//! spectral sparsifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let (g, _) = sgnn_graph::generate::planted_partition(20_000, 5, 20.0, 0.85, 8);
+    let adj = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true)
+        .unwrap();
+    let x = sgnn_linalg::DenseMatrix::gaussian(20_000, 32, 1.0, 9);
+
+    c.bench_function("e9/unifews_exact_delta0", |b| {
+        b.iter(|| sgnn_sparsify::unifews_propagate(black_box(&adj), black_box(&x), 2, 0.0))
+    });
+    c.bench_function("e9/unifews_pruned_delta0.05", |b| {
+        b.iter(|| sgnn_sparsify::unifews_propagate(black_box(&adj), black_box(&x), 2, 0.05))
+    });
+    c.bench_function("e9/spectral_sparsify_quarter", |b| {
+        b.iter(|| sgnn_sparsify::spectral_sparsify(black_box(&g), g.num_edges() / 8, 10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_sparsify
+}
+criterion_main!(benches);

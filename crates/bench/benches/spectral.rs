@@ -1,0 +1,42 @@
+//! E5 kernels: polynomial filtering and multi-channel embedding cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let (g, _) = sgnn_graph::generate::planted_partition(10_000, 4, 10.0, 0.5, 5);
+    let adj = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true)
+        .unwrap();
+    let x = sgnn_linalg::DenseMatrix::gaussian(10_000, 16, 1.0, 6);
+    let theta = sgnn_spectral::fit_filter_coefficients(sgnn_spectral::FilterPreset::BandPass, 8);
+
+    c.bench_function("e5/chebyshev_deg8_10k", |b| {
+        b.iter(|| sgnn_spectral::chebyshev_filter(black_box(&adj), black_box(&x), &theta))
+    });
+    c.bench_function("e5/ld2_embedding_10k", |b| {
+        b.iter(|| {
+            sgnn_spectral::ld2_embedding(
+                black_box(&g),
+                black_box(&x),
+                &sgnn_spectral::Ld2Config::default(),
+            )
+        })
+    });
+    c.bench_function("e5/krylov_basis_k6", |b| {
+        b.iter(|| sgnn_spectral::basis::krylov_basis(black_box(&adj), black_box(&x), 6))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_spectral
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E11 kernels: walk-store sampling vs explicit subgraph induction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let g = sgnn_graph::generate::barabasi_albert(50_000, 4, 11);
+    let seeds: Vec<u32> = (0..500).map(|i| i * 97 % 50_000).collect();
+    c.bench_function("e11/walk_store_500seeds_8x6", |b| {
+        b.iter(|| sgnn_sample::WalkStore::sample(black_box(&g), &seeds, 8, 6, 12))
+    });
+    c.bench_function("e11/induced_2hop_500seeds", |b| {
+        b.iter(|| sgnn_sample::walks::induced_baseline(black_box(&g), &seeds, 2))
+    });
+    let ws = sgnn_sample::WalkStore::sample(&g, &seeds, 8, 6, 12);
+    c.bench_function("e11/pair_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            ws.pair_query(black_box(i % 500), black_box((i * 7 + 1) % 500))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_walks
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! `expfig` — regenerates every table/figure in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p sgnn-bench --bin expfig -- e4
+//! cargo run --release -p sgnn-bench --bin expfig -- all
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: expfig <e1..e13|f1|all> [more ids...]");
+        std::process::exit(2);
+    }
+    for id in &args {
+        if !sgnn_bench::run(id) {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        }
+    }
+}

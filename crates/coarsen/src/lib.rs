@@ -1,0 +1,36 @@
+//! # sgnn-coarsen
+//!
+//! Graph coarsening and condensation — the survey's §3.3.4: contract nodes
+//! into supernodes so "the GNN model can learn on the coarse graph with
+//! reduced time and memory overhead".
+//!
+//! - [`hem`] — multilevel heavy-edge-matching coarsening with feature /
+//!   label projection and prediction lifting (the structure-based
+//!   workhorse, experiment E12).
+//! - [`convmatch`] — ConvMatch [6]-style merging: contract the node pairs
+//!   whose *post-convolution representations* differ least, bounding the
+//!   output perturbation.
+//! - [`gdem`] — GDEM [33]-style spectral diagnostics: eigenvalue /
+//!   eigenbasis match between original and coarse Laplacians.
+//! - [`sntk`] — GC-SNTK [49]-style condensation: k-means condensed graph +
+//!   kernel ridge regression on a propagation kernel, replacing bi-level
+//!   optimization with a closed-form fit.
+//! - [`seignn`] — SEIGNN [29]-style coarse-node-augmented mini-batches:
+//!   partition subgraphs keep talking to each other through linked coarse
+//!   nodes.
+//! - [`kmeans`] — the small deterministic k-means used by condensation.
+
+// Numeric kernels index several parallel flat buffers at once; iterator
+// rewrites obscure them. Config-style constructors take their full
+// parameter list deliberately (documented, stable).
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
+pub mod convmatch;
+pub mod gdem;
+pub mod hem;
+pub mod kmeans;
+pub mod seignn;
+pub mod sntk;
+
+pub use hem::{coarsen_to_ratio, CoarseGraph};
+pub use sntk::{krr_condense, KrrModel};

@@ -1,0 +1,186 @@
+//! SEIGNN-style coarse-node-augmented mini-batching.
+//!
+//! SEIGNN [29] makes implicit GNNs mini-batchable: "a graph coarsening
+//! approach that divides the graph into subgraphs while maintaining
+//! inter-subgraph propagation through linked coarse nodes. Batches are
+//! generated from the graph with additional coarse nodes." Concretely:
+//!
+//! 1. Partition the graph into `k` subgraphs.
+//! 2. Add one *coarse node* per subgraph, connected to all its members
+//!    (weighted by 1/size) and to coarse nodes of adjacent subgraphs.
+//! 3. A training batch = one subgraph's members + **all** coarse nodes, so
+//!    information still flows between subgraphs through the coarse layer.
+
+use sgnn_graph::{CsrGraph, GraphBuilder, NodeId};
+use sgnn_linalg::DenseMatrix;
+use sgnn_partition::Partition;
+
+/// The augmented graph and its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct AugmentedGraph {
+    /// Graph over `n + k` nodes: originals `0..n`, coarse `n..n+k`.
+    pub graph: CsrGraph,
+    /// Number of original nodes.
+    pub n_original: usize,
+    /// Number of coarse nodes (= partition parts).
+    pub k: usize,
+    /// Part of each original node.
+    pub part_of: Vec<u32>,
+}
+
+/// Builds the coarse-node-augmented graph from a partition.
+pub fn augment(g: &CsrGraph, p: &Partition) -> AugmentedGraph {
+    let n = g.num_nodes();
+    let k = p.k;
+    let sizes = p.sizes();
+    let mut b = GraphBuilder::new(n + k).symmetric();
+    // Original edges keep weight 1 (or their weight).
+    for (u, v, w) in g.edges() {
+        if u < v {
+            b.add_weighted_edge(u, v, w);
+        }
+    }
+    // Member ↔ coarse links, weight 1/|part|.
+    for u in 0..n {
+        let part = p.parts[u] as usize;
+        let w = 1.0 / sizes[part].max(1) as f32;
+        b.add_weighted_edge(u as NodeId, (n + part) as NodeId, w);
+    }
+    // Coarse ↔ coarse links where parts are adjacent, weight ∝ cut size.
+    let mut cut = std::collections::HashMap::<(u32, u32), f32>::new();
+    for (u, v, _) in g.edges() {
+        let (pu, pv) = (p.parts[u as usize], p.parts[v as usize]);
+        if pu < pv {
+            *cut.entry((pu, pv)).or_insert(0.0) += 1.0;
+        }
+    }
+    let mut cut_pairs: Vec<((u32, u32), f32)> = cut.into_iter().collect();
+    cut_pairs.sort_unstable_by_key(|&((a, b), _)| (a, b));
+    for ((pu, pv), c) in cut_pairs {
+        let norm = (sizes[pu as usize] * sizes[pv as usize]).max(1) as f32;
+        b.add_weighted_edge((n + pu as usize) as NodeId, (n + pv as usize) as NodeId, c / norm.sqrt());
+    }
+    AugmentedGraph { graph: b.build().expect("ids valid"), n_original: n, k, part_of: p.parts.clone() }
+}
+
+impl AugmentedGraph {
+    /// Features for the augmented node set: originals keep theirs, coarse
+    /// nodes get their part's mean feature.
+    pub fn augment_features(&self, x: &DenseMatrix) -> DenseMatrix {
+        let d = x.cols();
+        let mut out = DenseMatrix::zeros(self.n_original + self.k, d);
+        let mut counts = vec![0f32; self.k];
+        for u in 0..self.n_original {
+            out.row_mut(u).copy_from_slice(x.row(u));
+            let p = self.part_of[u] as usize;
+            counts[p] += 1.0;
+            let row = x.row(u).to_vec();
+            let c_row = out.row_mut(self.n_original + p);
+            sgnn_linalg::vecops::axpy(1.0, &row, c_row);
+        }
+        for p in 0..self.k {
+            if counts[p] > 0.0 {
+                sgnn_linalg::vecops::scale(out.row_mut(self.n_original + p), 1.0 / counts[p]);
+            }
+        }
+        out
+    }
+
+    /// The node set of one training batch: members of `part` plus every
+    /// coarse node (global ids in the augmented graph).
+    pub fn batch_nodes(&self, part: u32) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.n_original)
+            .filter(|&u| self.part_of[u] == part)
+            .map(|u| u as NodeId)
+            .collect();
+        nodes.extend((self.n_original..self.n_original + self.k).map(|u| u as NodeId));
+        nodes
+    }
+
+    /// Induces the batch subgraph for `part`; returns `(graph, global
+    /// ids)`.
+    pub fn batch_subgraph(&self, part: u32) -> (CsrGraph, Vec<NodeId>) {
+        self.graph.induced_subgraph(&self.batch_nodes(part))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_partition::multilevel::{multilevel_partition, MultilevelConfig};
+
+    fn setup() -> (CsrGraph, Partition) {
+        let (g, _) = generate::planted_partition(400, 4, 8.0, 0.85, 1);
+        let p = multilevel_partition(&g, 4, &MultilevelConfig::default());
+        (g, p)
+    }
+
+    #[test]
+    fn augmented_graph_has_coarse_layer() {
+        let (g, p) = setup();
+        let a = augment(&g, &p);
+        assert_eq!(a.graph.num_nodes(), 404);
+        // Each original node links to exactly one coarse node.
+        for u in 0..400u32 {
+            let coarse_links = a
+                .graph
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| (v as usize) >= 400)
+                .count();
+            assert_eq!(coarse_links, 1, "node {u}");
+        }
+    }
+
+    #[test]
+    fn coarse_nodes_connect_adjacent_parts() {
+        let (g, p) = setup();
+        let a = augment(&g, &p);
+        // With 4 well-connected blocks there should be some coarse-coarse
+        // edges (cut edges exist).
+        let mut cc = 0usize;
+        for u in 400..404u32 {
+            cc += a.graph.neighbors(u).iter().filter(|&&v| v >= 400).count();
+        }
+        assert!(cc > 0, "no coarse-coarse links");
+    }
+
+    #[test]
+    fn batches_keep_cross_part_reachability() {
+        // A node in part 0 must reach (within the batch subgraph, through
+        // coarse nodes) the coarse node of every other part.
+        let (g, p) = setup();
+        let a = augment(&g, &p);
+        let (sub, map) = a.batch_subgraph(0);
+        sub.validate().unwrap();
+        // Batch contains all coarse nodes.
+        let coarse_in_batch = map.iter().filter(|&&v| (v as usize) >= 400).count();
+        assert_eq!(coarse_in_batch, 4);
+        // Connectivity: from some member, BFS reaches ≥ 2 coarse nodes.
+        let member_local = map.iter().position(|&v| (v as usize) < 400).unwrap();
+        let dist = sgnn_graph::traverse::bfs_distances(&sub, member_local as u32);
+        let reached_coarse = map
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| (v as usize) >= 400 && dist[i] != sgnn_graph::traverse::UNREACHABLE)
+            .count();
+        assert!(reached_coarse >= 2, "reached {reached_coarse} coarse nodes");
+    }
+
+    #[test]
+    fn augmented_features_use_part_means() {
+        let (g, p) = setup();
+        let a = augment(&g, &p);
+        let x = DenseMatrix::from_vec(400, 1, (0..400).map(|i| i as f32).collect());
+        let ax = a.augment_features(&x);
+        assert_eq!(ax.rows(), 404);
+        // Coarse feature = mean of members.
+        for part in 0..4usize {
+            let members: Vec<usize> = (0..400).filter(|&u| a.part_of[u] as usize == part).collect();
+            let mean: f32 =
+                members.iter().map(|&u| u as f32).sum::<f32>() / members.len() as f32;
+            assert!((ax.get(400 + part, 0) - mean).abs() < 1e-3);
+        }
+    }
+}

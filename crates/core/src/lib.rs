@@ -1,0 +1,34 @@
+//! # sgnn-core
+//!
+//! The unified scalable-GNN framework: every technique the survey covers,
+//! wired into one training stack over the substrate crates.
+//!
+//! - [`models`] — the model zoo: full-batch GCN (the baseline every
+//!   scalable design is measured against), sampled GraphSAGE, decoupled
+//!   pipelines (SGC / APPNP / SCARA / heat / LD2 channels), GAMLP-style
+//!   hop attention, and implicit GNNs with three equilibrium solvers.
+//! - [`trainer`] / [`trainer_ext`] — training loops for each scalability family: full-batch,
+//!   decoupled mini-batch, neighbor-sampled, subgraph-sampled
+//!   (GraphSAINT / Cluster-GCN), and coarse-graph training, all producing
+//!   a common [`trainer::TrainReport`] with time and peak-memory
+//!   accounting.
+//! - [`memory`] — the analytic memory ledger standing in for GPU memory
+//!   (DESIGN.md substitutions): every materialized matrix is charged.
+//! - [`metrics`] — accuracy / macro-F1 / confusion matrices.
+//! - [`taxonomy`] — Figure 1 of the paper as a machine-readable tree, each
+//!   leaf mapped to the module implementing it.
+
+// Numeric kernels index several parallel flat buffers at once; iterator
+// rewrites obscure them. Config-style constructors take their full
+// parameter list deliberately (documented, stable).
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
+pub mod memory;
+pub mod metrics;
+pub mod models;
+pub mod taxonomy;
+pub mod trainer;
+pub mod trainer_ext;
+
+pub use memory::Ledger;
+pub use trainer::TrainReport;

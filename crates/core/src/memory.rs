@@ -1,0 +1,92 @@
+//! Analytic peak-memory accounting.
+//!
+//! Substitute for the GPU-memory axis of the survey's "Limited Memory"
+//! challenge (§3.1.3): instead of timing CUDA OOMs, every trainer charges
+//! the ledger for each matrix it materializes and releases what it frees.
+//! The resulting peak is exact for our implementations and — because it
+//! counts *what must be resident* — comparable across methods in the way
+//! the survey compares them.
+
+/// A simple high-water-mark allocator ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    current: usize,
+    peak: usize,
+}
+
+impl Ledger {
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Charges `bytes` of resident memory.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Releases `bytes` (saturating).
+    pub fn free(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Charges a transient allocation: bumps the peak but not the steady
+    /// state (alloc immediately followed by free).
+    pub fn transient(&mut self, bytes: usize) {
+        self.peak = self.peak.max(self.current + bytes);
+    }
+
+    /// Currently-charged bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Peak charged bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Bytes of an `rows × cols` f32 matrix.
+pub fn matrix_bytes(rows: usize, cols: usize) -> usize {
+    rows * cols * std::mem::size_of::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut l = Ledger::new();
+        l.alloc(100);
+        l.alloc(50);
+        l.free(120);
+        l.alloc(10);
+        assert_eq!(l.current(), 40);
+        assert_eq!(l.peak(), 150);
+    }
+
+    #[test]
+    fn transient_bumps_peak_only() {
+        let mut l = Ledger::new();
+        l.alloc(100);
+        l.transient(500);
+        assert_eq!(l.current(), 100);
+        assert_eq!(l.peak(), 600);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut l = Ledger::new();
+        l.alloc(10);
+        l.free(100);
+        assert_eq!(l.current(), 0);
+    }
+
+    #[test]
+    fn matrix_bytes_formula() {
+        assert_eq!(matrix_bytes(10, 8), 320);
+    }
+}

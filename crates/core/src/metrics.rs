@@ -1,0 +1,85 @@
+//! Evaluation metrics.
+
+use sgnn_linalg::DenseMatrix;
+
+/// Classification accuracy (argmax of logits vs targets).
+pub fn accuracy(logits: &DenseMatrix, targets: &[usize]) -> f64 {
+    sgnn_nn::loss::accuracy(logits, targets)
+}
+
+/// Confusion matrix (`classes × classes`, rows = true class).
+pub fn confusion(pred: &[usize], targets: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), targets.len());
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &t) in pred.iter().zip(targets.iter()) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 score.
+///
+/// Classes absent from both predictions and targets contribute F1 = 1 by
+/// convention here is avoided: they are skipped (macro over present
+/// classes), which matches common library behaviour closely enough for
+/// trend comparisons.
+pub fn macro_f1(pred: &[usize], targets: &[usize], num_classes: usize) -> f64 {
+    let m = confusion(pred, targets, num_classes);
+    let mut f1_sum = 0f64;
+    let mut present = 0usize;
+    for c in 0..num_classes {
+        let tp = m[c][c];
+        let fn_: usize = (0..num_classes).filter(|&j| j != c).map(|j| m[c][j]).sum();
+        let fp: usize = (0..num_classes).filter(|&j| j != c).map(|j| m[j][c]).sum();
+        if tp + fn_ + fp == 0 {
+            continue; // class absent everywhere
+        }
+        present += 1;
+        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+        let recall = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_by_true_class() {
+        let m = confusion(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[1][1], 1);
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let p = [0usize, 1, 2, 0, 1, 2];
+        assert!((macro_f1(&p, &p, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_minority_failure_more_than_accuracy() {
+        // 9 of class 0 right, 1 of class 1 wrong: accuracy 0.9 but macro F1
+        // much lower.
+        let targets: Vec<usize> = (0..10).map(|i| usize::from(i == 9)).collect();
+        let pred = vec![0usize; 10];
+        let f1 = macro_f1(&pred, &targets, 2);
+        assert!(f1 < 0.5, "macro f1 {f1}");
+    }
+
+    #[test]
+    fn absent_classes_are_skipped() {
+        let f1 = macro_f1(&[0, 0], &[0, 0], 5);
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+}

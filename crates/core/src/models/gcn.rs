@@ -1,0 +1,246 @@
+//! Full-batch GCN — the canonical message-passing baseline (§3.1.1).
+//!
+//! `H^{(l+1)} = σ(Â H^{(l)} W^{(l)})` with `Â = D̃^{-1/2}(A+I)D̃^{-1/2}`.
+//! Every scalable design in this workspace is benchmarked against this
+//! model: it is accurate, and it is exactly the thing that does not scale
+//! (graph-sized activations per layer, `L·nnz·d` work per epoch).
+//!
+//! The model does **not** own its propagation operator — `forward`/
+//! `backward` take it per call, so the same weights train on the full
+//! graph, on GraphSAINT / Cluster-GCN subgraph batches, or on a coarse
+//! graph (experiments E3/E12) without copies.
+
+use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+use sgnn_graph::spmm::spmm;
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::DenseMatrix;
+use sgnn_nn::layers::{Dropout, Linear, ReLU};
+use sgnn_nn::optim::Optimizer;
+
+/// GCN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GcnConfig {
+    /// Hidden layer widths (e.g. `[64]` for a 2-layer GCN).
+    pub hidden: Vec<usize>,
+    /// Dropout probability between layers.
+    pub dropout: f32,
+    /// Parameter seed.
+    pub seed: u64,
+}
+
+impl Default for GcnConfig {
+    fn default() -> Self {
+        GcnConfig { hidden: vec![64], dropout: 0.5, seed: 0 }
+    }
+}
+
+/// Builds the standard GCN operator for a graph (symmetric normalization
+/// with self-loops).
+pub fn gcn_operator(g: &CsrGraph) -> CsrGraph {
+    normalized_adjacency(g, NormKind::Sym, true).expect("valid graph")
+}
+
+/// GCN weights, reusable across propagation operators.
+pub struct Gcn {
+    linears: Vec<Linear>,
+    relus: Vec<ReLU>,
+    dropouts: Vec<Dropout>,
+}
+
+impl Gcn {
+    /// Builds GCN weights for the given input/output widths.
+    pub fn new(in_dim: usize, num_classes: usize, cfg: &GcnConfig) -> Self {
+        let mut dims = vec![in_dim];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(num_classes);
+        let mut linears = Vec::new();
+        let mut relus = Vec::new();
+        let mut dropouts = Vec::new();
+        for i in 0..dims.len() - 1 {
+            linears.push(Linear::new(dims[i], dims[i + 1], cfg.seed.wrapping_add(i as u64)));
+            if i + 2 < dims.len() {
+                relus.push(ReLU::new());
+                dropouts.push(Dropout::new(cfg.dropout, cfg.seed.wrapping_add(100 + i as u64)));
+            }
+        }
+        Gcn { linears, relus, dropouts }
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.linears.len()
+    }
+
+    /// Total parameters.
+    pub fn num_params(&self) -> usize {
+        self.linears.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Direct access to a layer (tests, inspection).
+    pub fn layer(&self, i: usize) -> &Linear {
+        &self.linears[i]
+    }
+
+    /// Mutable access to a layer (tests).
+    pub fn layer_mut(&mut self, i: usize) -> &mut Linear {
+        &mut self.linears[i]
+    }
+
+    /// Training forward over the graph behind `op` (a pre-normalized
+    /// operator from [`gcn_operator`]); caches activations for backward.
+    pub fn forward(&mut self, op: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
+        let mut h = x.clone();
+        let n = self.linears.len();
+        for i in 0..n {
+            let ah = spmm(op, &h);
+            h = self.linears[i].forward(&ah);
+            if i + 1 < n {
+                h = self.relus[i].forward(&h);
+                h = self.dropouts[i].forward(&h);
+            }
+        }
+        h
+    }
+
+    /// Inference forward (no caches, no dropout).
+    pub fn forward_inference(&self, op: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
+        let mut h = x.clone();
+        let n = self.linears.len();
+        for i in 0..n {
+            let ah = spmm(op, &h);
+            h = self.linears[i].forward_inference(&ah);
+            if i + 1 < n {
+                h = self.relus[i].forward_inference(&h);
+            }
+        }
+        h
+    }
+
+    /// Backward from the logits gradient through the same operator.
+    ///
+    /// Uses `Âᵀ = Â` (symmetric normalization), so `op` must be symmetric
+    /// in values — true for [`gcn_operator`] on undirected graphs.
+    pub fn backward(&mut self, op: &CsrGraph, dlogits: &DenseMatrix) {
+        let n = self.linears.len();
+        let mut g = dlogits.clone();
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                g = self.dropouts[i].backward(&g);
+                g = self.relus[i].backward(&g);
+            }
+            let d_ah = self.linears[i].backward(&g);
+            g = spmm(op, &d_ah);
+        }
+    }
+
+    /// Zeroes gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.linears {
+            l.zero_grad();
+        }
+    }
+
+    /// Optimizer step over all layers.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        let mut slot = 0usize;
+        for l in &mut self.linears {
+            l.visit_params(&mut |p, g| {
+                opt.update(slot, p, g);
+                slot += 1;
+            });
+        }
+        opt.step_done();
+    }
+
+    /// Peak resident bytes of one training step on an `n_nodes` graph:
+    /// two graph-scale activations per layer plus parameters.
+    pub fn step_bytes(&self, n_nodes: usize, in_dim: usize) -> usize {
+        let mut dims = vec![in_dim];
+        dims.extend(self.linears.iter().map(|l| l.out_dim()));
+        let acts: usize = dims.iter().map(|&d| 2 * n_nodes * d * 4).sum();
+        let params: usize = self.linears.iter().map(|l| l.nbytes()).sum();
+        acts + params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_data::sbm_dataset;
+    use sgnn_nn::loss::softmax_cross_entropy;
+    use sgnn_nn::optim::Adam;
+
+    #[test]
+    fn gcn_learns_homophilous_sbm() {
+        let ds = sbm_dataset(400, 4, 10.0, 0.9, 8, 1.0, 0, 0.5, 0.25, 1);
+        let op = gcn_operator(&ds.graph);
+        let mut gcn = Gcn::new(8, 4, &GcnConfig { hidden: vec![16], dropout: 0.1, seed: 2 });
+        let mut opt = Adam::new(0.01);
+        let train_rows: Vec<usize> = ds.splits.train.iter().map(|&u| u as usize).collect();
+        let train_labels = ds.labels_of(&ds.splits.train);
+        for _ in 0..60 {
+            let logits = gcn.forward(&op, &ds.features);
+            let batch_logits = logits.gather_rows(&train_rows);
+            let (_, dl_batch) = softmax_cross_entropy(&batch_logits, &train_labels, None);
+            let mut dl = DenseMatrix::zeros(400, 4);
+            dl.scatter_rows(&train_rows, &dl_batch);
+            gcn.zero_grad();
+            gcn.backward(&op, &dl);
+            gcn.step(&mut opt);
+        }
+        let logits = gcn.forward_inference(&op, &ds.features);
+        let test_rows: Vec<usize> = ds.splits.test.iter().map(|&u| u as usize).collect();
+        let acc = sgnn_nn::loss::accuracy(
+            &logits.gather_rows(&test_rows),
+            &ds.labels_of(&ds.splits.test),
+        );
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gradient_check_through_propagation() {
+        let ds = sbm_dataset(30, 2, 4.0, 0.8, 4, 0.5, 0, 0.5, 0.25, 3);
+        let op = gcn_operator(&ds.graph);
+        let mut gcn = Gcn::new(4, 2, &GcnConfig { hidden: vec![5], dropout: 0.0, seed: 4 });
+        let targets: Vec<usize> = ds.labels.clone();
+        let loss_of = |g: &Gcn| {
+            let logits = g.forward_inference(&op, &ds.features);
+            softmax_cross_entropy(&logits, &targets, None).0
+        };
+        let logits = gcn.forward(&op, &ds.features);
+        let (_, dl) = softmax_cross_entropy(&logits, &targets, None);
+        gcn.zero_grad();
+        gcn.backward(&op, &dl);
+        let analytic = gcn.layer(0).gw.get(1, 2);
+        let eps = 1e-2f32;
+        let w0 = gcn.layer(0).w.get(1, 2);
+        let base = loss_of(&gcn);
+        gcn.layer_mut(0).w.set(1, 2, w0 + eps);
+        let bumped = loss_of(&gcn);
+        let num = (bumped - base) / eps;
+        assert!((num - analytic).abs() < 2e-2, "num {num} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn same_weights_run_on_different_operators() {
+        // The subgraph-training contract: one weight set, many graphs.
+        let ds = sbm_dataset(100, 2, 6.0, 0.8, 4, 0.5, 0, 0.5, 0.25, 5);
+        let op_full = gcn_operator(&ds.graph);
+        let (sub, nodes) = ds.graph.induced_subgraph(&(0..40u32).collect::<Vec<_>>());
+        let op_sub = gcn_operator(&sub);
+        let gcn = Gcn::new(4, 2, &GcnConfig { hidden: vec![8], dropout: 0.0, seed: 6 });
+        let full = gcn.forward_inference(&op_full, &ds.features);
+        let rows: Vec<usize> = nodes.iter().map(|&u| u as usize).collect();
+        let sub_logits = gcn.forward_inference(&op_sub, &ds.features.gather_rows(&rows));
+        assert_eq!(full.shape(), (100, 2));
+        assert_eq!(sub_logits.shape(), (40, 2));
+    }
+
+    #[test]
+    fn shapes_and_params() {
+        let gcn = Gcn::new(6, 2, &GcnConfig { hidden: vec![8, 4], dropout: 0.2, seed: 6 });
+        assert_eq!(gcn.num_layers(), 3);
+        assert_eq!(gcn.num_params(), 6 * 8 + 8 + 8 * 4 + 4 + 4 * 2 + 2);
+        assert!(gcn.step_bytes(50, 6) > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The model zoo.
+//!
+//! One representative implementation per scalable-GNN family from the
+//! survey's taxonomy:
+//!
+//! | family | module | survey anchor |
+//! |---|---|---|
+//! | full-graph message passing | [`gcn`] | §3.1.1 canonical GNN (the baseline) |
+//! | node-wise sampled | [`sage`] | §3.1.2 graph sampling |
+//! | decoupled propagation | [`decoupled`] | §3.1.2, APPNP [18], SCARA [26], LD2 [24] |
+//! | multi-scale hop attention | [`gamlp`] | §3.3.1, GAMLP [56] |
+//! | implicit equilibrium | [`implicit`] | §3.2.3, EIGNN [31] / MGNNI [30] |
+//! | node-adaptive inference | [`nai`] | §3.3.1, NAI [10] |
+//! | SPD-bias graph transformer | [`gt`] | §3.4.1, DHIL-GT [27] |
+
+pub mod decoupled;
+pub mod gamlp;
+pub mod gcn;
+pub mod gt;
+pub mod implicit;
+pub mod nai;
+pub mod sage;
+
+pub use decoupled::{precompute_embedding, DecoupledModel, PrecomputeMethod};
+pub use gamlp::GamlpModel;
+pub use gcn::{Gcn, GcnConfig};
+pub use gt::{DhilGt, SpdAttention};
+pub use implicit::{ImplicitModel, ImplicitSolver};
+pub use nai::NaiModel;
+pub use sage::Sage;

@@ -1,0 +1,183 @@
+//! NAI-style node-adaptive inference (§3.3.1, NAI [10]).
+//!
+//! NAI "examines applying personalized design to various decoupled
+//! architectures. The propagation optimization acts as an external gated
+//! model for truncating the node-wise feature propagation": at inference
+//! time, a node whose prediction is already confident after `k` hops stops
+//! propagating — easy nodes exit early, hard nodes keep aggregating. We
+//! implement the gate as softmax-confidence thresholding over the hop
+//! embeddings of a trained decoupled model, and report the propagation
+//! work saved (the A2 ablation).
+
+use sgnn_data::Dataset;
+use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+use sgnn_graph::NodeId;
+use sgnn_linalg::DenseMatrix;
+use sgnn_nn::Mlp;
+
+/// Outcome of an adaptive-inference pass.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// Per-node exit hop (0 = raw features sufficed).
+    pub exit_hop: Vec<u8>,
+    /// Mean exit hop.
+    pub mean_hop: f64,
+    /// Fraction of full propagation work performed (1.0 = no savings).
+    pub work_fraction: f64,
+    /// Final predictions.
+    pub predictions: Vec<usize>,
+}
+
+/// A trained decoupled model with per-hop heads, enabling gated inference.
+pub struct NaiModel {
+    /// One MLP head per hop depth `0..=k` (trained on that hop's
+    /// embedding).
+    pub heads: Vec<Mlp>,
+    /// Hop embeddings (kept for inference; production systems stream
+    /// them).
+    pub hops: Vec<DenseMatrix>,
+}
+
+impl NaiModel {
+    /// Trains one head per hop embedding (cheap: heads are tiny MLPs).
+    pub fn train(ds: &Dataset, k: usize, hidden: &[usize], epochs: usize, seed: u64) -> Self {
+        let adj = normalized_adjacency(&ds.graph, NormKind::Sym, true).expect("valid graph");
+        let hops = sgnn_prop::power::hop_embeddings(&adj, &ds.features, k);
+        let train_labels = ds.labels_of(&ds.splits.train);
+        let train_rows: Vec<usize> = ds.splits.train.iter().map(|&u| u as usize).collect();
+        let mut heads = Vec::with_capacity(hops.len());
+        for (h, emb) in hops.iter().enumerate() {
+            let mut dims = vec![emb.cols()];
+            dims.extend_from_slice(hidden);
+            dims.push(ds.num_classes);
+            let mut mlp = Mlp::new(&dims, 0.1, seed.wrapping_add(h as u64));
+            let mut opt = sgnn_nn::Adam::new(0.01);
+            let x = emb.gather_rows(&train_rows);
+            for _ in 0..epochs {
+                let logits = mlp.forward(&x);
+                let (_, dl) = sgnn_nn::softmax_cross_entropy(&logits, &train_labels, None);
+                mlp.zero_grad();
+                mlp.backward(&dl);
+                mlp.step(&mut opt);
+            }
+            heads.push(mlp);
+        }
+        NaiModel { heads, hops }
+    }
+
+    /// Gated inference: each node exits at the first hop whose head is
+    /// confident (max softmax probability ≥ `threshold`); nodes never
+    /// reaching confidence use the deepest head.
+    pub fn infer_adaptive(&self, nodes: &[NodeId], threshold: f32) -> AdaptiveReport {
+        let kmax = self.heads.len() - 1;
+        let mut exit_hop = vec![kmax as u8; nodes.len()];
+        let mut predictions = vec![0usize; nodes.len()];
+        let mut undecided: Vec<usize> = (0..nodes.len()).collect();
+        for (h, (head, emb)) in self.heads.iter().zip(self.hops.iter()).enumerate() {
+            if undecided.is_empty() {
+                break;
+            }
+            let rows: Vec<usize> = undecided.iter().map(|&i| nodes[i] as usize).collect();
+            let mut probs = head.forward_inference(&emb.gather_rows(&rows));
+            probs.softmax_rows();
+            let mut still = Vec::new();
+            for (local, &i) in undecided.iter().enumerate() {
+                let row = probs.row(local);
+                let best = sgnn_linalg::vecops::argmax(row);
+                if row[best] >= threshold || h == kmax {
+                    exit_hop[i] = h as u8;
+                    predictions[i] = best;
+                } else {
+                    still.push(i);
+                }
+            }
+            undecided = still;
+        }
+        let mean_hop =
+            exit_hop.iter().map(|&h| h as f64).sum::<f64>() / exit_hop.len().max(1) as f64;
+        AdaptiveReport {
+            mean_hop,
+            work_fraction: mean_hop / kmax.max(1) as f64,
+            exit_hop,
+            predictions,
+        }
+    }
+
+    /// Non-adaptive reference: every node uses the deepest head.
+    pub fn infer_full(&self, nodes: &[NodeId]) -> Vec<usize> {
+        let rows: Vec<usize> = nodes.iter().map(|&u| u as usize).collect();
+        let emb = self.hops.last().expect("at least hop 0");
+        self.heads
+            .last()
+            .expect("at least one head")
+            .forward_inference(&emb.gather_rows(&rows))
+            .argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_data::sbm_dataset;
+
+    fn accuracy(pred: &[usize], ds: &Dataset, nodes: &[NodeId]) -> f64 {
+        pred.iter()
+            .zip(nodes.iter())
+            .filter(|&(p, &u)| *p == ds.labels[u as usize])
+            .count() as f64
+            / nodes.len() as f64
+    }
+
+    #[test]
+    fn adaptive_inference_saves_work_at_small_cost() {
+        let ds = sbm_dataset(1_200, 4, 10.0, 0.9, 8, 0.8, 0, 0.5, 0.25, 1);
+        let model = NaiModel::train(&ds, 3, &[16], 60, 2);
+        let full_pred = model.infer_full(&ds.splits.test);
+        let full_acc = accuracy(&full_pred, &ds, &ds.splits.test);
+        let rep = model.infer_adaptive(&ds.splits.test, 0.9);
+        let adapt_acc = accuracy(&rep.predictions, &ds, &ds.splits.test);
+        assert!(rep.work_fraction < 0.9, "no work saved: {}", rep.work_fraction);
+        assert!(
+            adapt_acc > full_acc - 0.05,
+            "adaptive {adapt_acc} vs full {full_acc}"
+        );
+    }
+
+    #[test]
+    fn threshold_one_means_full_depth() {
+        let ds = sbm_dataset(300, 2, 6.0, 0.8, 4, 0.5, 0, 0.5, 0.25, 3);
+        let model = NaiModel::train(&ds, 2, &[8], 30, 4);
+        let rep = model.infer_adaptive(&ds.splits.test, 1.1);
+        assert!(rep.exit_hop.iter().all(|&h| h == 2));
+        assert!((rep.work_fraction - 1.0).abs() < 1e-9);
+        // And agrees with the non-adaptive path.
+        assert_eq!(rep.predictions, model.infer_full(&ds.splits.test));
+    }
+
+    #[test]
+    fn low_threshold_exits_immediately() {
+        let ds = sbm_dataset(300, 2, 6.0, 0.8, 4, 0.5, 0, 0.5, 0.25, 5);
+        let model = NaiModel::train(&ds, 2, &[8], 30, 6);
+        let rep = model.infer_adaptive(&ds.splits.test, 0.0);
+        assert!(rep.exit_hop.iter().all(|&h| h == 0));
+        assert_eq!(rep.work_fraction, 0.0);
+    }
+
+    #[test]
+    fn harder_nodes_exit_later() {
+        // Heterophilous mix: raw features noisy → later exits than the
+        // clean homophilous case at the same threshold.
+        let clean = sbm_dataset(800, 2, 8.0, 0.9, 4, 0.3, 0, 0.5, 0.25, 7);
+        let noisy = sbm_dataset(800, 2, 8.0, 0.9, 4, 1.2, 0, 0.5, 0.25, 7);
+        let m_clean = NaiModel::train(&clean, 3, &[8], 40, 8);
+        let m_noisy = NaiModel::train(&noisy, 3, &[8], 40, 8);
+        let r_clean = m_clean.infer_adaptive(&clean.splits.test, 0.9);
+        let r_noisy = m_noisy.infer_adaptive(&noisy.splits.test, 0.9);
+        assert!(
+            r_noisy.mean_hop > r_clean.mean_hop,
+            "noisy {} !> clean {}",
+            r_noisy.mean_hop,
+            r_clean.mean_hop
+        );
+    }
+}

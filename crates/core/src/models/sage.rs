@@ -1,0 +1,212 @@
+//! Sampled GraphSAGE over message-flow blocks (§3.1.2 "Graph Sampling").
+//!
+//! Layer rule: `h'_u = σ(W_self·h_u + W_neigh·mean_{v∈S(u)} h_v)` where
+//! `S(u)` is whatever the block's sampler chose (node-wise, LADIES, or
+//! LABOR — the model is sampler-agnostic; it just consumes
+//! [`Block`](sgnn_sample::Block) stacks).
+
+use sgnn_linalg::DenseMatrix;
+use sgnn_nn::layers::{Linear, ReLU};
+use sgnn_nn::optim::Optimizer;
+use sgnn_sample::Block;
+
+struct SageLayer {
+    lin_self: Linear,
+    lin_neigh: Linear,
+    relu: ReLU,
+    is_last: bool,
+}
+
+/// A GraphSAGE model: one [`SageLayer`] per sampled block.
+pub struct Sage {
+    layers: Vec<SageLayer>,
+    // Per-layer caches for backward: (h_src, block dims).
+    cache: Vec<CacheEntry>,
+}
+
+struct CacheEntry {
+    num_dst: usize,
+    num_src: usize,
+}
+
+impl Sage {
+    /// Builds a SAGE model: `dims = [in, hidden…, classes]`, one layer per
+    /// consecutive dim pair (must equal the number of blocks fed later).
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2);
+        let mut layers = Vec::new();
+        for i in 0..dims.len() - 1 {
+            layers.push(SageLayer {
+                lin_self: Linear::new(dims[i], dims[i + 1], seed.wrapping_add(2 * i as u64)),
+                lin_neigh: Linear::new(dims[i], dims[i + 1], seed.wrapping_add(2 * i as u64 + 1)),
+                relu: ReLU::new(),
+                is_last: i + 2 == dims.len(),
+            });
+        }
+        Sage { layers, cache: Vec::new() }
+    }
+
+    /// Number of layers (= blocks consumed per forward).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.lin_self.num_params() + l.lin_neigh.num_params()).sum()
+    }
+
+    /// Training forward through a block stack (deepest block first).
+    /// `x_input` holds features of `blocks[0].src`.
+    pub fn forward(&mut self, blocks: &[Block], x_input: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(blocks.len(), self.layers.len(), "one block per layer");
+        self.cache.clear();
+        let mut h = x_input.clone();
+        for (layer, block) in self.layers.iter_mut().zip(blocks.iter()) {
+            assert_eq!(h.rows(), block.num_src());
+            self.cache.push(CacheEntry { num_dst: block.num_dst(), num_src: block.num_src() });
+            let h_dst = h.gather_rows(&(0..block.num_dst()).collect::<Vec<_>>());
+            let agg = block.aggregate(&h);
+            let mut z = layer.lin_self.forward(&h_dst);
+            let zn = layer.lin_neigh.forward(&agg);
+            z.add_scaled(1.0, &zn).expect("shapes fixed");
+            h = if layer.is_last { z } else { layer.relu.forward(&z) };
+        }
+        h
+    }
+
+    /// Inference forward (no caches).
+    pub fn forward_inference(&self, blocks: &[Block], x_input: &DenseMatrix) -> DenseMatrix {
+        let mut h = x_input.clone();
+        for (layer, block) in self.layers.iter().zip(blocks.iter()) {
+            let h_dst = h.gather_rows(&(0..block.num_dst()).collect::<Vec<_>>());
+            let agg = block.aggregate(&h);
+            let mut z = layer.lin_self.forward_inference(&h_dst);
+            let zn = layer.lin_neigh.forward_inference(&agg);
+            z.add_scaled(1.0, &zn).expect("shapes fixed");
+            h = if layer.is_last { z } else { layer.relu.forward_inference(&z) };
+        }
+        h
+    }
+
+    /// Backward through the same block stack.
+    pub fn backward(&mut self, blocks: &[Block], dlogits: &DenseMatrix) {
+        let mut g = dlogits.clone();
+        for (i, (layer, block)) in
+            self.layers.iter_mut().zip(blocks.iter()).enumerate().rev()
+        {
+            let entry = &self.cache[i];
+            let dz = if layer.is_last { g.clone() } else { layer.relu.backward(&g) };
+            let d_hdst = layer.lin_self.backward(&dz);
+            let d_agg = layer.lin_neigh.backward(&dz);
+            let mut d_h = block.aggregate_backward(&d_agg);
+            debug_assert_eq!(d_h.rows(), entry.num_src);
+            // dst rows are the prefix of src rows.
+            for r in 0..entry.num_dst {
+                sgnn_linalg::vecops::axpy(1.0, d_hdst.row(r), d_h.row_mut(r));
+            }
+            g = d_h;
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.lin_self.zero_grad();
+            l.lin_neigh.zero_grad();
+        }
+    }
+
+    /// Optimizer step.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        let mut slot = 0usize;
+        for l in &mut self.layers {
+            l.lin_self.visit_params(&mut |p, g| {
+                opt.update(slot, p, g);
+                slot += 1;
+            });
+            l.lin_neigh.visit_params(&mut |p, g| {
+                opt.update(slot, p, g);
+                slot += 1;
+            });
+        }
+        opt.step_done();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_data::sbm_dataset;
+    use sgnn_nn::loss::softmax_cross_entropy;
+    use sgnn_nn::optim::Adam;
+    use sgnn_sample::node_wise::sample_blocks;
+
+    #[test]
+    fn shapes_flow_through_block_stack() {
+        let ds = sbm_dataset(300, 3, 8.0, 0.8, 6, 0.5, 0, 0.5, 0.25, 1);
+        let targets: Vec<u32> = vec![0, 5, 9, 20];
+        let blocks = sample_blocks(&ds.graph, &targets, &[4, 4], 2);
+        let mut sage = Sage::new(&[6, 8, 3], 3);
+        let src_rows: Vec<usize> = blocks[0].src.iter().map(|&v| v as usize).collect();
+        let x_in = ds.features.gather_rows(&src_rows);
+        let logits = sage.forward(&blocks, &x_in);
+        assert_eq!(logits.shape(), (4, 3));
+        let (_, dl) = softmax_cross_entropy(&logits, &[0, 1, 2, 0], None);
+        sage.zero_grad();
+        sage.backward(&blocks, &dl);
+    }
+
+    #[test]
+    fn sage_learns_sbm_with_sampling() {
+        let ds = sbm_dataset(600, 3, 10.0, 0.9, 6, 0.8, 0, 0.5, 0.25, 4);
+        let mut sage = Sage::new(&[6, 16, 3], 5);
+        let mut opt = Adam::new(0.01);
+        let batch = 64usize;
+        for epoch in 0..30u64 {
+            for (bi, chunk) in ds.splits.train.chunks(batch).enumerate() {
+                let blocks = sample_blocks(&ds.graph, chunk, &[5, 5], epoch * 1000 + bi as u64);
+                let src_rows: Vec<usize> = blocks[0].src.iter().map(|&v| v as usize).collect();
+                let x_in = ds.features.gather_rows(&src_rows);
+                let logits = sage.forward(&blocks, &x_in);
+                let (_, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), None);
+                sage.zero_grad();
+                sage.backward(&blocks, &dl);
+                sage.step(&mut opt);
+            }
+        }
+        // Evaluate with large fanout (near-exact aggregation).
+        let blocks = sample_blocks(&ds.graph, &ds.splits.test, &[30, 30], 999);
+        let src_rows: Vec<usize> = blocks[0].src.iter().map(|&v| v as usize).collect();
+        let x_in = ds.features.gather_rows(&src_rows);
+        let logits = sage.forward_inference(&blocks, &x_in);
+        let acc = sgnn_nn::loss::accuracy(&logits, &ds.labels_of(&ds.splits.test));
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gradient_check_through_block() {
+        let ds = sbm_dataset(40, 2, 4.0, 0.8, 4, 0.5, 0, 0.5, 0.25, 7);
+        let targets: Vec<u32> = vec![0, 3];
+        let blocks = sample_blocks(&ds.graph, &targets, &[3], 8);
+        let mut sage = Sage::new(&[4, 2], 9);
+        let src_rows: Vec<usize> = blocks[0].src.iter().map(|&v| v as usize).collect();
+        let x_in = ds.features.gather_rows(&src_rows);
+        let labels = [0usize, 1];
+        let loss_of = |s: &Sage| {
+            let logits = s.forward_inference(&blocks, &x_in);
+            softmax_cross_entropy(&logits, &labels, None).0
+        };
+        let logits = sage.forward(&blocks, &x_in);
+        let (_, dl) = softmax_cross_entropy(&logits, &labels, None);
+        sage.zero_grad();
+        sage.backward(&blocks, &dl);
+        let analytic = sage.layers[0].lin_neigh.gw.get(2, 1);
+        let base = loss_of(&sage);
+        let eps = 1e-2f32;
+        let w = sage.layers[0].lin_neigh.w.get(2, 1);
+        sage.layers[0].lin_neigh.w.set(2, 1, w + eps);
+        let num = (loss_of(&sage) - base) / eps;
+        assert!((num - analytic).abs() < 2e-2, "num {num} vs analytic {analytic}");
+    }
+}

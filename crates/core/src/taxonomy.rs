@@ -1,0 +1,188 @@
+//! Figure 1 of the paper as a machine-readable tree.
+//!
+//! Each taxonomy node carries the survey's category name, the systems the
+//! paper cites there, and — for leaves — the `sgnn` module implementing a
+//! representative. `examples/taxonomy.rs` renders it; tests assert every
+//! leaf maps to real code.
+
+/// One node of the Figure 1 taxonomy.
+#[derive(Debug, Clone)]
+pub struct TaxonomyNode {
+    /// Category name as printed in Figure 1.
+    pub name: &'static str,
+    /// Systems the survey cites under this node.
+    pub systems: &'static [&'static str],
+    /// Implementing module path in this workspace (leaves only).
+    pub module: Option<&'static str>,
+    /// Child categories.
+    pub children: Vec<TaxonomyNode>,
+}
+
+impl TaxonomyNode {
+    fn leaf(name: &'static str, systems: &'static [&'static str], module: &'static str) -> Self {
+        TaxonomyNode { name, systems, module: Some(module), children: Vec::new() }
+    }
+
+    fn branch(name: &'static str, children: Vec<TaxonomyNode>) -> Self {
+        TaxonomyNode { name, systems: &[], module: None, children }
+    }
+
+    /// All leaves below this node.
+    pub fn leaves(&self) -> Vec<&TaxonomyNode> {
+        if self.children.is_empty() {
+            vec![self]
+        } else {
+            self.children.iter().flat_map(|c| c.leaves()).collect()
+        }
+    }
+
+    /// Renders the subtree as an indented listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.name);
+        if !self.systems.is_empty() {
+            out.push_str("  [");
+            out.push_str(&self.systems.join(", "));
+            out.push(']');
+        }
+        if let Some(m) = self.module {
+            out.push_str("  -> ");
+            out.push_str(m);
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Builds the full Figure 1 tree: "Data Management for Scalable GNN".
+pub fn figure1() -> TaxonomyNode {
+    TaxonomyNode::branch(
+        "Data Management for Scalable GNN",
+        vec![
+            TaxonomyNode::branch(
+                "Classic Methods (3.1.2)",
+                vec![
+                    TaxonomyNode::leaf("Graph Partition", &["METIS-style", "LDG", "Fennel"], "sgnn_partition::{multilevel, streaming}"),
+                    TaxonomyNode::leaf("Graph Sampling", &["GraphSAGE", "Cluster-GCN"], "sgnn_sample::node_wise, sgnn_partition::cluster"),
+                    TaxonomyNode::leaf("Decoupled Propagation", &["APPNP", "SGC"], "sgnn_prop::power, sgnn_core::models::decoupled"),
+                ],
+            ),
+            TaxonomyNode::branch(
+                "Graph Analytics (3.2)",
+                vec![
+                    TaxonomyNode::branch(
+                        "Spectral Embeddings (3.2.1)",
+                        vec![
+                            TaxonomyNode::leaf("Combined Embeddings", &["LD2"], "sgnn_spectral::embedding"),
+                            TaxonomyNode::leaf("Adaptive Basis", &["UniFilter", "AdaptKry"], "sgnn_spectral::basis"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Node-pair Similarity (3.2.2)",
+                        vec![
+                            TaxonomyNode::leaf("Topology Similarity", &["SIMGA", "DHGR"], "sgnn_sim::{simrank, rewire}"),
+                            TaxonomyNode::leaf("Hub Labeling", &["CFGNN", "DHIL-GT"], "sgnn_sim::hub"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Graph Algebras (3.2.3)",
+                        vec![
+                            TaxonomyNode::leaf("Matrix Decomposition", &["EIGNN"], "sgnn_core::models::implicit (Spectral solver)"),
+                            TaxonomyNode::leaf("Approximate Iteration", &["MGNNI"], "sgnn_core::models::implicit (FixedPoint/CG)"),
+                            TaxonomyNode::leaf("Graph Simplification", &["SEIGNN"], "sgnn_coarsen::seignn"),
+                        ],
+                    ),
+                ],
+            ),
+            TaxonomyNode::branch(
+                "Graph Editing (3.3)",
+                vec![
+                    TaxonomyNode::branch(
+                        "Graph Sparsification (3.3.1)",
+                        vec![
+                            TaxonomyNode::leaf("Node-level", &["SCARA", "Unifews"], "sgnn_prop::push, sgnn_sparsify::unifews"),
+                            TaxonomyNode::leaf("Layer-level", &["NIGCN", "ATP"], "sgnn_sparsify::{nigcn, atp}"),
+                            TaxonomyNode::leaf("Subgraph-level", &["GAMLP", "NAI"], "sgnn_core::models::gamlp"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Graph Sampling (3.3.2)",
+                        vec![
+                            TaxonomyNode::leaf("Graph Expressiveness", &["ADGNN", "PyGNN"], "sgnn_sample::layer_wise"),
+                            TaxonomyNode::leaf("Graph Variance", &["LABOR", "HDSGNN", "LMC"], "sgnn_sample::{labor, history, variance}"),
+                            TaxonomyNode::leaf("Device Acceleration", &["GIDS", "NeutronOrch", "DAHA"], "sgnn_sample::history (cache substrate; see DESIGN.md)"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Subgraph Extraction (3.3.3)",
+                        vec![
+                            TaxonomyNode::leaf("Subgraph Generation", &["G3", "TIGER"], "sgnn_sample::saint"),
+                            TaxonomyNode::leaf("Subgraph Storage", &["SUREL", "GENTI"], "sgnn_sample::walks"),
+                        ],
+                    ),
+                    TaxonomyNode::branch(
+                        "Graph Coarsening (3.3.4)",
+                        vec![
+                            TaxonomyNode::leaf("Structure-based", &["GDEM", "ConvMatch"], "sgnn_coarsen::{gdem, convmatch, hem}"),
+                            TaxonomyNode::leaf("Spectral-based", &["GC-SNTK"], "sgnn_coarsen::sntk"),
+                        ],
+                    ),
+                ],
+            ),
+            TaxonomyNode::branch(
+                "Future Directions (3.4)",
+                vec![
+                    TaxonomyNode::leaf("Large Models", &["GraphRAG", "Graph Transformer"], "sgnn_core::models::gt (SPD-bias attention over hub labels)"),
+                    TaxonomyNode::leaf("Data Efficiency", &["self-supervised", "dynamic graphs"], "sgnn_sample::dynamic (incremental walk maintenance)"),
+                    TaxonomyNode::leaf("Training Systems", &["distributed", "device-specific"], "sgnn_partition::comm"),
+                ],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_all_figure1_sections() {
+        let t = figure1();
+        let names: Vec<&str> = t.children.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().any(|n| n.contains("Classic")));
+        assert!(names.iter().any(|n| n.contains("Analytics")));
+        assert!(names.iter().any(|n| n.contains("Editing")));
+        assert!(names.iter().any(|n| n.contains("Future")));
+    }
+
+    #[test]
+    fn every_leaf_names_systems_and_a_module() {
+        let t = figure1();
+        let leaves = t.leaves();
+        assert!(leaves.len() >= 18, "found {} leaves", leaves.len());
+        for l in leaves {
+            assert!(!l.systems.is_empty(), "leaf {} lists no systems", l.name);
+            assert!(l.module.is_some(), "leaf {} maps to no module", l.name);
+        }
+    }
+
+    #[test]
+    fn render_is_indented_and_complete() {
+        let t = figure1();
+        let s = t.render();
+        assert!(s.contains("  Graph Editing"));
+        assert!(s.contains("-> sgnn_sim::hub"));
+        assert!(s.lines().count() > 20);
+    }
+}

@@ -1,0 +1,673 @@
+//! Training loops — one per scalability family, all producing a common
+//! [`TrainReport`] with accuracy, wall time, and peak-memory accounting.
+//!
+//! | trainer | family | survey anchor |
+//! |---|---|---|
+//! | [`train_full_gcn`] | full-graph message passing | §3.1.1 baseline |
+//! | [`train_decoupled`] | decoupled precompute + MLP | §3.1.2, APPNP/SGC/SCARA/LD2 |
+//! | [`train_sampled`] | neighbor-sampled mini-batch | §3.1.2/§3.3.2, GraphSAGE/LADIES/LABOR |
+//! | [`train_saint`] | subgraph sampling | §3.3.2, GraphSAINT |
+//! | [`train_cluster_gcn`] | partition batches | §3.1.2, Cluster-GCN |
+//! | [`train_coarse`] | coarse-graph training | §3.3.4 |
+
+use crate::memory::{matrix_bytes, Ledger};
+use crate::models::decoupled::{DecoupledModel, PrecomputeMethod};
+use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
+use crate::models::sage::Sage;
+use sgnn_data::Dataset;
+use sgnn_graph::NodeId;
+use sgnn_linalg::DenseMatrix;
+use sgnn_nn::loss::{accuracy, softmax_cross_entropy};
+use sgnn_nn::optim::Adam;
+use std::time::Instant;
+
+/// Shared hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Mini-batch size (where applicable).
+    pub batch_size: usize,
+    /// Hidden widths.
+    pub hidden: Vec<usize>,
+    /// Dropout.
+    pub dropout: f32,
+    /// Seed for weights/sampling.
+    pub seed: u64,
+    /// Early stopping: stop after this many epochs without validation
+    /// improvement (`None` disables). Halts training in place — no
+    /// best-weight rollback — so values below ~10 can stop inside the
+    /// optimizer's warmup.
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            lr: 0.01,
+            weight_decay: 5e-5,
+            batch_size: 256,
+            hidden: vec![32],
+            dropout: 0.2,
+            seed: 0,
+            patience: None,
+        }
+    }
+}
+
+/// Validation-accuracy early stopper shared by the trainers.
+struct EarlyStopper {
+    patience: Option<usize>,
+    best: f64,
+    bad: usize,
+}
+
+impl EarlyStopper {
+    fn new(patience: Option<usize>) -> Self {
+        EarlyStopper { patience, best: f64::NEG_INFINITY, bad: 0 }
+    }
+
+    /// Records a validation score; returns `true` when training should
+    /// stop.
+    fn should_stop(&mut self, val: f64) -> bool {
+        let Some(p) = self.patience else { return false };
+        if val > self.best + 1e-9 {
+            self.best = val;
+            self.bad = 0;
+            false
+        } else {
+            self.bad += 1;
+            self.bad >= p
+        }
+    }
+}
+
+/// Outcome of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Method label for tables.
+    pub name: String,
+    /// Final test accuracy.
+    pub test_acc: f64,
+    /// Final validation accuracy.
+    pub val_acc: f64,
+    /// Final training loss.
+    pub final_loss: f32,
+    /// Graph-side precompute seconds (0 for coupled models).
+    pub precompute_secs: f64,
+    /// Training-loop seconds.
+    pub train_secs: f64,
+    /// Peak resident bytes charged to the memory ledger.
+    pub peak_mem_bytes: usize,
+    /// Epochs executed.
+    pub epochs_run: usize,
+}
+
+fn rows_of(nodes: &[NodeId]) -> Vec<usize> {
+    nodes.iter().map(|&u| u as usize).collect()
+}
+
+/// Trains a full-batch GCN (experiment baseline).
+pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
+    let mut ledger = Ledger::new();
+    let t0 = Instant::now();
+    let op = gcn_operator(&ds.graph);
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    ledger.alloc(op.nbytes());
+    ledger.alloc(ds.features.nbytes());
+    let mut gcn = Gcn::new(
+        ds.feature_dim(),
+        ds.num_classes,
+        &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
+    );
+    // Full-batch training keeps every layer activation resident.
+    ledger.transient(gcn.step_bytes(ds.num_nodes(), ds.feature_dim()));
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let train_rows = rows_of(&ds.splits.train);
+    let train_labels = ds.labels_of(&ds.splits.train);
+    let n = ds.num_nodes();
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    let mut stopper = EarlyStopper::new(cfg.patience);
+    let mut epochs_run = 0usize;
+    for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        let logits = gcn.forward(&op, &ds.features);
+        let batch = logits.gather_rows(&train_rows);
+        let (loss, dl_batch) = softmax_cross_entropy(&batch, &train_labels, None);
+        final_loss = loss;
+        let mut dl = DenseMatrix::zeros(n, ds.num_classes);
+        dl.scatter_rows(&train_rows, &dl_batch);
+        gcn.zero_grad();
+        gcn.backward(&op, &dl);
+        gcn.step(&mut opt);
+        if cfg.patience.is_some() {
+            let logits = gcn.forward_inference(&op, &ds.features);
+            let val = accuracy(
+                &logits.gather_rows(&rows_of(&ds.splits.val)),
+                &ds.labels_of(&ds.splits.val),
+            );
+            if stopper.should_stop(val) {
+                break;
+            }
+        }
+    }
+    let train_secs = t1.elapsed().as_secs_f64();
+    let logits = gcn.forward_inference(&op, &ds.features);
+    let val_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    let report = TrainReport {
+        name: "gcn-full".into(),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run,
+    };
+    (gcn, report)
+}
+
+/// Trains a decoupled model (precompute + mini-batch MLP).
+pub fn train_decoupled(
+    ds: &Dataset,
+    method: &PrecomputeMethod,
+    cfg: &TrainConfig,
+) -> (DecoupledModel, TrainReport) {
+    let mut ledger = Ledger::new();
+    let t0 = Instant::now();
+    let mut model = DecoupledModel::new(ds, method, &cfg.hidden, cfg.dropout, cfg.seed);
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    // The embedding is the only graph-scale resident object; training
+    // touches batch-sized slices.
+    ledger.alloc(model.embedding.nbytes());
+    ledger.transient(
+        matrix_bytes(cfg.batch_size, model.embedding.cols())
+            + matrix_bytes(cfg.batch_size, ds.num_classes)
+            + model.mlp.nbytes(),
+    );
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    let mut stopper = EarlyStopper::new(cfg.patience);
+    let mut epochs_run = 0usize;
+    for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        for chunk in ds.splits.train.chunks(cfg.batch_size) {
+            let rows = rows_of(chunk);
+            let x = model.embedding.gather_rows(&rows);
+            let logits = model.mlp.forward(&x);
+            let (loss, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), None);
+            final_loss = loss;
+            model.mlp.zero_grad();
+            model.mlp.backward(&dl);
+            model.mlp.step(&mut opt);
+        }
+        if cfg.patience.is_some() {
+            let val = accuracy(&model.logits_for(&ds.splits.val), &ds.labels_of(&ds.splits.val));
+            if stopper.should_stop(val) {
+                break;
+            }
+        }
+    }
+    let train_secs = t1.elapsed().as_secs_f64();
+    let val_acc = accuracy(&model.logits_for(&ds.splits.val), &ds.labels_of(&ds.splits.val));
+    let test_acc = accuracy(&model.logits_for(&ds.splits.test), &ds.labels_of(&ds.splits.test));
+    let name = match method {
+        PrecomputeMethod::None => "mlp-raw".to_string(),
+        PrecomputeMethod::Sgc { k } => format!("sgc-k{k}"),
+        PrecomputeMethod::Appnp { .. } => "appnp".to_string(),
+        PrecomputeMethod::Scara { .. } => "scara-push".to_string(),
+        PrecomputeMethod::Heat { .. } => "heat".to_string(),
+        PrecomputeMethod::Ld2(_) => "ld2".to_string(),
+    };
+    let report = TrainReport {
+        name,
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run,
+    };
+    (model, report)
+}
+
+/// Neighbor-sampling strategy for [`train_sampled`].
+#[derive(Debug, Clone)]
+pub enum SamplerKind {
+    /// GraphSAGE node-wise fanouts (outermost layer first).
+    NodeWise(Vec<usize>),
+    /// LADIES layer sizes.
+    LayerWise(Vec<usize>),
+    /// LABOR fanouts.
+    Labor(Vec<usize>),
+}
+
+impl SamplerKind {
+    fn layers(&self) -> usize {
+        match self {
+            SamplerKind::NodeWise(f) | SamplerKind::LayerWise(f) | SamplerKind::Labor(f) => f.len(),
+        }
+    }
+
+    fn sample(&self, g: &sgnn_graph::CsrGraph, targets: &[NodeId], seed: u64) -> Vec<sgnn_sample::Block> {
+        match self {
+            SamplerKind::NodeWise(f) => sgnn_sample::node_wise::sample_blocks(g, targets, f, seed),
+            SamplerKind::LayerWise(s) => sgnn_sample::layer_wise::ladies_blocks(g, targets, s, seed),
+            SamplerKind::Labor(f) => sgnn_sample::labor::labor_blocks(g, targets, f, seed),
+        }
+    }
+}
+
+/// Trains a sampled GraphSAGE model with the given sampler.
+pub fn train_sampled(ds: &Dataset, sampler: &SamplerKind, cfg: &TrainConfig) -> (Sage, TrainReport) {
+    let mut ledger = Ledger::new();
+    ledger.alloc(ds.features.nbytes()); // feature store stays host-side resident
+    let mut dims = vec![ds.feature_dim()];
+    dims.extend_from_slice(&cfg.hidden);
+    dims.push(ds.num_classes);
+    assert_eq!(dims.len() - 1, sampler.layers(), "one fanout per layer");
+    let mut sage = Sage::new(&dims, cfg.seed);
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    let mut max_batch_bytes = 0usize;
+    for epoch in 0..cfg.epochs {
+        for (bi, chunk) in ds.splits.train.chunks(cfg.batch_size).enumerate() {
+            let seed = cfg
+                .seed
+                .wrapping_add((epoch * 10_000 + bi) as u64)
+                .wrapping_mul(0x9E37_79B9);
+            let blocks = sampler.sample(&ds.graph, chunk, seed);
+            let src_rows = rows_of(&blocks[0].src);
+            let x_in = ds.features.gather_rows(&src_rows);
+            // Batch-resident: input features + per-layer activations (≈2×
+            // input) + block structure.
+            let batch_bytes = 3 * x_in.nbytes() + blocks.iter().map(|b| b.nbytes()).sum::<usize>();
+            max_batch_bytes = max_batch_bytes.max(batch_bytes);
+            let logits = sage.forward(&blocks, &x_in);
+            let (loss, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), None);
+            final_loss = loss;
+            sage.zero_grad();
+            sage.backward(&blocks, &dl);
+            sage.step(&mut opt);
+        }
+    }
+    ledger.transient(max_batch_bytes);
+    let train_secs = t1.elapsed().as_secs_f64();
+    // Evaluate with wide fanouts for near-exact aggregation.
+    let eval = |nodes: &[NodeId]| -> f64 {
+        let wide = vec![25usize; sampler.layers()];
+        let mut correct = 0usize;
+        for chunk in nodes.chunks(1024) {
+            let blocks = sgnn_sample::node_wise::sample_blocks(&ds.graph, chunk, &wide, 123_456);
+            let src_rows = rows_of(&blocks[0].src);
+            let x_in = ds.features.gather_rows(&src_rows);
+            let logits = sage.forward_inference(&blocks, &x_in);
+            let labels = ds.labels_of(chunk);
+            correct += logits
+                .argmax_rows()
+                .iter()
+                .zip(labels.iter())
+                .filter(|&(p, t)| p == t)
+                .count();
+        }
+        correct as f64 / nodes.len().max(1) as f64
+    };
+    let val_acc = eval(&ds.splits.val);
+    let test_acc = eval(&ds.splits.test);
+    let name = match sampler {
+        SamplerKind::NodeWise(_) => "sage-nodewise",
+        SamplerKind::LayerWise(_) => "sage-ladies",
+        SamplerKind::Labor(_) => "sage-labor",
+    };
+    let report = TrainReport {
+        name: name.into(),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs: 0.0,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run: cfg.epochs,
+    };
+    (sage, report)
+}
+
+/// Trains a GCN on GraphSAINT subgraph batches.
+pub fn train_saint(
+    ds: &Dataset,
+    sampler: sgnn_sample::SaintSampler,
+    batches_per_epoch: usize,
+    cfg: &TrainConfig,
+) -> (Gcn, TrainReport) {
+    let mut ledger = Ledger::new();
+    ledger.alloc(ds.features.nbytes());
+    let t0 = Instant::now();
+    let norms = sgnn_sample::saint::estimate_norms(&ds.graph, sampler, 20, cfg.seed);
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    let mut gcn = Gcn::new(
+        ds.feature_dim(),
+        ds.num_classes,
+        &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
+    );
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut in_train = vec![false; ds.num_nodes()];
+    for &u in &ds.splits.train {
+        in_train[u as usize] = true;
+    }
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    let mut max_batch = 0usize;
+    for epoch in 0..cfg.epochs {
+        for b in 0..batches_per_epoch {
+            let seed = cfg.seed.wrapping_add((epoch * 1_000 + b) as u64 + 17);
+            let mut sub = sgnn_sample::saint::sample_subgraph(&ds.graph, sampler, seed);
+            sgnn_sample::saint::apply_norms(&mut sub, &norms);
+            let op = gcn_operator(&sub.graph);
+            let rows = rows_of(&sub.nodes);
+            let x = ds.features.gather_rows(&rows);
+            max_batch = max_batch.max(gcn.step_bytes(sub.nodes.len(), ds.feature_dim()));
+            let logits = gcn.forward(&op, &x);
+            // Only training nodes in the subgraph contribute to the loss.
+            let mut idx = Vec::new();
+            let mut labels = Vec::new();
+            let mut weights = Vec::new();
+            for (local, &g) in sub.nodes.iter().enumerate() {
+                if in_train[g as usize] {
+                    idx.push(local);
+                    labels.push(ds.labels[g as usize]);
+                    weights.push(sub.loss_weights[local]);
+                }
+            }
+            if idx.is_empty() {
+                continue;
+            }
+            let batch_logits = logits.gather_rows(&idx);
+            let (loss, dl_batch) = softmax_cross_entropy(&batch_logits, &labels, Some(&weights));
+            final_loss = loss;
+            let mut dl = DenseMatrix::zeros(sub.nodes.len(), ds.num_classes);
+            dl.scatter_rows(&idx, &dl_batch);
+            gcn.zero_grad();
+            gcn.backward(&op, &dl);
+            gcn.step(&mut opt);
+        }
+    }
+    ledger.transient(max_batch);
+    let train_secs = t1.elapsed().as_secs_f64();
+    // Full-graph inference for evaluation.
+    let op = gcn_operator(&ds.graph);
+    let logits = gcn.forward_inference(&op, &ds.features);
+    let val_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    let sampler_name = match sampler {
+        sgnn_sample::SaintSampler::Node { .. } => "node",
+        sgnn_sample::SaintSampler::Edge { .. } => "edge",
+        sgnn_sample::SaintSampler::RandomWalk { .. } => "rw",
+    };
+    let report = TrainReport {
+        name: format!("saint-{sampler_name}"),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run: cfg.epochs,
+    };
+    (gcn, report)
+}
+
+/// Trains a GCN on Cluster-GCN partition batches.
+pub fn train_cluster_gcn(
+    ds: &Dataset,
+    num_clusters: usize,
+    clusters_per_batch: usize,
+    cfg: &TrainConfig,
+) -> (Gcn, TrainReport) {
+    let mut ledger = Ledger::new();
+    ledger.alloc(ds.features.nbytes());
+    let t0 = Instant::now();
+    let batcher = sgnn_partition::cluster::ClusterBatcher::new(&ds.graph, num_clusters, cfg.seed);
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    let mut gcn = Gcn::new(
+        ds.feature_dim(),
+        ds.num_classes,
+        &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
+    );
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut in_train = vec![false; ds.num_nodes()];
+    for &u in &ds.splits.train {
+        in_train[u as usize] = true;
+    }
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    let mut max_batch = 0usize;
+    for epoch in 0..cfg.epochs {
+        for batch in batcher.epoch_batches(&ds.graph, clusters_per_batch, cfg.seed + epoch as u64) {
+            let op = gcn_operator(&batch.graph);
+            let rows = rows_of(&batch.nodes);
+            let x = ds.features.gather_rows(&rows);
+            max_batch = max_batch.max(gcn.step_bytes(batch.nodes.len(), ds.feature_dim()));
+            let logits = gcn.forward(&op, &x);
+            let mut idx = Vec::new();
+            let mut labels = Vec::new();
+            for (local, &g) in batch.nodes.iter().enumerate() {
+                if in_train[g as usize] {
+                    idx.push(local);
+                    labels.push(ds.labels[g as usize]);
+                }
+            }
+            if idx.is_empty() {
+                continue;
+            }
+            let batch_logits = logits.gather_rows(&idx);
+            let (loss, dl_batch) = softmax_cross_entropy(&batch_logits, &labels, None);
+            final_loss = loss;
+            let mut dl = DenseMatrix::zeros(batch.nodes.len(), ds.num_classes);
+            dl.scatter_rows(&idx, &dl_batch);
+            gcn.zero_grad();
+            gcn.backward(&op, &dl);
+            gcn.step(&mut opt);
+        }
+    }
+    ledger.transient(max_batch);
+    let train_secs = t1.elapsed().as_secs_f64();
+    let op = gcn_operator(&ds.graph);
+    let logits = gcn.forward_inference(&op, &ds.features);
+    let val_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    let report = TrainReport {
+        name: "cluster-gcn".into(),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run: cfg.epochs,
+    };
+    (gcn, report)
+}
+
+/// Trains a GCN on a coarsened graph and lifts predictions (E12).
+pub fn train_coarse(ds: &Dataset, ratio: f64, cfg: &TrainConfig) -> TrainReport {
+    let t0 = Instant::now();
+    let coarse = sgnn_coarsen::coarsen_to_ratio(&ds.graph, ratio, cfg.seed);
+    let coarsen_secs = t0.elapsed().as_secs_f64();
+    let mut r = train_coarse_with(ds, &coarse, cfg, &format!("coarse-r{ratio}"));
+    r.precompute_secs += coarsen_secs;
+    r
+}
+
+/// Trains a GCN on a *given* coarsening (HEM, ConvMatch, …) and lifts
+/// predictions back to the fine graph.
+pub fn train_coarse_with(
+    ds: &Dataset,
+    coarse: &sgnn_coarsen::CoarseGraph,
+    cfg: &TrainConfig,
+    name: &str,
+) -> TrainReport {
+    let mut ledger = Ledger::new();
+    let t0 = Instant::now();
+    let cx = coarse.project_features(&ds.features);
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    ledger.alloc(cx.nbytes());
+    ledger.alloc(coarse.graph.nbytes());
+    // Coarse training labels: majority vote over *train-split members*
+    // only, so test labels never leak into training.
+    let cn = coarse.num_coarse();
+    let mut votes = vec![0u32; cn * ds.num_classes];
+    for &u in &ds.splits.train {
+        let c = coarse.map[u as usize] as usize;
+        votes[c * ds.num_classes + ds.labels[u as usize]] += 1;
+    }
+    let mut train_coarse_nodes = Vec::new();
+    let mut coarse_labels = vec![0usize; cn];
+    for c in 0..cn {
+        let row = &votes[c * ds.num_classes..(c + 1) * ds.num_classes];
+        let total: u32 = row.iter().sum();
+        if total > 0 {
+            train_coarse_nodes.push(c);
+            coarse_labels[c] =
+                row.iter().enumerate().max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i))).unwrap().0;
+        }
+    }
+    let op = gcn_operator(&coarse.graph);
+    let mut gcn = Gcn::new(
+        ds.feature_dim(),
+        ds.num_classes,
+        &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
+    );
+    ledger.transient(gcn.step_bytes(cn, ds.feature_dim()));
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let train_labels: Vec<usize> = train_coarse_nodes.iter().map(|&c| coarse_labels[c]).collect();
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    for _ in 0..cfg.epochs {
+        let logits = gcn.forward(&op, &cx);
+        let batch = logits.gather_rows(&train_coarse_nodes);
+        let (loss, dl_batch) = softmax_cross_entropy(&batch, &train_labels, None);
+        final_loss = loss;
+        let mut dl = DenseMatrix::zeros(cn, ds.num_classes);
+        dl.scatter_rows(&train_coarse_nodes, &dl_batch);
+        gcn.zero_grad();
+        gcn.backward(&op, &dl);
+        gcn.step(&mut opt);
+    }
+    let train_secs = t1.elapsed().as_secs_f64();
+    // Lift coarse logits to fine nodes and evaluate on the real test set.
+    let coarse_logits = gcn.forward_inference(&op, &cx);
+    let fine_logits = coarse.lift_rows(&coarse_logits);
+    let val_acc = accuracy(
+        &fine_logits.gather_rows(&rows_of(&ds.splits.val)),
+        &ds.labels_of(&ds.splits.val),
+    );
+    let test_acc = accuracy(
+        &fine_logits.gather_rows(&rows_of(&ds.splits.test)),
+        &ds.labels_of(&ds.splits.test),
+    );
+    TrainReport {
+        name: name.to_string(),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run: cfg.epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_data::sbm_dataset;
+
+    fn small_ds() -> Dataset {
+        sbm_dataset(600, 3, 10.0, 0.9, 6, 0.8, 0, 0.5, 0.25, 1)
+    }
+
+    fn fast_cfg() -> TrainConfig {
+        TrainConfig { epochs: 40, hidden: vec![16], dropout: 0.1, ..Default::default() }
+    }
+
+    #[test]
+    fn full_gcn_report_is_complete_and_accurate() {
+        let ds = small_ds();
+        let (_, r) = train_full_gcn(&ds, &fast_cfg());
+        assert!(r.test_acc > 0.8, "acc {}", r.test_acc);
+        assert!(r.peak_mem_bytes > 0);
+        assert!(r.train_secs > 0.0);
+    }
+
+    #[test]
+    fn decoupled_sgc_matches_gcn_accuracy_with_less_memory() {
+        let ds = small_ds();
+        let (_, gcn) = train_full_gcn(&ds, &fast_cfg());
+        let (_, sgc) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &fast_cfg());
+        assert!(sgc.test_acc > gcn.test_acc - 0.07, "sgc {} vs gcn {}", sgc.test_acc, gcn.test_acc);
+        assert!(
+            sgc.peak_mem_bytes < gcn.peak_mem_bytes,
+            "decoupled {} !< full {}",
+            sgc.peak_mem_bytes,
+            gcn.peak_mem_bytes
+        );
+    }
+
+    #[test]
+    fn sampled_trainers_learn() {
+        let ds = small_ds();
+        let cfg = TrainConfig { epochs: 25, hidden: vec![16], batch_size: 128, ..Default::default() };
+        let (_, nw) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg);
+        assert!(nw.test_acc > 0.7, "node-wise {}", nw.test_acc);
+        let (_, lb) = train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg);
+        assert!(lb.test_acc > 0.7, "labor {}", lb.test_acc);
+    }
+
+    #[test]
+    fn saint_and_cluster_trainers_learn() {
+        let ds = small_ds();
+        let cfg = TrainConfig { epochs: 25, hidden: vec![16], ..Default::default() };
+        let (_, saint) = train_saint(
+            &ds,
+            sgnn_sample::SaintSampler::RandomWalk { roots: 40, length: 6 },
+            4,
+            &cfg,
+        );
+        assert!(saint.test_acc > 0.7, "saint {}", saint.test_acc);
+        let (_, cgcn) = train_cluster_gcn(&ds, 8, 2, &cfg);
+        assert!(cgcn.test_acc > 0.7, "cluster {}", cgcn.test_acc);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_budget() {
+        let ds = small_ds();
+        let cfg = TrainConfig { epochs: 500, patience: Some(20), ..fast_cfg() };
+        let (_, r) = train_full_gcn(&ds, &cfg);
+        assert!(r.epochs_run < 500, "ran all {} epochs", r.epochs_run);
+        assert!(r.test_acc > 0.8, "acc {}", r.test_acc);
+        let (_, rd) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+        assert!(rd.epochs_run < 500);
+        assert!(rd.test_acc > 0.8);
+    }
+
+    #[test]
+    fn coarse_training_trades_accuracy_for_cost() {
+        let ds = small_ds();
+        let cfg = fast_cfg();
+        let full = train_full_gcn(&ds, &cfg).1;
+        let half = train_coarse(&ds, 0.5, &cfg);
+        assert!(half.test_acc > 0.6, "coarse acc {}", half.test_acc);
+        // Coarse training uses less peak memory than full training.
+        assert!(half.peak_mem_bytes < full.peak_mem_bytes);
+    }
+}

@@ -1,0 +1,304 @@
+//! Extension trainers: historical-embedding training (HDSGNN [21] /
+//! GNNAutoScale lineage) and SEIGNN [29]-style coarse-node-augmented
+//! mini-batching.
+//!
+//! Both answer the same §3.3.2/§3.2.3 question — *how does a mini-batch
+//! see beyond its own boundary without recursive expansion?* — with the
+//! two surveyed mechanisms: cached (stale) out-of-batch embeddings, and a
+//! coarse summary layer every batch can reach.
+
+use crate::memory::Ledger;
+use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
+use crate::trainer::{TrainConfig, TrainReport};
+use sgnn_data::Dataset;
+use sgnn_graph::NodeId;
+use sgnn_linalg::DenseMatrix;
+use sgnn_nn::layers::{Linear, ReLU};
+use sgnn_nn::loss::{accuracy, softmax_cross_entropy};
+use sgnn_nn::optim::{Adam, Optimizer};
+use sgnn_sample::node_wise::sample_blocks;
+use sgnn_sample::HistoryCache;
+use std::time::Instant;
+
+fn rows_of(nodes: &[NodeId]) -> Vec<usize> {
+    nodes.iter().map(|&u| u as usize).collect()
+}
+
+/// Statistics specific to the history trainer.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryStats {
+    /// Cache hit rate over all out-of-batch fetches.
+    pub hit_rate: f64,
+    /// Mean staleness (iterations) of served embeddings.
+    pub mean_age: f64,
+}
+
+/// Trains a 2-layer GNN where the second layer's out-of-batch inputs come
+/// from a historical-embedding cache instead of recursive sampling.
+///
+/// The computation graph per batch is **one** sampled hop regardless of
+/// depth; the price is staleness, which the returned [`HistoryStats`]
+/// quantifies.
+pub fn train_history(
+    ds: &Dataset,
+    fanout: usize,
+    cfg: &TrainConfig,
+) -> (TrainReport, HistoryStats) {
+    let hidden = *cfg.hidden.first().unwrap_or(&32);
+    let d = ds.feature_dim();
+    let n = ds.num_nodes();
+    let mut ledger = Ledger::new();
+    ledger.alloc(ds.features.nbytes());
+    let cache = HistoryCache::new(n, hidden);
+    ledger.alloc(cache.nbytes());
+    // Layer 1: features → hidden; layer 2: hidden → classes.
+    let mut self1 = Linear::new(d, hidden, cfg.seed);
+    let mut neigh1 = Linear::new(d, hidden, cfg.seed + 1);
+    let mut relu1 = ReLU::new();
+    let mut self2 = Linear::new(hidden, ds.num_classes, cfg.seed + 2);
+    let mut neigh2 = Linear::new(hidden, ds.num_classes, cfg.seed + 3);
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut in_train = vec![false; n];
+    for &u in &ds.splits.train {
+        in_train[u as usize] = true;
+    }
+    let mut iter = 0u64;
+    let mut fetches = 0u64;
+    let mut hits = 0u64;
+    let mut age_sum = 0f64;
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    // GAS-style schedule: batches cover *every* node (so each node's
+    // history refreshes once per epoch); the loss only uses train members.
+    let mut schedule: Vec<NodeId> = (0..n as NodeId).collect();
+    for epoch in 0..cfg.epochs {
+        // Deterministic reshuffle per epoch.
+        let mut rng = sgnn_linalg::rng::seeded(cfg.seed.wrapping_add(epoch as u64));
+        for i in (1..schedule.len()).rev() {
+            use rand::RngExt;
+            let j = rng.random_range(0..=i);
+            schedule.swap(i, j);
+        }
+        for (bi, chunk) in schedule.chunks(cfg.batch_size).enumerate() {
+            iter += 1;
+            let seed = cfg.seed.wrapping_add((epoch * 7919 + bi) as u64);
+            // One sampled hop for layer 2's neighborhood.
+            let blocks = sample_blocks(&ds.graph, chunk, &[fanout], seed);
+            let block = &blocks[0];
+            // Fresh layer-1 activations for the *batch* nodes only.
+            let blocks1 = sample_blocks(&ds.graph, chunk, &[fanout], seed ^ 0xABCD);
+            let b1 = &blocks1[0];
+            let x_src1 = ds.features.gather_rows(&rows_of(&b1.src));
+            let agg1 = b1.aggregate(&x_src1);
+            let x_batch = ds.features.gather_rows(&rows_of(chunk));
+            let mut z1 = self1.forward(&x_batch);
+            let z1n = neigh1.forward(&agg1);
+            z1.add_scaled(1.0, &z1n).expect("shapes fixed");
+            let h1_batch = relu1.forward(&z1);
+            // Layer-2 inputs: fresh h1 for the batch prefix, cached h1 for
+            // the out-of-batch sources (stop-gradient).
+            let (cached, hit, age) = cache.fetch_batch(&block.src[chunk.len()..], iter);
+            fetches += (block.src.len() - chunk.len()) as u64;
+            hits += hit as u64;
+            age_sum += age * hit as f64;
+            let h1_src = h1_batch.concat_rows(&cached).expect("widths equal");
+            let agg2 = block.aggregate(&h1_src);
+            let mut logits = self2.forward(&h1_batch);
+            let l2n = neigh2.forward(&agg2);
+            logits.add_scaled(1.0, &l2n).expect("shapes fixed");
+            // Loss over the chunk's train members only; other rows get
+            // zero gradient (their forward still refreshes the cache).
+            let weights: Vec<f32> =
+                chunk.iter().map(|&u| if in_train[u as usize] { 1.0 } else { 0.0 }).collect();
+            if weights.iter().all(|&w| w == 0.0) {
+                cache.push_batch(chunk, iter, &h1_batch);
+                continue;
+            }
+            let (loss, dl) =
+                softmax_cross_entropy(&logits, &ds.labels_of(chunk), Some(&weights));
+            final_loss = loss;
+            // Backward.
+            for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
+                l.zero_grad();
+            }
+            let d_h1_direct = self2.backward(&dl);
+            let d_agg2 = neigh2.backward(&dl);
+            let d_h1_src = block.aggregate_backward(&d_agg2);
+            // Only the fresh prefix is differentiable; cached rows are
+            // constants.
+            let mut d_h1 = d_h1_direct;
+            for r in 0..chunk.len() {
+                sgnn_linalg::vecops::axpy(1.0, d_h1_src.row(r), d_h1.row_mut(r));
+            }
+            let d_z1 = relu1.backward(&d_h1);
+            let _ = self1.backward(&d_z1);
+            let _ = neigh1.backward(&d_z1);
+            let mut slot = 0usize;
+            for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
+                l.visit_params(&mut |p, g| {
+                    opt.update(slot, p, g);
+                    slot += 1;
+                });
+            }
+            opt.step_done();
+            // Refresh the cache with this batch's fresh activations.
+            cache.push_batch(chunk, iter, &h1_batch);
+            ledger.transient(
+                x_src1.nbytes() + h1_src.nbytes() + 2 * h1_batch.nbytes() + agg2.nbytes(),
+            );
+        }
+    }
+    let train_secs = t1.elapsed().as_secs_f64();
+    // Inference: exact 2-hop with wide fanout (no cache).
+    let eval = |nodes: &[NodeId]| -> f64 {
+        let mut correct = 0usize;
+        for chunk in nodes.chunks(1024) {
+            let blocks = sample_blocks(&ds.graph, chunk, &[25, 25], 777);
+            // Layer 1 over the inner block.
+            let inner = &blocks[0];
+            let x_in = ds.features.gather_rows(&rows_of(&inner.src));
+            let agg1 = inner.aggregate(&x_in);
+            let x_dst = ds.features.gather_rows(&rows_of(&inner.dst));
+            let mut z1 = self1.forward_inference(&x_dst);
+            z1.add_scaled(1.0, &neigh1.forward_inference(&agg1)).expect("shapes");
+            let h1 = relu1.forward_inference(&z1);
+            // Layer 2 over the outer block.
+            let outer = &blocks[1];
+            let agg2 = outer.aggregate(&h1);
+            let h1_batch = h1.gather_rows(&(0..outer.num_dst()).collect::<Vec<_>>());
+            let mut logits = self2.forward_inference(&h1_batch);
+            logits.add_scaled(1.0, &neigh2.forward_inference(&agg2)).expect("shapes");
+            let labels = ds.labels_of(chunk);
+            correct += logits
+                .argmax_rows()
+                .iter()
+                .zip(labels.iter())
+                .filter(|&(p, t)| p == t)
+                .count();
+        }
+        correct as f64 / nodes.len().max(1) as f64
+    };
+    let val_acc = eval(&ds.splits.val);
+    let test_acc = eval(&ds.splits.test);
+    let stats = HistoryStats {
+        hit_rate: hits as f64 / fetches.max(1) as f64,
+        mean_age: if hits > 0 { age_sum / hits as f64 } else { 0.0 },
+    };
+    let report = TrainReport {
+        name: "history-cache".into(),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs: 0.0,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run: cfg.epochs,
+    };
+    (report, stats)
+}
+
+/// SEIGNN-style training: partition into subgraphs, add linked coarse
+/// nodes, and train GCN batches of (one subgraph + all coarse nodes) so
+/// inter-subgraph information keeps flowing.
+pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainReport {
+    let mut ledger = Ledger::new();
+    let t0 = Instant::now();
+    let p = sgnn_partition::multilevel_partition(
+        &ds.graph,
+        parts,
+        &sgnn_partition::multilevel::MultilevelConfig { seed: cfg.seed, ..Default::default() },
+    );
+    let aug = sgnn_coarsen::seignn::augment(&ds.graph, &p);
+    let ax = aug.augment_features(&ds.features);
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    ledger.alloc(ax.nbytes());
+    let mut gcn = Gcn::new(
+        ds.feature_dim(),
+        ds.num_classes,
+        &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
+    );
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut in_train = vec![false; ds.num_nodes()];
+    for &u in &ds.splits.train {
+        in_train[u as usize] = true;
+    }
+    let t1 = Instant::now();
+    let mut final_loss = 0f32;
+    let mut max_batch = 0usize;
+    for _ in 0..cfg.epochs {
+        for part in 0..parts as u32 {
+            let (sub, map) = aug.batch_subgraph(part);
+            let op = gcn_operator(&sub);
+            let x = ax.gather_rows(&rows_of(&map));
+            max_batch = max_batch.max(gcn.step_bytes(map.len(), ds.feature_dim()));
+            let logits = gcn.forward(&op, &x);
+            let mut idx = Vec::new();
+            let mut labels = Vec::new();
+            for (local, &g) in map.iter().enumerate() {
+                if (g as usize) < ds.num_nodes() && in_train[g as usize] {
+                    idx.push(local);
+                    labels.push(ds.labels[g as usize]);
+                }
+            }
+            if idx.is_empty() {
+                continue;
+            }
+            let batch_logits = logits.gather_rows(&idx);
+            let (loss, dl_batch) = softmax_cross_entropy(&batch_logits, &labels, None);
+            final_loss = loss;
+            let mut dl = DenseMatrix::zeros(map.len(), ds.num_classes);
+            dl.scatter_rows(&idx, &dl_batch);
+            gcn.zero_grad();
+            gcn.backward(&op, &dl);
+            gcn.step(&mut opt);
+        }
+    }
+    ledger.transient(max_batch);
+    let train_secs = t1.elapsed().as_secs_f64();
+    // Evaluate on the full augmented graph; read original-node logits.
+    let op = gcn_operator(&aug.graph);
+    let logits = gcn.forward_inference(&op, &ax);
+    let val_acc = accuracy(
+        &logits.gather_rows(&rows_of(&ds.splits.val)),
+        &ds.labels_of(&ds.splits.val),
+    );
+    let test_acc = accuracy(
+        &logits.gather_rows(&rows_of(&ds.splits.test)),
+        &ds.labels_of(&ds.splits.test),
+    );
+    TrainReport {
+        name: format!("seignn-p{parts}"),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run: cfg.epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_data::sbm_dataset;
+
+    #[test]
+    fn history_trainer_learns_with_warm_cache() {
+        let ds = sbm_dataset(800, 3, 10.0, 0.9, 8, 0.8, 0, 0.5, 0.25, 1);
+        let cfg = TrainConfig { epochs: 30, hidden: vec![16], batch_size: 100, ..Default::default() };
+        let (report, stats) = train_history(&ds, 5, &cfg);
+        assert!(report.test_acc > 0.75, "acc {}", report.test_acc);
+        // After the first epoch the cache serves most fetches.
+        assert!(stats.hit_rate > 0.5, "hit rate {}", stats.hit_rate);
+        assert!(stats.mean_age > 0.0);
+    }
+
+    #[test]
+    fn seignn_trainer_learns_and_beats_isolated_batches() {
+        let ds = sbm_dataset(900, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 2);
+        let cfg = TrainConfig { epochs: 30, hidden: vec![16], ..Default::default() };
+        let r = train_seignn(&ds, 6, &cfg);
+        assert!(r.test_acc > 0.75, "seignn acc {}", r.test_acc);
+    }
+}

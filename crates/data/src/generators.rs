@@ -1,0 +1,234 @@
+//! Dataset generators.
+
+use crate::dataset::{stratified_split, Dataset};
+use sgnn_graph::{generate, GraphBuilder, NodeId};
+use sgnn_linalg::DenseMatrix;
+
+/// Planted-partition node-classification dataset.
+///
+/// - graph: `k` equal blocks, expected degree `deg`, homophily `h`;
+/// - features: class-mean one-hot bump (+1 on the label dimension of a
+///   `feat_dim ≥ k` Gaussian noise matrix with std `noise`), then `mix`
+///   rounds of propagation mixing (0 = raw features, pure feature signal);
+/// - splits: stratified 50/25/25 by default fractions given.
+pub fn sbm_dataset(
+    n: usize,
+    k: usize,
+    deg: f64,
+    homophily: f64,
+    feat_dim: usize,
+    noise: f32,
+    mix: usize,
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(feat_dim >= k, "need at least one feature dim per class");
+    let (graph, labels) = generate::planted_partition(n, k, deg, homophily, seed);
+    let n = graph.num_nodes();
+    let mut features = DenseMatrix::gaussian(n, feat_dim, noise, seed.wrapping_add(1));
+    for (u, &l) in labels.iter().enumerate() {
+        let v = features.get(u, l) + 1.0;
+        features.set(u, l, v);
+    }
+    if mix > 0 {
+        let adj = sgnn_graph::normalize::normalized_adjacency(
+            &graph,
+            sgnn_graph::NormKind::Sym,
+            true,
+        )
+        .expect("valid graph");
+        features = sgnn_prop::power::power_propagate(&adj, &features, mix);
+    }
+    let splits = stratified_split(&labels, k, train_frac, val_frac, seed.wrapping_add(2));
+    Dataset {
+        name: format!("sbm-n{n}-k{k}-h{homophily:.2}"),
+        graph,
+        features,
+        labels,
+        num_classes: k,
+        splits,
+    }
+}
+
+/// Long-range dependency dataset (experiment E8).
+///
+/// `num_chains` disjoint path graphs of length `chain_len`. Each chain's
+/// class is encoded **only in its head node's features**; every other node
+/// carries pure noise but shares the chain's label. A model must move
+/// information up to `chain_len − 1` hops to label the tail — `L`-layer
+/// message passing caps out at distance `L`, implicit/decoupled global
+/// models do not.
+pub fn chain_dataset(
+    num_chains: usize,
+    chain_len: usize,
+    num_classes: usize,
+    feat_dim: usize,
+    noise: f32,
+    seed: u64,
+) -> Dataset {
+    assert!(chain_len >= 2 && feat_dim >= num_classes);
+    let n = num_chains * chain_len;
+    let mut b = GraphBuilder::new(n).symmetric();
+    let mut labels = vec![0usize; n];
+    for c in 0..num_chains {
+        let base = c * chain_len;
+        for i in 1..chain_len {
+            b.add_edge((base + i - 1) as NodeId, (base + i) as NodeId);
+        }
+        let class = c % num_classes;
+        for i in 0..chain_len {
+            labels[base + i] = class;
+        }
+    }
+    let graph = b.build().expect("ids valid");
+    let mut features = DenseMatrix::gaussian(n, feat_dim, noise, seed);
+    for c in 0..num_chains {
+        let head = c * chain_len;
+        let class = labels[head];
+        // Strong signal at the head only.
+        let v = features.get(head, class) + 5.0;
+        features.set(head, class, v);
+    }
+    // Train on a subset of chains, evaluate on held-out chains so the task
+    // cannot be solved by memorizing node ids.
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    for c in 0..num_chains {
+        let ids = (c * chain_len..(c + 1) * chain_len).map(|u| u as NodeId);
+        match c % 4 {
+            0 | 1 => train.extend(ids),
+            2 => val.extend(ids),
+            _ => test.extend(ids),
+        }
+    }
+    Dataset {
+        name: format!("chain-{num_chains}x{chain_len}"),
+        graph,
+        features,
+        labels,
+        num_classes,
+        splits: crate::dataset::Splits { train, val, test },
+    }
+}
+
+/// Named scale presets mirroring the survey's dataset tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// ~2.7k nodes (Cora tier).
+    CoraLike,
+    /// ~20k nodes (PubMed tier).
+    PubmedLike,
+    /// ~170k nodes (ogbn-arxiv tier).
+    ArxivLike,
+    /// ~500k nodes (ogbn-products tier, scaled to laptop RAM).
+    ProductsLike,
+}
+
+impl ScalePreset {
+    /// `(nodes, classes, degree, feature_dim)` of the preset.
+    pub fn params(&self) -> (usize, usize, f64, usize) {
+        match self {
+            ScalePreset::CoraLike => (2_708, 7, 4.0, 32),
+            ScalePreset::PubmedLike => (19_717, 3, 4.5, 32),
+            ScalePreset::ArxivLike => (169_343, 40, 13.7, 64),
+            ScalePreset::ProductsLike => (500_000, 47, 25.0, 64),
+        }
+    }
+
+    /// All presets in ascending size.
+    pub fn all() -> [ScalePreset; 4] {
+        [
+            ScalePreset::CoraLike,
+            ScalePreset::PubmedLike,
+            ScalePreset::ArxivLike,
+            ScalePreset::ProductsLike,
+        ]
+    }
+}
+
+/// Builds a homophilous SBM dataset at the preset's scale.
+pub fn scale_family(preset: ScalePreset, seed: u64) -> Dataset {
+    let (n, k, deg, d) = preset.params();
+    let mut ds = sbm_dataset(n, k, deg, 0.8, d, 0.8, 1, 0.5, 0.25, seed);
+    ds.name = format!("{preset:?}");
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbm_dataset_is_valid_and_learnable_shape() {
+        let ds = sbm_dataset(500, 4, 8.0, 0.8, 8, 0.5, 1, 0.5, 0.25, 1);
+        ds.validate().unwrap();
+        assert_eq!(ds.num_classes, 4);
+        assert_eq!(ds.feature_dim(), 8);
+        assert!(ds.splits.train.len() > 200);
+        // Homophily roughly as requested.
+        let h = {
+            let mut same = 0;
+            let mut tot = 0;
+            for (u, v, _) in ds.graph.edges() {
+                tot += 1;
+                if ds.labels[u as usize] == ds.labels[v as usize] {
+                    same += 1;
+                }
+            }
+            same as f64 / tot as f64
+        };
+        assert!((h - 0.8).abs() < 0.08, "homophily {h}");
+    }
+
+    #[test]
+    fn sbm_features_separate_classes() {
+        let ds = sbm_dataset(400, 2, 8.0, 0.9, 4, 0.3, 0, 0.5, 0.25, 2);
+        // Mean feature on own-class dim exceeds off-class dims.
+        let mut own = 0f64;
+        let mut off = 0f64;
+        for u in 0..400 {
+            own += ds.features.get(u, ds.labels[u]) as f64;
+            off += ds.features.get(u, 1 - ds.labels[u]) as f64;
+        }
+        assert!(own / 400.0 > off / 400.0 + 0.5);
+    }
+
+    #[test]
+    fn chain_dataset_structure() {
+        let ds = chain_dataset(8, 10, 2, 4, 0.1, 3);
+        ds.validate().unwrap();
+        assert_eq!(ds.num_nodes(), 80);
+        // Heads have strong signal.
+        assert!(ds.features.get(0, ds.labels[0]) > 3.0);
+        // Non-head nodes do not.
+        assert!(ds.features.get(5, ds.labels[5]) < 3.0);
+        // Chains are disjoint paths: interior degree 2, ends degree 1.
+        assert_eq!(ds.graph.degree(0), 1);
+        assert_eq!(ds.graph.degree(5), 2);
+        assert_eq!(ds.graph.degree(9), 1);
+        assert!(!ds.graph.has_edge(9, 10));
+    }
+
+    #[test]
+    fn chain_split_separates_whole_chains() {
+        let ds = chain_dataset(8, 5, 2, 4, 0.1, 4);
+        // Every chain's nodes land in exactly one split.
+        for c in 0..8usize {
+            let ids: Vec<NodeId> = (c * 5..(c + 1) * 5).map(|u| u as NodeId).collect();
+            let in_train = ids.iter().all(|u| ds.splits.train.contains(u));
+            let in_val = ids.iter().all(|u| ds.splits.val.contains(u));
+            let in_test = ids.iter().all(|u| ds.splits.test.contains(u));
+            assert!(in_train || in_val || in_test, "chain {c} split across sets");
+        }
+    }
+
+    #[test]
+    fn scale_presets_build_smallest_quickly() {
+        let ds = scale_family(ScalePreset::CoraLike, 5);
+        ds.validate().unwrap();
+        assert!(ds.num_nodes() >= 2_700);
+        assert_eq!(ds.num_classes, 7);
+    }
+}

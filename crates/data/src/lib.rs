@@ -1,0 +1,27 @@
+//! # sgnn-data
+//!
+//! Labeled synthetic datasets standing in for the survey's industrial
+//! benchmarks (Papers100M, MAG, ogbn-*; see DESIGN.md substitutions).
+//!
+//! Every dataset is a [`Dataset`]: graph + features + labels + stratified
+//! splits, deterministic under a seed. Generators expose exactly the axes
+//! the experiments sweep:
+//!
+//! - [`sbm_dataset`] — planted-partition graphs with a homophily dial and
+//!   a Gaussian class-mean feature model (optionally propagation-mixed).
+//! - [`chain_dataset`] — long-range dependency task: node labels are
+//!   determined by a signal visible only at each chain's head (E8).
+//! - [`scale_family`] — named size presets ("cora-like" … "papers-like")
+//!   for scaling curves.
+
+// Numeric kernels index several parallel flat buffers at once; iterator
+// rewrites obscure them. Config-style constructors take their full
+// parameter list deliberately (documented, stable).
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
+pub mod dataset;
+pub mod generators;
+pub mod io;
+
+pub use dataset::{Dataset, Splits};
+pub use generators::{chain_dataset, sbm_dataset, scale_family, ScalePreset};

@@ -1,0 +1,253 @@
+//! Graph persistence: text edge lists and a compact binary format.
+//!
+//! The binary layout (little-endian, built with `bytes`):
+//!
+//! ```text
+//! magic   u32  = 0x53474E31  ("SGN1")
+//! flags   u32  bit0 = weighted
+//! n       u64
+//! m       u64  (= indices length)
+//! indptr  (n+1) × u64
+//! indices m × u32
+//! weights m × f32          (iff weighted)
+//! ```
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::{GraphError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, Write};
+
+const MAGIC: u32 = 0x5347_4E31;
+
+/// Serializes a graph to the binary format.
+pub fn to_bytes(g: &CsrGraph) -> Bytes {
+    let weighted = g.is_weighted();
+    let mut buf = BytesMut::with_capacity(24 + g.nbytes());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(u32::from(weighted));
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for &p in g.indptr() {
+        buf.put_u64_le(p as u64);
+    }
+    for &v in g.indices() {
+        buf.put_u32_le(v);
+    }
+    if let Some(w) = g.weights() {
+        for &x in w {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the binary format, revalidating invariants.
+pub fn from_bytes(mut buf: Bytes) -> Result<CsrGraph> {
+    let need = |buf: &Bytes, n: usize, what: &str| -> Result<()> {
+        if buf.remaining() < n {
+            Err(GraphError::Corrupt(format!("truncated while reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8, "header")?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(GraphError::Corrupt(format!("bad magic 0x{magic:08x}")));
+    }
+    let flags = buf.get_u32_le();
+    let weighted = flags & 1 == 1;
+    need(&buf, 16, "sizes")?;
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    need(&buf, (n + 1) * 8, "indptr")?;
+    let mut indptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        indptr.push(buf.get_u64_le() as usize);
+    }
+    need(&buf, m * 4, "indices")?;
+    let mut indices: Vec<NodeId> = Vec::with_capacity(m);
+    for _ in 0..m {
+        indices.push(buf.get_u32_le());
+    }
+    let weights = if weighted {
+        need(&buf, m * 4, "weights")?;
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            w.push(buf.get_f32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+    CsrGraph::from_parts(n, indptr, indices, weights)
+}
+
+/// Writes a whitespace-separated edge list (`u v [w]` per line).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> Result<()> {
+    writeln!(w, "# sgnn edge list: n={} m={}", g.num_nodes(), g.num_edges())?;
+    for (u, v, wt) in g.edges() {
+        if g.is_weighted() {
+            writeln!(w, "{u} {v} {wt}")?;
+        } else {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an edge list. Lines starting with `#` or `%` are comments; each
+/// data line is `u v` or `u v w`. Node count is `max id + 1` unless a larger
+/// `min_nodes` is given. The result is directed exactly as listed; call
+/// sites wanting undirected graphs should symmetrize via the builder.
+pub fn read_edge_list<R: BufRead>(r: R, min_nodes: usize) -> Result<CsrGraph> {
+    let mut edges: Vec<(NodeId, NodeId, f32)> = Vec::new();
+    let mut weighted = false;
+    let mut max_id = 0u64;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse_id = |s: Option<&str>| -> Result<u64> {
+            s.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })
+        };
+        let u = parse_id(parts.next())?;
+        let v = parse_id(parts.next())?;
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "node id exceeds u32 range".into(),
+            });
+        }
+        let w = match parts.next() {
+            Some(ws) => {
+                weighted = true;
+                ws.parse::<f32>().map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: e.to_string(),
+                })?
+            }
+            None => 1.0,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u as NodeId, v as NodeId, w));
+    }
+    let n = if edges.is_empty() { min_nodes } else { ((max_id + 1) as usize).max(min_nodes) };
+    let mut b = crate::GraphBuilder::new(n);
+    if weighted {
+        b = b.weighted_edges(&edges);
+    } else {
+        let unit: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        b = b.edges(&unit);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn binary_round_trip_unweighted() {
+        let g = generate::barabasi_albert(120, 3, 6);
+        let b = to_bytes(&g);
+        let g2 = from_bytes(b).unwrap();
+        assert_eq!(g.indptr(), g2.indptr());
+        assert_eq!(g.indices(), g2.indices());
+        assert!(!g2.is_weighted());
+    }
+
+    #[test]
+    fn binary_round_trip_weighted() {
+        let g = generate::erdos_renyi(50, 0.1, false, 2);
+        let norm = crate::normalize::normalized_adjacency(&g, crate::NormKind::Sym, true).unwrap();
+        let g2 = from_bytes(to_bytes(&norm)).unwrap();
+        assert_eq!(norm.weights(), g2.weights());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = to_bytes(&generate::chain(3)).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(from_bytes(Bytes::from(raw)), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let raw = to_bytes(&generate::chain(10));
+        let cut = raw.slice(0..raw.len() - 5);
+        assert!(from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = generate::erdos_renyi(40, 0.1, true, 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(std::io::Cursor::new(buf), 40).unwrap();
+        assert_eq!(g.indptr(), g2.indptr());
+        assert_eq!(g.indices(), g2.indices());
+    }
+
+    #[test]
+    fn text_with_comments_weights_and_min_nodes() {
+        let text = "# header\n0 1 0.5\n% other comment\n1 2 1.5\n";
+        let g = read_edge_list(std::io::Cursor::new(text), 10).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.is_weighted());
+        assert_eq!(g.weights_of(0).unwrap(), &[0.5]);
+    }
+
+    #[test]
+    fn text_parse_errors_carry_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(std::io::Cursor::new(text), 0).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_edge_list_uses_min_nodes() {
+        let g = read_edge_list(std::io::Cursor::new("# nothing\n"), 7).unwrap();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Binary serialization round-trips arbitrary valid graphs exactly.
+        #[test]
+        fn binary_round_trip_any_graph(
+            edges in proptest::collection::vec((0u32..30, 0u32..30), 0..200),
+            weighted in proptest::bool::ANY,
+        ) {
+            let g = if weighted {
+                let we: Vec<(u32, u32, f32)> =
+                    edges.iter().map(|&(u, v)| (u, v, (u + v) as f32 * 0.25 + 0.1)).collect();
+                crate::GraphBuilder::new(30).weighted_edges(&we).build().unwrap()
+            } else {
+                crate::GraphBuilder::new(30).edges(&edges).build().unwrap()
+            };
+            let g2 = from_bytes(to_bytes(&g)).unwrap();
+            prop_assert_eq!(g.indptr(), g2.indptr());
+            prop_assert_eq!(g.indices(), g2.indices());
+            prop_assert_eq!(g.weights(), g2.weights());
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Adjacency normalizations used by graph convolutions.
+//!
+//! The canonical GCN operator is `Â = D̃^{-1/2} (A + I) D̃^{-1/2}`; APPNP
+//! and most decoupled models use the same operator or its random-walk
+//! variant `D̃^{-1} (A + I)`. We materialize normalized operators as
+//! *weighted CSR graphs* so every downstream kernel (SpMM, push, sampling)
+//! works uniformly on one representation.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::Result;
+
+/// Normalization family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// Symmetric `D^{-1/2} A D^{-1/2}` (GCN).
+    Sym,
+    /// Random-walk / row-stochastic `D^{-1} A` (PPR, label propagation).
+    Rw,
+    /// Column-stochastic `A D^{-1}` (reverse-push PPR).
+    ColRw,
+    /// No scaling; weights pass through.
+    None,
+}
+
+/// Builds the normalized adjacency as a weighted CSR graph.
+///
+/// With `add_self_loops`, inserts `A ← A + I` first (the GCN "renormalization
+/// trick"). Weighted input graphs use their weighted degrees. Isolated nodes
+/// get zero rows (their inverse degree is treated as 0).
+pub fn normalized_adjacency(
+    g: &CsrGraph,
+    kind: NormKind,
+    add_self_loops: bool,
+) -> Result<CsrGraph> {
+    let base = if add_self_loops { with_self_loops(g)? } else { g.clone() };
+    let n = base.num_nodes();
+    // Weighted degrees.
+    let mut deg = vec![0f64; n];
+    for u in 0..n as NodeId {
+        let mut s = 0f64;
+        let (lo, hi) = (base.indptr()[u as usize], base.indptr()[u as usize + 1]);
+        for e in lo..hi {
+            s += base.weight_at(e) as f64;
+        }
+        deg[u as usize] = s;
+    }
+    // In-degrees differ from out-degrees on directed graphs; for ColRw we
+    // need the destination's degree, computed on the transpose mass.
+    let mut in_deg = vec![0f64; n];
+    for u in 0..n {
+        for e in base.indptr()[u]..base.indptr()[u + 1] {
+            in_deg[base.indices()[e] as usize] += base.weight_at(e) as f64;
+        }
+    }
+    let inv = |d: f64| if d > 0.0 { 1.0 / d } else { 0.0 };
+    let mut weights = Vec::with_capacity(base.num_edges());
+    for u in 0..n {
+        for e in base.indptr()[u]..base.indptr()[u + 1] {
+            let v = base.indices()[e] as usize;
+            let w = base.weight_at(e) as f64;
+            let scaled = match kind {
+                NormKind::Sym => w * inv(deg[u]).sqrt() * inv(deg[v]).sqrt(),
+                NormKind::Rw => w * inv(deg[u]),
+                NormKind::ColRw => w * inv(in_deg[v]),
+                NormKind::None => w,
+            };
+            weights.push(scaled as f32);
+        }
+    }
+    base.with_weights(weights)
+}
+
+/// Returns `A + I` (self-loop weight 1.0, merged if a loop already exists).
+pub fn with_self_loops(g: &CsrGraph) -> Result<CsrGraph> {
+    let n = g.num_nodes();
+    let mut indptr = Vec::with_capacity(n + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<NodeId> = Vec::with_capacity(g.num_edges() + n);
+    let mut weights: Vec<f32> = Vec::with_capacity(g.num_edges() + n);
+    for u in 0..n {
+        let row = g.neighbors(u as NodeId);
+        let (lo, _hi) = (g.indptr()[u], g.indptr()[u + 1]);
+        let mut inserted = false;
+        for (k, &v) in row.iter().enumerate() {
+            if !inserted && (v as usize) >= u {
+                if (v as usize) == u {
+                    indices.push(v);
+                    weights.push(g.weight_at(lo + k) + 1.0);
+                    inserted = true;
+                    continue;
+                } else {
+                    indices.push(u as NodeId);
+                    weights.push(1.0);
+                    inserted = true;
+                }
+            }
+            indices.push(v);
+            weights.push(g.weight_at(lo + k));
+        }
+        if !inserted {
+            indices.push(u as NodeId);
+            weights.push(1.0);
+        }
+        indptr.push(indices.len());
+    }
+    CsrGraph::from_parts(n, indptr, indices, Some(weights))
+}
+
+/// Laplacian variants, materialized as weighted CSR (diagonal included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaplacianKind {
+    /// Combinatorial `L = D − A`.
+    Combinatorial,
+    /// Symmetric normalized `L = I − D^{-1/2} A D^{-1/2}`.
+    SymNormalized,
+}
+
+/// Builds a Laplacian as a weighted CSR graph (with explicit diagonal).
+pub fn laplacian(g: &CsrGraph, kind: LaplacianKind) -> Result<CsrGraph> {
+    let n = g.num_nodes();
+    let adj = match kind {
+        LaplacianKind::Combinatorial => g.clone(),
+        LaplacianKind::SymNormalized => normalized_adjacency(g, NormKind::Sym, false)?,
+    };
+    let mut deg = vec![0f64; n];
+    if kind == LaplacianKind::Combinatorial {
+        for u in 0..n {
+            for e in g.indptr()[u]..g.indptr()[u + 1] {
+                deg[u] += g.weight_at(e) as f64;
+            }
+        }
+    } else {
+        for d in deg.iter_mut() {
+            *d = 1.0;
+        }
+    }
+    let mut indptr = Vec::with_capacity(n + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<NodeId> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    for u in 0..n {
+        let row = adj.neighbors(u as NodeId);
+        let lo = adj.indptr()[u];
+        let mut placed_diag = false;
+        for (k, &v) in row.iter().enumerate() {
+            let w = -adj.weight_at(lo + k);
+            if !placed_diag && (v as usize) >= u {
+                if (v as usize) == u {
+                    indices.push(v);
+                    weights.push(deg[u] as f32 + w);
+                    placed_diag = true;
+                    continue;
+                }
+                indices.push(u as NodeId);
+                weights.push(deg[u] as f32);
+                placed_diag = true;
+            }
+            indices.push(v);
+            weights.push(w);
+        }
+        if !placed_diag {
+            indices.push(u as NodeId);
+            weights.push(deg[u] as f32);
+        }
+        indptr.push(indices.len());
+    }
+    CsrGraph::from_parts(n, indptr, indices, Some(weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn rw_rows_are_stochastic() {
+        let g = generate::erdos_renyi(100, 0.05, false, 1);
+        let p = normalized_adjacency(&g, NormKind::Rw, true).unwrap();
+        for u in 0..100u32 {
+            let s: f32 = p.weights_of(u).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {u} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn col_rw_columns_are_stochastic() {
+        let g = generate::erdos_renyi(80, 0.06, false, 2);
+        let p = normalized_adjacency(&g, NormKind::ColRw, true).unwrap();
+        let mut colsum = vec![0f32; 80];
+        for (_, v, w) in p.edges() {
+            colsum[v as usize] += w;
+        }
+        for (v, s) in colsum.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-4, "col {v} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn sym_normalization_matches_formula_on_path() {
+        // Path 0-1-2 with self loops: degrees (2,3,2).
+        let g = generate::chain(3);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        // Edge (0,1): 1/sqrt(2*3).
+        let w01 = a
+            .edges()
+            .find(|&(u, v, _)| u == 0 && v == 1)
+            .map(|(_, _, w)| w)
+            .unwrap();
+        assert!((w01 - 1.0 / (6f32).sqrt()).abs() < 1e-6);
+        // Diagonal (0,0): 1/2.
+        let w00 = a
+            .edges()
+            .find(|&(u, v, _)| u == 0 && v == 0)
+            .map(|(_, _, w)| w)
+            .unwrap();
+        assert!((w00 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_loops_insert_and_merge() {
+        let g = GraphBuilder::new(3)
+            .weighted_edges(&[(0, 0, 2.0), (0, 1, 1.0), (2, 1, 1.0)])
+            .build()
+            .unwrap();
+        let sl = with_self_loops(&g).unwrap();
+        sl.validate().unwrap();
+        // Existing loop gains +1.
+        let w00 = sl.edges().find(|&(u, v, _)| u == 0 && v == 0).unwrap().2;
+        assert_eq!(w00, 3.0);
+        // Node 1 and 2 gain loops.
+        assert!(sl.has_edge(1, 1));
+        assert!(sl.has_edge(2, 2));
+        assert_eq!(sl.num_edges(), g.num_edges() + 2);
+    }
+
+    #[test]
+    fn isolated_nodes_get_zero_rows_without_loops() {
+        let g = GraphBuilder::new(3).symmetric().edges(&[(0, 1)]).build().unwrap();
+        let p = normalized_adjacency(&g, NormKind::Rw, false).unwrap();
+        assert!(p.weights_of(2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn combinatorial_laplacian_rows_sum_to_zero() {
+        let g = generate::erdos_renyi(60, 0.1, false, 3);
+        let l = laplacian(&g, LaplacianKind::Combinatorial).unwrap();
+        for u in 0..60u32 {
+            let s: f32 = l.weights_of(u).unwrap().iter().sum();
+            assert!(s.abs() < 1e-4, "row {u} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_diag_is_one() {
+        let g = generate::erdos_renyi(60, 0.1, false, 4);
+        let l = laplacian(&g, LaplacianKind::SymNormalized).unwrap();
+        for u in 0..60u32 {
+            let diag = l
+                .edges()
+                .find(|&(a, b, _)| a == u && b == u)
+                .map(|(_, _, w)| w)
+                .unwrap();
+            assert!((diag - 1.0).abs() < 1e-6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random-walk normalization always produces row sums in {0, 1}.
+        #[test]
+        fn rw_rows_sum_to_one_or_zero(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..150)
+        ) {
+            let g = crate::GraphBuilder::new(25).symmetric().drop_self_loops()
+                .edges(&edges).build().unwrap();
+            let p = normalized_adjacency(&g, NormKind::Rw, false).unwrap();
+            for u in 0..25u32 {
+                let s: f32 = p.weights_of(u).unwrap().iter().sum();
+                prop_assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-5,
+                    "row {} sums to {}", u, s);
+            }
+        }
+
+        /// Symmetric normalization of an undirected graph stays symmetric in
+        /// values: w(u,v) == w(v,u).
+        #[test]
+        fn sym_norm_is_value_symmetric(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 1..100)
+        ) {
+            let g = crate::GraphBuilder::new(20).symmetric().drop_self_loops()
+                .edges(&edges).build().unwrap();
+            let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+            let lookup = |u: u32, v: u32| -> f32 {
+                let row = a.neighbors(u);
+                let k = row.binary_search(&v).unwrap();
+                a.weights_of(u).unwrap()[k]
+            };
+            for (u, v, w) in a.edges() {
+                prop_assert!((w - lookup(v, u)).abs() < 1e-6);
+            }
+        }
+    }
+}

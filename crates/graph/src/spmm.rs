@@ -1,0 +1,196 @@
+//! Sparse × dense products — the single hottest kernel of GNN training.
+//!
+//! `spmm` computes `Y = A · X` for a (weighted) CSR `A` and a row-major
+//! dense `X`, parallelized over destination-row chunks so each worker owns
+//! its output slice exclusively. `CsrOpF64` adapts a CSR graph to the
+//! [`MatVecF64`](sgnn_linalg::eigen::MatVecF64) trait for the eigensolvers
+//! and implicit-GNN equilibrium solvers.
+
+use crate::csr::CsrGraph;
+use sgnn_linalg::eigen::MatVecF64;
+use sgnn_linalg::par;
+use sgnn_linalg::DenseMatrix;
+
+/// Computes `Y = A · X` where `A` is `g` interpreted as a sparse matrix.
+///
+/// Unweighted graphs use unit weights. Panics if `x.rows() != g.num_nodes()`
+/// (programmer error — the shapes are fixed by the pipeline).
+pub fn spmm(g: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        x.rows(),
+        g.num_nodes(),
+        "feature rows must equal node count"
+    );
+    let d = x.cols();
+    let mut y = DenseMatrix::zeros(g.num_nodes(), d);
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let weights = g.weights();
+    let xd = x.data();
+    par::par_rows_mut(y.data_mut(), d.max(1), 256, |first_row, chunk| {
+        if d == 0 {
+            return;
+        }
+        for (local, out_row) in chunk.chunks_mut(d).enumerate() {
+            let u = first_row + local;
+            for e in indptr[u]..indptr[u + 1] {
+                let v = indices[e] as usize;
+                let w = weights.map_or(1.0, |ws| ws[e]);
+                let src = &xd[v * d..(v + 1) * d];
+                sgnn_linalg::vecops::axpy(w, src, out_row);
+            }
+        }
+    });
+    y
+}
+
+/// Computes `y = A · x` for a single `f32` vector.
+pub fn spmv(g: &CsrGraph, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), g.num_nodes());
+    assert_eq!(y.len(), g.num_nodes());
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let weights = g.weights();
+    for u in 0..g.num_nodes() {
+        let mut acc = 0f32;
+        for e in indptr[u]..indptr[u + 1] {
+            let w = weights.map_or(1.0, |ws| ws[e]);
+            acc += w * x[indices[e] as usize];
+        }
+        y[u] = acc;
+    }
+}
+
+/// `f64` operator view of a CSR graph, optionally shifted and scaled:
+/// `y = scale · A x + shift · x`.
+///
+/// The shift/scale form covers every operator the workspace diagonalizes —
+/// `Â` itself, `I − Â` (normalized Laplacian given `Â`), and the implicit-
+/// GNN system `I − γÂ`.
+pub struct CsrOpF64<'a> {
+    g: &'a CsrGraph,
+    scale: f64,
+    shift: f64,
+}
+
+impl<'a> CsrOpF64<'a> {
+    /// Plain operator `y = A x`.
+    pub fn new(g: &'a CsrGraph) -> Self {
+        CsrOpF64 { g, scale: 1.0, shift: 0.0 }
+    }
+
+    /// Affine operator `y = scale·A x + shift·x`.
+    pub fn affine(g: &'a CsrGraph, scale: f64, shift: f64) -> Self {
+        CsrOpF64 { g, scale, shift }
+    }
+}
+
+impl MatVecF64 for CsrOpF64<'_> {
+    fn dim(&self) -> usize {
+        self.g.num_nodes()
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        let indptr = self.g.indptr();
+        let indices = self.g.indices();
+        let weights = self.g.weights();
+        for u in 0..self.g.num_nodes() {
+            let mut acc = 0f64;
+            for e in indptr[u]..indptr[u + 1] {
+                let w = weights.map_or(1.0, |ws| ws[e]) as f64;
+                acc += w * x[indices[e] as usize];
+            }
+            y[u] = self.scale * acc + self.shift * x[u];
+        }
+    }
+}
+
+/// Number of scalar multiply-adds one `spmm` performs: `nnz(A) · d`.
+///
+/// The experiments report this as the device-independent work measure the
+/// survey's complexity discussions use.
+pub fn spmm_flops(g: &CsrGraph, d: usize) -> u64 {
+    g.num_edges() as u64 * d as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::normalize::{normalized_adjacency, NormKind};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn spmm_matches_manual_on_triangle() {
+        let g = GraphBuilder::new(3)
+            .symmetric()
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let x = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let y = spmm(&g, &x);
+        // Node 0 aggregates node 1, node 1 aggregates 0+2, node 2 aggregates 1.
+        assert_eq!(y.row(0), &[0.0, 1.0]);
+        assert_eq!(y.row(1), &[3.0, 2.0]);
+        assert_eq!(y.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn spmm_respects_weights() {
+        let g = GraphBuilder::new(2).weighted_edges(&[(0, 1, 0.5)]).build().unwrap();
+        let x = DenseMatrix::from_rows(&[&[2.0], &[4.0]]);
+        let y = spmm(&g, &x);
+        assert_eq!(y.row(0), &[2.0]);
+        assert_eq!(y.row(1), &[0.0]);
+    }
+
+    #[test]
+    fn spmv_agrees_with_spmm_column() {
+        let g = generate::erdos_renyi(120, 0.05, false, 8);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(120, 1, 1.0, 3);
+        let dense = spmm(&a, &x);
+        let xv: Vec<f32> = x.data().to_vec();
+        let mut yv = vec![0f32; 120];
+        spmv(&a, &xv, &mut yv);
+        for u in 0..120 {
+            assert!((yv[u] - dense.get(u, 0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn csr_op_affine_shift() {
+        // y = -A x + 1·x  on a single edge graph equals x - Ax.
+        let g = GraphBuilder::new(2).symmetric().edges(&[(0, 1)]).build().unwrap();
+        let op = CsrOpF64::affine(&g, -1.0, 1.0);
+        let mut y = vec![0f64; 2];
+        op.matvec(&[3.0, 5.0], &mut y);
+        assert_eq!(y, vec![3.0 - 5.0, 5.0 - 3.0]);
+    }
+
+    #[test]
+    fn rw_spmm_preserves_constant_vector() {
+        // Row-stochastic propagation maps the all-ones vector to itself.
+        let g = generate::barabasi_albert(150, 2, 5);
+        let p = normalized_adjacency(&g, NormKind::Rw, true).unwrap();
+        let ones = DenseMatrix::from_vec(150, 1, vec![1.0; 150]);
+        let y = spmm(&p, &ones);
+        for u in 0..150 {
+            assert!((y.get(u, 0) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        let g = generate::chain(10);
+        assert_eq!(spmm_flops(&g, 16), 18 * 16);
+    }
+
+    #[test]
+    fn spmm_zero_width_features() {
+        let g = generate::chain(4);
+        let x = DenseMatrix::zeros(4, 0);
+        let y = spmm(&g, &x);
+        assert_eq!(y.shape(), (4, 0));
+    }
+}

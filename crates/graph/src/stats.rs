@@ -1,0 +1,165 @@
+//! Graph statistics: degree profiles, triangles, clustering.
+//!
+//! Dataset characterization for the experiment reports — the survey's
+//! scalability axes (degree skew, locality, community strength) need
+//! numbers to be swept against.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Degree-distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeProfile {
+    /// Minimum degree.
+    pub min: usize,
+    /// Median degree.
+    pub median: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: usize,
+    /// Degree skewness proxy: `max / mean` (≫1 for power laws).
+    pub hub_ratio: f64,
+}
+
+/// Computes the degree profile of a graph.
+pub fn degree_profile(g: &CsrGraph) -> DegreeProfile {
+    let mut degs = g.degrees();
+    if degs.is_empty() {
+        return DegreeProfile { min: 0, median: 0, mean: 0.0, max: 0, hub_ratio: 0.0 };
+    }
+    degs.sort_unstable();
+    let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+    let max = *degs.last().unwrap();
+    DegreeProfile {
+        min: degs[0],
+        median: degs[degs.len() / 2],
+        mean,
+        max,
+        hub_ratio: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+    }
+}
+
+/// Exact triangle count (each triangle counted once).
+///
+/// Uses the standard forward/ordered algorithm: for each edge `(u, v)`
+/// with `u < v`, intersect the higher-id neighbor lists — `O(Σ d(u)·d̄)`
+/// worst case, fast in practice on sorted CSR rows.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let n = g.num_nodes();
+    let mut count = 0u64;
+    for u in 0..n as NodeId {
+        let nu = g.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            // Intersect {w ∈ N(u) : w > v} with N(v) via merge.
+            let nv = g.neighbors(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                let (a, b) = (nu[i], nv[j]);
+                if a <= v {
+                    i += 1;
+                    continue;
+                }
+                if b <= v {
+                    j += 1;
+                    continue;
+                }
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient: `3·triangles / wedges`.
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let tri = triangle_count(g);
+    let wedges: u64 = g
+        .degrees()
+        .iter()
+        .map(|&d| (d as u64) * (d as u64).saturating_sub(1) / 2)
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri as f64 / wedges as f64
+    }
+}
+
+/// Graph density (fraction of possible undirected edges present).
+pub fn density(g: &CsrGraph) -> f64 {
+    let n = g.num_nodes() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    (g.num_edges() as f64 / 2.0) / (n * (n - 1.0) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn triangle_counts_on_known_graphs() {
+        assert_eq!(triangle_count(&generate::complete(4)), 4);
+        assert_eq!(triangle_count(&generate::complete(5)), 10);
+        assert_eq!(triangle_count(&generate::chain(10)), 0);
+        assert_eq!(triangle_count(&generate::star(10)), 0);
+        // Triangle graph.
+        let t = crate::GraphBuilder::new(3)
+            .symmetric()
+            .edges(&[(0, 1), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(triangle_count(&t), 1);
+    }
+
+    #[test]
+    fn clustering_coefficient_extremes() {
+        assert!((global_clustering(&generate::complete(6)) - 1.0).abs() < 1e-12);
+        assert_eq!(global_clustering(&generate::star(20)), 0.0);
+        // ER clustering ≈ p.
+        let g = generate::erdos_renyi(400, 0.05, false, 1);
+        let c = global_clustering(&g);
+        assert!((c - 0.05).abs() < 0.02, "clustering {c}");
+    }
+
+    #[test]
+    fn degree_profile_detects_power_law_skew() {
+        let ba = degree_profile(&generate::barabasi_albert(2_000, 3, 2));
+        let er = degree_profile(&generate::erdos_renyi(2_000, 3.0 / 1000.0, false, 2));
+        assert!(ba.hub_ratio > 3.0 * er.hub_ratio, "ba {} vs er {}", ba.hub_ratio, er.hub_ratio);
+        assert!(ba.min >= 3);
+    }
+
+    #[test]
+    fn density_formula() {
+        let g = generate::complete(10);
+        assert!((density(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&CsrGraph::empty(1)), 0.0);
+    }
+
+    #[test]
+    fn triangles_match_brute_force_on_random_graph() {
+        let g = generate::erdos_renyi(60, 0.15, false, 3);
+        let mut brute = 0u64;
+        for a in 0..60u32 {
+            for b in (a + 1)..60 {
+                for c in (b + 1)..60 {
+                    if g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g), brute);
+    }
+}

@@ -1,0 +1,194 @@
+//! Breadth-first traversal utilities.
+//!
+//! These power the baselines of several experiments: BFS distances are the
+//! ground truth the hub-labeling index (E7) is verified against, k-hop
+//! neighborhoods measure neighborhood explosion (E1), and connected
+//! components sanity-check generators and partitioners.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances (hop counts). Unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS limited to `max_hops`; returns the visited node set (including the
+/// source) — i.e. the receptive field of a `max_hops`-layer GNN at `source`.
+pub fn k_hop_neighborhood(g: &CsrGraph, source: NodeId, max_hops: u32) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    out.push(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == max_hops {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                out.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Connected components (treating edges as undirected is the caller's
+/// responsibility — run on a symmetrized graph). Returns `(labels, count)`
+/// with labels in `0..count`.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = next;
+        queue.push_back(s as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// Exact single-pair shortest-path distance via bidirectional BFS.
+///
+/// Much faster than full BFS on large graphs; used as the online baseline
+/// in the hub-labeling experiment.
+pub fn sp_distance(g: &CsrGraph, s: NodeId, t: NodeId) -> u32 {
+    if s == t {
+        return 0;
+    }
+    let n = g.num_nodes();
+    let mut dist_s = vec![UNREACHABLE; n];
+    let mut dist_t = vec![UNREACHABLE; n];
+    dist_s[s as usize] = 0;
+    dist_t[t as usize] = 0;
+    let mut frontier_s = vec![s];
+    let mut frontier_t = vec![t];
+    let mut best = UNREACHABLE;
+    let mut depth_s = 0u32;
+    let mut depth_t = 0u32;
+    while !frontier_s.is_empty() && !frontier_t.is_empty() {
+        // Expand the smaller frontier.
+        let expand_s = frontier_s.len() <= frontier_t.len();
+        let (frontier, dist_mine, dist_other, depth) = if expand_s {
+            (&mut frontier_s, &mut dist_s, &dist_t, &mut depth_s)
+        } else {
+            (&mut frontier_t, &mut dist_t, &dist_s, &mut depth_t)
+        };
+        let mut next_frontier = Vec::new();
+        for &u in frontier.iter() {
+            for &v in g.neighbors(u) {
+                if dist_mine[v as usize] == UNREACHABLE {
+                    dist_mine[v as usize] = *depth + 1;
+                    if dist_other[v as usize] != UNREACHABLE {
+                        best = best.min(*depth + 1 + dist_other[v as usize]);
+                    }
+                    next_frontier.push(v);
+                }
+            }
+        }
+        *depth += 1;
+        *frontier = next_frontier;
+        if best != UNREACHABLE && depth_s + depth_t >= best {
+            return best;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn bfs_on_chain_counts_hops() {
+        let g = generate::chain(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = crate::GraphBuilder::new(4).symmetric().edges(&[(0, 1)]).build().unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn k_hop_grows_monotonically() {
+        let g = generate::barabasi_albert(500, 3, 1);
+        let mut prev = 0usize;
+        for k in 0..4 {
+            let hood = k_hop_neighborhood(&g, 0, k);
+            assert!(hood.len() >= prev);
+            prev = hood.len();
+        }
+        assert_eq!(k_hop_neighborhood(&g, 7, 0), vec![7]);
+    }
+
+    #[test]
+    fn components_on_disjoint_chains() {
+        let mut b = crate::GraphBuilder::new(6).symmetric();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build().unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn bidirectional_matches_full_bfs() {
+        let g = generate::erdos_renyi(300, 0.02, false, 13);
+        let d0 = bfs_distances(&g, 0);
+        for t in [1u32, 17, 99, 250] {
+            assert_eq!(sp_distance(&g, 0, t), d0[t as usize], "target {t}");
+        }
+        assert_eq!(sp_distance(&g, 5, 5), 0);
+    }
+
+    #[test]
+    fn sp_distance_unreachable() {
+        let g = crate::GraphBuilder::new(4).symmetric().edges(&[(0, 1), (2, 3)]).build().unwrap();
+        assert_eq!(sp_distance(&g, 0, 3), UNREACHABLE);
+    }
+}

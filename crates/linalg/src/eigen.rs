@@ -1,0 +1,350 @@
+//! Symmetric eigensolvers.
+//!
+//! Two regimes show up in the survey's experiments:
+//!
+//! - **Small dense** problems (coarse graphs, condensed graphs, tridiagonal
+//!   Lanczos projections): the cyclic [`jacobi_eigen`] rotation method —
+//!   simple, robust, and exact enough for the spectral-similarity
+//!   diagnostics used by the coarsening experiment (E12, GDEM-style
+//!   eigenbasis matching).
+//! - **Large sparse** operators (normalized adjacency / Laplacian of a big
+//!   graph): [`lanczos`] with full reorthogonalization against the operator
+//!   exposed through [`MatVecF64`], used by spectral embeddings (E5) and the
+//!   closed-form implicit GNN (E8, EIGNN-style eigendecomposition).
+
+use crate::vecops;
+use crate::{LinalgError, Result};
+
+/// A symmetric linear operator in `f64`, exposed as matrix–vector product.
+///
+/// Graph crates implement this for normalized adjacency and Laplacian
+/// matrices without ever materializing them densely.
+pub trait MatVecF64 {
+    /// Operator dimension `n` (acts on `R^n`).
+    fn dim(&self) -> usize;
+    /// Computes `y = A x`. `y` is pre-zeroed by the caller contract.
+    fn matvec(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// Dense symmetric operator wrapper (row-major `f64` buffer), mainly for
+/// tests and small condensed graphs.
+pub struct DenseSymOp<'a> {
+    /// Row-major `n×n` buffer.
+    pub data: &'a [f64],
+    /// Dimension `n`.
+    pub n: usize,
+}
+
+impl MatVecF64 for DenseSymOp<'_> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = vecops::dot64(row, x);
+        }
+    }
+}
+
+/// Eigenvalues (ascending) and matching eigenvectors (column `i` of
+/// `vectors` corresponds to `values[i]`, stored as row-major `n×k`).
+#[derive(Debug, Clone)]
+pub struct EigenPairs {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Row-major `n × k` matrix; column `j` is the eigenvector of
+    /// `values[j]`.
+    pub vectors: Vec<f64>,
+    /// Operator dimension.
+    pub n: usize,
+}
+
+impl EigenPairs {
+    /// The `j`-th eigenvector as an owned vector.
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        let k = self.values.len();
+        (0..self.n).map(|i| self.vectors[i * k + j]).collect()
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a dense symmetric matrix.
+///
+/// `a` is a row-major `n×n` buffer (consumed as workspace). Returns all `n`
+/// eigenpairs, eigenvalues ascending. Complexity `O(n^3)` per sweep; fine
+/// for the `n ≤ ~2000` dense problems in this workspace.
+pub fn jacobi_eigen(mut a: Vec<f64>, n: usize) -> Result<EigenPairs> {
+    assert_eq!(a.len(), n * n, "matrix buffer must be n*n");
+    // v starts as identity; accumulates rotations.
+    let mut v = vec![0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let max_sweeps = 64;
+    for sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            return Ok(collect_pairs(a, v, n));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of `a`.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { routine: "jacobi_eigen", iterations: max_sweeps })
+}
+
+fn collect_pairs(a: Vec<f64>, v: Vec<f64>, n: usize) -> EigenPairs {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    idx.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = vec![0f64; n * n];
+    for (newcol, &oldcol) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[r * n + newcol] = v[r * n + oldcol];
+        }
+    }
+    EigenPairs { values, vectors, n }
+}
+
+/// Which end of the spectrum Lanczos should resolve first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpectrumEnd {
+    /// Smallest eigenvalues first (e.g. low Laplacian frequencies).
+    Smallest,
+    /// Largest eigenvalues first (e.g. dominant adjacency directions).
+    Largest,
+}
+
+/// Lanczos iteration with full reorthogonalization for the top/bottom `k`
+/// eigenpairs of a symmetric operator.
+///
+/// Builds an `m`-step Krylov basis (`m = min(dim, max(2k+10, 30))`),
+/// diagonalizes the projected tridiagonal matrix with [`jacobi_eigen`], and
+/// lifts the Ritz vectors back. Deterministic under `seed`.
+pub fn lanczos<Op: MatVecF64>(
+    op: &Op,
+    k: usize,
+    end: SpectrumEnd,
+    seed: u64,
+) -> Result<EigenPairs> {
+    let n = op.dim();
+    if n == 0 || k == 0 {
+        return Ok(EigenPairs { values: vec![], vectors: vec![], n });
+    }
+    let k = k.min(n);
+    let m = n.min((2 * k + 10).max(30));
+    let mut rng = crate::rng::seeded(seed);
+    // Krylov basis, m rows of length n.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut q = vec![0f64; n];
+    for v in q.iter_mut() {
+        *v = crate::rng::gaussian(&mut rng);
+    }
+    vecops::normalize64(&mut q);
+    let mut alphas = Vec::with_capacity(m);
+    let mut betas = Vec::with_capacity(m);
+    let mut w = vec![0f64; n];
+    for _ in 0..m {
+        basis.push(q.clone());
+        w.iter_mut().for_each(|v| *v = 0.0);
+        op.matvec(&q, &mut w);
+        let alpha = vecops::dot64(&w, &q);
+        alphas.push(alpha);
+        // w -= alpha*q + beta*prev, then full reorthogonalization.
+        for (wi, qi) in w.iter_mut().zip(q.iter()) {
+            *wi -= alpha * qi;
+        }
+        for b in &basis {
+            let proj = vecops::dot64(&w, b);
+            vecops::axpy64(-proj, b, &mut w);
+        }
+        let beta = vecops::norm2_64(&w);
+        if beta < 1e-12 {
+            break; // Invariant subspace found; basis is complete.
+        }
+        betas.push(beta);
+        q.clone_from(&w);
+        vecops::scale64(&mut q, 1.0 / beta);
+    }
+    let steps = basis.len();
+    // Projected tridiagonal matrix T (steps × steps), dense.
+    let mut t = vec![0f64; steps * steps];
+    for i in 0..steps {
+        t[i * steps + i] = alphas[i];
+        if i + 1 < steps {
+            t[i * steps + i + 1] = betas[i];
+            t[(i + 1) * steps + i] = betas[i];
+        }
+    }
+    let tp = jacobi_eigen(t, steps)?;
+    // Select k Ritz pairs from the requested end.
+    let order: Vec<usize> = match end {
+        SpectrumEnd::Smallest => (0..steps).collect(),
+        SpectrumEnd::Largest => (0..steps).rev().collect(),
+    };
+    let take: Vec<usize> = order.into_iter().take(k).collect();
+    let mut values = Vec::with_capacity(take.len());
+    let mut vectors = vec![0f64; n * take.len()];
+    for (out_j, &tj) in take.iter().enumerate() {
+        values.push(tp.values[tj]);
+        // Ritz vector = Σ_i basis[i] * T_vec[i, tj]
+        for (i, b) in basis.iter().enumerate() {
+            let coef = tp.vectors[i * steps + tj];
+            for r in 0..n {
+                vectors[r * take.len() + out_j] += coef * b[r];
+            }
+        }
+    }
+    // Keep ascending order within the returned set for a stable contract.
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let sorted_values: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+    let kk = values.len();
+    let mut sorted_vectors = vec![0f64; n * kk];
+    for (newj, &oldj) in idx.iter().enumerate() {
+        for r in 0..n {
+            sorted_vectors[r * kk + newj] = vectors[r * kk + oldj];
+        }
+    }
+    Ok(EigenPairs { values: sorted_values, vectors: sorted_vectors, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(op: &impl MatVecF64, lambda: f64, vec: &[f64]) -> f64 {
+        let n = op.dim();
+        let mut av = vec![0f64; n];
+        op.matvec(vec, &mut av);
+        let mut r = 0f64;
+        for i in 0..n {
+            let d = av[i] - lambda * vec[i];
+            r += d * d;
+        }
+        r.sqrt()
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let pairs = jacobi_eigen(vec![2.0, 1.0, 1.0, 2.0], 2).unwrap();
+        assert!((pairs.values[0] - 1.0).abs() < 1e-10);
+        assert!((pairs.values[1] - 3.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is [1,1]/√2 up to sign.
+        let v = pairs.vector(1);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        // Random symmetric 10x10.
+        let mut rng = crate::rng::seeded(4);
+        let n = 10;
+        let mut a = vec![0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = crate::rng::gaussian(&mut rng);
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let orig = a.clone();
+        let pairs = jacobi_eigen(a, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let d: f64 = (0..n)
+                    .map(|r| pairs.vectors[r * n + i] * pairs.vectors[r * n + j])
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-8, "gram[{i}][{j}]={d}");
+            }
+        }
+        // Residual check A v = λ v for each pair.
+        let op = DenseSymOp { data: &orig, n };
+        for j in 0..n {
+            let r = residual(&op, pairs.values[j], &pairs.vector(j));
+            assert!(r < 1e-8, "residual {r} for pair {j}");
+        }
+        // Ascending values.
+        assert!(pairs.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn lanczos_matches_jacobi_on_dense_problem() {
+        let mut rng = crate::rng::seeded(11);
+        let n = 30;
+        let mut a = vec![0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = crate::rng::gaussian(&mut rng);
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let full = jacobi_eigen(a.clone(), n).unwrap();
+        let op = DenseSymOp { data: &a, n };
+        let top = lanczos(&op, 3, SpectrumEnd::Largest, 5).unwrap();
+        let bottom = lanczos(&op, 3, SpectrumEnd::Smallest, 5).unwrap();
+        // Largest three eigenvalues should match Jacobi's tail.
+        for (i, v) in top.values.iter().enumerate() {
+            let expect = full.values[n - 3 + i];
+            assert!((v - expect).abs() < 1e-6, "top {v} vs {expect}");
+        }
+        for (i, v) in bottom.values.iter().enumerate() {
+            assert!((v - full.values[i]).abs() < 1e-6, "bottom {v} vs {}", full.values[i]);
+        }
+        // Ritz residuals small.
+        for j in 0..3 {
+            assert!(residual(&op, top.values[j], &top.vector(j)) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lanczos_handles_k_zero_and_empty() {
+        let a = vec![1.0];
+        let op = DenseSymOp { data: &a, n: 1 };
+        let p = lanczos(&op, 0, SpectrumEnd::Largest, 1).unwrap();
+        assert!(p.values.is_empty());
+    }
+}

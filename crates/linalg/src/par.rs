@@ -1,0 +1,143 @@
+//! Chunked parallel iteration built on `crossbeam::scope`.
+//!
+//! The workspace deliberately avoids a full task-scheduling runtime: every
+//! parallel kernel in `sgnn` is a row-partitioned loop over a flat buffer,
+//! which scoped threads express directly and with zero steady-state
+//! allocation beyond the thread stacks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use for parallel kernels.
+///
+/// Reads the process default (`available_parallelism`) once and caches it.
+/// Override globally with [`set_threads`] (useful for benchmarks that want
+/// single-threaded baselines).
+pub fn num_threads() -> usize {
+    let cached = THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Overrides the worker-thread count used by all parallel kernels.
+///
+/// Passing `0` resets to the hardware default on next use.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Runs `body(start, end)` over disjoint chunks of `0..len` on worker threads.
+///
+/// The closure receives half-open ranges; chunks are as equal as possible.
+/// Falls back to a direct call when `len` is small or one thread is
+/// configured, so callers never pay thread-spawn cost on tiny inputs.
+pub fn par_chunks<F>(len: usize, min_chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = num_threads().min(len / min_chunk.max(1)).max(1);
+    if threads <= 1 || len == 0 {
+        body(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            s.spawn(move |_| body(start, end));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Splits `data` into disjoint mutable chunks of `chunk_rows * row_width`
+/// elements and runs `body(chunk_index, first_row, rows_slice)` in parallel.
+///
+/// This is the write-side companion of [`par_chunks`]: output buffers are
+/// partitioned by row so each worker owns its slice exclusively.
+pub fn par_rows_mut<T, F>(data: &mut [T], row_width: usize, min_rows: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_width > 0, "row_width must be positive");
+    assert_eq!(data.len() % row_width, 0, "buffer not a whole number of rows");
+    let rows = data.len() / row_width;
+    let threads = num_threads().min(rows / min_rows.max(1)).max(1);
+    if threads <= 1 || rows == 0 {
+        body(0, data);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut row0 = 0usize;
+        while !rest.is_empty() {
+            let take = (chunk_rows * row_width).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let body = &body;
+            let first_row = row0;
+            s.spawn(move |_| body(first_row, head));
+            row0 += take / row_width;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_covers_every_index_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 1000]);
+        par_chunks(1000, 1, |s, e| {
+            let mut h = hits.lock().unwrap();
+            for i in s..e {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn par_chunks_empty_is_noop() {
+        par_chunks(0, 1, |s, e| assert_eq!(s, e));
+    }
+
+    #[test]
+    fn par_rows_mut_partitions_by_row() {
+        let mut buf = vec![0f32; 7 * 3];
+        par_rows_mut(&mut buf, 3, 1, |first_row, rows| {
+            for (i, r) in rows.chunks_mut(3).enumerate() {
+                let row = first_row + i;
+                for v in r.iter_mut() {
+                    *v = row as f32;
+                }
+            }
+        });
+        for (row, chunk) in buf.chunks(3).enumerate() {
+            assert!(chunk.iter().all(|&v| v == row as f32));
+        }
+    }
+
+    #[test]
+    fn set_threads_round_trip() {
+        set_threads(2);
+        assert_eq!(num_threads(), 2);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

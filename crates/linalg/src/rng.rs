@@ -1,0 +1,134 @@
+//! Deterministic random-number helpers.
+//!
+//! The allowed `rand` build ships no normal distribution (that lives in the
+//! separate `rand_distr` crate), so Gaussian sampling is implemented here via
+//! the Box–Muller transform. Every randomized component in the workspace
+//! takes a `u64` seed and builds a [`StdRng`], keeping the entire experiment
+//! suite reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates a seeded [`StdRng`].
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn gaussian<R: Rng + RngExt + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fills a slice with `N(mu, sigma^2)` samples.
+pub fn fill_gaussian<R: Rng + RngExt + ?Sized>(rng: &mut R, out: &mut [f32], mu: f32, sigma: f32) {
+    for v in out.iter_mut() {
+        *v = mu + sigma * gaussian(rng) as f32;
+    }
+}
+
+/// Samples an index from an (unnormalized, non-negative) weight slice.
+///
+/// Returns `None` when all weights are zero or the slice is empty.
+pub fn sample_weighted<R: Rng + RngExt + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || weights.is_empty() {
+        return None;
+    }
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return Some(i);
+        }
+    }
+    Some(weights.len() - 1)
+}
+
+/// Floyd's algorithm: `k` distinct indices uniform over `0..n`, sorted.
+///
+/// Runs in `O(k)` expected time and `O(k)` memory — independent of `n`,
+/// which matters when sampling a handful of neighbors from a hub with
+/// millions of edges.
+pub fn sample_distinct<R: Rng + RngExt + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = chosen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = seeded(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| gaussian(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| gaussian(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_weighted_respects_zero_mass() {
+        let mut rng = seeded(1);
+        assert_eq!(sample_weighted(&mut rng, &[]), None);
+        assert_eq!(sample_weighted(&mut rng, &[0.0, 0.0]), None);
+        // With one positive weight, it must always be selected.
+        for _ in 0..20 {
+            assert_eq!(sample_weighted(&mut rng, &[0.0, 5.0, 0.0]), Some(1));
+        }
+    }
+
+    #[test]
+    fn sample_weighted_is_roughly_proportional() {
+        let mut rng = seeded(3);
+        let w = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..40_000 {
+            counts[sample_weighted(&mut rng, &w).unwrap()] += 1;
+        }
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn sample_distinct_gives_k_unique_in_range() {
+        let mut rng = seeded(9);
+        for _ in 0..50 {
+            let s = sample_distinct(&mut rng, 100, 10);
+            assert_eq!(s.len(), 10);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 100));
+        }
+        // k >= n returns everything.
+        assert_eq!(sample_distinct(&mut rng, 5, 9), vec![0, 1, 2, 3, 4]);
+    }
+}

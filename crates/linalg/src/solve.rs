@@ -1,0 +1,175 @@
+//! Iterative solvers for symmetric positive-definite systems.
+//!
+//! Implicit GNNs (survey §3.2.3) obtain node representations as the solution
+//! of an equilibrium `(I - γ A) Z = X`; when `γ < 1/λ_max(A)` the system is
+//! SPD and conjugate gradient converges quickly. The solver operates through
+//! [`MatVecF64`](crate::eigen::MatVecF64) so large sparse graph operators
+//! never materialize.
+
+use crate::eigen::MatVecF64;
+use crate::vecops;
+use crate::{LinalgError, Result};
+
+/// Outcome of a conjugate-gradient solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖₂`.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` for SPD `A` by conjugate gradient.
+///
+/// Starts from `x = 0`. Converges when the residual norm drops below
+/// `tol * ‖b‖₂` or errs after `max_iter` iterations.
+pub fn conjugate_gradient<Op: MatVecF64>(
+    op: &Op,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<CgResult> {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "rhs length must equal operator dim");
+    let bnorm = vecops::norm2_64(b);
+    if bnorm == 0.0 {
+        return Ok(CgResult { x: vec![0.0; n], iterations: 0, residual: 0.0 });
+    }
+    let threshold = tol * bnorm;
+    let mut x = vec![0f64; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0f64; n];
+    let mut rs_old = vecops::dot64(&r, &r);
+    for it in 0..max_iter {
+        if rs_old.sqrt() <= threshold {
+            return Ok(CgResult { x, iterations: it, residual: rs_old.sqrt() });
+        }
+        ap.iter_mut().for_each(|v| *v = 0.0);
+        op.matvec(&p, &mut ap);
+        let denom = vecops::dot64(&p, &ap);
+        if denom <= 0.0 {
+            // Operator is not SPD along p; bail out with what we have.
+            return Err(LinalgError::NoConvergence {
+                routine: "conjugate_gradient(non-SPD direction)",
+                iterations: it,
+            });
+        }
+        let alpha = rs_old / denom;
+        vecops::axpy64(alpha, &p, &mut x);
+        vecops::axpy64(-alpha, &ap, &mut r);
+        let rs_new = vecops::dot64(&r, &r);
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    if rs_old.sqrt() <= threshold {
+        Ok(CgResult { x, iterations: max_iter, residual: rs_old.sqrt() })
+    } else {
+        Err(LinalgError::NoConvergence { routine: "conjugate_gradient", iterations: max_iter })
+    }
+}
+
+/// Fixed-point (Picard) iteration `z ← γ·A z + x` until `‖Δz‖₂ < tol` or
+/// the iteration budget is exhausted.
+///
+/// This is the reference solver implicit GNNs (MGNNI-style) use at training
+/// time; experiment E8 compares its iteration count against closed-form
+/// spectral solves.
+pub fn fixed_point<Op: MatVecF64>(
+    op: &Op,
+    gamma: f64,
+    x: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<CgResult> {
+    let n = op.dim();
+    assert_eq!(x.len(), n);
+    let mut z = x.to_vec();
+    let mut az = vec![0f64; n];
+    for it in 0..max_iter {
+        az.iter_mut().for_each(|v| *v = 0.0);
+        op.matvec(&z, &mut az);
+        let mut delta = 0f64;
+        for i in 0..n {
+            let znew = gamma * az[i] + x[i];
+            let d = znew - z[i];
+            delta += d * d;
+            z[i] = znew;
+        }
+        if delta.sqrt() < tol {
+            // Residual of the equilibrium equation.
+            az.iter_mut().for_each(|v| *v = 0.0);
+            op.matvec(&z, &mut az);
+            let mut res = 0f64;
+            for i in 0..n {
+                let d = z[i] - gamma * az[i] - x[i];
+                res += d * d;
+            }
+            return Ok(CgResult { x: z, iterations: it + 1, residual: res.sqrt() });
+        }
+    }
+    Err(LinalgError::NoConvergence { routine: "fixed_point", iterations: max_iter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::DenseSymOp;
+
+    #[test]
+    fn cg_solves_small_spd_system() {
+        // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11].
+        let a = vec![4.0, 1.0, 1.0, 3.0];
+        let op = DenseSymOp { data: &a, n: 2 };
+        let r = conjugate_gradient(&op, &[1.0, 2.0], 1e-12, 100).unwrap();
+        assert!((r.x[0] - 1.0 / 11.0).abs() < 1e-9);
+        assert!((r.x[1] - 7.0 / 11.0).abs() < 1e-9);
+        assert!(r.iterations <= 2 + 1, "CG on 2x2 needs ≤2 iters, got {}", r.iterations);
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = vec![2.0, 0.0, 0.0, 2.0];
+        let op = DenseSymOp { data: &a, n: 2 };
+        let r = conjugate_gradient(&op, &[0.0, 0.0], 1e-10, 10).unwrap();
+        assert_eq!(r.x, vec![0.0, 0.0]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn cg_rejects_indefinite_matrix() {
+        let a = vec![1.0, 0.0, 0.0, -1.0];
+        let op = DenseSymOp { data: &a, n: 2 };
+        // With b having mass on the negative eigendirection, CG must detect
+        // non-SPD curvature.
+        let err = conjugate_gradient(&op, &[0.0, 1.0], 1e-10, 10);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fixed_point_matches_direct_solution() {
+        // Solve z = 0.5*A z + x with A = [[0,1],[1,0]]:
+        // z0 = 0.5 z1 + x0, z1 = 0.5 z0 + x1 → z = (I - 0.5A)^{-1} x.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let op = DenseSymOp { data: &a, n: 2 };
+        let x = [1.0, 0.0];
+        let r = fixed_point(&op, 0.5, &x, 1e-12, 1000).unwrap();
+        // (I-0.5A)^{-1} = 1/(1-0.25) [[1,0.5],[0.5,1]] → z = [4/3, 2/3].
+        assert!((r.x[0] - 4.0 / 3.0).abs() < 1e-8);
+        assert!((r.x[1] - 2.0 / 3.0).abs() < 1e-8);
+        assert!(r.residual < 1e-8);
+    }
+
+    #[test]
+    fn fixed_point_diverges_when_contraction_fails() {
+        let a = vec![0.0, 1.0, 1.0, 0.0]; // spectral radius 1
+        let op = DenseSymOp { data: &a, n: 2 };
+        let err = fixed_point(&op, 1.5, &[1.0, 1.0], 1e-10, 50);
+        assert!(err.is_err());
+    }
+}

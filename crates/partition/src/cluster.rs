@@ -1,0 +1,133 @@
+//! Cluster-GCN batch formation.
+//!
+//! Cluster-GCN partitions the graph into many small clusters, then builds
+//! each mini-batch as the induced subgraph of a *random group* of clusters
+//! (stochastic multiple partitions). Within-batch edges are kept, so
+//! aggregation is exact inside the batch; cross-batch edges are simply
+//! dropped for that step. This is the subgraph-level sampling workhorse of
+//! experiment E3.
+
+use crate::multilevel::{multilevel_partition, MultilevelConfig};
+use crate::Partition;
+use rand::RngExt;
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// A Cluster-GCN batcher: owns the cluster assignment and deals batches.
+#[derive(Debug, Clone)]
+pub struct ClusterBatcher {
+    clusters: Vec<Vec<NodeId>>,
+}
+
+/// One training batch: induced subgraph plus global node ids.
+#[derive(Debug, Clone)]
+pub struct ClusterBatch {
+    /// Induced subgraph over the selected clusters (local ids).
+    pub graph: CsrGraph,
+    /// Local → global mapping.
+    pub nodes: Vec<NodeId>,
+}
+
+impl ClusterBatcher {
+    /// Partitions `g` into `num_clusters` clusters via the multilevel
+    /// partitioner.
+    pub fn new(g: &CsrGraph, num_clusters: usize, seed: u64) -> Self {
+        let cfg = MultilevelConfig { seed, ..Default::default() };
+        let p = multilevel_partition(g, num_clusters, &cfg);
+        ClusterBatcher { clusters: p.members() }
+    }
+
+    /// Builds a batcher from an existing partition (e.g. streaming).
+    pub fn from_partition(p: &Partition) -> Self {
+        ClusterBatcher { clusters: p.members() }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster membership lists.
+    pub fn clusters(&self) -> &[Vec<NodeId>] {
+        &self.clusters
+    }
+
+    /// Deals one epoch of batches: clusters are shuffled and grouped
+    /// `per_batch` at a time; each group induces one batch subgraph.
+    pub fn epoch_batches(&self, g: &CsrGraph, per_batch: usize, seed: u64) -> Vec<ClusterBatch> {
+        assert!(per_batch >= 1);
+        let mut rng = sgnn_linalg::rng::seeded(seed);
+        let mut order: Vec<usize> = (0..self.clusters.len()).collect();
+        // Fisher–Yates.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .chunks(per_batch)
+            .map(|group| {
+                let mut nodes: Vec<NodeId> = Vec::new();
+                for &c in group {
+                    nodes.extend_from_slice(&self.clusters[c]);
+                }
+                let (graph, nodes) = g.induced_subgraph(&nodes);
+                ClusterBatch { graph, nodes }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn batches_cover_every_node_exactly_once() {
+        let (g, _) = generate::planted_partition(1_200, 4, 8.0, 0.8, 1);
+        let batcher = ClusterBatcher::new(&g, 12, 2);
+        let batches = batcher.epoch_batches(&g, 3, 3);
+        assert_eq!(batches.len(), 4);
+        let mut seen = vec![false; 1_200];
+        for b in &batches {
+            b.graph.validate().unwrap();
+            for &u in &b.nodes {
+                assert!(!seen[u as usize], "node {u} in two batches");
+                seen[u as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn batch_subgraphs_preserve_internal_edges() {
+        let (g, _) = generate::planted_partition(600, 3, 8.0, 0.9, 4);
+        let batcher = ClusterBatcher::new(&g, 6, 5);
+        let batches = batcher.epoch_batches(&g, 2, 6);
+        // A well-clustered graph keeps most edges inside batches.
+        let kept: usize = batches.iter().map(|b| b.graph.num_edges()).sum();
+        assert!(
+            kept as f64 > 0.6 * g.num_edges() as f64,
+            "kept {kept} of {}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn shuffling_changes_grouping_between_epochs() {
+        let g = generate::barabasi_albert(800, 3, 7);
+        let batcher = ClusterBatcher::new(&g, 16, 8);
+        let a: Vec<usize> = batcher.epoch_batches(&g, 4, 1).iter().map(|b| b.nodes.len()).collect();
+        let b: Vec<usize> = batcher.epoch_batches(&g, 4, 2).iter().map(|b| b.nodes.len()).collect();
+        // Same total, very likely different grouping.
+        assert_eq!(a.iter().sum::<usize>(), b.iter().sum::<usize>());
+        assert!(a != b || batcher.num_clusters() <= 4);
+    }
+
+    #[test]
+    fn from_partition_respects_given_assignment() {
+        let p = Partition::new(vec![0, 1, 0, 1], 2);
+        let batcher = ClusterBatcher::from_partition(&p);
+        assert_eq!(batcher.num_clusters(), 2);
+        assert_eq!(batcher.clusters()[0], vec![0, 2]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Distributed-training communication simulator.
+//!
+//! Substitution for a real multi-GPU cluster (DESIGN.md): in synchronous
+//! full-graph distributed GNN training, every layer each worker must fetch
+//! the boundary embeddings of remote neighbors. The traffic is fully
+//! determined by the partition — `Σ_u #{remote parts containing a neighbor
+//! of u}` embedding vectors per layer — so we compute it exactly instead
+//! of timing a network.
+
+use crate::Partition;
+use sgnn_graph::CsrGraph;
+
+/// Per-epoch communication profile of a partitioned training run.
+#[derive(Debug, Clone)]
+pub struct CommReport {
+    /// Embedding vectors transferred per layer (unique (node, remote part)
+    /// pairs).
+    pub vectors_per_layer: u64,
+    /// Bytes per epoch for `layers` layers of width `dim` f32 embeddings.
+    pub bytes_per_epoch: u64,
+    /// Max over parts of vectors *received* per layer (the straggler).
+    pub max_ingress: u64,
+    /// Computation per part (edges inside + boundary edges), max/avg ratio —
+    /// the compute imbalance.
+    pub compute_imbalance: f64,
+}
+
+/// Simulates one epoch of synchronous distributed training.
+pub fn simulate(g: &CsrGraph, p: &Partition, layers: u32, dim: usize) -> CommReport {
+    let n = g.num_nodes();
+    let k = p.k;
+    let mut vectors = 0u64;
+    let mut ingress = vec![0u64; k];
+    let mut compute = vec![0u64; k];
+    let mut seen = vec![u32::MAX; k];
+    for u in 0..n {
+        let home = p.parts[u] as usize;
+        for &v in g.neighbors(u as u32) {
+            compute[home] += 1; // aggregation work for edge (u←v) happens at u's part
+            let pv = p.parts[v as usize] as usize;
+            if pv != home && seen[pv] != u as u32 {
+                seen[pv] = u as u32;
+                // u's embedding must be sent to pv? In pull model, u pulls
+                // v's embedding from pv... count (u, pv): u's part fetches
+                // one remote vector from pv.
+                vectors += 1;
+                ingress[home] += 1;
+            }
+        }
+    }
+    let avg_compute = compute.iter().sum::<u64>() as f64 / k as f64;
+    let max_compute = compute.iter().copied().max().unwrap_or(0) as f64;
+    CommReport {
+        vectors_per_layer: vectors,
+        bytes_per_epoch: vectors * layers as u64 * dim as u64 * 4,
+        max_ingress: ingress.iter().copied().max().unwrap_or(0),
+        compute_imbalance: if avg_compute > 0.0 { max_compute / avg_compute } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilevel::{multilevel_partition, MultilevelConfig};
+    use crate::streaming::hash_partition;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn zero_cut_partition_sends_nothing() {
+        let mut b = sgnn_graph::GraphBuilder::new(4).symmetric();
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let r = simulate(&g, &p, 2, 16);
+        assert_eq!(r.vectors_per_layer, 0);
+        assert_eq!(r.bytes_per_epoch, 0);
+    }
+
+    #[test]
+    fn bytes_scale_with_layers_and_dim() {
+        let g = generate::erdos_renyi(200, 0.05, false, 1);
+        let p = hash_partition(200, 4);
+        let r1 = simulate(&g, &p, 1, 8);
+        let r2 = simulate(&g, &p, 2, 8);
+        let r3 = simulate(&g, &p, 1, 16);
+        assert_eq!(r2.bytes_per_epoch, 2 * r1.bytes_per_epoch);
+        assert_eq!(r3.bytes_per_epoch, 2 * r1.bytes_per_epoch);
+    }
+
+    #[test]
+    fn better_partition_means_less_traffic() {
+        let (g, _) = generate::planted_partition(2_000, 4, 12.0, 0.9, 2);
+        let good = simulate(&g, &multilevel_partition(&g, 4, &MultilevelConfig::default()), 2, 64);
+        let bad = simulate(&g, &hash_partition(2_000, 4), 2, 64);
+        assert!(
+            good.bytes_per_epoch < bad.bytes_per_epoch / 2,
+            "good {} vs bad {}",
+            good.bytes_per_epoch,
+            bad.bytes_per_epoch
+        );
+    }
+
+    #[test]
+    fn ingress_and_imbalance_are_sane() {
+        let g = generate::barabasi_albert(1_000, 4, 3);
+        let p = hash_partition(1_000, 4);
+        let r = simulate(&g, &p, 3, 32);
+        assert!(r.max_ingress > 0);
+        assert!(r.compute_imbalance >= 1.0);
+        assert!(r.max_ingress <= r.vectors_per_layer);
+    }
+}

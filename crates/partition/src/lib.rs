@@ -1,0 +1,63 @@
+//! # sgnn-partition
+//!
+//! Graph partitioning — the survey's §3.1.2 "Graph Partition" pillar:
+//! "a common model-agnostic solution is employing graph partition
+//! algorithms to divide the graph into smaller subgraphs … algorithmic
+//! goals include optimizing computational and communication overhead."
+//!
+//! - [`streaming`] — single-pass partitioners (hash, LDG, Fennel) for
+//!   graphs too large to hold partitioning state.
+//! - [`multilevel`] — METIS-style coarsen → initial partition → refine
+//!   (heavy-edge matching + BFS region growing + FM boundary refinement).
+//! - [`metrics`] — edge-cut, balance, replication factor.
+//! - [`comm`] — the distributed-GNN communication-volume simulator
+//!   standing in for a real multi-GPU cluster (see DESIGN.md
+//!   substitutions): counts embedding transfers implied by cut edges.
+//! - [`cluster`] — Cluster-GCN batch former: many small clusters, a random
+//!   group of which forms each training subgraph.
+
+pub mod cluster;
+pub mod comm;
+pub mod metrics;
+pub mod multilevel;
+pub mod streaming;
+
+pub use metrics::{balance, edge_cut, PartitionQuality};
+pub use multilevel::multilevel_partition;
+pub use streaming::{fennel, hash_partition, ldg};
+
+/// A k-way partition assignment: `parts[u]` is node `u`'s part in `0..k`.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Per-node part assignment.
+    pub parts: Vec<u32>,
+    /// Number of parts.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Builds and validates an assignment.
+    pub fn new(parts: Vec<u32>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        debug_assert!(parts.iter().all(|&p| (p as usize) < k), "part id out of range");
+        Partition { parts, k }
+    }
+
+    /// Part sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k];
+        for &p in &self.parts {
+            s[p as usize] += 1;
+        }
+        s
+    }
+
+    /// Node ids of each part.
+    pub fn members(&self) -> Vec<Vec<sgnn_graph::NodeId>> {
+        let mut m: Vec<Vec<sgnn_graph::NodeId>> = vec![Vec::new(); self.k];
+        for (u, &p) in self.parts.iter().enumerate() {
+            m[p as usize].push(u as sgnn_graph::NodeId);
+        }
+        m
+    }
+}

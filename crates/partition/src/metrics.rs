@@ -1,0 +1,127 @@
+//! Partition quality metrics.
+
+use crate::Partition;
+use sgnn_graph::CsrGraph;
+
+/// Fraction of (directed) edges whose endpoints live in different parts.
+pub fn edge_cut(g: &CsrGraph, p: &Partition) -> f64 {
+    let mut cut = 0u64;
+    let mut total = 0u64;
+    for (u, v, _) in g.edges() {
+        total += 1;
+        if p.parts[u as usize] != p.parts[v as usize] {
+            cut += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        cut as f64 / total as f64
+    }
+}
+
+/// Load balance: `max part size / (n/k)`. 1.0 = perfect.
+pub fn balance(p: &Partition) -> f64 {
+    let sizes = p.sizes();
+    let n: usize = sizes.iter().sum();
+    if n == 0 {
+        return 1.0;
+    }
+    let avg = n as f64 / p.k as f64;
+    sizes.iter().copied().max().unwrap_or(0) as f64 / avg
+}
+
+/// Vertex replication factor: mean number of parts in which a node is
+/// "present" (its own part plus every remote part containing a neighbor) —
+/// the ghost-node blow-up of distributed GNN training.
+pub fn replication_factor(g: &CsrGraph, p: &Partition) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut total_presence = 0u64;
+    let mut seen = vec![u32::MAX; p.k];
+    for u in 0..n {
+        let home = p.parts[u];
+        let mut presence = 1u64;
+        for &v in g.neighbors(u as u32) {
+            let pv = p.parts[v as usize];
+            if pv != home && seen[pv as usize] != u as u32 {
+                seen[pv as usize] = u as u32;
+                presence += 1;
+            }
+        }
+        total_presence += presence;
+    }
+    total_presence as f64 / n as f64
+}
+
+/// Full quality report for the E2 table.
+#[derive(Debug, Clone)]
+pub struct PartitionQuality {
+    /// Edge-cut fraction.
+    pub edge_cut: f64,
+    /// Balance factor (max/avg part size).
+    pub balance: f64,
+    /// Replication factor.
+    pub replication: f64,
+}
+
+/// Computes all quality metrics at once.
+pub fn quality(g: &CsrGraph, p: &Partition) -> PartitionQuality {
+    PartitionQuality {
+        edge_cut: edge_cut(g, p),
+        balance: balance(p),
+        replication: replication_factor(g, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn perfect_split_of_disconnected_blocks() {
+        // Two disjoint triangles split perfectly.
+        let mut b = sgnn_graph::GraphBuilder::new(6).symmetric();
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(edge_cut(&g, &p), 0.0);
+        assert_eq!(balance(&p), 1.0);
+        assert_eq!(replication_factor(&g, &p), 1.0);
+    }
+
+    #[test]
+    fn worst_case_cut_on_bipartite_split() {
+        // Star with hub in its own part: every edge is cut.
+        let g = generate::star(10);
+        let mut parts = vec![1u32; 10];
+        parts[0] = 0;
+        let p = Partition::new(parts, 2);
+        assert_eq!(edge_cut(&g, &p), 1.0);
+        // Hub is present in part 1 too → replication = (2 + 9·2)/10 = 2.0
+        // (hub in 2 parts, each leaf in 2 parts).
+        assert_eq!(replication_factor(&g, &p), 2.0);
+    }
+
+    #[test]
+    fn balance_detects_skew() {
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        assert_eq!(balance(&p), 1.5);
+    }
+
+    #[test]
+    fn quality_bundle_is_consistent() {
+        let g = generate::erdos_renyi(200, 0.05, false, 1);
+        let parts: Vec<u32> = (0..200).map(|u| (u % 4) as u32).collect();
+        let p = Partition::new(parts, 4);
+        let q = quality(&g, &p);
+        assert!((q.balance - 1.0).abs() < 1e-9);
+        assert!(q.edge_cut > 0.5); // random assignment cuts ~75%
+        assert!(q.replication >= 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Streaming (single-pass) partitioners.
+//!
+//! When the graph does not fit in partitioner memory — the industrial
+//! regime the survey motivates — nodes are assigned in one pass:
+//!
+//! - [`hash_partition`] — the baseline everybody beats: `u mod k`.
+//! - [`ldg`] — Linear Deterministic Greedy (Stanton & Kliot): maximize
+//!   `|N(u) ∩ part| · (1 − |part|/capacity)`.
+//! - [`fennel`] — Fennel (Tsourakakis et al.): interpolates between cut
+//!   and balance objectives with score
+//!   `|N(u) ∩ part| − α·γ·|part|^{γ−1}`, γ = 3/2.
+
+use crate::Partition;
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// Modulo/hash assignment (no graph awareness).
+pub fn hash_partition(n: usize, k: usize) -> Partition {
+    Partition::new((0..n).map(|u| (u % k) as u32).collect(), k)
+}
+
+/// Linear Deterministic Greedy streaming partitioning.
+///
+/// `slack` multiplies the per-part capacity `n/k` (1.1 = 10% headroom).
+/// Nodes stream in id order (the degenerate but standard setting).
+pub fn ldg(g: &CsrGraph, k: usize, slack: f64) -> Partition {
+    let n = g.num_nodes();
+    let capacity = ((n as f64 / k as f64) * slack).ceil().max(1.0);
+    let mut parts = vec![u32::MAX; n];
+    let mut sizes = vec![0usize; k];
+    let mut neigh_count = vec![0usize; k];
+    for u in 0..n {
+        neigh_count.iter_mut().for_each(|c| *c = 0);
+        for &v in g.neighbors(u as NodeId) {
+            let pv = parts[v as usize];
+            if pv != u32::MAX {
+                neigh_count[pv as usize] += 1;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for p in 0..k {
+            if (sizes[p] as f64) >= capacity {
+                continue;
+            }
+            let score = neigh_count[p] as f64 * (1.0 - sizes[p] as f64 / capacity);
+            if score > best_score || (score == best_score && sizes[p] < sizes[best]) {
+                best_score = score;
+                best = p;
+            }
+        }
+        parts[u] = best as u32;
+        sizes[best] += 1;
+    }
+    Partition::new(parts, k)
+}
+
+/// Fennel streaming partitioning with the paper's default `γ = 1.5` and
+/// `α = m·k^{γ−1}/n^γ`, under a hard capacity of `slack · n/k`.
+pub fn fennel(g: &CsrGraph, k: usize, slack: f64) -> Partition {
+    let n = g.num_nodes();
+    let m = (g.num_edges() / 2).max(1) as f64; // undirected edge count
+    let gamma = 1.5f64;
+    let alpha = m * (k as f64).powf(gamma - 1.0) / (n.max(1) as f64).powf(gamma);
+    let capacity = ((n as f64 / k as f64) * slack).ceil().max(1.0);
+    let mut parts = vec![u32::MAX; n];
+    let mut sizes = vec![0usize; k];
+    let mut neigh_count = vec![0usize; k];
+    for u in 0..n {
+        neigh_count.iter_mut().for_each(|c| *c = 0);
+        for &v in g.neighbors(u as NodeId) {
+            let pv = parts[v as usize];
+            if pv != u32::MAX {
+                neigh_count[pv as usize] += 1;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for p in 0..k {
+            if (sizes[p] as f64) >= capacity {
+                continue;
+            }
+            let score =
+                neigh_count[p] as f64 - alpha * gamma * (sizes[p] as f64).powf(gamma - 1.0);
+            if score > best_score || (score == best_score && sizes[p] < sizes[best]) {
+                best_score = score;
+                best = p;
+            }
+        }
+        parts[u] = best as u32;
+        sizes[best] += 1;
+    }
+    Partition::new(parts, k)
+}
+
+/// Restreaming Fennel: repeats the Fennel pass `passes` times, each pass
+/// seeing the previous assignment (a node's old part is vacated before it
+/// is re-placed). Restreaming recovers much of the quality gap to offline
+/// partitioning at streaming memory cost.
+pub fn fennel_restream(g: &CsrGraph, k: usize, slack: f64, passes: usize) -> Partition {
+    assert!(passes >= 1);
+    let n = g.num_nodes();
+    let m = (g.num_edges() / 2).max(1) as f64;
+    let gamma = 1.5f64;
+    let alpha = m * (k as f64).powf(gamma - 1.0) / (n.max(1) as f64).powf(gamma);
+    let capacity = ((n as f64 / k as f64) * slack).ceil().max(1.0);
+    let mut parts = vec![u32::MAX; n];
+    let mut sizes = vec![0usize; k];
+    let mut neigh_count = vec![0usize; k];
+    for _pass in 0..passes {
+        for u in 0..n {
+            // Vacate the previous placement so the node can move.
+            if parts[u] != u32::MAX {
+                sizes[parts[u] as usize] -= 1;
+            }
+            neigh_count.iter_mut().for_each(|c| *c = 0);
+            for &v in g.neighbors(u as NodeId) {
+                let pv = parts[v as usize];
+                if pv != u32::MAX {
+                    neigh_count[pv as usize] += 1;
+                }
+            }
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for p in 0..k {
+                if (sizes[p] as f64) >= capacity {
+                    continue;
+                }
+                let score =
+                    neigh_count[p] as f64 - alpha * gamma * (sizes[p] as f64).powf(gamma - 1.0);
+                if score > best_score || (score == best_score && sizes[p] < sizes[best]) {
+                    best_score = score;
+                    best = p;
+                }
+            }
+            parts[u] = best as u32;
+            sizes[best] += 1;
+        }
+    }
+    Partition::new(parts, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{balance, edge_cut};
+    use sgnn_graph::generate;
+
+    #[test]
+    fn restreaming_improves_on_single_pass() {
+        let (g, _) = generate::planted_partition(3_000, 6, 10.0, 0.9, 7);
+        let one = edge_cut(&g, &fennel_restream(&g, 6, 1.1, 1));
+        let five = edge_cut(&g, &fennel_restream(&g, 6, 1.1, 5));
+        assert!(five < one, "5-pass {five} !< 1-pass {one}");
+        assert!(balance(&fennel_restream(&g, 6, 1.1, 5)) <= 1.11);
+    }
+
+    #[test]
+    fn restream_single_pass_matches_fennel() {
+        let (g, _) = generate::planted_partition(1_000, 4, 8.0, 0.9, 8);
+        assert_eq!(fennel_restream(&g, 4, 1.1, 1).parts, fennel(&g, 4, 1.1).parts);
+    }
+
+    #[test]
+    fn hash_is_balanced_but_cuts_everything() {
+        let (g, _) = generate::planted_partition(1_000, 4, 10.0, 0.9, 1);
+        let p = hash_partition(1_000, 4);
+        assert!((balance(&p) - 1.0).abs() < 1e-9);
+        assert!(edge_cut(&g, &p) > 0.7);
+    }
+
+    #[test]
+    fn ldg_beats_hash_on_clustered_graph() {
+        let (g, _) = generate::planted_partition(2_000, 4, 12.0, 0.9, 2);
+        let p_hash = hash_partition(2_000, 4);
+        let p_ldg = ldg(&g, 4, 1.1);
+        assert!(
+            edge_cut(&g, &p_ldg) < 0.8 * edge_cut(&g, &p_hash),
+            "ldg {} vs hash {}",
+            edge_cut(&g, &p_ldg),
+            edge_cut(&g, &p_hash)
+        );
+        assert!(balance(&p_ldg) <= 1.11);
+    }
+
+    #[test]
+    fn fennel_beats_hash_and_respects_capacity() {
+        let (g, _) = generate::planted_partition(2_000, 4, 12.0, 0.9, 3);
+        let p = fennel(&g, 4, 1.1);
+        assert!(edge_cut(&g, &p) < 0.8 * edge_cut(&g, &hash_partition(2_000, 4)));
+        assert!(balance(&p) <= 1.11, "balance {}", balance(&p));
+        // Everyone assigned.
+        assert!(p.parts.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn single_part_trivially_works() {
+        let g = generate::erdos_renyi(100, 0.05, false, 4);
+        let p = fennel(&g, 1, 1.0);
+        assert_eq!(edge_cut(&g, &p), 0.0);
+        assert_eq!(p.sizes(), vec![100]);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_limit() {
+        // Star graph tempts greedy partitioners to dump everything with the
+        // hub; capacity must prevent that.
+        let g = generate::star(100);
+        let p = ldg(&g, 4, 1.0);
+        let sizes = p.sizes();
+        assert!(*sizes.iter().max().unwrap() <= 25, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn partitioners_are_deterministic() {
+        let g = generate::barabasi_albert(500, 3, 5);
+        assert_eq!(ldg(&g, 8, 1.05).parts, ldg(&g, 8, 1.05).parts);
+        assert_eq!(fennel(&g, 8, 1.05).parts, fennel(&g, 8, 1.05).parts);
+    }
+}

@@ -1,0 +1,173 @@
+//! Power-iteration propagation: SGC, APPNP, and multi-hop stacks.
+//!
+//! All functions take a *pre-normalized* operator (a weighted CSR from
+//! [`sgnn_graph::normalize`]) so the normalization choice is explicit at the
+//! call site, exactly as the decoupled-model papers present it.
+
+use sgnn_graph::spmm::spmm;
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::DenseMatrix;
+
+/// SGC-style propagation: returns `Â^k · X`.
+///
+/// Cost: `k` SpMMs, no intermediate storage beyond one ping-pong buffer —
+/// the "reduce the overhead by precomputation" design of §3.1.2.
+pub fn power_propagate(op: &CsrGraph, x: &DenseMatrix, k: usize) -> DenseMatrix {
+    let mut h = x.clone();
+    for _ in 0..k {
+        h = spmm(op, &h);
+    }
+    h
+}
+
+/// APPNP propagation: `Z ← (1−α)·Â·Z + α·X`, iterated `k` times from
+/// `Z = X`.
+///
+/// Converges to the personalized-PageRank smoothing
+/// `α (I − (1−α)Â)^{-1} X`; `k = 10, α = 0.1` are the paper defaults.
+pub fn appnp_propagate(op: &CsrGraph, x: &DenseMatrix, alpha: f32, k: usize) -> DenseMatrix {
+    let mut z = x.clone();
+    for _ in 0..k {
+        let mut az = spmm(op, &z);
+        az.scale(1.0 - alpha);
+        az.add_scaled(alpha, x).expect("shapes fixed by construction");
+        z = az;
+    }
+    z
+}
+
+/// Multi-hop embedding stack `[X, ÂX, Â²X, …, Â^k X]`.
+///
+/// The raw material of multi-scale decoupled models (GAMLP's attention
+/// over hops, LD2's channel concatenation, NAI's gated truncation).
+pub fn hop_embeddings(op: &CsrGraph, x: &DenseMatrix, k: usize) -> Vec<DenseMatrix> {
+    let mut out = Vec::with_capacity(k + 1);
+    out.push(x.clone());
+    let mut h = x.clone();
+    for _ in 0..k {
+        h = spmm(op, &h);
+        out.push(h.clone());
+    }
+    out
+}
+
+/// Weighted hop combination `Σ_i θ_i · Â^i X` without storing the stack —
+/// the generalized polynomial filter (`θ` = e.g. PPR weights
+/// `α(1−α)^i`).
+pub fn polynomial_propagate(op: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> DenseMatrix {
+    assert!(!theta.is_empty(), "need at least the 0-hop coefficient");
+    let mut acc = x.clone();
+    acc.scale(theta[0]);
+    let mut h = x.clone();
+    for &t in &theta[1..] {
+        h = spmm(op, &h);
+        acc.add_scaled(t, &h).expect("shapes fixed by construction");
+    }
+    acc
+}
+
+/// The truncated-PPR coefficient vector `θ_i = α(1−α)^i`, `i = 0..=k`.
+pub fn ppr_coefficients(alpha: f32, k: usize) -> Vec<f32> {
+    (0..=k).map(|i| alpha * (1.0 - alpha).powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+
+    fn op(n: usize, seed: u64) -> CsrGraph {
+        let g = generate::erdos_renyi(n, 8.0 / n as f64, false, seed);
+        normalized_adjacency(&g, NormKind::Sym, true).unwrap()
+    }
+
+    #[test]
+    fn power_zero_steps_is_identity() {
+        let a = op(50, 1);
+        let x = DenseMatrix::gaussian(50, 4, 1.0, 2);
+        let y = power_propagate(&a, &x, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn power_k_equals_repeated_spmm() {
+        let a = op(40, 2);
+        let x = DenseMatrix::gaussian(40, 3, 1.0, 3);
+        let y3 = power_propagate(&a, &x, 3);
+        let manual = spmm(&a, &spmm(&a, &spmm(&a, &x)));
+        for (a, b) in y3.data().iter().zip(manual.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn appnp_alpha_one_returns_x() {
+        let a = op(30, 3);
+        let x = DenseMatrix::gaussian(30, 2, 1.0, 4);
+        let z = appnp_propagate(&a, &x, 1.0, 7);
+        for (za, xa) in z.data().iter().zip(x.data()) {
+            assert!((za - xa).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn appnp_converges_to_fixed_point() {
+        let a = op(60, 4);
+        let x = DenseMatrix::gaussian(60, 3, 1.0, 5);
+        let z_many = appnp_propagate(&a, &x, 0.2, 60);
+        // Fixed point satisfies Z = (1-α) Â Z + α X.
+        let mut rhs = spmm(&a, &z_many);
+        rhs.scale(0.8);
+        rhs.add_scaled(0.2, &x).unwrap();
+        let diff = z_many.sub(&rhs).unwrap().frobenius();
+        assert!(diff < 1e-4, "fixed-point residual {diff}");
+    }
+
+    #[test]
+    fn hop_embeddings_prefix_property() {
+        let a = op(25, 6);
+        let x = DenseMatrix::gaussian(25, 2, 1.0, 7);
+        let hops = hop_embeddings(&a, &x, 3);
+        assert_eq!(hops.len(), 4);
+        assert_eq!(hops[0].data(), x.data());
+        let two = power_propagate(&a, &x, 2);
+        for (a, b) in hops[2].data().iter().zip(two.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn polynomial_matches_explicit_stack_combination() {
+        let a = op(35, 8);
+        let x = DenseMatrix::gaussian(35, 3, 1.0, 9);
+        let theta = [0.5f32, 0.3, 0.2];
+        let fused = polynomial_propagate(&a, &x, &theta);
+        let hops = hop_embeddings(&a, &x, 2);
+        let mut manual = DenseMatrix::zeros(35, 3);
+        for (i, h) in hops.iter().enumerate() {
+            manual.add_scaled(theta[i], h).unwrap();
+        }
+        let diff = fused.sub(&manual).unwrap().frobenius();
+        assert!(diff < 1e-5);
+    }
+
+    #[test]
+    fn truncated_ppr_coefficients_approach_appnp() {
+        // Σ α(1-α)^i Â^i X over many hops ≈ APPNP fixed point.
+        let a = op(45, 10);
+        let x = DenseMatrix::gaussian(45, 2, 1.0, 11);
+        let alpha = 0.25f32;
+        let poly = polynomial_propagate(&a, &x, &ppr_coefficients(alpha, 80));
+        let appnp = appnp_propagate(&a, &x, alpha, 200);
+        let rel = poly.sub(&appnp).unwrap().frobenius() / appnp.frobenius().max(1e-9);
+        assert!(rel < 1e-3, "relative gap {rel}");
+    }
+
+    #[test]
+    fn ppr_coefficients_sum_to_one_in_the_limit() {
+        let c = ppr_coefficients(0.15, 400);
+        let s: f32 = c.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4, "sum {s}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Neighborhood-explosion measurements (experiment E1).
+//!
+//! The survey (§1, §3.1.3) identifies *neighborhood explosion* as the
+//! persistent scalability bottleneck: representing one node with an
+//! L-layer message-passing GNN requires its entire L-hop neighborhood, so
+//! per-node inference cost grows like `deg^L` until it saturates at the
+//! whole graph. This module quantifies that, and contrasts it with the
+//! costs of sampled and decoupled alternatives.
+
+use sgnn_graph::traverse::k_hop_neighborhood;
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// Receptive-field size (#nodes an L-layer MP-GNN must touch) per layer
+/// count `0..=max_layers`, for one source node.
+pub fn receptive_field_sizes(g: &CsrGraph, source: NodeId, max_layers: u32) -> Vec<usize> {
+    (0..=max_layers)
+        .map(|l| k_hop_neighborhood(g, source, l).len())
+        .collect()
+}
+
+/// Mean receptive-field size over a deterministic sample of nodes.
+pub fn mean_receptive_field(g: &CsrGraph, layers: u32, sample: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let ids = sgnn_linalg::rng::sample_distinct(&mut sgnn_linalg::rng::seeded(seed), n, sample.min(n));
+    let total: usize = ids
+        .iter()
+        .map(|&u| k_hop_neighborhood(g, u as NodeId, layers).len())
+        .sum();
+    total as f64 / ids.len() as f64
+}
+
+/// Exact number of edge aggregations a *full-graph* L-layer MP-GNN performs
+/// per epoch: `L · nnz(A)` (every layer propagates over every edge).
+pub fn full_batch_aggregations(g: &CsrGraph, layers: u32) -> u64 {
+    layers as u64 * g.num_edges() as u64
+}
+
+/// Expected aggregations for *node-wise sampled* training (GraphSAGE-style)
+/// of one batch: with fanouts `f_1..f_L` (layer 1 = closest to output),
+/// each of the `batch` target nodes expands `Π f_i` sampled edges.
+///
+/// This is the `deg^L → Π fanout` reduction sampling buys — but note it
+/// still grows multiplicatively with depth, which is why LABOR/layer
+/// sampling exist.
+pub fn sampled_aggregations(batch: usize, fanouts: &[usize]) -> u64 {
+    let mut total = 0u64;
+    let mut frontier = batch as u64;
+    for &f in fanouts {
+        let edges = frontier * f as u64;
+        total += edges;
+        frontier = edges; // every sampled edge contributes a new frontier node (worst case, no dedup)
+    }
+    total
+}
+
+/// Aggregations for a decoupled model: `K` propagation passes over the full
+/// edge set **once** at precompute time, then zero graph work per epoch.
+pub fn decoupled_aggregations(g: &CsrGraph, hops: u32) -> u64 {
+    hops as u64 * g.num_edges() as u64
+}
+
+/// One row of the E1 table: how the per-node receptive field explodes with
+/// depth, versus the bounded frontier of sampling.
+#[derive(Debug, Clone)]
+pub struct ExplosionRow {
+    /// Layer count L.
+    pub layers: u32,
+    /// Mean |L-hop neighborhood| over sampled sources.
+    pub mean_receptive: f64,
+    /// Fraction of the whole graph that the receptive field covers.
+    pub coverage: f64,
+    /// Worst-case sampled frontier (`Π fanout`) with fanout 10.
+    pub sampled_frontier: u64,
+}
+
+/// Computes the E1 explosion series for `layers = 1..=max_layers`.
+pub fn explosion_series(g: &CsrGraph, max_layers: u32, sample: usize, seed: u64) -> Vec<ExplosionRow> {
+    (1..=max_layers)
+        .map(|l| {
+            let mean = mean_receptive_field(g, l, sample, seed);
+            ExplosionRow {
+                layers: l,
+                mean_receptive: mean,
+                coverage: mean / g.num_nodes() as f64,
+                sampled_frontier: 10u64.pow(l),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn receptive_field_monotone_and_saturating() {
+        let g = generate::barabasi_albert(2_000, 4, 1);
+        let sizes = receptive_field_sizes(&g, 0, 6);
+        assert_eq!(sizes[0], 1);
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        // BA graphs have tiny diameter: 6 hops ≈ whole graph.
+        assert!(*sizes.last().unwrap() as f64 > 0.95 * 2_000.0);
+    }
+
+    #[test]
+    fn explosion_is_fast_on_power_law_slow_on_grid() {
+        let ba = generate::barabasi_albert(2_500, 4, 2);
+        let grid = generate::grid2d(50, 50);
+        let ba3 = mean_receptive_field(&ba, 3, 50, 3);
+        let grid3 = mean_receptive_field(&grid, 3, 50, 3);
+        // 3-hop ball in a grid is ≤ 25 nodes; in BA it's hundreds.
+        assert!(grid3 <= 25.0, "grid {grid3}");
+        assert!(ba3 > 10.0 * grid3, "ba {ba3} vs grid {grid3}");
+    }
+
+    #[test]
+    fn aggregation_counts() {
+        let g = generate::chain(100); // 198 directed edges
+        assert_eq!(full_batch_aggregations(&g, 3), 3 * 198);
+        assert_eq!(decoupled_aggregations(&g, 3), 3 * 198);
+        // batch 2, fanouts [3, 2]: 2*3=6 then 6*2=12 → 18 total.
+        assert_eq!(sampled_aggregations(2, &[3, 2]), 18);
+        assert_eq!(sampled_aggregations(5, &[]), 0);
+    }
+
+    #[test]
+    fn explosion_series_shape() {
+        let g = generate::barabasi_albert(500, 3, 4);
+        let rows = explosion_series(&g, 4, 20, 5);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[3].coverage > rows[0].coverage);
+        assert_eq!(rows[1].sampled_frontier, 100);
+        assert!(rows.iter().all(|r| r.coverage <= 1.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! GENTI-style dynamic walk maintenance for streaming graphs.
+//!
+//! GENTI [55] targets "streaming graph data, alleviating the blockage in
+//! GPU training": as edges arrive, walk-based subgraph samples must stay
+//! fresh *without* resampling everything. The classic trick (also in
+//! Wharf/DynamicPPE): an arriving edge `(u, v)` only invalidates walks
+//! that pass through `u` or `v` — everything else is still a valid sample
+//! from the updated graph's walk distribution (each step's choice set is
+//! unchanged). We keep a per-node inverted index walk-id lists and
+//! resample only the affected walks.
+//!
+//! Also the §3.4.2 "dynamic graphs" future-direction demo.
+
+use rand::RngExt;
+use sgnn_graph::{CsrGraph, GraphBuilder, NodeId};
+
+/// A dynamic graph with incrementally-maintained random walks.
+pub struct DynamicWalks {
+    /// Current adjacency (rebuilt on mutation batches; edge inserts are
+    /// buffered).
+    graph: CsrGraph,
+    pending: Vec<(NodeId, NodeId)>,
+    /// Walk seeds.
+    seeds: Vec<NodeId>,
+    walks_per_seed: usize,
+    steps: usize,
+    /// Flat walk storage, `(steps+1)`-strided.
+    data: Vec<NodeId>,
+    /// Inverted index: node → walk ids that visit it.
+    index: Vec<Vec<u32>>,
+    seed_base: u64,
+    version: u64,
+    /// Walks resampled since construction (the maintenance-cost metric).
+    pub resampled: u64,
+}
+
+impl DynamicWalks {
+    /// Samples the initial walk set.
+    pub fn new(
+        graph: CsrGraph,
+        seeds: Vec<NodeId>,
+        walks_per_seed: usize,
+        steps: usize,
+        seed: u64,
+    ) -> Self {
+        let mut s = DynamicWalks {
+            index: vec![Vec::new(); graph.num_nodes()],
+            data: vec![0; seeds.len() * walks_per_seed * (steps + 1)],
+            graph,
+            pending: Vec::new(),
+            seeds,
+            walks_per_seed,
+            steps,
+            seed_base: seed,
+            version: 0,
+            resampled: 0,
+        };
+        for w in 0..s.num_walks() {
+            s.sample_walk(w);
+        }
+        s.resampled = 0; // initial sampling isn't maintenance
+        s
+    }
+
+    /// Total number of maintained walks.
+    pub fn num_walks(&self) -> usize {
+        self.seeds.len() * self.walks_per_seed
+    }
+
+    /// Walk `w` as a slice.
+    pub fn walk(&self, w: usize) -> &[NodeId] {
+        let stride = self.steps + 1;
+        &self.data[w * stride..(w + 1) * stride]
+    }
+
+    /// Current graph view.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn sample_walk(&mut self, w: usize) {
+        let stride = self.steps + 1;
+        // De-index the old walk.
+        let old: Vec<NodeId> = self.data[w * stride..(w + 1) * stride].to_vec();
+        for &node in old.iter() {
+            if let Some(pos) = self.index[node as usize].iter().position(|&x| x == w as u32) {
+                self.index[node as usize].swap_remove(pos);
+            }
+        }
+        let seed_node = self.seeds[w / self.walks_per_seed];
+        let mut rng = sgnn_linalg::rng::seeded(
+            self.seed_base ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.version,
+        );
+        let mut u = seed_node;
+        let mut visited = Vec::with_capacity(stride);
+        visited.push(u);
+        for _ in 0..self.steps {
+            let neigh = self.graph.neighbors(u);
+            if !neigh.is_empty() {
+                u = neigh[rng.random_range(0..neigh.len())];
+            }
+            visited.push(u);
+        }
+        for (i, &node) in visited.iter().enumerate() {
+            self.data[w * stride + i] = node;
+            // Index each walk id at most once per node.
+            if !self.index[node as usize].contains(&(w as u32)) {
+                self.index[node as usize].push(w as u32);
+            }
+        }
+        self.resampled += 1;
+    }
+
+    /// Inserts an undirected edge and resamples only the affected walks
+    /// (those visiting either endpoint). Returns how many walks were
+    /// refreshed.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> usize {
+        self.pending.push((u, v));
+        // Rebuild adjacency including the pending edge. (A production
+        // store would use an adjacency structure with O(1) inserts; the
+        // *walk maintenance* is the point here and is shared.)
+        let mut b = GraphBuilder::new(self.graph.num_nodes()).symmetric().drop_self_loops();
+        for (a, c, _) in self.graph.edges() {
+            if a < c {
+                b.add_edge(a, c);
+            }
+        }
+        b.add_edge(u, v);
+        self.graph = b.build().expect("ids valid");
+        self.version += 1;
+        let mut affected: Vec<u32> = self.index[u as usize].clone();
+        affected.extend_from_slice(&self.index[v as usize]);
+        affected.sort_unstable();
+        affected.dedup();
+        for w in &affected {
+            self.sample_walk(*w as usize);
+        }
+        affected.len()
+    }
+
+    /// Validates the invariant: every stored hop is a real edge of the
+    /// *current* graph (or a dangling self-repeat).
+    pub fn validate(&self) -> Result<(), String> {
+        for w in 0..self.num_walks() {
+            let walk = self.walk(w);
+            for t in 1..walk.len() {
+                let (a, b) = (walk[t - 1], walk[t]);
+                if a != b && !self.graph.has_edge(a, b) {
+                    return Err(format!("walk {w} uses stale edge {a}->{b}"));
+                }
+                if a == b && self.graph.degree(a) != 0 {
+                    return Err(format!("walk {w} self-repeats at non-dangling {a}"));
+                }
+            }
+        }
+        // Index consistency.
+        for w in 0..self.num_walks() {
+            for &node in self.walk(w) {
+                if !self.index[node as usize].contains(&(w as u32)) {
+                    return Err(format!("walk {w} missing from index of {node}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    fn setup(n: usize, seeds: usize) -> DynamicWalks {
+        let g = generate::barabasi_albert(n, 3, 1);
+        let s: Vec<NodeId> = (0..seeds as NodeId).collect();
+        DynamicWalks::new(g, s, 4, 5, 2)
+    }
+
+    #[test]
+    fn initial_walks_are_valid() {
+        let dw = setup(500, 20);
+        dw.validate().unwrap();
+        assert_eq!(dw.num_walks(), 80);
+        assert_eq!(dw.resampled, 0);
+    }
+
+    #[test]
+    fn insert_refreshes_only_affected_walks() {
+        let mut dw = setup(2_000, 50);
+        let total = dw.num_walks() as u64;
+        // Insert an edge between two low-traffic nodes.
+        let refreshed = dw.insert_edge(1_500, 1_600);
+        dw.validate().unwrap();
+        assert!(dw.graph().has_edge(1_500, 1_600));
+        assert!(
+            (refreshed as u64) < total / 2,
+            "refreshed {refreshed} of {total} walks"
+        );
+        assert_eq!(dw.resampled, refreshed as u64);
+    }
+
+    #[test]
+    fn walks_remain_valid_over_an_insert_stream() {
+        let mut dw = setup(800, 30);
+        let mut rng = sgnn_linalg::rng::seeded(9);
+        for i in 0..25u32 {
+            use rand::RngExt;
+            let u = rng.random_range(0..800u32);
+            let v = (u + 1 + i) % 800;
+            if u != v {
+                dw.insert_edge(u, v);
+            }
+        }
+        dw.validate().unwrap();
+    }
+
+    #[test]
+    fn hub_edge_insert_touches_many_walks() {
+        let mut dw = setup(1_000, 100);
+        // The highest-degree node appears in many walks.
+        let hub = (0..1_000u32).max_by_key(|&u| dw.graph().degree(u)).unwrap();
+        let quiet = dw.insert_edge(900, 901);
+        let busy = dw.insert_edge(hub, 902);
+        assert!(busy >= quiet, "hub insert {busy} !>= quiet insert {quiet}");
+    }
+}

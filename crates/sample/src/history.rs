@@ -1,0 +1,201 @@
+//! Historical-embedding cache (HDSGNN [21] / GNNAutoScale lineage).
+//!
+//! HDSGNN "interpolates graph sampling into an optimization process, where
+//! the cached sampling results are included to generate the incremental
+//! graph components": out-of-batch neighbors are served from a cache of
+//! their embeddings from earlier iterations instead of being recursively
+//! expanded. This trades staleness for a *constant-size* computation graph
+//! per batch.
+//!
+//! The cache is thread-safe (`parking_lot::RwLock` per shard) so samplers
+//! running on worker threads can read while the trainer writes.
+
+use parking_lot::RwLock;
+use sgnn_graph::NodeId;
+use sgnn_linalg::DenseMatrix;
+
+/// Fixed-width per-node embedding cache with staleness tracking.
+pub struct HistoryCache {
+    dim: usize,
+    shards: Vec<RwLock<Shard>>,
+    shard_bits: u32,
+}
+
+struct Shard {
+    /// Flat `nodes_in_shard × dim` storage.
+    data: Vec<f32>,
+    /// Iteration at which each node was last refreshed (`u64::MAX` =
+    /// never written).
+    version: Vec<u64>,
+}
+
+impl HistoryCache {
+    /// Creates a cache for `n` nodes with embedding width `dim`, zeroed and
+    /// marked never-written.
+    pub fn new(n: usize, dim: usize) -> Self {
+        let shard_bits = 4u32; // 16 shards: enough to decongest writers
+        let shards = 1usize << shard_bits;
+        let per = n.div_ceil(shards);
+        HistoryCache {
+            dim,
+            shard_bits,
+            shards: (0..shards)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        data: vec![0f32; per * dim],
+                        version: vec![u64::MAX; per],
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn locate(&self, u: NodeId) -> (usize, usize) {
+        let shards = self.shards.len();
+        ((u as usize) % shards, (u as usize) / shards)
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Writes node `u`'s embedding at iteration `iter`.
+    pub fn push(&self, u: NodeId, iter: u64, emb: &[f32]) {
+        assert_eq!(emb.len(), self.dim);
+        let (s, i) = self.locate(u);
+        let mut shard = self.shards[s].write();
+        shard.data[i * self.dim..(i + 1) * self.dim].copy_from_slice(emb);
+        shard.version[i] = iter;
+    }
+
+    /// Bulk write for a batch of nodes from rows of `embs`.
+    pub fn push_batch(&self, nodes: &[NodeId], iter: u64, embs: &DenseMatrix) {
+        assert_eq!(nodes.len(), embs.rows());
+        for (r, &u) in nodes.iter().enumerate() {
+            self.push(u, iter, embs.row(r));
+        }
+    }
+
+    /// Reads node `u`'s cached embedding into `out`; returns the age
+    /// (`now − written`) or `None` if never written.
+    pub fn fetch(&self, u: NodeId, now: u64, out: &mut [f32]) -> Option<u64> {
+        assert_eq!(out.len(), self.dim);
+        let (s, i) = self.locate(u);
+        let shard = self.shards[s].read();
+        let v = shard.version[i];
+        if v == u64::MAX {
+            return None;
+        }
+        out.copy_from_slice(&shard.data[i * self.dim..(i + 1) * self.dim]);
+        Some(now.saturating_sub(v))
+    }
+
+    /// Gathers cached embeddings for `nodes` into a matrix; missing entries
+    /// come back zeroed. Returns `(matrix, hit_count, mean_age_of_hits)`.
+    pub fn fetch_batch(&self, nodes: &[NodeId], now: u64) -> (DenseMatrix, usize, f64) {
+        let mut out = DenseMatrix::zeros(nodes.len(), self.dim);
+        let mut hits = 0usize;
+        let mut age_sum = 0u64;
+        for (r, &u) in nodes.iter().enumerate() {
+            let row = out.row_mut(r);
+            if let Some(age) = self.fetch(u, now, row) {
+                hits += 1;
+                age_sum += age;
+            }
+        }
+        let mean_age = if hits > 0 { age_sum as f64 / hits as f64 } else { 0.0 };
+        (out, hits, mean_age)
+    }
+
+    /// Resident bytes of the cache.
+    pub fn nbytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.read();
+                g.data.len() * 4 + g.version.len() * 8
+            })
+            .sum()
+    }
+
+    /// Number of shards (for tests).
+    pub fn num_shards(&self) -> usize {
+        1 << self.shard_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_before_push_is_none() {
+        let c = HistoryCache::new(100, 4);
+        let mut buf = vec![0f32; 4];
+        assert_eq!(c.fetch(5, 10, &mut buf), None);
+    }
+
+    #[test]
+    fn push_fetch_round_trip_with_age() {
+        let c = HistoryCache::new(100, 3);
+        c.push(17, 5, &[1.0, 2.0, 3.0]);
+        let mut buf = vec![0f32; 3];
+        assert_eq!(c.fetch(17, 9, &mut buf), Some(4));
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        // Overwrite refreshes version.
+        c.push(17, 9, &[4.0, 5.0, 6.0]);
+        assert_eq!(c.fetch(17, 9, &mut buf), Some(0));
+        assert_eq!(buf, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn batch_roundtrip_counts_hits() {
+        let c = HistoryCache::new(50, 2);
+        let m = DenseMatrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        c.push_batch(&[3, 7], 1, &m);
+        let (out, hits, age) = c.fetch_batch(&[3, 7, 9], 3);
+        let _ = age;
+        assert_eq!(hits, 2);
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+        assert_eq!(out.row(2), &[0.0, 0.0]); // miss → zeros
+    }
+
+    #[test]
+    fn shards_cover_all_nodes() {
+        let c = HistoryCache::new(1000, 1);
+        for u in (0..1000u32).step_by(37) {
+            c.push(u, 0, &[u as f32]);
+        }
+        let mut buf = [0f32];
+        for u in (0..1000u32).step_by(37) {
+            assert!(c.fetch(u, 0, &mut buf).is_some());
+            assert_eq!(buf[0], u as f32);
+        }
+        assert_eq!(c.num_shards(), 16);
+        assert!(c.nbytes() >= 1000 * 4);
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_do_not_deadlock() {
+        use std::sync::Arc;
+        let c = Arc::new(HistoryCache::new(256, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let emb = vec![t as f32; 8];
+                let mut buf = vec![0f32; 8];
+                for i in 0..2_000u32 {
+                    let u = (t * 64 + i % 64) % 256;
+                    c.push(u, i as u64, &emb);
+                    c.fetch((u + 128) % 256, i as u64, &mut buf);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

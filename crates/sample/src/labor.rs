@@ -1,0 +1,159 @@
+//! LABOR-style layer-neighbor sampling [2].
+//!
+//! LABOR "takes the advantage of node-dependent neighbor sampling, which
+//! restrains variance while requiring less samples". The trick (LABOR-0):
+//! draw **one** uniform variate `r_v` per *source* node, shared by all
+//! destinations in the layer; destination `t` with degree `d_t` keeps
+//! neighbor `v` iff `r_v ≤ k/d_t`. Per destination this is exactly
+//! Poisson sampling with inclusion probability `π_tv = min(1, k/d_t)`
+//! (so the Horvitz–Thompson estimator matches node-wise variance), but the
+//! *shared* randomness makes the kept source sets of different
+//! destinations overlap maximally — far fewer unique sources to fetch.
+
+use crate::block::{build_src_index, Block};
+use rand::RngExt;
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// Samples one LABOR-0 block with target fanout `k`.
+///
+/// Row `t`'s estimator is `(1/d_t) Σ_{v kept} x_v / π_tv`, unbiased for the
+/// neighborhood mean.
+pub fn labor_block(g: &CsrGraph, dst: &[NodeId], k: usize, seed: u64) -> Block {
+    assert!(k > 0);
+    let n = g.num_nodes();
+    let mut rng = sgnn_linalg::rng::seeded(seed);
+    // Lazy per-source variates: generate deterministically on first touch.
+    let mut r = vec![f64::NAN; n];
+    let mut rand_of = |v: usize, rng: &mut rand::rngs::StdRng| -> f64 {
+        if r[v].is_nan() {
+            r[v] = rng.random::<f64>();
+        }
+        r[v]
+    };
+    let mut indptr = Vec::with_capacity(dst.len() + 1);
+    indptr.push(0usize);
+    let mut kept: Vec<NodeId> = Vec::new();
+    let mut kept_w: Vec<f32> = Vec::new();
+    for &t in dst {
+        let neigh = g.neighbors(t);
+        let d = neigh.len();
+        if d == 0 {
+            indptr.push(kept.len());
+            continue;
+        }
+        let pi = (k as f64 / d as f64).min(1.0);
+        for &v in neigh {
+            if rand_of(v as usize, &mut rng) <= pi {
+                kept.push(v);
+                // Horvitz–Thompson: (1/d) · (1/π).
+                kept_w.push((1.0 / (d as f64 * pi)) as f32);
+            }
+        }
+        indptr.push(kept.len());
+    }
+    let (src, index_of) = build_src_index(n, dst, kept.iter().copied());
+    let cols: Vec<u32> = kept.iter().map(|&v| index_of[v as usize]).collect();
+    let block = Block { dst: dst.to_vec(), src, indptr, cols, weights: kept_w };
+    debug_assert!(block.validate().is_ok());
+    block
+}
+
+/// Samples an `L`-layer LABOR stack (deepest block first).
+pub fn labor_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: u64) -> Vec<Block> {
+    let mut blocks_rev = Vec::with_capacity(fanouts.len());
+    let mut dst: Vec<NodeId> = targets.to_vec();
+    for (i, &k) in fanouts.iter().enumerate() {
+        let b = labor_block(g, &dst, k, seed.wrapping_add(i as u64).wrapping_mul(0x85EB_CA6B));
+        dst = b.src.clone();
+        blocks_rev.push(b);
+    }
+    blocks_rev.reverse();
+    blocks_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_linalg::DenseMatrix;
+
+    #[test]
+    fn expected_sample_count_close_to_fanout() {
+        let g = generate::barabasi_albert(2_000, 10, 1);
+        let dst: Vec<NodeId> = (100..164).collect();
+        let mut total_edges = 0usize;
+        let reps = 50;
+        for s in 0..reps {
+            let b = labor_block(&g, &dst, 5, s);
+            total_edges += b.num_edges();
+        }
+        let per_dst = total_edges as f64 / (reps as usize * dst.len()) as f64;
+        // E[kept per dst] = d · min(1, k/d) ≤ k with equality when d ≥ k.
+        assert!((per_dst - 5.0).abs() < 0.5, "per-dst {per_dst}");
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let g = generate::erdos_renyi(200, 0.08, false, 2);
+        let x = DenseMatrix::gaussian(200, 1, 1.0, 3);
+        let target = 11u32;
+        let neigh = g.neighbors(target);
+        let exact: f32 =
+            neigh.iter().map(|&v| x.get(v as usize, 0)).sum::<f32>() / neigh.len() as f32;
+        let mut acc = 0f64;
+        let reps = 5000;
+        for s in 0..reps {
+            let b = labor_block(&g, &[target], 4, s);
+            let xs = x.gather_rows(&b.src.iter().map(|&v| v as usize).collect::<Vec<_>>());
+            acc += b.aggregate(&xs).get(0, 0) as f64;
+        }
+        let mean = acc / reps as f64;
+        assert!((mean - exact as f64).abs() < 0.05, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn labor_touches_fewer_unique_sources_than_node_wise() {
+        // The LABOR claim (E10): at matched per-destination fanout, shared
+        // randomness yields fewer unique sources on graphs where
+        // destinations share neighbors.
+        let (g, _) = generate::planted_partition(3_000, 3, 30.0, 0.9, 4);
+        let dst: Vec<NodeId> = (0..400).collect();
+        let mut labor_srcs = 0usize;
+        let mut nw_srcs = 0usize;
+        for s in 0..10 {
+            labor_srcs += labor_block(&g, &dst, 5, s).num_src();
+            nw_srcs += crate::node_wise::sample_blocks(&g, &dst, &[5], s)[0].num_src();
+        }
+        assert!(
+            labor_srcs < nw_srcs,
+            "labor {labor_srcs} should touch fewer sources than node-wise {nw_srcs}"
+        );
+    }
+
+    #[test]
+    fn small_degree_nodes_keep_all_neighbors() {
+        let g = generate::chain(20); // degrees ≤ 2
+        let dst: Vec<NodeId> = (1..19).collect();
+        let b = labor_block(&g, &dst, 4, 5);
+        // π = 1 for every neighbor → every edge kept with weight 1/d.
+        for (i, &t) in dst.iter().enumerate() {
+            assert_eq!(b.indptr[i + 1] - b.indptr[i], g.degree(t));
+        }
+        for i in 0..b.num_dst() {
+            let s: f32 = b.weights[b.indptr[i]..b.indptr[i + 1]].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stack_chains() {
+        let g = generate::barabasi_albert(500, 4, 6);
+        let t: Vec<NodeId> = vec![0, 5, 10];
+        let blocks = labor_blocks(&g, &t, &[4, 4], 7);
+        assert_eq!(blocks[1].dst, t);
+        assert_eq!(blocks[0].dst, blocks[1].src);
+        for b in &blocks {
+            b.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # sgnn-sample
+//!
+//! Graph sampling — the survey's classic scalability pillar (§3.1.2
+//! "Graph Sampling") and its modern refinements (§3.3.2), plus walk-based
+//! subgraph extraction (§3.3.3).
+//!
+//! Sampling strategies are organized by *scope of sample selection* exactly
+//! as the survey (after [32]) categorizes them:
+//!
+//! - **node-level** — [`node_wise`]: GraphSAGE fanout sampling; each target
+//!   draws its own bounded neighbor set, layer by layer.
+//! - **layer-level** — [`layer_wise`]: FastGCN/LADIES importance sampling
+//!   (one shared node set per layer), and [`labor`]: LABOR [2]-style
+//!   correlated Poisson sampling that matches node-wise variance with far
+//!   fewer unique sources.
+//! - **subgraph-level** — [`saint`]: GraphSAINT node / edge / random-walk
+//!   samplers with bias-correcting loss/aggregation normalizations, and
+//!   Cluster-GCN-style partition batches (in `sgnn-partition`).
+//!
+//! Supporting machinery:
+//! - [`block`] — bipartite message-flow blocks (the sampled computation
+//!   graph fed to models).
+//! - [`history`] — HDSGNN-style historical-embedding cache with staleness
+//!   tracking.
+//! - [`variance`] — estimator-variance measurement harness (experiment
+//!   E10).
+//! - [`walks`] — SUREL/GENTI [53, 55] walk-based subgraph extraction with
+//!   a compact flat walk store and relative positional encodings.
+
+pub mod adgnn;
+pub mod block;
+pub mod dynamic;
+pub mod history;
+pub mod labor;
+pub mod layer_wise;
+pub mod node_wise;
+pub mod saint;
+pub mod variance;
+pub mod walks;
+
+pub use block::Block;
+pub use history::HistoryCache;
+pub use node_wise::sample_blocks;
+pub use saint::{SaintSampler, SaintSubgraph};
+pub use walks::WalkStore;

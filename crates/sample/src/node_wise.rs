@@ -1,0 +1,170 @@
+//! Node-wise (GraphSAGE-style) neighbor sampling.
+//!
+//! Each target node independently draws up to `fanout` neighbors without
+//! replacement; the sample mean is an unbiased estimator of the neighbor
+//! mean. Stacking `L` layers bounds the per-batch computation graph at
+//! `batch · Π fanout_i` — the classic answer to neighborhood explosion,
+//! at the price of multiplicative growth in depth (experiment E1/E3).
+
+use crate::block::{build_src_index, Block};
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// Samples the `L = fanouts.len()` blocks for a batch of `targets`.
+///
+/// `fanouts[0]` applies to the layer *closest to the output*. Returned
+/// blocks are ordered input-side first (`blocks[0]` is the deepest layer),
+/// which is the order a forward pass consumes them.
+///
+/// Each destination with degree `d` samples `min(fanout, d)` distinct
+/// neighbors with weight `1/s` (mean aggregation, unbiased for the
+/// neighborhood mean).
+pub fn sample_blocks(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &[usize],
+    seed: u64,
+) -> Vec<Block> {
+    let mut rng = sgnn_linalg::rng::seeded(seed);
+    let n = g.num_nodes();
+    let mut blocks_rev: Vec<Block> = Vec::with_capacity(fanouts.len());
+    let mut dst: Vec<NodeId> = targets.to_vec();
+    for &fanout in fanouts {
+        assert!(fanout > 0, "fanout must be positive");
+        let mut indptr = Vec::with_capacity(dst.len() + 1);
+        indptr.push(0usize);
+        let mut sampled: Vec<NodeId> = Vec::new();
+        for &u in &dst {
+            let neigh = g.neighbors(u);
+            if neigh.is_empty() {
+                indptr.push(sampled.len());
+                continue;
+            }
+            if neigh.len() <= fanout {
+                sampled.extend_from_slice(neigh);
+            } else {
+                let picks = sgnn_linalg::rng::sample_distinct(&mut rng, neigh.len(), fanout);
+                sampled.extend(picks.into_iter().map(|i| neigh[i]));
+            }
+            indptr.push(sampled.len());
+        }
+        let (src, index_of) = build_src_index(n, &dst, sampled.iter().copied());
+        let mut cols = Vec::with_capacity(sampled.len());
+        let mut weights = Vec::with_capacity(sampled.len());
+        for i in 0..dst.len() {
+            let cnt = indptr[i + 1] - indptr[i];
+            let w = if cnt > 0 { 1.0 / cnt as f32 } else { 0.0 };
+            for e in indptr[i]..indptr[i + 1] {
+                cols.push(index_of[sampled[e] as usize]);
+                weights.push(w);
+            }
+        }
+        let block = Block { dst: dst.clone(), src: src.clone(), indptr, cols, weights };
+        debug_assert!(block.validate().is_ok());
+        blocks_rev.push(block);
+        dst = src; // next (deeper) layer must produce features for all srcs
+    }
+    blocks_rev.reverse();
+    blocks_rev
+}
+
+/// Count of *unique* input nodes a block stack touches (its feature-fetch
+/// cost — the quantity LABOR optimizes).
+pub fn input_nodes(blocks: &[Block]) -> usize {
+    blocks.first().map_or(0, |b| b.src.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_linalg::DenseMatrix;
+
+    #[test]
+    fn block_stack_shapes_chain_correctly() {
+        let g = generate::barabasi_albert(500, 4, 1);
+        let targets: Vec<NodeId> = vec![3, 77, 120];
+        let blocks = sample_blocks(&g, &targets, &[5, 5], 42);
+        assert_eq!(blocks.len(), 2);
+        // Outer (last) block's dst is the batch.
+        assert_eq!(blocks[1].dst, targets);
+        // Chaining: deeper block's dst == shallower block's src.
+        assert_eq!(blocks[0].dst, blocks[1].src);
+        for b in &blocks {
+            b.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fanout_bounds_sample_count() {
+        let g = generate::barabasi_albert(300, 5, 2);
+        let blocks = sample_blocks(&g, &[0, 1, 2, 3], &[3], 7);
+        let b = &blocks[0];
+        for i in 0..b.num_dst() {
+            let cnt = b.indptr[i + 1] - b.indptr[i];
+            assert!(cnt <= 3.min(g.degree(b.dst[i])));
+            // Distinct columns.
+            let mut cs: Vec<u32> = b.cols[b.indptr[i]..b.indptr[i + 1]].to_vec();
+            cs.sort_unstable();
+            cs.dedup();
+            assert_eq!(cs.len(), cnt);
+        }
+    }
+
+    #[test]
+    fn weights_form_row_means() {
+        let g = generate::erdos_renyi(100, 0.1, false, 3);
+        let blocks = sample_blocks(&g, &[5, 9], &[4], 9);
+        let b = &blocks[0];
+        for i in 0..b.num_dst() {
+            let s: f32 = b.weights[b.indptr[i]..b.indptr[i + 1]].iter().sum();
+            let cnt = b.indptr[i + 1] - b.indptr[i];
+            if cnt > 0 {
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_mean_is_unbiased() {
+        // Average the sampled aggregate over many seeds; it must approach
+        // the exact neighborhood mean.
+        let g = generate::barabasi_albert(200, 6, 4);
+        let x = DenseMatrix::gaussian(200, 1, 1.0, 5);
+        let target = 0u32;
+        let exact: f32 = {
+            let neigh = g.neighbors(target);
+            neigh.iter().map(|&v| x.get(v as usize, 0)).sum::<f32>() / neigh.len() as f32
+        };
+        let mut acc = 0f64;
+        let reps = 3000;
+        for s in 0..reps {
+            let blocks = sample_blocks(&g, &[target], &[3], s);
+            let b = &blocks[0];
+            let xs = x.gather_rows(&b.src.iter().map(|&v| v as usize).collect::<Vec<_>>());
+            let y = b.aggregate(&xs);
+            acc += y.get(0, 0) as f64;
+        }
+        let mean = acc / reps as f64;
+        assert!((mean - exact as f64).abs() < 0.05, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn isolated_target_gets_empty_row() {
+        let g = CsrGraph::empty(5);
+        let blocks = sample_blocks(&g, &[2], &[4], 1);
+        let b = &blocks[0];
+        assert_eq!(b.num_edges(), 0);
+        assert_eq!(b.src, vec![2]);
+        let y = b.aggregate(&DenseMatrix::zeros(1, 3));
+        assert_eq!(y.shape(), (1, 3));
+    }
+
+    #[test]
+    fn deeper_stacks_touch_more_inputs() {
+        let g = generate::barabasi_albert(3_000, 5, 6);
+        let t: Vec<NodeId> = (0..16).collect();
+        let one = input_nodes(&sample_blocks(&g, &t, &[8], 11));
+        let three = input_nodes(&sample_blocks(&g, &t, &[8, 8, 8], 11));
+        assert!(three > 2 * one, "1-layer {one}, 3-layer {three}");
+    }
+}

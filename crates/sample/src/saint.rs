@@ -1,0 +1,231 @@
+//! GraphSAINT subgraph sampling.
+//!
+//! Subgraph-level sampling trains a full GNN on small induced subgraphs,
+//! with aggregation/loss normalization correcting the sampling bias. Three
+//! samplers from the paper:
+//!
+//! - **Node**: sample nodes ∝ degree, induce.
+//! - **Edge**: sample edges ∝ `1/d_u + 1/d_v`, take endpoints, induce.
+//! - **Random walk**: sample root nodes, run fixed-length walks, induce on
+//!   all visited nodes (best connectivity in practice).
+//!
+//! Normalization coefficients are estimated by pre-sampling (the paper's
+//! approach): node norm `λ_v = N·C_v/S` estimates `n·p_v`, loss weights are
+//! `1/λ_v`.
+
+use rand::RngExt;
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// Which GraphSAINT sampler to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaintSampler {
+    /// `budget` nodes sampled with probability ∝ degree.
+    Node {
+        /// Number of nodes per subgraph.
+        budget: usize,
+    },
+    /// `budget` edges sampled ∝ `1/d_u + 1/d_v`; both endpoints join.
+    Edge {
+        /// Number of edges per subgraph.
+        budget: usize,
+    },
+    /// `roots` random roots each walking `length` steps.
+    RandomWalk {
+        /// Number of walk roots.
+        roots: usize,
+        /// Walk length (steps per root).
+        length: usize,
+    },
+}
+
+/// A sampled training subgraph with bias-correction weights.
+#[derive(Debug, Clone)]
+pub struct SaintSubgraph {
+    /// Induced subgraph (local ids).
+    pub graph: CsrGraph,
+    /// Local → global node mapping.
+    pub nodes: Vec<NodeId>,
+    /// Per-local-node loss weights `∝ 1/λ_v` (mean 1 over the subgraph).
+    pub loss_weights: Vec<f32>,
+}
+
+/// Draws one subgraph.
+pub fn sample_subgraph(g: &CsrGraph, sampler: SaintSampler, seed: u64) -> SaintSubgraph {
+    let mut rng = sgnn_linalg::rng::seeded(seed);
+    let chosen: Vec<NodeId> = match sampler {
+        SaintSampler::Node { budget } => {
+            let degs: Vec<f64> = (0..g.num_nodes()).map(|u| g.degree(u as NodeId) as f64).collect();
+            let mut picked = std::collections::HashSet::with_capacity(budget);
+            let mut guard = 0usize;
+            while picked.len() < budget.min(g.num_nodes()) && guard < budget * 50 {
+                if let Some(i) = sgnn_linalg::rng::sample_weighted(&mut rng, &degs) {
+                    picked.insert(i as NodeId);
+                }
+                guard += 1;
+            }
+            picked.into_iter().collect()
+        }
+        SaintSampler::Edge { budget } => {
+            // Collect directed edges u<v once with weight 1/du + 1/dv.
+            let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut weights: Vec<f64> = Vec::new();
+            for (u, v, _) in g.edges() {
+                if u < v {
+                    edges.push((u, v));
+                    weights.push(
+                        1.0 / g.degree(u).max(1) as f64 + 1.0 / g.degree(v).max(1) as f64,
+                    );
+                }
+            }
+            let mut picked = std::collections::HashSet::new();
+            for _ in 0..budget.min(edges.len()) {
+                if let Some(i) = sgnn_linalg::rng::sample_weighted(&mut rng, &weights) {
+                    picked.insert(edges[i].0);
+                    picked.insert(edges[i].1);
+                    weights[i] = 0.0;
+                }
+            }
+            picked.into_iter().collect()
+        }
+        SaintSampler::RandomWalk { roots, length } => {
+            let n = g.num_nodes();
+            let mut picked = std::collections::HashSet::new();
+            for _ in 0..roots {
+                let mut u = rng.random_range(0..n) as NodeId;
+                picked.insert(u);
+                for _ in 0..length {
+                    let neigh = g.neighbors(u);
+                    if neigh.is_empty() {
+                        break;
+                    }
+                    u = neigh[rng.random_range(0..neigh.len())];
+                    picked.insert(u);
+                }
+            }
+            picked.into_iter().collect()
+        }
+    };
+    let (graph, nodes) = g.induced_subgraph(&chosen);
+    // Loss weights default to uniform; callers wanting estimated
+    // normalization use `estimate_norms` and attach them.
+    let loss_weights = vec![1.0; nodes.len()];
+    SaintSubgraph { graph, nodes, loss_weights }
+}
+
+/// Pre-sampling pass estimating per-node inclusion frequency; returns
+/// per-global-node loss weights `S/(N·C_v)` (the GraphSAINT `1/λ_v`),
+/// clamped for never-sampled nodes.
+pub fn estimate_norms(
+    g: &CsrGraph,
+    sampler: SaintSampler,
+    presample_rounds: usize,
+    seed: u64,
+) -> Vec<f32> {
+    let n = g.num_nodes();
+    let mut counts = vec![0u32; n];
+    for r in 0..presample_rounds {
+        let sub = sample_subgraph(g, sampler, seed.wrapping_add(r as u64));
+        for &v in &sub.nodes {
+            counts[v as usize] += 1;
+        }
+    }
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let expected = (total as f64 / n as f64).max(1e-9);
+    counts
+        .iter()
+        .map(|&c| {
+            let c = c.max(1) as f64; // clamp: unseen nodes get max weight
+            (expected / c) as f32
+        })
+        .collect()
+}
+
+/// Attaches estimated global norms to a sampled subgraph's local nodes and
+/// rescales them to mean 1 (keeps the loss magnitude comparable).
+pub fn apply_norms(sub: &mut SaintSubgraph, global_norms: &[f32]) {
+    let mut w: Vec<f32> = sub.nodes.iter().map(|&v| global_norms[v as usize]).collect();
+    let mean: f32 = w.iter().sum::<f32>() / w.len().max(1) as f32;
+    if mean > 0.0 {
+        for x in w.iter_mut() {
+            *x /= mean;
+        }
+    }
+    sub.loss_weights = w;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn node_sampler_prefers_high_degree() {
+        let g = generate::barabasi_albert(1_000, 3, 1);
+        let mut freq = vec![0u32; 1_000];
+        for s in 0..200 {
+            let sub = sample_subgraph(&g, SaintSampler::Node { budget: 50 }, s);
+            for &v in &sub.nodes {
+                freq[v as usize] += 1;
+            }
+        }
+        // Highest-degree node sampled far more often than a median one.
+        let hub = (0..1_000u32).max_by_key(|&u| g.degree(u)).unwrap();
+        let leaf = (0..1_000u32).min_by_key(|&u| g.degree(u)).unwrap();
+        assert!(freq[hub as usize] > 4 * freq[leaf as usize].max(1));
+    }
+
+    #[test]
+    fn edge_sampler_produces_connected_pairs() {
+        let g = generate::erdos_renyi(300, 0.03, false, 2);
+        let sub = sample_subgraph(&g, SaintSampler::Edge { budget: 60 }, 3);
+        sub.graph.validate().unwrap();
+        assert!(sub.graph.num_edges() > 0);
+        // Every edge in the subgraph maps to an edge in the original graph.
+        for (u, v, _) in sub.graph.edges() {
+            assert!(g.has_edge(sub.nodes[u as usize], sub.nodes[v as usize]));
+        }
+    }
+
+    #[test]
+    fn rw_sampler_yields_few_isolated_nodes() {
+        let g = generate::barabasi_albert(2_000, 3, 4);
+        let sub = sample_subgraph(&g, SaintSampler::RandomWalk { roots: 20, length: 10 }, 5);
+        let isolated = (0..sub.graph.num_nodes() as NodeId)
+            .filter(|&u| sub.graph.degree(u) == 0)
+            .count();
+        // Walk-induced subgraphs are mostly connected.
+        assert!(
+            isolated * 5 < sub.graph.num_nodes(),
+            "{isolated}/{} isolated",
+            sub.graph.num_nodes()
+        );
+    }
+
+    #[test]
+    fn norms_estimate_downweights_frequent_nodes() {
+        let g = generate::barabasi_albert(500, 3, 6);
+        let norms = estimate_norms(&g, SaintSampler::Node { budget: 50 }, 100, 7);
+        let hub = (0..500u32).max_by_key(|&u| g.degree(u)).unwrap();
+        let mean: f32 = norms.iter().sum::<f32>() / 500.0;
+        assert!(norms[hub as usize] < mean, "hub weight {} mean {mean}", norms[hub as usize]);
+    }
+
+    #[test]
+    fn apply_norms_rescales_to_mean_one() {
+        let g = generate::erdos_renyi(100, 0.05, false, 8);
+        let norms = estimate_norms(&g, SaintSampler::RandomWalk { roots: 5, length: 5 }, 30, 9);
+        let mut sub = sample_subgraph(&g, SaintSampler::RandomWalk { roots: 5, length: 5 }, 10);
+        apply_norms(&mut sub, &norms);
+        let mean: f32 = sub.loss_weights.iter().sum::<f32>() / sub.loss_weights.len() as f32;
+        assert!((mean - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let g = generate::erdos_renyi(400, 0.05, false, 11);
+        let sub = sample_subgraph(&g, SaintSampler::Node { budget: 30 }, 12);
+        assert!(sub.nodes.len() <= 30);
+        let sub2 = sample_subgraph(&g, SaintSampler::Edge { budget: 10 }, 13);
+        assert!(sub2.nodes.len() <= 20);
+    }
+}

@@ -1,0 +1,173 @@
+//! Estimator-variance measurement harness (experiment E10).
+//!
+//! The survey's §3.3.2 "Graph Variance" groups LABOR [2] and HDSGNN [21]
+//! around one question: *how much variance does a sampling strategy inject
+//! into the aggregation, per unit of sampling budget?* This module measures
+//! it empirically: repeat a sampler many times over fixed features, compare
+//! each estimate of `(1/d_u)Σ_{v∈N(u)} x_v` to the exact value, and report
+//! variance plus the unique-source cost.
+
+use crate::block::Block;
+use sgnn_graph::{CsrGraph, NodeId};
+use sgnn_linalg::DenseMatrix;
+
+/// Sampling strategy under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// GraphSAGE node-wise sampling with the given fanout.
+    NodeWise(usize),
+    /// LADIES layer-wise sampling with the given layer size.
+    LayerWise(usize),
+    /// LABOR-0 Poisson sampling with the given fanout.
+    Labor(usize),
+}
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct VarianceReport {
+    /// Strategy measured.
+    pub strategy: Strategy,
+    /// Mean (over dst nodes and feature dims) estimator variance.
+    pub variance: f64,
+    /// Mean squared bias of the estimator (should be ≈ 0 for all three).
+    pub bias_sq: f64,
+    /// Mean unique source nodes touched per round (feature-fetch cost).
+    pub mean_unique_sources: f64,
+    /// Mean sampled edges per round.
+    pub mean_edges: f64,
+}
+
+fn one_block(g: &CsrGraph, dst: &[NodeId], strategy: Strategy, seed: u64) -> Block {
+    match strategy {
+        Strategy::NodeWise(k) => {
+            crate::node_wise::sample_blocks(g, dst, &[k], seed).pop().expect("one block")
+        }
+        Strategy::LayerWise(s) => crate::layer_wise::ladies_block(g, dst, s, seed),
+        Strategy::Labor(k) => crate::labor::labor_block(g, dst, k, seed),
+    }
+}
+
+/// Exact neighborhood means for the destinations.
+pub fn exact_aggregation(g: &CsrGraph, dst: &[NodeId], x: &DenseMatrix) -> DenseMatrix {
+    let d = x.cols();
+    let mut y = DenseMatrix::zeros(dst.len(), d);
+    for (i, &u) in dst.iter().enumerate() {
+        let neigh = g.neighbors(u);
+        if neigh.is_empty() {
+            continue;
+        }
+        let row = y.row_mut(i);
+        let mut acc = vec![0f32; d];
+        for &v in neigh {
+            sgnn_linalg::vecops::axpy(1.0, x.row(v as usize), &mut acc);
+        }
+        sgnn_linalg::vecops::scale(&mut acc, 1.0 / neigh.len() as f32);
+        row.copy_from_slice(&acc);
+    }
+    y
+}
+
+/// Measures a strategy over `rounds` independent samples.
+pub fn measure(
+    g: &CsrGraph,
+    dst: &[NodeId],
+    x: &DenseMatrix,
+    strategy: Strategy,
+    rounds: usize,
+    seed: u64,
+) -> VarianceReport {
+    let exact = exact_aggregation(g, dst, x);
+    let d = x.cols();
+    let cells = dst.len() * d;
+    let mut sum = vec![0f64; cells];
+    let mut sum_sq = vec![0f64; cells];
+    let mut unique_sources = 0usize;
+    let mut edges = 0usize;
+    for r in 0..rounds {
+        let b = one_block(g, dst, strategy, seed.wrapping_add(r as u64));
+        unique_sources += b.num_src();
+        edges += b.num_edges();
+        let xs = x.gather_rows(&b.src.iter().map(|&v| v as usize).collect::<Vec<_>>());
+        let y = b.aggregate(&xs);
+        for (i, &v) in y.data().iter().enumerate() {
+            sum[i] += v as f64;
+            sum_sq[i] += (v as f64) * (v as f64);
+        }
+    }
+    let inv = 1.0 / rounds as f64;
+    let mut var_acc = 0f64;
+    let mut bias_acc = 0f64;
+    for i in 0..cells {
+        let mean = sum[i] * inv;
+        let var = (sum_sq[i] * inv - mean * mean).max(0.0);
+        var_acc += var;
+        let b = mean - exact.data()[i] as f64;
+        bias_acc += b * b;
+    }
+    VarianceReport {
+        strategy,
+        variance: var_acc / cells as f64,
+        bias_sq: bias_acc / cells as f64,
+        mean_unique_sources: unique_sources as f64 / rounds as f64,
+        mean_edges: edges as f64 / rounds as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    fn setup() -> (CsrGraph, Vec<NodeId>, DenseMatrix) {
+        let (g, _) = generate::planted_partition(1_500, 3, 20.0, 0.8, 1);
+        let dst: Vec<NodeId> = (0..128).collect();
+        let x = DenseMatrix::gaussian(1_500, 4, 1.0, 2);
+        (g, dst, x)
+    }
+
+    #[test]
+    fn all_strategies_are_nearly_unbiased() {
+        let (g, dst, x) = setup();
+        for s in [Strategy::NodeWise(5), Strategy::LayerWise(128), Strategy::Labor(5)] {
+            let r = measure(&g, &dst, &x, s, 300, 7);
+            assert!(r.bias_sq < 0.01, "{s:?} bias² {}", r.bias_sq);
+        }
+    }
+
+    #[test]
+    fn bigger_fanout_means_lower_variance() {
+        let (g, dst, x) = setup();
+        let v2 = measure(&g, &dst, &x, Strategy::NodeWise(2), 200, 3).variance;
+        let v10 = measure(&g, &dst, &x, Strategy::NodeWise(10), 200, 3).variance;
+        assert!(v10 < v2, "fanout 10 var {v10} !< fanout 2 var {v2}");
+    }
+
+    #[test]
+    fn labor_matches_node_wise_variance_with_fewer_sources() {
+        // The LABOR headline (E10): comparable variance at the same fanout,
+        // strictly fewer unique sources.
+        let (g, dst, x) = setup();
+        let nw = measure(&g, &dst, &x, Strategy::NodeWise(5), 300, 5);
+        let lb = measure(&g, &dst, &x, Strategy::Labor(5), 300, 5);
+        assert!(
+            lb.variance < 2.0 * nw.variance,
+            "labor variance {} vs node-wise {}",
+            lb.variance,
+            nw.variance
+        );
+        assert!(
+            lb.mean_unique_sources < nw.mean_unique_sources,
+            "labor sources {} vs node-wise {}",
+            lb.mean_unique_sources,
+            nw.mean_unique_sources
+        );
+    }
+
+    #[test]
+    fn exact_aggregation_handles_isolated_nodes() {
+        let g = CsrGraph::empty(4);
+        let x = DenseMatrix::gaussian(4, 2, 1.0, 1);
+        let y = exact_aggregation(&g, &[0, 3], &x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Walk-based subgraph extraction with compact storage (SUREL [53],
+//! SUREL+ [52], GENTI [55]).
+//!
+//! The SUREL line replaces per-query subgraph *induction* with per-seed
+//! *walk sets*: sample `m` walks of length `l` from each seed once, store
+//! them in a flat array, and answer subgraph queries (e.g. for a node pair
+//! in link prediction) by joining the two walk sets. The storage layout is
+//! the point — "storing subgraphs as sparse representation" — so the store
+//! here is three flat buffers, no per-seed allocations.
+//!
+//! Also provided: *relative positional encodings* (RPE) — per (seed,
+//! visited node) landing counts at each hop, SUREL's structural feature.
+
+use rand::RngExt;
+use sgnn_graph::{CsrGraph, NodeId};
+
+/// # Example
+///
+/// ```
+/// use sgnn_graph::generate;
+/// use sgnn_sample::WalkStore;
+///
+/// let g = generate::barabasi_albert(2_000, 3, 5);
+/// let store = WalkStore::sample(&g, &[10, 20], 4, 6, 0);
+/// assert_eq!(store.walk(0, 0)[0], 10); // walks start at their seed
+/// let (_union, overlap) = store.pair_query(0, 1);
+/// assert!(overlap <= 2_000);
+/// ```
+/// Flat store of `m` walks of length `l` (plus the seed itself) per seed.
+#[derive(Debug, Clone)]
+pub struct WalkStore {
+    /// Seeds, in insertion order.
+    pub seeds: Vec<NodeId>,
+    /// Walks per seed.
+    pub walks_per_seed: usize,
+    /// Steps per walk (walk occupies `steps + 1` slots including the seed).
+    pub steps: usize,
+    /// Flat node buffer: seed-major, then walk-major, then position.
+    data: Vec<NodeId>,
+}
+
+impl WalkStore {
+    /// Samples walks for `seeds` on `g`.
+    ///
+    /// Walks that hit a dangling node stay there (self-repeat), keeping the
+    /// layout rectangular — exactly what a GPU-friendly store does.
+    pub fn sample(g: &CsrGraph, seeds: &[NodeId], walks_per_seed: usize, steps: usize, seed: u64) -> WalkStore {
+        let mut rng = sgnn_linalg::rng::seeded(seed);
+        let stride = steps + 1;
+        let mut data = Vec::with_capacity(seeds.len() * walks_per_seed * stride);
+        for &s in seeds {
+            for _ in 0..walks_per_seed {
+                let mut u = s;
+                data.push(u);
+                for _ in 0..steps {
+                    let neigh = g.neighbors(u);
+                    if !neigh.is_empty() {
+                        u = neigh[rng.random_range(0..neigh.len())];
+                    }
+                    data.push(u);
+                }
+            }
+        }
+        WalkStore { seeds: seeds.to_vec(), walks_per_seed, steps, data }
+    }
+
+    /// The `w`-th walk of the `i`-th seed as a slice of `steps+1` nodes.
+    pub fn walk(&self, seed_idx: usize, w: usize) -> &[NodeId] {
+        let stride = self.steps + 1;
+        let base = (seed_idx * self.walks_per_seed + w) * stride;
+        &self.data[base..base + stride]
+    }
+
+    /// All nodes visited from seed `i` (sorted, deduped) — the seed's
+    /// "walk-induced subgraph" node set.
+    pub fn visited(&self, seed_idx: usize) -> Vec<NodeId> {
+        let stride = self.steps + 1;
+        let base = seed_idx * self.walks_per_seed * stride;
+        let mut v: Vec<NodeId> = self.data[base..base + self.walks_per_seed * stride].to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Relative positional encoding of seed `i`: for every visited node,
+    /// its landing counts per hop position (`steps+1` wide).
+    ///
+    /// Returned as `(nodes, counts)` with `counts[j*(steps+1) + h]` = how
+    /// often `nodes[j]` was visited at hop `h`.
+    pub fn rpe(&self, seed_idx: usize) -> (Vec<NodeId>, Vec<u32>) {
+        let nodes = self.visited(seed_idx);
+        let stride = self.steps + 1;
+        let mut counts = vec![0u32; nodes.len() * stride];
+        for w in 0..self.walks_per_seed {
+            for (h, &u) in self.walk(seed_idx, w).iter().enumerate() {
+                let j = nodes.binary_search(&u).expect("visited node present");
+                counts[j * stride + h] += 1;
+            }
+        }
+        (nodes, counts)
+    }
+
+    /// Pair query (the link-prediction access pattern): union of the two
+    /// seeds' visited sets plus the intersection size (a cheap proximity
+    /// signal).
+    pub fn pair_query(&self, a_idx: usize, b_idx: usize) -> (Vec<NodeId>, usize) {
+        let a = self.visited(a_idx);
+        let b = self.visited(b_idx);
+        let mut union = Vec::with_capacity(a.len() + b.len());
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    union.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    union.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    union.push(a[i]);
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        union.extend_from_slice(&a[i..]);
+        union.extend_from_slice(&b[j..]);
+        (union, inter)
+    }
+
+    /// Store bytes (the E11 storage metric).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<NodeId>()
+            + self.seeds.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Number of stored walk slots.
+    pub fn len_slots(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Baseline for E11: extract each seed's `h`-hop induced subgraph
+/// explicitly (the cost walk stores avoid).
+pub fn induced_baseline(g: &CsrGraph, seeds: &[NodeId], hops: u32) -> Vec<(CsrGraph, Vec<NodeId>)> {
+    seeds
+        .iter()
+        .map(|&s| {
+            let nodes = sgnn_graph::traverse::k_hop_neighborhood(g, s, hops);
+            g.induced_subgraph(&nodes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn walks_start_at_seed_and_follow_edges() {
+        let g = generate::barabasi_albert(200, 3, 1);
+        let ws = WalkStore::sample(&g, &[5, 9], 4, 6, 2);
+        for (i, &s) in ws.seeds.iter().enumerate() {
+            for w in 0..4 {
+                let walk = ws.walk(i, w);
+                assert_eq!(walk[0], s);
+                for t in 1..walk.len() {
+                    assert!(
+                        g.has_edge(walk[t - 1], walk[t]) || walk[t - 1] == walk[t],
+                        "invalid hop {} -> {}",
+                        walk[t - 1],
+                        walk[t]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_walks_self_repeat() {
+        let g = sgnn_graph::GraphBuilder::new(3).edges(&[(0, 1)]).build().unwrap();
+        let ws = WalkStore::sample(&g, &[0], 2, 4, 3);
+        let walk = ws.walk(0, 0);
+        assert_eq!(walk.len(), 5);
+        assert_eq!(walk[1], 1);
+        assert!(walk[2..].iter().all(|&v| v == 1)); // stuck at sink
+    }
+
+    #[test]
+    fn visited_is_sorted_dedup() {
+        let g = generate::grid2d(5, 5);
+        let ws = WalkStore::sample(&g, &[12], 8, 5, 4);
+        let v = ws.visited(0);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.contains(&12));
+    }
+
+    #[test]
+    fn rpe_counts_sum_to_walk_slots() {
+        let g = generate::barabasi_albert(100, 3, 5);
+        let ws = WalkStore::sample(&g, &[7], 6, 4, 6);
+        let (nodes, counts) = ws.rpe(0);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total as usize, 6 * 5); // walks × (steps+1)
+        // Seed lands at hop 0 in every walk.
+        let j = nodes.binary_search(&7).unwrap();
+        assert_eq!(counts[j * 5 + 0], 6);
+    }
+
+    #[test]
+    fn pair_query_counts_overlap() {
+        let g = generate::chain(10);
+        let ws = WalkStore::sample(&g, &[0, 1, 9], 10, 3, 7);
+        let (union01, inter01) = ws.pair_query(0, 1);
+        let (_, inter09) = ws.pair_query(0, 2);
+        assert!(inter01 > 0, "adjacent seeds must overlap");
+        assert!(inter01 >= inter09, "near pair overlaps at least as much as far pair");
+        assert!(union01.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn store_is_rectangular_and_compact() {
+        let g = generate::barabasi_albert(500, 3, 8);
+        let seeds: Vec<NodeId> = (0..50).collect();
+        let ws = WalkStore::sample(&g, &seeds, 4, 6, 9);
+        assert_eq!(ws.len_slots(), 50 * 4 * 7);
+        assert_eq!(ws.nbytes(), (50 * 4 * 7 + 50) * 4);
+    }
+
+    #[test]
+    fn induced_baseline_produces_valid_subgraphs() {
+        let g = generate::barabasi_albert(300, 3, 10);
+        let subs = induced_baseline(&g, &[0, 50], 2);
+        assert_eq!(subs.len(), 2);
+        for (sub, map) in &subs {
+            sub.validate().unwrap();
+            assert!(!map.is_empty());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # sgnn-sim
+//!
+//! Node-pair similarity analytics — the survey's §3.2.2 leaf.
+//!
+//! Pairwise similarity metrics "discover underlying relevance in the graph
+//! topology, especially long-distance ones", and crucially support
+//! *on-demand node-level querying* instead of full-graph processing:
+//!
+//! - [`simrank`] — SimRank by matrix iteration (ground truth), Monte-Carlo
+//!   meeting walks (scalable single-pair queries), and the SIMGA [28]
+//!   pattern: a top-k similarity graph used as a second, global aggregation
+//!   operator for heterophilous GNNs.
+//! - [`rewire`] — DHGR [3]-style graph rewiring: score candidate pairs by
+//!   cosine similarity of topology+attribute profiles, add high-similarity
+//!   edges, optionally drop dissimilar ones.
+//! - [`hub`] — pruned landmark labeling (2-hop hub labels) giving exact
+//!   shortest-path-distance queries in microseconds (CFGNN [16] core-fringe
+//!   hierarchy, DHIL-GT [27] SPD bias queries).
+
+pub mod hub;
+pub mod rewire;
+pub mod simrank;
+
+pub use hub::{CoreFringe, HubLabels};
+pub use rewire::{rewire, RewireConfig, RewireReport};
+pub use simrank::{simrank_matrix, simrank_mc, topk_similarity_graph};

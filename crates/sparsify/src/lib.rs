@@ -1,0 +1,31 @@
+//! # sgnn-sparsify
+//!
+//! Graph sparsification — the survey's §3.3.1: remove edges (or skip
+//! entry-wise work) "while preserving important properties", buying both
+//! effectiveness (drop harmful connections) and efficiency (less
+//! propagation work).
+//!
+//! - [`unifews`] — Unifews [25]-style *entry-wise* sparsification: the
+//!   propagation loop itself skips edge contributions below a threshold,
+//!   so pruning costs nothing extra and adapts per layer.
+//! - [`prune`] — one-shot graph sparsifiers: weight threshold, per-node
+//!   top-k, and a degree-based effective-resistance-proxy *spectral*
+//!   sparsifier with reweighting.
+//! - [`atp`] — ATP [20]-style degree-aware propagation masking: dampen
+//!   high-degree hubs during propagation to fix their over-mixing.
+//! - [`nigcn`] — NIGCN [14]-style node-wise diffusion: per-target sampled
+//!   expansion with heat-kernel hop weights, linear in the sample budget
+//!   and independent of graph size.
+
+// Numeric kernels index several parallel flat buffers at once; iterator
+// rewrites obscure them. Config-style constructors take their full
+// parameter list deliberately (documented, stable).
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
+pub mod atp;
+pub mod nigcn;
+pub mod prune;
+pub mod unifews;
+
+pub use prune::{spectral_sparsify, threshold_prune, topk_prune};
+pub use unifews::{unifews_propagate, UnifewsStats};

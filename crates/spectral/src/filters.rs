@@ -1,0 +1,349 @@
+//! Polynomial graph filters.
+//!
+//! A graph signal filter `g(λ)` acts on the eigenvalues `λ ∈ [0, 2]` of the
+//! symmetric normalized Laplacian `L = I − Â`. Polynomial filters evaluate
+//! `g(L)·X` with `K` sparse products. Two bases are provided:
+//!
+//! - **monomial** in `Â`: `Σ_k θ_k Â^k X` — what SGC/APPNP/GPR-GNN use;
+//! - **Chebyshev** in the rescaled Laplacian `L̂ = L − I` (spectrum in
+//!   `[−1, 1]` since `λ_max(L) ≤ 2`): numerically stable for high degree,
+//!   the ChebNet lineage.
+
+use sgnn_graph::spmm::spmm;
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::DenseMatrix;
+
+/// Common filter shapes on `λ ∈ [0, 2]` used by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterPreset {
+    /// Homophily: attenuate high frequencies, `g(λ) = (1 − λ/2)`.
+    LowPass,
+    /// Heterophily: attenuate low frequencies, `g(λ) = λ/2`.
+    HighPass,
+    /// Mid-band emphasis `g(λ) = 1 − |1 − λ|`.
+    BandPass,
+    /// All-pass (identity).
+    Identity,
+}
+
+impl FilterPreset {
+    /// Evaluates the ideal response at `lambda ∈ [0, 2]`.
+    pub fn response(&self, lambda: f64) -> f64 {
+        match self {
+            FilterPreset::LowPass => 1.0 - lambda / 2.0,
+            FilterPreset::HighPass => lambda / 2.0,
+            FilterPreset::BandPass => 1.0 - (1.0 - lambda).abs(),
+            FilterPreset::Identity => 1.0,
+        }
+    }
+}
+
+/// Applies the monomial filter `Σ_k theta[k]·Â^k X`.
+///
+/// `op` must be the normalized adjacency `Â` (or any operator with spectrum
+/// in `[−1, 1]`).
+pub fn monomial_filter(op: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> DenseMatrix {
+    assert!(!theta.is_empty());
+    let mut acc = x.clone();
+    acc.scale(theta[0]);
+    let mut h = x.clone();
+    for &t in &theta[1..] {
+        h = spmm(op, &h);
+        acc.add_scaled(t, &h).expect("shapes fixed");
+    }
+    acc
+}
+
+/// Applies the Chebyshev filter `Σ_k theta[k]·T_k(L̂)·X` where
+/// `L̂ = L − I = −Â` (spectrum in `[−1, 1]`), using the three-term
+/// recurrence `T_{k+1} = 2 L̂ T_k − T_{k−1}`.
+///
+/// `adj` must be the normalized adjacency `Â`; the rescaled Laplacian is
+/// applied implicitly as `L̂ y = −Â y`.
+pub fn chebyshev_filter(adj: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> DenseMatrix {
+    assert!(!theta.is_empty());
+    let lhat = |v: &DenseMatrix| -> DenseMatrix {
+        let mut y = spmm(adj, v);
+        y.scale(-1.0);
+        y
+    };
+    let mut acc = x.clone();
+    acc.scale(theta[0]);
+    if theta.len() == 1 {
+        return acc;
+    }
+    let mut t_prev = x.clone(); // T_0 X
+    let mut t_cur = lhat(x); // T_1 X
+    acc.add_scaled(theta[1], &t_cur).expect("shapes fixed");
+    for &t in &theta[2..] {
+        let mut t_next = lhat(&t_cur);
+        t_next.scale(2.0);
+        t_next.add_scaled(-1.0, &t_prev).expect("shapes fixed");
+        acc.add_scaled(t, &t_next).expect("shapes fixed");
+        t_prev = t_cur;
+        t_cur = t_next;
+    }
+    acc
+}
+
+/// Applies the Bernstein-basis filter
+/// `Σ_k theta[k] · C(K,k)/2^K · (2I−L)^{K−k} L^k · X` (BernNet lineage).
+///
+/// Bernstein coefficients are *interpretable*: `theta[k]` is (approximately)
+/// the filter response at `λ = 2k/K`, and non-negative coefficients
+/// guarantee a non-negative response — useful when a model learns the
+/// filter. `adj` must be the normalized adjacency (`L = I − Â`).
+pub fn bernstein_filter(adj: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> DenseMatrix {
+    assert!(!theta.is_empty());
+    let big_k = theta.len() - 1;
+    // L y = y − Ây;  (2I − L) y = y + Ây.
+    let apply_l = |v: &DenseMatrix| -> DenseMatrix {
+        let mut y = spmm(adj, v);
+        y.scale(-1.0);
+        y.add_scaled(1.0, v).expect("shapes fixed");
+        y
+    };
+    let apply_2ml = |v: &DenseMatrix| -> DenseMatrix {
+        let mut y = spmm(adj, v);
+        y.add_scaled(1.0, v).expect("shapes fixed");
+        y
+    };
+    // Precompute L^k X progressively; for each term apply (2I−L)^{K−k}.
+    // Cost K² SpMMs — fine for the small K (≤ ~10) Bernstein uses.
+    let mut acc = DenseMatrix::zeros(x.rows(), x.cols());
+    let mut lkx = x.clone();
+    for (k, &t) in theta.iter().enumerate() {
+        if k > 0 {
+            lkx = apply_l(&lkx);
+        }
+        let binom = binomial(big_k, k) / 2f64.powi(big_k as i32);
+        let mut term = lkx.clone();
+        for _ in 0..(big_k - k) {
+            term = apply_2ml(&term);
+        }
+        acc.add_scaled(t * binom as f32, &term).expect("shapes fixed");
+    }
+    acc
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut r = 1f64;
+    for i in 0..k.min(n - k) {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// Evaluates the Bernstein series at scalar `λ ∈ [0, 2]`.
+pub fn bernstein_eval(theta: &[f32], lambda: f64) -> f64 {
+    let big_k = theta.len() - 1;
+    let mut acc = 0f64;
+    for (k, &t) in theta.iter().enumerate() {
+        let b = binomial(big_k, k) / 2f64.powi(big_k as i32)
+            * (2.0 - lambda).powi((big_k - k) as i32)
+            * lambda.powi(k as i32);
+        acc += t as f64 * b;
+    }
+    acc
+}
+
+/// Evaluates a Chebyshev polynomial series at scalar `x ∈ [−1, 1]` (for
+/// verifying filters against their ideal responses).
+pub fn chebyshev_eval(theta: &[f32], x: f64) -> f64 {
+    let mut acc = theta[0] as f64;
+    if theta.len() == 1 {
+        return acc;
+    }
+    let mut t_prev = 1.0f64;
+    let mut t_cur = x;
+    acc += theta[1] as f64 * t_cur;
+    for &t in &theta[2..] {
+        let t_next = 2.0 * x * t_cur - t_prev;
+        acc += t as f64 * t_next;
+        t_prev = t_cur;
+        t_cur = t_next;
+    }
+    acc
+}
+
+/// Fits degree-`k` Chebyshev coefficients to a preset's ideal response by
+/// least squares on a dense grid of `λ ∈ [0, 2]`.
+///
+/// Returns coefficients in the `T_k(L̂)` basis with `L̂ = L − I`, i.e. the
+/// grid point `λ` maps to Chebyshev argument `λ − 1`.
+pub fn fit_filter_coefficients(preset: FilterPreset, k: usize) -> Vec<f32> {
+    // Discrete least squares with Chebyshev-orthogonality shortcuts: sample
+    // at Chebyshev nodes where the basis is exactly orthogonal under the
+    // discrete inner product.
+    let m = (4 * (k + 1)).max(64);
+    let mut theta = vec![0f64; k + 1];
+    // Nodes x_j = cos(π (j + 0.5)/m); λ = x + 1.
+    for j in 0..m {
+        let xj = (std::f64::consts::PI * (j as f64 + 0.5) / m as f64).cos();
+        let target = preset.response(xj + 1.0);
+        let mut t_prev = 1.0f64;
+        let mut t_cur = xj;
+        theta[0] += target * t_prev;
+        if k >= 1 {
+            theta[1] += target * t_cur;
+        }
+        for coef in theta.iter_mut().take(k + 1).skip(2) {
+            let t_next = 2.0 * xj * t_cur - t_prev;
+            *coef += target * t_next;
+            t_prev = t_cur;
+            t_cur = t_next;
+        }
+    }
+    let mut out: Vec<f32> = theta.iter().map(|&v| (2.0 * v / m as f64) as f32).collect();
+    out[0] /= 2.0; // T_0 normalization differs by factor 2
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+    use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+
+    fn adj(n: usize, seed: u64) -> CsrGraph {
+        let g = generate::erdos_renyi(n, 10.0 / n as f64, false, seed);
+        normalized_adjacency(&g, NormKind::Sym, true).unwrap()
+    }
+
+    #[test]
+    fn monomial_identity_coefficients() {
+        let a = adj(30, 1);
+        let x = DenseMatrix::gaussian(30, 2, 1.0, 2);
+        let y = monomial_filter(&a, &x, &[1.0]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn chebyshev_degree_one_is_minus_adjacency() {
+        let a = adj(25, 3);
+        let x = DenseMatrix::gaussian(25, 2, 1.0, 4);
+        // θ = [0, 1] → T_1(L̂) X = −ÂX.
+        let y = chebyshev_filter(&a, &x, &[0.0, 1.0]);
+        let mut expect = spmm(&a, &x);
+        expect.scale(-1.0);
+        let diff = y.sub(&expect).unwrap().frobenius();
+        assert!(diff < 1e-5);
+    }
+
+    #[test]
+    fn chebyshev_recurrence_matches_scalar_eval() {
+        // On a graph whose Â is diagonalizable, verify on an eigenvector:
+        // use the 2-cycle: Â eigenvalues ±1 with known eigenvectors.
+        let g = sgnn_graph::GraphBuilder::new(2).symmetric().edges(&[(0, 1)]).build().unwrap();
+        let a = normalized_adjacency(&g, NormKind::Sym, false).unwrap();
+        let theta = [0.3f32, -0.4, 0.2, 0.1];
+        // Eigenvector [1, 1]/√2 of Â with λ_Â = 1 → L̂ argument = −1.
+        let x = DenseMatrix::from_rows(&[&[1.0], &[1.0]]);
+        let y = chebyshev_filter(&a, &x, &theta);
+        let expect = chebyshev_eval(&theta, -1.0);
+        assert!((y.get(0, 0) as f64 - expect).abs() < 1e-5);
+        // Eigenvector [1, −1]/√2 with λ_Â = −1 → argument = +1.
+        let x2 = DenseMatrix::from_rows(&[&[1.0], &[-1.0]]);
+        let y2 = chebyshev_filter(&a, &x2, &theta);
+        let expect2 = chebyshev_eval(&theta, 1.0);
+        assert!((y2.get(0, 0) as f64 - expect2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fitted_lowpass_matches_ideal_response() {
+        let theta = fit_filter_coefficients(FilterPreset::LowPass, 8);
+        for &lambda in &[0.0, 0.3, 0.9, 1.4, 2.0] {
+            let got = chebyshev_eval(&theta, lambda - 1.0);
+            let want = FilterPreset::LowPass.response(lambda);
+            assert!((got - want).abs() < 0.02, "λ={lambda}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fitted_bandpass_is_close_despite_kink() {
+        let theta = fit_filter_coefficients(FilterPreset::BandPass, 16);
+        for &lambda in &[0.0, 0.5, 1.0, 1.5, 2.0] {
+            let got = chebyshev_eval(&theta, lambda - 1.0);
+            let want = FilterPreset::BandPass.response(lambda);
+            assert!((got - want).abs() < 0.12, "λ={lambda}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lowpass_filter_smooths_highpass_sharpens() {
+        // On a homophilous two-block SBM, low-pass filtering should reduce
+        // Dirichlet energy; high-pass should increase the high-frequency
+        // share.
+        let (g, _) = generate::sbm(&[50, 50], 0.2, 0.01, 5);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(100, 1, 1.0, 6);
+        let lp = monomial_filter(&a, &x, &[0.0, 0.5, 0.5]);
+        let energy = |m: &DenseMatrix| crate::diagnostics::dirichlet_energy(&g, m);
+        let e_x = energy(&x);
+        let e_lp = energy(&lp);
+        assert!(e_lp < e_x, "low-pass energy {e_lp} !< {e_x}");
+    }
+
+    #[test]
+    fn bernstein_eval_matches_matrix_application_on_eigenvector() {
+        // 2-cycle: Â eigenpairs λ_Â = ±1 → L eigenvalues 0 and 2.
+        let g = sgnn_graph::GraphBuilder::new(2).symmetric().edges(&[(0, 1)]).build().unwrap();
+        let a = normalized_adjacency(&g, NormKind::Sym, false).unwrap();
+        let theta = [0.9f32, 0.2, 0.7];
+        let smooth = DenseMatrix::from_rows(&[&[1.0], &[1.0]]); // L-eigenvalue 0
+        let rough = DenseMatrix::from_rows(&[&[1.0], &[-1.0]]); // L-eigenvalue 2
+        let ys = bernstein_filter(&a, &smooth, &theta);
+        let yr = bernstein_filter(&a, &rough, &theta);
+        assert!((ys.get(0, 0) as f64 - bernstein_eval(&theta, 0.0)).abs() < 1e-5);
+        assert!((yr.get(0, 0) as f64 - bernstein_eval(&theta, 2.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bernstein_coefficients_are_interpolatory_at_endpoints() {
+        // B(0) = theta[0], B(2) = theta[K].
+        let theta = [0.3f32, 0.8, 0.1, 0.6];
+        assert!((bernstein_eval(&theta, 0.0) - 0.3).abs() < 1e-6);
+        assert!((bernstein_eval(&theta, 2.0) - 0.6).abs() < 1e-6);
+        // Partition of unity: all-ones coefficients → constant response 1.
+        let ones = [1.0f32; 7];
+        for lam in [0.0, 0.5, 1.0, 1.7, 2.0] {
+            assert!((bernstein_eval(&ones, lam) - 1.0).abs() < 1e-6, "λ={lam}");
+        }
+    }
+
+    #[test]
+    fn nonnegative_bernstein_coefficients_give_nonnegative_response() {
+        let theta = [0.0f32, 0.5, 0.0, 0.9, 0.2];
+        for i in 0..=40 {
+            let lam = i as f64 / 20.0;
+            assert!(bernstein_eval(&theta, lam) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn bernstein_filter_linear_identity() {
+        // θ_k = k/K·2 gives B(λ) = λ (Bernstein reproduces linear
+        // functions exactly); verify against the spectral action.
+        let a = adj(30, 9);
+        let x = DenseMatrix::gaussian(30, 2, 1.0, 10);
+        let big_k = 6usize;
+        let theta: Vec<f32> = (0..=big_k).map(|k| 2.0 * k as f32 / big_k as f32).collect();
+        let y = bernstein_filter(&a, &x, &theta);
+        // λ-action: y = L x = x − Âx.
+        let mut expect = spmm(&a, &x);
+        expect.scale(-1.0);
+        expect.add_scaled(1.0, &x).unwrap();
+        let rel = y.sub(&expect).unwrap().frobenius() / expect.frobenius();
+        assert!(rel < 1e-4, "relative {rel}");
+    }
+
+    #[test]
+    fn high_degree_chebyshev_is_stable() {
+        let a = adj(40, 7);
+        let x = DenseMatrix::gaussian(40, 2, 1.0, 8);
+        let theta = vec![0.05f32; 40];
+        let y = chebyshev_filter(&a, &x, &theta);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(y.frobenius() < 100.0 * x.frobenius());
+    }
+}

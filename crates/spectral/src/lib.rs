@@ -1,0 +1,33 @@
+//! # sgnn-spectral
+//!
+//! Spectral embeddings and polynomial graph filters — the survey's §3.2.1
+//! "Spectral Embeddings" leaf (LD2 [24], UniFilter [15], AdaptKry [13]).
+//!
+//! GNNs are low-pass graph filters; heterophilous tasks need high-frequency
+//! components too. The scalable answer surveyed here is *polynomial*
+//! filtering: any filter `g(λ)` is approximated by `Σ_k θ_k P_k(L)` where
+//! `P_k` is a polynomial basis, so applying it costs `K` SpMMs — no
+//! eigendecomposition, no dense operators. This crate provides:
+//!
+//! - [`filters`] — monomial and Chebyshev bases, filter presets (low-pass /
+//!   high-pass / band-pass), and coefficient fitting for a target response.
+//! - [`basis`] — UniFilter-style universal heterophily basis and
+//!   AdaptKry-style adaptive Krylov (Lanczos) signal bases.
+//! - [`embedding`] — LD2-style multi-channel decoupled embeddings
+//!   (low-pass ⊕ high-pass ⊕ PPR channels) for heterophilous graphs.
+//! - [`diagnostics`] — over-smoothing and smoothness measures (Dirichlet
+//!   energy, Rayleigh quotients, spectral energy distribution) used by
+//!   experiment E5.
+
+// Numeric kernels index several parallel flat buffers at once; iterator
+// rewrites obscure them. Config-style constructors take their full
+// parameter list deliberately (documented, stable).
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
+pub mod basis;
+pub mod diagnostics;
+pub mod embedding;
+pub mod filters;
+
+pub use embedding::{ld2_embedding, Ld2Config};
+pub use filters::{chebyshev_filter, fit_filter_coefficients, monomial_filter, FilterPreset};

@@ -1,0 +1,61 @@
+//! Heterophilous-graph pipeline (survey §3.2): when neighbors are
+//! *dissimilar*, plain low-pass GNNs fail; the graph-analytics toolbox —
+//! multi-channel spectral embeddings (LD2), SimRank global aggregation
+//! (SIMGA), similarity rewiring (DHGR) — repairs them.
+//!
+//! ```text
+//! cargo run --release --example heterophily_pipeline
+//! ```
+
+use sgnn::core::models::decoupled::PrecomputeMethod;
+use sgnn::core::trainer::{train_decoupled, train_full_gcn, TrainConfig};
+use sgnn::data::sbm_dataset;
+use sgnn::sim::rewire::{rewire, RewireConfig};
+use sgnn::spectral::diagnostics::edge_homophily;
+use sgnn::spectral::Ld2Config;
+
+fn main() {
+    // Heterophily dial at 0.15: 85% of each node's edges leave its class.
+    let ds = sbm_dataset(4_000, 4, 12.0, 0.15, 16, 0.4, 0, 0.5, 0.25, 3);
+    println!(
+        "heterophilous dataset: {} nodes, edge homophily {:.2}\n",
+        ds.num_nodes(),
+        edge_homophily(&ds.graph, &ds.labels)
+    );
+    let cfg = TrainConfig { epochs: 40, hidden: vec![32], ..Default::default() };
+
+    println!("baseline GCN (low-pass only) —");
+    let (_, gcn) = train_full_gcn(&ds, &cfg);
+    println!("  gcn          acc={:.3}", gcn.test_acc);
+
+    println!("graph-free MLP (ignores the misleading edges) —");
+    let (_, mlp) = train_decoupled(&ds, &PrecomputeMethod::None, &cfg);
+    println!("  mlp          acc={:.3}", mlp.test_acc);
+
+    println!("LD2 multi-channel embedding (low ⊕ high ⊕ PPR channels) —");
+    let ld2 = Ld2Config { low_hops: 2, high_hops: 2, ppr_channel: true, ..Default::default() };
+    let (_, ld2r) = train_decoupled(&ds, &PrecomputeMethod::Ld2(ld2), &cfg);
+    println!("  ld2          acc={:.3}", ld2r.test_acc);
+
+    println!("DHGR-style rewiring, then GCN on the repaired graph —");
+    let (rewired, report) = rewire(
+        &ds.graph,
+        &ds.features,
+        &RewireConfig { add_per_node: 4, drop_threshold: Some(0.2), ..Default::default() },
+    );
+    println!(
+        "  rewired: +{} −{} edges, homophily {:.2} → {:.2}",
+        report.added,
+        report.removed,
+        edge_homophily(&ds.graph, &ds.labels),
+        edge_homophily(&rewired, &ds.labels)
+    );
+    let mut ds2 = ds.clone();
+    ds2.graph = rewired;
+    let (_, gcn2) = train_full_gcn(&ds2, &cfg);
+    println!("  gcn+rewire   acc={:.3}", gcn2.test_acc);
+
+    println!("\nExpected shape (survey §3.2): GCN < MLP < {{LD2, rewired GCN}} —");
+    println!("heterophily defeats pure low-pass aggregation, and both the");
+    println!("spectral multi-channel and the similarity-rewiring repair it.");
+}

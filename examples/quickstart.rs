@@ -1,0 +1,58 @@
+//! Quickstart: train three scalable-GNN families on one synthetic graph
+//! and compare accuracy / time / peak memory.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sgnn::core::models::decoupled::PrecomputeMethod;
+use sgnn::core::trainer::{
+    train_decoupled, train_full_gcn, train_sampled, SamplerKind, TrainConfig, TrainReport,
+};
+use sgnn::data::sbm_dataset;
+
+fn print_row(r: &TrainReport) {
+    println!(
+        "{:<16} acc={:.3}  val={:.3}  precompute={:.2}s  train={:.2}s  peak={:>8} KiB",
+        r.name,
+        r.test_acc,
+        r.val_acc,
+        r.precompute_secs,
+        r.train_secs,
+        r.peak_mem_bytes / 1024
+    );
+}
+
+fn main() {
+    // A 20k-node homophilous community graph with noisy class features —
+    // the small end of the survey's "realistic" regime, big enough that
+    // the scalability differences already show.
+    println!("generating dataset…");
+    let ds = sbm_dataset(20_000, 5, 10.0, 0.85, 32, 1.0, 0, 0.5, 0.25, 7);
+    println!(
+        "dataset: {} nodes, {} edges, {} classes, {} features\n",
+        ds.num_nodes(),
+        ds.graph.num_edges() / 2,
+        ds.num_classes,
+        ds.feature_dim()
+    );
+    let cfg = TrainConfig { epochs: 30, hidden: vec![32], ..Default::default() };
+
+    println!("1/3  full-batch GCN (the canonical baseline)…");
+    let (_, gcn) = train_full_gcn(&ds, &cfg);
+    print_row(&gcn);
+
+    println!("2/3  decoupled SGC (precompute Â²X once, then mini-batch MLP)…");
+    let (_, sgc) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+    print_row(&sgc);
+
+    println!("3/3  sampled GraphSAGE (node-wise fanout 5×5)…");
+    let cfg_s = TrainConfig { epochs: 10, batch_size: 512, ..cfg.clone() };
+    let (_, sage) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s);
+    print_row(&sage);
+
+    println!("\nThe survey's §3.1.2 story in one table: all three reach similar");
+    println!("accuracy, but the decoupled model's peak memory is batch-sized");
+    println!("while the full-batch GCN holds every layer activation for the");
+    println!("entire graph.");
+}

@@ -1,0 +1,14 @@
+//! Prints Figure 1 of the paper — the taxonomy of graph-data-management
+//! techniques for scalable GNNs — with each leaf mapped to the module in
+//! this workspace that implements it.
+//!
+//! ```text
+//! cargo run --example taxonomy
+//! ```
+
+fn main() {
+    let tree = sgnn::core::taxonomy::figure1();
+    println!("{}", tree.render());
+    let leaves = tree.leaves();
+    println!("{} taxonomy leaves, every one implemented.", leaves.len());
+}

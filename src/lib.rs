@@ -1,0 +1,51 @@
+//! # sgnn — Scalable Graph Neural Networks from the Graph Data Management Perspective
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and DESIGN.md for the paper-to-module mapping.
+//!
+//! ```
+//! use sgnn::data::sbm_dataset;
+//! use sgnn::core::trainer::{train_decoupled, TrainConfig};
+//! use sgnn::core::models::decoupled::PrecomputeMethod;
+//!
+//! let ds = sbm_dataset(300, 3, 8.0, 0.85, 8, 0.6, 0, 0.5, 0.25, 42);
+//! let cfg = TrainConfig { epochs: 20, ..Default::default() };
+//! let (_, report) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+//! assert!(report.test_acc > 0.5);
+//! ```
+
+/// Dense linear algebra kernels.
+pub use sgnn_linalg as linalg;
+
+/// Graph storage, generators, normalization, traversal, and I/O.
+pub use sgnn_graph as graph;
+
+/// Decoupled propagation: power iteration, PPR push, Monte-Carlo, heat.
+pub use sgnn_prop as prop;
+
+/// Spectral filters, adaptive bases, LD2 embeddings, diagnostics.
+pub use sgnn_spectral as spectral;
+
+/// SimRank, rewiring, and hub labeling.
+pub use sgnn_sim as sim;
+
+/// Node-, layer-, and subgraph-level sampling plus walk stores.
+pub use sgnn_sample as sample;
+
+/// Streaming and multilevel partitioning, Cluster-GCN batches, comm simulation.
+pub use sgnn_partition as partition;
+
+/// Entry-wise and one-shot sparsifiers, degree-aware propagation.
+pub use sgnn_sparsify as sparsify;
+
+/// Coarsening, condensation, and coarse-node-augmented batching.
+pub use sgnn_coarsen as coarsen;
+
+/// Manual-backprop neural network stack.
+pub use sgnn_nn as nn;
+
+/// The unified framework: model zoo, trainers, metrics, taxonomy.
+pub use sgnn_core as core;
+
+/// Synthetic dataset generators and splits.
+pub use sgnn_data as data;

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: full pipelines from dataset generation
+//! through training to evaluation, exercising the public facade API the
+//! way a downstream user would.
+
+use sgnn::core::models::decoupled::PrecomputeMethod;
+use sgnn::core::trainer::{
+    train_cluster_gcn, train_coarse, train_decoupled, train_full_gcn, train_saint,
+    train_sampled, SamplerKind, TrainConfig,
+};
+use sgnn::data::sbm_dataset;
+use sgnn::spectral::Ld2Config;
+
+fn dataset() -> sgnn::data::Dataset {
+    sbm_dataset(800, 4, 10.0, 0.9, 8, 0.8, 0, 0.5, 0.25, 21)
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig { epochs: 35, hidden: vec![16], dropout: 0.1, ..Default::default() }
+}
+
+#[test]
+fn every_training_family_learns_the_same_dataset() {
+    let ds = dataset();
+    let cfg = cfg();
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let (_, r) = train_full_gcn(&ds, &cfg);
+    results.push((r.name.clone(), r.test_acc));
+    for method in [
+        PrecomputeMethod::Sgc { k: 2 },
+        PrecomputeMethod::Appnp { alpha: 0.15, k: 8 },
+        PrecomputeMethod::Ld2(Ld2Config::default()),
+    ] {
+        let (_, r) = train_decoupled(&ds, &method, &cfg);
+        results.push((r.name.clone(), r.test_acc));
+    }
+    let cfg_s = TrainConfig { epochs: 20, batch_size: 128, ..cfg.clone() };
+    let (_, r) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s);
+    results.push((r.name.clone(), r.test_acc));
+    let (_, r) = train_saint(
+        &ds,
+        sgnn::sample::SaintSampler::RandomWalk { roots: 50, length: 5 },
+        4,
+        &cfg,
+    );
+    results.push((r.name.clone(), r.test_acc));
+    let (_, r) = train_cluster_gcn(&ds, 8, 2, &cfg);
+    results.push((r.name.clone(), r.test_acc));
+    for (name, acc) in &results {
+        assert!(*acc > 0.65, "{name} accuracy {acc} too low: {results:?}");
+    }
+}
+
+#[test]
+fn decoupled_peak_memory_beats_full_batch_at_scale() {
+    // The E13 headline claim as an invariant: at fixed accuracy budget the
+    // decoupled pipeline's peak memory is far below full-batch GCN's.
+    let ds = sbm_dataset(5_000, 4, 10.0, 0.9, 16, 0.8, 0, 0.5, 0.25, 22);
+    let cfg = TrainConfig { epochs: 15, hidden: vec![32], ..Default::default() };
+    let (_, full) = train_full_gcn(&ds, &cfg);
+    let (_, dec) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+    assert!(
+        (dec.peak_mem_bytes as f64) < 0.6 * full.peak_mem_bytes as f64,
+        "decoupled {} vs full {}",
+        dec.peak_mem_bytes,
+        full.peak_mem_bytes
+    );
+    assert!(dec.test_acc > full.test_acc - 0.08);
+}
+
+#[test]
+fn coarse_training_is_cheaper_and_close_in_accuracy() {
+    let ds = dataset();
+    let cfg = cfg();
+    let (_, full) = train_full_gcn(&ds, &cfg);
+    let coarse = train_coarse(&ds, 0.3, &cfg);
+    assert!(coarse.peak_mem_bytes < full.peak_mem_bytes);
+    assert!(
+        coarse.test_acc > full.test_acc - 0.25,
+        "coarse {} vs full {}",
+        coarse.test_acc,
+        full.test_acc
+    );
+}
+
+#[test]
+fn graph_io_round_trips_through_disk_format() {
+    let ds = dataset();
+    let bytes = sgnn::graph::io::to_bytes(&ds.graph);
+    let g2 = sgnn::graph::io::from_bytes(bytes).unwrap();
+    assert_eq!(ds.graph.indptr(), g2.indptr());
+    assert_eq!(ds.graph.indices(), g2.indices());
+}
+
+#[test]
+fn taxonomy_modules_reference_existing_crates() {
+    // Every module path mentioned in the Figure 1 tree must name crates
+    // that exist in this workspace (string-level sanity against drift).
+    let known = [
+        "sgnn_linalg",
+        "sgnn_graph",
+        "sgnn_prop",
+        "sgnn_spectral",
+        "sgnn_sim",
+        "sgnn_sample",
+        "sgnn_partition",
+        "sgnn_sparsify",
+        "sgnn_coarsen",
+        "sgnn_nn",
+        "sgnn_core",
+        "sgnn_data",
+    ];
+    for leaf in sgnn::core::taxonomy::figure1().leaves() {
+        let m = leaf.module.unwrap();
+        assert!(
+            known.iter().any(|k| m.contains(k)),
+            "leaf {} maps to unknown module {m}",
+            leaf.name
+        );
+    }
+}
