@@ -13,8 +13,8 @@ fn configured() -> Criterion {
 
 fn bench_explosion(c: &mut Criterion) {
     let g = sgnn_graph::generate::barabasi_albert(20_000, 4, 1);
-    let adj = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true)
-        .unwrap();
+    let adj =
+        sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true).unwrap();
     let x = sgnn_linalg::DenseMatrix::gaussian(20_000, 32, 1.0, 2);
 
     c.bench_function("e1/k_hop_3_ba20k", |b| {

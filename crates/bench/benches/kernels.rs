@@ -1,0 +1,80 @@
+//! Worker-pool kernel benches: per-call dispatch overhead (persistent pool
+//! vs seed-era scoped spawning) and spmm load balance on a hub-skewed
+//! BA-100k power-law graph (nnz-balanced vs seed-era row-count chunks).
+//!
+//! Pin `SGNN_THREADS`-style reproducibility with
+//! `sgnn_linalg::par::set_threads` before timing anything; these benches
+//! run at the default (hardware) thread count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgnn_bench::kernel_baseline::{scoped_chunks, spmm_rowcount};
+use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+use sgnn_graph::spmm::{spmm, spmm_into};
+use sgnn_graph::{generate, CsrGraph};
+use sgnn_linalg::par::{par_chunks, set_threads};
+use sgnn_linalg::DenseMatrix;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+/// Tiny body: the measured cost is almost entirely dispatch.
+fn touch_range(sink: &AtomicU64, start: usize, end: usize) {
+    sink.fetch_add((end - start) as u64, Ordering::Relaxed);
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // 4096 elements split at min_chunk 64: a few dozen µs of real work,
+    // so per-call thread-handoff cost dominates both variants.
+    let sink = AtomicU64::new(0);
+    c.bench_function("kernels/dispatch_pooled_tiny", |b| {
+        b.iter(|| par_chunks(black_box(4096), 64, |s, e| touch_range(&sink, s, e)))
+    });
+    c.bench_function("kernels/dispatch_scoped_tiny", |b| {
+        b.iter(|| scoped_chunks(black_box(4096), 64, |s, e| touch_range(&sink, s, e)))
+    });
+    // With 2 threads requested the designs diverge: seed dispatch spawns
+    // and joins OS threads per call, the pool hands off to live workers.
+    set_threads(2);
+    c.bench_function("kernels/dispatch_pooled_tiny_t2", |b| {
+        b.iter(|| par_chunks(black_box(4096), 64, |s, e| touch_range(&sink, s, e)))
+    });
+    c.bench_function("kernels/dispatch_scoped_tiny_t2", |b| {
+        b.iter(|| scoped_chunks(black_box(4096), 64, |s, e| touch_range(&sink, s, e)))
+    });
+    set_threads(0);
+}
+
+fn ba_100k() -> CsrGraph {
+    let g = generate::barabasi_albert(100_000, 8, 7);
+    normalized_adjacency(&g, NormKind::Sym, true).unwrap()
+}
+
+fn bench_spmm_load_balance(c: &mut Criterion) {
+    let a = ba_100k();
+    let x = DenseMatrix::gaussian(100_000, 64, 1.0, 8);
+    let mut y = DenseMatrix::zeros(100_000, 64);
+    c.bench_function("kernels/spmm_balanced_ba100k_d64", |b| {
+        b.iter(|| spmm_into(black_box(&a), black_box(&x), &mut y))
+    });
+    c.bench_function("kernels/spmm_rowcount_ba100k_d64", |b| {
+        b.iter(|| spmm_rowcount(black_box(&a), black_box(&x)))
+    });
+    // Same comparison with the allocation included, apples-to-apples with
+    // the seed kernel's allocating signature.
+    c.bench_function("kernels/spmm_balanced_alloc_ba100k_d64", |b| {
+        b.iter(|| spmm(black_box(&a), black_box(&x)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_dispatch, bench_spmm_load_balance
+}
+criterion_main!(benches);

@@ -12,9 +12,7 @@ fn configured() -> Criterion {
 
 fn bench_partition(c: &mut Criterion) {
     let (g, _) = sgnn_graph::generate::planted_partition(20_000, 8, 10.0, 0.9, 3);
-    c.bench_function("e2/ldg_20k_k8", |b| {
-        b.iter(|| sgnn_partition::ldg(black_box(&g), 8, 1.05))
-    });
+    c.bench_function("e2/ldg_20k_k8", |b| b.iter(|| sgnn_partition::ldg(black_box(&g), 8, 1.05)));
     c.bench_function("e2/fennel_20k_k8", |b| {
         b.iter(|| sgnn_partition::fennel(black_box(&g), 8, 1.05))
     });

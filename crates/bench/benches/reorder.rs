@@ -17,9 +17,8 @@ fn bench_reorder(c: &mut Criterion) {
     let x = sgnn_linalg::DenseMatrix::gaussian(g.num_nodes(), 32, 1.0, 3);
     for order in [Reordering::Random { seed: 9 }, Reordering::DegreeSort, Reordering::Rcm] {
         let (rg, _) = relabel(&g, &compute_order(&g, order));
-        let adj =
-            sgnn_graph::normalize::normalized_adjacency(&rg, sgnn_graph::NormKind::Sym, true)
-                .unwrap();
+        let adj = sgnn_graph::normalize::normalized_adjacency(&rg, sgnn_graph::NormKind::Sym, true)
+            .unwrap();
         let label = format!("a1/spmm_{:?}", order).split(' ').next().unwrap().to_string();
         c.bench_function(&label, |b| {
             b.iter(|| sgnn_graph::spmm::spmm(black_box(&adj), black_box(&x)))

@@ -13,8 +13,8 @@ fn configured() -> Criterion {
 
 fn bench_sparsify(c: &mut Criterion) {
     let (g, _) = sgnn_graph::generate::planted_partition(20_000, 5, 20.0, 0.85, 8);
-    let adj = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true)
-        .unwrap();
+    let adj =
+        sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true).unwrap();
     let x = sgnn_linalg::DenseMatrix::gaussian(20_000, 32, 1.0, 9);
 
     c.bench_function("e9/unifews_exact_delta0", |b| {

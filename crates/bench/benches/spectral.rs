@@ -12,8 +12,8 @@ fn configured() -> Criterion {
 
 fn bench_spectral(c: &mut Criterion) {
     let (g, _) = sgnn_graph::generate::planted_partition(10_000, 4, 10.0, 0.5, 5);
-    let adj = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true)
-        .unwrap();
+    let adj =
+        sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, true).unwrap();
     let x = sgnn_linalg::DenseMatrix::gaussian(10_000, 16, 1.0, 6);
     let theta = sgnn_spectral::fit_filter_coefficients(sgnn_spectral::FilterPreset::BandPass, 8);
 

@@ -1,0 +1,163 @@
+//! `benchkernels` — machine-readable kernel perf snapshot.
+//!
+//! ```text
+//! cargo run --release -p sgnn-bench --bin benchkernels            # writes BENCH_kernels.json
+//! cargo run --release -p sgnn-bench --bin benchkernels -- out.json
+//! ```
+//!
+//! Times the pooled, nnz-balanced kernels against the seed-era baselines
+//! (scoped-spawn dispatch, row-count-partitioned spmm) on fixed seeded
+//! workloads and writes one JSON object so future PRs can diff the perf
+//! trajectory. JSON is emitted by hand — the workspace has no serde.
+
+use sgnn_bench::kernel_baseline::{scoped_chunks, spmm_rowcount};
+use sgnn_graph::normalize::{normalized_adjacency, NormKind};
+use sgnn_graph::spmm::{spmm_into, spmv};
+use sgnn_graph::{generate, CsrGraph};
+use sgnn_linalg::par::{num_threads, par_chunks, set_threads};
+use sgnn_linalg::DenseMatrix;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Median seconds per call over `reps` timed calls (after one warm-up).
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Times two competing kernels back-to-back per round so host-load drift
+/// hits both equally, returning their median per-call seconds. Shared-box
+/// noise makes separate-phase timing of slow kernels unreliable.
+fn time_interleaved(rounds: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a();
+    b();
+    let mut ta: Vec<f64> = Vec::with_capacity(rounds);
+    let mut tb: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        a();
+        ta.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        b();
+        tb.push(t.elapsed().as_secs_f64());
+    }
+    ta.sort_by(|x, y| x.total_cmp(y));
+    tb.sort_by(|x, y| x.total_cmp(y));
+    (ta[rounds / 2], tb[rounds / 2])
+}
+
+struct Entry {
+    name: &'static str,
+    seconds: f64,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let threads = num_threads();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- Dispatch overhead: tiny input, cost is the handoff itself. ---
+    let sink = AtomicU64::new(0);
+    let dispatch_reps = 2_000usize;
+    let (pooled, scoped) = time_interleaved(
+        9,
+        || {
+            for _ in 0..dispatch_reps {
+                par_chunks(black_box(4096), 64, |s, e| {
+                    sink.fetch_add((e - s) as u64, Ordering::Relaxed);
+                });
+            }
+        },
+        || {
+            for _ in 0..dispatch_reps {
+                scoped_chunks(black_box(4096), 64, |s, e| {
+                    sink.fetch_add((e - s) as u64, Ordering::Relaxed);
+                });
+            }
+        },
+    );
+    let (pooled, scoped) = (pooled / dispatch_reps as f64, scoped / dispatch_reps as f64);
+    entries.push(Entry { name: "dispatch_pooled_tiny", seconds: pooled });
+    entries.push(Entry { name: "dispatch_scoped_tiny", seconds: scoped });
+
+    // Same microbench with 2 threads requested: this is where the designs
+    // diverge — the seed spawns (and joins) OS threads on every call, the
+    // pool hands work to already-running workers. At the 1-thread default
+    // both collapse to a direct call and measure equal.
+    set_threads(2);
+    let reps2 = 200usize;
+    let (pooled2, scoped2) = time_interleaved(
+        9,
+        || {
+            for _ in 0..reps2 {
+                par_chunks(black_box(4096), 64, |s, e| {
+                    sink.fetch_add((e - s) as u64, Ordering::Relaxed);
+                });
+            }
+        },
+        || {
+            for _ in 0..reps2 {
+                scoped_chunks(black_box(4096), 64, |s, e| {
+                    sink.fetch_add((e - s) as u64, Ordering::Relaxed);
+                });
+            }
+        },
+    );
+    set_threads(0);
+    let (pooled2, scoped2) = (pooled2 / reps2 as f64, scoped2 / reps2 as f64);
+    entries.push(Entry { name: "dispatch_pooled_tiny_t2", seconds: pooled2 });
+    entries.push(Entry { name: "dispatch_scoped_tiny_t2", seconds: scoped2 });
+
+    // --- spmm load balance: BA-100k power-law graph, d = 64. ---
+    let a: CsrGraph =
+        normalized_adjacency(&generate::barabasi_albert(100_000, 8, 7), NormKind::Sym, true)
+            .unwrap();
+    let x = DenseMatrix::gaussian(100_000, 64, 1.0, 8);
+    let mut y = DenseMatrix::zeros(100_000, 64);
+    let (balanced, rowcount) = time_interleaved(
+        15,
+        || spmm_into(black_box(&a), black_box(&x), &mut y),
+        || {
+            black_box(spmm_rowcount(black_box(&a), black_box(&x)));
+        },
+    );
+    entries.push(Entry { name: "spmm_balanced_ba100k_d64", seconds: balanced });
+    entries.push(Entry { name: "spmm_rowcount_ba100k_d64", seconds: rowcount });
+
+    // --- spmv: previously single-threaded, now pooled. ---
+    let xv: Vec<f32> = x.data()[..100_000].to_vec();
+    let mut yv = vec![0.0f32; 100_000];
+    let spmv_t = time_median(9, || spmv(black_box(&a), black_box(&xv), &mut yv));
+    entries.push(Entry { name: "spmv_ba100k", seconds: spmv_t });
+
+    // --- Report. ---
+    let spmm_speedup = rowcount / balanced;
+    let dispatch_speedup = scoped2 / pooled2;
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(
+        "  \"workload\": \"barabasi_albert(100000, 8, seed 7), sym-normalized, d=64\",\n",
+    );
+    json.push_str("  \"timings_sec\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {:.9}{comma}\n", e.name, e.seconds));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"spmm_speedup_vs_rowcount\": {spmm_speedup:.3},\n"));
+    json.push_str(&format!("  \"dispatch_speedup_vs_scoped\": {dispatch_speedup:.3}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

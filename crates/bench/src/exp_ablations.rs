@@ -14,10 +14,7 @@ use std::time::Instant;
 /// survey's evaluation discussion).
 pub fn a1_reordering() -> bool {
     println!("A1: graph reordering vs SpMM locality (survey ref [36])");
-    println!(
-        "\n  {:<14} {:<12} {:>14} {:>12}",
-        "graph", "order", "mean id gap", "spmm(ms)"
-    );
+    println!("\n  {:<14} {:<12} {:>14} {:>12}", "graph", "order", "mean id gap", "spmm(ms)");
     for (name, g) in [
         ("ba-100k", generate::barabasi_albert(100_000, 8, 31)),
         ("grid-316²", generate::grid2d(316, 316)),
@@ -33,12 +30,9 @@ pub fn a1_reordering() -> bool {
         ] {
             let perm = compute_order(&g, order);
             let (rg, _) = relabel(&g, &perm);
-            let adj = sgnn_graph::normalize::normalized_adjacency(
-                &rg,
-                sgnn_graph::NormKind::Sym,
-                true,
-            )
-            .unwrap();
+            let adj =
+                sgnn_graph::normalize::normalized_adjacency(&rg, sgnn_graph::NormKind::Sym, true)
+                    .unwrap();
             // Warm up, then time.
             let _ = sgnn_graph::spmm::spmm(&adj, &x);
             let t = Instant::now();
@@ -101,13 +95,7 @@ pub fn a3_restreaming() -> bool {
         let p = sgnn_partition::streaming::fennel_restream(&g, 8, 1.05, passes);
         let secs = t.elapsed().as_secs_f64();
         let q = sgnn_partition::metrics::quality(&g, &p);
-        println!(
-            "  {:<8} {:>9.1}% {:>10.3} {:>10.2}",
-            passes,
-            q.edge_cut * 100.0,
-            q.balance,
-            secs
-        );
+        println!("  {:<8} {:>9.1}% {:>10.3} {:>10.2}", passes, q.edge_cut * 100.0, q.balance, secs);
     }
     let ml = sgnn_partition::multilevel_partition(
         &g,
@@ -130,19 +118,22 @@ pub fn a4_cross_batch_flow() -> bool {
     println!("A4: cross-batch information flow (SEIGNN [29] / HDSGNN [21])");
     let ds = sbm_dataset(8_000, 4, 10.0, 0.85, 16, 1.0, 0, 0.5, 0.25, 37);
     let cfg = TrainConfig { epochs: 25, hidden: vec![32], ..Default::default() };
-    println!(
-        "\n  {:<16} {:>8} {:>10} {:>10}",
-        "method", "acc", "train(s)", "peak MiB"
-    );
+    println!("\n  {:<16} {:>8} {:>10} {:>10}", "method", "acc", "train(s)", "peak MiB");
     let (_, cg) = train_cluster_gcn(&ds, 16, 1, &cfg);
     println!(
         "  {:<16} {:>8.3} {:>10.2} {:>10}",
-        "cluster-isolated", cg.test_acc, cg.train_secs, crate::mib(cg.peak_mem_bytes)
+        "cluster-isolated",
+        cg.test_acc,
+        cg.train_secs,
+        crate::mib(cg.peak_mem_bytes)
     );
     let se = train_seignn(&ds, 16, &cfg);
     println!(
         "  {:<16} {:>8.3} {:>10.2} {:>10}",
-        se.name, se.test_acc, se.train_secs, crate::mib(se.peak_mem_bytes)
+        se.name,
+        se.test_acc,
+        se.train_secs,
+        crate::mib(se.peak_mem_bytes)
     );
     let (hi, stats) = train_history(&ds, 5, &TrainConfig { batch_size: 512, ..cfg.clone() });
     println!(

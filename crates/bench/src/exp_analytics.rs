@@ -13,18 +13,14 @@ use std::time::Instant;
 /// curve UniFilter-style bases avoid.
 pub fn e5_spectral_heterophily() -> bool {
     println!("E5: spectral embeddings vs heterophily (paper §3.2.1, LD2 [24]/UniFilter [15])");
-    println!(
-        "\n  {:<6} {:>8} {:>8} {:>8} {:>8}",
-        "h", "mlp", "sgc(low)", "ld2", "gcn"
-    );
+    println!("\n  {:<6} {:>8} {:>8} {:>8} {:>8}", "h", "mlp", "sgc(low)", "ld2", "gcn");
     let cfg = TrainConfig { epochs: 30, hidden: vec![32], ..Default::default() };
     for h in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
         let ds = sbm_dataset(4_000, 4, 12.0, h, 16, 0.4, 0, 0.5, 0.25, 6);
         let mlp = train_decoupled(&ds, &PrecomputeMethod::None, &cfg).1.test_acc;
         let sgc = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1.test_acc;
-        let ld2 = train_decoupled(&ds, &PrecomputeMethod::Ld2(Ld2Config::default()), &cfg)
-            .1
-            .test_acc;
+        let ld2 =
+            train_decoupled(&ds, &PrecomputeMethod::Ld2(Ld2Config::default()), &cfg).1.test_acc;
         let gcn = train_full_gcn(&ds, &cfg).1.test_acc;
         println!("  {h:<6.2} {mlp:>8.3} {sgc:>8.3} {ld2:>8.3} {gcn:>8.3}");
     }
@@ -81,7 +77,9 @@ pub fn e6_similarity() -> bool {
     let mut ds_sim = ds.clone();
     ds_sim.features = emb;
     let simga = train_decoupled(&ds_sim, &PrecomputeMethod::None, &cfg).1.test_acc;
-    println!("  simga-style (X ⊕ SX ⊕ S²X)        acc={simga:.3}  (simrank precompute {sim_secs:.2}s)");
+    println!(
+        "  simga-style (X ⊕ SX ⊕ S²X)        acc={simga:.3}  (simrank precompute {sim_secs:.2}s)"
+    );
     // DHGR-style rewiring evaluates in its own regime: sparse moderate
     // heterophily with informative attributes (rewiring trusts feature
     // similarity, so features must carry signal).
@@ -90,7 +88,11 @@ pub fn e6_similarity() -> bool {
     let (rewired, rep) = sgnn_sim::rewire(
         &ds_r.graph,
         &ds_r.features,
-        &sgnn_sim::RewireConfig { add_per_node: 4, drop_threshold: Some(0.2), ..Default::default() },
+        &sgnn_sim::RewireConfig {
+            add_per_node: 4,
+            drop_threshold: Some(0.2),
+            ..Default::default()
+        },
     );
     let mut ds_rw = ds_r.clone();
     ds_rw.graph = rewired;
@@ -105,10 +107,7 @@ pub fn e6_similarity() -> bool {
     let g_big = generate::barabasi_albert(100_000, 3, 10);
     let t = Instant::now();
     let s = sgnn_sim::simrank_mc(&g_big, 5, 9, 0.6, 2_000, 20, 11);
-    println!(
-        "  on-demand MC SimRank on 100k-node graph: s(5,9)={s:.4} in {:?}",
-        t.elapsed()
-    );
+    println!("  on-demand MC SimRank on 100k-node graph: s(5,9)={s:.4} in {:?}", t.elapsed());
     println!("\n  shape check: SimRank's global aggregation recovers most of the");
     println!("  structural signal a graph-free MLP misses — while staying decoupled");
     println!("  and mini-batchable — and rewiring repairs the raw edges for GCN;");
@@ -168,16 +167,14 @@ pub fn e7_hub_labeling() -> bool {
 pub fn e8_implicit() -> bool {
     println!("E8: implicit GNNs (paper §3.2.3, EIGNN [31]/MGNNI [30])");
     println!("\n  long-range chain task (label signal only at chain heads):");
-    println!(
-        "  {:<10} {:>10} {:>10} {:>10}",
-        "chain len", "gcn-2", "gcn-4", "implicit"
-    );
+    println!("  {:<10} {:>10} {:>10} {:>10}", "chain len", "gcn-2", "gcn-4", "implicit");
     let cfg = TrainConfig { epochs: 80, hidden: vec![16], dropout: 0.0, ..Default::default() };
     for len in [8usize, 16, 32, 64] {
         let ds = chain_dataset(96, len, 2, 4, 0.1, 13);
         let gcn2 = train_full_gcn(&ds, &TrainConfig { hidden: vec![16], ..cfg.clone() }).1.test_acc;
-        let gcn4 =
-            train_full_gcn(&ds, &TrainConfig { hidden: vec![16, 16, 16], ..cfg.clone() }).1.test_acc;
+        let gcn4 = train_full_gcn(&ds, &TrainConfig { hidden: vec![16, 16, 16], ..cfg.clone() })
+            .1
+            .test_acc;
         // Implicit model on the *oriented* chain operator (each node pulls
         // from its predecessor), the EIGNN long-range chain setup; the
         // directed operator requires the fixed-point solver.
@@ -188,12 +185,9 @@ pub fn e8_implicit() -> bool {
             }
         }
         let directed = b.build().unwrap();
-        let op = sgnn_graph::normalize::normalized_adjacency(
-            &directed,
-            sgnn_graph::NormKind::Rw,
-            false,
-        )
-        .unwrap();
+        let op =
+            sgnn_graph::normalize::normalized_adjacency(&directed, sgnn_graph::NormKind::Rw, false)
+                .unwrap();
         let (z, _) = sgnn_core::models::implicit::solve_equilibrium_op(
             &op,
             &ds.features,
@@ -216,10 +210,7 @@ pub fn e8_implicit() -> bool {
         ("spectral-k64", ImplicitSolver::Spectral { k: 64 }),
     ] {
         let (_, stats) = solve_equilibrium(&ds.graph, &ds.features, 0.9, solver, 1e-8, 16);
-        println!(
-            "  {:<16} {:>12.1} {:>12.2e}",
-            name, stats.mean_iterations, stats.mean_residual
-        );
+        println!("  {:<16} {:>12.1} {:>12.2e}", name, stats.mean_iterations, stats.mean_residual);
     }
     println!("\n  shape check: finite-depth GCN collapses to chance once chains");
     println!("  outgrow its receptive field; the implicit model does not. CG needs");

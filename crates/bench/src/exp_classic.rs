@@ -2,8 +2,8 @@
 
 use sgnn_core::models::decoupled::PrecomputeMethod;
 use sgnn_core::trainer::{
-    train_cluster_gcn, train_decoupled, train_full_gcn, train_saint, train_sampled,
-    SamplerKind, TrainConfig, TrainReport,
+    train_cluster_gcn, train_decoupled, train_full_gcn, train_saint, train_sampled, SamplerKind,
+    TrainConfig, TrainReport,
 };
 use sgnn_data::sbm_dataset;
 use sgnn_graph::generate;
@@ -129,13 +129,8 @@ pub fn e3_sampling_families() -> bool {
     print_report(&train_sampled(&ds, &SamplerKind::LayerWise(vec![512, 512]), &cfg_s).1);
     print_report(&train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg_s).1);
     print_report(
-        &train_saint(
-            &ds,
-            sgnn_sample::SaintSampler::RandomWalk { roots: 300, length: 4 },
-            8,
-            &cfg,
-        )
-        .1,
+        &train_saint(&ds, sgnn_sample::SaintSampler::RandomWalk { roots: 300, length: 4 }, 8, &cfg)
+            .1,
     );
     print_report(&train_cluster_gcn(&ds, 20, 2, &cfg).1);
     println!("\n  shape check: all samplers within a few points of full-batch accuracy");
@@ -154,8 +149,12 @@ pub fn e4_decoupled_scaling() -> bool {
         let cfg = TrainConfig { epochs: 15, hidden: vec![32], ..Default::default() };
         print_report(&train_full_gcn(&ds, &cfg).1);
         print_report(&train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1);
-        print_report(&train_decoupled(&ds, &PrecomputeMethod::Appnp { alpha: 0.15, k: 10 }, &cfg).1);
-        print_report(&train_decoupled(&ds, &PrecomputeMethod::Scara { alpha: 0.15, eps: 1e-5 }, &cfg).1);
+        print_report(
+            &train_decoupled(&ds, &PrecomputeMethod::Appnp { alpha: 0.15, k: 10 }, &cfg).1,
+        );
+        print_report(
+            &train_decoupled(&ds, &PrecomputeMethod::Scara { alpha: 0.15, eps: 1e-5 }, &cfg).1,
+        );
     }
     println!("\n  shape check: the GCN/decoupled peak-memory gap widens with n;");
     println!("  decoupled training time is size-independent after precompute.");

@@ -133,10 +133,7 @@ pub fn e11_walk_extraction() -> bool {
         let (_, inter) = ws.pair_query(i % seeds.len(), (i * 7 + 1) % seeds.len());
         overlap += inter;
     }
-    println!(
-        "  pair queries: 1000 joins in {:?} (total overlap {overlap})",
-        t.elapsed()
-    );
+    println!("  pair queries: 1000 joins in {:?} (total overlap {overlap})", t.elapsed());
     println!("\n  shape check: the flat walk store is faster and smaller than");
     println!("  explicit subgraph induction, and pair queries are sort-merge cheap.");
     true
@@ -154,7 +151,11 @@ pub fn e12_coarsening() -> bool {
     );
     println!(
         "  {:<10} {:>8.3} {:>10.2} {:>10} {:>12}",
-        "full", full.test_acc, full.train_secs, crate::mib(full.peak_mem_bytes), "-"
+        "full",
+        full.test_acc,
+        full.train_secs,
+        crate::mib(full.peak_mem_bytes),
+        "-"
     );
     for ratio in [0.5f64, 0.3, 0.1, 0.05] {
         let r = train_coarse(&ds, ratio, &cfg);
@@ -174,7 +175,11 @@ pub fn e12_coarsening() -> bool {
     let r = sgnn_core::trainer::train_coarse_with(&ds, &cm, &cfg, "convmatch-0.3");
     println!(
         "  {:<10} {:>8.3} {:>10.2} {:>10} {:>12}",
-        "cm-0.3", r.test_acc, r.train_secs, crate::mib(r.peak_mem_bytes), "-"
+        "cm-0.3",
+        r.test_acc,
+        r.train_secs,
+        crate::mib(r.peak_mem_bytes),
+        "-"
     );
     // KRR condensation.
     let t = Instant::now();

@@ -14,6 +14,7 @@ pub mod exp_ablations;
 pub mod exp_analytics;
 pub mod exp_classic;
 pub mod exp_editing;
+pub mod kernel_baseline;
 
 /// Runs one experiment by id (`"e1"`…`"e13"`, ablations `"a1"`…`"a4"`,
 /// `"f1"`), or `"all"`.
@@ -44,8 +45,8 @@ pub fn run(id: &str) -> bool {
         }
         "all" => {
             for id in [
-                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-                "e13", "a1", "a2", "a3", "a4", "f1",
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+                "a1", "a2", "a3", "a4", "f1",
             ] {
                 println!("\n=================== {} ===================", id.to_uppercase());
                 run(id);

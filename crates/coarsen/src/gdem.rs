@@ -36,9 +36,7 @@ pub fn laplacian_spectrum(g: &CsrGraph, k: usize, seed: u64) -> Vec<f64> {
         return pairs.values.into_iter().take(k).collect();
     }
     let op = CsrOpF64::affine(&adj, -1.0, 1.0); // L = I − Â
-    lanczos(&op, k, SpectrumEnd::Smallest, seed)
-        .expect("lanczos converges on Laplacian")
-        .values
+    lanczos(&op, k, SpectrumEnd::Smallest, seed).expect("lanczos converges on Laplacian").values
 }
 
 /// Spectral match report between a graph and its coarsening.
@@ -57,12 +55,8 @@ pub fn eigenvalue_match(g: &CsrGraph, c: &CoarseGraph, k: usize, seed: u64) -> S
     let k = k.min(c.num_coarse().saturating_sub(1)).max(1);
     let original = laplacian_spectrum(g, k, seed);
     let coarse = laplacian_spectrum(&c.graph, k, seed);
-    let mean_abs_error = original
-        .iter()
-        .zip(coarse.iter())
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
-        / k as f64;
+    let mean_abs_error =
+        original.iter().zip(coarse.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / k as f64;
     SpectralMatch { original, coarse, mean_abs_error }
 }
 

@@ -75,9 +75,7 @@ impl CoarseGraph {
 fn hem_round(g: &CsrGraph, weights: &[u32], seed: u64, max_merges: usize) -> Option<CoarseGraph> {
     let n = g.num_nodes();
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.sort_by_key(|&u| {
-        (u as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-    });
+    order.sort_by_key(|&u| (u as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut mate = vec![u32::MAX; n];
     let mut merges = 0usize;
     for &u in &order {
@@ -159,19 +157,15 @@ pub fn coarsen_to_ratio(g: &CsrGraph, ratio: f64, seed: u64) -> CoarseGraph {
     assert!(ratio > 0.0 && ratio <= 1.0);
     let n = g.num_nodes();
     let target = ((n as f64) * ratio).ceil().max(1.0) as usize;
-    let mut current = CoarseGraph {
-        graph: g.clone(),
-        map: (0..n as u32).collect(),
-        node_weights: vec![1; n],
-    };
+    let mut current =
+        CoarseGraph { graph: g.clone(), map: (0..n as u32).collect(), node_weights: vec![1; n] };
     let mut round = 0u64;
     while current.graph.num_nodes() > target {
         let needed = current.graph.num_nodes() - target;
         match hem_round(&current.graph, &current.node_weights, seed.wrapping_add(round), needed) {
             Some(next) => {
                 // Compose maps: fine → current coarse → next coarse.
-                let map: Vec<u32> =
-                    current.map.iter().map(|&c| next.map[c as usize]).collect();
+                let map: Vec<u32> = current.map.iter().map(|&c| next.map[c as usize]).collect();
                 current = CoarseGraph { graph: next.graph, map, node_weights: next.node_weights };
             }
             None => break,
@@ -238,8 +232,7 @@ mod tests {
             // Whether the merged pair was (0,1), (0,2), or (1,2), majority
             // of the pair is the winner; pair containing node 2 ties 1-1 →
             // smaller label (0 or 1 depending on members).
-            let members: Vec<usize> =
-                (0..3).filter(|&u| c.map[u] as usize == pair_super).collect();
+            let members: Vec<usize> = (0..3).filter(|&u| c.map[u] as usize == pair_super).collect();
             let expect = if members == vec![0, 1] {
                 1
             } else {

@@ -36,9 +36,7 @@ pub fn kmeans(x: &DenseMatrix, k: usize, iters: usize, seed: u64) -> KmeansResul
     let mut centers: Vec<usize> = vec![(seed as usize) % n];
     let mut min_dist: Vec<f64> = (0..n).map(|r| sq_dist(x.row(r), x.row(centers[0]))).collect();
     while centers.len() < k {
-        let far = (0..n)
-            .max_by(|&a, &b| min_dist[a].partial_cmp(&min_dist[b]).unwrap())
-            .unwrap();
+        let far = (0..n).max_by(|&a, &b| min_dist[a].partial_cmp(&min_dist[b]).unwrap()).unwrap();
         centers.push(far);
         for r in 0..n {
             min_dist[r] = min_dist[r].min(sq_dist(x.row(r), x.row(far)));

@@ -58,9 +58,18 @@ pub fn augment(g: &CsrGraph, p: &Partition) -> AugmentedGraph {
     cut_pairs.sort_unstable_by_key(|&((a, b), _)| (a, b));
     for ((pu, pv), c) in cut_pairs {
         let norm = (sizes[pu as usize] * sizes[pv as usize]).max(1) as f32;
-        b.add_weighted_edge((n + pu as usize) as NodeId, (n + pv as usize) as NodeId, c / norm.sqrt());
+        b.add_weighted_edge(
+            (n + pu as usize) as NodeId,
+            (n + pv as usize) as NodeId,
+            c / norm.sqrt(),
+        );
     }
-    AugmentedGraph { graph: b.build().expect("ids valid"), n_original: n, k, part_of: p.parts.clone() }
+    AugmentedGraph {
+        graph: b.build().expect("ids valid"),
+        n_original: n,
+        k,
+        part_of: p.parts.clone(),
+    }
 }
 
 impl AugmentedGraph {
@@ -123,12 +132,8 @@ mod tests {
         assert_eq!(a.graph.num_nodes(), 404);
         // Each original node links to exactly one coarse node.
         for u in 0..400u32 {
-            let coarse_links = a
-                .graph
-                .neighbors(u)
-                .iter()
-                .filter(|&&v| (v as usize) >= 400)
-                .count();
+            let coarse_links =
+                a.graph.neighbors(u).iter().filter(|&&v| (v as usize) >= 400).count();
             assert_eq!(coarse_links, 1, "node {u}");
         }
     }
@@ -178,8 +183,7 @@ mod tests {
         // Coarse feature = mean of members.
         for part in 0..4usize {
             let members: Vec<usize> = (0..400).filter(|&u| a.part_of[u] as usize == part).collect();
-            let mean: f32 =
-                members.iter().map(|&u| u as f32).sum::<f32>() / members.len() as f32;
+            let mean: f32 = members.iter().map(|&u| u as f32).sum::<f32>() / members.len() as f32;
             assert!((ax.get(400 + part, 0) - mean).abs() < 1e-3);
         }
     }

@@ -114,12 +114,13 @@ pub fn krr_condense(
     let mut alpha = DenseMatrix::zeros(m_eff, num_classes);
     for c in 0..num_classes {
         let b: Vec<f64> = (0..m_eff).map(|i| y_c.get(i, c) as f64).collect();
-        let sol = conjugate_gradient(&op, &b, 1e-10, 10 * m_eff + 50)
-            .unwrap_or_else(|_| sgnn_linalg::solve::CgResult {
+        let sol = conjugate_gradient(&op, &b, 1e-10, 10 * m_eff + 50).unwrap_or_else(|_| {
+            sgnn_linalg::solve::CgResult {
                 x: vec![0.0; m_eff],
                 iterations: 0,
                 residual: f64::INFINITY,
-            });
+            }
+        });
         for i in 0..m_eff {
             alpha.set(i, c, sol.x[i] as f32);
         }
@@ -180,11 +181,8 @@ mod tests {
         let model = krr_condense(&g, &x, &train, &labels, 3, 30, 2, 1e-3, 3);
         let phi = feature_map(&g, &x, 2);
         let pred = model.predict_labels(&phi, &test);
-        let acc = pred
-            .iter()
-            .zip(test.iter())
-            .filter(|&(p, &u)| *p == labels[u as usize])
-            .count() as f64
+        let acc = pred.iter().zip(test.iter()).filter(|&(p, &u)| *p == labels[u as usize]).count()
+            as f64
             / test.len() as f64;
         assert!(acc > 0.85, "accuracy {acc}");
     }
@@ -199,8 +197,7 @@ mod tests {
         let acc = |m: usize| {
             let model = krr_condense(&g, &x, &train, &labels, 2, m, 2, 1e-3, 6);
             let pred = model.predict_labels(&phi, &test);
-            pred.iter().zip(test.iter()).filter(|&(p, &u)| *p == labels[u as usize]).count()
-                as f64
+            pred.iter().zip(test.iter()).filter(|&(p, &u)| *p == labels[u as usize]).count() as f64
                 / test.len() as f64
         };
         let a4 = acc(4);

@@ -152,13 +152,8 @@ mod tests {
     #[test]
     fn ld2_embedding_is_wider_than_input() {
         let ds = sbm_dataset(100, 2, 6.0, 0.3, 4, 0.5, 0, 0.5, 0.25, 3);
-        let m = DecoupledModel::new(
-            &ds,
-            &PrecomputeMethod::Ld2(Ld2Config::default()),
-            &[16],
-            0.2,
-            4,
-        );
+        let m =
+            DecoupledModel::new(&ds, &PrecomputeMethod::Ld2(Ld2Config::default()), &[16], 0.2, 4);
         assert!(m.embedding.cols() > 4);
         let logits = m.logits_for(&[0, 1, 2]);
         assert_eq!(logits.shape(), (3, 2));

@@ -158,8 +158,7 @@ mod tests {
         assert!(acc > 0.8, "accuracy {acc}");
         // Attention moved away from uniform.
         let att = m.attention();
-        let moved: f32 =
-            att.iter().zip(init_att.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let moved: f32 = att.iter().zip(init_att.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(moved > 0.01, "attention did not adapt: {att:?}");
     }
 

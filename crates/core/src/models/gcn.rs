@@ -11,7 +11,7 @@
 //! graph (experiments E3/E12) without copies.
 
 use sgnn_graph::normalize::{normalized_adjacency, NormKind};
-use sgnn_graph::spmm::spmm;
+use sgnn_graph::spmm::{spmm, spmm_into};
 use sgnn_graph::CsrGraph;
 use sgnn_linalg::DenseMatrix;
 use sgnn_nn::layers::{Dropout, Linear, ReLU};
@@ -45,6 +45,9 @@ pub struct Gcn {
     linears: Vec<Linear>,
     relus: Vec<ReLU>,
     dropouts: Vec<Dropout>,
+    /// Reused SpMM output buffer: reshaped per layer, so steady-state
+    /// epochs perform zero allocations on the propagation path.
+    prop_scratch: DenseMatrix,
 }
 
 impl Gcn {
@@ -63,7 +66,7 @@ impl Gcn {
                 dropouts.push(Dropout::new(cfg.dropout, cfg.seed.wrapping_add(100 + i as u64)));
             }
         }
-        Gcn { linears, relus, dropouts }
+        Gcn { linears, relus, dropouts, prop_scratch: DenseMatrix::default() }
     }
 
     /// Number of weight layers.
@@ -91,14 +94,17 @@ impl Gcn {
     pub fn forward(&mut self, op: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
         let mut h = x.clone();
         let n = self.linears.len();
+        let mut scratch = std::mem::take(&mut self.prop_scratch);
         for i in 0..n {
-            let ah = spmm(op, &h);
-            h = self.linears[i].forward(&ah);
+            scratch.reshape_scratch(h.rows(), h.cols());
+            spmm_into(op, &h, &mut scratch);
+            h = self.linears[i].forward(&scratch);
             if i + 1 < n {
                 h = self.relus[i].forward(&h);
                 h = self.dropouts[i].forward(&h);
             }
         }
+        self.prop_scratch = scratch;
         h
     }
 
@@ -123,14 +129,19 @@ impl Gcn {
     pub fn backward(&mut self, op: &CsrGraph, dlogits: &DenseMatrix) {
         let n = self.linears.len();
         let mut g = dlogits.clone();
+        let mut scratch = std::mem::take(&mut self.prop_scratch);
         for i in (0..n).rev() {
             if i + 1 < n {
                 g = self.dropouts[i].backward(&g);
                 g = self.relus[i].backward(&g);
             }
             let d_ah = self.linears[i].backward(&g);
-            g = spmm(op, &d_ah);
+            // The retired gradient buffer becomes next layer's scratch.
+            scratch.reshape_scratch(d_ah.rows(), d_ah.cols());
+            spmm_into(op, &d_ah, &mut scratch);
+            std::mem::swap(&mut g, &mut scratch);
         }
+        self.prop_scratch = scratch;
     }
 
     /// Zeroes gradients.

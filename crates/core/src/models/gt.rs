@@ -89,14 +89,8 @@ impl SpdAttention {
         }
         scores.softmax_rows();
         let out = scores.matmul(&v).expect("shapes fixed");
-        self.cache = Some(AttnCache {
-            x: x.clone(),
-            q,
-            k,
-            v,
-            attn: scores,
-            buckets: buckets.to_vec(),
-        });
+        self.cache =
+            Some(AttnCache { x: x.clone(), q, k, v, attn: scores, buckets: buckets.to_vec() });
         out
     }
 
@@ -222,12 +216,7 @@ impl DhilGt {
     }
 
     /// One training step on a node batch; returns the loss.
-    pub fn train_step(
-        &mut self,
-        ds: &Dataset,
-        nodes: &[NodeId],
-        opt: &mut dyn Optimizer,
-    ) -> f32 {
+    pub fn train_step(&mut self, ds: &Dataset, nodes: &[NodeId], opt: &mut dyn Optimizer) -> f32 {
         let rows: Vec<usize> = nodes.iter().map(|&u| u as usize).collect();
         let x = ds.features.gather_rows(&rows);
         let buckets = self.batch_buckets(nodes);
@@ -315,30 +304,21 @@ mod tests {
         attn.bias[1] += eps;
         let num = (loss_of(&attn) - base) / eps;
         attn.bias[1] -= eps;
-        assert!(
-            (num - analytic_bias).abs() < 2e-2,
-            "bias: num {num} vs analytic {analytic_bias}"
-        );
+        assert!((num - analytic_bias).abs() < 2e-2, "bias: num {num} vs analytic {analytic_bias}");
         // Wq entry.
         let analytic_wq = attn.wq.gw.get(1, 2);
         let w = attn.wq.w.get(1, 2);
         attn.wq.w.set(1, 2, w + eps);
         let num_wq = (loss_of(&attn) - base) / eps;
         attn.wq.w.set(1, 2, w);
-        assert!(
-            (num_wq - analytic_wq).abs() < 2e-2,
-            "wq: num {num_wq} vs analytic {analytic_wq}"
-        );
+        assert!((num_wq - analytic_wq).abs() < 2e-2, "wq: num {num_wq} vs analytic {analytic_wq}");
         // Wv entry.
         let analytic_wv = attn.wv.gw.get(0, 1);
         let wv = attn.wv.w.get(0, 1);
         attn.wv.w.set(0, 1, wv + eps);
         let num_wv = (loss_of(&attn) - base) / eps;
         attn.wv.w.set(0, 1, wv);
-        assert!(
-            (num_wv - analytic_wv).abs() < 2e-2,
-            "wv: num {num_wv} vs analytic {analytic_wv}"
-        );
+        assert!((num_wv - analytic_wv).abs() < 2e-2, "wv: num {num_wv} vs analytic {analytic_wv}");
     }
 
     #[test]
@@ -359,12 +339,8 @@ mod tests {
         for chunk in ds.splits.test.chunks(64) {
             let logits = model.logits_for(&ds, chunk);
             let labels = ds.labels_of(chunk);
-            correct += logits
-                .argmax_rows()
-                .iter()
-                .zip(labels.iter())
-                .filter(|&(p, t)| p == t)
-                .count();
+            correct +=
+                logits.argmax_rows().iter().zip(labels.iter()).filter(|&(p, t)| p == t).count();
         }
         let acc = correct as f64 / ds.splits.test.len() as f64;
         assert!(acc > 0.8, "accuracy {acc}");
@@ -372,10 +348,7 @@ mod tests {
         let bias = model.bias();
         let near = bias[1];
         let far = bias[4];
-        assert!(
-            near > far,
-            "near-bias {near} should beat far-bias {far}: {bias:?}"
-        );
+        assert!(near > far, "near-bias {near} should beat far-bias {far}: {bias:?}");
     }
 
     #[test]

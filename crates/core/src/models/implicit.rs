@@ -214,9 +214,16 @@ mod tests {
     #[test]
     fn fixed_point_and_cg_agree() {
         let ds = sbm_dataset(120, 2, 6.0, 0.8, 4, 0.5, 0, 0.5, 0.25, 1);
-        let (zf, sf) = solve_equilibrium(&ds.graph, &ds.features, 0.8, ImplicitSolver::FixedPoint, 1e-10, 2);
-        let (zc, sc) =
-            solve_equilibrium(&ds.graph, &ds.features, 0.8, ImplicitSolver::ConjugateGradient, 1e-10, 2);
+        let (zf, sf) =
+            solve_equilibrium(&ds.graph, &ds.features, 0.8, ImplicitSolver::FixedPoint, 1e-10, 2);
+        let (zc, sc) = solve_equilibrium(
+            &ds.graph,
+            &ds.features,
+            0.8,
+            ImplicitSolver::ConjugateGradient,
+            1e-10,
+            2,
+        );
         let rel = zf.sub(&zc).unwrap().frobenius() / zc.frobenius();
         assert!(rel < 1e-4, "solvers disagree: {rel}");
         // CG needs far fewer iterations than Picard at high gamma.
@@ -231,10 +238,22 @@ mod tests {
     #[test]
     fn spectral_solver_tracks_exact_solution() {
         let ds = sbm_dataset(100, 2, 8.0, 0.9, 4, 0.5, 0, 0.5, 0.25, 3);
-        let (zc, _) =
-            solve_equilibrium(&ds.graph, &ds.features, 0.7, ImplicitSolver::ConjugateGradient, 1e-10, 4);
-        let (zs, _) =
-            solve_equilibrium(&ds.graph, &ds.features, 0.7, ImplicitSolver::Spectral { k: 40 }, 1e-10, 4);
+        let (zc, _) = solve_equilibrium(
+            &ds.graph,
+            &ds.features,
+            0.7,
+            ImplicitSolver::ConjugateGradient,
+            1e-10,
+            4,
+        );
+        let (zs, _) = solve_equilibrium(
+            &ds.graph,
+            &ds.features,
+            0.7,
+            ImplicitSolver::Spectral { k: 40 },
+            1e-10,
+            4,
+        );
         // Top-40 of 100 eigenpairs: dominant smoothing directions captured.
         let cos = sgnn_linalg::vecops::cosine(zc.data(), zs.data());
         assert!(cos > 0.95, "cosine {cos}");
@@ -243,8 +262,14 @@ mod tests {
     #[test]
     fn equilibrium_satisfies_equation() {
         let ds = sbm_dataset(80, 2, 6.0, 0.8, 3, 0.5, 0, 0.5, 0.25, 5);
-        let (z, stats) =
-            solve_equilibrium(&ds.graph, &ds.features, 0.6, ImplicitSolver::ConjugateGradient, 1e-10, 6);
+        let (z, stats) = solve_equilibrium(
+            &ds.graph,
+            &ds.features,
+            0.6,
+            ImplicitSolver::ConjugateGradient,
+            1e-10,
+            6,
+        );
         assert!(stats.mean_residual < 1e-6, "residual {}", stats.mean_residual);
         // Manually verify Z − γÂZ = X on a column.
         let adj = normalized_adjacency(&ds.graph, NormKind::Sym, true).unwrap();
@@ -257,35 +282,30 @@ mod tests {
 
     #[test]
     fn implicit_model_carries_long_range_signal() {
-        // On the chain dataset the head signal must reach distant nodes:
-        // the equilibrium embedding of a tail node should correlate with
-        // its chain's class while raw features do not.
-        let ds = chain_dataset(12, 12, 2, 4, 0.05, 7);
+        // On a noise-free chain dataset the head's class signal must reach
+        // the far end of its chain: the tail's equilibrium embedding
+        // acquires the chain's class dimension even though its raw feature
+        // there is zero. Noise-free features make the check deterministic —
+        // with noise the tail contrast is dominated by the draw (the
+        // propagated signal 11 hops out is ~1e-5 vs noise σ=0.05), so the
+        // old formulation was a coin flip over RNG streams.
+        let ds = chain_dataset(12, 12, 2, 4, 0.0, 7);
         let m = ImplicitModel::new(&ds, &[0.9], ImplicitSolver::ConjugateGradient, &[], 0.0, 8);
         // Tail node of chain 0 (class 0) vs chain 1 (class 1).
-        let tail0 = 11usize;
-        let tail1 = 23usize;
-        let z0 = m.z.row(tail0);
-        let z1 = m.z.row(tail1);
-        // Signal dim of class 0 should dominate at tail0 relative to tail1.
-        assert!(
-            z0[0] - z0[1] > z1[0] - z1[1] + 1e-3,
-            "no long-range signal: {z0:?} vs {z1:?}"
-        );
+        let z0 = m.z.row(11);
+        let z1 = m.z.row(23);
+        // Each tail's own class dimension dominates.
+        assert!(z0[0] > z0[1], "no long-range signal at tail0: {z0:?}");
+        assert!(z1[1] > z1[0], "no long-range signal at tail1: {z1:?}");
+        assert!(z0[0] - z0[1] > z1[0] - z1[1], "contrast not class-aligned: {z0:?} vs {z1:?}");
         assert_eq!(m.logits_for(&[0, 1]).rows(), 2);
     }
 
     #[test]
     fn multiscale_concatenates_gammas() {
         let ds = sbm_dataset(60, 2, 5.0, 0.8, 3, 0.5, 0, 0.5, 0.25, 9);
-        let m = ImplicitModel::new(
-            &ds,
-            &[0.5, 0.9],
-            ImplicitSolver::ConjugateGradient,
-            &[8],
-            0.1,
-            10,
-        );
+        let m =
+            ImplicitModel::new(&ds, &[0.5, 0.9], ImplicitSolver::ConjugateGradient, &[8], 0.1, 10);
         assert_eq!(m.z.cols(), 6);
     }
 }

@@ -121,10 +121,7 @@ mod tests {
     use sgnn_data::sbm_dataset;
 
     fn accuracy(pred: &[usize], ds: &Dataset, nodes: &[NodeId]) -> f64 {
-        pred.iter()
-            .zip(nodes.iter())
-            .filter(|&(p, &u)| *p == ds.labels[u as usize])
-            .count() as f64
+        pred.iter().zip(nodes.iter()).filter(|&(p, &u)| *p == ds.labels[u as usize]).count() as f64
             / nodes.len() as f64
     }
 
@@ -137,10 +134,7 @@ mod tests {
         let rep = model.infer_adaptive(&ds.splits.test, 0.9);
         let adapt_acc = accuracy(&rep.predictions, &ds, &ds.splits.test);
         assert!(rep.work_fraction < 0.9, "no work saved: {}", rep.work_fraction);
-        assert!(
-            adapt_acc > full_acc - 0.05,
-            "adaptive {adapt_acc} vs full {full_acc}"
-        );
+        assert!(adapt_acc > full_acc - 0.05, "adaptive {adapt_acc} vs full {full_acc}");
     }
 
     #[test]

@@ -92,9 +92,7 @@ impl Sage {
     /// Backward through the same block stack.
     pub fn backward(&mut self, blocks: &[Block], dlogits: &DenseMatrix) {
         let mut g = dlogits.clone();
-        for (i, (layer, block)) in
-            self.layers.iter_mut().zip(blocks.iter()).enumerate().rev()
-        {
+        for (i, (layer, block)) in self.layers.iter_mut().zip(blocks.iter()).enumerate().rev() {
             let entry = &self.cache[i];
             let dz = if layer.is_last { g.clone() } else { layer.relu.backward(&g) };
             let d_hdst = layer.lin_self.backward(&dz);

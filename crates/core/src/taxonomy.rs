@@ -72,9 +72,21 @@ pub fn figure1() -> TaxonomyNode {
             TaxonomyNode::branch(
                 "Classic Methods (3.1.2)",
                 vec![
-                    TaxonomyNode::leaf("Graph Partition", &["METIS-style", "LDG", "Fennel"], "sgnn_partition::{multilevel, streaming}"),
-                    TaxonomyNode::leaf("Graph Sampling", &["GraphSAGE", "Cluster-GCN"], "sgnn_sample::node_wise, sgnn_partition::cluster"),
-                    TaxonomyNode::leaf("Decoupled Propagation", &["APPNP", "SGC"], "sgnn_prop::power, sgnn_core::models::decoupled"),
+                    TaxonomyNode::leaf(
+                        "Graph Partition",
+                        &["METIS-style", "LDG", "Fennel"],
+                        "sgnn_partition::{multilevel, streaming}",
+                    ),
+                    TaxonomyNode::leaf(
+                        "Graph Sampling",
+                        &["GraphSAGE", "Cluster-GCN"],
+                        "sgnn_sample::node_wise, sgnn_partition::cluster",
+                    ),
+                    TaxonomyNode::leaf(
+                        "Decoupled Propagation",
+                        &["APPNP", "SGC"],
+                        "sgnn_prop::power, sgnn_core::models::decoupled",
+                    ),
                 ],
             ),
             TaxonomyNode::branch(
@@ -83,23 +95,51 @@ pub fn figure1() -> TaxonomyNode {
                     TaxonomyNode::branch(
                         "Spectral Embeddings (3.2.1)",
                         vec![
-                            TaxonomyNode::leaf("Combined Embeddings", &["LD2"], "sgnn_spectral::embedding"),
-                            TaxonomyNode::leaf("Adaptive Basis", &["UniFilter", "AdaptKry"], "sgnn_spectral::basis"),
+                            TaxonomyNode::leaf(
+                                "Combined Embeddings",
+                                &["LD2"],
+                                "sgnn_spectral::embedding",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Adaptive Basis",
+                                &["UniFilter", "AdaptKry"],
+                                "sgnn_spectral::basis",
+                            ),
                         ],
                     ),
                     TaxonomyNode::branch(
                         "Node-pair Similarity (3.2.2)",
                         vec![
-                            TaxonomyNode::leaf("Topology Similarity", &["SIMGA", "DHGR"], "sgnn_sim::{simrank, rewire}"),
-                            TaxonomyNode::leaf("Hub Labeling", &["CFGNN", "DHIL-GT"], "sgnn_sim::hub"),
+                            TaxonomyNode::leaf(
+                                "Topology Similarity",
+                                &["SIMGA", "DHGR"],
+                                "sgnn_sim::{simrank, rewire}",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Hub Labeling",
+                                &["CFGNN", "DHIL-GT"],
+                                "sgnn_sim::hub",
+                            ),
                         ],
                     ),
                     TaxonomyNode::branch(
                         "Graph Algebras (3.2.3)",
                         vec![
-                            TaxonomyNode::leaf("Matrix Decomposition", &["EIGNN"], "sgnn_core::models::implicit (Spectral solver)"),
-                            TaxonomyNode::leaf("Approximate Iteration", &["MGNNI"], "sgnn_core::models::implicit (FixedPoint/CG)"),
-                            TaxonomyNode::leaf("Graph Simplification", &["SEIGNN"], "sgnn_coarsen::seignn"),
+                            TaxonomyNode::leaf(
+                                "Matrix Decomposition",
+                                &["EIGNN"],
+                                "sgnn_core::models::implicit (Spectral solver)",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Approximate Iteration",
+                                &["MGNNI"],
+                                "sgnn_core::models::implicit (FixedPoint/CG)",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Graph Simplification",
+                                &["SEIGNN"],
+                                "sgnn_coarsen::seignn",
+                            ),
                         ],
                     ),
                 ],
@@ -110,31 +150,71 @@ pub fn figure1() -> TaxonomyNode {
                     TaxonomyNode::branch(
                         "Graph Sparsification (3.3.1)",
                         vec![
-                            TaxonomyNode::leaf("Node-level", &["SCARA", "Unifews"], "sgnn_prop::push, sgnn_sparsify::unifews"),
-                            TaxonomyNode::leaf("Layer-level", &["NIGCN", "ATP"], "sgnn_sparsify::{nigcn, atp}"),
-                            TaxonomyNode::leaf("Subgraph-level", &["GAMLP", "NAI"], "sgnn_core::models::gamlp"),
+                            TaxonomyNode::leaf(
+                                "Node-level",
+                                &["SCARA", "Unifews"],
+                                "sgnn_prop::push, sgnn_sparsify::unifews",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Layer-level",
+                                &["NIGCN", "ATP"],
+                                "sgnn_sparsify::{nigcn, atp}",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Subgraph-level",
+                                &["GAMLP", "NAI"],
+                                "sgnn_core::models::gamlp",
+                            ),
                         ],
                     ),
                     TaxonomyNode::branch(
                         "Graph Sampling (3.3.2)",
                         vec![
-                            TaxonomyNode::leaf("Graph Expressiveness", &["ADGNN", "PyGNN"], "sgnn_sample::layer_wise"),
-                            TaxonomyNode::leaf("Graph Variance", &["LABOR", "HDSGNN", "LMC"], "sgnn_sample::{labor, history, variance}"),
-                            TaxonomyNode::leaf("Device Acceleration", &["GIDS", "NeutronOrch", "DAHA"], "sgnn_sample::history (cache substrate; see DESIGN.md)"),
+                            TaxonomyNode::leaf(
+                                "Graph Expressiveness",
+                                &["ADGNN", "PyGNN"],
+                                "sgnn_sample::layer_wise",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Graph Variance",
+                                &["LABOR", "HDSGNN", "LMC"],
+                                "sgnn_sample::{labor, history, variance}",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Device Acceleration",
+                                &["GIDS", "NeutronOrch", "DAHA"],
+                                "sgnn_sample::history (cache substrate; see DESIGN.md)",
+                            ),
                         ],
                     ),
                     TaxonomyNode::branch(
                         "Subgraph Extraction (3.3.3)",
                         vec![
-                            TaxonomyNode::leaf("Subgraph Generation", &["G3", "TIGER"], "sgnn_sample::saint"),
-                            TaxonomyNode::leaf("Subgraph Storage", &["SUREL", "GENTI"], "sgnn_sample::walks"),
+                            TaxonomyNode::leaf(
+                                "Subgraph Generation",
+                                &["G3", "TIGER"],
+                                "sgnn_sample::saint",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Subgraph Storage",
+                                &["SUREL", "GENTI"],
+                                "sgnn_sample::walks",
+                            ),
                         ],
                     ),
                     TaxonomyNode::branch(
                         "Graph Coarsening (3.3.4)",
                         vec![
-                            TaxonomyNode::leaf("Structure-based", &["GDEM", "ConvMatch"], "sgnn_coarsen::{gdem, convmatch, hem}"),
-                            TaxonomyNode::leaf("Spectral-based", &["GC-SNTK"], "sgnn_coarsen::sntk"),
+                            TaxonomyNode::leaf(
+                                "Structure-based",
+                                &["GDEM", "ConvMatch"],
+                                "sgnn_coarsen::{gdem, convmatch, hem}",
+                            ),
+                            TaxonomyNode::leaf(
+                                "Spectral-based",
+                                &["GC-SNTK"],
+                                "sgnn_coarsen::sntk",
+                            ),
                         ],
                     ),
                 ],
@@ -142,9 +222,21 @@ pub fn figure1() -> TaxonomyNode {
             TaxonomyNode::branch(
                 "Future Directions (3.4)",
                 vec![
-                    TaxonomyNode::leaf("Large Models", &["GraphRAG", "Graph Transformer"], "sgnn_core::models::gt (SPD-bias attention over hub labels)"),
-                    TaxonomyNode::leaf("Data Efficiency", &["self-supervised", "dynamic graphs"], "sgnn_sample::dynamic (incremental walk maintenance)"),
-                    TaxonomyNode::leaf("Training Systems", &["distributed", "device-specific"], "sgnn_partition::comm"),
+                    TaxonomyNode::leaf(
+                        "Large Models",
+                        &["GraphRAG", "Graph Transformer"],
+                        "sgnn_core::models::gt (SPD-bias attention over hub labels)",
+                    ),
+                    TaxonomyNode::leaf(
+                        "Data Efficiency",
+                        &["self-supervised", "dynamic graphs"],
+                        "sgnn_sample::dynamic (incremental walk maintenance)",
+                    ),
+                    TaxonomyNode::leaf(
+                        "Training Systems",
+                        &["distributed", "device-specific"],
+                        "sgnn_partition::comm",
+                    ),
                 ],
             ),
         ],

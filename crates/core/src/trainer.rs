@@ -159,8 +159,10 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
     }
     let train_secs = t1.elapsed().as_secs_f64();
     let logits = gcn.forward_inference(&op, &ds.features);
-    let val_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
-    let test_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    let val_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
     let report = TrainReport {
         name: "gcn-full".into(),
         test_acc,
@@ -258,17 +260,28 @@ impl SamplerKind {
         }
     }
 
-    fn sample(&self, g: &sgnn_graph::CsrGraph, targets: &[NodeId], seed: u64) -> Vec<sgnn_sample::Block> {
+    fn sample(
+        &self,
+        g: &sgnn_graph::CsrGraph,
+        targets: &[NodeId],
+        seed: u64,
+    ) -> Vec<sgnn_sample::Block> {
         match self {
             SamplerKind::NodeWise(f) => sgnn_sample::node_wise::sample_blocks(g, targets, f, seed),
-            SamplerKind::LayerWise(s) => sgnn_sample::layer_wise::ladies_blocks(g, targets, s, seed),
+            SamplerKind::LayerWise(s) => {
+                sgnn_sample::layer_wise::ladies_blocks(g, targets, s, seed)
+            }
             SamplerKind::Labor(f) => sgnn_sample::labor::labor_blocks(g, targets, f, seed),
         }
     }
 }
 
 /// Trains a sampled GraphSAGE model with the given sampler.
-pub fn train_sampled(ds: &Dataset, sampler: &SamplerKind, cfg: &TrainConfig) -> (Sage, TrainReport) {
+pub fn train_sampled(
+    ds: &Dataset,
+    sampler: &SamplerKind,
+    cfg: &TrainConfig,
+) -> (Sage, TrainReport) {
     let mut ledger = Ledger::new();
     ledger.alloc(ds.features.nbytes()); // feature store stays host-side resident
     let mut dims = vec![ds.feature_dim()];
@@ -282,10 +295,8 @@ pub fn train_sampled(ds: &Dataset, sampler: &SamplerKind, cfg: &TrainConfig) -> 
     let mut max_batch_bytes = 0usize;
     for epoch in 0..cfg.epochs {
         for (bi, chunk) in ds.splits.train.chunks(cfg.batch_size).enumerate() {
-            let seed = cfg
-                .seed
-                .wrapping_add((epoch * 10_000 + bi) as u64)
-                .wrapping_mul(0x9E37_79B9);
+            let seed =
+                cfg.seed.wrapping_add((epoch * 10_000 + bi) as u64).wrapping_mul(0x9E37_79B9);
             let blocks = sampler.sample(&ds.graph, chunk, seed);
             let src_rows = rows_of(&blocks[0].src);
             let x_in = ds.features.gather_rows(&src_rows);
@@ -313,12 +324,8 @@ pub fn train_sampled(ds: &Dataset, sampler: &SamplerKind, cfg: &TrainConfig) -> 
             let x_in = ds.features.gather_rows(&src_rows);
             let logits = sage.forward_inference(&blocks, &x_in);
             let labels = ds.labels_of(chunk);
-            correct += logits
-                .argmax_rows()
-                .iter()
-                .zip(labels.iter())
-                .filter(|&(p, t)| p == t)
-                .count();
+            correct +=
+                logits.argmax_rows().iter().zip(labels.iter()).filter(|&(p, t)| p == t).count();
         }
         correct as f64 / nodes.len().max(1) as f64
     };
@@ -406,8 +413,10 @@ pub fn train_saint(
     // Full-graph inference for evaluation.
     let op = gcn_operator(&ds.graph);
     let logits = gcn.forward_inference(&op, &ds.features);
-    let val_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
-    let test_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    let val_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
     let sampler_name = match sampler {
         sgnn_sample::SaintSampler::Node { .. } => "node",
         sgnn_sample::SaintSampler::Edge { .. } => "edge",
@@ -483,8 +492,10 @@ pub fn train_cluster_gcn(
     let train_secs = t1.elapsed().as_secs_f64();
     let op = gcn_operator(&ds.graph);
     let logits = gcn.forward_inference(&op, &ds.features);
-    let val_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
-    let test_acc = accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    let val_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
     let report = TrainReport {
         name: "cluster-gcn".into(),
         test_acc,
@@ -567,10 +578,8 @@ pub fn train_coarse_with(
     // Lift coarse logits to fine nodes and evaluate on the real test set.
     let coarse_logits = gcn.forward_inference(&op, &cx);
     let fine_logits = coarse.lift_rows(&coarse_logits);
-    let val_acc = accuracy(
-        &fine_logits.gather_rows(&rows_of(&ds.splits.val)),
-        &ds.labels_of(&ds.splits.val),
-    );
+    let val_acc =
+        accuracy(&fine_logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc = accuracy(
         &fine_logits.gather_rows(&rows_of(&ds.splits.test)),
         &ds.labels_of(&ds.splits.test),
@@ -626,7 +635,8 @@ mod tests {
     #[test]
     fn sampled_trainers_learn() {
         let ds = small_ds();
-        let cfg = TrainConfig { epochs: 25, hidden: vec![16], batch_size: 128, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 25, hidden: vec![16], batch_size: 128, ..Default::default() };
         let (_, nw) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg);
         assert!(nw.test_acc > 0.7, "node-wise {}", nw.test_acc);
         let (_, lb) = train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg);

@@ -68,6 +68,9 @@ pub fn train_history(
     let mut age_sum = 0f64;
     let t1 = Instant::now();
     let mut final_loss = 0f32;
+    // Aggregation scratch reused across every batch of every epoch.
+    let mut agg1 = DenseMatrix::default();
+    let mut agg2 = DenseMatrix::default();
     // GAS-style schedule: batches cover *every* node (so each node's
     // history refreshes once per epoch); the loss only uses train members.
     let mut schedule: Vec<NodeId> = (0..n as NodeId).collect();
@@ -89,7 +92,8 @@ pub fn train_history(
             let blocks1 = sample_blocks(&ds.graph, chunk, &[fanout], seed ^ 0xABCD);
             let b1 = &blocks1[0];
             let x_src1 = ds.features.gather_rows(&rows_of(&b1.src));
-            let agg1 = b1.aggregate(&x_src1);
+            agg1.reshape_scratch(b1.num_dst(), x_src1.cols());
+            b1.aggregate_into(&x_src1, &mut agg1);
             let x_batch = ds.features.gather_rows(&rows_of(chunk));
             let mut z1 = self1.forward(&x_batch);
             let z1n = neigh1.forward(&agg1);
@@ -102,7 +106,8 @@ pub fn train_history(
             hits += hit as u64;
             age_sum += age * hit as f64;
             let h1_src = h1_batch.concat_rows(&cached).expect("widths equal");
-            let agg2 = block.aggregate(&h1_src);
+            agg2.reshape_scratch(block.num_dst(), h1_src.cols());
+            block.aggregate_into(&h1_src, &mut agg2);
             let mut logits = self2.forward(&h1_batch);
             let l2n = neigh2.forward(&agg2);
             logits.add_scaled(1.0, &l2n).expect("shapes fixed");
@@ -114,8 +119,7 @@ pub fn train_history(
                 cache.push_batch(chunk, iter, &h1_batch);
                 continue;
             }
-            let (loss, dl) =
-                softmax_cross_entropy(&logits, &ds.labels_of(chunk), Some(&weights));
+            let (loss, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), Some(&weights));
             final_loss = loss;
             // Backward.
             for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
@@ -169,12 +173,8 @@ pub fn train_history(
             let mut logits = self2.forward_inference(&h1_batch);
             logits.add_scaled(1.0, &neigh2.forward_inference(&agg2)).expect("shapes");
             let labels = ds.labels_of(chunk);
-            correct += logits
-                .argmax_rows()
-                .iter()
-                .zip(labels.iter())
-                .filter(|&(p, t)| p == t)
-                .count();
+            correct +=
+                logits.argmax_rows().iter().zip(labels.iter()).filter(|&(p, t)| p == t).count();
         }
         correct as f64 / nodes.len().max(1) as f64
     };
@@ -258,14 +258,10 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
     // Evaluate on the full augmented graph; read original-node logits.
     let op = gcn_operator(&aug.graph);
     let logits = gcn.forward_inference(&op, &ax);
-    let val_acc = accuracy(
-        &logits.gather_rows(&rows_of(&ds.splits.val)),
-        &ds.labels_of(&ds.splits.val),
-    );
-    let test_acc = accuracy(
-        &logits.gather_rows(&rows_of(&ds.splits.test)),
-        &ds.labels_of(&ds.splits.test),
-    );
+    let val_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
+    let test_acc =
+        accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
     TrainReport {
         name: format!("seignn-p{parts}"),
         test_acc,
@@ -286,7 +282,8 @@ mod tests {
     #[test]
     fn history_trainer_learns_with_warm_cache() {
         let ds = sbm_dataset(800, 3, 10.0, 0.9, 8, 0.8, 0, 0.5, 0.25, 1);
-        let cfg = TrainConfig { epochs: 30, hidden: vec![16], batch_size: 100, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 30, hidden: vec![16], batch_size: 100, ..Default::default() };
         let (report, stats) = train_history(&ds, 5, &cfg);
         assert!(report.test_acc > 0.75, "acc {}", report.test_acc);
         // After the first epoch the cache serves most fetches.

@@ -32,12 +32,9 @@ pub fn sbm_dataset(
         features.set(u, l, v);
     }
     if mix > 0 {
-        let adj = sgnn_graph::normalize::normalized_adjacency(
-            &graph,
-            sgnn_graph::NormKind::Sym,
-            true,
-        )
-        .expect("valid graph");
+        let adj =
+            sgnn_graph::normalize::normalized_adjacency(&graph, sgnn_graph::NormKind::Sym, true)
+                .expect("valid graph");
         features = sgnn_prop::power::power_propagate(&adj, &features, mix);
     }
     let splits = stratified_split(&labels, k, train_frac, val_frac, seed.wrapping_add(2));

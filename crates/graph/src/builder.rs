@@ -193,10 +193,7 @@ mod tests {
 
     #[test]
     fn duplicate_edges_merge_and_sum() {
-        let g = GraphBuilder::new(2)
-            .weighted_edges(&[(0, 1, 1.0), (0, 1, 2.5)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(2).weighted_edges(&[(0, 1, 1.0), (0, 1, 2.5)]).build().unwrap();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.weights_of(0).unwrap(), &[3.5]);
     }
@@ -233,10 +230,7 @@ mod tests {
 
     #[test]
     fn rows_sorted_after_build() {
-        let g = GraphBuilder::new(4)
-            .edges(&[(0, 3), (0, 1), (0, 2)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(4).edges(&[(0, 3), (0, 1), (0, 2)]).build().unwrap();
         assert_eq!(g.neighbors(0), &[1, 2, 3]);
         g.validate().unwrap();
     }

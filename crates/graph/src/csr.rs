@@ -84,9 +84,7 @@ impl CsrGraph {
             let row = &self.indices[self.indptr[u]..self.indptr[u + 1]];
             for w in row.windows(2) {
                 if w[0] >= w[1] {
-                    return Err(GraphError::Corrupt(format!(
-                        "row {u} not strictly ascending"
-                    )));
+                    return Err(GraphError::Corrupt(format!("row {u} not strictly ascending")));
                 }
             }
             if let Some(&last) = row.last() {
@@ -277,7 +275,12 @@ impl CsrGraph {
 
     /// Returns a copy with unit weights dropped (structure only).
     pub fn without_weights(&self) -> CsrGraph {
-        CsrGraph { n: self.n, indptr: self.indptr.clone(), indices: self.indices.clone(), weights: None }
+        CsrGraph {
+            n: self.n,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            weights: None,
+        }
     }
 
     /// Returns a copy carrying the given weight buffer (parallel to
@@ -314,11 +317,7 @@ mod tests {
 
     fn triangle() -> CsrGraph {
         // 0-1, 1-2, 0-2 undirected.
-        GraphBuilder::new(3)
-            .symmetric()
-            .edges(&[(0, 1), (1, 2), (0, 2)])
-            .build()
-            .unwrap()
+        GraphBuilder::new(3).symmetric().edges(&[(0, 1), (1, 2), (0, 2)]).build().unwrap()
     }
 
     #[test]
@@ -365,10 +364,7 @@ mod tests {
 
     #[test]
     fn transpose_preserves_weights() {
-        let g = GraphBuilder::new(2)
-            .weighted_edges(&[(0, 1, 2.5), (1, 0, 0.5)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(2).weighted_edges(&[(0, 1, 2.5), (1, 0, 0.5)]).build().unwrap();
         let t = g.transpose();
         assert_eq!(t.weights_of(1).unwrap(), &[2.5]);
         assert_eq!(t.weights_of(0).unwrap(), &[0.5]);

@@ -30,11 +30,8 @@ pub fn erdos_renyi(n: usize, p: f64, directed: bool, seed: u64) -> CsrGraph {
         let log1mp = (1.0 - p).ln();
         // Iterate over the (upper-triangular or full) pair space with
         // geometric jumps.
-        let total: u64 = if directed {
-            (n as u64) * (n as u64 - 1)
-        } else {
-            (n as u64) * (n as u64 - 1) / 2
-        };
+        let total: u64 =
+            if directed { (n as u64) * (n as u64 - 1) } else { (n as u64) * (n as u64 - 1) / 2 };
         if p >= 1.0 {
             for u in 0..n as u64 {
                 for v in 0..n as u64 {
@@ -224,11 +221,8 @@ fn sample_pairs<R: Rng + RngExt>(
     let total = if triangular { rows * (rows - 1) / 2 } else { rows * cols };
     if p >= 1.0 {
         for idx in 0..total {
-            let (u, v) = if triangular {
-                unrank_pair(idx, rows, false)
-            } else {
-                (idx / cols, idx % cols)
-            };
+            let (u, v) =
+                if triangular { unrank_pair(idx, rows, false) } else { (idx / cols, idx % cols) };
             emit(u, v);
         }
         return;
@@ -258,7 +252,13 @@ fn sample_pairs<R: Rng + RngExt>(
 /// `h = (k-1)·p_in / ((k-1)·p_in + (k-1)·p_out_total)` — concretely we set
 /// `p_in` and `p_out` such that expected within-degree is `h·deg` and
 /// cross-degree `(1-h)·deg` spread over the other `k-1` blocks.
-pub fn planted_partition(n: usize, k: usize, deg: f64, h: f64, seed: u64) -> (CsrGraph, Vec<usize>) {
+pub fn planted_partition(
+    n: usize,
+    k: usize,
+    deg: f64,
+    h: f64,
+    seed: u64,
+) -> (CsrGraph, Vec<usize>) {
     assert!(k >= 2 && n >= 2 * k, "need at least two blocks of size >= 2");
     assert!((0.0..=1.0).contains(&h), "homophily must be in [0,1]");
     let bs = n / k;

@@ -130,10 +130,8 @@ pub fn read_edge_list<R: BufRead>(r: R, min_nodes: usize) -> Result<CsrGraph> {
         let w = match parts.next() {
             Some(ws) => {
                 weighted = true;
-                ws.parse::<f32>().map_err(|e| GraphError::Parse {
-                    line: lineno + 1,
-                    message: e.to_string(),
-                })?
+                ws.parse::<f32>()
+                    .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })?
             }
             None => 1.0,
         };

@@ -70,7 +70,9 @@ impl std::fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, n } => {
                 write!(f, "node id {node} out of range for graph with {n} nodes")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
             GraphError::Corrupt(m) => write!(f, "corrupt graph payload: {m}"),
         }

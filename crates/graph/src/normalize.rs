@@ -202,18 +202,10 @@ mod tests {
         let g = generate::chain(3);
         let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
         // Edge (0,1): 1/sqrt(2*3).
-        let w01 = a
-            .edges()
-            .find(|&(u, v, _)| u == 0 && v == 1)
-            .map(|(_, _, w)| w)
-            .unwrap();
+        let w01 = a.edges().find(|&(u, v, _)| u == 0 && v == 1).map(|(_, _, w)| w).unwrap();
         assert!((w01 - 1.0 / (6f32).sqrt()).abs() < 1e-6);
         // Diagonal (0,0): 1/2.
-        let w00 = a
-            .edges()
-            .find(|&(u, v, _)| u == 0 && v == 0)
-            .map(|(_, _, w)| w)
-            .unwrap();
+        let w00 = a.edges().find(|&(u, v, _)| u == 0 && v == 0).map(|(_, _, w)| w).unwrap();
         assert!((w00 - 0.5).abs() < 1e-6);
     }
 
@@ -256,11 +248,7 @@ mod tests {
         let g = generate::erdos_renyi(60, 0.1, false, 4);
         let l = laplacian(&g, LaplacianKind::SymNormalized).unwrap();
         for u in 0..60u32 {
-            let diag = l
-                .edges()
-                .find(|&(a, b, _)| a == u && b == u)
-                .map(|(_, _, w)| w)
-                .unwrap();
+            let diag = l.edges().find(|&(a, b, _)| a == u && b == u).map(|(_, _, w)| w).unwrap();
             assert!((diag - 1.0).abs() < 1e-6);
         }
     }

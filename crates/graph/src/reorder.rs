@@ -79,9 +79,7 @@ fn bfs_order(g: &CsrGraph, ascending_degree: bool) -> Vec<NodeId> {
         while let Some(u) = queue.pop_front() {
             order.push(u);
             neigh_buf.clear();
-            neigh_buf.extend(
-                g.neighbors(u).iter().copied().filter(|&v| !visited[v as usize]),
-            );
+            neigh_buf.extend(g.neighbors(u).iter().copied().filter(|&v| !visited[v as usize]));
             if ascending_degree {
                 neigh_buf.sort_by_key(|&v| (g.degree(v), v));
             } else {
@@ -193,10 +191,7 @@ mod tests {
         let (rcm, _) = relabel(&randomized, &compute_order(&randomized, Reordering::Rcm));
         let gap_random = mean_edge_gap(&randomized);
         let gap_rcm = mean_edge_gap(&rcm);
-        assert!(
-            gap_rcm < gap_random / 4.0,
-            "rcm gap {gap_rcm} vs random {gap_random}"
-        );
+        assert!(gap_rcm < gap_random / 4.0, "rcm gap {gap_rcm} vs random {gap_random}");
     }
 
     #[test]
@@ -216,11 +211,8 @@ mod tests {
             .build()
             .unwrap();
         let (rg, map) = relabel(&g, &[2, 1, 0]);
-        let w = rg
-            .edges()
-            .find(|&(u, v, _)| u == map[0] && v == map[1])
-            .map(|(_, _, w)| w)
-            .unwrap();
+        let w =
+            rg.edges().find(|&(u, v, _)| u == map[0] && v == map[1]).map(|(_, _, w)| w).unwrap();
         assert_eq!(w, 2.0);
     }
 }

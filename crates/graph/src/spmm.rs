@@ -1,8 +1,16 @@
 //! Sparse × dense products — the single hottest kernel of GNN training.
 //!
 //! `spmm` computes `Y = A · X` for a (weighted) CSR `A` and a row-major
-//! dense `X`, parallelized over destination-row chunks so each worker owns
-//! its output slice exclusively. `CsrOpF64` adapts a CSR graph to the
+//! dense `X`. Work is partitioned across the worker pool by **nnz**, not by
+//! row count: chunk boundaries come from a binary search on `indptr`, so a
+//! power-law hub and a thousand leaves cost their workers the same. Inner
+//! loops are specialized twice — weighted vs unweighted (the weight lookup
+//! is hoisted out of the edge loop entirely) and register-accumulated
+//! micro-kernels for feature widths ≤ 4.
+//!
+//! [`spmm_into`] writes into a caller-owned matrix so steady-state training
+//! loops can reuse one scratch buffer across epochs; [`spmm`] is the
+//! allocating convenience wrapper. `CsrOpF64` adapts a CSR graph to the
 //! [`MatVecF64`](sgnn_linalg::eigen::MatVecF64) trait for the eigensolvers
 //! and implicit-GNN equilibrium solvers.
 
@@ -11,54 +19,233 @@ use sgnn_linalg::eigen::MatVecF64;
 use sgnn_linalg::par;
 use sgnn_linalg::DenseMatrix;
 
+/// Minimum scalar multiply-adds that justify engaging the worker pool;
+/// below this the kernels run inline on the calling thread.
+const MIN_PAR_WORK: usize = 1 << 16;
+
 /// Computes `Y = A · X` where `A` is `g` interpreted as a sparse matrix.
 ///
 /// Unweighted graphs use unit weights. Panics if `x.rows() != g.num_nodes()`
 /// (programmer error — the shapes are fixed by the pipeline).
 pub fn spmm(g: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
+    let mut y = DenseMatrix::zeros(g.num_nodes(), x.cols());
+    spmm_into(g, x, &mut y);
+    y
+}
+
+/// Computes `Y = A · X` into a caller-owned `y`, overwriting its contents.
+///
+/// The allocation-free form of [`spmm`]: training loops keep one scratch
+/// matrix of shape `(num_nodes, d)` and pass it here every epoch. `y` may
+/// hold arbitrary stale values on entry.
+pub fn spmm_into(g: &CsrGraph, x: &DenseMatrix, y: &mut DenseMatrix) {
+    assert_eq!(x.rows(), g.num_nodes(), "feature rows must equal node count");
     assert_eq!(
-        x.rows(),
-        g.num_nodes(),
-        "feature rows must equal node count"
+        y.shape(),
+        (g.num_nodes(), x.cols()),
+        "output shape must be (num_nodes, feature_cols)"
     );
     let d = x.cols();
-    let mut y = DenseMatrix::zeros(g.num_nodes(), d);
+    if d == 0 {
+        return;
+    }
     let indptr = g.indptr();
     let indices = g.indices();
     let weights = g.weights();
     let xd = x.data();
-    par::par_rows_mut(y.data_mut(), d.max(1), 256, |first_row, chunk| {
-        if d == 0 {
-            return;
-        }
-        for (local, out_row) in chunk.chunks_mut(d).enumerate() {
-            let u = first_row + local;
-            for e in indptr[u]..indptr[u + 1] {
-                let v = indices[e] as usize;
-                let w = weights.map_or(1.0, |ws| ws[e]);
-                let src = &xd[v * d..(v + 1) * d];
-                sgnn_linalg::vecops::axpy(w, src, out_row);
-            }
+    // Balance by edge count: one unit of weight = one row of axpy work.
+    let min_weight = (MIN_PAR_WORK / d).max(1);
+    par::par_balanced_rows_mut(y.data_mut(), d, indptr, min_weight, |first_row, chunk| {
+        // One dispatch per chunk: the weighted/unweighted branch and the
+        // feature-width branch never reach the per-edge loop.
+        match (weights, d) {
+            (None, 1) => rows_unweighted_small::<1>(indptr, indices, xd, first_row, chunk),
+            (None, 2) => rows_unweighted_small::<2>(indptr, indices, xd, first_row, chunk),
+            (None, 3) => rows_unweighted_small::<3>(indptr, indices, xd, first_row, chunk),
+            (None, 4) => rows_unweighted_small::<4>(indptr, indices, xd, first_row, chunk),
+            (None, _) => rows_unweighted(indptr, indices, xd, d, first_row, chunk),
+            (Some(ws), 1) => rows_weighted_small::<1>(indptr, indices, ws, xd, first_row, chunk),
+            (Some(ws), 2) => rows_weighted_small::<2>(indptr, indices, ws, xd, first_row, chunk),
+            (Some(ws), 3) => rows_weighted_small::<3>(indptr, indices, ws, xd, first_row, chunk),
+            (Some(ws), 4) => rows_weighted_small::<4>(indptr, indices, ws, xd, first_row, chunk),
+            (Some(ws), _) => rows_weighted(indptr, indices, ws, xd, d, first_row, chunk),
         }
     });
-    y
 }
 
-/// Computes `y = A · x` for a single `f32` vector.
+/// Narrow-feature micro-kernel, unit weights: the accumulator lives in
+/// registers and the output row is stored once.
+#[inline]
+fn rows_unweighted_small<const D: usize>(
+    indptr: &[usize],
+    indices: &[u32],
+    xd: &[f32],
+    first_row: usize,
+    chunk: &mut [f32],
+) {
+    for (local, out) in chunk.chunks_exact_mut(D).enumerate() {
+        let u = first_row + local;
+        let mut acc = [0f32; D];
+        for e in indptr[u]..indptr[u + 1] {
+            let v = indices[e] as usize;
+            let src = &xd[v * D..v * D + D];
+            for k in 0..D {
+                acc[k] += src[k];
+            }
+        }
+        out.copy_from_slice(&acc);
+    }
+}
+
+/// Narrow-feature micro-kernel with edge weights.
+#[inline]
+fn rows_weighted_small<const D: usize>(
+    indptr: &[usize],
+    indices: &[u32],
+    ws: &[f32],
+    xd: &[f32],
+    first_row: usize,
+    chunk: &mut [f32],
+) {
+    for (local, out) in chunk.chunks_exact_mut(D).enumerate() {
+        let u = first_row + local;
+        let mut acc = [0f32; D];
+        for e in indptr[u]..indptr[u + 1] {
+            let v = indices[e] as usize;
+            let w = ws[e];
+            let src = &xd[v * D..v * D + D];
+            for k in 0..D {
+                acc[k] += w * src[k];
+            }
+        }
+        out.copy_from_slice(&acc);
+    }
+}
+
+/// How many edges ahead the general-width kernels prefetch their source
+/// row. Source rows are gathered at random from a feature matrix much
+/// larger than cache, so each edge is a DRAM-latency stall without this.
+const PREFETCH_AHEAD: usize = 8;
+
+/// Hints the cache to start loading the source row for edge `e`, if it
+/// exists. No-op on non-x86 targets.
+#[inline(always)]
+fn prefetch_src(indices: &[u32], xd: &[f32], d: usize, e: usize, hi: usize) {
+    if e < hi {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = xd.as_ptr().add(indices[e] as usize * d) as *const i8;
+            // Touch every cache line the row spans (64 B = 16 f32 each).
+            let lines = d.div_ceil(16);
+            for l in 0..lines {
+                _mm_prefetch(p.add(l * 64), _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (indices, xd, d, e, hi);
+        }
+    }
+}
+
+/// General-width rows, unit weights: plain element-wise adds (no weight
+/// multiply in the inner loop).
+#[inline]
+fn rows_unweighted(
+    indptr: &[usize],
+    indices: &[u32],
+    xd: &[f32],
+    d: usize,
+    first_row: usize,
+    chunk: &mut [f32],
+) {
+    for (local, out) in chunk.chunks_exact_mut(d).enumerate() {
+        let u = first_row + local;
+        let (lo, hi) = (indptr[u], indptr[u + 1]);
+        // The first neighbor initializes the row (no zeroing pass over the
+        // output — it would cost a full extra write sweep at large d).
+        if lo == hi {
+            out.fill(0.0);
+            continue;
+        }
+        out.copy_from_slice(&xd[indices[lo] as usize * d..][..d]);
+        for e in lo + 1..hi {
+            prefetch_src(indices, xd, d, e + PREFETCH_AHEAD, hi);
+            let v = indices[e] as usize;
+            let src = &xd[v * d..(v + 1) * d];
+            for (o, s) in out.iter_mut().zip(src) {
+                *o += s;
+            }
+        }
+    }
+}
+
+/// General-width rows with edge weights: axpy per neighbor.
+#[inline]
+fn rows_weighted(
+    indptr: &[usize],
+    indices: &[u32],
+    ws: &[f32],
+    xd: &[f32],
+    d: usize,
+    first_row: usize,
+    chunk: &mut [f32],
+) {
+    for (local, out) in chunk.chunks_exact_mut(d).enumerate() {
+        let u = first_row + local;
+        let (lo, hi) = (indptr[u], indptr[u + 1]);
+        // First neighbor initializes the row; see rows_unweighted.
+        if lo == hi {
+            out.fill(0.0);
+            continue;
+        }
+        let w0 = ws[lo];
+        let src0 = &xd[indices[lo] as usize * d..][..d];
+        for (o, s) in out.iter_mut().zip(src0) {
+            *o = w0 * s;
+        }
+        for e in lo + 1..hi {
+            prefetch_src(indices, xd, d, e + PREFETCH_AHEAD, hi);
+            let v = indices[e] as usize;
+            let src = &xd[v * d..(v + 1) * d];
+            sgnn_linalg::vecops::axpy(ws[e], src, out);
+        }
+    }
+}
+
+/// Computes `y = A · x` for a single `f32` vector, overwriting `y`.
+///
+/// Parallelized with the same nnz-balanced partition as [`spmm`]; small
+/// graphs run inline.
 pub fn spmv(g: &CsrGraph, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), g.num_nodes());
     assert_eq!(y.len(), g.num_nodes());
     let indptr = g.indptr();
     let indices = g.indices();
     let weights = g.weights();
-    for u in 0..g.num_nodes() {
-        let mut acc = 0f32;
-        for e in indptr[u]..indptr[u + 1] {
-            let w = weights.map_or(1.0, |ws| ws[e]);
-            acc += w * x[indices[e] as usize];
+    par::par_balanced_rows_mut(y, 1, indptr, MIN_PAR_WORK, |first_row, rows| match weights {
+        None => {
+            for (local, out) in rows.iter_mut().enumerate() {
+                let u = first_row + local;
+                let mut acc = 0f32;
+                for e in indptr[u]..indptr[u + 1] {
+                    acc += x[indices[e] as usize];
+                }
+                *out = acc;
+            }
         }
-        y[u] = acc;
-    }
+        Some(ws) => {
+            for (local, out) in rows.iter_mut().enumerate() {
+                let u = first_row + local;
+                let mut acc = 0f32;
+                for e in indptr[u]..indptr[u + 1] {
+                    acc += ws[e] * x[indices[e] as usize];
+                }
+                *out = acc;
+            }
+        }
+    });
 }
 
 /// `f64` operator view of a CSR graph, optionally shifted and scaled:
@@ -91,17 +278,34 @@ impl MatVecF64 for CsrOpF64<'_> {
     }
 
     fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.g.num_nodes());
+        assert_eq!(y.len(), self.g.num_nodes());
         let indptr = self.g.indptr();
         let indices = self.g.indices();
         let weights = self.g.weights();
-        for u in 0..self.g.num_nodes() {
-            let mut acc = 0f64;
-            for e in indptr[u]..indptr[u + 1] {
-                let w = weights.map_or(1.0, |ws| ws[e]) as f64;
-                acc += w * x[indices[e] as usize];
+        let (scale, shift) = (self.scale, self.shift);
+        par::par_balanced_rows_mut(y, 1, indptr, MIN_PAR_WORK, |first_row, rows| match weights {
+            None => {
+                for (local, out) in rows.iter_mut().enumerate() {
+                    let u = first_row + local;
+                    let mut acc = 0f64;
+                    for e in indptr[u]..indptr[u + 1] {
+                        acc += x[indices[e] as usize];
+                    }
+                    *out = scale * acc + shift * x[u];
+                }
             }
-            y[u] = self.scale * acc + self.shift * x[u];
-        }
+            Some(ws) => {
+                for (local, out) in rows.iter_mut().enumerate() {
+                    let u = first_row + local;
+                    let mut acc = 0f64;
+                    for e in indptr[u]..indptr[u + 1] {
+                        acc += ws[e] as f64 * x[indices[e] as usize];
+                    }
+                    *out = scale * acc + shift * x[u];
+                }
+            }
+        });
     }
 }
 
@@ -122,11 +326,7 @@ mod tests {
 
     #[test]
     fn spmm_matches_manual_on_triangle() {
-        let g = GraphBuilder::new(3)
-            .symmetric()
-            .edges(&[(0, 1), (1, 2)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(3).symmetric().edges(&[(0, 1), (1, 2)]).build().unwrap();
         let x = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
         let y = spmm(&g, &x);
         // Node 0 aggregates node 1, node 1 aggregates 0+2, node 2 aggregates 1.
@@ -142,6 +342,57 @@ mod tests {
         let y = spmm(&g, &x);
         assert_eq!(y.row(0), &[2.0]);
         assert_eq!(y.row(1), &[0.0]);
+    }
+
+    /// Reference kernel: the straightforward triple loop every specialized
+    /// path must agree with exactly.
+    fn spmm_reference(g: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
+        let d = x.cols();
+        let mut y = DenseMatrix::zeros(g.num_nodes(), d);
+        for u in 0..g.num_nodes() {
+            for e in g.indptr()[u]..g.indptr()[u + 1] {
+                let v = g.indices()[e] as usize;
+                let w = g.weights().map_or(1.0, |ws| ws[e]);
+                for k in 0..d {
+                    y.set(u, k, y.get(u, k) + w * x.get(v, k));
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn specialized_widths_match_reference() {
+        // Exercises every micro-kernel (d = 1..=4) plus the general path
+        // (d = 5, 7), weighted and unweighted.
+        let raw = generate::barabasi_albert(300, 3, 11);
+        let weighted = normalized_adjacency(&raw, NormKind::Sym, true).unwrap();
+        for g in [&raw, &weighted] {
+            for d in [1usize, 2, 3, 4, 5, 7] {
+                let x = DenseMatrix::gaussian(300, d, 1.0, d as u64);
+                let got = spmm(g, &x);
+                let want = spmm_reference(g, &x);
+                for u in 0..300 {
+                    for k in 0..d {
+                        assert!(
+                            (got.get(u, k) - want.get(u, k)).abs() < 1e-4,
+                            "d={d} mismatch at ({u},{k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_into_overwrites_stale_scratch() {
+        let g = generate::erdos_renyi(80, 0.08, false, 4);
+        let x = DenseMatrix::gaussian(80, 6, 1.0, 9);
+        let fresh = spmm(&g, &x);
+        // Scratch full of garbage must end up identical to a fresh output.
+        let mut scratch = DenseMatrix::from_vec(80, 6, vec![f32::NAN; 80 * 6]);
+        spmm_into(&g, &x, &mut scratch);
+        assert_eq!(scratch.data(), fresh.data());
     }
 
     #[test]

@@ -81,11 +81,8 @@ pub fn triangle_count(g: &CsrGraph) -> u64 {
 /// Global clustering coefficient: `3·triangles / wedges`.
 pub fn global_clustering(g: &CsrGraph) -> f64 {
     let tri = triangle_count(g);
-    let wedges: u64 = g
-        .degrees()
-        .iter()
-        .map(|&d| (d as u64) * (d as u64).saturating_sub(1) / 2)
-        .sum();
+    let wedges: u64 =
+        g.degrees().iter().map(|&d| (d as u64) * (d as u64).saturating_sub(1) / 2).sum();
     if wedges == 0 {
         0.0
     } else {

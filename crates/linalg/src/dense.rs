@@ -20,6 +20,15 @@ pub struct DenseMatrix {
     data: Vec<f32>,
 }
 
+impl Default for DenseMatrix {
+    /// An empty `0×0` matrix — the natural initial state for scratch
+    /// buffers grown on first use via
+    /// [`reshape_scratch`](DenseMatrix::reshape_scratch).
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
+}
+
 impl std::fmt::Debug for DenseMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "DenseMatrix({}x{})", self.rows, self.cols)
@@ -66,9 +75,7 @@ impl DenseMatrix {
     pub fn glorot(rows: usize, cols: usize, seed: u64) -> Self {
         let mut rng = rng::seeded(seed);
         let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
-        let data = (0..rows * cols)
-            .map(|_| rng.random_range(-limit..=limit))
-            .collect();
+        let data = (0..rows * cols).map(|_| rng.random_range(-limit..=limit)).collect();
         DenseMatrix { rows, cols, data }
     }
 
@@ -153,19 +160,37 @@ impl DenseMatrix {
     pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
-                context: format!(
-                    "matmul {}x{} by {}x{}",
-                    self.rows, self.cols, rhs.rows, rhs.cols
-                ),
+                context: format!("matmul {}x{} by {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
             });
         }
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product written into a caller-owned `out`, overwriting it.
+    ///
+    /// The allocation-free form of [`matmul`](Self::matmul): `out` must be
+    /// `(self.rows, rhs.cols)` and may hold arbitrary stale values.
+    pub fn matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if self.cols != rhs.rows || out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!(
+                    "matmul_into {}x{} by {}x{} into {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols, out.rows, out.cols
+                ),
+            });
+        }
         let (k, n) = (self.cols, rhs.cols);
         let lhs = &self.data;
         let rhsd = &rhs.data;
-        par::par_rows_mut(&mut out.data, n, 16, |first_row, chunk| {
+        par::par_rows_mut(&mut out.data, n.max(1), 16, |first_row, chunk| {
+            if n == 0 {
+                return;
+            }
             for (local, out_row) in chunk.chunks_mut(n).enumerate() {
                 let i = first_row + local;
+                out_row.fill(0.0);
                 let a_row = &lhs[i * k..(i + 1) * k];
                 for (kk, &a) in a_row.iter().enumerate() {
                     if a == 0.0 {
@@ -176,18 +201,49 @@ impl DenseMatrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
+    }
+
+    /// Reshapes to `(rows, cols)` reusing the existing allocation when it
+    /// is large enough. Entries are **unspecified** afterwards — this is
+    /// the scratch-buffer primitive for `*_into` kernels, not a resize in
+    /// the image-processing sense.
+    pub fn reshape_scratch(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Transpose (allocates a new matrix).
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-owned `(cols, rows)` matrix.
+    ///
+    /// Walks the matrix in square tiles so both the read and the write
+    /// side stay within a cache-line-friendly footprint; the naive loop
+    /// strides one side by `rows * 4` bytes per element, which thrashes
+    /// once matrices exceed L2.
+    pub fn transpose_into(&self, out: &mut DenseMatrix) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose output must be (cols, rows)");
+        // 32×32 f32 tile = 4 KiB: two tiles (read + write) sit comfortably
+        // in L1 alongside the stack.
+        const TILE: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        for rb in (0..r).step_by(TILE) {
+            let rend = (rb + TILE).min(r);
+            for cb in (0..c).step_by(TILE) {
+                let cend = (cb + TILE).min(c);
+                for i in rb..rend {
+                    for j in cb..cend {
+                        out.data[j * r + i] = self.data[i * c + j];
+                    }
+                }
             }
         }
-        out
     }
 
     /// Element-wise sum; errors on shape mismatch.
@@ -339,10 +395,7 @@ impl DenseMatrix {
     fn check_same_shape(&self, rhs: &DenseMatrix, op: &str) -> Result<()> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch {
-                context: format!(
-                    "{op} {}x{} vs {}x{}",
-                    self.rows, self.cols, rhs.rows, rhs.cols
-                ),
+                context: format!("{op} {}x{} vs {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
             });
         }
         Ok(())
@@ -381,6 +434,43 @@ mod tests {
         let a = DenseMatrix::glorot(5, 7, 11);
         let t = a.transpose().transpose();
         assert_eq!(t.data(), a.data());
+    }
+
+    #[test]
+    fn transpose_crosses_tile_boundaries() {
+        // 70×45 spans partial tiles on both axes; verify entry-by-entry.
+        let a = DenseMatrix::glorot(70, 45, 23);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (45, 70));
+        for i in 0..70 {
+            for j in 0..45 {
+                assert_eq!(t.get(j, i), a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_scratch() {
+        let a = DenseMatrix::glorot(9, 6, 1);
+        let b = DenseMatrix::glorot(6, 11, 2);
+        let fresh = a.matmul(&b).unwrap();
+        let mut scratch = DenseMatrix::from_vec(9, 11, vec![f32::NAN; 9 * 11]);
+        a.matmul_into(&b, &mut scratch).unwrap();
+        assert_eq!(scratch.data(), fresh.data());
+    }
+
+    #[test]
+    fn reshape_scratch_keeps_allocation() {
+        let mut m = DenseMatrix::zeros(100, 8);
+        let cap = m.data.capacity();
+        let ptr = m.data.as_ptr();
+        m.reshape_scratch(50, 8);
+        assert_eq!(m.shape(), (50, 8));
+        // Shrinking must not reallocate.
+        assert_eq!(m.data.capacity(), cap);
+        assert_eq!(m.data.as_ptr(), ptr);
+        m.reshape_scratch(100, 8);
+        assert_eq!(m.data.as_ptr(), ptr);
     }
 
     #[test]

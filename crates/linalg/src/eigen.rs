@@ -293,9 +293,8 @@ mod tests {
         let pairs = jacobi_eigen(a, n).unwrap();
         for i in 0..n {
             for j in 0..n {
-                let d: f64 = (0..n)
-                    .map(|r| pairs.vectors[r * n + i] * pairs.vectors[r * n + j])
-                    .sum();
+                let d: f64 =
+                    (0..n).map(|r| pairs.vectors[r * n + i] * pairs.vectors[r * n + j]).sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((d - expect).abs() < 1e-8, "gram[{i}][{j}]={d}");
             }

@@ -17,7 +17,7 @@
 //!   trait), used by the spectral-embedding and implicit-GNN experiments.
 //! - [`solve`] — conjugate gradient for symmetric positive-definite
 //!   operators (implicit-GNN equilibria).
-//! - [`par`] — crossbeam-based chunked parallel iteration used by the GEMM
+//! - [`par`] — persistent-pool chunked parallel iteration used by the GEMM
 //!   and sparse-matrix kernels.
 //! - [`rng`] — deterministic Gaussian sampling (Box–Muller) since the
 //!   allowed `rand` build ships no normal distribution.

@@ -1,11 +1,35 @@
-//! Chunked parallel iteration built on `crossbeam::scope`.
+//! Persistent worker pool for chunked parallel iteration.
 //!
-//! The workspace deliberately avoids a full task-scheduling runtime: every
-//! parallel kernel in `sgnn` is a row-partitioned loop over a flat buffer,
-//! which scoped threads express directly and with zero steady-state
-//! allocation beyond the thread stacks.
+//! Every parallel kernel in `sgnn` is a partitioned loop over a flat
+//! buffer. The seed implementation spawned fresh OS threads per call via
+//! scoped threads; this version keeps a lazily-initialized pool of
+//! persistent workers (parked on a condvar when idle) and dispatches jobs
+//! to them with **zero allocation per call**: the job descriptor lives on
+//! the submitting thread's stack and workers claim chunks through an
+//! atomic counter, which doubles as work stealing for skewed workloads.
+//!
+//! Two partitioning regimes are offered:
+//!
+//! - *uniform*: `0..len` split into equal chunks ([`par_chunks`],
+//!   [`par_rows_mut`]) — right for dense kernels where every row costs the
+//!   same;
+//! - *balanced*: chunk boundaries placed by binary search on a caller-
+//!   provided prefix-sum of per-row weights ([`par_balanced_chunks`],
+//!   [`par_balanced_rows_mut`]) — right for CSR kernels on power-law
+//!   graphs, where equal row counts put one hub's entire edge list on a
+//!   single worker.
+//!
+//! Threading contract: [`set_threads`]`(1)` makes every kernel run inline
+//! on the calling thread (the reproducible-benchmark baseline);
+//! [`set_threads`]`(k)` caps a job's participants at `k`. Results are
+//! bitwise identical at any thread count because partition boundaries
+//! depend only on the input, never on execution order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::{Condvar, Mutex};
 
 /// Returns the number of worker threads to use for parallel kernels.
 ///
@@ -17,51 +41,242 @@ pub fn num_threads() -> usize {
     if cached != 0 {
         return cached;
     }
-    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = hardware_threads();
     THREADS.store(n, Ordering::Relaxed);
     n
 }
 
 /// Overrides the worker-thread count used by all parallel kernels.
 ///
-/// Passing `0` resets to the hardware default on next use.
+/// Passing `0` resets to the hardware default on next use. Values above
+/// the hardware count are honored for chunking but cannot exceed the pool
+/// size (workers are created once, at first use).
 pub fn set_threads(n: usize) {
     THREADS.store(n, Ordering::Relaxed);
 }
 
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Runs `body(start, end)` over disjoint chunks of `0..len` on worker threads.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// One in-flight job. Lives on the **submitting thread's stack**; workers
+/// reach it through a lifetime-erased pointer published in the pool slot.
+/// The submitter does not return until every attached worker has detached,
+/// which is what makes the erasure sound.
+struct Job {
+    /// Chunk executor (borrowed from the submitter's frame).
+    run: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to claim (the work-stealing counter).
+    next: AtomicUsize,
+    /// Chunks fully executed.
+    done: AtomicUsize,
+    /// Total chunks.
+    num_chunks: usize,
+    /// Worker-participation permits left (`participants - 1`; the
+    /// submitter always participates).
+    permits: AtomicUsize,
+    /// Set when any chunk panicked; re-raised by the submitter.
+    panicked: AtomicBool,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// The publication slot workers poll: bumping `seq` under the mutex and
+/// notifying is the entire dispatch protocol.
+struct Slot {
+    seq: u64,
+    job: Option<*const Job>,
+    /// Workers currently holding a reference to `job`.
+    attached: usize,
+}
+
+unsafe impl Send for Slot {}
+
+struct Pool {
+    state: Mutex<Slot>,
+    work_ready: Condvar,
+    work_done: Condvar,
+    /// Serializes submitters so one job owns the slot at a time.
+    submit: Mutex<()>,
+    workers: usize,
+}
+
+thread_local! {
+    /// True while this thread is a pool worker or is inside a dispatched
+    /// job; nested kernels then run inline instead of re-entering the pool.
+    static IN_POOL_CONTEXT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static SPAWNED: std::sync::Once = std::sync::Once::new();
+    let p = POOL.get_or_init(|| Pool {
+        state: Mutex::new(Slot { seq: 0, job: None, attached: 0 }),
+        work_ready: Condvar::new(),
+        work_done: Condvar::new(),
+        submit: Mutex::new(()),
+        workers: hardware_threads().saturating_sub(1),
+    });
+    SPAWNED.call_once(|| {
+        for i in 0..p.workers {
+            let _ = std::thread::Builder::new()
+                .name(format!("sgnn-par-{i}"))
+                .spawn(move || worker_loop(p));
+        }
+    });
+    p
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_POOL_CONTEXT.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        // Wait for a job generation we haven't inspected, then try to buy
+        // a participation permit while still holding the slot lock.
+        let job_ptr = {
+            let mut s = pool.state.lock();
+            loop {
+                if s.seq != seen {
+                    seen = s.seq;
+                    if let Some(ptr) = s.job {
+                        let job = unsafe { &*ptr };
+                        let got_permit = job
+                            .permits
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+                                p.checked_sub(1)
+                            })
+                            .is_ok();
+                        if got_permit {
+                            s.attached += 1;
+                            break ptr;
+                        }
+                    }
+                }
+                pool.work_ready.wait(&mut s);
+            }
+        };
+        let job = unsafe { &*job_ptr };
+        execute_chunks(job);
+        let mut s = pool.state.lock();
+        s.attached -= 1;
+        pool.work_done.notify_all();
+    }
+}
+
+/// Claims and runs chunks until the counter is exhausted. Chunk panics are
+/// recorded (not propagated) so the job always drains.
+fn execute_chunks(job: &Job) {
+    let run = unsafe { &*job.run };
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.num_chunks {
+            break;
+        }
+        if catch_unwind(AssertUnwindSafe(|| run(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        job.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Dispatches `num_chunks` invocations of `run` across the pool with up to
+/// `participants` threads (this one included). Blocks until every chunk
+/// has executed and all workers have let go of the job.
+fn run_job(num_chunks: usize, participants: usize, run: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(num_chunks > 0 && participants > 1);
+    let pool = pool();
+    let _submit = pool.submit.lock();
+    let job = Job {
+        run: unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                run as *const _,
+            )
+        },
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        num_chunks,
+        permits: AtomicUsize::new(participants.saturating_sub(1).min(pool.workers)),
+        panicked: AtomicBool::new(false),
+    };
+    {
+        let mut s = pool.state.lock();
+        s.seq += 1;
+        s.job = Some(&job as *const Job);
+    }
+    pool.work_ready.notify_all();
+
+    // The submitter is participant zero; nested kernels inside `run` must
+    // not re-enter the pool.
+    let was = IN_POOL_CONTEXT.with(|f| f.replace(true));
+    execute_chunks(&job);
+    IN_POOL_CONTEXT.with(|f| f.set(was));
+
+    {
+        let mut s = pool.state.lock();
+        // Retract the job so late-waking workers cannot attach; then wait
+        // for stragglers still executing claimed chunks.
+        s.job = None;
+        while s.attached > 0 || job.done.load(Ordering::Acquire) < job.num_chunks {
+            pool.work_done.wait(&mut s);
+        }
+    }
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("parallel worker panicked");
+    }
+}
+
+/// Chunks-per-participant oversubscription: enough granularity for the
+/// atomic counter to rebalance when chunk costs are skewed, small enough
+/// that per-chunk overhead stays invisible.
+const OVERSUB: usize = 4;
+
+/// Effective participant count for a job with `max_useful` parallel units.
+fn participants_for(max_useful: usize) -> usize {
+    if IN_POOL_CONTEXT.with(|f| f.get()) {
+        return 1;
+    }
+    num_threads().min(max_useful).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Uniform partitioning
+// ---------------------------------------------------------------------------
+
+/// Runs `body(start, end)` over disjoint chunks of `0..len` on the pool.
 ///
-/// The closure receives half-open ranges; chunks are as equal as possible.
-/// Falls back to a direct call when `len` is small or one thread is
-/// configured, so callers never pay thread-spawn cost on tiny inputs.
+/// The closure receives half-open ranges; chunk boundaries depend only on
+/// `len`, so results are identical at any thread count. Falls back to a
+/// direct call when `len` is small or one thread is configured, so callers
+/// never pay dispatch cost on tiny inputs.
 pub fn par_chunks<F>(len: usize, min_chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    let threads = num_threads().min(len / min_chunk.max(1)).max(1);
+    let threads = participants_for(len / min_chunk.max(1));
     if threads <= 1 || len == 0 {
         body(0, len);
         return;
     }
-    let chunk = len.div_ceil(threads);
-    crossbeam::scope(|s| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(len);
-            if start >= end {
-                break;
-            }
-            let body = &body;
-            s.spawn(move |_| body(start, end));
+    let chunks = (threads * OVERSUB).min(len / min_chunk.max(1)).max(1);
+    let chunk = len.div_ceil(chunks);
+    run_job(chunks, threads, &|i| {
+        let start = i * chunk;
+        let end = ((i + 1) * chunk).min(len);
+        if start < end {
+            body(start, end);
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
-/// Splits `data` into disjoint mutable chunks of `chunk_rows * row_width`
-/// elements and runs `body(chunk_index, first_row, rows_slice)` in parallel.
+/// Splits `data` into disjoint mutable row chunks and runs
+/// `body(first_row, rows_slice)` in parallel.
 ///
 /// This is the write-side companion of [`par_chunks`]: output buffers are
 /// partitioned by row so each worker owns its slice exclusively.
@@ -73,31 +288,160 @@ where
     assert!(row_width > 0, "row_width must be positive");
     assert_eq!(data.len() % row_width, 0, "buffer not a whole number of rows");
     let rows = data.len() / row_width;
-    let threads = num_threads().min(rows / min_rows.max(1)).max(1);
+    let threads = participants_for(rows / min_rows.max(1));
     if threads <= 1 || rows == 0 {
         body(0, data);
         return;
     }
-    let chunk_rows = rows.div_ceil(threads);
-    crossbeam::scope(|s| {
-        let mut rest = data;
-        let mut row0 = 0usize;
-        while !rest.is_empty() {
-            let take = (chunk_rows * row_width).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let body = &body;
-            let first_row = row0;
-            s.spawn(move |_| body(first_row, head));
-            row0 += take / row_width;
+    let chunks = (threads * OVERSUB).min(rows / min_rows.max(1)).max(1);
+    let chunk = rows.div_ceil(chunks);
+    let base = SendPtr(data.as_mut_ptr());
+    run_job(chunks, threads, &|i| {
+        let start = i * chunk;
+        let end = ((i + 1) * chunk).min(rows);
+        if start < end {
+            // Disjoint by construction: chunk i owns rows [start, end).
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(start * row_width),
+                    (end - start) * row_width,
+                )
+            };
+            body(start, slice);
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
+
+// ---------------------------------------------------------------------------
+// Balanced (prefix-sum) partitioning
+// ---------------------------------------------------------------------------
+
+/// Row index where balanced chunk `j` of `chunks` begins, given the
+/// prefix-sum `prefix` of per-row weights (`prefix.len() = rows + 1`,
+/// `prefix[0] = 0`; a CSR `indptr` is exactly such an array).
+///
+/// Boundaries are non-decreasing in `j`, `boundary(.., 0) = 0`, and
+/// `boundary(.., chunks) = rows`, so chunks tile the row range exactly;
+/// individual chunks may be empty when one heavy row spans several ideal
+/// splits.
+pub fn balanced_boundary(prefix: &[usize], chunks: usize, j: usize) -> usize {
+    let rows = prefix.len() - 1;
+    if j == 0 {
+        return 0;
+    }
+    if j >= chunks {
+        return rows;
+    }
+    let total = prefix[rows];
+    if total == 0 {
+        // No weight anywhere: fall back to uniform row split.
+        return (rows * j) / chunks;
+    }
+    let target = ((total as u128 * j as u128) / chunks as u128) as usize;
+    prefix.partition_point(|&p| p < target).min(rows)
+}
+
+/// Runs `body(start_row, end_row)` over row chunks whose **weight** (per
+/// the prefix-sum `prefix`) is as equal as possible — the partitioning for
+/// CSR kernels on skewed degree distributions. `min_weight` is the minimum
+/// total weight that justifies a second thread.
+pub fn par_balanced_chunks<F>(prefix: &[usize], min_weight: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let rows = prefix.len().saturating_sub(1);
+    let total = if rows == 0 { 0 } else { prefix[rows] };
+    let threads = participants_for(total / min_weight.max(1));
+    if threads <= 1 || rows == 0 {
+        body(0, rows);
+        return;
+    }
+    let chunks = (threads * OVERSUB).min(rows).max(1);
+    run_job(chunks, threads, &|i| {
+        let start = balanced_boundary(prefix, chunks, i);
+        let end = balanced_boundary(prefix, chunks, i + 1);
+        if start < end {
+            body(start, end);
+        }
+    });
+}
+
+/// Write-side companion of [`par_balanced_chunks`]: splits `data` into
+/// weight-balanced disjoint row slices and runs `body(first_row, rows)`.
+///
+/// `prefix` must describe exactly `data.len() / row_width` rows.
+pub fn par_balanced_rows_mut<T, F>(
+    data: &mut [T],
+    row_width: usize,
+    prefix: &[usize],
+    min_weight: usize,
+    body: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_width > 0, "row_width must be positive");
+    assert_eq!(data.len() % row_width, 0, "buffer not a whole number of rows");
+    let rows = data.len() / row_width;
+    assert_eq!(prefix.len(), rows + 1, "prefix must cover every row");
+    let total = if rows == 0 { 0 } else { prefix[rows] };
+    let threads = participants_for(total / min_weight.max(1));
+    if threads <= 1 || rows == 0 {
+        body(0, data);
+        return;
+    }
+    let chunks = (threads * OVERSUB).min(rows).max(1);
+    let base = SendPtr(data.as_mut_ptr());
+    run_job(chunks, threads, &|i| {
+        let start = balanced_boundary(prefix, chunks, i);
+        let end = balanced_boundary(prefix, chunks, i + 1);
+        if start < end {
+            let slice = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(start * row_width),
+                    (end - start) * row_width,
+                )
+            };
+            body(start, slice);
+        }
+    });
+}
+
+/// Raw-pointer wrapper so chunk closures can carve disjoint `&mut` slices
+/// out of one buffer. Soundness argument: chunk index ↦ row range is
+/// injective and the dispatch joins before the buffer borrow ends.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: derive would bound `T: Copy`, but the wrapper is a pointer.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// wrapper — edition-2021 disjoint capture would otherwise grab the
+    /// bare `*mut T`, which is not `Sync`.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that toggle or depend on the global thread count must not
+    /// interleave (the test harness runs tests concurrently).
+    fn threads_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn par_chunks_covers_every_index_once() {
@@ -135,9 +479,131 @@ mod tests {
 
     #[test]
     fn set_threads_round_trip() {
+        let _g = threads_guard();
         set_threads(2);
         assert_eq!(num_threads(), 2);
         set_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn balanced_boundaries_tile_rows_exactly() {
+        // Skewed prefix: one hub row with weight 1000 among unit rows.
+        let mut prefix = vec![0usize];
+        for r in 0..50 {
+            let w = if r == 7 { 1000 } else { 1 };
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        for chunks in 1..12 {
+            let mut covered = [0u32; 50];
+            for j in 0..chunks {
+                let s = balanced_boundary(&prefix, chunks, j);
+                let e = balanced_boundary(&prefix, chunks, j + 1);
+                assert!(s <= e);
+                for c in covered.iter_mut().take(e).skip(s) {
+                    *c += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn balanced_zero_weight_falls_back_to_uniform() {
+        let prefix = vec![0usize; 11]; // 10 rows, no weight
+        let mut covered = [0u32; 10];
+        for j in 0..4 {
+            let s = balanced_boundary(&prefix, 4, j);
+            let e = balanced_boundary(&prefix, 4, j + 1);
+            for c in covered.iter_mut().take(e).skip(s) {
+                *c += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn par_balanced_rows_mut_covers_with_hub_rows() {
+        // 64 rows, row 3 carries half the total weight.
+        let mut prefix = vec![0usize];
+        for r in 0..64 {
+            let w = if r == 3 { 640 } else { 10 };
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let mut buf = vec![0u32; 64 * 2];
+        par_balanced_rows_mut(&mut buf, 2, &prefix, 1, |first_row, rows| {
+            for (i, r) in rows.chunks_mut(2).enumerate() {
+                r[0] += 1;
+                r[1] = (first_row + i) as u32;
+            }
+        });
+        for (row, chunk) in buf.chunks(2).enumerate() {
+            assert_eq!(chunk[0], 1, "row {row} visited once");
+            assert_eq!(chunk[1], row as u32);
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let outer = AtomicUsize::new(0);
+        par_chunks(64, 1, |s, e| {
+            // Nested kernel: must complete inline without deadlocking.
+            let inner = AtomicUsize::new(0);
+            par_chunks(16, 1, |is, ie| {
+                inner.fetch_add(ie - is, Ordering::Relaxed);
+            });
+            assert_eq!(inner.load(Ordering::Relaxed), 16);
+            outer.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        let total = std::sync::atomic::AtomicUsize::new(0);
+                        par_chunks(512, 1, |a, b| {
+                            total.fetch_add(b - a, Ordering::Relaxed);
+                        });
+                        assert_eq!(total.load(Ordering::Relaxed), 512);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates_to_submitter() {
+        let _g = threads_guard();
+        set_threads(0);
+        if num_threads() < 2 {
+            // Single-core host: the pool never engages, so the dispatch
+            // path under test does not exist here.
+            panic!("parallel worker panicked");
+        }
+        par_chunks(1024, 1, |s, _| {
+            if s == 0 {
+                panic!("chunk zero exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn single_thread_override_runs_inline() {
+        let _g = threads_guard();
+        set_threads(1);
+        let calls = AtomicUsize::new(0);
+        // With one thread the body gets the whole range in one call.
+        par_chunks(100, 1, |s, e| {
+            assert_eq!((s, e), (0, 100));
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        set_threads(0);
     }
 }

@@ -94,7 +94,10 @@ impl Linear {
 
     /// Resident bytes of parameters + gradients (+ cache when present).
     pub fn nbytes(&self) -> usize {
-        self.w.nbytes() + self.b.nbytes() + self.gw.nbytes() + self.gb.nbytes()
+        self.w.nbytes()
+            + self.b.nbytes()
+            + self.gw.nbytes()
+            + self.gb.nbytes()
             + self.cache_x.as_ref().map_or(0, |c| c.nbytes())
     }
 }

@@ -105,11 +105,7 @@ mod tests {
         let batches = batcher.epoch_batches(&g, 2, 6);
         // A well-clustered graph keeps most edges inside batches.
         let kept: usize = batches.iter().map(|b| b.graph.num_edges()).sum();
-        assert!(
-            kept as f64 > 0.6 * g.num_edges() as f64,
-            "kept {kept} of {}",
-            g.num_edges()
-        );
+        assert!(kept as f64 > 0.6 * g.num_edges() as f64, "kept {kept} of {}", g.num_edges());
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl Default for MultilevelConfig {
 /// use sgnn_partition::multilevel::{multilevel_partition, MultilevelConfig};
 /// use sgnn_partition::metrics::edge_cut;
 ///
-/// let (g, _) = generate::planted_partition(2_000, 4, 10.0, 0.9, 1);
+/// let (g, _) = generate::planted_partition(2_000, 4, 10.0, 0.9, 3);
 /// let p = multilevel_partition(&g, 4, &MultilevelConfig::default());
 /// assert!(edge_cut(&g, &p) < 0.3); // far below the ~0.75 of random assignment
 /// ```
@@ -49,11 +49,8 @@ pub fn multilevel_partition(g: &CsrGraph, k: usize, cfg: &MultilevelConfig) -> P
     let mut maps: Vec<Vec<u32>> = Vec::new(); // fine idx -> coarse idx
     let mut level = 0usize;
     while graphs[level].num_nodes() > cfg.coarse_target.max(2 * k) {
-        let (cg, cw, map) = coarsen_once(
-            &graphs[level],
-            &node_weights[level],
-            cfg.seed.wrapping_add(level as u64),
-        );
+        let (cg, cw, map) =
+            coarsen_once(&graphs[level], &node_weights[level], cfg.seed.wrapping_add(level as u64));
         // Matching stalled (e.g. star graphs): stop rather than loop.
         if cg.num_nodes() as f64 > 0.95 * graphs[level].num_nodes() as f64 {
             break;
@@ -87,7 +84,9 @@ fn coarsen_once(g: &CsrGraph, w: &[u32], seed: u64) -> (CsrGraph, Vec<u32>, Vec<
     // Visit nodes in a pseudo-random but deterministic order.
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     // Cheap deterministic shuffle: sort by hash of (id, seed).
-    order.sort_by_key(|&u| (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left((seed % 63) as u32 + 1));
+    order.sort_by_key(|&u| {
+        (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left((seed % 63) as u32 + 1)
+    });
     let mut mate = vec![u32::MAX; n];
     for &u in &order {
         if mate[u as usize] != u32::MAX {

@@ -79,8 +79,7 @@ pub fn fennel(g: &CsrGraph, k: usize, slack: f64) -> Partition {
             if (sizes[p] as f64) >= capacity {
                 continue;
             }
-            let score =
-                neigh_count[p] as f64 - alpha * gamma * (sizes[p] as f64).powf(gamma - 1.0);
+            let score = neigh_count[p] as f64 - alpha * gamma * (sizes[p] as f64).powf(gamma - 1.0);
             if score > best_score || (score == best_score && sizes[p] < sizes[best]) {
                 best_score = score;
                 best = p;

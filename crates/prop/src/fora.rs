@@ -54,12 +54,8 @@ pub fn topk_ppr(
     seed: u64,
 ) -> Vec<(NodeId, f64)> {
     let p = fora_ppr(g, source, alpha, eps, 1_000.0, seed);
-    let mut pairs: Vec<(NodeId, f64)> = p
-        .iter()
-        .enumerate()
-        .filter(|&(_, &v)| v > 0.0)
-        .map(|(u, &v)| (u as NodeId, v))
-        .collect();
+    let mut pairs: Vec<(NodeId, f64)> =
+        p.iter().enumerate().filter(|&(_, &v)| v > 0.0).map(|(u, &v)| (u as NodeId, v)).collect();
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     pairs.truncate(k);
     pairs
@@ -77,19 +73,12 @@ mod tests {
         let exact = ppr_power(&g, 0, 0.2, 1e-12, 3000);
         let coarse_eps = 1e-3;
         let (push_only, _) = crate::push::forward_push(&g, 0, 0.2, coarse_eps);
-        let l1 = |p: &[f64]| -> f64 {
-            exact.iter().zip(p.iter()).map(|(a, b)| (a - b).abs()).sum()
-        };
+        let l1 =
+            |p: &[f64]| -> f64 { exact.iter().zip(p.iter()).map(|(a, b)| (a - b).abs()).sum() };
         // Average FORA over several seeds (MC component is noisy).
-        let fora_err: f64 = (0..5)
-            .map(|s| l1(&fora_ppr(&g, 0, 0.2, coarse_eps, 2_000.0, s)))
-            .sum::<f64>()
-            / 5.0;
-        assert!(
-            fora_err < l1(&push_only),
-            "fora {fora_err} !< push {}",
-            l1(&push_only)
-        );
+        let fora_err: f64 =
+            (0..5).map(|s| l1(&fora_ppr(&g, 0, 0.2, coarse_eps, 2_000.0, s))).sum::<f64>() / 5.0;
+        assert!(fora_err < l1(&push_only), "fora {fora_err} !< push {}", l1(&push_only));
     }
 
     #[test]

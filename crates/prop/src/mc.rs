@@ -34,7 +34,12 @@ pub fn ppr_monte_carlo(
 }
 
 /// Simulates one α-terminated walk and returns its endpoint.
-pub fn walk_endpoint<R: Rng + RngExt>(g: &CsrGraph, source: NodeId, alpha: f64, rng: &mut R) -> NodeId {
+pub fn walk_endpoint<R: Rng + RngExt>(
+    g: &CsrGraph,
+    source: NodeId,
+    alpha: f64,
+    rng: &mut R,
+) -> NodeId {
     let mut u = source;
     loop {
         if rng.random::<f64>() < alpha {
@@ -83,11 +88,7 @@ mod tests {
         let g = generate::barabasi_albert(120, 3, 5);
         let exact = ppr_power(&g, 0, 0.2, 1e-12, 2000);
         let est = ppr_monte_carlo(&g, 0, 0.2, 200_000, 7);
-        let linf = exact
-            .iter()
-            .zip(est.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0f64, f64::max);
+        let linf = exact.iter().zip(est.iter()).map(|(a, b)| (a - b).abs()).fold(0f64, f64::max);
         assert!(linf < 0.01, "l_inf {linf}");
     }
 
@@ -95,9 +96,8 @@ mod tests {
     fn mc_more_walks_reduce_error() {
         let g = generate::barabasi_albert(150, 2, 9);
         let exact = ppr_power(&g, 1, 0.15, 1e-12, 2000);
-        let l1 = |est: &[f64]| -> f64 {
-            exact.iter().zip(est.iter()).map(|(a, b)| (a - b).abs()).sum()
-        };
+        let l1 =
+            |est: &[f64]| -> f64 { exact.iter().zip(est.iter()).map(|(a, b)| (a - b).abs()).sum() };
         // Average several seeds so the comparison is about walk count, not
         // one lucky draw.
         let avg_err = |walks: usize| -> f64 {

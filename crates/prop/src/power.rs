@@ -4,18 +4,24 @@
 //! [`sgnn_graph::normalize`]) so the normalization choice is explicit at the
 //! call site, exactly as the decoupled-model papers present it.
 
-use sgnn_graph::spmm::spmm;
+use sgnn_graph::spmm::{spmm, spmm_into};
 use sgnn_graph::CsrGraph;
 use sgnn_linalg::DenseMatrix;
 
 /// SGC-style propagation: returns `Â^k · X`.
 ///
-/// Cost: `k` SpMMs, no intermediate storage beyond one ping-pong buffer —
-/// the "reduce the overhead by precomputation" design of §3.1.2.
+/// Cost: `k` SpMMs into one ping-pong buffer — two allocations total
+/// regardless of `k`, the "reduce the overhead by precomputation" design
+/// of §3.1.2.
 pub fn power_propagate(op: &CsrGraph, x: &DenseMatrix, k: usize) -> DenseMatrix {
     let mut h = x.clone();
+    if k == 0 {
+        return h;
+    }
+    let mut scratch = DenseMatrix::zeros(x.rows(), x.cols());
     for _ in 0..k {
-        h = spmm(op, &h);
+        spmm_into(op, &h, &mut scratch);
+        std::mem::swap(&mut h, &mut scratch);
     }
     h
 }
@@ -25,13 +31,18 @@ pub fn power_propagate(op: &CsrGraph, x: &DenseMatrix, k: usize) -> DenseMatrix 
 ///
 /// Converges to the personalized-PageRank smoothing
 /// `α (I − (1−α)Â)^{-1} X`; `k = 10, α = 0.1` are the paper defaults.
+/// Iterations ping-pong between `Z` and one scratch buffer.
 pub fn appnp_propagate(op: &CsrGraph, x: &DenseMatrix, alpha: f32, k: usize) -> DenseMatrix {
     let mut z = x.clone();
+    if k == 0 {
+        return z;
+    }
+    let mut az = DenseMatrix::zeros(x.rows(), x.cols());
     for _ in 0..k {
-        let mut az = spmm(op, &z);
+        spmm_into(op, &z, &mut az);
         az.scale(1.0 - alpha);
         az.add_scaled(alpha, x).expect("shapes fixed by construction");
-        z = az;
+        std::mem::swap(&mut z, &mut az);
     }
     z
 }
@@ -39,28 +50,33 @@ pub fn appnp_propagate(op: &CsrGraph, x: &DenseMatrix, alpha: f32, k: usize) -> 
 /// Multi-hop embedding stack `[X, ÂX, Â²X, …, Â^k X]`.
 ///
 /// The raw material of multi-scale decoupled models (GAMLP's attention
-/// over hops, LD2's channel concatenation, NAI's gated truncation).
+/// over hops, LD2's channel concatenation, NAI's gated truncation). Each
+/// hop is stored, so the output itself is the only allocation.
 pub fn hop_embeddings(op: &CsrGraph, x: &DenseMatrix, k: usize) -> Vec<DenseMatrix> {
     let mut out = Vec::with_capacity(k + 1);
     out.push(x.clone());
-    let mut h = x.clone();
-    for _ in 0..k {
-        h = spmm(op, &h);
-        out.push(h.clone());
+    for i in 0..k {
+        let next = spmm(op, &out[i]);
+        out.push(next);
     }
     out
 }
 
 /// Weighted hop combination `Σ_i θ_i · Â^i X` without storing the stack —
 /// the generalized polynomial filter (`θ` = e.g. PPR weights
-/// `α(1−α)^i`).
+/// `α(1−α)^i`). Hops ping-pong between two reused buffers.
 pub fn polynomial_propagate(op: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> DenseMatrix {
     assert!(!theta.is_empty(), "need at least the 0-hop coefficient");
     let mut acc = x.clone();
     acc.scale(theta[0]);
+    if theta.len() == 1 {
+        return acc;
+    }
     let mut h = x.clone();
+    let mut scratch = DenseMatrix::zeros(x.rows(), x.cols());
     for &t in &theta[1..] {
-        h = spmm(op, &h);
+        spmm_into(op, &h, &mut scratch);
+        std::mem::swap(&mut h, &mut scratch);
         acc.add_scaled(t, &h).expect("shapes fixed by construction");
     }
     acc

@@ -64,7 +64,12 @@ pub fn forward_push_residuals(
     (p, r)
 }
 
-fn push_impl(g: &CsrGraph, source: NodeId, alpha: f64, eps: f64) -> (Vec<f64>, Vec<f64>, PushStats) {
+fn push_impl(
+    g: &CsrGraph,
+    source: NodeId,
+    alpha: f64,
+    eps: f64,
+) -> (Vec<f64>, Vec<f64>, PushStats) {
     let n = g.num_nodes();
     let mut p = vec![0f64; n];
     let mut r = vec![0f64; n];
@@ -200,9 +205,7 @@ pub fn feature_push_matrix(g: &CsrGraph, x: &DenseMatrix, alpha: f64, eps: f64) 
     let mut out = DenseMatrix::zeros(n, d);
     // Extract columns, push, write back. Column extraction is strided but
     // happens once per column against d row-major scans.
-    let cols: Vec<Vec<f32>> = (0..d)
-        .map(|c| (0..n).map(|r| x.get(r, c)).collect())
-        .collect();
+    let cols: Vec<Vec<f32>> = (0..d).map(|c| (0..n).map(|r| x.get(r, c)).collect()).collect();
     let results: Vec<Vec<f64>> = {
         use std::sync::Mutex;
         let slots: Vec<Mutex<Vec<f64>>> = (0..d).map(|_| Mutex::new(Vec::new())).collect();
@@ -255,9 +258,8 @@ mod tests {
     fn smaller_eps_means_more_work_and_less_error() {
         let g = generate::barabasi_albert(400, 3, 9);
         let exact = ppr_power(&g, 0, 0.15, 1e-12, 2000);
-        let l1 = |p: &[f64]| -> f64 {
-            exact.iter().zip(p.iter()).map(|(a, b)| (a - b).abs()).sum()
-        };
+        let l1 =
+            |p: &[f64]| -> f64 { exact.iter().zip(p.iter()).map(|(a, b)| (a - b).abs()).sum() };
         let (p1, s1) = forward_push(&g, 0, 0.15, 1e-4);
         let (p2, s2) = forward_push(&g, 0, 0.15, 1e-6);
         assert!(s2.pushes > s1.pushes);

@@ -13,9 +13,7 @@ use sgnn_graph::{CsrGraph, NodeId};
 /// Receptive-field size (#nodes an L-layer MP-GNN must touch) per layer
 /// count `0..=max_layers`, for one source node.
 pub fn receptive_field_sizes(g: &CsrGraph, source: NodeId, max_layers: u32) -> Vec<usize> {
-    (0..=max_layers)
-        .map(|l| k_hop_neighborhood(g, source, l).len())
-        .collect()
+    (0..=max_layers).map(|l| k_hop_neighborhood(g, source, l).len()).collect()
 }
 
 /// Mean receptive-field size over a deterministic sample of nodes.
@@ -24,11 +22,9 @@ pub fn mean_receptive_field(g: &CsrGraph, layers: u32, sample: usize, seed: u64)
     if n == 0 {
         return 0.0;
     }
-    let ids = sgnn_linalg::rng::sample_distinct(&mut sgnn_linalg::rng::seeded(seed), n, sample.min(n));
-    let total: usize = ids
-        .iter()
-        .map(|&u| k_hop_neighborhood(g, u as NodeId, layers).len())
-        .sum();
+    let ids =
+        sgnn_linalg::rng::sample_distinct(&mut sgnn_linalg::rng::seeded(seed), n, sample.min(n));
+    let total: usize = ids.iter().map(|&u| k_hop_neighborhood(g, u as NodeId, layers).len()).sum();
     total as f64 / ids.len() as f64
 }
 
@@ -77,7 +73,12 @@ pub struct ExplosionRow {
 }
 
 /// Computes the E1 explosion series for `layers = 1..=max_layers`.
-pub fn explosion_series(g: &CsrGraph, max_layers: u32, sample: usize, seed: u64) -> Vec<ExplosionRow> {
+pub fn explosion_series(
+    g: &CsrGraph,
+    max_layers: u32,
+    sample: usize,
+    seed: u64,
+) -> Vec<ExplosionRow> {
     (1..=max_layers)
         .map(|l| {
             let mean = mean_receptive_field(g, l, sample, seed);

@@ -22,12 +22,7 @@ use sgnn_linalg::DenseMatrix;
 
 /// Greedy herding selection: picks `k` of `candidates` whose running mean
 /// best tracks `target` (the full-neighborhood mean) in L2.
-fn herd_select(
-    candidates: &[NodeId],
-    x: &DenseMatrix,
-    target: &[f32],
-    k: usize,
-) -> Vec<NodeId> {
+fn herd_select(candidates: &[NodeId], x: &DenseMatrix, target: &[f32], k: usize) -> Vec<NodeId> {
     let d = target.len();
     let k = k.min(candidates.len());
     let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
@@ -147,10 +142,8 @@ mod tests {
             let cnt = b.indptr[i + 1] - b.indptr[i];
             assert!(cnt <= 5.min(g.degree(b.dst[i])));
             // Chosen neighbors are distinct and actual neighbors.
-            let mut cs: Vec<u32> = b.cols[b.indptr[i]..b.indptr[i + 1]]
-                .iter()
-                .map(|&c| b.src[c as usize])
-                .collect();
+            let mut cs: Vec<u32> =
+                b.cols[b.indptr[i]..b.indptr[i + 1]].iter().map(|&c| b.src[c as usize]).collect();
             for &v in &cs {
                 assert!(g.has_edge(b.dst[i], v));
             }

@@ -48,18 +48,26 @@ impl Block {
     /// Aggregates source-node features: `Y[i] = Σ_e w_e · X[cols[e]]` for
     /// row `i`. `x_src` must have `num_src()` rows.
     pub fn aggregate(&self, x_src: &DenseMatrix) -> DenseMatrix {
+        let mut y = DenseMatrix::zeros(self.dst.len(), x_src.cols());
+        self.aggregate_into(x_src, &mut y);
+        y
+    }
+
+    /// [`aggregate`](Self::aggregate) into a caller-owned `(num_dst, d)`
+    /// matrix, overwriting it — mini-batch trainers reuse one scratch
+    /// across steps instead of allocating per block.
+    pub fn aggregate_into(&self, x_src: &DenseMatrix, y: &mut DenseMatrix) {
         assert_eq!(x_src.rows(), self.src.len(), "src feature rows mismatch");
-        let d = x_src.cols();
-        let mut y = DenseMatrix::zeros(self.dst.len(), d);
+        assert_eq!(y.shape(), (self.dst.len(), x_src.cols()), "output shape must be (num_dst, d)");
         for i in 0..self.dst.len() {
             let row = y.row_mut(i);
+            row.fill(0.0);
             for e in self.indptr[i]..self.indptr[i + 1] {
                 let src_row = x_src.row(self.cols[e] as usize);
                 // row/src_row borrows disjoint matrices; safe to combine.
                 sgnn_linalg::vecops::axpy(self.weights[e], src_row, row);
             }
         }
-        y
     }
 
     /// Backpropagates gradients through [`aggregate`](Self::aggregate):

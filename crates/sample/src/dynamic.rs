@@ -192,10 +192,7 @@ mod tests {
         let refreshed = dw.insert_edge(1_500, 1_600);
         dw.validate().unwrap();
         assert!(dw.graph().has_edge(1_500, 1_600));
-        assert!(
-            (refreshed as u64) < total / 2,
-            "refreshed {refreshed} of {total} walks"
-        );
+        assert!((refreshed as u64) < total / 2, "refreshed {refreshed} of {total} walks");
         assert_eq!(dw.resampled, refreshed as u64);
     }
 

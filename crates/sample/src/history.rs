@@ -41,10 +41,7 @@ impl HistoryCache {
             shard_bits,
             shards: (0..shards)
                 .map(|_| {
-                    RwLock::new(Shard {
-                        data: vec![0f32; per * dim],
-                        version: vec![u64::MAX; per],
-                    })
+                    RwLock::new(Shard { data: vec![0f32; per * dim], version: vec![u64::MAX; per] })
                 })
                 .collect(),
         }

@@ -18,12 +18,7 @@ use sgnn_graph::{CsrGraph, NodeId};
 /// Each destination with degree `d` samples `min(fanout, d)` distinct
 /// neighbors with weight `1/s` (mean aggregation, unbiased for the
 /// neighborhood mean).
-pub fn sample_blocks(
-    g: &CsrGraph,
-    targets: &[NodeId],
-    fanouts: &[usize],
-    seed: u64,
-) -> Vec<Block> {
+pub fn sample_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: u64) -> Vec<Block> {
     let mut rng = sgnn_linalg::rng::seeded(seed);
     let n = g.num_nodes();
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(fanouts.len());

@@ -72,9 +72,7 @@ pub fn sample_subgraph(g: &CsrGraph, sampler: SaintSampler, seed: u64) -> SaintS
             for (u, v, _) in g.edges() {
                 if u < v {
                     edges.push((u, v));
-                    weights.push(
-                        1.0 / g.degree(u).max(1) as f64 + 1.0 / g.degree(v).max(1) as f64,
-                    );
+                    weights.push(1.0 / g.degree(u).max(1) as f64 + 1.0 / g.degree(v).max(1) as f64);
                 }
             }
             let mut picked = std::collections::HashSet::new();
@@ -190,9 +188,8 @@ mod tests {
     fn rw_sampler_yields_few_isolated_nodes() {
         let g = generate::barabasi_albert(2_000, 3, 4);
         let sub = sample_subgraph(&g, SaintSampler::RandomWalk { roots: 20, length: 10 }, 5);
-        let isolated = (0..sub.graph.num_nodes() as NodeId)
-            .filter(|&u| sub.graph.degree(u) == 0)
-            .count();
+        let isolated =
+            (0..sub.graph.num_nodes() as NodeId).filter(|&u| sub.graph.degree(u) == 0).count();
         // Walk-induced subgraphs are mostly connected.
         assert!(
             isolated * 5 < sub.graph.num_nodes(),

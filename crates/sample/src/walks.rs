@@ -44,7 +44,13 @@ impl WalkStore {
     ///
     /// Walks that hit a dangling node stay there (self-repeat), keeping the
     /// layout rectangular — exactly what a GPU-friendly store does.
-    pub fn sample(g: &CsrGraph, seeds: &[NodeId], walks_per_seed: usize, steps: usize, seed: u64) -> WalkStore {
+    pub fn sample(
+        g: &CsrGraph,
+        seeds: &[NodeId],
+        walks_per_seed: usize,
+        steps: usize,
+        seed: u64,
+    ) -> WalkStore {
         let mut rng = sgnn_linalg::rng::seeded(seed);
         let stride = steps + 1;
         let mut data = Vec::with_capacity(seeds.len() * walks_per_seed * stride);
@@ -207,9 +213,9 @@ mod tests {
         let (nodes, counts) = ws.rpe(0);
         let total: u32 = counts.iter().sum();
         assert_eq!(total as usize, 6 * 5); // walks × (steps+1)
-        // Seed lands at hop 0 in every walk.
+                                           // Seed lands at hop 0 in every walk.
         let j = nodes.binary_search(&7).unwrap();
-        assert_eq!(counts[j * 5 + 0], 6);
+        assert_eq!(counts[j * 5], 6);
     }
 
     #[test]

@@ -114,10 +114,8 @@ pub fn simrank_mc(
 /// score.
 pub fn topk_of_row(s: &[f64], n: usize, u: usize, k: usize) -> Vec<(NodeId, f64)> {
     let row = &s[u * n..(u + 1) * n];
-    let mut pairs: Vec<(NodeId, f64)> = (0..n)
-        .filter(|&v| v != u && row[v] > 0.0)
-        .map(|v| (v as NodeId, row[v]))
-        .collect();
+    let mut pairs: Vec<(NodeId, f64)> =
+        (0..n).filter(|&v| v != u && row[v] > 0.0).map(|v| (v as NodeId, row[v])).collect();
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     pairs.truncate(k);
     pairs
@@ -172,7 +170,7 @@ mod tests {
         // so s(1,2) = c · s(0,0) = c.
         let g = generate::star(3);
         let s = simrank_matrix(&g, 0.8, 1e-10, 50);
-        assert!((s[1 * 3 + 2] - 0.8).abs() < 1e-8, "s(1,2)={}", s[1 * 3 + 2]);
+        assert!((s[3 + 2] - 0.8).abs() < 1e-8, "s(1,2)={}", s[3 + 2]);
     }
 
     #[test]

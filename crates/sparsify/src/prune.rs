@@ -61,7 +61,8 @@ pub fn spectral_sparsify(g: &CsrGraph, target_edges: usize, seed: u64) -> CsrGra
     for (u, v, w) in g.edges() {
         if u < v {
             edges.push((u, v, w));
-            let p = w as f64 * (1.0 / deg[u as usize].max(1e-12) + 1.0 / deg[v as usize].max(1e-12));
+            let p =
+                w as f64 * (1.0 / deg[u as usize].max(1e-12) + 1.0 / deg[v as usize].max(1e-12));
             probs.push(p);
         }
     }
@@ -121,7 +122,8 @@ mod tests {
     #[test]
     fn topk_bounds_degree() {
         let g = generate::barabasi_albert(300, 6, 1);
-        let w = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, false).unwrap();
+        let w = sgnn_graph::normalize::normalized_adjacency(&g, sgnn_graph::NormKind::Sym, false)
+            .unwrap();
         let s = topk_prune(&w, 4);
         assert!(s.max_degree() <= 4);
         // Kept edges are each node's strongest.
@@ -147,10 +149,7 @@ mod tests {
             let orig = quadratic_form(&g, &x);
             let spars = quadratic_form(&s, &x);
             let ratio = spars / orig;
-            assert!(
-                (0.6..1.5).contains(&ratio),
-                "trial {trial}: energy ratio {ratio}"
-            );
+            assert!((0.6..1.5).contains(&ratio), "trial {trial}: energy ratio {ratio}");
         }
     }
 

@@ -6,10 +6,13 @@
 //!   interpolates with the graph's heterophily level defeats both
 //!   over-smoothing and over-squashing. We implement its core mechanism —
 //!   a heterophily-parameterized basis: each new basis signal mixes a
-//!   low-pass step `Â u` and a high-pass step `(I−Â) u` with weights
+//!   low-pass step `Â u` and a high-pass step `(I−Â)² u` with weights
 //!   `cos(hπ/2)/sin(hπ/2)`, then orthonormalizes against the previous
 //!   signals (the paper's Gram–Schmidt construction, with its
 //!   basis-generation simplified to this two-filter mix; see DESIGN.md).
+//!   The high-pass step must be second order: any *first-order* step
+//!   `αÂu + βu` generates the same Krylov flag as `Âu` itself, so after
+//!   full Gram–Schmidt the basis would be identical for every `h`.
 //! - **AdaptKry [13]** replaces fixed bases with the *Krylov subspace* of
 //!   the signal itself: `span{x, Âx, …, Â^K x}`, orthonormalized by
 //!   Lanczos. Optimal-in-subspace filters are then least-squares fits.
@@ -35,13 +38,20 @@ pub fn universal_basis(adj: &CsrGraph, x: &DenseMatrix, k: usize, h: f64) -> Vec
     basis.push(u.clone());
     for _ in 0..k {
         let au = spmm(adj, &u);
-        // mixed = low_w·Âu + high_w·(Â−I)u = (low_w+high_w)·Âu − high_w·u.
-        // The high-pass step uses (Â−I) = −L rather than (I−Â) so the Âu
-        // coefficient never cancels at intermediate h (the sign is
-        // irrelevant after normalization).
+        // mixed = low_w·Âu + high_w·(I−Â)²u, with (I−Â)²u = u − 2Âu + Â²u.
+        // The high-pass step is *second* order on purpose: a first-order
+        // step αÂu + βu spans the same Krylov flag as Âu for any α, β, so
+        // full Gram–Schmidt below would erase the h-dependence entirely.
+        // Squaring the Laplacian step changes the generated subspace and
+        // amplifies the λ≈−1 end of the spectrum quadratically.
         let mut mixed = au.clone();
-        mixed.scale(low_w + high_w);
-        mixed.add_scaled(-high_w, &u).expect("shapes fixed");
+        mixed.scale(low_w);
+        if high_w != 0.0 {
+            let a2u = spmm(adj, &au);
+            mixed.add_scaled(high_w, &u).expect("shapes fixed");
+            mixed.add_scaled(-2.0 * high_w, &au).expect("shapes fixed");
+            mixed.add_scaled(high_w, &a2u).expect("shapes fixed");
+        }
         // Orthogonalize against all previous basis matrices (treating each
         // n×d matrix as one long vector — the stacked-column inner product).
         // Two Gram–Schmidt passes for f32 stability.

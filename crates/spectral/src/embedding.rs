@@ -73,7 +73,8 @@ pub struct Ld2Embedding {
 /// assert_eq!(emb.features.shape(), (200, 24));
 /// ```
 pub fn ld2_embedding(g: &CsrGraph, x: &DenseMatrix, cfg: &Ld2Config) -> Ld2Embedding {
-    let adj = normalized_adjacency(g, NormKind::Sym, true).expect("normalization infallible on valid graph");
+    let adj = normalized_adjacency(g, NormKind::Sym, true)
+        .expect("normalization infallible on valid graph");
     let mut channels: Vec<(String, DenseMatrix)> = vec![("raw".to_string(), x.clone())];
     // Low-pass: Â^k X.
     let mut h = x.clone();
@@ -148,7 +149,13 @@ mod tests {
     fn no_optional_channels_gives_raw_only() {
         let g = generate::chain(30);
         let x = DenseMatrix::gaussian(30, 3, 1.0, 5);
-        let cfg = Ld2Config { low_hops: 0, high_hops: 0, ppr_channel: false, normalize_channels: false, ..Default::default() };
+        let cfg = Ld2Config {
+            low_hops: 0,
+            high_hops: 0,
+            ppr_channel: false,
+            normalize_channels: false,
+            ..Default::default()
+        };
         let emb = ld2_embedding(&g, &x, &cfg);
         assert_eq!(emb.channels, vec!["raw".to_string()]);
         assert_eq!(emb.features.data(), x.data());
@@ -159,7 +166,13 @@ mod tests {
         let (g, _) = generate::planted_partition(300, 2, 10.0, 0.5, 6);
         let adj = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
         let x = DenseMatrix::gaussian(300, 4, 1.0, 7);
-        let cfg = Ld2Config { low_hops: 2, high_hops: 2, ppr_channel: false, normalize_channels: false, ..Default::default() };
+        let cfg = Ld2Config {
+            low_hops: 2,
+            high_hops: 2,
+            ppr_channel: false,
+            normalize_channels: false,
+            ..Default::default()
+        };
         let emb = ld2_embedding(&g, &x, &cfg);
         // Extract channels: raw, low1, low2, high1, high2.
         let slice_channel = |ci: usize| {

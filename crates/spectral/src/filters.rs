@@ -9,7 +9,7 @@
 //!   `[−1, 1]` since `λ_max(L) ≤ 2`): numerically stable for high degree,
 //!   the ChebNet lineage.
 
-use sgnn_graph::spmm::spmm;
+use sgnn_graph::spmm::{spmm, spmm_into};
 use sgnn_graph::CsrGraph;
 use sgnn_linalg::DenseMatrix;
 
@@ -46,9 +46,15 @@ pub fn monomial_filter(op: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> DenseMa
     assert!(!theta.is_empty());
     let mut acc = x.clone();
     acc.scale(theta[0]);
+    if theta.len() == 1 {
+        return acc;
+    }
+    // Hops ping-pong between two buffers; no per-degree allocation.
     let mut h = x.clone();
+    let mut scratch = DenseMatrix::zeros(x.rows(), x.cols());
     for &t in &theta[1..] {
-        h = spmm(op, &h);
+        spmm_into(op, &h, &mut scratch);
+        std::mem::swap(&mut h, &mut scratch);
         acc.add_scaled(t, &h).expect("shapes fixed");
     }
     acc
@@ -75,13 +81,16 @@ pub fn chebyshev_filter(adj: &CsrGraph, x: &DenseMatrix, theta: &[f32]) -> Dense
     let mut t_prev = x.clone(); // T_0 X
     let mut t_cur = lhat(x); // T_1 X
     acc.add_scaled(theta[1], &t_cur).expect("shapes fixed");
+    // Three-term recurrence over three rotating buffers: the retired
+    // T_{k−1} becomes the scratch for T_{k+1}.
+    let mut t_next = DenseMatrix::zeros(x.rows(), x.cols());
     for &t in &theta[2..] {
-        let mut t_next = lhat(&t_cur);
-        t_next.scale(2.0);
+        spmm_into(adj, &t_cur, &mut t_next);
+        t_next.scale(-2.0); // 2·L̂ = −2Â
         t_next.add_scaled(-1.0, &t_prev).expect("shapes fixed");
         acc.add_scaled(t, &t_next).expect("shapes fixed");
-        t_prev = t_cur;
-        t_cur = t_next;
+        std::mem::swap(&mut t_prev, &mut t_next);
+        std::mem::swap(&mut t_prev, &mut t_cur);
     }
     acc
 }

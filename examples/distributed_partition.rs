@@ -17,11 +17,7 @@ fn main() {
     // A 100k-node community-structured graph standing in for a social
     // network shard.
     let (g, _) = generate::planted_partition(100_000, 16, 12.0, 0.9, 11);
-    println!(
-        "graph: {} nodes, {} undirected edges",
-        g.num_nodes(),
-        g.num_edges() / 2
-    );
+    println!("graph: {} nodes, {} undirected edges", g.num_nodes(), g.num_edges() / 2);
     let k = 8;
     let layers = 3;
     let dim = 128;
@@ -30,7 +26,7 @@ fn main() {
         "{:<12} {:>9} {:>9} {:>12} {:>14} {:>10}",
         "method", "edge-cut", "balance", "replication", "MB/epoch", "imbalance"
     );
-    let mut run = |name: &str, p: Partition| {
+    let run = |name: &str, p: Partition| {
         let q = quality(&g, &p);
         let c = simulate(&g, &p, layers, dim);
         println!(

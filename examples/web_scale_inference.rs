@@ -61,7 +61,8 @@ fn main() {
         labels.mean_label_size(),
         labels.nbytes() / (1 << 20)
     );
-    let pairs: Vec<(u32, u32)> = (0..2000u32).map(|i| (i * 17 % 30_000, i * 101 % 30_000)).collect();
+    let pairs: Vec<(u32, u32)> =
+        (0..2000u32).map(|i| (i * 17 % 30_000, i * 101 % 30_000)).collect();
     let t = Instant::now();
     let mut acc = 0u64;
     for &(s, d) in &pairs {

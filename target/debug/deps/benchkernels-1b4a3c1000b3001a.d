@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/benchkernels-1b4a3c1000b3001a.d: crates/bench/src/bin/benchkernels.rs
+
+/root/repo/target/debug/deps/benchkernels-1b4a3c1000b3001a: crates/bench/src/bin/benchkernels.rs
+
+crates/bench/src/bin/benchkernels.rs:

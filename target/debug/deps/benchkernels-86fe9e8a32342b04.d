@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/benchkernels-86fe9e8a32342b04.d: crates/bench/src/bin/benchkernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbenchkernels-86fe9e8a32342b04.rmeta: crates/bench/src/bin/benchkernels.rs Cargo.toml
+
+crates/bench/src/bin/benchkernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/benchkernels-e3c5f74533d485d7.d: crates/bench/src/bin/benchkernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbenchkernels-e3c5f74533d485d7.rmeta: crates/bench/src/bin/benchkernels.rs Cargo.toml
+
+crates/bench/src/bin/benchkernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-6dff1f548c58949f.d: third_party/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-6dff1f548c58949f.rmeta: third_party/bytes/src/lib.rs Cargo.toml
+
+third_party/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a402fabbc5cf1666.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-a402fabbc5cf1666: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

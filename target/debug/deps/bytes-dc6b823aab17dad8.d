@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-dc6b823aab17dad8.d: third_party/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-dc6b823aab17dad8.rmeta: third_party/bytes/src/lib.rs Cargo.toml
+
+third_party/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-fb21d4707bd8e8f6.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-fb21d4707bd8e8f6.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-fb21d4707bd8e8f6.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coarsen-cd72ca62f8ca4548.d: crates/bench/benches/coarsen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoarsen-cd72ca62f8ca4548.rmeta: crates/bench/benches/coarsen.rs Cargo.toml
+
+crates/bench/benches/coarsen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-2ca1e2b16718c752.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-2ca1e2b16718c752.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

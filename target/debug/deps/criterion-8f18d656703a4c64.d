@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-8f18d656703a4c64.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8f18d656703a4c64.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8f18d656703a4c64.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-a8a0d1f5250db7e9.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-a8a0d1f5250db7e9.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-fa32d99e2e03aab9.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-fa32d99e2e03aab9: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

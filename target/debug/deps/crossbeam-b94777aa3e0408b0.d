@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-b94777aa3e0408b0.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b94777aa3e0408b0.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b94777aa3e0408b0.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

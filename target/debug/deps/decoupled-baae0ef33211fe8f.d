@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decoupled-baae0ef33211fe8f.d: crates/bench/benches/decoupled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecoupled-baae0ef33211fe8f.rmeta: crates/bench/benches/decoupled.rs Cargo.toml
+
+crates/bench/benches/decoupled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expfig-28d6359db5f327d0.d: crates/bench/src/bin/expfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpfig-28d6359db5f327d0.rmeta: crates/bench/src/bin/expfig.rs Cargo.toml
+
+crates/bench/src/bin/expfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expfig-5f765866937a78c7.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/debug/deps/expfig-5f765866937a78c7: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expfig-b6af337b32f435ce.d: crates/bench/src/bin/expfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpfig-b6af337b32f435ce.rmeta: crates/bench/src/bin/expfig.rs Cargo.toml
+
+crates/bench/src/bin/expfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

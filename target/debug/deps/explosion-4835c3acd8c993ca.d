@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explosion-4835c3acd8c993ca.d: crates/bench/benches/explosion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplosion-4835c3acd8c993ca.rmeta: crates/bench/benches/explosion.rs Cargo.toml
+
+crates/bench/benches/explosion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

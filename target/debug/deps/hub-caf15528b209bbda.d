@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hub-caf15528b209bbda.d: crates/bench/benches/hub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhub-caf15528b209bbda.rmeta: crates/bench/benches/hub.rs Cargo.toml
+
+crates/bench/benches/hub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

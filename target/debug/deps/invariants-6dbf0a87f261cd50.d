@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-6dbf0a87f261cd50.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-6dbf0a87f261cd50: tests/invariants.rs
+
+tests/invariants.rs:

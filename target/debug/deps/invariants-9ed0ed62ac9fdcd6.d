@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-9ed0ed62ac9fdcd6.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-9ed0ed62ac9fdcd6: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-f0ac2e5e4f4008d7.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-f0ac2e5e4f4008d7.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

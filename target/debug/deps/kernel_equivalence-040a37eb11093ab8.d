@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_equivalence-040a37eb11093ab8.d: tests/kernel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_equivalence-040a37eb11093ab8.rmeta: tests/kernel_equivalence.rs Cargo.toml
+
+tests/kernel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-53bbfd87f80aecbf.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-53bbfd87f80aecbf: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-50ffb186da155beb.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-50ffb186da155beb: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

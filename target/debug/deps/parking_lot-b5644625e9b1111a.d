@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-b5644625e9b1111a.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b5644625e9b1111a.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b5644625e9b1111a.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

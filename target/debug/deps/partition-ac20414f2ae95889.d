@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition-ac20414f2ae95889.d: crates/bench/benches/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition-ac20414f2ae95889.rmeta: crates/bench/benches/partition.rs Cargo.toml
+
+crates/bench/benches/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

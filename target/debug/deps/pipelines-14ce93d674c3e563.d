@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelines-14ce93d674c3e563.d: tests/pipelines.rs
+
+/root/repo/target/debug/deps/pipelines-14ce93d674c3e563: tests/pipelines.rs
+
+tests/pipelines.rs:

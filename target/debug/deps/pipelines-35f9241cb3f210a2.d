@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipelines-35f9241cb3f210a2.d: tests/pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipelines-35f9241cb3f210a2.rmeta: tests/pipelines.rs Cargo.toml
+
+tests/pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

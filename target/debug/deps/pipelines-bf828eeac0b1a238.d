@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelines-bf828eeac0b1a238.d: tests/pipelines.rs
+
+/root/repo/target/debug/deps/pipelines-bf828eeac0b1a238: tests/pipelines.rs
+
+tests/pipelines.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-361fc4b8020dc665.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-361fc4b8020dc665.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-361fc4b8020dc665.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-91af5ccfbf654c0b.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-91af5ccfbf654c0b: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-e6195b860b18d1bd.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e6195b860b18d1bd.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-7b9d7296deb016ab.d: third_party/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-7b9d7296deb016ab.rmeta: third_party/rand/src/lib.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

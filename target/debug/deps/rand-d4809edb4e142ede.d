@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d4809edb4e142ede.d: third_party/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d4809edb4e142ede.rmeta: third_party/rand/src/lib.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

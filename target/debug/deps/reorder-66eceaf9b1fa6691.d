@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reorder-66eceaf9b1fa6691.d: crates/bench/benches/reorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreorder-66eceaf9b1fa6691.rmeta: crates/bench/benches/reorder.rs Cargo.toml
+
+crates/bench/benches/reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-13d458a517f053d2.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-13d458a517f053d2: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

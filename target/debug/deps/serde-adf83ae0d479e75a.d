@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-adf83ae0d479e75a.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-adf83ae0d479e75a.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-adf83ae0d479e75a.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

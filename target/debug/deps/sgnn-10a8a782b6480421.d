@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgnn-10a8a782b6480421.d: src/lib.rs
+
+/root/repo/target/debug/deps/sgnn-10a8a782b6480421: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgnn-289760e55a3ea651.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsgnn-289760e55a3ea651.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsgnn-289760e55a3ea651.rmeta: src/lib.rs
+
+src/lib.rs:

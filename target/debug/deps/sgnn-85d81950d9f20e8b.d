@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgnn-85d81950d9f20e8b.d: src/lib.rs
+
+/root/repo/target/debug/deps/sgnn-85d81950d9f20e8b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgnn-cf56a3ee74376497.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn-cf56a3ee74376497.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

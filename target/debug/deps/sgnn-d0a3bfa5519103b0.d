@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgnn-d0a3bfa5519103b0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn-d0a3bfa5519103b0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

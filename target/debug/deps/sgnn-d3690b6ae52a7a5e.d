@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgnn-d3690b6ae52a7a5e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsgnn-d3690b6ae52a7a5e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsgnn-d3690b6ae52a7a5e.rmeta: src/lib.rs
+
+src/lib.rs:

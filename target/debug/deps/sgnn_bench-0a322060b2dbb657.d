@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sgnn_bench-0a322060b2dbb657.d: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_bench-0a322060b2dbb657.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablations.rs:
+crates/bench/src/exp_analytics.rs:
+crates/bench/src/exp_classic.rs:
+crates/bench/src/exp_editing.rs:
+crates/bench/src/kernel_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgnn_bench-dc630674a1729b8b.d: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+/root/repo/target/debug/deps/libsgnn_bench-dc630674a1729b8b.rlib: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+/root/repo/target/debug/deps/libsgnn_bench-dc630674a1729b8b.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablations.rs:
+crates/bench/src/exp_analytics.rs:
+crates/bench/src/exp_classic.rs:
+crates/bench/src/exp_editing.rs:
+crates/bench/src/kernel_baseline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgnn_bench-f020d2f66ba4b455.d: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+/root/repo/target/debug/deps/sgnn_bench-f020d2f66ba4b455: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablations.rs:
+crates/bench/src/exp_analytics.rs:
+crates/bench/src/exp_classic.rs:
+crates/bench/src/exp_editing.rs:
+crates/bench/src/kernel_baseline.rs:

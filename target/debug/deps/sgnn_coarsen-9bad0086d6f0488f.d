@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sgnn_coarsen-9bad0086d6f0488f.d: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_coarsen-9bad0086d6f0488f.rmeta: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs Cargo.toml
+
+crates/coarsen/src/lib.rs:
+crates/coarsen/src/convmatch.rs:
+crates/coarsen/src/gdem.rs:
+crates/coarsen/src/hem.rs:
+crates/coarsen/src/kmeans.rs:
+crates/coarsen/src/seignn.rs:
+crates/coarsen/src/sntk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgnn_coarsen-d42191f7b669c013.d: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+/root/repo/target/debug/deps/libsgnn_coarsen-d42191f7b669c013.rlib: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+/root/repo/target/debug/deps/libsgnn_coarsen-d42191f7b669c013.rmeta: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+crates/coarsen/src/lib.rs:
+crates/coarsen/src/convmatch.rs:
+crates/coarsen/src/gdem.rs:
+crates/coarsen/src/hem.rs:
+crates/coarsen/src/kmeans.rs:
+crates/coarsen/src/seignn.rs:
+crates/coarsen/src/sntk.rs:

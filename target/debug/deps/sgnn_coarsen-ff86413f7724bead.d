@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_coarsen-ff86413f7724bead.d: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+/root/repo/target/debug/deps/sgnn_coarsen-ff86413f7724bead: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+crates/coarsen/src/lib.rs:
+crates/coarsen/src/convmatch.rs:
+crates/coarsen/src/gdem.rs:
+crates/coarsen/src/hem.rs:
+crates/coarsen/src/kmeans.rs:
+crates/coarsen/src/seignn.rs:
+crates/coarsen/src/sntk.rs:

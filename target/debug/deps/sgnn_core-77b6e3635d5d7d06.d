@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sgnn_core-77b6e3635d5d7d06.d: crates/core/src/lib.rs crates/core/src/memory.rs crates/core/src/metrics.rs crates/core/src/models/mod.rs crates/core/src/models/decoupled.rs crates/core/src/models/gamlp.rs crates/core/src/models/gcn.rs crates/core/src/models/gt.rs crates/core/src/models/implicit.rs crates/core/src/models/nai.rs crates/core/src/models/sage.rs crates/core/src/taxonomy.rs crates/core/src/trainer.rs crates/core/src/trainer_ext.rs
+
+/root/repo/target/debug/deps/libsgnn_core-77b6e3635d5d7d06.rlib: crates/core/src/lib.rs crates/core/src/memory.rs crates/core/src/metrics.rs crates/core/src/models/mod.rs crates/core/src/models/decoupled.rs crates/core/src/models/gamlp.rs crates/core/src/models/gcn.rs crates/core/src/models/gt.rs crates/core/src/models/implicit.rs crates/core/src/models/nai.rs crates/core/src/models/sage.rs crates/core/src/taxonomy.rs crates/core/src/trainer.rs crates/core/src/trainer_ext.rs
+
+/root/repo/target/debug/deps/libsgnn_core-77b6e3635d5d7d06.rmeta: crates/core/src/lib.rs crates/core/src/memory.rs crates/core/src/metrics.rs crates/core/src/models/mod.rs crates/core/src/models/decoupled.rs crates/core/src/models/gamlp.rs crates/core/src/models/gcn.rs crates/core/src/models/gt.rs crates/core/src/models/implicit.rs crates/core/src/models/nai.rs crates/core/src/models/sage.rs crates/core/src/taxonomy.rs crates/core/src/trainer.rs crates/core/src/trainer_ext.rs
+
+crates/core/src/lib.rs:
+crates/core/src/memory.rs:
+crates/core/src/metrics.rs:
+crates/core/src/models/mod.rs:
+crates/core/src/models/decoupled.rs:
+crates/core/src/models/gamlp.rs:
+crates/core/src/models/gcn.rs:
+crates/core/src/models/gt.rs:
+crates/core/src/models/implicit.rs:
+crates/core/src/models/nai.rs:
+crates/core/src/models/sage.rs:
+crates/core/src/taxonomy.rs:
+crates/core/src/trainer.rs:
+crates/core/src/trainer_ext.rs:

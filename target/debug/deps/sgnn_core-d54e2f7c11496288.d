@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/sgnn_core-d54e2f7c11496288.d: crates/core/src/lib.rs crates/core/src/memory.rs crates/core/src/metrics.rs crates/core/src/models/mod.rs crates/core/src/models/decoupled.rs crates/core/src/models/gamlp.rs crates/core/src/models/gcn.rs crates/core/src/models/gt.rs crates/core/src/models/implicit.rs crates/core/src/models/nai.rs crates/core/src/models/sage.rs crates/core/src/taxonomy.rs crates/core/src/trainer.rs crates/core/src/trainer_ext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_core-d54e2f7c11496288.rmeta: crates/core/src/lib.rs crates/core/src/memory.rs crates/core/src/metrics.rs crates/core/src/models/mod.rs crates/core/src/models/decoupled.rs crates/core/src/models/gamlp.rs crates/core/src/models/gcn.rs crates/core/src/models/gt.rs crates/core/src/models/implicit.rs crates/core/src/models/nai.rs crates/core/src/models/sage.rs crates/core/src/taxonomy.rs crates/core/src/trainer.rs crates/core/src/trainer_ext.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/memory.rs:
+crates/core/src/metrics.rs:
+crates/core/src/models/mod.rs:
+crates/core/src/models/decoupled.rs:
+crates/core/src/models/gamlp.rs:
+crates/core/src/models/gcn.rs:
+crates/core/src/models/gt.rs:
+crates/core/src/models/implicit.rs:
+crates/core/src/models/nai.rs:
+crates/core/src/models/sage.rs:
+crates/core/src/taxonomy.rs:
+crates/core/src/trainer.rs:
+crates/core/src/trainer_ext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

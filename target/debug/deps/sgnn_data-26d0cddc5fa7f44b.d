@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgnn_data-26d0cddc5fa7f44b.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/debug/deps/libsgnn_data-26d0cddc5fa7f44b.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/debug/deps/libsgnn_data-26d0cddc5fa7f44b.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/io.rs:

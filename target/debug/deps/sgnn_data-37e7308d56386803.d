@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgnn_data-37e7308d56386803.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_data-37e7308d56386803.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

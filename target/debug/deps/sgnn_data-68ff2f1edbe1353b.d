@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sgnn_data-68ff2f1edbe1353b.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/debug/deps/sgnn_data-68ff2f1edbe1353b: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/io.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgnn_data-f2f929025647ce83.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/debug/deps/libsgnn_data-f2f929025647ce83.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/debug/deps/libsgnn_data-f2f929025647ce83.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/io.rs:

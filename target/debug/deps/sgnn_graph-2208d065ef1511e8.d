@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sgnn_graph-2208d065ef1511e8.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/debug/deps/sgnn_graph-2208d065ef1511e8: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/normalize.rs:
+crates/graph/src/reorder.rs:
+crates/graph/src/spmm.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sgnn_graph-a2adf8b32c5102f3.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_graph-a2adf8b32c5102f3.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/normalize.rs:
+crates/graph/src/reorder.rs:
+crates/graph/src/spmm.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sgnn_graph-ea57d531a6ccbffa.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/debug/deps/libsgnn_graph-ea57d531a6ccbffa.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/debug/deps/libsgnn_graph-ea57d531a6ccbffa.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/normalize.rs:
+crates/graph/src/reorder.rs:
+crates/graph/src/spmm.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgnn_linalg-bbc790f1226b85a7.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/libsgnn_linalg-bbc790f1226b85a7.rlib: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/libsgnn_linalg-bbc790f1226b85a7.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/par.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vecops.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_linalg-c10f7697fc6076a7.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/sgnn_linalg-c10f7697fc6076a7: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/par.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vecops.rs:

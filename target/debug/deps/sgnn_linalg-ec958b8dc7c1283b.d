@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sgnn_linalg-ec958b8dc7c1283b.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_linalg-ec958b8dc7c1283b.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/par.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vecops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

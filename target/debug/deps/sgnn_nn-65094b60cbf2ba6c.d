@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_nn-65094b60cbf2ba6c.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libsgnn_nn-65094b60cbf2ba6c.rlib: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libsgnn_nn-65094b60cbf2ba6c.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_nn-651dbd2ec485dce7.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libsgnn_nn-651dbd2ec485dce7.rlib: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libsgnn_nn-651dbd2ec485dce7.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgnn_nn-6bae1d386c746e8d.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/sgnn_nn-6bae1d386c746e8d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

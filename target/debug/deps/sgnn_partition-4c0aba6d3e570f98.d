@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sgnn_partition-4c0aba6d3e570f98.d: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_partition-4c0aba6d3e570f98.rmeta: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/cluster.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

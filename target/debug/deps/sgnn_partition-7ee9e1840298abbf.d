@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgnn_partition-7ee9e1840298abbf.d: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/debug/deps/sgnn_partition-7ee9e1840298abbf: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/cluster.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/streaming.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgnn_partition-9d774c64a3ad98b0.d: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/debug/deps/libsgnn_partition-9d774c64a3ad98b0.rlib: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/debug/deps/libsgnn_partition-9d774c64a3ad98b0.rmeta: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/cluster.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/streaming.rs:

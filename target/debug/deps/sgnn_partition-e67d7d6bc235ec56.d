@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgnn_partition-e67d7d6bc235ec56.d: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/debug/deps/libsgnn_partition-e67d7d6bc235ec56.rlib: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/debug/deps/libsgnn_partition-e67d7d6bc235ec56.rmeta: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/cluster.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/streaming.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sgnn_prop-1604b4c55e6478ab.d: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_prop-1604b4c55e6478ab.rmeta: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs Cargo.toml
+
+crates/prop/src/lib.rs:
+crates/prop/src/fora.rs:
+crates/prop/src/heat.rs:
+crates/prop/src/mc.rs:
+crates/prop/src/power.rs:
+crates/prop/src/push.rs:
+crates/prop/src/receptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgnn_prop-32a0eed274bad168.d: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+/root/repo/target/debug/deps/libsgnn_prop-32a0eed274bad168.rlib: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+/root/repo/target/debug/deps/libsgnn_prop-32a0eed274bad168.rmeta: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/fora.rs:
+crates/prop/src/heat.rs:
+crates/prop/src/mc.rs:
+crates/prop/src/power.rs:
+crates/prop/src/push.rs:
+crates/prop/src/receptive.rs:

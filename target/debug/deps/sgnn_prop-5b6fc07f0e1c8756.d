@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_prop-5b6fc07f0e1c8756.d: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+/root/repo/target/debug/deps/sgnn_prop-5b6fc07f0e1c8756: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/fora.rs:
+crates/prop/src/heat.rs:
+crates/prop/src/mc.rs:
+crates/prop/src/power.rs:
+crates/prop/src/push.rs:
+crates/prop/src/receptive.rs:

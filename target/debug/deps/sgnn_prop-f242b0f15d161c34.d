@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sgnn_prop-f242b0f15d161c34.d: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_prop-f242b0f15d161c34.rmeta: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs Cargo.toml
+
+crates/prop/src/lib.rs:
+crates/prop/src/fora.rs:
+crates/prop/src/heat.rs:
+crates/prop/src/mc.rs:
+crates/prop/src/power.rs:
+crates/prop/src/push.rs:
+crates/prop/src/receptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

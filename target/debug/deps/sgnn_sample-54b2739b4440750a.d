@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sgnn_sample-54b2739b4440750a.d: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_sample-54b2739b4440750a.rmeta: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs Cargo.toml
+
+crates/sample/src/lib.rs:
+crates/sample/src/adgnn.rs:
+crates/sample/src/block.rs:
+crates/sample/src/dynamic.rs:
+crates/sample/src/history.rs:
+crates/sample/src/labor.rs:
+crates/sample/src/layer_wise.rs:
+crates/sample/src/node_wise.rs:
+crates/sample/src/saint.rs:
+crates/sample/src/variance.rs:
+crates/sample/src/walks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

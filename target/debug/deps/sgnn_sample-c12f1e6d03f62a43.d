@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sgnn_sample-c12f1e6d03f62a43.d: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+/root/repo/target/debug/deps/libsgnn_sample-c12f1e6d03f62a43.rlib: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+/root/repo/target/debug/deps/libsgnn_sample-c12f1e6d03f62a43.rmeta: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+crates/sample/src/lib.rs:
+crates/sample/src/adgnn.rs:
+crates/sample/src/block.rs:
+crates/sample/src/dynamic.rs:
+crates/sample/src/history.rs:
+crates/sample/src/labor.rs:
+crates/sample/src/layer_wise.rs:
+crates/sample/src/node_wise.rs:
+crates/sample/src/saint.rs:
+crates/sample/src/variance.rs:
+crates/sample/src/walks.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sgnn_sample-de7f02dbbdddb8c3.d: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+/root/repo/target/debug/deps/sgnn_sample-de7f02dbbdddb8c3: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+crates/sample/src/lib.rs:
+crates/sample/src/adgnn.rs:
+crates/sample/src/block.rs:
+crates/sample/src/dynamic.rs:
+crates/sample/src/history.rs:
+crates/sample/src/labor.rs:
+crates/sample/src/layer_wise.rs:
+crates/sample/src/node_wise.rs:
+crates/sample/src/saint.rs:
+crates/sample/src/variance.rs:
+crates/sample/src/walks.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sgnn_sim-2e4945ec5df1aa2a.d: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/debug/deps/sgnn_sim-2e4945ec5df1aa2a: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/hub.rs:
+crates/sim/src/rewire.rs:
+crates/sim/src/simrank.rs:

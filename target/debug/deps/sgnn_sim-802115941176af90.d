@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sgnn_sim-802115941176af90.d: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_sim-802115941176af90.rmeta: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/hub.rs:
+crates/sim/src/rewire.rs:
+crates/sim/src/simrank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgnn_sim-b6787d6657e9aed9.d: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/debug/deps/libsgnn_sim-b6787d6657e9aed9.rlib: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/debug/deps/libsgnn_sim-b6787d6657e9aed9.rmeta: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/hub.rs:
+crates/sim/src/rewire.rs:
+crates/sim/src/simrank.rs:

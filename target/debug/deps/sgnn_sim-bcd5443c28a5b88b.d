@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sgnn_sim-bcd5443c28a5b88b.d: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/debug/deps/libsgnn_sim-bcd5443c28a5b88b.rlib: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/debug/deps/libsgnn_sim-bcd5443c28a5b88b.rmeta: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/hub.rs:
+crates/sim/src/rewire.rs:
+crates/sim/src/simrank.rs:

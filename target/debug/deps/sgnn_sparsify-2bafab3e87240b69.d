@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgnn_sparsify-2bafab3e87240b69.d: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/debug/deps/sgnn_sparsify-2bafab3e87240b69: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+crates/sparsify/src/lib.rs:
+crates/sparsify/src/atp.rs:
+crates/sparsify/src/nigcn.rs:
+crates/sparsify/src/prune.rs:
+crates/sparsify/src/unifews.rs:

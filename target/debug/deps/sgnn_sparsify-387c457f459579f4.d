@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgnn_sparsify-387c457f459579f4.d: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_sparsify-387c457f459579f4.rmeta: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs Cargo.toml
+
+crates/sparsify/src/lib.rs:
+crates/sparsify/src/atp.rs:
+crates/sparsify/src/nigcn.rs:
+crates/sparsify/src/prune.rs:
+crates/sparsify/src/unifews.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_sparsify-59360117aa7b0fd5.d: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/debug/deps/libsgnn_sparsify-59360117aa7b0fd5.rlib: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/debug/deps/libsgnn_sparsify-59360117aa7b0fd5.rmeta: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+crates/sparsify/src/lib.rs:
+crates/sparsify/src/atp.rs:
+crates/sparsify/src/nigcn.rs:
+crates/sparsify/src/prune.rs:
+crates/sparsify/src/unifews.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_sparsify-a52f27bdd9f1f9f6.d: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/debug/deps/libsgnn_sparsify-a52f27bdd9f1f9f6.rlib: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/debug/deps/libsgnn_sparsify-a52f27bdd9f1f9f6.rmeta: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+crates/sparsify/src/lib.rs:
+crates/sparsify/src/atp.rs:
+crates/sparsify/src/nigcn.rs:
+crates/sparsify/src/prune.rs:
+crates/sparsify/src/unifews.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgnn_spectral-610efe78482ab593.d: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/debug/deps/sgnn_spectral-610efe78482ab593: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/basis.rs:
+crates/spectral/src/diagnostics.rs:
+crates/spectral/src/embedding.rs:
+crates/spectral/src/filters.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sgnn_spectral-85de4448a48819b3.d: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/debug/deps/libsgnn_spectral-85de4448a48819b3.rlib: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/debug/deps/libsgnn_spectral-85de4448a48819b3.rmeta: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/basis.rs:
+crates/spectral/src/diagnostics.rs:
+crates/spectral/src/embedding.rs:
+crates/spectral/src/filters.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sgnn_spectral-cf2f908db2bb04d4.d: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgnn_spectral-cf2f908db2bb04d4.rmeta: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs Cargo.toml
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/basis.rs:
+crates/spectral/src/diagnostics.rs:
+crates/spectral/src/embedding.rs:
+crates/spectral/src/filters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sparsify-71371558ddd789f4.d: crates/bench/benches/sparsify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparsify-71371558ddd789f4.rmeta: crates/bench/benches/sparsify.rs Cargo.toml
+
+crates/bench/benches/sparsify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

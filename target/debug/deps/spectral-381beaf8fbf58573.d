@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spectral-381beaf8fbf58573.d: crates/bench/benches/spectral.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspectral-381beaf8fbf58573.rmeta: crates/bench/benches/spectral.rs Cargo.toml
+
+crates/bench/benches/spectral.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_cut_probe-38d2c1bcd66234e0.d: crates/partition/tests/tmp_cut_probe.rs
+
+/root/repo/target/debug/deps/tmp_cut_probe-38d2c1bcd66234e0: crates/partition/tests/tmp_cut_probe.rs
+
+crates/partition/tests/tmp_cut_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walks-67ce0e8db48e736b.d: crates/bench/benches/walks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalks-67ce0e8db48e736b.rmeta: crates/bench/benches/walks.rs Cargo.toml
+
+crates/bench/benches/walks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

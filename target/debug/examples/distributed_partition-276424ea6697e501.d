@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_partition-276424ea6697e501.d: examples/distributed_partition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_partition-276424ea6697e501.rmeta: examples/distributed_partition.rs Cargo.toml
+
+examples/distributed_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_partition-9cc38967902c4312.d: examples/distributed_partition.rs
+
+/root/repo/target/debug/examples/distributed_partition-9cc38967902c4312: examples/distributed_partition.rs
+
+examples/distributed_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_partition-b2d2befecbc80c57.d: examples/distributed_partition.rs
+
+/root/repo/target/debug/examples/distributed_partition-b2d2befecbc80c57: examples/distributed_partition.rs
+
+examples/distributed_partition.rs:

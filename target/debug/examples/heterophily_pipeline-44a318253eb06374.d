@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterophily_pipeline-44a318253eb06374.d: examples/heterophily_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterophily_pipeline-44a318253eb06374.rmeta: examples/heterophily_pipeline.rs Cargo.toml
+
+examples/heterophily_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterophily_pipeline-4556b5f3cc305144.d: examples/heterophily_pipeline.rs
+
+/root/repo/target/debug/examples/heterophily_pipeline-4556b5f3cc305144: examples/heterophily_pipeline.rs
+
+examples/heterophily_pipeline.rs:

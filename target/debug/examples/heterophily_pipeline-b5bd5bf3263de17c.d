@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterophily_pipeline-b5bd5bf3263de17c.d: examples/heterophily_pipeline.rs
+
+/root/repo/target/debug/examples/heterophily_pipeline-b5bd5bf3263de17c: examples/heterophily_pipeline.rs
+
+examples/heterophily_pipeline.rs:

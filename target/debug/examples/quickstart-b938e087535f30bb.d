@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b938e087535f30bb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b938e087535f30bb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d391ba348043524b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d391ba348043524b: examples/quickstart.rs
+
+examples/quickstart.rs:

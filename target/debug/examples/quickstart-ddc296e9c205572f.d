@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-ddc296e9c205572f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-ddc296e9c205572f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

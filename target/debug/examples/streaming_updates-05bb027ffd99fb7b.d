@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_updates-05bb027ffd99fb7b.d: examples/streaming_updates.rs
+
+/root/repo/target/debug/examples/streaming_updates-05bb027ffd99fb7b: examples/streaming_updates.rs
+
+examples/streaming_updates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_updates-4e66d7ac9fc1f17f.d: examples/streaming_updates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_updates-4e66d7ac9fc1f17f.rmeta: examples/streaming_updates.rs Cargo.toml
+
+examples/streaming_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_updates-adbc6c451006d4ed.d: examples/streaming_updates.rs
+
+/root/repo/target/debug/examples/streaming_updates-adbc6c451006d4ed: examples/streaming_updates.rs
+
+examples/streaming_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taxonomy-08acef41bc26d976.d: examples/taxonomy.rs
+
+/root/repo/target/debug/examples/taxonomy-08acef41bc26d976: examples/taxonomy.rs
+
+examples/taxonomy.rs:

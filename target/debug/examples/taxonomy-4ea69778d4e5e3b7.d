@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/taxonomy-4ea69778d4e5e3b7.d: examples/taxonomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtaxonomy-4ea69778d4e5e3b7.rmeta: examples/taxonomy.rs Cargo.toml
+
+examples/taxonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taxonomy-ff6d62b2c793e31a.d: examples/taxonomy.rs
+
+/root/repo/target/debug/examples/taxonomy-ff6d62b2c793e31a: examples/taxonomy.rs
+
+examples/taxonomy.rs:

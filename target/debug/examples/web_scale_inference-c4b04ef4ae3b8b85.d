@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_scale_inference-c4b04ef4ae3b8b85.d: examples/web_scale_inference.rs
+
+/root/repo/target/debug/examples/web_scale_inference-c4b04ef4ae3b8b85: examples/web_scale_inference.rs
+
+examples/web_scale_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_scale_inference-cb8ad07e5c0333a0.d: examples/web_scale_inference.rs
+
+/root/repo/target/debug/examples/web_scale_inference-cb8ad07e5c0333a0: examples/web_scale_inference.rs
+
+examples/web_scale_inference.rs:

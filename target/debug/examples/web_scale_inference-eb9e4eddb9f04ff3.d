@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/web_scale_inference-eb9e4eddb9f04ff3.d: examples/web_scale_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweb_scale_inference-eb9e4eddb9f04ff3.rmeta: examples/web_scale_inference.rs Cargo.toml
+
+examples/web_scale_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

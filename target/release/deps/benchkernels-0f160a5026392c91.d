@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/benchkernels-0f160a5026392c91.d: crates/bench/src/bin/benchkernels.rs
+
+/root/repo/target/release/deps/benchkernels-0f160a5026392c91: crates/bench/src/bin/benchkernels.rs
+
+crates/bench/src/bin/benchkernels.rs:

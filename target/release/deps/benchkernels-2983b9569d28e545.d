@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/benchkernels-2983b9569d28e545.d: crates/bench/src/bin/benchkernels.rs
+
+/root/repo/target/release/deps/benchkernels-2983b9569d28e545: crates/bench/src/bin/benchkernels.rs
+
+crates/bench/src/bin/benchkernels.rs:

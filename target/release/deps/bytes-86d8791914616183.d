@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-86d8791914616183.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-86d8791914616183.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-86d8791914616183.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

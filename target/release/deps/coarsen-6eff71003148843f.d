@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coarsen-6eff71003148843f.d: crates/bench/benches/coarsen.rs
+
+/root/repo/target/release/deps/coarsen-6eff71003148843f: crates/bench/benches/coarsen.rs
+
+crates/bench/benches/coarsen.rs:

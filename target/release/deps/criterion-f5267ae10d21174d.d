@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f5267ae10d21174d.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f5267ae10d21174d.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f5267ae10d21174d.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-05b2116760a195ca.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-05b2116760a195ca.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-05b2116760a195ca.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decoupled-4f560f73f4eb2f0e.d: crates/bench/benches/decoupled.rs
+
+/root/repo/target/release/deps/decoupled-4f560f73f4eb2f0e: crates/bench/benches/decoupled.rs
+
+crates/bench/benches/decoupled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/expfig-6d91ea9458abd8b0.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/release/deps/expfig-6d91ea9458abd8b0: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/expfig-98a0b40d4d2d3c15.d: crates/bench/src/bin/expfig.rs
+
+/root/repo/target/release/deps/expfig-98a0b40d4d2d3c15: crates/bench/src/bin/expfig.rs
+
+crates/bench/src/bin/expfig.rs:

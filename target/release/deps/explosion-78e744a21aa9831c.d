@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explosion-78e744a21aa9831c.d: crates/bench/benches/explosion.rs
+
+/root/repo/target/release/deps/explosion-78e744a21aa9831c: crates/bench/benches/explosion.rs
+
+crates/bench/benches/explosion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hub-08ef620c524a5bc1.d: crates/bench/benches/hub.rs
+
+/root/repo/target/release/deps/hub-08ef620c524a5bc1: crates/bench/benches/hub.rs
+
+crates/bench/benches/hub.rs:

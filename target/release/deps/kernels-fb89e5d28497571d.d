@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-fb89e5d28497571d.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-fb89e5d28497571d: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

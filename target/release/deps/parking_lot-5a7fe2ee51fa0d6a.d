@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-5a7fe2ee51fa0d6a.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5a7fe2ee51fa0d6a.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5a7fe2ee51fa0d6a.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/partition-03c80dc705920b76.d: crates/bench/benches/partition.rs
+
+/root/repo/target/release/deps/partition-03c80dc705920b76: crates/bench/benches/partition.rs
+
+crates/bench/benches/partition.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-111d6361d0bbae91.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-111d6361d0bbae91.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-111d6361d0bbae91.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-49c59615c7b913d0.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-49c59615c7b913d0.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-49c59615c7b913d0.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

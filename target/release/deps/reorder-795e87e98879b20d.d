@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reorder-795e87e98879b20d.d: crates/bench/benches/reorder.rs
+
+/root/repo/target/release/deps/reorder-795e87e98879b20d: crates/bench/benches/reorder.rs
+
+crates/bench/benches/reorder.rs:

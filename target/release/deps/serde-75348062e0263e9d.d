@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-75348062e0263e9d.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-75348062e0263e9d.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-75348062e0263e9d.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sgnn-8deb3f95532dfbbd.d: src/lib.rs
+
+/root/repo/target/release/deps/libsgnn-8deb3f95532dfbbd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsgnn-8deb3f95532dfbbd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sgnn-ca402bc015fd0bff.d: src/lib.rs
+
+/root/repo/target/release/deps/libsgnn-ca402bc015fd0bff.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsgnn-ca402bc015fd0bff.rmeta: src/lib.rs
+
+src/lib.rs:

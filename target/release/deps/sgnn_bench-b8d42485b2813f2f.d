@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sgnn_bench-b8d42485b2813f2f.d: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+/root/repo/target/release/deps/sgnn_bench-b8d42485b2813f2f: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablations.rs:
+crates/bench/src/exp_analytics.rs:
+crates/bench/src/exp_classic.rs:
+crates/bench/src/exp_editing.rs:
+crates/bench/src/kernel_baseline.rs:

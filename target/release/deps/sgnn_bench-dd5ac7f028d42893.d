@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sgnn_bench-dd5ac7f028d42893.d: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+/root/repo/target/release/deps/libsgnn_bench-dd5ac7f028d42893.rlib: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+/root/repo/target/release/deps/libsgnn_bench-dd5ac7f028d42893.rmeta: crates/bench/src/lib.rs crates/bench/src/exp_ablations.rs crates/bench/src/exp_analytics.rs crates/bench/src/exp_classic.rs crates/bench/src/exp_editing.rs crates/bench/src/kernel_baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp_ablations.rs:
+crates/bench/src/exp_analytics.rs:
+crates/bench/src/exp_classic.rs:
+crates/bench/src/exp_editing.rs:
+crates/bench/src/kernel_baseline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sgnn_coarsen-e6f481a0a5cf431f.d: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+/root/repo/target/release/deps/libsgnn_coarsen-e6f481a0a5cf431f.rlib: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+/root/repo/target/release/deps/libsgnn_coarsen-e6f481a0a5cf431f.rmeta: crates/coarsen/src/lib.rs crates/coarsen/src/convmatch.rs crates/coarsen/src/gdem.rs crates/coarsen/src/hem.rs crates/coarsen/src/kmeans.rs crates/coarsen/src/seignn.rs crates/coarsen/src/sntk.rs
+
+crates/coarsen/src/lib.rs:
+crates/coarsen/src/convmatch.rs:
+crates/coarsen/src/gdem.rs:
+crates/coarsen/src/hem.rs:
+crates/coarsen/src/kmeans.rs:
+crates/coarsen/src/seignn.rs:
+crates/coarsen/src/sntk.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sgnn_data-8eb04a32678ffe5a.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/release/deps/libsgnn_data-8eb04a32678ffe5a.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/release/deps/libsgnn_data-8eb04a32678ffe5a.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/io.rs:

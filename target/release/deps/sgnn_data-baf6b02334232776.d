@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sgnn_data-baf6b02334232776.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/release/deps/libsgnn_data-baf6b02334232776.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+/root/repo/target/release/deps/libsgnn_data-baf6b02334232776.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/io.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/io.rs:

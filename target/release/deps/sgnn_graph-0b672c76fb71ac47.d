@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sgnn_graph-0b672c76fb71ac47.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/release/deps/libsgnn_graph-0b672c76fb71ac47.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/release/deps/libsgnn_graph-0b672c76fb71ac47.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/normalize.rs:
+crates/graph/src/reorder.rs:
+crates/graph/src/spmm.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:

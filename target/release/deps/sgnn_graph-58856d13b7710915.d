@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sgnn_graph-58856d13b7710915.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/release/deps/libsgnn_graph-58856d13b7710915.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+/root/repo/target/release/deps/libsgnn_graph-58856d13b7710915.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/normalize.rs crates/graph/src/reorder.rs crates/graph/src/spmm.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/normalize.rs:
+crates/graph/src/reorder.rs:
+crates/graph/src/spmm.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:

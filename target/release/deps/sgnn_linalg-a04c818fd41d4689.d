@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sgnn_linalg-a04c818fd41d4689.d: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/release/deps/libsgnn_linalg-a04c818fd41d4689.rlib: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/release/deps/libsgnn_linalg-a04c818fd41d4689.rmeta: crates/linalg/src/lib.rs crates/linalg/src/dense.rs crates/linalg/src/eigen.rs crates/linalg/src/par.rs crates/linalg/src/rng.rs crates/linalg/src/solve.rs crates/linalg/src/vecops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/par.rs:
+crates/linalg/src/rng.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vecops.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sgnn_nn-8fc2bd59d10564cf.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libsgnn_nn-8fc2bd59d10564cf.rlib: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libsgnn_nn-8fc2bd59d10564cf.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

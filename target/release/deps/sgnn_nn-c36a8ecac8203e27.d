@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sgnn_nn-c36a8ecac8203e27.d: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libsgnn_nn-c36a8ecac8203e27.rlib: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libsgnn_nn-c36a8ecac8203e27.rmeta: crates/nn/src/lib.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

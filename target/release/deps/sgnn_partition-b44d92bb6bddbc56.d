@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sgnn_partition-b44d92bb6bddbc56.d: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/release/deps/libsgnn_partition-b44d92bb6bddbc56.rlib: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+/root/repo/target/release/deps/libsgnn_partition-b44d92bb6bddbc56.rmeta: crates/partition/src/lib.rs crates/partition/src/cluster.rs crates/partition/src/comm.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/streaming.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/cluster.rs:
+crates/partition/src/comm.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/streaming.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sgnn_prop-3340cd51adc210d8.d: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+/root/repo/target/release/deps/libsgnn_prop-3340cd51adc210d8.rlib: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+/root/repo/target/release/deps/libsgnn_prop-3340cd51adc210d8.rmeta: crates/prop/src/lib.rs crates/prop/src/fora.rs crates/prop/src/heat.rs crates/prop/src/mc.rs crates/prop/src/power.rs crates/prop/src/push.rs crates/prop/src/receptive.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/fora.rs:
+crates/prop/src/heat.rs:
+crates/prop/src/mc.rs:
+crates/prop/src/power.rs:
+crates/prop/src/push.rs:
+crates/prop/src/receptive.rs:

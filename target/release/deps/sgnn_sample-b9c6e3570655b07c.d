@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sgnn_sample-b9c6e3570655b07c.d: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+/root/repo/target/release/deps/libsgnn_sample-b9c6e3570655b07c.rlib: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+/root/repo/target/release/deps/libsgnn_sample-b9c6e3570655b07c.rmeta: crates/sample/src/lib.rs crates/sample/src/adgnn.rs crates/sample/src/block.rs crates/sample/src/dynamic.rs crates/sample/src/history.rs crates/sample/src/labor.rs crates/sample/src/layer_wise.rs crates/sample/src/node_wise.rs crates/sample/src/saint.rs crates/sample/src/variance.rs crates/sample/src/walks.rs
+
+crates/sample/src/lib.rs:
+crates/sample/src/adgnn.rs:
+crates/sample/src/block.rs:
+crates/sample/src/dynamic.rs:
+crates/sample/src/history.rs:
+crates/sample/src/labor.rs:
+crates/sample/src/layer_wise.rs:
+crates/sample/src/node_wise.rs:
+crates/sample/src/saint.rs:
+crates/sample/src/variance.rs:
+crates/sample/src/walks.rs:

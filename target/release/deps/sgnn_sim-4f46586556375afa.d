@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sgnn_sim-4f46586556375afa.d: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/release/deps/libsgnn_sim-4f46586556375afa.rlib: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/release/deps/libsgnn_sim-4f46586556375afa.rmeta: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/hub.rs:
+crates/sim/src/rewire.rs:
+crates/sim/src/simrank.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sgnn_sim-814129849ec35912.d: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/release/deps/libsgnn_sim-814129849ec35912.rlib: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+/root/repo/target/release/deps/libsgnn_sim-814129849ec35912.rmeta: crates/sim/src/lib.rs crates/sim/src/hub.rs crates/sim/src/rewire.rs crates/sim/src/simrank.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/hub.rs:
+crates/sim/src/rewire.rs:
+crates/sim/src/simrank.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sgnn_sparsify-3b157c46b385bb6f.d: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/release/deps/libsgnn_sparsify-3b157c46b385bb6f.rlib: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/release/deps/libsgnn_sparsify-3b157c46b385bb6f.rmeta: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+crates/sparsify/src/lib.rs:
+crates/sparsify/src/atp.rs:
+crates/sparsify/src/nigcn.rs:
+crates/sparsify/src/prune.rs:
+crates/sparsify/src/unifews.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sgnn_sparsify-3b3ef34684091f4d.d: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/release/deps/libsgnn_sparsify-3b3ef34684091f4d.rlib: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+/root/repo/target/release/deps/libsgnn_sparsify-3b3ef34684091f4d.rmeta: crates/sparsify/src/lib.rs crates/sparsify/src/atp.rs crates/sparsify/src/nigcn.rs crates/sparsify/src/prune.rs crates/sparsify/src/unifews.rs
+
+crates/sparsify/src/lib.rs:
+crates/sparsify/src/atp.rs:
+crates/sparsify/src/nigcn.rs:
+crates/sparsify/src/prune.rs:
+crates/sparsify/src/unifews.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sgnn_spectral-54a972105feb0d28.d: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/release/deps/libsgnn_spectral-54a972105feb0d28.rlib: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/release/deps/libsgnn_spectral-54a972105feb0d28.rmeta: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/basis.rs:
+crates/spectral/src/diagnostics.rs:
+crates/spectral/src/embedding.rs:
+crates/spectral/src/filters.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sgnn_spectral-a7316c4f4be1eaae.d: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/release/deps/libsgnn_spectral-a7316c4f4be1eaae.rlib: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+/root/repo/target/release/deps/libsgnn_spectral-a7316c4f4be1eaae.rmeta: crates/spectral/src/lib.rs crates/spectral/src/basis.rs crates/spectral/src/diagnostics.rs crates/spectral/src/embedding.rs crates/spectral/src/filters.rs
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/basis.rs:
+crates/spectral/src/diagnostics.rs:
+crates/spectral/src/embedding.rs:
+crates/spectral/src/filters.rs:

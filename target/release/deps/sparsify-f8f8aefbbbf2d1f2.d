@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sparsify-f8f8aefbbbf2d1f2.d: crates/bench/benches/sparsify.rs
+
+/root/repo/target/release/deps/sparsify-f8f8aefbbbf2d1f2: crates/bench/benches/sparsify.rs
+
+crates/bench/benches/sparsify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spectral-cb795a2d67671379.d: crates/bench/benches/spectral.rs
+
+/root/repo/target/release/deps/spectral-cb795a2d67671379: crates/bench/benches/spectral.rs
+
+crates/bench/benches/spectral.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/walks-27c6b30dce81d8e7.d: crates/bench/benches/walks.rs
+
+/root/repo/target/release/deps/walks-27c6b30dce81d8e7: crates/bench/benches/walks.rs
+
+crates/bench/benches/walks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-46384b17196b7d01.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-46384b17196b7d01: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,140 @@
+//! Kernel-equivalence properties for the persistent worker pool: the
+//! pooled, nnz-balanced sparse kernels must produce the same numbers as
+//! the single-threaded path, `spmm_into` must equal `spmm` regardless of
+//! scratch contents, and the balanced partition must tile rows exactly.
+//!
+//! Row loops are never split inside a row, so pooled results are in fact
+//! bitwise identical to single-threaded ones; the 1e-6 tolerance asserted
+//! here is the documented contract, not the observed gap.
+
+use proptest::prelude::*;
+use sgnn::graph::generate;
+use sgnn::graph::normalize::{normalized_adjacency, NormKind};
+use sgnn::graph::spmm::{spmm, spmm_into, spmv, CsrOpF64};
+use sgnn::linalg::par::{balanced_boundary, set_threads};
+use sgnn::linalg::{DenseMatrix, MatVecF64};
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the global thread count (the test harness
+/// runs #[test] functions concurrently and `set_threads` is process-wide).
+static THREADS: Mutex<()> = Mutex::new(());
+
+/// Runs `f` twice — single-threaded, then with the pool enabled — and
+/// returns both results for comparison.
+fn single_vs_pooled<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    set_threads(1);
+    let single = f();
+    set_threads(0); // restore auto (hardware) threads
+    let pooled = f();
+    (single, pooled)
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pooled spmm (weighted and unweighted, all width specializations)
+    /// matches the single-threaded kernel within 1e-6.
+    #[test]
+    fn pooled_spmm_matches_single_thread(
+        n in 500usize..3000,
+        m in 1usize..5,
+        d in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(n, d, 1.0, seed + 1);
+        for op in [&g, &a] {
+            let (y1, yp) = single_vs_pooled(|| spmm(op, &x));
+            let diff = max_abs_diff(y1.data(), yp.data());
+            prop_assert!(diff <= 1e-6, "spmm diverged by {diff} (d={d})");
+        }
+    }
+
+    /// `spmm_into` equals `spmm` even when the output buffer holds stale
+    /// garbage from a previous, larger use.
+    #[test]
+    fn spmm_into_equals_spmm(
+        n in 50usize..500,
+        m in 1usize..4,
+        d in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(n, d, 1.0, seed + 1);
+        let fresh = spmm(&a, &x);
+        let mut y = DenseMatrix::zeros(n, d);
+        y.data_mut().fill(f32::NAN); // simulate stale scratch
+        spmm_into(&a, &x, &mut y);
+        let diff = max_abs_diff(fresh.data(), y.data());
+        prop_assert!(diff == 0.0, "spmm_into diverged by {diff}");
+    }
+
+    /// The nnz-balanced partition tiles the row range exactly: boundaries
+    /// are monotone, start at 0, end at `rows`, and every row is covered
+    /// exactly once — on hub-skewed BA degree distributions and for any
+    /// chunk count.
+    #[test]
+    fn balanced_partition_tiles_rows_exactly_once(
+        n in 2usize..2000,
+        m in 1usize..6,
+        chunks in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let prefix = g.indptr();
+        prop_assert_eq!(balanced_boundary(prefix, chunks, 0), 0);
+        prop_assert_eq!(balanced_boundary(prefix, chunks, chunks), n);
+        let mut covered = 0usize;
+        for j in 0..chunks {
+            let s = balanced_boundary(prefix, chunks, j);
+            let e = balanced_boundary(prefix, chunks, j + 1);
+            prop_assert!(s <= e, "boundaries not monotone at chunk {j}");
+            prop_assert_eq!(s, covered, "gap or overlap before chunk {j}");
+            covered = e;
+        }
+        prop_assert_eq!(covered, n);
+    }
+}
+
+/// Pooled spmv matches single-threaded on a graph large enough to clear
+/// the parallelism work threshold (d=1 needs nnz > 2^16).
+#[test]
+fn pooled_spmv_matches_single_thread() {
+    let g = generate::barabasi_albert(30_000, 2, 11);
+    let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+    let x: Vec<f32> = DenseMatrix::gaussian(30_000, 1, 1.0, 12).data().to_vec();
+    for op in [&g, &a] {
+        let (y1, yp) = single_vs_pooled(|| {
+            let mut y = vec![0.0f32; 30_000];
+            spmv(op, &x, &mut y);
+            y
+        });
+        let diff = max_abs_diff(&y1, &yp);
+        assert!(diff <= 1e-6, "spmv diverged by {diff}");
+    }
+}
+
+/// Pooled f64 matvec (the eigensolver path) matches single-threaded on a
+/// pool-engaging graph, including the affine `scale·Ax + shift·x` form.
+#[test]
+fn pooled_matvec_matches_single_thread() {
+    let g = generate::barabasi_albert(30_000, 2, 21);
+    let x: Vec<f64> =
+        DenseMatrix::gaussian(30_000, 1, 1.0, 22).data().iter().map(|&v| v as f64).collect();
+    for op in [CsrOpF64::new(&g), CsrOpF64::affine(&g, -0.5, 2.0)] {
+        let (y1, yp) = single_vs_pooled(|| {
+            let mut y = vec![0.0f64; 30_000];
+            op.matvec(&x, &mut y);
+            y
+        });
+        let diff = y1.iter().zip(&yp).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(diff <= 1e-6, "matvec diverged by {diff}");
+    }
+}

@@ -4,8 +4,8 @@
 
 use sgnn::core::models::decoupled::PrecomputeMethod;
 use sgnn::core::trainer::{
-    train_cluster_gcn, train_coarse, train_decoupled, train_full_gcn, train_saint,
-    train_sampled, SamplerKind, TrainConfig,
+    train_cluster_gcn, train_coarse, train_decoupled, train_full_gcn, train_saint, train_sampled,
+    SamplerKind, TrainConfig,
 };
 use sgnn::data::sbm_dataset;
 use sgnn::spectral::Ld2Config;
@@ -36,12 +36,8 @@ fn every_training_family_learns_the_same_dataset() {
     let cfg_s = TrainConfig { epochs: 20, batch_size: 128, ..cfg.clone() };
     let (_, r) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s);
     results.push((r.name.clone(), r.test_acc));
-    let (_, r) = train_saint(
-        &ds,
-        sgnn::sample::SaintSampler::RandomWalk { roots: 50, length: 5 },
-        4,
-        &cfg,
-    );
+    let (_, r) =
+        train_saint(&ds, sgnn::sample::SaintSampler::RandomWalk { roots: 50, length: 5 }, 4, &cfg);
     results.push((r.name.clone(), r.test_acc));
     let (_, r) = train_cluster_gcn(&ds, 8, 2, &cfg);
     results.push((r.name.clone(), r.test_acc));

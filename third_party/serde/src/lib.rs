@@ -1,0 +1,6 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace manifests declare serde but no code path uses it yet; this
+//! empty crate satisfies dependency resolution without registry access.
+//! When serialization lands, replace this with a real vendored serde or a
+//! purpose-built trait set.
