@@ -3,12 +3,19 @@
 //! ```text
 //! cargo run --release -p sgnn-bench --bin benchkernels            # writes BENCH_kernels.json
 //! cargo run --release -p sgnn-bench --bin benchkernels -- out.json
+//! cargo run --release -p sgnn-bench --bin benchkernels -- --json
 //! ```
 //!
 //! Times the pooled, nnz-balanced kernels against the seed-era baselines
 //! (scoped-spawn dispatch, row-count-partitioned spmm) on fixed seeded
 //! workloads and writes one JSON object so future PRs can diff the perf
-//! trajectory. JSON is emitted by hand — the workspace has no serde.
+//! trajectory.
+//!
+//! With `--json`, observability is enabled for the run and a final line
+//! with the single-line [`sgnn_obs::ObsReport`] snapshot (span tree, spmm
+//! nnz counters, pool steal/idle counters) is printed to stdout. Note the
+//! kernel timings then include the (small) enabled-path overhead; leave
+//! the flag off when recording baselines.
 
 use sgnn_bench::kernel_baseline::{scoped_chunks, spmm_rowcount};
 use sgnn_graph::normalize::{normalized_adjacency, NormKind};
@@ -61,7 +68,13 @@ struct Entry {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let out_path = args.into_iter().next().unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    if obs_json {
+        sgnn_obs::enable();
+    }
     let threads = num_threads();
     let mut entries: Vec<Entry> = Vec::new();
 
@@ -160,4 +173,8 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
+    if obs_json {
+        println!("{}", serde::json::to_string(&sgnn_obs::report()));
+        sgnn_obs::flush();
+    }
 }

@@ -3,18 +3,33 @@
 //! ```text
 //! cargo run --release -p sgnn-bench --bin expfig -- e4
 //! cargo run --release -p sgnn-bench --bin expfig -- all
+//! cargo run --release -p sgnn-bench --bin expfig -- --json e13
 //! ```
+//!
+//! With `--json`, observability is enabled for the run, every trainer
+//! report is additionally printed as one JSON line, and the final line is
+//! the single-line [`sgnn_obs::ObsReport`] snapshot.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     if args.is_empty() {
-        eprintln!("usage: expfig <e1..e13|f1|all> [more ids...]");
+        eprintln!("usage: expfig [--json] <e1..e13|f1|all> [more ids...]");
         std::process::exit(2);
+    }
+    if json {
+        sgnn_obs::enable();
+        sgnn_bench::set_json_mode(true);
     }
     for id in &args {
         if !sgnn_bench::run(id) {
             eprintln!("unknown experiment id: {id}");
             std::process::exit(2);
         }
+    }
+    if json {
+        println!("{}", serde::json::to_string(&sgnn_obs::report()));
+        sgnn_obs::flush();
     }
 }

@@ -225,13 +225,17 @@ pub fn e13_memory_map() -> bool {
     };
     let r = train_full_gcn(&ds, &cfg).1;
     row("gcn-full", r.peak_mem_bytes, r.test_acc);
+    crate::emit_report(&r);
     let r = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1;
     row("sgc-decoupled", r.peak_mem_bytes, r.test_acc);
+    crate::emit_report(&r);
     let cfg_s = TrainConfig { epochs: 5, batch_size: 512, ..cfg.clone() };
     let r = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).1;
     row("sage-sampled", r.peak_mem_bytes, r.test_acc);
+    crate::emit_report(&r);
     let r = train_coarse(&ds, 0.1, &TrainConfig { epochs: 60, ..cfg.clone() });
     row("coarse-10x", r.peak_mem_bytes, r.test_acc);
+    crate::emit_report(&r);
     println!("\n  shape check: full-batch holds graph-scale activations; decoupled");
     println!("  holds one embedding; sampling holds a batch; coarse holds n/10.");
     true

@@ -16,6 +16,30 @@ pub mod exp_classic;
 pub mod exp_editing;
 pub mod kernel_baseline;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static JSON_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Turns machine-readable output on: experiments additionally emit each
+/// [`sgnn_core::trainer::TrainReport`] as one line of JSON. Set by
+/// `expfig --json`.
+pub fn set_json_mode(on: bool) {
+    JSON_MODE.store(on, Ordering::Relaxed);
+}
+
+/// Whether `--json` output is active.
+pub fn json_mode() -> bool {
+    JSON_MODE.load(Ordering::Relaxed)
+}
+
+/// Prints `r` as a single JSON line when `--json` is active; no-op
+/// otherwise, so experiments can call it unconditionally.
+pub fn emit_report(r: &sgnn_core::trainer::TrainReport) {
+    if json_mode() {
+        println!("{}", serde::json::to_string(r));
+    }
+}
+
 /// Runs one experiment by id (`"e1"`…`"e13"`, ablations `"a1"`…`"a4"`,
 /// `"f1"`), or `"all"`.
 ///

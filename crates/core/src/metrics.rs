@@ -19,9 +19,10 @@ pub fn confusion(pred: &[usize], targets: &[usize], num_classes: usize) -> Vec<V
 
 /// Macro-averaged F1 score.
 ///
-/// Classes absent from both predictions and targets contribute F1 = 1 by
-/// convention here is avoided: they are skipped (macro over present
-/// classes), which matches common library behaviour closely enough for
+/// Classes absent from both predictions and targets are skipped: the
+/// macro average runs over *present* classes only, rather than crediting
+/// absent classes with F1 = 1. With every class absent (no samples) the
+/// result is 0. This matches common library behaviour closely enough for
 /// trend comparisons.
 pub fn macro_f1(pred: &[usize], targets: &[usize], num_classes: usize) -> f64 {
     let m = confusion(pred, targets, num_classes);
@@ -81,5 +82,25 @@ mod tests {
     fn absent_classes_are_skipped() {
         let f1 = macro_f1(&[0, 0], &[0, 0], 5);
         assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_classes_absent_gives_zero() {
+        // No samples at all: every class is skipped and the average over
+        // zero present classes is pinned to 0, not NaN.
+        let f1 = macro_f1(&[], &[], 4);
+        assert_eq!(f1, 0.0);
+        assert!(!f1.is_nan());
+    }
+
+    #[test]
+    fn single_class_edge_cases() {
+        // One class, all correct: precision = recall = 1.
+        assert!((macro_f1(&[0, 0, 0], &[0, 0, 0], 1) - 1.0).abs() < 1e-12);
+        // Two classes but only one ever appears in targets; predictions
+        // leak into the other. Class 0: tp=2, fp=0, fn=1 → F1 = 0.8.
+        // Class 1: tp=0, fp=1, fn=0 → F1 = 0. Macro over both = 0.4.
+        let f1 = macro_f1(&[0, 0, 1], &[0, 0, 0], 2);
+        assert!((f1 - 0.4).abs() < 1e-12, "macro f1 {f1}");
     }
 }

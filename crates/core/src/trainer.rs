@@ -19,6 +19,7 @@ use sgnn_graph::NodeId;
 use sgnn_linalg::DenseMatrix;
 use sgnn_nn::loss::{accuracy, softmax_cross_entropy};
 use sgnn_nn::optim::Adam;
+use sgnn_obs::{Phase, PhaseBreakdown};
 use std::time::Instant;
 
 /// Shared hyperparameters.
@@ -106,7 +107,21 @@ pub struct TrainReport {
     pub peak_mem_bytes: usize,
     /// Epochs executed.
     pub epochs_run: usize,
+    /// Wall-clock seconds per phase, summed over the whole run.
+    pub phases: PhaseBreakdown,
 }
+
+serde::impl_serialize!(TrainReport {
+    name,
+    test_acc,
+    val_acc,
+    final_loss,
+    precompute_secs,
+    train_secs,
+    peak_mem_bytes,
+    epochs_run,
+    phases
+});
 
 fn rows_of(nodes: &[NodeId]) -> Vec<usize> {
     nodes.iter().map(|&u| u as usize).collect()
@@ -135,23 +150,31 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
     let mut final_loss = 0f32;
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut epochs_run = 0usize;
+    let mut phases = PhaseBreakdown::new();
     for _ in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
         epochs_run += 1;
-        let logits = gcn.forward(&op, &ds.features);
-        let batch = logits.gather_rows(&train_rows);
-        let (loss, dl_batch) = softmax_cross_entropy(&batch, &train_labels, None);
+        let (loss, dl_batch) = phases.time(Phase::Forward, || {
+            let logits = gcn.forward(&op, &ds.features);
+            let batch = logits.gather_rows(&train_rows);
+            softmax_cross_entropy(&batch, &train_labels, None)
+        });
         final_loss = loss;
-        let mut dl = DenseMatrix::zeros(n, ds.num_classes);
-        dl.scatter_rows(&train_rows, &dl_batch);
-        gcn.zero_grad();
-        gcn.backward(&op, &dl);
-        gcn.step(&mut opt);
+        phases.time(Phase::Backward, || {
+            let mut dl = DenseMatrix::zeros(n, ds.num_classes);
+            dl.scatter_rows(&train_rows, &dl_batch);
+            gcn.zero_grad();
+            gcn.backward(&op, &dl);
+        });
+        phases.time(Phase::Step, || gcn.step(&mut opt));
         if cfg.patience.is_some() {
-            let logits = gcn.forward_inference(&op, &ds.features);
-            let val = accuracy(
-                &logits.gather_rows(&rows_of(&ds.splits.val)),
-                &ds.labels_of(&ds.splits.val),
-            );
+            let val = phases.time(Phase::Eval, || {
+                let logits = gcn.forward_inference(&op, &ds.features);
+                accuracy(
+                    &logits.gather_rows(&rows_of(&ds.splits.val)),
+                    &ds.labels_of(&ds.splits.val),
+                )
+            });
             if stopper.should_stop(val) {
                 break;
             }
@@ -172,6 +195,7 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run,
+        phases,
     };
     (gcn, report)
 }
@@ -199,20 +223,30 @@ pub fn train_decoupled(
     let mut final_loss = 0f32;
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut epochs_run = 0usize;
+    let mut phases = PhaseBreakdown::new();
     for _ in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
         epochs_run += 1;
         for chunk in ds.splits.train.chunks(cfg.batch_size) {
-            let rows = rows_of(chunk);
-            let x = model.embedding.gather_rows(&rows);
-            let logits = model.mlp.forward(&x);
-            let (loss, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), None);
+            let x = phases.time(Phase::Sample, || {
+                let rows = rows_of(chunk);
+                model.embedding.gather_rows(&rows)
+            });
+            let (loss, dl) = phases.time(Phase::Forward, || {
+                let logits = model.mlp.forward(&x);
+                softmax_cross_entropy(&logits, &ds.labels_of(chunk), None)
+            });
             final_loss = loss;
-            model.mlp.zero_grad();
-            model.mlp.backward(&dl);
-            model.mlp.step(&mut opt);
+            phases.time(Phase::Backward, || {
+                model.mlp.zero_grad();
+                model.mlp.backward(&dl);
+            });
+            phases.time(Phase::Step, || model.mlp.step(&mut opt));
         }
         if cfg.patience.is_some() {
-            let val = accuracy(&model.logits_for(&ds.splits.val), &ds.labels_of(&ds.splits.val));
+            let val = phases.time(Phase::Eval, || {
+                accuracy(&model.logits_for(&ds.splits.val), &ds.labels_of(&ds.splits.val))
+            });
             if stopper.should_stop(val) {
                 break;
             }
@@ -238,6 +272,7 @@ pub fn train_decoupled(
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run,
+        phases,
     };
     (model, report)
 }
@@ -293,23 +328,32 @@ pub fn train_sampled(
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut max_batch_bytes = 0usize;
+    let mut phases = PhaseBreakdown::new();
     for epoch in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
         for (bi, chunk) in ds.splits.train.chunks(cfg.batch_size).enumerate() {
             let seed =
                 cfg.seed.wrapping_add((epoch * 10_000 + bi) as u64).wrapping_mul(0x9E37_79B9);
-            let blocks = sampler.sample(&ds.graph, chunk, seed);
-            let src_rows = rows_of(&blocks[0].src);
-            let x_in = ds.features.gather_rows(&src_rows);
+            let (blocks, x_in) = phases.time(Phase::Sample, || {
+                let blocks = sampler.sample(&ds.graph, chunk, seed);
+                let src_rows = rows_of(&blocks[0].src);
+                let x_in = ds.features.gather_rows(&src_rows);
+                (blocks, x_in)
+            });
             // Batch-resident: input features + per-layer activations (≈2×
             // input) + block structure.
             let batch_bytes = 3 * x_in.nbytes() + blocks.iter().map(|b| b.nbytes()).sum::<usize>();
             max_batch_bytes = max_batch_bytes.max(batch_bytes);
-            let logits = sage.forward(&blocks, &x_in);
-            let (loss, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), None);
+            let (loss, dl) = phases.time(Phase::Forward, || {
+                let logits = sage.forward(&blocks, &x_in);
+                softmax_cross_entropy(&logits, &ds.labels_of(chunk), None)
+            });
             final_loss = loss;
-            sage.zero_grad();
-            sage.backward(&blocks, &dl);
-            sage.step(&mut opt);
+            phases.time(Phase::Backward, || {
+                sage.zero_grad();
+                sage.backward(&blocks, &dl);
+            });
+            phases.time(Phase::Step, || sage.step(&mut opt));
         }
     }
     ledger.transient(max_batch_bytes);
@@ -345,6 +389,7 @@ pub fn train_sampled(
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
+        phases,
     };
     (sage, report)
 }
@@ -374,38 +419,51 @@ pub fn train_saint(
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
+    let mut phases = PhaseBreakdown::new();
     for epoch in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
         for b in 0..batches_per_epoch {
             let seed = cfg.seed.wrapping_add((epoch * 1_000 + b) as u64 + 17);
-            let mut sub = sgnn_sample::saint::sample_subgraph(&ds.graph, sampler, seed);
-            sgnn_sample::saint::apply_norms(&mut sub, &norms);
-            let op = gcn_operator(&sub.graph);
-            let rows = rows_of(&sub.nodes);
-            let x = ds.features.gather_rows(&rows);
-            max_batch = max_batch.max(gcn.step_bytes(sub.nodes.len(), ds.feature_dim()));
-            let logits = gcn.forward(&op, &x);
-            // Only training nodes in the subgraph contribute to the loss.
-            let mut idx = Vec::new();
-            let mut labels = Vec::new();
-            let mut weights = Vec::new();
-            for (local, &g) in sub.nodes.iter().enumerate() {
-                if in_train[g as usize] {
-                    idx.push(local);
-                    labels.push(ds.labels[g as usize]);
-                    weights.push(sub.loss_weights[local]);
+            let (op, x, idx, labels, weights) = phases.time(Phase::Sample, || {
+                let mut sub = sgnn_sample::saint::sample_subgraph(&ds.graph, sampler, seed);
+                sgnn_sample::saint::apply_norms(&mut sub, &norms);
+                let op = gcn_operator(&sub.graph);
+                let rows = rows_of(&sub.nodes);
+                let x = ds.features.gather_rows(&rows);
+                // Only training nodes in the subgraph contribute to the loss.
+                let mut idx = Vec::new();
+                let mut labels = Vec::new();
+                let mut weights = Vec::new();
+                for (local, &g) in sub.nodes.iter().enumerate() {
+                    if in_train[g as usize] {
+                        idx.push(local);
+                        labels.push(ds.labels[g as usize]);
+                        weights.push(sub.loss_weights[local]);
+                    }
                 }
-            }
+                (op, x, idx, labels, weights)
+            });
+            // Batch residency: the subgraph operator and gathered features
+            // are live alongside the layer activations.
+            max_batch = max_batch
+                .max(op.nbytes() + x.nbytes() + gcn.step_bytes(x.rows(), ds.feature_dim()));
             if idx.is_empty() {
                 continue;
             }
-            let batch_logits = logits.gather_rows(&idx);
-            let (loss, dl_batch) = softmax_cross_entropy(&batch_logits, &labels, Some(&weights));
+            let n_sub = x.rows();
+            let (loss, dl_batch) = phases.time(Phase::Forward, || {
+                let logits = gcn.forward(&op, &x);
+                let batch_logits = logits.gather_rows(&idx);
+                softmax_cross_entropy(&batch_logits, &labels, Some(&weights))
+            });
             final_loss = loss;
-            let mut dl = DenseMatrix::zeros(sub.nodes.len(), ds.num_classes);
-            dl.scatter_rows(&idx, &dl_batch);
-            gcn.zero_grad();
-            gcn.backward(&op, &dl);
-            gcn.step(&mut opt);
+            phases.time(Phase::Backward, || {
+                let mut dl = DenseMatrix::zeros(n_sub, ds.num_classes);
+                dl.scatter_rows(&idx, &dl_batch);
+                gcn.zero_grad();
+                gcn.backward(&op, &dl);
+            });
+            phases.time(Phase::Step, || gcn.step(&mut opt));
         }
     }
     ledger.transient(max_batch);
@@ -431,6 +489,7 @@ pub fn train_saint(
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
+        phases,
     };
     (gcn, report)
 }
@@ -460,32 +519,48 @@ pub fn train_cluster_gcn(
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
+    let mut phases = PhaseBreakdown::new();
     for epoch in 0..cfg.epochs {
-        for batch in batcher.epoch_batches(&ds.graph, clusters_per_batch, cfg.seed + epoch as u64) {
-            let op = gcn_operator(&batch.graph);
-            let rows = rows_of(&batch.nodes);
-            let x = ds.features.gather_rows(&rows);
-            max_batch = max_batch.max(gcn.step_bytes(batch.nodes.len(), ds.feature_dim()));
-            let logits = gcn.forward(&op, &x);
-            let mut idx = Vec::new();
-            let mut labels = Vec::new();
-            for (local, &g) in batch.nodes.iter().enumerate() {
-                if in_train[g as usize] {
-                    idx.push(local);
-                    labels.push(ds.labels[g as usize]);
+        let _ep = sgnn_obs::span!("trainer.epoch");
+        let batches = phases.time(Phase::Sample, || {
+            batcher.epoch_batches(&ds.graph, clusters_per_batch, cfg.seed + epoch as u64)
+        });
+        for batch in batches {
+            let (op, x, idx, labels) = phases.time(Phase::Sample, || {
+                let op = gcn_operator(&batch.graph);
+                let rows = rows_of(&batch.nodes);
+                let x = ds.features.gather_rows(&rows);
+                let mut idx = Vec::new();
+                let mut labels = Vec::new();
+                for (local, &g) in batch.nodes.iter().enumerate() {
+                    if in_train[g as usize] {
+                        idx.push(local);
+                        labels.push(ds.labels[g as usize]);
+                    }
                 }
-            }
+                (op, x, idx, labels)
+            });
+            // Batch residency: the partition's operator and gathered
+            // features are live alongside the layer activations.
+            max_batch = max_batch.max(
+                op.nbytes() + x.nbytes() + gcn.step_bytes(batch.nodes.len(), ds.feature_dim()),
+            );
             if idx.is_empty() {
                 continue;
             }
-            let batch_logits = logits.gather_rows(&idx);
-            let (loss, dl_batch) = softmax_cross_entropy(&batch_logits, &labels, None);
+            let (loss, dl_batch) = phases.time(Phase::Forward, || {
+                let logits = gcn.forward(&op, &x);
+                let batch_logits = logits.gather_rows(&idx);
+                softmax_cross_entropy(&batch_logits, &labels, None)
+            });
             final_loss = loss;
-            let mut dl = DenseMatrix::zeros(batch.nodes.len(), ds.num_classes);
-            dl.scatter_rows(&idx, &dl_batch);
-            gcn.zero_grad();
-            gcn.backward(&op, &dl);
-            gcn.step(&mut opt);
+            phases.time(Phase::Backward, || {
+                let mut dl = DenseMatrix::zeros(batch.nodes.len(), ds.num_classes);
+                dl.scatter_rows(&idx, &dl_batch);
+                gcn.zero_grad();
+                gcn.backward(&op, &dl);
+            });
+            phases.time(Phase::Step, || gcn.step(&mut opt));
         }
     }
     ledger.transient(max_batch);
@@ -505,6 +580,7 @@ pub fn train_cluster_gcn(
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
+        phases,
     };
     (gcn, report)
 }
@@ -529,9 +605,13 @@ pub fn train_coarse_with(
 ) -> TrainReport {
     let mut ledger = Ledger::new();
     let t0 = Instant::now();
+    // Projection reads the fine feature matrix while the coarse one is
+    // being built, so both are briefly resident together.
+    ledger.alloc(ds.features.nbytes());
     let cx = coarse.project_features(&ds.features);
     let precompute_secs = t0.elapsed().as_secs_f64();
     ledger.alloc(cx.nbytes());
+    ledger.free(ds.features.nbytes());
     ledger.alloc(coarse.graph.nbytes());
     // Coarse training labels: majority vote over *train-split members*
     // only, so test labels never leak into training.
@@ -563,16 +643,22 @@ pub fn train_coarse_with(
     let train_labels: Vec<usize> = train_coarse_nodes.iter().map(|&c| coarse_labels[c]).collect();
     let t1 = Instant::now();
     let mut final_loss = 0f32;
+    let mut phases = PhaseBreakdown::new();
     for _ in 0..cfg.epochs {
-        let logits = gcn.forward(&op, &cx);
-        let batch = logits.gather_rows(&train_coarse_nodes);
-        let (loss, dl_batch) = softmax_cross_entropy(&batch, &train_labels, None);
+        let _ep = sgnn_obs::span!("trainer.epoch");
+        let (loss, dl_batch) = phases.time(Phase::Forward, || {
+            let logits = gcn.forward(&op, &cx);
+            let batch = logits.gather_rows(&train_coarse_nodes);
+            softmax_cross_entropy(&batch, &train_labels, None)
+        });
         final_loss = loss;
-        let mut dl = DenseMatrix::zeros(cn, ds.num_classes);
-        dl.scatter_rows(&train_coarse_nodes, &dl_batch);
-        gcn.zero_grad();
-        gcn.backward(&op, &dl);
-        gcn.step(&mut opt);
+        phases.time(Phase::Backward, || {
+            let mut dl = DenseMatrix::zeros(cn, ds.num_classes);
+            dl.scatter_rows(&train_coarse_nodes, &dl_batch);
+            gcn.zero_grad();
+            gcn.backward(&op, &dl);
+        });
+        phases.time(Phase::Step, || gcn.step(&mut opt));
     }
     let train_secs = t1.elapsed().as_secs_f64();
     // Lift coarse logits to fine nodes and evaluate on the real test set.
@@ -593,6 +679,7 @@ pub fn train_coarse_with(
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
+        phases,
     }
 }
 
@@ -616,6 +703,15 @@ mod tests {
         assert!(r.test_acc > 0.8, "acc {}", r.test_acc);
         assert!(r.peak_mem_bytes > 0);
         assert!(r.train_secs > 0.0);
+        // Phase totals are always measured (observability off included) and
+        // must account for nearly all of the training-loop wall time.
+        let phase_sum = r.phases.total_secs();
+        assert!(phase_sum > 0.0);
+        assert!(phase_sum <= r.train_secs * 1.01 + 1e-3, "{phase_sum} vs {}", r.train_secs);
+        assert!(phase_sum >= r.train_secs * 0.5, "{phase_sum} vs {}", r.train_secs);
+        let json = serde::json::to_string(&r);
+        assert!(json.starts_with("{\"name\":\"gcn-full\""));
+        assert!(json.contains("\"phases\":{\"sample_secs\":"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use sgnn_linalg::DenseMatrix;
 use sgnn_nn::layers::{Linear, ReLU};
 use sgnn_nn::loss::{accuracy, softmax_cross_entropy};
 use sgnn_nn::optim::{Adam, Optimizer};
+use sgnn_obs::{Phase, PhaseBreakdown};
 use sgnn_sample::node_wise::sample_blocks;
 use sgnn_sample::HistoryCache;
 use std::time::Instant;
@@ -74,7 +75,9 @@ pub fn train_history(
     // GAS-style schedule: batches cover *every* node (so each node's
     // history refreshes once per epoch); the loss only uses train members.
     let mut schedule: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut phases = PhaseBreakdown::new();
     for epoch in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
         // Deterministic reshuffle per epoch.
         let mut rng = sgnn_linalg::rng::seeded(cfg.seed.wrapping_add(epoch as u64));
         for i in (1..schedule.len()).rev() {
@@ -85,32 +88,38 @@ pub fn train_history(
         for (bi, chunk) in schedule.chunks(cfg.batch_size).enumerate() {
             iter += 1;
             let seed = cfg.seed.wrapping_add((epoch * 7919 + bi) as u64);
-            // One sampled hop for layer 2's neighborhood.
-            let blocks = sample_blocks(&ds.graph, chunk, &[fanout], seed);
+            let (blocks, blocks1, x_src1, x_batch) = phases.time(Phase::Sample, || {
+                // One sampled hop for layer 2's neighborhood.
+                let blocks = sample_blocks(&ds.graph, chunk, &[fanout], seed);
+                // Fresh layer-1 activations for the *batch* nodes only.
+                let blocks1 = sample_blocks(&ds.graph, chunk, &[fanout], seed ^ 0xABCD);
+                let x_src1 = ds.features.gather_rows(&rows_of(&blocks1[0].src));
+                let x_batch = ds.features.gather_rows(&rows_of(chunk));
+                (blocks, blocks1, x_src1, x_batch)
+            });
             let block = &blocks[0];
-            // Fresh layer-1 activations for the *batch* nodes only.
-            let blocks1 = sample_blocks(&ds.graph, chunk, &[fanout], seed ^ 0xABCD);
             let b1 = &blocks1[0];
-            let x_src1 = ds.features.gather_rows(&rows_of(&b1.src));
-            agg1.reshape_scratch(b1.num_dst(), x_src1.cols());
-            b1.aggregate_into(&x_src1, &mut agg1);
-            let x_batch = ds.features.gather_rows(&rows_of(chunk));
-            let mut z1 = self1.forward(&x_batch);
-            let z1n = neigh1.forward(&agg1);
-            z1.add_scaled(1.0, &z1n).expect("shapes fixed");
-            let h1_batch = relu1.forward(&z1);
-            // Layer-2 inputs: fresh h1 for the batch prefix, cached h1 for
-            // the out-of-batch sources (stop-gradient).
-            let (cached, hit, age) = cache.fetch_batch(&block.src[chunk.len()..], iter);
-            fetches += (block.src.len() - chunk.len()) as u64;
-            hits += hit as u64;
-            age_sum += age * hit as f64;
-            let h1_src = h1_batch.concat_rows(&cached).expect("widths equal");
-            agg2.reshape_scratch(block.num_dst(), h1_src.cols());
-            block.aggregate_into(&h1_src, &mut agg2);
-            let mut logits = self2.forward(&h1_batch);
-            let l2n = neigh2.forward(&agg2);
-            logits.add_scaled(1.0, &l2n).expect("shapes fixed");
+            let (h1_batch, h1_src, logits) = phases.time(Phase::Forward, || {
+                agg1.reshape_scratch(b1.num_dst(), x_src1.cols());
+                b1.aggregate_into(&x_src1, &mut agg1);
+                let mut z1 = self1.forward(&x_batch);
+                let z1n = neigh1.forward(&agg1);
+                z1.add_scaled(1.0, &z1n).expect("shapes fixed");
+                let h1_batch = relu1.forward(&z1);
+                // Layer-2 inputs: fresh h1 for the batch prefix, cached h1
+                // for the out-of-batch sources (stop-gradient).
+                let (cached, hit, age) = cache.fetch_batch(&block.src[chunk.len()..], iter);
+                fetches += (block.src.len() - chunk.len()) as u64;
+                hits += hit as u64;
+                age_sum += age * hit as f64;
+                let h1_src = h1_batch.concat_rows(&cached).expect("widths equal");
+                agg2.reshape_scratch(block.num_dst(), h1_src.cols());
+                block.aggregate_into(&h1_src, &mut agg2);
+                let mut logits = self2.forward(&h1_batch);
+                let l2n = neigh2.forward(&agg2);
+                logits.add_scaled(1.0, &l2n).expect("shapes fixed");
+                (h1_batch, h1_src, logits)
+            });
             // Loss over the chunk's train members only; other rows get
             // zero gradient (their forward still refreshes the cache).
             let weights: Vec<f32> =
@@ -119,32 +128,37 @@ pub fn train_history(
                 cache.push_batch(chunk, iter, &h1_batch);
                 continue;
             }
-            let (loss, dl) = softmax_cross_entropy(&logits, &ds.labels_of(chunk), Some(&weights));
+            let (loss, dl) = phases.time(Phase::Forward, || {
+                softmax_cross_entropy(&logits, &ds.labels_of(chunk), Some(&weights))
+            });
             final_loss = loss;
-            // Backward.
-            for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
-                l.zero_grad();
-            }
-            let d_h1_direct = self2.backward(&dl);
-            let d_agg2 = neigh2.backward(&dl);
-            let d_h1_src = block.aggregate_backward(&d_agg2);
-            // Only the fresh prefix is differentiable; cached rows are
-            // constants.
-            let mut d_h1 = d_h1_direct;
-            for r in 0..chunk.len() {
-                sgnn_linalg::vecops::axpy(1.0, d_h1_src.row(r), d_h1.row_mut(r));
-            }
-            let d_z1 = relu1.backward(&d_h1);
-            let _ = self1.backward(&d_z1);
-            let _ = neigh1.backward(&d_z1);
-            let mut slot = 0usize;
-            for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
-                l.visit_params(&mut |p, g| {
-                    opt.update(slot, p, g);
-                    slot += 1;
-                });
-            }
-            opt.step_done();
+            phases.time(Phase::Backward, || {
+                for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
+                    l.zero_grad();
+                }
+                let d_h1_direct = self2.backward(&dl);
+                let d_agg2 = neigh2.backward(&dl);
+                let d_h1_src = block.aggregate_backward(&d_agg2);
+                // Only the fresh prefix is differentiable; cached rows are
+                // constants.
+                let mut d_h1 = d_h1_direct;
+                for r in 0..chunk.len() {
+                    sgnn_linalg::vecops::axpy(1.0, d_h1_src.row(r), d_h1.row_mut(r));
+                }
+                let d_z1 = relu1.backward(&d_h1);
+                let _ = self1.backward(&d_z1);
+                let _ = neigh1.backward(&d_z1);
+            });
+            phases.time(Phase::Step, || {
+                let mut slot = 0usize;
+                for l in [&mut self1, &mut neigh1, &mut self2, &mut neigh2] {
+                    l.visit_params(&mut |p, g| {
+                        opt.update(slot, p, g);
+                        slot += 1;
+                    });
+                }
+                opt.step_done();
+            });
             // Refresh the cache with this batch's fresh activations.
             cache.push_batch(chunk, iter, &h1_batch);
             ledger.transient(
@@ -193,6 +207,7 @@ pub fn train_history(
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
+        phases,
     };
     (report, stats)
 }
@@ -225,32 +240,44 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
+    let mut phases = PhaseBreakdown::new();
     for _ in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
         for part in 0..parts as u32 {
-            let (sub, map) = aug.batch_subgraph(part);
-            let op = gcn_operator(&sub);
-            let x = ax.gather_rows(&rows_of(&map));
-            max_batch = max_batch.max(gcn.step_bytes(map.len(), ds.feature_dim()));
-            let logits = gcn.forward(&op, &x);
-            let mut idx = Vec::new();
-            let mut labels = Vec::new();
-            for (local, &g) in map.iter().enumerate() {
-                if (g as usize) < ds.num_nodes() && in_train[g as usize] {
-                    idx.push(local);
-                    labels.push(ds.labels[g as usize]);
+            let (op, x, map, idx, labels) = phases.time(Phase::Sample, || {
+                let (sub, map) = aug.batch_subgraph(part);
+                let op = gcn_operator(&sub);
+                let x = ax.gather_rows(&rows_of(&map));
+                let mut idx = Vec::new();
+                let mut labels = Vec::new();
+                for (local, &g) in map.iter().enumerate() {
+                    if (g as usize) < ds.num_nodes() && in_train[g as usize] {
+                        idx.push(local);
+                        labels.push(ds.labels[g as usize]);
+                    }
                 }
-            }
+                (op, x, map, idx, labels)
+            });
+            // Batch residency: the subgraph operator and gathered features
+            // are live alongside the layer activations.
+            max_batch = max_batch
+                .max(op.nbytes() + x.nbytes() + gcn.step_bytes(map.len(), ds.feature_dim()));
             if idx.is_empty() {
                 continue;
             }
-            let batch_logits = logits.gather_rows(&idx);
-            let (loss, dl_batch) = softmax_cross_entropy(&batch_logits, &labels, None);
+            let (loss, dl_batch) = phases.time(Phase::Forward, || {
+                let logits = gcn.forward(&op, &x);
+                let batch_logits = logits.gather_rows(&idx);
+                softmax_cross_entropy(&batch_logits, &labels, None)
+            });
             final_loss = loss;
-            let mut dl = DenseMatrix::zeros(map.len(), ds.num_classes);
-            dl.scatter_rows(&idx, &dl_batch);
-            gcn.zero_grad();
-            gcn.backward(&op, &dl);
-            gcn.step(&mut opt);
+            phases.time(Phase::Backward, || {
+                let mut dl = DenseMatrix::zeros(map.len(), ds.num_classes);
+                dl.scatter_rows(&idx, &dl_batch);
+                gcn.zero_grad();
+                gcn.backward(&op, &dl);
+            });
+            phases.time(Phase::Step, || gcn.step(&mut opt));
         }
     }
     ledger.transient(max_batch);
@@ -271,6 +298,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
         train_secs,
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
+        phases,
     }
 }
 

@@ -23,6 +23,15 @@ use sgnn_linalg::DenseMatrix;
 /// below this the kernels run inline on the calling thread.
 const MIN_PAR_WORK: usize = 1 << 16;
 
+// Observability: nnz processed is the device-independent work measure the
+// experiments report; calls × chunk counters (in `linalg.pool.*`) give the
+// balanced-split granularity. Spans use the logical-layer name `linalg.*`
+// (DESIGN.md §5) even though the CSR kernels live in sgnn-graph.
+static SPMM_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.calls");
+static SPMM_NNZ: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.nnz");
+static SPMV_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmv.calls");
+static SPMV_NNZ: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmv.nnz");
+
 /// Computes `Y = A · X` where `A` is `g` interpreted as a sparse matrix.
 ///
 /// Unweighted graphs use unit weights. Panics if `x.rows() != g.num_nodes()`
@@ -49,6 +58,9 @@ pub fn spmm_into(g: &CsrGraph, x: &DenseMatrix, y: &mut DenseMatrix) {
     if d == 0 {
         return;
     }
+    let _sp = sgnn_obs::span!("linalg.spmm");
+    SPMM_CALLS.incr();
+    SPMM_NNZ.add(g.num_edges() as u64);
     let indptr = g.indptr();
     let indices = g.indices();
     let weights = g.weights();
@@ -221,6 +233,9 @@ fn rows_weighted(
 pub fn spmv(g: &CsrGraph, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), g.num_nodes());
     assert_eq!(y.len(), g.num_nodes());
+    let _sp = sgnn_obs::span!("linalg.spmv");
+    SPMV_CALLS.incr();
+    SPMV_NNZ.add(g.num_edges() as u64);
     let indptr = g.indptr();
     let indices = g.indices();
     let weights = g.weights();
@@ -280,6 +295,7 @@ impl MatVecF64 for CsrOpF64<'_> {
     fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.g.num_nodes());
         assert_eq!(y.len(), self.g.num_nodes());
+        let _sp = sgnn_obs::span!("linalg.csr_matvec");
         let indptr = self.g.indptr();
         let indices = self.g.indices();
         let weights = self.g.weights();

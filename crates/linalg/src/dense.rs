@@ -181,6 +181,7 @@ impl DenseMatrix {
                 ),
             });
         }
+        let _sp = sgnn_obs::span!("linalg.matmul");
         let (k, n) = (self.cols, rhs.cols);
         let lhs = &self.data;
         let rhsd = &rhs.data;

@@ -28,8 +28,20 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+
+// Observability (all gated on a single relaxed load when disabled; see
+// DESIGN.md §5). Counters tell the load-balance story: how many jobs
+// engaged the pool, how finely they were chunked, how many chunks pool
+// workers stole from the submitter's share, and how long workers sat
+// parked versus how long submitters spent inside dispatch.
+static POOL_DISPATCHES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.pool.dispatches");
+static POOL_CHUNKS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.pool.chunks");
+static POOL_STEALS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.pool.steals");
+static POOL_IDLE_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.pool.idle_ns");
+static POOL_SUBMIT_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.pool.submit_ns");
 
 /// Returns the number of worker threads to use for parallel kernels.
 ///
@@ -128,16 +140,18 @@ fn pool() -> &'static Pool {
         for i in 0..p.workers {
             let _ = std::thread::Builder::new()
                 .name(format!("sgnn-par-{i}"))
-                .spawn(move || worker_loop(p));
+                .spawn(move || worker_loop(p, i));
         }
     });
     p
 }
 
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(pool: &'static Pool, worker: usize) {
     IN_POOL_CONTEXT.with(|f| f.set(true));
     let mut seen = 0u64;
     loop {
+        // Time parked on the condvar counts as pool idle capacity.
+        let idle_from = if sgnn_obs::enabled() { Some(Instant::now()) } else { None };
         // Wait for a job generation we haven't inspected, then try to buy
         // a participation permit while still holding the slot lock.
         let job_ptr = {
@@ -162,18 +176,29 @@ fn worker_loop(pool: &'static Pool) {
                 pool.work_ready.wait(&mut s);
             }
         };
+        if let Some(t0) = idle_from {
+            POOL_IDLE_NS.add(t0.elapsed().as_nanos() as u64);
+        }
         let job = unsafe { &*job_ptr };
-        execute_chunks(job);
+        let executed = execute_chunks(job);
+        if executed > 0 && sgnn_obs::enabled() {
+            // Every chunk a pool worker runs was "stolen" from the
+            // submitting thread's sequential share.
+            POOL_STEALS.add(executed);
+            sgnn_obs::record_worker_chunks(worker, executed);
+        }
         let mut s = pool.state.lock();
         s.attached -= 1;
         pool.work_done.notify_all();
     }
 }
 
-/// Claims and runs chunks until the counter is exhausted. Chunk panics are
-/// recorded (not propagated) so the job always drains.
-fn execute_chunks(job: &Job) {
+/// Claims and runs chunks until the counter is exhausted, returning how
+/// many this thread executed. Chunk panics are recorded (not propagated)
+/// so the job always drains.
+fn execute_chunks(job: &Job) -> u64 {
     let run = unsafe { &*job.run };
+    let mut executed = 0u64;
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.num_chunks {
@@ -183,7 +208,9 @@ fn execute_chunks(job: &Job) {
             job.panicked.store(true, Ordering::Relaxed);
         }
         job.done.fetch_add(1, Ordering::Release);
+        executed += 1;
     }
+    executed
 }
 
 /// Dispatches `num_chunks` invocations of `run` across the pool with up to
@@ -191,6 +218,19 @@ fn execute_chunks(job: &Job) {
 /// has executed and all workers have let go of the job.
 fn run_job(num_chunks: usize, participants: usize, run: &(dyn Fn(usize) + Sync)) {
     debug_assert!(num_chunks > 0 && participants > 1);
+    let submit_from = if sgnn_obs::enabled() {
+        POOL_DISPATCHES.incr();
+        POOL_CHUNKS.add(num_chunks as u64);
+        // Register the worker-side counters too (adding zero), so every
+        // report that shows dispatches also shows the steal/idle story —
+        // including a truthful zero on hosts where the pool has no
+        // workers and the submitter runs every chunk itself.
+        POOL_STEALS.add(0);
+        POOL_IDLE_NS.add(0);
+        Some(Instant::now())
+    } else {
+        None
+    };
     let pool = pool();
     let _submit = pool.submit.lock();
     let job = Job {
@@ -226,6 +266,9 @@ fn run_job(num_chunks: usize, participants: usize, run: &(dyn Fn(usize) + Sync))
         while s.attached > 0 || job.done.load(Ordering::Acquire) < job.num_chunks {
             pool.work_done.wait(&mut s);
         }
+    }
+    if let Some(t0) = submit_from {
+        POOL_SUBMIT_NS.add(t0.elapsed().as_nanos() as u64);
     }
     if job.panicked.load(Ordering::Relaxed) {
         panic!("parallel worker panicked");

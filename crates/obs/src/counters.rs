@@ -1,0 +1,330 @@
+//! Named counters and gauges with a self-registering static registry,
+//! plus fixed-slot statistics for sampling frontiers and pool workers.
+//!
+//! Counters are declared as statics at their point of use:
+//!
+//! ```
+//! static EDGES: sgnn_obs::Counter = sgnn_obs::Counter::new("graph.spmm.nnz");
+//! EDGES.add(128);
+//! ```
+//!
+//! The disabled path is one relaxed load; the enabled path is a relaxed
+//! `fetch_add` (registration happens once, on the first enabled
+//! increment). Snapshots ([`crate::report`]) list counters sorted by
+//! name — a stable order for diffing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically-increasing named counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+
+impl Counter {
+    /// Declares a counter. `name` follows the `layer.op.metric` scheme.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Adds `n` when observability is enabled; no-op (one load) when off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if crate::state() == 0 {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 (see [`add`](Counter::add)).
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            COUNTERS.lock().unwrap_or_else(|e| e.into_inner()).push(self);
+        }
+    }
+}
+
+/// A named high-water-mark gauge (records the maximum observed value).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+
+impl Gauge {
+    /// Declares a gauge (same naming scheme as [`Counter`]).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Raises the high-water mark to at least `v` when enabled.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if crate::state() == 0 {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current high-water mark.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            GAUGES.lock().unwrap_or_else(|e| e.into_inner()).push(self);
+        }
+    }
+}
+
+/// One named value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Counter/gauge name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+serde::impl_serialize!(CounterStat { name, value });
+
+pub(crate) fn counters_snapshot() -> Vec<CounterStat> {
+    let mut out: Vec<CounterStat> = COUNTERS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|c| CounterStat { name: c.name.to_string(), value: c.value() })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+pub(crate) fn gauges_snapshot() -> Vec<CounterStat> {
+    let mut out: Vec<CounterStat> = GAUGES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|g| CounterStat { name: g.name.to_string(), value: g.value() })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Frontier statistics (neighborhood explosion, experiment E1)
+// ---------------------------------------------------------------------------
+
+/// Hops tracked individually; deeper hops clamp into the last slot.
+pub const MAX_FRONTIER_HOPS: usize = 16;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static FRONTIER_SUM: [AtomicU64; MAX_FRONTIER_HOPS] = [ZERO; MAX_FRONTIER_HOPS];
+static FRONTIER_MAX: [AtomicU64; MAX_FRONTIER_HOPS] = [ZERO; MAX_FRONTIER_HOPS];
+static FRONTIER_SAMPLES: [AtomicU64; MAX_FRONTIER_HOPS] = [ZERO; MAX_FRONTIER_HOPS];
+
+/// Records a sampled frontier of `nodes` nodes at `hop` hops from the
+/// batch targets (hop 0 = the targets themselves). The per-hop means in
+/// the [`crate::ObsReport`] are the neighborhood-explosion curve; with
+/// tracing on, each sample additionally becomes a `ph:"C"` event.
+#[inline]
+pub fn record_frontier(hop: usize, nodes: usize) {
+    if crate::state() == 0 {
+        return;
+    }
+    let h = hop.min(MAX_FRONTIER_HOPS - 1);
+    FRONTIER_SUM[h].fetch_add(nodes as u64, Ordering::Relaxed);
+    FRONTIER_MAX[h].fetch_max(nodes as u64, Ordering::Relaxed);
+    FRONTIER_SAMPLES[h].fetch_add(1, Ordering::Relaxed);
+    if crate::tracing() {
+        crate::trace::emit_counter("sample.frontier", &format!("hop{hop}"), nodes as u64);
+    }
+}
+
+/// Per-hop frontier aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierStat {
+    /// Distance from the batch targets.
+    pub hop: usize,
+    /// Number of recorded frontiers at this hop.
+    pub samples: u64,
+    /// Mean frontier size.
+    pub mean_nodes: f64,
+    /// Largest frontier observed.
+    pub max_nodes: u64,
+    /// Total nodes across all samples (feature-gather volume).
+    pub total_nodes: u64,
+}
+
+serde::impl_serialize!(FrontierStat { hop, samples, mean_nodes, max_nodes, total_nodes });
+
+pub(crate) fn frontier_snapshot() -> Vec<FrontierStat> {
+    (0..MAX_FRONTIER_HOPS)
+        .filter_map(|h| {
+            let samples = FRONTIER_SAMPLES[h].load(Ordering::Relaxed);
+            if samples == 0 {
+                return None;
+            }
+            let total = FRONTIER_SUM[h].load(Ordering::Relaxed);
+            Some(FrontierStat {
+                hop: h,
+                samples,
+                mean_nodes: total as f64 / samples as f64,
+                max_nodes: FRONTIER_MAX[h].load(Ordering::Relaxed),
+                total_nodes: total,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool per-worker statistics
+// ---------------------------------------------------------------------------
+
+/// Pool workers tracked individually; higher ids clamp into the last slot.
+pub const MAX_POOL_WORKERS: usize = 64;
+
+static WORKER_CHUNKS: [AtomicU64; MAX_POOL_WORKERS] = [ZERO; MAX_POOL_WORKERS];
+
+/// Credits `chunks` executed chunks to pool worker `worker` (stolen from
+/// the submitting thread's share). `sgnn-linalg::par` calls this.
+#[inline]
+pub fn record_worker_chunks(worker: usize, chunks: u64) {
+    if crate::state() == 0 || chunks == 0 {
+        return;
+    }
+    WORKER_CHUNKS[worker.min(MAX_POOL_WORKERS - 1)].fetch_add(chunks, Ordering::Relaxed);
+}
+
+/// Chunks one pool worker executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (`sgnn-par-<worker>`).
+    pub worker: usize,
+    /// Chunks executed by this worker.
+    pub chunks: u64,
+}
+
+serde::impl_serialize!(WorkerStat { worker, chunks });
+
+pub(crate) fn workers_snapshot() -> Vec<WorkerStat> {
+    (0..MAX_POOL_WORKERS)
+        .filter_map(|w| {
+            let chunks = WORKER_CHUNKS[w].load(Ordering::Relaxed);
+            (chunks > 0).then_some(WorkerStat { worker: w, chunks })
+        })
+        .collect()
+}
+
+/// Zeroes every registered counter/gauge and the fixed-slot statistics.
+pub(crate) fn reset() {
+    for c in COUNTERS.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in GAUGES.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        g.value.store(0, Ordering::Relaxed);
+    }
+    for h in 0..MAX_FRONTIER_HOPS {
+        FRONTIER_SUM[h].store(0, Ordering::Relaxed);
+        FRONTIER_MAX[h].store(0, Ordering::Relaxed);
+        FRONTIER_SAMPLES[h].store(0, Ordering::Relaxed);
+    }
+    for w in 0..MAX_POOL_WORKERS {
+        WORKER_CHUNKS[w].store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    static TEST_COUNTER: Counter = Counter::new("test.counter");
+    static TEST_GAUGE: Gauge = Gauge::new("test.gauge");
+
+    #[test]
+    fn counters_count_only_when_enabled() {
+        let _g = test_lock::guard();
+        crate::disable();
+        crate::reset();
+        TEST_COUNTER.add(5);
+        assert_eq!(TEST_COUNTER.value(), 0, "disabled add must be dropped");
+        crate::enable();
+        TEST_COUNTER.add(5);
+        TEST_COUNTER.incr();
+        assert_eq!(TEST_COUNTER.value(), 6);
+        let snap = counters_snapshot();
+        let c = snap.iter().find(|c| c.name == "test.counter").expect("registered");
+        assert_eq!(c.value, 6);
+        crate::disable();
+    }
+
+    #[test]
+    fn gauge_keeps_high_water_mark() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        TEST_GAUGE.record(10);
+        TEST_GAUGE.record(3);
+        assert_eq!(TEST_GAUGE.value(), 10);
+        crate::disable();
+    }
+
+    #[test]
+    fn frontier_stats_aggregate_per_hop() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        record_frontier(0, 100);
+        record_frontier(1, 400);
+        record_frontier(1, 600);
+        let snap = frontier_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].hop, 0);
+        assert_eq!(snap[1].samples, 2);
+        assert!((snap[1].mean_nodes - 500.0).abs() < 1e-9);
+        assert_eq!(snap[1].max_nodes, 600);
+        crate::disable();
+    }
+
+    #[test]
+    fn worker_stats_track_per_worker() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        record_worker_chunks(0, 4);
+        record_worker_chunks(2, 1);
+        record_worker_chunks(2, 2);
+        let snap = workers_snapshot();
+        assert_eq!(
+            snap,
+            vec![WorkerStat { worker: 0, chunks: 4 }, WorkerStat { worker: 2, chunks: 3 }]
+        );
+        crate::disable();
+    }
+}

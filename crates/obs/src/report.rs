@@ -1,0 +1,201 @@
+//! Snapshot reports: the serializable [`ObsReport`] and the per-epoch
+//! [`PhaseBreakdown`] trainers fill in.
+
+use crate::counters::{CounterStat, FrontierStat, WorkerStat};
+use crate::span::SpanStats;
+use std::time::Instant;
+
+/// One machine-readable snapshot of everything the observability layer
+/// aggregated: the merged span call-tree, all named counters and gauges
+/// (sorted by name), per-hop sampling frontiers, and per-worker pool
+/// chunk counts. Serializes to JSON with a stable field order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Aggregation was on when the snapshot was taken.
+    pub enabled: bool,
+    /// JSONL tracing was on when the snapshot was taken.
+    pub tracing: bool,
+    /// Merged span forest (top-level spans, children nested).
+    pub spans: Vec<SpanStats>,
+    /// All registered counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// All registered gauges (high-water marks), sorted by name.
+    pub gauges: Vec<CounterStat>,
+    /// Sampling frontier sizes per hop (the E1 explosion curve).
+    pub frontier: Vec<FrontierStat>,
+    /// Chunks executed per pool worker (steal distribution).
+    pub pool_workers: Vec<WorkerStat>,
+}
+
+serde::impl_serialize!(ObsReport {
+    enabled,
+    tracing,
+    spans,
+    counters,
+    gauges,
+    frontier,
+    pool_workers
+});
+
+/// Takes a global snapshot. Cheap relative to any workload (it visits
+/// each thread tree once); safe to call with spans still open — open
+/// spans simply haven't been counted yet.
+pub fn report() -> ObsReport {
+    ObsReport {
+        enabled: crate::enabled(),
+        tracing: crate::tracing(),
+        spans: crate::span::snapshot(),
+        counters: crate::counters::counters_snapshot(),
+        gauges: crate::counters::gauges_snapshot(),
+        frontier: crate::counters::frontier_snapshot(),
+        pool_workers: crate::counters::workers_snapshot(),
+    }
+}
+
+/// A trainer phase, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Mini-batch construction: sampling blocks, gathering features,
+    /// building batch operators.
+    Sample,
+    /// Model forward pass, including loss computation.
+    Forward,
+    /// Gradient computation (loss gradient scatter + model backward).
+    Backward,
+    /// Optimizer update.
+    Step,
+    /// Validation / early-stopping evaluation inside the epoch loop.
+    Eval,
+}
+
+impl Phase {
+    /// The span name this phase appears under in traces.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Phase::Sample => "trainer.sample",
+            Phase::Forward => "trainer.forward",
+            Phase::Backward => "trainer.backward",
+            Phase::Step => "trainer.step",
+            Phase::Eval => "trainer.eval",
+        }
+    }
+}
+
+/// Wall-clock seconds per trainer phase, summed over all epochs. Every
+/// trainer fills one of these into its `TrainReport`; phase totals are
+/// measured around the phase bodies, so
+/// `sample + forward + backward + step (+ eval)` accounts for epoch wall
+/// time up to loop bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Batch construction seconds.
+    pub sample_secs: f64,
+    /// Forward + loss seconds.
+    pub forward_secs: f64,
+    /// Backward seconds.
+    pub backward_secs: f64,
+    /// Optimizer-step seconds.
+    pub step_secs: f64,
+    /// In-loop evaluation seconds.
+    pub eval_secs: f64,
+}
+
+serde::impl_serialize!(PhaseBreakdown {
+    sample_secs,
+    forward_secs,
+    backward_secs,
+    step_secs,
+    eval_secs
+});
+
+impl PhaseBreakdown {
+    /// Fresh all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, charging its wall time to `phase` and (when tracing)
+    /// emitting the phase's span. The clock read always happens — phase
+    /// totals are part of every `TrainReport`, observability on or off —
+    /// but it is two `Instant::now` calls per phase per batch, invisible
+    /// next to any actual phase body.
+    #[inline]
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let _sp = crate::span::SpanGuard::enter(phase.span_name());
+        let t0 = Instant::now();
+        let out = f();
+        *self.slot(phase) += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn slot(&mut self, phase: Phase) -> &mut f64 {
+        match phase {
+            Phase::Sample => &mut self.sample_secs,
+            Phase::Forward => &mut self.forward_secs,
+            Phase::Backward => &mut self.backward_secs,
+            Phase::Step => &mut self.step_secs,
+            Phase::Eval => &mut self.eval_secs,
+        }
+    }
+
+    /// Sum across all phases.
+    pub fn total_secs(&self) -> f64 {
+        self.sample_secs + self.forward_secs + self.backward_secs + self.step_secs + self.eval_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn phase_timer_accumulates_and_returns() {
+        let mut p = PhaseBreakdown::new();
+        let x = p.time(Phase::Forward, || 21 * 2);
+        assert_eq!(x, 42);
+        p.time(Phase::Forward, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        p.time(Phase::Step, || ());
+        assert!(p.forward_secs >= 0.002);
+        assert!(p.step_secs >= 0.0);
+        assert_eq!(p.sample_secs, 0.0);
+        assert!((p.total_secs() - (p.forward_secs + p.step_secs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_timer_records_spans_when_enabled() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        let mut p = PhaseBreakdown::new();
+        {
+            let _epoch = crate::span!("trainer.epoch");
+            p.time(Phase::Backward, || ());
+        }
+        let snap = crate::span::snapshot();
+        let b = crate::span::find(&snap, &["trainer.epoch", "trainer.backward"])
+            .expect("phase nests under epoch");
+        assert_eq!(b.count, 1);
+        crate::disable();
+    }
+
+    #[test]
+    fn obs_report_serializes_with_stable_field_order() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _sp = crate::span!("test.report_span");
+        }
+        let r = report();
+        let json = serde::json::to_string(&r);
+        // Field order is part of the contract (diffable across PRs).
+        let spans_pos = json.find("\"spans\":").unwrap();
+        let counters_pos = json.find("\"counters\":").unwrap();
+        let frontier_pos = json.find("\"frontier\":").unwrap();
+        assert!(json.starts_with("{\"enabled\":true,\"tracing\":"));
+        assert!(spans_pos < counters_pos && counters_pos < frontier_pos);
+        assert!(json.contains("\"name\":\"test.report_span\""));
+        crate::disable();
+    }
+}

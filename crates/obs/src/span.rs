@@ -1,0 +1,334 @@
+//! Span scope profiler: RAII guards aggregating into per-thread call
+//! trees, merged by name on snapshot.
+//!
+//! Entering a span when observability is off costs one relaxed atomic
+//! load. When on, enter/close record into the calling thread's own tree
+//! behind that thread's own lock — uncontended in steady state, so
+//! threads never serialize against each other on the hot path. The only
+//! cross-thread locking happens in [`snapshot`] and [`reset`], which
+//! briefly visit every registered tree.
+//!
+//! Guards must nest lexically (the usual RAII discipline); recursive
+//! spans of the same name form a chain in the tree, so reentrancy is
+//! visible rather than double-counted.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One aggregated node of a thread's call tree.
+struct NodeData {
+    name: &'static str,
+    children: Vec<u32>,
+    count: u64,
+    total_ns: u64,
+    /// `u64::MAX` until the first close (sentinel for "no samples").
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl NodeData {
+    fn new(name: &'static str) -> Self {
+        NodeData { name, children: Vec::new(), count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+}
+
+/// A thread's span tree plus its active-span stack. Node 0 is the
+/// virtual root; `stack` holds the indices of currently-open spans.
+struct TreeData {
+    nodes: Vec<NodeData>,
+    stack: Vec<u32>,
+}
+
+impl TreeData {
+    fn new() -> Self {
+        TreeData { nodes: vec![NodeData::new("")], stack: Vec::new() }
+    }
+
+    fn open(&mut self, name: &'static str) {
+        let parent = *self.stack.last().unwrap_or(&0) as usize;
+        let found = self.nodes[parent].children.iter().copied().find(|&c| {
+            std::ptr::eq(self.nodes[c as usize].name, name) || self.nodes[c as usize].name == name
+        });
+        let idx = match found {
+            Some(c) => c,
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(NodeData::new(name));
+                self.nodes[parent].children.push(idx);
+                idx
+            }
+        };
+        self.stack.push(idx);
+    }
+
+    fn close(&mut self, name: &'static str, elapsed_ns: u64) {
+        let Some(idx) = self.stack.pop() else { return };
+        let node = &mut self.nodes[idx as usize];
+        debug_assert_eq!(node.name, name, "span guards must close in LIFO order");
+        node.count += 1;
+        node.total_ns += elapsed_ns;
+        node.min_ns = node.min_ns.min(elapsed_ns);
+        node.max_ns = node.max_ns.max(elapsed_ns);
+    }
+
+    fn zero(&mut self) {
+        for n in &mut self.nodes {
+            n.count = 0;
+            n.total_ns = 0;
+            n.min_ns = u64::MAX;
+            n.max_ns = 0;
+        }
+    }
+}
+
+/// All thread trees ever created; `Arc`s keep data from exited threads.
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<TreeData>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<TreeData>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static TREE: Arc<Mutex<TreeData>> = {
+        let tree = Arc::new(Mutex::new(TreeData::new()));
+        registry().lock().unwrap_or_else(|e| e.into_inner()).push(tree.clone());
+        tree
+    };
+
+    /// Small sequential id for trace events (`tid` field).
+    static THREAD_ID: u32 = {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// The calling thread's trace id.
+pub(crate) fn thread_trace_id() -> u32 {
+    THREAD_ID.with(|&id| id)
+}
+
+/// RAII span guard — create with [`crate::span!`], record on drop.
+///
+/// The disabled-path guard is inert: no clock read on construction and a
+/// single untaken branch on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` (a `'static` literal by convention:
+    /// `layer.op`). When observability is off this is one relaxed load.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if crate::state() == 0 {
+            return SpanGuard { name, start: None };
+        }
+        Self::enter_enabled(name)
+    }
+
+    #[cold]
+    fn enter_enabled(name: &'static str) -> SpanGuard {
+        TREE.with(|t| t.lock().unwrap_or_else(|e| e.into_inner()).open(name));
+        SpanGuard { name, start: Some(Instant::now()) }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            close_span(self.name, start);
+        }
+    }
+}
+
+#[cold]
+fn close_span(name: &'static str, start: Instant) {
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    TREE.with(|t| t.lock().unwrap_or_else(|e| e.into_inner()).close(name, elapsed_ns));
+    if crate::tracing() {
+        crate::trace::emit_span(name, start, elapsed_ns);
+    }
+}
+
+/// Aggregated statistics for one span name at one call-tree position,
+/// merged across threads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Span name (`layer.op`).
+    pub name: String,
+    /// Number of closes.
+    pub count: u64,
+    /// Sum of span durations.
+    pub total_ns: u64,
+    /// Fastest single close (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Slowest single close.
+    pub max_ns: u64,
+    /// Nested spans, sorted by name.
+    pub children: Vec<SpanStats>,
+}
+
+serde::impl_serialize!(SpanStats { name, count, total_ns, min_ns, max_ns, children });
+
+fn merge_node(out: &mut Vec<SpanStats>, tree: &TreeData, node: usize) {
+    for &c in &tree.nodes[node].children {
+        let cd = &tree.nodes[c as usize];
+        let entry = match out.iter_mut().position(|s| s.name == cd.name) {
+            Some(i) => &mut out[i],
+            None => {
+                out.push(SpanStats { name: cd.name.to_string(), ..Default::default() });
+                out.last_mut().unwrap()
+            }
+        };
+        entry.count += cd.count;
+        entry.total_ns += cd.total_ns;
+        entry.max_ns = entry.max_ns.max(cd.max_ns);
+        if cd.count > 0 {
+            entry.min_ns =
+                if entry.count == cd.count { cd.min_ns } else { entry.min_ns.min(cd.min_ns) };
+        }
+        merge_node(&mut entry.children, tree, c as usize);
+    }
+}
+
+fn sort_and_prune(stats: &mut Vec<SpanStats>) {
+    // Drop nodes that were opened but never closed anywhere (and have no
+    // closed descendants), then order deterministically.
+    stats.retain_mut(|s| {
+        sort_and_prune(&mut s.children);
+        s.count > 0 || !s.children.is_empty()
+    });
+    stats.sort_by(|a, b| a.name.cmp(&b.name));
+}
+
+/// Merged span forest across every thread that ever recorded a span.
+/// Top-level entries are spans opened with no enclosing span.
+pub fn snapshot() -> Vec<SpanStats> {
+    let trees = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    for tree in trees.iter() {
+        let t = tree.lock().unwrap_or_else(|e| e.into_inner());
+        merge_node(&mut out, &t, 0);
+    }
+    drop(trees);
+    sort_and_prune(&mut out);
+    out
+}
+
+/// Zeroes every thread's aggregated span statistics. Tree structure and
+/// currently-open spans survive (their closes land in the zeroed stats).
+pub fn reset() {
+    let trees = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for tree in trees.iter() {
+        tree.lock().unwrap_or_else(|e| e.into_inner()).zero();
+    }
+}
+
+/// Finds a span by path (e.g. `["trainer.epoch", "trainer.forward"]`) in
+/// a snapshot forest. Test/assertion helper.
+pub fn find<'a>(stats: &'a [SpanStats], path: &[&str]) -> Option<&'a SpanStats> {
+    let (first, rest) = path.split_first()?;
+    let node = stats.iter().find(|s| s.name == *first)?;
+    if rest.is_empty() {
+        Some(node)
+    } else {
+        find(&node.children, rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn nested_spans_aggregate_into_a_tree() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        for _ in 0..3 {
+            let _outer = crate::span!("test.outer");
+            for _ in 0..2 {
+                let _inner = crate::span!("test.inner");
+            }
+        }
+        let snap = snapshot();
+        let outer = find(&snap, &["test.outer"]).expect("outer recorded");
+        assert_eq!(outer.count, 3);
+        let inner = find(&snap, &["test.outer", "test.inner"]).expect("inner nested under outer");
+        assert_eq!(inner.count, 6);
+        assert!(inner.total_ns <= outer.total_ns, "children cannot exceed parent time");
+        assert!(inner.min_ns <= inner.max_ns);
+        // Not double-counted at top level.
+        assert!(find(&snap, &["test.inner"]).is_none());
+        crate::disable();
+    }
+
+    #[test]
+    fn reentrant_spans_chain_rather_than_merge() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        fn recurse(depth: usize) {
+            let _sp = crate::span!("test.recurse");
+            if depth > 0 {
+                recurse(depth - 1);
+            }
+        }
+        recurse(2);
+        let snap = snapshot();
+        let lvl0 = find(&snap, &["test.recurse"]).unwrap();
+        let lvl1 = find(&snap, &["test.recurse", "test.recurse"]).unwrap();
+        let lvl2 = find(&snap, &["test.recurse", "test.recurse", "test.recurse"]).unwrap();
+        assert_eq!((lvl0.count, lvl1.count, lvl2.count), (1, 1, 1));
+        crate::disable();
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_by_name() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        let _sp = crate::span!("test.worker_span");
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        let w = find(&snap, &["test.worker_span"]).expect("merged across threads");
+        assert_eq!(w.count, 20);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock::guard();
+        crate::disable();
+        crate::reset();
+        {
+            let _sp = crate::span!("test.ghost");
+        }
+        assert!(find(&snapshot(), &["test.ghost"]).is_none());
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_open_spans_consistent() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _open = crate::span!("test.reset_outer");
+            crate::reset(); // zero while a span is open
+        } // close lands in the zeroed stats
+        let snap = snapshot();
+        let n = find(&snap, &["test.reset_outer"]).unwrap();
+        assert_eq!(n.count, 1);
+        crate::disable();
+    }
+}

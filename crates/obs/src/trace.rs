@@ -1,0 +1,129 @@
+//! JSONL trace sink: one event per span close, chrome://tracing shapes.
+//!
+//! Events use the Trace Event Format's `"X"` (complete) and `"C"`
+//! (counter) phases with microsecond timestamps, one JSON object per
+//! line. Wrapping the file's lines in `[` … `]` (or
+//! `jq -s . trace.jsonl`) produces a document chrome://tracing and
+//! Perfetto load directly.
+//!
+//! The sink opens lazily on the first event: at the path set via
+//! [`set_trace_path`], else `$SGNN_OBS_FILE`, else `sgnn_trace.jsonl`.
+//! Events are buffered; call [`flush`] before reading the file (bench
+//! bins and examples do this on exit).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+enum Sink {
+    /// Not opened yet; holds an explicit path override if one was set.
+    Closed(Option<String>),
+    /// Opening failed (reported once); events are dropped.
+    Failed,
+    Open(BufWriter<File>),
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink::Closed(None));
+
+/// Overrides the trace output path. Takes effect if called before the
+/// first event; afterwards the already-open sink keeps its file.
+pub fn set_trace_path(path: &str) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Sink::Closed(p) = &mut *sink {
+        *p = Some(path.to_string());
+    }
+}
+
+fn with_writer(f: impl FnOnce(&mut BufWriter<File>)) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Sink::Closed(path_override) = &*sink {
+        let path = path_override
+            .clone()
+            .or_else(|| std::env::var("SGNN_OBS_FILE").ok())
+            .unwrap_or_else(|| "sgnn_trace.jsonl".to_string());
+        *sink = match File::create(&path) {
+            Ok(file) => Sink::Open(BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("sgnn-obs: cannot open trace file {path}: {e}; tracing to /dev/null");
+                Sink::Failed
+            }
+        };
+    }
+    if let Sink::Open(w) = &mut *sink {
+        f(w);
+    }
+}
+
+fn ts_us(at: Instant) -> f64 {
+    at.checked_duration_since(crate::epoch_origin()).unwrap_or_default().as_nanos() as f64 / 1e3
+}
+
+/// Emits a complete-span event (`ph:"X"`).
+pub(crate) fn emit_span(name: &str, start: Instant, dur_ns: u64) {
+    let ts = ts_us(start);
+    let dur = dur_ns as f64 / 1e3;
+    let tid = crate::span::thread_trace_id();
+    with_writer(|w| {
+        let _ = writeln!(
+            w,
+            "{{\"ph\":\"X\",\"name\":\"{name}\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{tid}}}"
+        );
+    });
+}
+
+/// Emits a counter event (`ph:"C"`) with one integer-valued series.
+pub(crate) fn emit_counter(name: &str, series: &str, value: u64) {
+    let ts = ts_us(Instant::now());
+    let tid = crate::span::thread_trace_id();
+    with_writer(|w| {
+        let _ = writeln!(
+            w,
+            "{{\"ph\":\"C\",\"name\":\"{name}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{tid},\"args\":{{\"{series}\":{value}}}}}"
+        );
+    });
+}
+
+/// Flushes buffered trace events to disk. Call before exiting or before
+/// reading the trace file.
+pub fn flush() {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Sink::Open(w) = &mut *sink {
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_lock;
+
+    #[test]
+    fn trace_file_receives_parseable_span_lines() {
+        let _g = test_lock::guard();
+        let path = std::env::temp_dir().join(format!("sgnn_obs_test_{}.jsonl", std::process::id()));
+        super::set_trace_path(path.to_str().unwrap());
+        crate::enable_trace();
+        {
+            let _sp = crate::span!("test.traced");
+        }
+        crate::record_frontier(1, 42);
+        crate::disable(); // flushes
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"name\":\"test.traced\"") && l.contains("\"ph\":\"X\"")),
+            "span event present: {text}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("\"ph\":\"C\"") && l.contains("sample.frontier")),
+            "counter event present: {text}"
+        );
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "JSONL shape: {l}");
+            assert!(l.contains("\"ts\":"), "timestamp present: {l}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

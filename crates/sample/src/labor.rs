@@ -60,10 +60,12 @@ pub fn labor_block(g: &CsrGraph, dst: &[NodeId], k: usize, seed: u64) -> Block {
 
 /// Samples an `L`-layer LABOR stack (deepest block first).
 pub fn labor_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: u64) -> Vec<Block> {
+    let _sp = sgnn_obs::span!("sample.blocks");
     let mut blocks_rev = Vec::with_capacity(fanouts.len());
     let mut dst: Vec<NodeId> = targets.to_vec();
     for (i, &k) in fanouts.iter().enumerate() {
         let b = labor_block(g, &dst, k, seed.wrapping_add(i as u64).wrapping_mul(0x85EB_CA6B));
+        sgnn_obs::record_frontier(i, b.num_src());
         dst = b.src.clone();
         blocks_rev.push(b);
     }

@@ -84,10 +84,12 @@ pub fn ladies_blocks(
     layer_sizes: &[usize],
     seed: u64,
 ) -> Vec<Block> {
+    let _sp = sgnn_obs::span!("sample.blocks");
     let mut blocks_rev = Vec::with_capacity(layer_sizes.len());
     let mut dst: Vec<NodeId> = targets.to_vec();
     for (i, &sz) in layer_sizes.iter().enumerate() {
         let b = ladies_block(g, &dst, sz, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        sgnn_obs::record_frontier(i, b.num_src());
         dst = b.src.clone();
         blocks_rev.push(b);
     }

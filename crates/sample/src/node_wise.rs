@@ -19,11 +19,12 @@ use sgnn_graph::{CsrGraph, NodeId};
 /// neighbors with weight `1/s` (mean aggregation, unbiased for the
 /// neighborhood mean).
 pub fn sample_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: u64) -> Vec<Block> {
+    let _sp = sgnn_obs::span!("sample.blocks");
     let mut rng = sgnn_linalg::rng::seeded(seed);
     let n = g.num_nodes();
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(fanouts.len());
     let mut dst: Vec<NodeId> = targets.to_vec();
-    for &fanout in fanouts {
+    for (hop, &fanout) in fanouts.iter().enumerate() {
         assert!(fanout > 0, "fanout must be positive");
         let mut indptr = Vec::with_capacity(dst.len() + 1);
         indptr.push(0usize);
@@ -55,6 +56,9 @@ pub fn sample_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: 
         }
         let block = Block { dst: dst.clone(), src: src.clone(), indptr, cols, weights };
         debug_assert!(block.validate().is_ok());
+        // Frontier after `hop + 1` hops of expansion from the batch — the
+        // per-hop growth curve experiment E1 plots.
+        sgnn_obs::record_frontier(hop, src.len());
         blocks_rev.push(block);
         dst = src; // next (deeper) layer must produce features for all srcs
     }

@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! SGNN_OBS=trace cargo run --release --example quickstart   # + sgnn_trace.jsonl
 //! ```
+//!
+//! With `SGNN_OBS=trace` the run also writes a chrome://tracing-loadable
+//! JSONL trace (`SGNN_OBS_FILE` overrides the path) covering every epoch,
+//! phase, sampling, and kernel span.
 
 use sgnn::core::models::decoupled::PrecomputeMethod;
 use sgnn::core::trainer::{
@@ -20,6 +25,11 @@ fn print_row(r: &TrainReport) {
         r.precompute_secs,
         r.train_secs,
         r.peak_mem_bytes / 1024
+    );
+    let p = &r.phases;
+    println!(
+        "{:<16} phases: sample={:.2}s forward={:.2}s backward={:.2}s step={:.2}s eval={:.2}s",
+        "", p.sample_secs, p.forward_secs, p.backward_secs, p.step_secs, p.eval_secs
     );
 }
 
@@ -55,4 +65,10 @@ fn main() {
     println!("accuracy, but the decoupled model's peak memory is batch-sized");
     println!("while the full-batch GCN holds every layer activation for the");
     println!("entire graph.");
+
+    if sgnn::obs::tracing() {
+        sgnn::obs::flush();
+        let path = std::env::var("SGNN_OBS_FILE").unwrap_or_else(|_| "sgnn_trace.jsonl".into());
+        println!("\ntrace written to {path} — load it at chrome://tracing or ui.perfetto.dev");
+    }
 }

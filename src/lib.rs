@@ -14,6 +14,9 @@
 //! assert!(report.test_acc > 0.5);
 //! ```
 
+/// Zero-overhead-when-off tracing, counters, and phase profiling.
+pub use sgnn_obs as obs;
+
 /// Dense linear algebra kernels.
 pub use sgnn_linalg as linalg;
 

@@ -1,0 +1,105 @@
+//! Observability must be *observation only*: enabling span aggregation or
+//! the JSONL trace sink must not change a single bit of numeric output,
+//! and the trace it writes must be well-formed and contain the span names
+//! the conventions in DESIGN.md §5 promise.
+
+use proptest::prelude::*;
+use sgnn::graph::generate;
+use sgnn::graph::normalize::{normalized_adjacency, NormKind};
+use sgnn::graph::spmm::spmm;
+use sgnn::linalg::DenseMatrix;
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the process-wide observability state (the
+/// test harness runs #[test] functions concurrently).
+static OBS: Mutex<()> = Mutex::new(());
+
+fn trace_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sgnn_obs_test_{}.jsonl", std::process::id()))
+}
+
+/// Routes this test binary's trace sink to a temp file. The sink binds
+/// its path on first event, so every tracing test calls this first (the
+/// call is a no-op once the sink is open — all tests share the path).
+fn route_trace_to_temp() {
+    sgnn::obs::trace::set_trace_path(trace_path().to_str().unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pooled spmm output is bitwise identical with tracing on and off:
+    /// instrumentation sits outside the arithmetic.
+    #[test]
+    fn tracing_does_not_change_spmm_output(
+        n in 500usize..3000,
+        m in 1usize..5,
+        d in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let _g = OBS.lock().unwrap_or_else(|e| e.into_inner());
+        route_trace_to_temp();
+        let g = generate::barabasi_albert(n, m, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(n, d, 1.0, seed + 1);
+        sgnn::obs::disable();
+        let y_off = spmm(&a, &x);
+        sgnn::obs::enable_trace();
+        let y_trace = spmm(&a, &x);
+        sgnn::obs::disable();
+        prop_assert_eq!(y_off.data(), y_trace.data(), "tracing changed spmm output bits");
+    }
+}
+
+/// A traced mini training run writes parseable JSONL whose events include
+/// the `trainer.epoch` and `linalg.spmm` spans, and the aggregated report
+/// sees the same names.
+#[test]
+fn trace_file_is_wellformed_jsonl_with_expected_spans() {
+    let _g = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    route_trace_to_temp();
+    sgnn::obs::enable_trace();
+    sgnn::obs::reset();
+    let ds = sgnn::data::sbm_dataset(400, 3, 8.0, 0.85, 8, 0.6, 0, 0.5, 0.25, 5);
+    let cfg = sgnn::core::trainer::TrainConfig { epochs: 3, hidden: vec![8], ..Default::default() };
+    let (_, report) = sgnn::core::trainer::train_full_gcn(&ds, &cfg);
+    assert!(report.phases.total_secs() > 0.0);
+    sgnn::obs::disable(); // flushes the sink
+    let text = std::fs::read_to_string(trace_path()).expect("trace file exists");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"ph\":\"") && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+    }
+    for name in ["\"name\":\"trainer.epoch\"", "\"name\":\"linalg.spmm\""] {
+        assert!(text.contains(name), "trace missing {name}");
+    }
+    let obs = sgnn::obs::report();
+    let names: Vec<&str> = obs.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"trainer.epoch"), "aggregated spans: {names:?}");
+}
+
+/// The ObsReport snapshot after an instrumented run carries the kernel
+/// counters the kernels promise (spmm calls/nnz), serialized with the
+/// documented stable field order.
+#[test]
+fn obs_report_counts_kernel_work() {
+    let _g = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    route_trace_to_temp();
+    sgnn::obs::enable();
+    sgnn::obs::reset();
+    let g = generate::barabasi_albert(2_000, 4, 9);
+    let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+    let x = DenseMatrix::gaussian(2_000, 8, 1.0, 10);
+    let _ = spmm(&a, &x);
+    let obs = sgnn::obs::report();
+    sgnn::obs::disable();
+    let calls = obs.counters.iter().find(|c| c.name == "linalg.spmm.calls").expect("spmm counter");
+    assert_eq!(calls.value, 1);
+    let nnz = obs.counters.iter().find(|c| c.name == "linalg.spmm.nnz").expect("nnz counter");
+    assert_eq!(nnz.value, a.num_edges() as u64);
+    let json = serde::json::to_string(&obs);
+    assert!(json.starts_with("{\"enabled\":true,"));
+}

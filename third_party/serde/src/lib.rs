@@ -1,6 +1,306 @@
-//! Offline placeholder for `serde`.
+//! Offline stand-in for `serde` (plus a small built-in JSON emitter).
 //!
-//! The workspace manifests declare serde but no code path uses it yet; this
-//! empty crate satisfies dependency resolution without registry access.
-//! When serialization lands, replace this with a real vendored serde or a
-//! purpose-built trait set.
+//! The build environment has no registry access, so this crate implements
+//! the subset of the serde API surface the workspace actually uses:
+//!
+//! - the [`Serialize`] / [`Serializer`] traits with the real serde shapes
+//!   (`serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`,
+//!   compound builders in [`ser`]);
+//! - impls for primitives, strings, slices, `Vec`, `Option`, references,
+//!   and `BTreeMap` (deliberately *not* `HashMap`: report serialization
+//!   must have a stable field/key order for diffing across PRs);
+//! - [`impl_serialize!`] — a declarative stand-in for
+//!   `#[derive(Serialize)]` (the offline build has no proc-macro crate);
+//!   fields serialize in the order they are listed, which pins the JSON
+//!   field order;
+//! - [`json`] — the `serde_json::to_string` equivalent (upstream this
+//!   lives in a separate crate; folding it in here keeps the vendored
+//!   surface to one crate).
+//!
+//! Deserialization is intentionally absent — nothing in the workspace
+//! reads its own reports back yet.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+pub mod json {
+    //! JSON serialization (the `serde_json` stand-in).
+
+    use crate::ser::{self, Serialize, Serializer};
+
+    /// Error type for JSON serialization. The in-memory writer cannot
+    /// fail; this exists to satisfy the `Serializer::Error` contract.
+    #[derive(Debug)]
+    pub struct Error;
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("json serialization error")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Serializes `value` as a single-line JSON string.
+    ///
+    /// Non-finite floats become `null` (JSON has no NaN/Inf). Struct
+    /// fields appear in declaration order ([`crate::impl_serialize!`]),
+    /// map keys in `BTreeMap` order — output is byte-stable across runs.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value
+            .serialize(JsonSerializer { out: &mut out })
+            .expect("in-memory JSON serialization cannot fail");
+        out
+    }
+
+    struct JsonSerializer<'a> {
+        out: &'a mut String,
+    }
+
+    fn escape_into(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn float_into(out: &mut String, v: f64) {
+        if v.is_finite() {
+            out.push_str(&format!("{v}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    impl<'a> Serializer for JsonSerializer<'a> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = JsonSeq<'a>;
+        type SerializeStruct = JsonStruct<'a>;
+        type SerializeMap = JsonMap<'a>;
+
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+
+        fn serialize_i64(self, v: i64) -> Result<(), Error> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        }
+
+        fn serialize_u64(self, v: u64) -> Result<(), Error> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        }
+
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            float_into(self.out, v);
+            Ok(())
+        }
+
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            escape_into(self.out, v);
+            Ok(())
+        }
+
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+            value.serialize(self)
+        }
+
+        fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeq<'a>, Error> {
+            self.out.push('[');
+            Ok(JsonSeq { out: self.out, first: true })
+        }
+
+        fn serialize_struct(
+            self,
+            _name: &'static str,
+            _len: usize,
+        ) -> Result<JsonStruct<'a>, Error> {
+            self.out.push('{');
+            Ok(JsonStruct { out: self.out, first: true })
+        }
+
+        fn serialize_map(self, _len: Option<usize>) -> Result<JsonMap<'a>, Error> {
+            self.out.push('{');
+            Ok(JsonMap { out: self.out, first: true })
+        }
+    }
+
+    pub struct JsonSeq<'a> {
+        out: &'a mut String,
+        first: bool,
+    }
+
+    impl ser::SerializeSeq for JsonSeq<'_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            value.serialize(JsonSerializer { out: self.out })
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.out.push(']');
+            Ok(())
+        }
+    }
+
+    pub struct JsonStruct<'a> {
+        out: &'a mut String,
+        first: bool,
+    }
+
+    impl ser::SerializeStruct for JsonStruct<'_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            escape_into(self.out, key);
+            self.out.push(':');
+            value.serialize(JsonSerializer { out: self.out })
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.out.push('}');
+            Ok(())
+        }
+    }
+
+    pub struct JsonMap<'a> {
+        out: &'a mut String,
+        first: bool,
+    }
+
+    impl ser::SerializeMap for JsonMap<'_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Error> {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            key.serialize(JsonSerializer { out: self.out })?;
+            self.out.push(':');
+            value.serialize(JsonSerializer { out: self.out })
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.out.push('}');
+            Ok(())
+        }
+    }
+}
+
+/// Implements [`Serialize`] for a struct with named fields.
+///
+/// The offline stand-in for `#[derive(Serialize)]`: fields serialize in
+/// the order listed, so the invocation *is* the stable field order the
+/// reports guarantee.
+///
+/// ```
+/// struct Point { x: f64, y: f64 }
+/// serde::impl_serialize!(Point { x, y });
+/// assert_eq!(serde::json::to_string(&Point { x: 1.0, y: 2.0 }), r#"{"x":1,"y":2}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_serialize {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize<S: $crate::Serializer>(
+                &self,
+                serializer: S,
+            ) -> Result<S::Ok, S::Error> {
+                use $crate::ser::SerializeStruct as _;
+                let mut state = serializer.serialize_struct(
+                    stringify!($ty),
+                    [$(stringify!($field)),+].len(),
+                )?;
+                $(state.serialize_field(stringify!($field), &self.$field)?;)+
+                state.end()
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::to_string;
+
+    #[test]
+    fn primitives_round_trip_to_json() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+        assert_eq!(to_string(&Some(3u32)), "3");
+        assert_eq!(to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn struct_macro_preserves_field_order() {
+        struct R {
+            b: u32,
+            a: u32,
+        }
+        crate::impl_serialize!(R { b, a });
+        assert_eq!(to_string(&R { b: 1, a: 2 }), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn btreemap_serializes_in_key_order() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("z".to_string(), 1u32);
+        m.insert("a".to_string(), 2u32);
+        assert_eq!(to_string(&m), r#"{"a":2,"z":1}"#);
+    }
+}

@@ -1,0 +1,200 @@
+//! Serialization traits — the `serde::ser` module surface.
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize the workspace's data structures.
+///
+/// Trimmed to the methods the workspace uses; the method names and
+/// by-value `self` discipline match real serde so code written against
+/// this stub ports to the real crate unchanged.
+pub trait Serializer: Sized {
+    /// Output produced by a successful serialization.
+    type Ok;
+    /// Error produced by a failed serialization.
+    type Error;
+    /// Compound builder for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound builder for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound builder for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer (all widths funnel here).
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer (all widths funnel here).
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float (`f32` widens losslessly).
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence of `len` elements (if known).
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a map of `len` entries (if known).
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+}
+
+/// Builder returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error;
+    /// Serializes the next element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error;
+    /// Serializes one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Closes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder returned by [`Serializer::serialize_map`].
+pub trait SerializeMap {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error;
+    /// Serializes one key/value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Closes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Blanket impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty => $method:ident as $wide:ty),+ $(,)?) => {
+        $(impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $wide)
+            }
+        })+
+    };
+}
+
+impl_serialize_int!(
+    i8 => serialize_i64 as i64,
+    i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u64 as u64,
+    u16 => serialize_u64 as u64,
+    u32 => serialize_u64 as u64,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
