@@ -1,7 +1,7 @@
 //! `benchkernels` — machine-readable kernel perf snapshot.
 //!
 //! ```text
-//! cargo run --release -p sgnn-bench --bin benchkernels            # writes BENCH_kernels.json
+//! cargo run --release -p sgnn-bench --bin benchkernels            # writes bench_out/BENCH_kernels.json
 //! cargo run --release -p sgnn-bench --bin benchkernels -- out.json
 //! cargo run --release -p sgnn-bench --bin benchkernels -- --json
 //! ```
@@ -71,7 +71,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs_json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
-    let out_path = args.into_iter().next().unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let out_path =
+        args.into_iter().next().unwrap_or_else(|| "bench_out/BENCH_kernels.json".to_string());
     if obs_json {
         sgnn_obs::enable();
     }
@@ -170,6 +171,11 @@ fn main() {
     json.push_str(&format!("  \"dispatch_speedup_vs_scoped\": {dispatch_speedup:.3}\n"));
     json.push_str("}\n");
 
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+    }
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     print!("{json}");
     eprintln!("wrote {out_path}");

@@ -1,0 +1,208 @@
+//! `benchsampling` — sampler parallelism + batch-pipeline perf snapshot.
+//!
+//! ```text
+//! cargo run --release -p sgnn-bench --bin benchsampling             # writes bench_out/BENCH_sampling.json
+//! cargo run --release -p sgnn-bench --bin benchsampling -- --quick  # CI-sized workload
+//! cargo run --release -p sgnn-bench --bin benchsampling -- --json   # + ObsReport line on stdout
+//! ```
+//!
+//! Two measurements, one JSON object:
+//!
+//! 1. **Samplers** — sequential reference (`*_blocks_seq`) vs the
+//!    chunk-parallel auto path for node-wise / LADIES / LABOR at 1, 2,
+//!    and 4 configured threads, on a fixed-seed BA graph. The two paths
+//!    are bitwise identical (asserted here per sampler, proptested in
+//!    `tests/sampling_equivalence.rs`); only wall time may differ.
+//! 2. **Pipeline** — `train_sampled` with the double-buffered prefetch
+//!    pipeline on vs off at 2 threads, plus the `pipeline.*` counters
+//!    (stall / overlap / hits) from the pipelined run.
+//!
+//! On hosts where the worker pool has no workers (single hardware
+//! thread), the parallel path degenerates to the submitter running every
+//! chunk and speedups honestly report ≈1.0.
+
+use sgnn_core::trainer::{train_sampled, SamplerKind, TrainConfig};
+use sgnn_data::sbm_dataset;
+use sgnn_graph::{generate, CsrGraph, NodeId};
+use sgnn_linalg::par::set_threads;
+use sgnn_sample::Block;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median seconds per call over `reps` timed calls (after one warm-up).
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn assert_blocks_equal(sampler: &str, seq: &[Block], par: &[Block]) {
+    assert_eq!(seq.len(), par.len(), "{sampler}: block count diverged");
+    for (a, b) in seq.iter().zip(par) {
+        let same = a.dst == b.dst
+            && a.src == b.src
+            && a.indptr == b.indptr
+            && a.cols == b.cols
+            && a.weights.iter().map(|w| w.to_bits()).eq(b.weights.iter().map(|w| w.to_bits()));
+        assert!(same, "{sampler}: parallel output diverged from sequential reference");
+    }
+}
+
+struct SamplerRow {
+    name: &'static str,
+    seq_secs: f64,
+    par_secs: [f64; 3], // threads 1, 2, 4
+}
+
+fn bench_sampler(
+    name: &'static str,
+    reps: usize,
+    seq: impl Fn() -> Vec<Block>,
+    par: impl Fn() -> Vec<Block>,
+) -> SamplerRow {
+    set_threads(2);
+    assert_blocks_equal(name, &seq(), &par());
+    set_threads(1);
+    let seq_secs = time_median(reps, || {
+        black_box(seq());
+    });
+    let mut par_secs = [0.0; 3];
+    for (i, t) in [1usize, 2, 4].into_iter().enumerate() {
+        set_threads(t);
+        par_secs[i] = time_median(reps, || {
+            black_box(par());
+        });
+    }
+    set_threads(0);
+    eprintln!("{name}: seq {seq_secs:.4}s, par t1/t2/t4 {par_secs:.4?}s");
+    SamplerRow { name, seq_secs, par_secs }
+}
+
+fn counter(report: &sgnn_obs::ObsReport, name: &str) -> u64 {
+    report.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--json" && a != "--quick");
+    let out_path =
+        args.into_iter().next().unwrap_or_else(|| "bench_out/BENCH_sampling.json".to_string());
+
+    // --- Sampler throughput: fixed-seed BA power-law graph. ---
+    let (n, m, num_targets, reps) =
+        if quick { (20_000, 6, 2_048, 3) } else { (100_000, 8, 4_096, 5) };
+    let g: CsrGraph = generate::barabasi_albert(n, m, 7);
+    let targets: Vec<NodeId> = (0..num_targets as NodeId).collect();
+    let fanouts = [10usize, 10];
+    let layer_sizes = if quick { [256usize, 128] } else { [512usize, 256] };
+
+    let rows = [
+        bench_sampler(
+            "node_wise",
+            reps,
+            || sgnn_sample::node_wise::sample_blocks_seq(&g, &targets, &fanouts, 11),
+            || sgnn_sample::node_wise::sample_blocks(&g, &targets, &fanouts, 11),
+        ),
+        bench_sampler(
+            "layer_wise",
+            reps,
+            || sgnn_sample::layer_wise::ladies_blocks_seq(&g, &targets, &layer_sizes, 11),
+            || sgnn_sample::layer_wise::ladies_blocks(&g, &targets, &layer_sizes, 11),
+        ),
+        bench_sampler(
+            "labor",
+            reps,
+            || sgnn_sample::labor::labor_blocks_seq(&g, &targets, &fanouts, 11),
+            || sgnn_sample::labor::labor_blocks(&g, &targets, &fanouts, 11),
+        ),
+    ];
+
+    // --- Pipeline: inline vs double-buffered prefetch at 2 threads. ---
+    let ds =
+        sbm_dataset(if quick { 4_000 } else { 20_000 }, 5, 12.0, 0.9, 32, 0.8, 0, 0.5, 0.25, 1);
+    let cfg = TrainConfig {
+        epochs: if quick { 1 } else { 2 },
+        hidden: vec![32],
+        batch_size: 512,
+        prefetch: false,
+        ..Default::default()
+    };
+    let sampler = SamplerKind::NodeWise(vec![10, 10]);
+    set_threads(2);
+    sgnn_obs::enable();
+    sgnn_obs::reset();
+    let (_, inline_report) = train_sampled(&ds, &sampler, &cfg);
+    sgnn_obs::reset();
+    let (_, piped_report) =
+        train_sampled(&ds, &sampler, &TrainConfig { prefetch: true, ..cfg.clone() });
+    let obs = sgnn_obs::report();
+    sgnn_obs::disable();
+    set_threads(0);
+    // The pipeline's determinism contract, checked on the real trainer.
+    assert_eq!(
+        inline_report.final_loss.to_bits(),
+        piped_report.final_loss.to_bits(),
+        "pipelined training diverged from inline"
+    );
+    let batches = ds.splits.train.len().div_ceil(cfg.batch_size) * cfg.epochs;
+    let inline_epoch = inline_report.train_secs / cfg.epochs as f64;
+    let piped_epoch = piped_report.train_secs / cfg.epochs as f64;
+    eprintln!("pipeline: inline {inline_epoch:.4}s/epoch, pipelined {piped_epoch:.4}s/epoch");
+
+    // --- Report. ---
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"threads_hardware\": {},\n",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    ));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"barabasi_albert({n}, {m}, seed 7), {num_targets} targets, fanouts {fanouts:?}, layer sizes {layer_sizes:?}\",\n"
+    ));
+    json.push_str("  \"samplers\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {{\n", r.name));
+        json.push_str(&format!("      \"seq_secs\": {:.9},\n", r.seq_secs));
+        json.push_str(&format!(
+            "      \"par_secs\": {{\"t1\": {:.9}, \"t2\": {:.9}, \"t4\": {:.9}}},\n",
+            r.par_secs[0], r.par_secs[1], r.par_secs[2]
+        ));
+        json.push_str(&format!("      \"speedup_t2\": {:.3},\n", r.seq_secs / r.par_secs[1]));
+        json.push_str(&format!("      \"speedup_t4\": {:.3}\n", r.seq_secs / r.par_secs[2]));
+        json.push_str(&format!("    }}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"pipeline\": {\n");
+    json.push_str(&format!("    \"batches\": {batches},\n"));
+    json.push_str(&format!("    \"inline_epoch_secs\": {inline_epoch:.9},\n"));
+    json.push_str(&format!("    \"pipelined_epoch_secs\": {piped_epoch:.9},\n"));
+    json.push_str(&format!("    \"speedup\": {:.3},\n", inline_epoch / piped_epoch));
+    json.push_str(&format!("    \"stall_ns\": {},\n", counter(&obs, "pipeline.stall_ns")));
+    json.push_str(&format!("    \"overlap_ns\": {},\n", counter(&obs, "pipeline.overlap_ns")));
+    json.push_str(&format!("    \"prefetch_hits\": {}\n", counter(&obs, "pipeline.prefetch_hits")));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_sampling.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    if obs_json {
+        println!("{}", serde::json::to_string(&obs));
+        sgnn_obs::flush();
+    }
+}

@@ -12,6 +12,9 @@
 //!   (GraphSAINT / Cluster-GCN), and coarse-graph training, all producing
 //!   a common [`trainer::TrainReport`] with time and peak-memory
 //!   accounting.
+//! - [`pipeline`] — double-buffered batch prefetch: mini-batch trainers
+//!   sample batch `i+1` on a background thread while batch `i` computes,
+//!   with bitwise-identical results to the inline path.
 //! - [`memory`] — the analytic memory ledger standing in for GPU memory
 //!   (DESIGN.md substitutions): every materialized matrix is charged.
 //! - [`metrics`] — accuracy / macro-F1 / confusion matrices.
@@ -26,6 +29,7 @@
 pub mod memory;
 pub mod metrics;
 pub mod models;
+pub mod pipeline;
 pub mod taxonomy;
 pub mod trainer;
 pub mod trainer_ext;

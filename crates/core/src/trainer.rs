@@ -44,6 +44,11 @@ pub struct TrainConfig {
     /// best-weight rollback — so values below ~10 can stop inside the
     /// optimizer's warmup.
     pub patience: Option<usize>,
+    /// Overlap batch sampling with compute via the
+    /// [`crate::pipeline::BatchPipeline`] (mini-batch trainers only).
+    /// Results are bitwise identical either way; with a single configured
+    /// thread the trainers fall back to the inline path regardless.
+    pub prefetch: bool,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +62,7 @@ impl Default for TrainConfig {
             dropout: 0.2,
             seed: 0,
             patience: None,
+            prefetch: true,
         }
     }
 }
@@ -329,34 +335,43 @@ pub fn train_sampled(
     let mut final_loss = 0f32;
     let mut max_batch_bytes = 0usize;
     let mut phases = PhaseBreakdown::new();
+    let pipe = crate::pipeline::BatchPipeline::new(cfg.prefetch);
+    let chunks: Vec<&[NodeId]> = ds.splits.train.chunks(cfg.batch_size).collect();
     for epoch in 0..cfg.epochs {
         let _ep = sgnn_obs::span!("trainer.epoch");
-        for (bi, chunk) in ds.splits.train.chunks(cfg.batch_size).enumerate() {
-            let seed =
-                cfg.seed.wrapping_add((epoch * 10_000 + bi) as u64).wrapping_mul(0x9E37_79B9);
-            let (blocks, x_in) = phases.time(Phase::Sample, || {
-                let blocks = sampler.sample(&ds.graph, chunk, seed);
+        let sample_secs = pipe.run(
+            chunks.len(),
+            |bi| {
+                let seed =
+                    cfg.seed.wrapping_add((epoch * 10_000 + bi) as u64).wrapping_mul(0x9E37_79B9);
+                let blocks = sampler.sample(&ds.graph, chunks[bi], seed);
                 let src_rows = rows_of(&blocks[0].src);
                 let x_in = ds.features.gather_rows(&src_rows);
                 (blocks, x_in)
-            });
-            // Batch-resident: input features + per-layer activations (≈2×
-            // input) + block structure.
-            let batch_bytes = 3 * x_in.nbytes() + blocks.iter().map(|b| b.nbytes()).sum::<usize>();
-            max_batch_bytes = max_batch_bytes.max(batch_bytes);
-            let (loss, dl) = phases.time(Phase::Forward, || {
-                let logits = sage.forward(&blocks, &x_in);
-                softmax_cross_entropy(&logits, &ds.labels_of(chunk), None)
-            });
-            final_loss = loss;
-            phases.time(Phase::Backward, || {
-                sage.zero_grad();
-                sage.backward(&blocks, &dl);
-            });
-            phases.time(Phase::Step, || sage.step(&mut opt));
-        }
+            },
+            |bi, (blocks, x_in)| {
+                // Batch-resident: input features + per-layer activations
+                // (≈2× input) + block structure.
+                let batch_bytes =
+                    3 * x_in.nbytes() + blocks.iter().map(|b| b.nbytes()).sum::<usize>();
+                max_batch_bytes = max_batch_bytes.max(batch_bytes);
+                let (loss, dl) = phases.time(Phase::Forward, || {
+                    let logits = sage.forward(&blocks, &x_in);
+                    softmax_cross_entropy(&logits, &ds.labels_of(chunks[bi]), None)
+                });
+                final_loss = loss;
+                phases.time(Phase::Backward, || {
+                    sage.zero_grad();
+                    sage.backward(&blocks, &dl);
+                });
+                phases.time(Phase::Step, || sage.step(&mut opt));
+            },
+        );
+        phases.add(Phase::Sample, sample_secs);
     }
-    ledger.transient(max_batch_bytes);
+    // The double buffer keeps at most one prefetched batch alive next to
+    // the one being computed.
+    ledger.transient(if pipe.is_pipelined() { 2 * max_batch_bytes } else { max_batch_bytes });
     let train_secs = t1.elapsed().as_secs_f64();
     // Evaluate with wide fanouts for near-exact aggregation.
     let eval = |nodes: &[NodeId]| -> f64 {
@@ -420,11 +435,13 @@ pub fn train_saint(
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
     let mut phases = PhaseBreakdown::new();
+    let pipe = crate::pipeline::BatchPipeline::new(cfg.prefetch);
     for epoch in 0..cfg.epochs {
         let _ep = sgnn_obs::span!("trainer.epoch");
-        for b in 0..batches_per_epoch {
-            let seed = cfg.seed.wrapping_add((epoch * 1_000 + b) as u64 + 17);
-            let (op, x, idx, labels, weights) = phases.time(Phase::Sample, || {
+        let sample_secs = pipe.run(
+            batches_per_epoch,
+            |b| {
+                let seed = cfg.seed.wrapping_add((epoch * 1_000 + b) as u64 + 17);
                 let mut sub = sgnn_sample::saint::sample_subgraph(&ds.graph, sampler, seed);
                 sgnn_sample::saint::apply_norms(&mut sub, &norms);
                 let op = gcn_operator(&sub.graph);
@@ -442,29 +459,32 @@ pub fn train_saint(
                     }
                 }
                 (op, x, idx, labels, weights)
-            });
-            // Batch residency: the subgraph operator and gathered features
-            // are live alongside the layer activations.
-            max_batch = max_batch
-                .max(op.nbytes() + x.nbytes() + gcn.step_bytes(x.rows(), ds.feature_dim()));
-            if idx.is_empty() {
-                continue;
-            }
-            let n_sub = x.rows();
-            let (loss, dl_batch) = phases.time(Phase::Forward, || {
-                let logits = gcn.forward(&op, &x);
-                let batch_logits = logits.gather_rows(&idx);
-                softmax_cross_entropy(&batch_logits, &labels, Some(&weights))
-            });
-            final_loss = loss;
-            phases.time(Phase::Backward, || {
-                let mut dl = DenseMatrix::zeros(n_sub, ds.num_classes);
-                dl.scatter_rows(&idx, &dl_batch);
-                gcn.zero_grad();
-                gcn.backward(&op, &dl);
-            });
-            phases.time(Phase::Step, || gcn.step(&mut opt));
-        }
+            },
+            |_, (op, x, idx, labels, weights)| {
+                // Batch residency: the subgraph operator and gathered
+                // features are live alongside the layer activations.
+                max_batch = max_batch
+                    .max(op.nbytes() + x.nbytes() + gcn.step_bytes(x.rows(), ds.feature_dim()));
+                if idx.is_empty() {
+                    return;
+                }
+                let n_sub = x.rows();
+                let (loss, dl_batch) = phases.time(Phase::Forward, || {
+                    let logits = gcn.forward(&op, &x);
+                    let batch_logits = logits.gather_rows(&idx);
+                    softmax_cross_entropy(&batch_logits, &labels, Some(&weights))
+                });
+                final_loss = loss;
+                phases.time(Phase::Backward, || {
+                    let mut dl = DenseMatrix::zeros(n_sub, ds.num_classes);
+                    dl.scatter_rows(&idx, &dl_batch);
+                    gcn.zero_grad();
+                    gcn.backward(&op, &dl);
+                });
+                phases.time(Phase::Step, || gcn.step(&mut opt));
+            },
+        );
+        phases.add(Phase::Sample, sample_secs);
     }
     ledger.transient(max_batch);
     let train_secs = t1.elapsed().as_secs_f64();
@@ -520,13 +540,19 @@ pub fn train_cluster_gcn(
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
     let mut phases = PhaseBreakdown::new();
+    let pipe = crate::pipeline::BatchPipeline::new(cfg.prefetch);
     for epoch in 0..cfg.epochs {
         let _ep = sgnn_obs::span!("trainer.epoch");
+        // Partition assignment is one epoch-level shuffle, not per-batch
+        // work — it stays inline; only per-batch operator/feature
+        // construction rides the prefetch pipeline.
         let batches = phases.time(Phase::Sample, || {
             batcher.epoch_batches(&ds.graph, clusters_per_batch, cfg.seed + epoch as u64)
         });
-        for batch in batches {
-            let (op, x, idx, labels) = phases.time(Phase::Sample, || {
+        let sample_secs = pipe.run(
+            batches.len(),
+            |b| {
+                let batch = &batches[b];
                 let op = gcn_operator(&batch.graph);
                 let rows = rows_of(&batch.nodes);
                 let x = ds.features.gather_rows(&rows);
@@ -539,29 +565,32 @@ pub fn train_cluster_gcn(
                     }
                 }
                 (op, x, idx, labels)
-            });
-            // Batch residency: the partition's operator and gathered
-            // features are live alongside the layer activations.
-            max_batch = max_batch.max(
-                op.nbytes() + x.nbytes() + gcn.step_bytes(batch.nodes.len(), ds.feature_dim()),
-            );
-            if idx.is_empty() {
-                continue;
-            }
-            let (loss, dl_batch) = phases.time(Phase::Forward, || {
-                let logits = gcn.forward(&op, &x);
-                let batch_logits = logits.gather_rows(&idx);
-                softmax_cross_entropy(&batch_logits, &labels, None)
-            });
-            final_loss = loss;
-            phases.time(Phase::Backward, || {
-                let mut dl = DenseMatrix::zeros(batch.nodes.len(), ds.num_classes);
-                dl.scatter_rows(&idx, &dl_batch);
-                gcn.zero_grad();
-                gcn.backward(&op, &dl);
-            });
-            phases.time(Phase::Step, || gcn.step(&mut opt));
-        }
+            },
+            |_, (op, x, idx, labels)| {
+                // Batch residency: the partition's operator and gathered
+                // features are live alongside the layer activations.
+                let n_sub = x.rows();
+                max_batch = max_batch
+                    .max(op.nbytes() + x.nbytes() + gcn.step_bytes(n_sub, ds.feature_dim()));
+                if idx.is_empty() {
+                    return;
+                }
+                let (loss, dl_batch) = phases.time(Phase::Forward, || {
+                    let logits = gcn.forward(&op, &x);
+                    let batch_logits = logits.gather_rows(&idx);
+                    softmax_cross_entropy(&batch_logits, &labels, None)
+                });
+                final_loss = loss;
+                phases.time(Phase::Backward, || {
+                    let mut dl = DenseMatrix::zeros(n_sub, ds.num_classes);
+                    dl.scatter_rows(&idx, &dl_batch);
+                    gcn.zero_grad();
+                    gcn.backward(&op, &dl);
+                });
+                phases.time(Phase::Step, || gcn.step(&mut opt));
+            },
+        );
+        phases.add(Phase::Sample, sample_secs);
     }
     ledger.transient(max_batch);
     let train_secs = t1.elapsed().as_secs_f64();

@@ -45,7 +45,9 @@ static POOL_SUBMIT_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.pool.s
 
 /// Returns the number of worker threads to use for parallel kernels.
 ///
-/// Reads the process default (`available_parallelism`) once and caches it.
+/// The default is the `SGNN_THREADS` environment variable when set to a
+/// positive integer, else the process hardware parallelism
+/// (`available_parallelism`); the value is cached after the first read.
 /// Override globally with [`set_threads`] (useful for benchmarks that want
 /// single-threaded baselines).
 pub fn num_threads() -> usize {
@@ -53,9 +55,18 @@ pub fn num_threads() -> usize {
     if cached != 0 {
         return cached;
     }
-    let n = hardware_threads();
+    let n = default_threads();
     THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// The configured default: `SGNN_THREADS` (CI pins the determinism matrix
+/// with it) or the hardware count.
+fn default_threads() -> usize {
+    match std::env::var("SGNN_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => hardware_threads(),
+    }
 }
 
 /// Overrides the worker-thread count used by all parallel kernels.
@@ -355,6 +366,37 @@ where
     });
 }
 
+/// Maps `f` over `0..num` task indices on the pool and collects the
+/// results **in index order**.
+///
+/// This is the collect-side companion of [`par_chunks`], built for
+/// producers whose per-task output is an owned value (the data-parallel
+/// samplers: one sampled sub-frontier per target chunk). Each index is
+/// claimed exactly once through the pool's work-stealing counter and
+/// writes its own result slot, so the returned vector is independent of
+/// execution order and thread count; with one thread configured (or a
+/// single task) it degenerates to a plain sequential map with no
+/// dispatch cost.
+pub fn par_map_chunks<T, F>(num: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = participants_for(num);
+    if threads <= 1 || num <= 1 {
+        return (0..num).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(num);
+    slots.resize_with(num, || None);
+    let base = SendPtr(slots.as_mut_ptr());
+    run_job(num, threads, &|i| {
+        // Sound: the counter hands out each index once, so slot writes
+        // are disjoint, and run_job joins before `slots` is touched again.
+        unsafe { *base.get().add(i) = Some(f(i)) };
+    });
+    slots.into_iter().map(|s| s.expect("pool executed every task")).collect()
+}
+
 // ---------------------------------------------------------------------------
 // Balanced (prefix-sum) partitioning
 // ---------------------------------------------------------------------------
@@ -584,6 +626,28 @@ mod tests {
             assert_eq!(chunk[0], 1, "row {row} visited once");
             assert_eq!(chunk[1], row as u32);
         }
+    }
+
+    #[test]
+    fn par_map_chunks_returns_results_in_index_order() {
+        let out = par_map_chunks(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        // Degenerate sizes.
+        assert_eq!(par_map_chunks(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_chunks(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_chunks_is_thread_count_invariant() {
+        let _g = threads_guard();
+        set_threads(1);
+        let single: Vec<u64> = par_map_chunks(100, |i| (i as u64).wrapping_mul(0x9E37));
+        set_threads(0);
+        let pooled: Vec<u64> = par_map_chunks(100, |i| (i as u64).wrapping_mul(0x9E37));
+        assert_eq!(single, pooled);
     }
 
     #[test]

@@ -14,6 +14,46 @@ pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// SplitMix64 avalanche round: bijective, every output bit depends on
+/// every input bit. The primitive underneath [`chunk_seed`] and
+/// [`node_variate`] — the deterministic seed-splitting contract the
+/// data-parallel samplers are built on (DESIGN.md §6).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent stream seed for `(stream, chunk)` from a base
+/// seed, splitmix-style. Samplers use `stream` for the hop/layer index
+/// and `chunk` for the target-chunk index, so every chunk of every hop
+/// gets its own decorrelated RNG regardless of execution order or thread
+/// count — the foundation of the bitwise seq ≡ parallel guarantee.
+#[inline]
+pub fn chunk_seed(seed: u64, stream: u64, chunk: u64) -> u64 {
+    mix64(
+        mix64(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ chunk.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    )
+}
+
+/// Maps a 64-bit hash to a uniform `f64` in `[0, 1)` (top 53 bits).
+#[inline]
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stateless per-node uniform variate in `[0, 1)`: a pure function of
+/// `(seed, node)`. LABOR's shared per-source randomness is generated this
+/// way so that every destination — and every parallel chunk — observes
+/// the *same* variate for a node without any cross-chunk RNG state.
+#[inline]
+pub fn node_variate(seed: u64, node: u64) -> f64 {
+    unit_f64(mix64(seed ^ node.wrapping_mul(0xD6E8_FEB8_6659_FD93)))
+}
+
 /// Draws one standard-normal sample via the Box–Muller transform.
 pub fn gaussian<R: Rng + RngExt + ?Sized>(rng: &mut R) -> f64 {
     // u1 in (0, 1] so ln is finite.
@@ -117,6 +157,35 @@ mod tests {
         }
         let frac = counts[1] as f64 / 40_000.0;
         assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn chunk_seeds_are_decorrelated() {
+        // Distinct (stream, chunk) pairs must give distinct seeds, and the
+        // low bits must not be degenerate (a classic additive-seed bug).
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..8u64 {
+            for chunk in 0..64u64 {
+                assert!(seen.insert(chunk_seed(42, stream, chunk)));
+            }
+        }
+        // Neighboring chunks differ in roughly half their bits.
+        let d = (chunk_seed(42, 0, 0) ^ chunk_seed(42, 0, 1)).count_ones();
+        assert!((16..=48).contains(&d), "avalanche too weak: {d} bits");
+    }
+
+    #[test]
+    fn node_variates_are_uniform_and_stable() {
+        let n = 50_000u64;
+        let mean = (0..n).map(|v| node_variate(7, v)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for v in 0..100 {
+            let x = node_variate(9, v);
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, node_variate(9, v), "must be a pure function");
+        }
+        // Different seeds give a different variate stream.
+        assert_ne!(node_variate(1, 5), node_variate(2, 5));
     }
 
     #[test]

@@ -128,6 +128,16 @@ impl PhaseBreakdown {
         out
     }
 
+    /// Charges `secs` to `phase` without running a closure and without
+    /// emitting a span. Used by the prefetch pipeline: the sampling work
+    /// itself runs on another thread (under `trainer.prefetch`), and only
+    /// the consumer's *stall* — the time it actually waited — is
+    /// attributable to this breakdown's sample phase.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        *self.slot(phase) += secs;
+    }
+
     fn slot(&mut self, phase: Phase) -> &mut f64 {
         match phase {
             Phase::Sample => &mut self.sample_secs,

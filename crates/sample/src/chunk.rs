@@ -1,0 +1,85 @@
+//! Deterministic target-chunking shared by the data-parallel samplers.
+//!
+//! Every sampler in this crate processes its destination list in
+//! fixed-size chunks of [`CHUNK`] targets. The chunk grid is a property
+//! of the *input* (its length), never of the thread count, and each
+//! chunk's randomness derives from `(batch seed, hop, chunk index)` via
+//! [`sgnn_linalg::rng::chunk_seed`]. Consequences:
+//!
+//! - the sequential reference path (chunks visited in order on one
+//!   thread) and the parallel path (chunks executed concurrently on the
+//!   `sgnn-linalg` pool, results merged in chunk order) produce **bitwise
+//!   identical** blocks for the same seed;
+//! - results are identical at *any* thread count, including the
+//!   `set_threads(1)` test/bench baseline.
+//!
+//! See DESIGN.md §6 for the full determinism contract.
+
+/// Destinations per sampling chunk. Small enough that a large batch
+/// yields enough chunks to balance across workers (and for the atomic
+/// work-stealing counter to absorb degree skew), large enough that
+/// per-chunk overhead (one RNG init, a few `Vec`s) stays invisible.
+/// **Changing this value changes sampler output for a given seed** — it
+/// is part of the determinism contract.
+pub const CHUNK: usize = 256;
+
+/// Number of chunks covering `len` destinations.
+pub(crate) fn num_chunks(len: usize) -> usize {
+    len.div_ceil(CHUNK)
+}
+
+/// Half-open destination range of chunk `ci`.
+pub(crate) fn bounds(len: usize, ci: usize) -> std::ops::Range<usize> {
+    (ci * CHUNK)..((ci + 1) * CHUNK).min(len)
+}
+
+/// True when samplers should run their chunk loop on the worker pool.
+pub(crate) fn auto_parallel() -> bool {
+    sgnn_linalg::par::num_threads() > 1
+}
+
+/// Maps `f` over the chunk grid of `len` destinations and returns the
+/// per-chunk results in chunk order — sequentially when `parallel` is
+/// false, on the `sgnn-linalg` pool otherwise. `f` receives
+/// `(chunk_index, destination_range)` and must be a pure function of
+/// them (all sampler chunk bodies are: their RNG state is derived, not
+/// shared).
+pub(crate) fn map_chunks<T, F>(len: usize, parallel: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    let nc = num_chunks(len);
+    if !parallel || nc <= 1 {
+        return (0..nc).map(|ci| f(ci, bounds(len, ci))).collect();
+    }
+    sgnn_linalg::par::par_map_chunks(nc, |ci| f(ci, bounds(len, ci)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_grid_tiles_the_length_exactly() {
+        for len in [0usize, 1, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK + 17] {
+            let nc = num_chunks(len);
+            let mut covered = 0usize;
+            for ci in 0..nc {
+                let r = bounds(len, ci);
+                assert_eq!(r.start, covered);
+                assert!(!r.is_empty(), "empty chunk {ci} for len {len}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn map_chunks_sequential_and_parallel_agree() {
+        let len = 5 * CHUNK + 3;
+        let seq = map_chunks(len, false, |ci, r| (ci, r.start, r.end));
+        let par = map_chunks(len, true, |ci, r| (ci, r.start, r.end));
+        assert_eq!(seq, par);
+    }
+}

@@ -11,45 +11,64 @@
 //! destinations overlap maximally — far fewer unique sources to fetch.
 
 use crate::block::{build_src_index, Block};
-use rand::RngExt;
+use crate::chunk;
 use sgnn_graph::{CsrGraph, NodeId};
 
 /// Samples one LABOR-0 block with target fanout `k`.
 ///
 /// Row `t`'s estimator is `(1/d_t) Σ_{v kept} x_v / π_tv`, unbiased for the
 /// neighborhood mean.
+///
+/// The shared per-source variate `r_v` is the stateless hash
+/// [`sgnn_linalg::rng::node_variate`]`(seed, v)` — a pure function of
+/// `(seed, v)`, so every destination (and every parallel chunk) observes
+/// the same value for a node without any cross-chunk RNG state, and the
+/// keep/drop decision never depends on visit order or thread count.
 pub fn labor_block(g: &CsrGraph, dst: &[NodeId], k: usize, seed: u64) -> Block {
+    labor_block_impl(g, dst, k, seed, chunk::auto_parallel())
+}
+
+fn labor_block_impl(g: &CsrGraph, dst: &[NodeId], k: usize, seed: u64, parallel: bool) -> Block {
     assert!(k > 0);
     let n = g.num_nodes();
-    let mut rng = sgnn_linalg::rng::seeded(seed);
-    // Lazy per-source variates: generate deterministically on first touch.
-    let mut r = vec![f64::NAN; n];
-    let mut rand_of = |v: usize, rng: &mut rand::rngs::StdRng| -> f64 {
-        if r[v].is_nan() {
-            r[v] = rng.random::<f64>();
-        }
-        r[v]
-    };
+    // Per chunk: (kept per destination, kept neighbors, HT weights). The
+    // body is a pure function of the chunk range — shared randomness lives
+    // entirely in the node_variate hash.
+    let parts: Vec<(Vec<u32>, Vec<NodeId>, Vec<f32>)> =
+        chunk::map_chunks(dst.len(), parallel, |_, r| {
+            let mut counts = Vec::with_capacity(r.len());
+            let mut kept: Vec<NodeId> = Vec::new();
+            let mut kept_w: Vec<f32> = Vec::new();
+            for &t in &dst[r] {
+                let neigh = g.neighbors(t);
+                let d = neigh.len();
+                if d == 0 {
+                    counts.push(0);
+                    continue;
+                }
+                let before = kept.len();
+                let pi = (k as f64 / d as f64).min(1.0);
+                for &v in neigh {
+                    if sgnn_linalg::rng::node_variate(seed, v as u64) <= pi {
+                        kept.push(v);
+                        // Horvitz–Thompson: (1/d) · (1/π).
+                        kept_w.push((1.0 / (d as f64 * pi)) as f32);
+                    }
+                }
+                counts.push((kept.len() - before) as u32);
+            }
+            (counts, kept, kept_w)
+        });
     let mut indptr = Vec::with_capacity(dst.len() + 1);
     indptr.push(0usize);
     let mut kept: Vec<NodeId> = Vec::new();
     let mut kept_w: Vec<f32> = Vec::new();
-    for &t in dst {
-        let neigh = g.neighbors(t);
-        let d = neigh.len();
-        if d == 0 {
-            indptr.push(kept.len());
-            continue;
+    for (counts, part_kept, part_w) in &parts {
+        for &c in counts {
+            indptr.push(indptr.last().unwrap() + c as usize);
         }
-        let pi = (k as f64 / d as f64).min(1.0);
-        for &v in neigh {
-            if rand_of(v as usize, &mut rng) <= pi {
-                kept.push(v);
-                // Horvitz–Thompson: (1/d) · (1/π).
-                kept_w.push((1.0 / (d as f64 * pi)) as f32);
-            }
-        }
-        indptr.push(kept.len());
+        kept.extend_from_slice(part_kept);
+        kept_w.extend_from_slice(part_w);
     }
     let (src, index_of) = build_src_index(n, dst, kept.iter().copied());
     let cols: Vec<u32> = kept.iter().map(|&v| index_of[v as usize]).collect();
@@ -60,12 +79,40 @@ pub fn labor_block(g: &CsrGraph, dst: &[NodeId], k: usize, seed: u64) -> Block {
 
 /// Samples an `L`-layer LABOR stack (deepest block first).
 pub fn labor_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: u64) -> Vec<Block> {
+    labor_blocks_impl(g, targets, fanouts, seed, chunk::auto_parallel())
+}
+
+/// Sequential reference for [`labor_blocks`] — same variate hashes, chunks
+/// visited in order on the calling thread.
+pub fn labor_blocks_seq(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &[usize],
+    seed: u64,
+) -> Vec<Block> {
+    labor_blocks_impl(g, targets, fanouts, seed, false)
+}
+
+fn labor_blocks_impl(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &[usize],
+    seed: u64,
+    parallel: bool,
+) -> Vec<Block> {
     let _sp = sgnn_obs::span!("sample.blocks");
+    sgnn_obs::record_frontier(0, targets.len());
     let mut blocks_rev = Vec::with_capacity(fanouts.len());
     let mut dst: Vec<NodeId> = targets.to_vec();
     for (i, &k) in fanouts.iter().enumerate() {
-        let b = labor_block(g, &dst, k, seed.wrapping_add(i as u64).wrapping_mul(0x85EB_CA6B));
-        sgnn_obs::record_frontier(i, b.num_src());
+        let b = labor_block_impl(
+            g,
+            &dst,
+            k,
+            seed.wrapping_add(i as u64).wrapping_mul(0x85EB_CA6B),
+            parallel,
+        );
+        sgnn_obs::record_frontier(i + 1, b.num_src());
         dst = b.src.clone();
         blocks_rev.push(b);
     }
@@ -144,6 +191,24 @@ mod tests {
         for i in 0..b.num_dst() {
             let s: f32 = b.weights[b.indptr[i]..b.indptr[i + 1]].iter().sum();
             assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_bitwise() {
+        let g = generate::barabasi_albert(4_000, 6, 2);
+        let t: Vec<NodeId> = (0..800).collect();
+        let seq = labor_blocks_seq(&g, &t, &[6, 6], 55);
+        let par = labor_blocks_impl(&g, &t, &[6, 6], 55, true);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.indptr, b.indptr);
+            assert_eq!(a.cols, b.cols);
+            let wa: Vec<u32> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let wb: Vec<u32> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(wa, wb);
         }
     }
 

@@ -8,6 +8,7 @@
 //! the aggregation stays unbiased.
 
 use crate::block::{build_src_index, Block};
+use crate::chunk;
 use sgnn_graph::{CsrGraph, NodeId};
 
 /// Samples one LADIES block: `dst` aggregates from `layer_size` shared
@@ -16,24 +17,58 @@ use sgnn_graph::{CsrGraph, NodeId};
 /// Aggregation approximates the row-normalized mean
 /// `(1/d_u) Σ_{v∈N(u)} x_v`: the estimator for row `u` is
 /// `Σ_{v∈S∩N(u)} x_v / (d_u · s · p_v)`.
+///
+/// The destination-side passes (candidate-weight accumulation and edge
+/// emission) run chunk-parallel when more than one thread is configured;
+/// the shared weighted draw itself is a single sequential RNG stream
+/// either way, so results are bitwise identical at any thread count.
 pub fn ladies_block(g: &CsrGraph, dst: &[NodeId], layer_size: usize, seed: u64) -> Block {
+    ladies_block_impl(g, dst, layer_size, seed, chunk::auto_parallel())
+}
+
+fn ladies_block_impl(
+    g: &CsrGraph,
+    dst: &[NodeId],
+    layer_size: usize,
+    seed: u64,
+    parallel: bool,
+) -> Block {
     let n = g.num_nodes();
     let mut rng = sgnn_linalg::rng::seeded(seed);
     // Candidate set = union of dst neighborhoods; importance ∝ # dst
     // neighbors (squared column norm of the row-normalized adjacency
     // restricted to dst, with unit weights ≈ count scaled — we use the
     // exact LADIES quantity for the Rw-normalized operator).
+    //
+    // Accumulated per destination chunk, then merged in chunk order: a
+    // candidate's weight is the sum of its per-chunk partials, and both
+    // the within-chunk accumulation order (destination order) and the
+    // cross-chunk merge order (chunk index) are fixed, so the f64 sums
+    // are identical no matter how chunks were scheduled.
+    let parts: Vec<std::collections::HashMap<NodeId, f64>> =
+        chunk::map_chunks(dst.len(), parallel, |_, r| {
+            let mut weight_of: std::collections::HashMap<NodeId, f64> =
+                std::collections::HashMap::new();
+            for &u in &dst[r] {
+                let du = g.degree(u).max(1) as f64;
+                for &v in g.neighbors(u) {
+                    *weight_of.entry(v).or_insert(0.0) += 1.0 / (du * du);
+                }
+            }
+            weight_of
+        });
     let mut weight_of: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
-    for &u in dst {
-        let du = g.degree(u).max(1) as f64;
-        for &v in g.neighbors(u) {
-            *weight_of.entry(v).or_insert(0.0) += 1.0 / (du * du);
+    for part in parts {
+        for (v, w) in part {
+            *weight_of.entry(v).or_insert(0.0) += w;
         }
     }
     let mut candidates: Vec<(NodeId, f64)> = weight_of.into_iter().collect();
     candidates.sort_unstable_by_key(|&(v, _)| v); // determinism
     let total: f64 = candidates.iter().map(|&(_, w)| w).sum();
-    // Sample `layer_size` distinct candidates by repeated weighted draws.
+    // Sample `layer_size` distinct candidates by repeated weighted draws —
+    // one shared stream for the whole layer (that is what layer-wise
+    // sampling *is*), deliberately left sequential.
     let s_target = layer_size.min(candidates.len());
     let mut chosen: Vec<(NodeId, f64)> = Vec::with_capacity(s_target);
     if total > 0.0 {
@@ -56,20 +91,37 @@ pub fn ladies_block(g: &CsrGraph, dst: &[NodeId], layer_size: usize, seed: u64) 
         prob_of[v as usize] = p;
     }
     let (src, index_of) = build_src_index(n, dst, chosen.iter().map(|&(v, _)| v));
+    // Edge emission per destination chunk (pure function of the chosen
+    // set), merged in chunk order.
+    let edge_parts: Vec<(Vec<u32>, Vec<u32>, Vec<f32>)> =
+        chunk::map_chunks(dst.len(), parallel, |_, r| {
+            let mut counts = Vec::with_capacity(r.len());
+            let mut cols = Vec::new();
+            let mut weights = Vec::new();
+            for &u in &dst[r] {
+                let before = cols.len();
+                let du = g.degree(u).max(1) as f64;
+                for &v in g.neighbors(u) {
+                    let p = prob_of[v as usize];
+                    if p > 0.0 {
+                        cols.push(index_of[v as usize]);
+                        weights.push((1.0 / (du * s as f64 * p)) as f32);
+                    }
+                }
+                counts.push((cols.len() - before) as u32);
+            }
+            (counts, cols, weights)
+        });
     let mut indptr = Vec::with_capacity(dst.len() + 1);
     indptr.push(0usize);
     let mut cols = Vec::new();
     let mut weights = Vec::new();
-    for &u in dst {
-        let du = g.degree(u).max(1) as f64;
-        for &v in g.neighbors(u) {
-            let p = prob_of[v as usize];
-            if p > 0.0 {
-                cols.push(index_of[v as usize]);
-                weights.push((1.0 / (du * s as f64 * p)) as f32);
-            }
+    for (counts, part_cols, part_weights) in &edge_parts {
+        for &c in counts {
+            indptr.push(indptr.last().unwrap() + c as usize);
         }
-        indptr.push(cols.len());
+        cols.extend_from_slice(part_cols);
+        weights.extend_from_slice(part_weights);
     }
     let block = Block { dst: dst.to_vec(), src, indptr, cols, weights };
     debug_assert!(block.validate().is_ok());
@@ -84,12 +136,40 @@ pub fn ladies_blocks(
     layer_sizes: &[usize],
     seed: u64,
 ) -> Vec<Block> {
+    ladies_blocks_impl(g, targets, layer_sizes, seed, chunk::auto_parallel())
+}
+
+/// Sequential reference for [`ladies_blocks`] — same seeds, same chunk
+/// grid, chunks visited in order on the calling thread.
+pub fn ladies_blocks_seq(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    layer_sizes: &[usize],
+    seed: u64,
+) -> Vec<Block> {
+    ladies_blocks_impl(g, targets, layer_sizes, seed, false)
+}
+
+fn ladies_blocks_impl(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    layer_sizes: &[usize],
+    seed: u64,
+    parallel: bool,
+) -> Vec<Block> {
     let _sp = sgnn_obs::span!("sample.blocks");
+    sgnn_obs::record_frontier(0, targets.len());
     let mut blocks_rev = Vec::with_capacity(layer_sizes.len());
     let mut dst: Vec<NodeId> = targets.to_vec();
     for (i, &sz) in layer_sizes.iter().enumerate() {
-        let b = ladies_block(g, &dst, sz, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
-        sgnn_obs::record_frontier(i, b.num_src());
+        let b = ladies_block_impl(
+            g,
+            &dst,
+            sz,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            parallel,
+        );
+        sgnn_obs::record_frontier(i + 1, b.num_src());
         dst = b.src.clone();
         blocks_rev.push(b);
     }
@@ -159,6 +239,26 @@ mod tests {
         assert_eq!(blocks.len(), 2);
         assert_eq!(blocks[1].dst, targets);
         assert_eq!(blocks[0].dst, blocks[1].src);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_bitwise() {
+        // Force the chunked-parallel path; must be bitwise identical to
+        // the sequential reference (multi-chunk: 900 targets > CHUNK).
+        let g = generate::barabasi_albert(4_000, 6, 8);
+        let t: Vec<NodeId> = (0..900).collect();
+        let seq = ladies_blocks_seq(&g, &t, &[512, 256], 123);
+        let par = ladies_blocks_impl(&g, &t, &[512, 256], 123, true);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.indptr, b.indptr);
+            assert_eq!(a.cols, b.cols);
+            let wa: Vec<u32> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let wb: Vec<u32> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(wa, wb);
+        }
     }
 
     #[test]

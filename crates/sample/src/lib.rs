@@ -20,6 +20,10 @@
 //! Supporting machinery:
 //! - [`block`] — bipartite message-flow blocks (the sampled computation
 //!   graph fed to models).
+//! - [`chunk`] — the fixed target-chunk grid all samplers share; chunks
+//!   carry derived seeds, so sampling runs data-parallel on the
+//!   `sgnn-linalg` pool with bitwise-identical output at any thread
+//!   count (DESIGN.md §6).
 //! - [`history`] — HDSGNN-style historical-embedding cache with staleness
 //!   tracking.
 //! - [`variance`] — estimator-variance measurement harness (experiment
@@ -29,6 +33,7 @@
 
 pub mod adgnn;
 pub mod block;
+pub mod chunk;
 pub mod dynamic;
 pub mod history;
 pub mod labor;

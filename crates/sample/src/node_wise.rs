@@ -7,6 +7,7 @@
 //! at the price of multiplicative growth in depth (experiment E1/E3).
 
 use crate::block::{build_src_index, Block};
+use crate::chunk;
 use sgnn_graph::{CsrGraph, NodeId};
 
 /// Samples the `L = fanouts.len()` blocks for a batch of `targets`.
@@ -18,30 +19,75 @@ use sgnn_graph::{CsrGraph, NodeId};
 /// Each destination with degree `d` samples `min(fanout, d)` distinct
 /// neighbors with weight `1/s` (mean aggregation, unbiased for the
 /// neighborhood mean).
+///
+/// Destinations are processed in fixed [`chunk::CHUNK`]-sized chunks,
+/// each with an RNG derived from `(seed, hop, chunk)`; when more than one
+/// thread is configured the chunks of a hop are sampled concurrently on
+/// the `sgnn-linalg` pool. Output is bitwise identical to
+/// [`sample_blocks_seq`] for the same seed, at any thread count.
 pub fn sample_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: u64) -> Vec<Block> {
+    sample_blocks_impl(g, targets, fanouts, seed, chunk::auto_parallel())
+}
+
+/// The sequential reference: identical chunk grid and per-chunk seeds,
+/// chunks visited in order on the calling thread.
+pub fn sample_blocks_seq(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &[usize],
+    seed: u64,
+) -> Vec<Block> {
+    sample_blocks_impl(g, targets, fanouts, seed, false)
+}
+
+fn sample_blocks_impl(
+    g: &CsrGraph,
+    targets: &[NodeId],
+    fanouts: &[usize],
+    seed: u64,
+    parallel: bool,
+) -> Vec<Block> {
     let _sp = sgnn_obs::span!("sample.blocks");
-    let mut rng = sgnn_linalg::rng::seeded(seed);
     let n = g.num_nodes();
+    // Hop 0 = the batch targets themselves; expansions land at hop + 1.
+    sgnn_obs::record_frontier(0, targets.len());
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(fanouts.len());
     let mut dst: Vec<NodeId> = targets.to_vec();
     for (hop, &fanout) in fanouts.iter().enumerate() {
         assert!(fanout > 0, "fanout must be positive");
+        // Per chunk: (samples per destination, sampled neighbor list).
+        let parts: Vec<(Vec<u32>, Vec<NodeId>)> =
+            chunk::map_chunks(dst.len(), parallel, |ci, r| {
+                let mut rng = sgnn_linalg::rng::seeded(sgnn_linalg::rng::chunk_seed(
+                    seed, hop as u64, ci as u64,
+                ));
+                let mut counts = Vec::with_capacity(r.len());
+                let mut sampled: Vec<NodeId> = Vec::new();
+                for &u in &dst[r] {
+                    let neigh = g.neighbors(u);
+                    if neigh.len() <= fanout {
+                        sampled.extend_from_slice(neigh);
+                        counts.push(neigh.len() as u32);
+                    } else {
+                        let picks =
+                            sgnn_linalg::rng::sample_distinct(&mut rng, neigh.len(), fanout);
+                        sampled.extend(picks.into_iter().map(|i| neigh[i]));
+                        counts.push(fanout as u32);
+                    }
+                }
+                (counts, sampled)
+            });
+        // Merge in chunk order: chunk order == destination order, so the
+        // concatenation is exactly what one sequential pass would build.
+        let total: usize = parts.iter().map(|(_, s)| s.len()).sum();
         let mut indptr = Vec::with_capacity(dst.len() + 1);
         indptr.push(0usize);
-        let mut sampled: Vec<NodeId> = Vec::new();
-        for &u in &dst {
-            let neigh = g.neighbors(u);
-            if neigh.is_empty() {
-                indptr.push(sampled.len());
-                continue;
+        let mut sampled: Vec<NodeId> = Vec::with_capacity(total);
+        for (counts, part) in &parts {
+            for &c in counts {
+                indptr.push(indptr.last().unwrap() + c as usize);
             }
-            if neigh.len() <= fanout {
-                sampled.extend_from_slice(neigh);
-            } else {
-                let picks = sgnn_linalg::rng::sample_distinct(&mut rng, neigh.len(), fanout);
-                sampled.extend(picks.into_iter().map(|i| neigh[i]));
-            }
-            indptr.push(sampled.len());
+            sampled.extend_from_slice(part);
         }
         let (src, index_of) = build_src_index(n, &dst, sampled.iter().copied());
         let mut cols = Vec::with_capacity(sampled.len());
@@ -57,8 +103,10 @@ pub fn sample_blocks(g: &CsrGraph, targets: &[NodeId], fanouts: &[usize], seed: 
         let block = Block { dst: dst.clone(), src: src.clone(), indptr, cols, weights };
         debug_assert!(block.validate().is_ok());
         // Frontier after `hop + 1` hops of expansion from the batch — the
-        // per-hop growth curve experiment E1 plots.
-        sgnn_obs::record_frontier(hop, src.len());
+        // per-hop growth curve experiment E1 plots. Recorded once on the
+        // *merged* frontier, so chunk-parallel sampling neither splits a
+        // hop across slots nor multiplies its sample count.
+        sgnn_obs::record_frontier(hop + 1, src.len());
         blocks_rev.push(block);
         dst = src; // next (deeper) layer must produce features for all srcs
     }
@@ -156,6 +204,27 @@ mod tests {
         assert_eq!(b.src, vec![2]);
         let y = b.aggregate(&DenseMatrix::zeros(1, 3));
         assert_eq!(y.shape(), (1, 3));
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_bitwise() {
+        // Force the chunked-parallel code path regardless of host size;
+        // the result must be bitwise identical to the sequential
+        // reference (multi-chunk: 1000 targets > CHUNK).
+        let g = generate::barabasi_albert(4_000, 6, 3);
+        let t: Vec<NodeId> = (0..1000).collect();
+        let seq = sample_blocks_seq(&g, &t, &[7, 7], 99);
+        let par = sample_blocks_impl(&g, &t, &[7, 7], 99, true);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.indptr, b.indptr);
+            assert_eq!(a.cols, b.cols);
+            let wa: Vec<u32> = a.weights.iter().map(|w| w.to_bits()).collect();
+            let wb: Vec<u32> = b.weights.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(wa, wb);
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Determinism properties for the data-parallel samplers and the batch
+//! prefetch pipeline (DESIGN.md §6).
+//!
+//! The contract: the chunk grid and per-chunk seeds are part of each
+//! sampler's *definition*, so the sequential reference path
+//! (`*_blocks_seq`) and the auto path (chunks on the worker pool when
+//! more than one thread is configured) must produce **bitwise identical**
+//! blocks — same node lists, same edge order, same weight bits — at any
+//! thread count. Likewise, pipelined training must walk the exact same
+//! parameter trajectory as the inline fallback.
+//!
+//! The auto-path proptests run at the ambient thread count, so CI's
+//! `SGNN_THREADS=1` / `SGNN_THREADS=2` matrix checks both sides of the
+//! dispatch; one test forces 2 threads regardless of host size.
+
+use proptest::prelude::*;
+use sgnn::core::trainer::{train_sampled, SamplerKind, TrainConfig};
+use sgnn::data::sbm_dataset;
+use sgnn::graph::{generate, NodeId};
+use sgnn::linalg::par::set_threads;
+use sgnn::sample::Block;
+use std::sync::Mutex;
+
+/// Serializes tests that depend on the global thread count (the test
+/// harness runs #[test] functions concurrently and `set_threads` is
+/// process-wide).
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn blocks_equal(seq: &[Block], par: &[Block]) -> bool {
+    seq.len() == par.len()
+        && seq.iter().zip(par).all(|(a, b)| {
+            a.dst == b.dst
+                && a.src == b.src
+                && a.indptr == b.indptr
+                && a.cols == b.cols
+                && a.weights.iter().map(|w| w.to_bits()).eq(b.weights.iter().map(|w| w.to_bits()))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Node-wise: auto path ≡ sequential reference, bitwise.
+    #[test]
+    fn node_wise_auto_matches_seq(
+        n in 300usize..1500,
+        m in 1usize..5,
+        t in 1usize..300,
+        f1 in 1usize..8,
+        f2 in 1usize..8,
+        depth in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let g = generate::barabasi_albert(n, m, seed);
+        let targets: Vec<NodeId> = (0..t.min(n) as NodeId).collect();
+        let fanouts: Vec<usize> = [f1, f2, f1].into_iter().take(depth).collect();
+        let seq = sgnn::sample::node_wise::sample_blocks_seq(&g, &targets, &fanouts, seed);
+        let auto = sgnn::sample::node_wise::sample_blocks(&g, &targets, &fanouts, seed);
+        prop_assert!(blocks_equal(&seq, &auto), "node-wise diverged (n={n}, t={t})");
+    }
+
+    /// LADIES: auto path ≡ sequential reference, bitwise. The shared
+    /// weighted draw is one sequential RNG stream either way; only the
+    /// destination-side passes are chunked.
+    #[test]
+    fn ladies_auto_matches_seq(
+        n in 300usize..1500,
+        m in 1usize..5,
+        t in 1usize..300,
+        s1 in 8usize..64,
+        s2 in 8usize..64,
+        seed in 0u64..1000,
+    ) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let g = generate::barabasi_albert(n, m, seed);
+        let targets: Vec<NodeId> = (0..t.min(n) as NodeId).collect();
+        let sizes = [s1, s2];
+        let seq = sgnn::sample::layer_wise::ladies_blocks_seq(&g, &targets, &sizes, seed);
+        let auto = sgnn::sample::layer_wise::ladies_blocks(&g, &targets, &sizes, seed);
+        prop_assert!(blocks_equal(&seq, &auto), "ladies diverged (n={n}, t={t})");
+    }
+
+    /// LABOR: auto path ≡ sequential reference, bitwise. The shared
+    /// per-source variate is a stateless hash, so keep/drop decisions are
+    /// independent of chunk visit order.
+    #[test]
+    fn labor_auto_matches_seq(
+        n in 300usize..1500,
+        m in 1usize..5,
+        t in 1usize..300,
+        k1 in 1usize..8,
+        k2 in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let g = generate::barabasi_albert(n, m, seed);
+        let targets: Vec<NodeId> = (0..t.min(n) as NodeId).collect();
+        let fanouts = [k1, k2];
+        let seq = sgnn::sample::labor::labor_blocks_seq(&g, &targets, &fanouts, seed);
+        let auto = sgnn::sample::labor::labor_blocks(&g, &targets, &fanouts, seed);
+        prop_assert!(blocks_equal(&seq, &auto), "labor diverged (n={n}, t={t})");
+    }
+}
+
+/// Forces the pooled path (2 configured threads, multi-chunk target set)
+/// regardless of host size — the proptests above only exercise it when
+/// the ambient thread count exceeds one.
+#[test]
+fn all_samplers_match_seq_at_two_threads() {
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    let g = generate::barabasi_albert(4_000, 6, 9);
+    let targets: Vec<NodeId> = (0..1_000).collect();
+    set_threads(2);
+    let checks = [
+        blocks_equal(
+            &sgnn::sample::node_wise::sample_blocks_seq(&g, &targets, &[7, 7], 42),
+            &sgnn::sample::node_wise::sample_blocks(&g, &targets, &[7, 7], 42),
+        ),
+        blocks_equal(
+            &sgnn::sample::layer_wise::ladies_blocks_seq(&g, &targets, &[256, 128], 42),
+            &sgnn::sample::layer_wise::ladies_blocks(&g, &targets, &[256, 128], 42),
+        ),
+        blocks_equal(
+            &sgnn::sample::labor::labor_blocks_seq(&g, &targets, &[7, 7], 42),
+            &sgnn::sample::labor::labor_blocks(&g, &targets, &[7, 7], 42),
+        ),
+    ];
+    set_threads(0);
+    assert_eq!(checks, [true; 3], "[node_wise, ladies, labor] parallel equivalence");
+}
+
+/// The pipeline's end-to-end determinism contract: with prefetch on, the
+/// trainer consumes identical batches in identical order, so the whole
+/// parameter trajectory — and with it the final loss bits, accuracies,
+/// and epoch count of the `TrainReport` — matches the inline fallback
+/// exactly.
+#[test]
+fn pipelined_train_sampled_matches_inline_exactly() {
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    let ds = sbm_dataset(600, 3, 10.0, 0.9, 6, 0.8, 0, 0.5, 0.25, 1);
+    set_threads(2);
+    assert!(
+        sgnn::core::pipeline::BatchPipeline::new(true).is_pipelined(),
+        "prefetch must engage at 2 threads"
+    );
+    for sampler in [
+        SamplerKind::NodeWise(vec![5, 5]),
+        SamplerKind::LayerWise(vec![48, 32]),
+        SamplerKind::Labor(vec![5, 5]),
+    ] {
+        let cfg = TrainConfig {
+            epochs: 6,
+            hidden: vec![16],
+            batch_size: 128,
+            prefetch: false,
+            ..Default::default()
+        };
+        let (_, inline) = train_sampled(&ds, &sampler, &cfg);
+        let (_, piped) =
+            train_sampled(&ds, &sampler, &TrainConfig { prefetch: true, ..cfg.clone() });
+        assert_eq!(
+            inline.final_loss.to_bits(),
+            piped.final_loss.to_bits(),
+            "{}: loss trajectory diverged",
+            inline.name
+        );
+        assert_eq!(inline.test_acc, piped.test_acc, "{}: test accuracy diverged", inline.name);
+        assert_eq!(inline.val_acc, piped.val_acc, "{}: val accuracy diverged", inline.name);
+        assert_eq!(inline.epochs_run, piped.epochs_run);
+    }
+    set_threads(0);
+}
