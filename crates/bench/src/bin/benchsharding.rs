@@ -1,0 +1,184 @@
+//! `benchsharding` — shard-parallel training perf + comm-volume snapshot.
+//!
+//! ```text
+//! cargo run --release -p sgnn-bench --bin benchsharding             # writes bench_out/BENCH_sharding.json
+//! cargo run --release -p sgnn-bench --bin benchsharding -- --quick  # CI-sized workload
+//! cargo run --release -p sgnn-bench --bin benchsharding -- --json   # + ObsReport line on stdout
+//! ```
+//!
+//! The E2 grid, measured at execution rather than simulated: for every
+//! partitioner family (hash / LDG / Fennel / multilevel) × shard count
+//! k ∈ {1, 2, 4, 8}, trains the sharded GCN and records epoch wall time
+//! plus the `comm.halo_bytes` / `comm.allreduce_bytes` counters the
+//! trainer actually emitted, next to the `partition::comm::simulate`
+//! analytic model for the same partition.
+//!
+//! Three invariants are asserted on every grid cell, so a run that
+//! completes is itself evidence:
+//!
+//! 1. every sharded run reproduces the single-process reference loss
+//!    **bitwise** (the DESIGN.md §7 contract, spot-checked here on the
+//!    bench workload, proptested in `tests/shard_equivalence.rs`);
+//! 2. measured ghost vectors per exchange equal the analytic model's
+//!    `vectors_per_layer` exactly — the simulator predicts execution;
+//! 3. at k = 8, multilevel's measured halo traffic is below hash's
+//!    (locality-aware partitioning pays off in moved bytes, not just in
+//!    simulated edge-cut).
+
+use sgnn_core::shard::{train_sharded_gcn, ShardStats};
+use sgnn_core::trainer::{train_full_gcn, TrainConfig};
+use sgnn_data::sbm_dataset;
+use sgnn_graph::CsrGraph;
+use sgnn_partition::multilevel::MultilevelConfig;
+use sgnn_partition::{comm, fennel, hash_partition, ldg, multilevel_partition, Partition};
+
+const PARTITIONERS: [&str; 4] = ["hash", "ldg", "fennel", "multilevel"];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn partition_by(name: &str, g: &CsrGraph, k: usize) -> Partition {
+    match name {
+        "hash" => hash_partition(g.num_nodes(), k),
+        "ldg" => ldg(g, k, 1.1),
+        "fennel" => fennel(g, k, 1.1),
+        "multilevel" => multilevel_partition(g, k, &MultilevelConfig::default()),
+        _ => unreachable!("unknown partitioner {name}"),
+    }
+}
+
+struct Cell {
+    partitioner: &'static str,
+    k: usize,
+    epoch_secs: f64,
+    stats: ShardStats,
+    analytic_vectors_per_layer: u64,
+    analytic_bytes_per_epoch: u64,
+    edge_cut: f64,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--json" && a != "--quick");
+    let out_path =
+        args.into_iter().next().unwrap_or_else(|| "bench_out/BENCH_sharding.json".to_string());
+
+    // Fixed-seed homophilous SBM: community structure gives the
+    // locality-aware partitioners something to find.
+    let (n, epochs) = if quick { (3_000, 2) } else { (20_000, 3) };
+    let hidden = 32usize;
+    let ds = sbm_dataset(n, 5, 12.0, 0.9, 32, 0.8, 0, 0.5, 0.25, 1);
+    let cfg = TrainConfig { epochs, hidden: vec![hidden], ..Default::default() };
+    // A 2-layer GCN exchanges halos (L−1) times forward + (L−1) times
+    // backward per epoch, every exchange at the hidden width — which is
+    // exactly `simulate(…, layers = 2(L−1), dim = hidden)`.
+    let exchanges = 2 * (cfg.hidden.len() + 1 - 1) as u32;
+
+    sgnn_obs::enable();
+    sgnn_obs::reset();
+    let (_, ref_report) = train_full_gcn(&ds, &cfg);
+    let ref_epoch = ref_report.train_secs / ref_report.epochs_run.max(1) as f64;
+    eprintln!("single-process reference: {ref_epoch:.4}s/epoch, loss {}", ref_report.final_loss);
+
+    let mut grid: Vec<Cell> = Vec::new();
+    for name in PARTITIONERS {
+        for k in SHARD_COUNTS {
+            let part = partition_by(name, &ds.graph, k);
+            let model = comm::simulate(&ds.graph, &part, exchanges, hidden);
+            let edge_cut = sgnn_partition::metrics::edge_cut(&ds.graph, &part);
+            sgnn_obs::reset();
+            let (_, report, stats) = train_sharded_gcn(&ds, &part, &cfg);
+            assert_eq!(
+                report.final_loss.to_bits(),
+                ref_report.final_loss.to_bits(),
+                "{name} k={k}: sharded loss diverged from single-process reference"
+            );
+            assert_eq!(
+                stats.halo_vectors_per_exchange, model.vectors_per_layer,
+                "{name} k={k}: measured ghost vectors disagree with the analytic model"
+            );
+            let epoch_secs = report.train_secs / report.epochs_run.max(1) as f64;
+            eprintln!(
+                "{name} k={k}: {epoch_secs:.4}s/epoch, halo {} B/epoch (model {} B), \
+                 allreduce {} B/epoch, skew {:.3}",
+                stats.halo_bytes_per_epoch,
+                model.bytes_per_epoch,
+                stats.allreduce_bytes_per_epoch,
+                stats.nnz_skew
+            );
+            grid.push(Cell {
+                partitioner: name,
+                k,
+                epoch_secs,
+                stats,
+                analytic_vectors_per_layer: model.vectors_per_layer,
+                analytic_bytes_per_epoch: model.bytes_per_epoch,
+                edge_cut,
+            });
+        }
+    }
+    let obs = sgnn_obs::report();
+    sgnn_obs::disable();
+
+    let halo_at = |name: &str, k: usize| {
+        grid.iter()
+            .find(|c| c.partitioner == name && c.k == k)
+            .map(|c| c.stats.halo_bytes_per_epoch)
+            .unwrap()
+    };
+    assert!(
+        halo_at("multilevel", 8) < halo_at("hash", 8),
+        "multilevel should move fewer halo bytes than hash at k=8 ({} vs {})",
+        halo_at("multilevel", 8),
+        halo_at("hash", 8)
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"threads_hardware\": {},\n",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    ));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"sbm({n}, 5 classes, deg 12, homophily 0.9, 32 features, seed 1), \
+         2-layer GCN hidden {hidden}, {epochs} epochs\",\n"
+    ));
+    json.push_str(&format!("  \"single_process_epoch_secs\": {ref_epoch:.9},\n"));
+    json.push_str("  \"grid\": [\n");
+    for (i, c) in grid.iter().enumerate() {
+        let comma = if i + 1 < grid.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"partitioner\": \"{}\", \"k\": {}, \"epoch_secs\": {:.9}, \
+             \"halo_bytes_per_epoch\": {}, \"halo_vectors_per_exchange\": {}, \
+             \"allreduce_bytes_per_epoch\": {}, \"eval_halo_bytes\": {}, \
+             \"analytic_vectors_per_layer\": {}, \"analytic_bytes_per_epoch\": {}, \
+             \"edge_cut\": {:.6}, \"nnz_skew\": {:.6}, \"replication_slots\": {}}}{comma}\n",
+            c.partitioner,
+            c.k,
+            c.epoch_secs,
+            c.stats.halo_bytes_per_epoch,
+            c.stats.halo_vectors_per_exchange,
+            c.stats.allreduce_bytes_per_epoch,
+            c.stats.eval_halo_bytes,
+            c.analytic_vectors_per_layer,
+            c.analytic_bytes_per_epoch,
+            c.edge_cut,
+            c.stats.nnz_skew,
+            c.stats.replication_slots
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_sharding.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    if obs_json {
+        println!("{}", serde::json::to_string(&obs));
+        sgnn_obs::flush();
+    }
+}

@@ -15,6 +15,9 @@
 //! - [`pipeline`] — double-buffered batch prefetch: mini-batch trainers
 //!   sample batch `i+1` on a background thread while batch `i` computes,
 //!   with bitwise-identical results to the inline path.
+//! - [`shard`] — shard-parallel full-graph training with halo exchange
+//!   and fixed-order gradient allreduce, bitwise identical to the
+//!   single-process baseline at any shard/thread count (DESIGN.md §7).
 //! - [`memory`] — the analytic memory ledger standing in for GPU memory
 //!   (DESIGN.md substitutions): every materialized matrix is charged.
 //! - [`metrics`] — accuracy / macro-F1 / confusion matrices.
@@ -30,6 +33,7 @@ pub mod memory;
 pub mod metrics;
 pub mod models;
 pub mod pipeline;
+pub mod shard;
 pub mod taxonomy;
 pub mod trainer;
 pub mod trainer_ext;

@@ -1,0 +1,677 @@
+//! Shard-parallel full-graph GCN training with halo exchange.
+//!
+//! The execution model every distributed-GNN system in the survey's
+//! §3.1.2 lineage converges on: partition the graph, give each worker
+//! its shard's rows, and between layers exchange the **halo** — boundary
+//! activations that remote shards' aggregations read. Here the "workers"
+//! are worker-pool tasks (one per shard) and the "network" is memory,
+//! but the dataflow — and the measured communication volume — is the
+//! real one, which is what lets `benchsharding` validate the analytic
+//! E2 communication model against an actual execution.
+//!
+//! ## The determinism contract (DESIGN.md §7)
+//!
+//! [`train_sharded_gcn`] is **bitwise identical** to
+//! [`crate::trainer::train_full_gcn`] — same final loss bits, same
+//! accuracies, same weight trajectory — at any shard count, for any
+//! partition, at any thread count. Three mechanisms carry the proof:
+//!
+//! 1. **Per-row/per-element ops shard trivially.** SpMM output rows,
+//!    `X·W` rows, bias, ReLU, softmax rows, and argmax depend only on
+//!    their own input row (and shared weights). The shard-local operator
+//!    slice keeps neighbor order and weight bits (monotone relabeling,
+//!    [`sgnn_graph::CsrGraph::relabeled_slice`]), and the halo exchange
+//!    delivers bit-exact remote rows, so every owned row equals the
+//!    full-graph row by induction over layers.
+//! 2. **Cross-row reductions are exact integer folds.** Weight/bias
+//!    gradients and the loss are accumulated as fixed-point `i128`
+//!    ([`sgnn_linalg::reduce`]) by both the reference kernels and the
+//!    shards; `wrapping_add` is associative, so per-shard partials
+//!    combined by the fixed-order tree allreduce equal the sequential
+//!    fold exactly, with one rounding at the final `f32` write-back.
+//! 3. **Randomness is stateless.** Dropout masks are per-element hashes
+//!    of `(layer seed, epoch, global row, column)`
+//!    ([`sgnn_nn::layers::Dropout::element_scale`]), so a shard
+//!    regenerates exactly the mask entries of the rows it owns.
+//!
+//! Identical gradients ⇒ identical Adam updates (slot-keyed, fixed visit
+//! order) ⇒ identical weights every epoch; identical validation
+//! accuracy ⇒ identical early-stopping decisions.
+//!
+//! ## Observability and accounting
+//!
+//! Counters (§5 naming): `comm.halo_bytes` / `comm.halo_vectors` per
+//! exchange, `comm.allreduce_bytes` per gradient merge, and the
+//! `shard.skew` gauge (max/mean shard nnz, permille). The ledger charges
+//! the shard-local operator slices and feature buffers as resident and
+//! the per-shard activations + fixed-point accumulators as transient;
+//! the *global* operator is released once the plan is built — the
+//! sharded trainer's resident set is the plan, not the graph.
+
+use crate::memory::Ledger;
+use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
+use crate::trainer::{EarlyStopper, TrainConfig, TrainReport};
+use sgnn_data::Dataset;
+use sgnn_graph::spmm::spmm_into;
+use sgnn_linalg::par::par_map_chunks;
+use sgnn_linalg::reduce::{accumulate_fx, colsum_fx, grad_fx, merge_fx};
+use sgnn_linalg::{vecops, DenseMatrix};
+use sgnn_nn::layers::Dropout;
+use sgnn_nn::loss::{loss_from_fx, xent_grad_row, xent_softmaxed_row_fx};
+use sgnn_nn::optim::Adam;
+use sgnn_obs::{Phase, PhaseBreakdown};
+use sgnn_partition::{Partition, ShardPlan};
+use std::time::Instant;
+
+static HALO_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.halo_bytes");
+static HALO_VECTORS: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.halo_vectors");
+static ALLREDUCE_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.allreduce_bytes");
+static SKEW: sgnn_obs::Gauge = sgnn_obs::Gauge::new("shard.skew");
+
+/// Measured communication/skew profile of one sharded training run —
+/// the execution-side numbers the E2 analytic model is checked against.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard count.
+    pub k: usize,
+    /// Training epochs executed.
+    pub epochs: usize,
+    /// Ghost vectors moved per halo exchange (= `ShardPlan::halo_vectors`).
+    pub halo_vectors_per_exchange: u64,
+    /// Halo exchanges per training epoch: `(L−1)` forward + `(L−1)`
+    /// backward for an `L`-layer model.
+    pub exchanges_per_epoch: u64,
+    /// Measured halo traffic per training epoch, bytes.
+    pub halo_bytes_per_epoch: u64,
+    /// Measured halo traffic per training epoch, vectors.
+    pub halo_vectors_per_epoch: u64,
+    /// Measured gradient-allreduce traffic per training epoch, bytes.
+    pub allreduce_bytes_per_epoch: u64,
+    /// Halo traffic of evaluation passes (early-stopping + final), bytes.
+    pub eval_halo_bytes: u64,
+    /// Max/mean shard-local operator nnz (1.0 = perfectly balanced).
+    pub nnz_skew: f64,
+    /// Total local slots `Σ_s (owned_s + halo_s)` — replication factor
+    /// times `n`.
+    pub replication_slots: u64,
+}
+
+serde::impl_serialize!(ShardStats {
+    k,
+    epochs,
+    halo_vectors_per_exchange,
+    exchanges_per_epoch,
+    halo_bytes_per_epoch,
+    halo_vectors_per_epoch,
+    allreduce_bytes_per_epoch,
+    eval_halo_bytes,
+    nnz_skew,
+    replication_slots
+});
+
+/// Per-shard trainer-side context: feature slice, gather indices, and
+/// split membership translated to owned-rank space.
+struct ShardCtx {
+    /// Local row index of each owned rank (for `gather_rows`).
+    owned_rows: Vec<usize>,
+    /// `n_local × in_dim` feature slice (owned + halo rows) — the layer-0
+    /// input, replicated once at setup like ghost features in a real
+    /// distributed deployment.
+    features: DenseMatrix,
+    /// `(owned rank, label)` of train/val/test nodes owned by this shard.
+    train: Vec<(usize, usize)>,
+    val: Vec<(usize, usize)>,
+    test: Vec<(usize, usize)>,
+}
+
+/// Running communication tallies (local mirror of the obs counters, kept
+/// unconditionally so `ShardStats` works with observability off).
+#[derive(Clone, Copy, Default)]
+struct Comm {
+    halo_bytes: u64,
+    halo_vectors: u64,
+    allreduce_bytes: u64,
+}
+
+/// Fixed-order tree allreduce over per-shard fixed-point partials:
+/// stride-doubling pairwise merges (`s ← s + gap`, gap = 1, 2, 4, …),
+/// the classic recursive-halving schedule. Exactness of the `i128`
+/// combine means the tree shape cannot affect the result; the fixed
+/// order makes the traffic pattern auditable and the byte count
+/// deterministic.
+fn tree_allreduce(mut parts: Vec<Vec<i128>>, bytes: &mut u64) -> Vec<i128> {
+    let k = parts.len();
+    let mut gap = 1;
+    while gap < k {
+        let mut s = 0;
+        while s + gap < k {
+            let src = std::mem::take(&mut parts[s + gap]);
+            *bytes += (src.len() * std::mem::size_of::<i128>()) as u64;
+            merge_fx(&mut parts[s], &src);
+            s += 2 * gap;
+        }
+        gap *= 2;
+    }
+    parts.into_iter().next().expect("at least one shard")
+}
+
+/// Shared state of one sharded run.
+struct Runtime<'a> {
+    plan: &'a ShardPlan,
+    ctxs: &'a [ShardCtx],
+    /// Layer widths `[in_dim, hidden…, classes]`.
+    dims: Vec<usize>,
+    p_drop: f32,
+    seed: u64,
+    total_w: f32,
+    comm: Comm,
+}
+
+impl Runtime<'_> {
+    fn num_layers(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Halo exchange: builds each shard's full `n_local × d` buffer from
+    /// the per-shard owned-row matrices `outs` — own rows scattered into
+    /// place, ghost rows copied from their owners through the
+    /// precomputed `halo_src` map. Double-buffered by construction: the
+    /// sources (`outs`) and destinations are distinct allocations, so
+    /// every shard reads a consistent snapshot regardless of task
+    /// scheduling.
+    fn exchange(&mut self, outs: &[DenseMatrix], d: usize) -> Vec<DenseMatrix> {
+        let plan = self.plan;
+        let built = par_map_chunks(plan.k, |s| {
+            let shard = &plan.shards[s];
+            let mut h = DenseMatrix::zeros(shard.n_local(), d);
+            for (r, &lr) in shard.owned_local.iter().enumerate() {
+                h.row_mut(lr as usize).copy_from_slice(outs[s].row(r));
+            }
+            for (t, &(owner, rank)) in shard.halo_src.iter().enumerate() {
+                h.row_mut(shard.halo_local[t] as usize)
+                    .copy_from_slice(outs[owner as usize].row(rank as usize));
+            }
+            h
+        });
+        let v = plan.halo_vectors();
+        let b = v * d as u64 * 4;
+        HALO_VECTORS.add(v);
+        HALO_BYTES.add(b);
+        self.comm.halo_vectors += v;
+        self.comm.halo_bytes += b;
+        built
+    }
+
+    /// One shard's propagation: local SpMM over the shard operator, then
+    /// the owned rows gathered out (halo rows of the product are never
+    /// read — their local adjacency is empty).
+    fn propagate_owned(&self, s: usize, input: &DenseMatrix, d: usize) -> DenseMatrix {
+        let shard = &self.plan.shards[s];
+        let mut scratch = DenseMatrix::zeros(shard.n_local(), d);
+        spmm_into(&shard.op, input, &mut scratch);
+        scratch.gather_rows(&self.ctxs[s].owned_rows)
+    }
+
+    /// Training forward: per layer, a compute superstep (one pool task
+    /// per shard) followed by a halo-exchange superstep; the
+    /// `par_map_chunks` join is the BSP barrier. Returns per-shard
+    /// owned-row logits plus the caches backward needs (`Â·H` inputs and
+    /// ReLU masks).
+    #[allow(clippy::type_complexity)]
+    fn forward_train(
+        &mut self,
+        gcn: &Gcn,
+        epoch: u64,
+    ) -> (Vec<DenseMatrix>, Vec<Vec<DenseMatrix>>, Vec<Vec<Vec<bool>>>) {
+        let l = self.num_layers();
+        let k = self.plan.k;
+        let mut x_caches: Vec<Vec<DenseMatrix>> = Vec::with_capacity(l);
+        let mut relu_masks: Vec<Vec<Vec<bool>>> = Vec::with_capacity(l.saturating_sub(1));
+        let mut h_locals: Vec<DenseMatrix> = Vec::new();
+        let mut logits: Vec<DenseMatrix> = Vec::new();
+        for i in 0..l {
+            let layer = gcn.layer(i);
+            let (w, b) = (&layer.w, &layer.b);
+            let (d_in, d_out) = (self.dims[i], self.dims[i + 1]);
+            let last = i + 1 == l;
+            let cs = Dropout::call_seed(self.seed.wrapping_add(100 + i as u64), epoch);
+            let p = self.p_drop;
+            let (plan, ctxs) = (self.plan, self.ctxs);
+            let h_ref = &h_locals;
+            let results: Vec<(DenseMatrix, DenseMatrix, Vec<bool>)> = par_map_chunks(k, |s| {
+                let shard = &plan.shards[s];
+                let input = if i == 0 { &ctxs[s].features } else { &h_ref[s] };
+                let mut scratch = DenseMatrix::zeros(shard.n_local(), d_in);
+                spmm_into(&shard.op, input, &mut scratch);
+                let x_owned = scratch.gather_rows(&ctxs[s].owned_rows);
+                let mut z = x_owned.matmul(w).expect("linear shapes");
+                for r in 0..z.rows() {
+                    vecops::axpy(1.0, b.row(0), z.row_mut(r));
+                }
+                let mut mask = Vec::new();
+                if !last {
+                    // ReLU + stateless dropout, element-for-element the
+                    // reference expressions, indexed by *global* row.
+                    mask.reserve(z.rows() * d_out);
+                    for (r, &g) in shard.owned.iter().enumerate() {
+                        let row = z.row_mut(r);
+                        for (c, slot) in row.iter_mut().enumerate() {
+                            let v = *slot;
+                            mask.push(v > 0.0);
+                            *slot = v.max(0.0)
+                                * Dropout::element_scale(cs, p, g as u64 * d_out as u64 + c as u64);
+                        }
+                    }
+                }
+                (z, x_owned, mask)
+            });
+            let mut zs = Vec::with_capacity(k);
+            let mut xs = Vec::with_capacity(k);
+            let mut ms = Vec::with_capacity(k);
+            for (z, x, m) in results {
+                zs.push(z);
+                xs.push(x);
+                ms.push(m);
+            }
+            x_caches.push(xs);
+            if last {
+                logits = zs;
+            } else {
+                relu_masks.push(ms);
+                h_locals = self.exchange(&zs, d_out);
+            }
+        }
+        (logits, x_caches, relu_masks)
+    }
+
+    /// Loss + logits gradient over each shard's owned train rows. The
+    /// scalar loss is a fixed-point partial per shard, tree-allreduced;
+    /// gradient rows are per-row given the global weight total.
+    fn loss_and_grad(&mut self, logits: &[DenseMatrix]) -> (f32, Vec<DenseMatrix>) {
+        let c = self.dims[self.num_layers()];
+        let (ctxs, total_w) = (self.ctxs, self.total_w);
+        let parts: Vec<(i128, DenseMatrix)> = par_map_chunks(self.plan.k, |s| {
+            let mut dl = DenseMatrix::zeros(logits[s].rows(), c);
+            let mut acc = 0i128;
+            let mut row = vec![0f32; c];
+            for &(r, label) in &ctxs[s].train {
+                row.copy_from_slice(logits[s].row(r));
+                vecops::softmax_row(&mut row);
+                acc = acc.wrapping_add(xent_softmaxed_row_fx(&row, label, 1.0));
+                xent_grad_row(&mut row, label, 1.0, total_w);
+                dl.row_mut(r).copy_from_slice(&row);
+            }
+            (acc, dl)
+        });
+        let mut loss_parts = Vec::with_capacity(parts.len());
+        let mut dls = Vec::with_capacity(parts.len());
+        for (a, d) in parts {
+            loss_parts.push(vec![a]);
+            dls.push(d);
+        }
+        let mut bytes = 0u64;
+        let total = tree_allreduce(loss_parts, &mut bytes);
+        ALLREDUCE_BYTES.add(bytes);
+        self.comm.allreduce_bytes += bytes;
+        (loss_from_fx(total[0], total_w), dls)
+    }
+
+    /// Backward: mirrored supersteps. Each layer's compute step applies
+    /// dropout/ReLU backward, forms fixed-point `gW`/`gb` partials over
+    /// owned rows, and computes `dY·Wᵀ`; the exchange step moves halo
+    /// gradients and propagates through the local operator. Partials are
+    /// tree-allreduced and written into the model's gradient buffers
+    /// (one `i128 → f32` rounding, same as the reference kernel).
+    fn backward(
+        &mut self,
+        gcn: &mut Gcn,
+        mut g_owned: Vec<DenseMatrix>,
+        x_caches: &[Vec<DenseMatrix>],
+        relu_masks: &[Vec<Vec<bool>>],
+        epoch: u64,
+    ) {
+        let l = self.num_layers();
+        let k = self.plan.k;
+        let mut gw_tot: Vec<Vec<i128>> = vec![Vec::new(); l];
+        let mut gb_tot: Vec<Vec<i128>> = vec![Vec::new(); l];
+        for i in (0..l).rev() {
+            let (d_in, d_out) = (self.dims[i], self.dims[i + 1]);
+            let last = i + 1 == l;
+            let wt = gcn.layer(i).w.transpose();
+            let cs = Dropout::call_seed(self.seed.wrapping_add(100 + i as u64), epoch);
+            let p = self.p_drop;
+            let plan = self.plan;
+            let caches = &x_caches[i];
+            let masks = if last { None } else { Some(&relu_masks[i]) };
+            let g_ref = &g_owned;
+            let results: Vec<(DenseMatrix, Vec<i128>, Vec<i128>)> = par_map_chunks(k, |s| {
+                let shard = &plan.shards[s];
+                let mut g = g_ref[s].clone();
+                if let Some(masks) = masks {
+                    // Same order as the reference: dropout mask multiply,
+                    // then ReLU zeroing.
+                    for (r, &gid) in shard.owned.iter().enumerate() {
+                        let row = g.row_mut(r);
+                        for (c, slot) in row.iter_mut().enumerate() {
+                            *slot *=
+                                Dropout::element_scale(cs, p, gid as u64 * d_out as u64 + c as u64);
+                        }
+                    }
+                    for (v, &m) in g.data_mut().iter_mut().zip(&masks[s]) {
+                        if !m {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                let mut gw = vec![0i128; d_in * d_out];
+                let mut gb = vec![0i128; d_out];
+                grad_fx(&caches[s], &g, &mut gw);
+                colsum_fx(&g, &mut gb);
+                let d_ah = g.matmul(&wt).expect("linear shapes");
+                (d_ah, gw, gb)
+            });
+            let mut d_ahs = Vec::with_capacity(k);
+            let mut gws = Vec::with_capacity(k);
+            let mut gbs = Vec::with_capacity(k);
+            for (d, gw, gb) in results {
+                d_ahs.push(d);
+                gws.push(gw);
+                gbs.push(gb);
+            }
+            let mut bytes = 0u64;
+            gw_tot[i] = tree_allreduce(gws, &mut bytes);
+            gb_tot[i] = tree_allreduce(gbs, &mut bytes);
+            ALLREDUCE_BYTES.add(bytes);
+            self.comm.allreduce_bytes += bytes;
+            if i > 0 {
+                // The layer-0 propagation of the reference is computed
+                // and discarded; shards skip it outright.
+                let full = self.exchange(&d_ahs, d_in);
+                let this = &*self;
+                g_owned = par_map_chunks(k, |s| this.propagate_owned(s, &full[s], d_in));
+            }
+        }
+        gcn.zero_grad();
+        for i in 0..l {
+            accumulate_fx(gcn.layer_mut(i).gw.data_mut(), &gw_tot[i]);
+            accumulate_fx(gcn.layer_mut(i).gb.data_mut(), &gb_tot[i]);
+        }
+    }
+
+    /// Sharded inference forward (no dropout, no caches): per-shard
+    /// owned-row logits, bitwise equal to the full-graph
+    /// `forward_inference` rows.
+    fn inference_logits(&mut self, gcn: &Gcn) -> Vec<DenseMatrix> {
+        let l = self.num_layers();
+        let k = self.plan.k;
+        let mut h_locals: Vec<DenseMatrix> = Vec::new();
+        for i in 0..l {
+            let layer = gcn.layer(i);
+            let (w, b) = (&layer.w, &layer.b);
+            let (d_in, d_out) = (self.dims[i], self.dims[i + 1]);
+            let last = i + 1 == l;
+            let (plan, ctxs) = (self.plan, self.ctxs);
+            let h_ref = &h_locals;
+            let results: Vec<DenseMatrix> = par_map_chunks(k, |s| {
+                let shard = &plan.shards[s];
+                let input = if i == 0 { &ctxs[s].features } else { &h_ref[s] };
+                let mut scratch = DenseMatrix::zeros(shard.n_local(), d_in);
+                spmm_into(&shard.op, input, &mut scratch);
+                let mut z = scratch.gather_rows(&ctxs[s].owned_rows).matmul(w).expect("shapes");
+                for r in 0..z.rows() {
+                    vecops::axpy(1.0, b.row(0), z.row_mut(r));
+                }
+                if !last {
+                    z.map_inplace(|v| v.max(0.0));
+                }
+                z
+            });
+            if last {
+                return results;
+            }
+            h_locals = self.exchange(&results, d_out);
+        }
+        unreachable!("models have at least one layer")
+    }
+
+    /// Split accuracy from per-shard logits: integer hit counts summed
+    /// across shards over the global split size — the same division the
+    /// reference performs.
+    fn accuracy_of<F>(&self, logits: &[DenseMatrix], pick: F, total: usize) -> f64
+    where
+        F: Fn(&ShardCtx) -> &[(usize, usize)] + Sync,
+    {
+        if total == 0 {
+            return 0.0;
+        }
+        let ctxs = self.ctxs;
+        let hits: usize = par_map_chunks(self.plan.k, |s| {
+            pick(&ctxs[s])
+                .iter()
+                .filter(|&&(r, label)| vecops::argmax(logits[s].row(r)) == label)
+                .count()
+        })
+        .into_iter()
+        .sum();
+        hits as f64 / total as f64
+    }
+}
+
+/// Trains a full-batch GCN shard-parallel over `part`, bitwise
+/// reproducing [`crate::trainer::train_full_gcn`] (see the module docs
+/// for the contract). Returns the model, the usual report, and the
+/// measured communication profile.
+pub fn train_sharded_gcn(
+    ds: &Dataset,
+    part: &Partition,
+    cfg: &TrainConfig,
+) -> (Gcn, TrainReport, ShardStats) {
+    let n = ds.num_nodes();
+    assert_eq!(part.parts.len(), n, "partition must cover the dataset");
+    let k = part.k;
+    let mut ledger = Ledger::new();
+    let t0 = Instant::now();
+    let op = gcn_operator(&ds.graph);
+    let op_bytes = op.nbytes();
+    ledger.alloc(op_bytes);
+    let plan = ShardPlan::build(&op, part).expect("operator covered by partition");
+    ledger.alloc(plan.nbytes());
+    drop(op);
+    ledger.free(op_bytes);
+
+    // Owned-rank lookup for translating split membership.
+    let mut rank_of = vec![0u32; n];
+    for shard in &plan.shards {
+        for (r, &g) in shard.owned.iter().enumerate() {
+            rank_of[g as usize] = r as u32;
+        }
+    }
+    let mut ctxs: Vec<ShardCtx> = plan
+        .shards
+        .iter()
+        .map(|shard| {
+            let rows: Vec<usize> = shard.locals.iter().map(|&g| g as usize).collect();
+            ShardCtx {
+                owned_rows: shard.owned_local.iter().map(|&r| r as usize).collect(),
+                features: ds.features.gather_rows(&rows),
+                train: Vec::new(),
+                val: Vec::new(),
+                test: Vec::new(),
+            }
+        })
+        .collect();
+    for (nodes, pick) in [(&ds.splits.train, 0usize), (&ds.splits.val, 1), (&ds.splits.test, 2)] {
+        let labels = ds.labels_of(nodes);
+        for (&u, &label) in nodes.iter().zip(&labels) {
+            let ctx = &mut ctxs[part.parts[u as usize] as usize];
+            let entry = (rank_of[u as usize] as usize, label);
+            match pick {
+                0 => ctx.train.push(entry),
+                1 => ctx.val.push(entry),
+                _ => ctx.test.push(entry),
+            }
+        }
+    }
+    ledger.alloc(ctxs.iter().map(|c| c.features.nbytes()).sum());
+    let precompute_secs = t0.elapsed().as_secs_f64();
+
+    let mut gcn = Gcn::new(
+        ds.feature_dim(),
+        ds.num_classes,
+        &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
+    );
+    let mut dims = vec![ds.feature_dim()];
+    dims.extend_from_slice(&cfg.hidden);
+    dims.push(ds.num_classes);
+    let l = dims.len() - 1;
+    // Transient: two activations per layer per shard, the fixed-point
+    // partials (k shard copies + 1 reduced), and the parameters
+    // (`step_bytes(0, ·)` is the parameter-only term).
+    let acts: usize = plan
+        .shards
+        .iter()
+        .map(|s| dims.iter().map(|&d| 2 * s.n_local() * d * 4).sum::<usize>())
+        .sum();
+    let fx_bytes: usize =
+        (0..l).map(|i| (dims[i] * dims[i + 1] + dims[i + 1]) * 16).sum::<usize>() * (k + 1);
+    ledger.transient(acts + fx_bytes + gcn.step_bytes(0, ds.feature_dim()));
+    SKEW.record((plan.nnz_skew() * 1000.0) as u64);
+
+    let mut rt = Runtime {
+        plan: &plan,
+        ctxs: &ctxs,
+        dims,
+        p_drop: cfg.dropout,
+        seed: cfg.seed,
+        total_w: (ds.splits.train.len() as f32).max(1e-12),
+        comm: Comm::default(),
+    };
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut stopper = EarlyStopper::new(cfg.patience);
+    let mut phases = PhaseBreakdown::new();
+    let mut final_loss = 0f32;
+    let mut epochs_run = 0usize;
+    let mut eval_comm = Comm::default();
+    let t1 = Instant::now();
+    for epoch in 0..cfg.epochs {
+        let _ep = sgnn_obs::span!("trainer.epoch");
+        epochs_run += 1;
+        let call = epoch as u64 + 1; // the reference model's dropout call number
+        let (loss, dl_owned, x_caches, relu_masks) = phases.time(Phase::Forward, || {
+            let (logits, x_caches, relu_masks) = rt.forward_train(&gcn, call);
+            let (loss, dl) = rt.loss_and_grad(&logits);
+            (loss, dl, x_caches, relu_masks)
+        });
+        final_loss = loss;
+        phases.time(Phase::Backward, || {
+            rt.backward(&mut gcn, dl_owned, &x_caches, &relu_masks, call);
+        });
+        phases.time(Phase::Step, || gcn.step(&mut opt));
+        if cfg.patience.is_some() {
+            let before = rt.comm;
+            let val = phases.time(Phase::Eval, || {
+                let logits = rt.inference_logits(&gcn);
+                rt.accuracy_of(&logits, |c| &c.val, ds.splits.val.len())
+            });
+            // Reclassify the eval pass's traffic so per-epoch training
+            // volume stays a clean multiple of the plan.
+            eval_comm.halo_bytes += rt.comm.halo_bytes - before.halo_bytes;
+            eval_comm.halo_vectors += rt.comm.halo_vectors - before.halo_vectors;
+            rt.comm = before;
+            if stopper.should_stop(val) {
+                break;
+            }
+        }
+    }
+    let train_secs = t1.elapsed().as_secs_f64();
+    let train_comm = rt.comm;
+    let logits = rt.inference_logits(&gcn);
+    let val_acc = rt.accuracy_of(&logits, |c| &c.val, ds.splits.val.len());
+    let test_acc = rt.accuracy_of(&logits, |c| &c.test, ds.splits.test.len());
+    eval_comm.halo_bytes += rt.comm.halo_bytes - train_comm.halo_bytes;
+    eval_comm.halo_vectors += rt.comm.halo_vectors - train_comm.halo_vectors;
+    let epochs_div = epochs_run.max(1) as u64;
+    let stats = ShardStats {
+        k,
+        epochs: epochs_run,
+        halo_vectors_per_exchange: plan.halo_vectors(),
+        exchanges_per_epoch: 2 * (l as u64 - 1),
+        halo_bytes_per_epoch: train_comm.halo_bytes / epochs_div,
+        halo_vectors_per_epoch: train_comm.halo_vectors / epochs_div,
+        allreduce_bytes_per_epoch: train_comm.allreduce_bytes / epochs_div,
+        eval_halo_bytes: eval_comm.halo_bytes,
+        nnz_skew: plan.nnz_skew(),
+        replication_slots: plan.shards.iter().map(|s| s.n_local() as u64).sum(),
+    };
+    let report = TrainReport {
+        name: format!("gcn-shard-k{k}"),
+        test_acc,
+        val_acc,
+        final_loss,
+        precompute_secs,
+        train_secs,
+        peak_mem_bytes: ledger.peak(),
+        epochs_run,
+        phases,
+    };
+    (gcn, report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train_full_gcn;
+    use sgnn_data::sbm_dataset;
+    use sgnn_partition::hash_partition;
+
+    fn weights_equal(a: &Gcn, b: &Gcn) -> bool {
+        (0..a.num_layers()).all(|i| {
+            let (la, lb) = (a.layer(i), b.layer(i));
+            la.w.data().iter().map(|v| v.to_bits()).eq(lb.w.data().iter().map(|v| v.to_bits()))
+                && la.b.data().iter().map(|v| v.to_bits()).eq(lb
+                    .b
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits()))
+        })
+    }
+
+    #[test]
+    fn sharded_matches_single_process_bitwise_smoke() {
+        let ds = sbm_dataset(300, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 7);
+        let cfg = TrainConfig { epochs: 5, hidden: vec![8], ..Default::default() };
+        let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg);
+        for k in [1usize, 3] {
+            let part = hash_partition(ds.num_nodes(), k);
+            let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg);
+            assert_eq!(report.final_loss.to_bits(), ref_report.final_loss.to_bits(), "k={k}");
+            assert_eq!(report.test_acc, ref_report.test_acc, "k={k}");
+            assert_eq!(report.val_acc, ref_report.val_acc, "k={k}");
+            assert_eq!(report.epochs_run, ref_report.epochs_run, "k={k}");
+            assert!(weights_equal(&ref_gcn, &gcn), "weight trajectory diverged at k={k}");
+            assert_eq!(stats.k, k);
+            if k == 1 {
+                assert_eq!(stats.halo_bytes_per_epoch, 0, "k=1 has no ghosts");
+            } else {
+                assert!(stats.halo_bytes_per_epoch > 0);
+                assert_eq!(
+                    stats.halo_vectors_per_epoch,
+                    stats.halo_vectors_per_exchange * stats.exchanges_per_epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_stopping_decisions_match_the_reference() {
+        let ds = sbm_dataset(240, 3, 8.0, 0.9, 5, 0.7, 0, 0.5, 0.25, 3);
+        let cfg =
+            TrainConfig { epochs: 40, hidden: vec![8], patience: Some(4), ..Default::default() };
+        let (_, ref_report) = train_full_gcn(&ds, &cfg);
+        let part = hash_partition(ds.num_nodes(), 2);
+        let (_, report, _) = train_sharded_gcn(&ds, &part, &cfg);
+        assert_eq!(report.epochs_run, ref_report.epochs_run);
+        assert_eq!(report.val_acc, ref_report.val_acc);
+        assert_eq!(report.final_loss.to_bits(), ref_report.final_loss.to_bits());
+    }
+}

@@ -68,20 +68,20 @@ impl Default for TrainConfig {
 }
 
 /// Validation-accuracy early stopper shared by the trainers.
-struct EarlyStopper {
+pub(crate) struct EarlyStopper {
     patience: Option<usize>,
     best: f64,
     bad: usize,
 }
 
 impl EarlyStopper {
-    fn new(patience: Option<usize>) -> Self {
+    pub(crate) fn new(patience: Option<usize>) -> Self {
         EarlyStopper { patience, best: f64::NEG_INFINITY, bad: 0 }
     }
 
     /// Records a validation score; returns `true` when training should
     /// stop.
-    fn should_stop(&mut self, val: f64) -> bool {
+    pub(crate) fn should_stop(&mut self, val: f64) -> bool {
         let Some(p) = self.patience else { return false };
         if val > self.best + 1e-9 {
             self.best = val;

@@ -273,6 +273,55 @@ impl CsrGraph {
         (sub, globals)
     }
 
+    /// Relabeled row slice for shard-local execution.
+    ///
+    /// `globals` is a strictly-ascending set of global node ids (a
+    /// shard's owned ∪ halo set); `keep_row[i]` says whether local row
+    /// `i` (global `globals[i]`) keeps its adjacency (owned rows) or
+    /// comes out empty (halo rows — their outputs are never read, so
+    /// carrying their edges would only waste compute and skew nnz
+    /// accounting). Kept rows must have **every** neighbor inside
+    /// `globals`; a missing neighbor is a hole in the halo map and is
+    /// reported as an error rather than silently dropped.
+    ///
+    /// Because `globals` is sorted, the relabeling is monotone: local
+    /// neighbor lists preserve the global order (and the strictly-
+    /// ascending CSR invariant), and weight bits are copied verbatim —
+    /// which is what makes per-row kernels over the slice bitwise equal
+    /// to the same rows of the full graph (DESIGN.md §7).
+    pub fn relabeled_slice(&self, globals: &[NodeId], keep_row: &[bool]) -> Result<CsrGraph> {
+        assert_eq!(globals.len(), keep_row.len(), "one keep flag per local row");
+        debug_assert!(globals.windows(2).all(|w| w[0] < w[1]), "globals must be sorted unique");
+        let mut local_of = vec![u32::MAX; self.n];
+        for (i, &g) in globals.iter().enumerate() {
+            local_of[g as usize] = i as u32;
+        }
+        let mut indptr = Vec::with_capacity(globals.len() + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut weights: Option<Vec<f32>> = self.weights.as_ref().map(|_| Vec::new());
+        for (i, &g) in globals.iter().enumerate() {
+            if keep_row[i] {
+                let (s, e) = (self.indptr[g as usize], self.indptr[g as usize + 1]);
+                for idx in s..e {
+                    let v = self.indices[idx];
+                    let lv = local_of[v as usize];
+                    if lv == u32::MAX {
+                        return Err(GraphError::Corrupt(format!(
+                            "kept row {g} has neighbor {v} outside the local set"
+                        )));
+                    }
+                    indices.push(lv);
+                    if let Some(w) = &mut weights {
+                        w.push(self.weight_at(idx));
+                    }
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrGraph::from_parts(globals.len(), indptr, indices, weights)
+    }
+
     /// Returns a copy with unit weights dropped (structure only).
     pub fn without_weights(&self) -> CsrGraph {
         CsrGraph {
@@ -398,6 +447,38 @@ mod tests {
         assert_eq!(map, vec![1]);
         assert_eq!(sub.num_nodes(), 1);
         assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    fn relabeled_slice_preserves_rows_and_weight_bits() {
+        // Weighted path 0-1-2-3 plus edge 1-3; slice rows {1,2,3} keeping
+        // only row 2's adjacency (as if 2 were owned and 1, 3 its halo).
+        let g = GraphBuilder::new(4)
+            .symmetric()
+            .weighted_edges(&[(0, 1, 0.25), (1, 2, 0.5), (2, 3, 0.125), (1, 3, 2.0)])
+            .build()
+            .unwrap();
+        let sub = g.relabeled_slice(&[1, 2, 3], &[false, true, false]).unwrap();
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.neighbors(0), &[] as &[NodeId]);
+        assert_eq!(sub.neighbors(2), &[] as &[NodeId]);
+        // Row 2's global neighbors {1, 3} relabel monotonically to {0, 2}.
+        assert_eq!(sub.neighbors(1), &[0, 2]);
+        let (sw, gw) = (sub.weights_of(1).unwrap(), g.weights_of(2).unwrap());
+        assert_eq!(sw.len(), gw.len());
+        for (a, b) in sw.iter().zip(gw) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn relabeled_slice_rejects_uncovered_neighbor() {
+        let g = triangle();
+        // Row 0 kept but neighbor 2 missing from the local set.
+        assert!(g.relabeled_slice(&[0, 1], &[true, false]).is_err());
+        // With the full set it succeeds.
+        assert!(g.relabeled_slice(&[0, 1, 2], &[true, false, false]).is_ok());
     }
 
     #[test]

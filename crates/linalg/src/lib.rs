@@ -19,6 +19,9 @@
 //!   operators (implicit-GNN equilibria).
 //! - [`par`] — persistent-pool chunked parallel iteration used by the GEMM
 //!   and sparse-matrix kernels.
+//! - [`reduce`] — exact fixed-point (`i128`) gradient reductions whose
+//!   partial sums combine order-independently, the primitive behind the
+//!   shard trainer's bitwise-equality guarantee (DESIGN.md §7).
 //! - [`rng`] — deterministic Gaussian sampling (Box–Muller) since the
 //!   allowed `rand` build ships no normal distribution.
 
@@ -30,6 +33,7 @@
 pub mod dense;
 pub mod eigen;
 pub mod par;
+pub mod reduce;
 pub mod rng;
 pub mod solve;
 pub mod vecops;

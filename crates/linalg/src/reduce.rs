@@ -1,0 +1,220 @@
+//! Exact fixed-point reductions for order-independent gradient sums.
+//!
+//! Floating-point addition is not associative, so a cross-row reduction
+//! (`gW = Xᵀ·dY`, `gb = Σ rows`, the scalar loss fold) computed per shard
+//! and then combined would in general differ in the last bits from the
+//! same reduction computed in one sequential sweep. The shard-parallel
+//! trainer (DESIGN.md §7) promises **bitwise** equality with the
+//! single-process trainer at any shard count, so every reduction that
+//! crosses the row (node) dimension goes through this module instead:
+//!
+//! 1. Each term is formed exactly: the product of two `f32`s is exact in
+//!    `f64`, and multiplying by [`FX_SCALE`] (a power of two) only shifts
+//!    the exponent.
+//! 2. The scaled term is truncated to `i128` — a pure, deterministic
+//!    function of the term's bits (truncating, saturating, NaN → 0).
+//! 3. Terms are accumulated with `wrapping_add`, which is exactly
+//!    associative and commutative even on overflow.
+//!
+//! Step 3 makes the fold order-free: per-shard partial sums combined in
+//! any fixed order equal the sequential reference fold integer-for-
+//! integer, and a single rounding happens at the final `i128 → f32`
+//! conversion. The reference kernels (`Linear::backward`, the softmax
+//! cross-entropy loss) use the same representation, so "sharded ≡
+//! single" reduces to integer arithmetic.
+//!
+//! `2^60` leaves |values| up to ~2^67 representable before the final
+//! conversion would lose integer exactness (f64 has 53 mantissa bits,
+//! but the conversion rounds identically in both paths regardless), and
+//! keeps ~18 decimal digits below the point — far below f32's 2^-149
+//! subnormal floor matters only for terms that are already zero in f32.
+
+use crate::dense::DenseMatrix;
+use crate::par::par_rows_mut;
+
+/// Fixed-point scale: `2^60`. A power of two so `t * FX_SCALE` is an
+/// exact exponent shift for every finite `t`.
+pub const FX_SCALE: f64 = (1u64 << 60) as f64;
+
+/// Converts one `f64` term to fixed point (truncating; saturating at the
+/// `i128` range; NaN maps to 0). Pure function of the term's bits.
+#[inline]
+pub fn fx(t: f64) -> i128 {
+    (t * FX_SCALE) as i128
+}
+
+/// Fixed point back to `f64` (single rounding).
+#[inline]
+pub fn fx_to_f64(v: i128) -> f64 {
+    v as f64 / FX_SCALE
+}
+
+/// Fixed point back to `f32` via `f64` (the conversion both the
+/// reference and the sharded path perform exactly once per slot).
+#[inline]
+pub fn fx_to_f32(v: i128) -> f32 {
+    fx_to_f64(v) as f32
+}
+
+/// Accumulates `Xᵀ·dY` into `acc` in fixed point: `acc[i*dout + j] +=
+/// Σ_k fx(x[k][i] · dy[k][j])`.
+///
+/// `acc` has `x.cols() × dy.cols()` slots (the weight-gradient shape).
+/// Rows `k` are the reduction dimension, so a shard holding a subset of
+/// rows produces a partial that combines exactly with any other shard's
+/// (`wrapping_add` is associative and commutative). Parallelism is over
+/// *output* rows `i` — each worker owns disjoint `acc` rows — which is
+/// thread-count-invariant by construction.
+///
+/// Zero entries of `x` are skipped: `0 · dy` contributes `fx(±0.0) = 0`
+/// for finite `dy` and would contribute NaN → 0 for non-finite `dy`, so
+/// the skip is exact in every case.
+pub fn grad_fx(x: &DenseMatrix, dy: &DenseMatrix, acc: &mut [i128]) {
+    let (n, din) = x.shape();
+    let dout = dy.cols();
+    assert_eq!(dy.rows(), n, "grad_fx: row mismatch {} vs {}", dy.rows(), n);
+    assert_eq!(acc.len(), din * dout, "grad_fx: acc shape");
+    // Transpose once so the inner loop reads x contiguously per output row.
+    let xt = x.transpose();
+    let dyd = dy.data();
+    par_rows_mut(acc, dout, 4, |first, rows| {
+        for (r, out) in rows.chunks_exact_mut(dout).enumerate() {
+            let i = first + r;
+            let xrow = xt.row(i);
+            for k in 0..n {
+                let a = xrow[k];
+                if a == 0.0 {
+                    continue;
+                }
+                let af = a as f64;
+                let dyr = &dyd[k * dout..(k + 1) * dout];
+                for (o, &d) in out.iter_mut().zip(dyr) {
+                    *o = o.wrapping_add(fx(af * d as f64));
+                }
+            }
+        }
+    });
+}
+
+/// Accumulates the column sums of `dy` into `acc` in fixed point:
+/// `acc[j] += Σ_k fx(dy[k][j])` (the bias-gradient reduction).
+pub fn colsum_fx(dy: &DenseMatrix, acc: &mut [i128]) {
+    let dout = dy.cols();
+    assert_eq!(acc.len(), dout, "colsum_fx: acc shape");
+    for k in 0..dy.rows() {
+        for (o, &d) in acc.iter_mut().zip(dy.row(k)) {
+            *o = o.wrapping_add(fx(d as f64));
+        }
+    }
+}
+
+/// Merges `src` into `dst` slot-wise (`dst[i] += src[i]`, wrapping).
+/// The allreduce combiner: exact, so the combine tree's shape is
+/// irrelevant to the result — the *fixed order* the shard trainer uses
+/// is for auditability, not correctness.
+#[inline]
+pub fn merge_fx(dst: &mut [i128], src: &[i128]) {
+    assert_eq!(dst.len(), src.len(), "merge_fx: length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.wrapping_add(*s);
+    }
+}
+
+/// Adds the fixed-point accumulator into an `f32` buffer slot-wise
+/// (`dst[i] += fx_to_f32(src[i])`).
+///
+/// Both the reference kernels and the shard trainer write gradients back
+/// through this exact expression — `+=` rather than a store, so a zeroed
+/// destination yields `0.0 + v`, which matters for the sign of zero: a
+/// direct store of `-0.0` and `0.0 + (-0.0)` differ bitwise.
+pub fn accumulate_fx(dst: &mut [f32], src: &[i128]) {
+    assert_eq!(dst.len(), src.len(), "accumulate_fx: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += fx_to_f32(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::set_threads;
+
+    #[test]
+    fn fx_roundtrip_is_close_and_deterministic() {
+        for &t in &[0.0f64, 1.0, -1.0, 3.25, -0.1, 1e-6, 123.456] {
+            let v = fx(t);
+            assert!((fx_to_f64(v) - t).abs() < 1e-12, "t={t}");
+            assert_eq!(fx(t), v, "pure function");
+        }
+        assert_eq!(fx(f64::NAN), 0);
+        assert_eq!(fx(f64::INFINITY), i128::MAX);
+        assert_eq!(fx(f64::NEG_INFINITY), i128::MIN);
+    }
+
+    #[test]
+    fn partial_sums_match_sequential_fold_exactly() {
+        // The whole point: split the row range any way, combine in any
+        // order, get the identical integers.
+        let x = DenseMatrix::gaussian(37, 5, 1.0, 1);
+        let dy = DenseMatrix::gaussian(37, 3, 1.0, 2);
+        let mut whole = vec![0i128; 15];
+        grad_fx(&x, &dy, &mut whole);
+
+        for split in [1usize, 9, 18, 30] {
+            let xa = x.gather_rows(&(0..split).collect::<Vec<_>>());
+            let xb = x.gather_rows(&(split..37).collect::<Vec<_>>());
+            let da = dy.gather_rows(&(0..split).collect::<Vec<_>>());
+            let db = dy.gather_rows(&(split..37).collect::<Vec<_>>());
+            let mut pa = vec![0i128; 15];
+            let mut pb = vec![0i128; 15];
+            grad_fx(&xa, &da, &mut pa);
+            grad_fx(&xb, &db, &mut pb);
+            // Combine b-first to prove order irrelevance.
+            let mut combined = vec![0i128; 15];
+            merge_fx(&mut combined, &pb);
+            merge_fx(&mut combined, &pa);
+            assert_eq!(combined, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn grad_fx_matches_dense_reference_numerically() {
+        let x = DenseMatrix::gaussian(20, 4, 1.0, 3);
+        let dy = DenseMatrix::gaussian(20, 6, 1.0, 4);
+        let mut acc = vec![0i128; 24];
+        grad_fx(&x, &dy, &mut acc);
+        let reference = x.transpose().matmul(&dy).unwrap();
+        for i in 0..4 {
+            for j in 0..6 {
+                let got = fx_to_f64(acc[i * 6 + j]);
+                let want = reference.get(i, j) as f64;
+                assert!((got - want).abs() < 1e-5, "[{i}][{j}] {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn colsum_fx_matches_manual_sum() {
+        let dy = DenseMatrix::gaussian(50, 3, 2.0, 7);
+        let mut acc = vec![0i128; 3];
+        colsum_fx(&dy, &mut acc);
+        for j in 0..3 {
+            let manual: i128 = (0..50).map(|k| fx(dy.get(k, j) as f64)).fold(0, i128::wrapping_add);
+            assert_eq!(acc[j], manual);
+        }
+    }
+
+    #[test]
+    fn grad_fx_is_thread_count_invariant() {
+        let x = DenseMatrix::gaussian(64, 24, 1.0, 5);
+        let dy = DenseMatrix::gaussian(64, 16, 1.0, 6);
+        set_threads(1);
+        let mut seq = vec![0i128; 24 * 16];
+        grad_fx(&x, &dy, &mut seq);
+        set_threads(4);
+        let mut par = vec![0i128; 24 * 16];
+        grad_fx(&x, &dy, &mut par);
+        set_threads(0);
+        assert_eq!(seq, par);
+    }
+}

@@ -5,8 +5,7 @@
 //! clears them. Optimizers visit `(param, grad)` pairs through
 //! [`Linear::visit_params`].
 
-use rand::RngExt;
-use sgnn_linalg::DenseMatrix;
+use sgnn_linalg::{reduce, DenseMatrix};
 
 /// Fully-connected layer `Y = X·W + b`.
 #[derive(Debug, Clone)]
@@ -65,13 +64,21 @@ impl Linear {
 
     /// Backward pass: accumulates `gw += Xᵀ·dY`, `gb += Σ dY`, returns
     /// `dX = dY·Wᵀ`.
+    ///
+    /// The cross-row reductions go through the exact fixed-point fold in
+    /// [`sgnn_linalg::reduce`], so the accumulated gradients are
+    /// independent of row order and row partitioning — the shard trainer
+    /// computes the same `i128` partials per shard, allreduces them, and
+    /// lands on identical bits (DESIGN.md §7). `dX` is per-row and needs
+    /// no such treatment.
     pub fn backward(&mut self, dy: &DenseMatrix) -> DenseMatrix {
         let x = self.cache_x.as_ref().expect("backward before forward");
-        let gw = x.transpose().matmul(dy).expect("shapes fixed");
-        self.gw.add_scaled(1.0, &gw).expect("shapes fixed");
-        for r in 0..dy.rows() {
-            sgnn_linalg::vecops::axpy(1.0, dy.row(r), self.gb.row_mut(0));
-        }
+        let mut gw_fx = vec![0i128; self.w.rows() * self.w.cols()];
+        let mut gb_fx = vec![0i128; self.b.cols()];
+        reduce::grad_fx(x, dy, &mut gw_fx);
+        reduce::colsum_fx(dy, &mut gb_fx);
+        reduce::accumulate_fx(self.gw.data_mut(), &gw_fx);
+        reduce::accumulate_fx(self.gb.data_mut(), &gb_fx);
         dy.matmul(&self.w.transpose()).expect("shapes fixed")
     }
 
@@ -141,9 +148,13 @@ impl ReLU {
 
 /// Inverted dropout.
 ///
-/// Stores a seed + call counter instead of a live RNG so the layer stays
-/// `Clone` (needed for gradient-check probes) while remaining
-/// deterministic per forward call.
+/// The mask is a **stateless** function of `(seed, call number, element
+/// index)` — a SplitMix64 hash per element rather than a sequential RNG
+/// stream — so any row subset of a forward pass can reproduce exactly
+/// its own mask entries. The shard trainer relies on this: each shard
+/// regenerates the mask for the global rows it owns via
+/// [`Dropout::element_scale`] and lands on the same bits the
+/// full-matrix reference forward produced (DESIGN.md §7).
 #[derive(Debug, Clone)]
 pub struct Dropout {
     /// Drop probability.
@@ -161,17 +172,36 @@ impl Dropout {
         Dropout { p, mask: Vec::new(), seed, calls: 0 }
     }
 
+    /// Per-call seed: forward call `call` (1-based) of a layer seeded
+    /// with `seed` draws its element hashes from this stream.
+    #[inline]
+    pub fn call_seed(seed: u64, call: u64) -> u64 {
+        seed.wrapping_add(call.wrapping_mul(0x9E37_79B9))
+    }
+
+    /// Mask scale for one element: `0.0` (dropped) or `1/(1−p)` (kept),
+    /// as a pure function of `(call_seed, element index)`. `elem` is the
+    /// flat row-major index `row·cols + col` of the *full* forward
+    /// matrix, so shards index by global row and agree with the
+    /// reference.
+    #[inline]
+    pub fn element_scale(call_seed: u64, p: f32, elem: u64) -> f32 {
+        if sgnn_linalg::rng::node_variate(call_seed, elem) < p as f64 {
+            0.0
+        } else {
+            1.0 / (1.0 - p)
+        }
+    }
+
     /// Training forward: scales kept entries by `1/(1−p)`.
     pub fn forward(&mut self, x: &DenseMatrix) -> DenseMatrix {
         self.calls += 1;
-        let mut rng =
-            sgnn_linalg::rng::seeded(self.seed.wrapping_add(self.calls.wrapping_mul(0x9E37_79B9)));
-        let keep = 1.0 - self.p;
+        let cs = Self::call_seed(self.seed, self.calls);
         self.mask.clear();
         self.mask.reserve(x.data().len());
         let mut y = x.clone();
-        for v in y.data_mut().iter_mut() {
-            let m = if rng.random::<f32>() < self.p { 0.0 } else { 1.0 / keep };
+        for (i, v) in y.data_mut().iter_mut().enumerate() {
+            let m = Self::element_scale(cs, self.p, i as u64);
             self.mask.push(m);
             *v *= m;
         }

@@ -1,6 +1,40 @@
 //! Softmax cross-entropy with logits.
+//!
+//! The scalar loss is a cross-row reduction, so it folds through the
+//! exact fixed-point representation in [`sgnn_linalg::reduce`]: the
+//! per-row term [`xent_softmaxed_row_fx`] and the final conversion
+//! [`loss_from_fx`] are shared with the shard trainer, which sums the
+//! same `i128` terms over its owned rows and allreduces — landing on
+//! the identical loss bits (DESIGN.md §7). The gradient is per-row
+//! (given the global weight total) and needs no such treatment.
 
+use sgnn_linalg::reduce::{fx, fx_to_f64};
 use sgnn_linalg::DenseMatrix;
+
+/// Fixed-point loss term of one already-softmaxed probability row:
+/// `fx(−w·ln(max(p_target, 1e-12)))`. Pure function of the row bits, so
+/// any row partitioning reproduces the same terms.
+#[inline]
+pub fn xent_softmaxed_row_fx(probs_row: &[f32], target: usize, w: f32) -> i128 {
+    let p = probs_row[target].max(1e-12);
+    fx(-((w as f64) * (p as f64).ln()))
+}
+
+/// Final scalar loss from a fixed-point term total: one rounding, after
+/// the order-free integer fold.
+#[inline]
+pub fn loss_from_fx(total: i128, total_w: f32) -> f32 {
+    (fx_to_f64(total) / total_w as f64) as f32
+}
+
+/// Rewrites an already-softmaxed probability row into its loss gradient
+/// in place: `row ← w·(row − onehot(target))/total_w`. Per-row pure
+/// given the global `total_w`.
+#[inline]
+pub fn xent_grad_row(row: &mut [f32], target: usize, w: f32, total_w: f32) {
+    row[target] -= 1.0;
+    sgnn_linalg::vecops::scale(row, w / total_w);
+}
 
 /// Computes mean softmax cross-entropy and its gradient w.r.t. logits.
 ///
@@ -22,21 +56,17 @@ pub fn softmax_cross_entropy(
         None => n as f32,
     };
     let total_w = total_w.max(1e-12);
-    let mut probs = logits.clone();
-    probs.softmax_rows();
-    let mut loss = 0f32;
-    let mut grad = probs;
+    let mut grad = logits.clone();
+    grad.softmax_rows();
+    let mut loss_fx = 0i128;
     for r in 0..n {
         let w = weights.map_or(1.0, |ws| ws[r]);
         let t = targets[r];
         debug_assert!(t < logits.cols(), "target class out of range");
-        let p = grad.get(r, t).max(1e-12);
-        loss -= w * p.ln();
-        let row = grad.row_mut(r);
-        row[t] -= 1.0;
-        sgnn_linalg::vecops::scale(row, w / total_w);
+        loss_fx = loss_fx.wrapping_add(xent_softmaxed_row_fx(grad.row(r), t, w));
+        xent_grad_row(grad.row_mut(r), t, w, total_w);
     }
-    (loss / total_w, grad)
+    (loss_from_fx(loss_fx, total_w), grad)
 }
 
 /// Classification accuracy of logits against targets.

@@ -10,6 +10,9 @@
 //! - [`multilevel`] — METIS-style coarsen → initial partition → refine
 //!   (heavy-edge matching + BFS region growing + FM boundary refinement).
 //! - [`metrics`] — edge-cut, balance, replication factor.
+//! - [`shard_plan`] — per-shard local subgraphs + halo (ghost) index
+//!   maps, the execution plan consumed by `sgnn-core::shard`'s
+//!   shard-parallel trainer.
 //! - [`comm`] — the distributed-GNN communication-volume simulator
 //!   standing in for a real multi-GPU cluster (see DESIGN.md
 //!   substitutions): counts embedding transfers implied by cut edges.
@@ -20,10 +23,12 @@ pub mod cluster;
 pub mod comm;
 pub mod metrics;
 pub mod multilevel;
+pub mod shard_plan;
 pub mod streaming;
 
 pub use metrics::{balance, edge_cut, PartitionQuality};
 pub use multilevel::multilevel_partition;
+pub use shard_plan::{Shard, ShardPlan};
 pub use streaming::{fennel, hash_partition, ldg};
 
 /// A k-way partition assignment: `parts[u]` is node `u`'s part in `0..k`.

@@ -109,6 +109,34 @@ mod tests {
     }
 
     #[test]
+    fn replication_ignores_self_shard_ghosts_on_two_shard_toy() {
+        // Audit of the suspected "self-shard ghost" bug: a node whose
+        // entire neighborhood is local must count presence 1, not 2.
+        // Hand-computed on the 2-shard path 0-1-2-3-4-5, parts [0,0,0,1,1,1]:
+        //   0: neighbors {1} all local            → presence 1
+        //   1: neighbors {0,2} all local          → presence 1
+        //   2: neighbor 3 in shard 1              → presence 2
+        //   3: neighbor 2 in shard 0              → presence 2
+        //   4: neighbors {3,5} all local          → presence 1
+        //   5: neighbors {4} all local            → presence 1
+        // Total 8/6. (The bug would have made interior nodes re-count
+        // their home shard, inflating this to 14/6.)
+        let mut b = sgnn_graph::GraphBuilder::new(6).symmetric();
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(replication_factor(&g, &p), 8.0 / 6.0);
+        // A hub revisiting the same remote part many times still counts
+        // that part once: star with hub alone in part 0 = exactly 2.0.
+        let star = generate::star(10);
+        let mut parts = vec![1u32; 10];
+        parts[0] = 0;
+        assert_eq!(replication_factor(&star, &Partition::new(parts, 2)), 2.0);
+    }
+
+    #[test]
     fn balance_detects_skew() {
         let p = Partition::new(vec![0, 0, 0, 1], 2);
         assert_eq!(balance(&p), 1.5);

@@ -1,0 +1,303 @@
+//! Shard execution plans: local subgraphs + halo (ghost-node) index maps.
+//!
+//! A [`ShardPlan`] turns a k-way [`Partition`] of a propagation operator
+//! into everything the shard-parallel trainer (`sgnn-core::shard`) needs
+//! to run one worker task per shard:
+//!
+//! - each shard's **owned** nodes (the rows it computes),
+//! - its **halo**: remote nodes some owned row reads — the ghost set
+//!   whose activations must be fetched before every propagation,
+//! - the sorted **local id space** `owned ∪ halo` with both directions
+//!   of the local ⇄ global map,
+//! - a precomputed **exchange map** `halo_src` telling, for each halo
+//!   slot, which shard owns the node and at which rank in that shard's
+//!   owned list — so the halo exchange is pure indexed copying with no
+//!   lookups at train time,
+//! - the shard-local operator slice (owned rows only; halo rows empty),
+//!   cut with [`CsrGraph::relabeled_slice`] so weights keep their exact
+//!   bits.
+//!
+//! Local ids are ranks in the *sorted union* of owned and halo globals.
+//! The relabeling is therefore monotone, which preserves both the CSR
+//! strictly-ascending-row invariant and — more importantly — the
+//! neighbor visit order of every owned row, so shard-local SpMM output
+//! rows are bitwise identical to the full-graph kernel's (DESIGN.md §7).
+//!
+//! The plan's total halo size `Σ_s |halo_s|` counts unique (node,
+//! reading shard) pairs; for a symmetric operator that is exactly
+//! [`crate::comm::simulate`]'s `vectors_per_layer` (rename `(u, remote
+//! part)` to `(ghost, reader)` under edge symmetry), which is how
+//! `benchsharding` pins the analytic E2 model against execution.
+
+use crate::Partition;
+use sgnn_graph::{CsrGraph, NodeId, Result};
+
+/// One shard's slice of the plan.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Global ids owned by this shard, sorted ascending.
+    pub owned: Vec<NodeId>,
+    /// Global ids of ghost nodes (remote neighbors of owned rows),
+    /// sorted ascending. Disjoint from `owned`.
+    pub halo: Vec<NodeId>,
+    /// Local → global map: sorted union of `owned` and `halo`.
+    pub locals: Vec<NodeId>,
+    /// Local index of each owned node (parallel to `owned`).
+    pub owned_local: Vec<u32>,
+    /// Local index of each halo node (parallel to `halo`).
+    pub halo_local: Vec<u32>,
+    /// Exchange map, parallel to `halo`: `(owner shard, rank in the
+    /// owner's `owned` list)`.
+    pub halo_src: Vec<(u32, u32)>,
+    /// Local operator: owned rows carry their full (relabeled) global
+    /// adjacency, halo rows are empty.
+    pub op: CsrGraph,
+}
+
+impl Shard {
+    /// Local node count (owned + halo).
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.locals.len()
+    }
+}
+
+/// A complete shard-parallel execution plan.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Shard count (the partition's `k`).
+    pub k: usize,
+    /// Per-shard slices.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `op` (the propagation operator, typically the
+    /// normalized adjacency) under partition `part`.
+    pub fn build(op: &CsrGraph, part: &Partition) -> Result<ShardPlan> {
+        let n = op.num_nodes();
+        assert_eq!(part.parts.len(), n, "partition covers every node");
+        let k = part.k;
+        let owned_sets = part.members();
+        // Rank of each node in its owner's sorted owned list — the
+        // target side of every exchange copy.
+        let mut owned_rank = vec![0u32; n];
+        for set in &owned_sets {
+            for (r, &g) in set.iter().enumerate() {
+                owned_rank[g as usize] = r as u32;
+            }
+        }
+        let mut shards = Vec::with_capacity(k);
+        for (s, owned) in owned_sets.into_iter().enumerate() {
+            let mut halo: Vec<NodeId> = Vec::new();
+            for &u in &owned {
+                for &v in op.neighbors(u) {
+                    if part.parts[v as usize] as usize != s {
+                        halo.push(v);
+                    }
+                }
+            }
+            halo.sort_unstable();
+            halo.dedup();
+            // owned and halo are disjoint sorted runs; merge for locals.
+            let mut locals = Vec::with_capacity(owned.len() + halo.len());
+            let mut keep = Vec::with_capacity(owned.len() + halo.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < owned.len() || j < halo.len() {
+                let take_owned = j >= halo.len() || (i < owned.len() && owned[i] < halo[j]);
+                if take_owned {
+                    locals.push(owned[i]);
+                    keep.push(true);
+                    i += 1;
+                } else {
+                    locals.push(halo[j]);
+                    keep.push(false);
+                    j += 1;
+                }
+            }
+            let rank_of = |list: &[NodeId], flag: bool| -> Vec<u32> {
+                list.iter()
+                    .map(|&g| {
+                        let r = locals.binary_search(&g).expect("local set contains entry");
+                        debug_assert_eq!(keep[r], flag);
+                        r as u32
+                    })
+                    .collect()
+            };
+            let owned_local = rank_of(&owned, true);
+            let halo_local = rank_of(&halo, false);
+            let halo_src =
+                halo.iter().map(|&g| (part.parts[g as usize], owned_rank[g as usize])).collect();
+            let local_op = op.relabeled_slice(&locals, &keep)?;
+            shards.push(Shard {
+                owned,
+                halo,
+                locals,
+                owned_local,
+                halo_local,
+                halo_src,
+                op: local_op,
+            });
+        }
+        Ok(ShardPlan { k, shards })
+    }
+
+    /// Total ghost slots across shards: unique (node, reading shard)
+    /// pairs — one activation vector per slot per halo exchange. Equals
+    /// `comm::simulate`'s `vectors_per_layer` on symmetric operators.
+    pub fn halo_vectors(&self) -> u64 {
+        self.shards.iter().map(|s| s.halo.len() as u64).sum()
+    }
+
+    /// Shard-compute skew: max over shards of local-operator nnz divided
+    /// by the mean (1.0 = perfectly nnz-balanced shards).
+    pub fn nnz_skew(&self) -> f64 {
+        let nnz: Vec<u64> = self.shards.iter().map(|s| s.op.num_edges() as u64).collect();
+        let total: u64 = nnz.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.k as f64;
+        nnz.iter().copied().max().unwrap_or(0) as f64 / avg
+    }
+
+    /// Resident bytes of the plan's per-shard operator slices and index
+    /// maps (for ledger accounting).
+    pub fn nbytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.op.nbytes()
+                    + (s.owned.len() + s.halo.len() + s.locals.len()) * 4
+                    + s.owned_local.len() * 4
+                    + s.halo_local.len() * 4
+                    + s.halo_src.len() * 8
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fennel, hash_partition, ldg, multilevel::MultilevelConfig, multilevel_partition};
+    use proptest::prelude::*;
+    use sgnn_graph::generate;
+
+    fn check_invariants(op: &CsrGraph, part: &Partition, plan: &ShardPlan) {
+        let n = op.num_nodes();
+        // Every node owned exactly once, by its partition's shard.
+        let mut owner_count = vec![0usize; n];
+        for (s, shard) in plan.shards.iter().enumerate() {
+            for &g in &shard.owned {
+                owner_count[g as usize] += 1;
+                assert_eq!(part.parts[g as usize] as usize, s, "owned by its part");
+            }
+        }
+        assert!(owner_count.iter().all(|&c| c == 1), "each node owned exactly once");
+        for shard in &plan.shards {
+            // locals sorted unique; owned/halo disjoint and covered.
+            assert!(shard.locals.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(shard.locals.len(), shard.owned.len() + shard.halo.len());
+            // Local ⇄ global round-trip in both directions.
+            for (r, &g) in shard.owned.iter().enumerate() {
+                assert_eq!(shard.locals[shard.owned_local[r] as usize], g);
+            }
+            for (r, &g) in shard.halo.iter().enumerate() {
+                assert_eq!(shard.locals[shard.halo_local[r] as usize], g);
+                // Exchange map points at the true owner at the right rank.
+                let (owner, rank) = shard.halo_src[r];
+                assert_eq!(owner, part.parts[g as usize]);
+                assert_eq!(plan.shards[owner as usize].owned[rank as usize], g);
+            }
+            // Halo covers every cut edge: each owned row's remote
+            // neighbor appears in the halo, and the local op row holds
+            // the full global row (same degree ⇒ nothing dropped).
+            for (r, &g) in shard.owned.iter().enumerate() {
+                let lrow = shard.op.neighbors(shard.owned_local[r]);
+                assert_eq!(lrow.len(), op.neighbors(g).len(), "row {g} fully covered");
+                for (&lv, &gv) in lrow.iter().zip(op.neighbors(g)) {
+                    assert_eq!(shard.locals[lv as usize], gv, "monotone relabel");
+                }
+            }
+            // Halo rows are empty in the local op.
+            for &hl in &shard.halo_local {
+                assert!(shard.op.neighbors(hl).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn two_shard_toy_plan_by_hand() {
+        // Path 0-1-2-3 with parts [0,0,1,1]: the single cut edge 1-2
+        // makes 2 a ghost of shard 0 and 1 a ghost of shard 1.
+        let g = sgnn_graph::GraphBuilder::new(4)
+            .symmetric()
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let plan = ShardPlan::build(&g, &p).unwrap();
+        assert_eq!(plan.shards[0].owned, vec![0, 1]);
+        assert_eq!(plan.shards[0].halo, vec![2]);
+        assert_eq!(plan.shards[0].locals, vec![0, 1, 2]);
+        assert_eq!(plan.shards[0].halo_src, vec![(1, 0)]); // node 2 = shard 1's rank 0
+        assert_eq!(plan.shards[1].owned, vec![2, 3]);
+        assert_eq!(plan.shards[1].halo, vec![1]);
+        assert_eq!(plan.shards[1].halo_src, vec![(0, 1)]); // node 1 = shard 0's rank 1
+        assert_eq!(plan.halo_vectors(), 2);
+        check_invariants(&g, &p, &plan);
+    }
+
+    #[test]
+    fn halo_total_matches_comm_simulator() {
+        let g = generate::barabasi_albert(400, 3, 11);
+        for k in [2usize, 3, 4, 8] {
+            let p = hash_partition(g.num_nodes(), k);
+            let plan = ShardPlan::build(&g, &p).unwrap();
+            let comm = crate::comm::simulate(&g, &p, 1, 1);
+            assert_eq!(plan.halo_vectors(), comm.vectors_per_layer, "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        // k=4 over 3 nodes: at least one shard is empty.
+        let g = generate::star(3);
+        let p = Partition::new(vec![0, 1, 2], 4);
+        let plan = ShardPlan::build(&g, &p).unwrap();
+        assert_eq!(plan.shards[3].n_local(), 0);
+        check_invariants(&g, &p, &plan);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Plan invariants hold for every partitioner family on random
+        /// scale-free graphs.
+        #[test]
+        fn plan_invariants_hold(
+            n in 20usize..300,
+            m in 1usize..4,
+            k in 1usize..6,
+            which in 0usize..4,
+            seed in 0u64..500,
+        ) {
+            let g = generate::barabasi_albert(n, m, seed);
+            let p = match which {
+                0 => hash_partition(n, k),
+                1 => ldg(&g, k, 1.1),
+                2 => fennel(&g, k, 1.1),
+                _ => multilevel_partition(&g, k, &MultilevelConfig::default()),
+            };
+            let plan = ShardPlan::build(&g, &p).unwrap();
+            check_invariants(&g, &p, &plan);
+            // Replication factor cross-check: presence of a node = its
+            // own shard + every shard ghosting it, so the plan's total
+            // (owned + halo) slots over n is exactly the metric.
+            let slots: usize = plan.shards.iter().map(|s| s.n_local()).sum();
+            let rf = crate::metrics::replication_factor(&g, &p);
+            prop_assert!((rf - slots as f64 / n as f64).abs() < 1e-12);
+        }
+    }
+}
