@@ -17,10 +17,12 @@ fn bench_decoupled(c: &mut Criterion) {
     let ds = sgnn_data::sbm_dataset(10_000, 5, 10.0, 0.85, 32, 1.0, 0, 0.5, 0.25, 4);
     let one_epoch = TrainConfig { epochs: 1, hidden: vec![32], ..Default::default() };
     c.bench_function("e4/gcn_one_epoch_10k", |b| {
-        b.iter(|| train_full_gcn(black_box(&ds), &one_epoch))
+        b.iter(|| train_full_gcn(black_box(&ds), &one_epoch).unwrap())
     });
     c.bench_function("e4/sgc_precompute_plus_epoch_10k", |b| {
-        b.iter(|| train_decoupled(black_box(&ds), &PrecomputeMethod::Sgc { k: 2 }, &one_epoch))
+        b.iter(|| {
+            train_decoupled(black_box(&ds), &PrecomputeMethod::Sgc { k: 2 }, &one_epoch).unwrap()
+        })
     });
     c.bench_function("e4/scara_push_precompute_10k", |b| {
         b.iter(|| {

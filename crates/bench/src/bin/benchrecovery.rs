@@ -1,0 +1,169 @@
+//! `benchrecovery` — checkpoint overhead + kill-and-resume recovery snapshot.
+//!
+//! ```text
+//! cargo run --release -p sgnn-bench --bin benchrecovery             # writes bench_out/BENCH_recovery.json
+//! cargo run --release -p sgnn-bench --bin benchrecovery -- --quick  # CI-sized workload
+//! cargo run --release -p sgnn-bench --bin benchrecovery -- --json   # + ObsReport line on stdout
+//! ```
+//!
+//! Measures what resilience costs and proves what it buys, on one
+//! workload:
+//!
+//! 1. **Checkpoint overhead** — full-GCN epoch time with a rolling
+//!    per-epoch checkpoint vs. without, plus bytes per checkpoint
+//!    (CRC-framed records, atomic rename).
+//! 2. **Kill-and-resume** — the run is killed mid-training by an armed
+//!    [`FaultPlan`], resumed from its checkpoint, and the resumed run is
+//!    asserted **bitwise** equal to the uninterrupted reference (loss
+//!    bits and accuracies) — the DESIGN.md §8 contract, timed.
+//! 3. **Halo-corruption repair** — a sharded run with an armed in-transit
+//!    corruption must detect it by CRC, repair by re-exchange, and still
+//!    match the reference bitwise; the retry count is recorded.
+
+use sgnn_core::shard::train_sharded_gcn;
+use sgnn_core::trainer::{train_full_gcn, TrainConfig};
+use sgnn_data::sbm_dataset;
+use sgnn_fault::FaultPlan;
+use sgnn_partition::hash_partition;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    // --keep-ckpt: write checkpoints under bench_out/ckpt and leave them
+    // on disk (CI uploads them as an artifact).
+    let keep_ckpt = args.iter().any(|a| a == "--keep-ckpt");
+    args.retain(|a| a != "--json" && a != "--quick" && a != "--keep-ckpt");
+    let out_path =
+        args.into_iter().next().unwrap_or_else(|| "bench_out/BENCH_recovery.json".to_string());
+
+    let (n, epochs) = if quick { (2_000, 4) } else { (12_000, 8) };
+    let hidden = 32usize;
+    let ds = sbm_dataset(n, 5, 12.0, 0.9, 32, 0.8, 0, 0.5, 0.25, 1);
+    let base = TrainConfig { epochs, hidden: vec![hidden], dropout: 0.1, ..Default::default() };
+    let ckpt_dir = if keep_ckpt {
+        std::path::PathBuf::from("bench_out/ckpt")
+    } else {
+        std::env::temp_dir().join(format!("sgnn_benchrecovery_{}", std::process::id()))
+    };
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+
+    // Counters are asserted below, so observability must be on — but an
+    // `SGNN_OBS=trace` run already has it on with trace emission, and
+    // `enable()` would clobber the trace flag. Only upgrade from off.
+    if !sgnn_obs::tracing() {
+        sgnn_obs::enable();
+    }
+    sgnn_obs::reset();
+
+    // 1) Baseline vs. checkpoint-every-epoch overhead.
+    let (_, ref_report) = train_full_gcn(&ds, &base).unwrap();
+    let base_epoch = ref_report.train_secs / ref_report.epochs_run.max(1) as f64;
+    let ckpt_cfg = TrainConfig { ckpt_dir: Some(ckpt_dir.clone()), ..base.clone() };
+    let (_, ckpt_report) = train_full_gcn(&ds, &ckpt_cfg).unwrap();
+    let ckpt_epoch = ckpt_report.train_secs / ckpt_report.epochs_run.max(1) as f64;
+    assert_eq!(
+        ckpt_report.final_loss.to_bits(),
+        ref_report.final_loss.to_bits(),
+        "checkpointing must not perturb training"
+    );
+    let ckpt_file = ckpt_dir.join("gcn-full.ckpt");
+    let ckpt_bytes = std::fs::metadata(&ckpt_file).map(|m| m.len()).unwrap_or(0);
+    let overhead_pct = (ckpt_epoch / base_epoch - 1.0) * 100.0;
+    eprintln!(
+        "epoch: baseline {base_epoch:.4}s, with ckpt {ckpt_epoch:.4}s \
+         ({overhead_pct:+.1}%), {ckpt_bytes} B/checkpoint"
+    );
+
+    // 2) Kill mid-run, resume, verify bitwise, time the resumed leg.
+    let kill_at = epochs / 2;
+    let kill_dir = ckpt_dir.join("kill");
+    std::fs::create_dir_all(&kill_dir).expect("create kill dir");
+    let plan = Arc::new(FaultPlan::new(11).kill_at_epoch(kill_at));
+    let kill_cfg = TrainConfig {
+        ckpt_dir: Some(kill_dir.clone()),
+        fault_plan: Some(Arc::clone(&plan)),
+        ..base.clone()
+    };
+    train_full_gcn(&ds, &kill_cfg).err().expect("armed kill must abort the run");
+    assert!(plan.exhausted(), "kill at epoch {kill_at} never fired");
+    let t0 = Instant::now();
+    let resume_cfg =
+        TrainConfig { resume_from: Some(kill_dir.join("gcn-full.ckpt")), ..base.clone() };
+    let (_, resumed) = train_full_gcn(&ds, &resume_cfg).unwrap();
+    let resume_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        resumed.final_loss.to_bits(),
+        ref_report.final_loss.to_bits(),
+        "resume must be bitwise-equal to the uninterrupted reference"
+    );
+    assert_eq!(resumed.test_acc, ref_report.test_acc, "resume accuracy diverged");
+    eprintln!(
+        "kill@{kill_at}/{epochs} + resume: {resume_secs:.4}s for the resumed leg, \
+         loss bits match reference"
+    );
+
+    // 3) Sharded halo corruption: detect by CRC, repair by re-exchange.
+    let part = hash_partition(ds.num_nodes(), 2);
+    let halo_plan = Arc::new(FaultPlan::new(97).corrupt_halo(1, 8));
+    let halo_cfg = TrainConfig { fault_plan: Some(Arc::clone(&halo_plan)), ..base.clone() };
+    let t1 = Instant::now();
+    let (_, halo_report, _) = train_sharded_gcn(&ds, &part, &halo_cfg).unwrap();
+    let halo_secs = t1.elapsed().as_secs_f64();
+    assert!(halo_plan.exhausted(), "armed halo corruption never fired");
+    assert_eq!(
+        halo_report.final_loss.to_bits(),
+        ref_report.final_loss.to_bits(),
+        "halo repair must be bitwise"
+    );
+    let injected = sgnn_fault::injected_count();
+    let retries = sgnn_fault::retry_count();
+    assert!(injected >= 2, "both armed faults must be counted, got {injected}");
+    assert!(retries >= 1, "halo repair must consume at least one retry, got {retries}");
+    eprintln!("halo corruption: repaired in {halo_secs:.4}s, {retries} recovery retries");
+
+    let obs = sgnn_obs::report();
+    sgnn_obs::disable();
+    if !keep_ckpt {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"threads_hardware\": {},\n",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    ));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"sbm({n}, 5 classes, deg 12, homophily 0.9, 32 features, seed 1), \
+         2-layer GCN hidden {hidden}, {epochs} epochs\",\n"
+    ));
+    json.push_str(&format!("  \"baseline_epoch_secs\": {base_epoch:.9},\n"));
+    json.push_str(&format!("  \"checkpoint_epoch_secs\": {ckpt_epoch:.9},\n"));
+    json.push_str(&format!("  \"checkpoint_overhead_pct\": {overhead_pct:.3},\n"));
+    json.push_str(&format!("  \"checkpoint_bytes\": {ckpt_bytes},\n"));
+    json.push_str(&format!("  \"kill_at_epoch\": {kill_at},\n"));
+    json.push_str(&format!("  \"resume_leg_secs\": {resume_secs:.9},\n"));
+    json.push_str("  \"resume_bitwise_equal\": true,\n");
+    json.push_str(&format!("  \"halo_repair_secs\": {halo_secs:.9},\n"));
+    json.push_str("  \"halo_repair_bitwise_equal\": true,\n");
+    json.push_str(&format!("  \"fault_injected\": {injected},\n"));
+    json.push_str(&format!("  \"recovery_retries\": {retries}\n"));
+    json.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_recovery.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    if obs_json {
+        println!("{}", serde::json::to_string(&obs));
+        sgnn_obs::flush();
+    }
+}

@@ -140,10 +140,10 @@ fn main() {
     set_threads(2);
     sgnn_obs::enable();
     sgnn_obs::reset();
-    let (_, inline_report) = train_sampled(&ds, &sampler, &cfg);
+    let (_, inline_report) = train_sampled(&ds, &sampler, &cfg).unwrap();
     sgnn_obs::reset();
     let (_, piped_report) =
-        train_sampled(&ds, &sampler, &TrainConfig { prefetch: true, ..cfg.clone() });
+        train_sampled(&ds, &sampler, &TrainConfig { prefetch: true, ..cfg.clone() }).unwrap();
     let obs = sgnn_obs::report();
     sgnn_obs::disable();
     set_threads(0);

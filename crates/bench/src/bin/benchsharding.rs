@@ -76,7 +76,7 @@ fn main() {
 
     sgnn_obs::enable();
     sgnn_obs::reset();
-    let (_, ref_report) = train_full_gcn(&ds, &cfg);
+    let (_, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
     let ref_epoch = ref_report.train_secs / ref_report.epochs_run.max(1) as f64;
     eprintln!("single-process reference: {ref_epoch:.4}s/epoch, loss {}", ref_report.final_loss);
 
@@ -87,7 +87,7 @@ fn main() {
             let model = comm::simulate(&ds.graph, &part, exchanges, hidden);
             let edge_cut = sgnn_partition::metrics::edge_cut(&ds.graph, &part);
             sgnn_obs::reset();
-            let (_, report, stats) = train_sharded_gcn(&ds, &part, &cfg);
+            let (_, report, stats) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
             assert_eq!(
                 report.final_loss.to_bits(),
                 ref_report.final_loss.to_bits(),

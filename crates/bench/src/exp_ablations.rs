@@ -119,7 +119,7 @@ pub fn a4_cross_batch_flow() -> bool {
     let ds = sbm_dataset(8_000, 4, 10.0, 0.85, 16, 1.0, 0, 0.5, 0.25, 37);
     let cfg = TrainConfig { epochs: 25, hidden: vec![32], ..Default::default() };
     println!("\n  {:<16} {:>8} {:>10} {:>10}", "method", "acc", "train(s)", "peak MiB");
-    let (_, cg) = train_cluster_gcn(&ds, 16, 1, &cfg);
+    let (_, cg) = train_cluster_gcn(&ds, 16, 1, &cfg).unwrap();
     println!(
         "  {:<16} {:>8.3} {:>10.2} {:>10}",
         "cluster-isolated",
@@ -127,7 +127,7 @@ pub fn a4_cross_batch_flow() -> bool {
         cg.train_secs,
         crate::mib(cg.peak_mem_bytes)
     );
-    let se = train_seignn(&ds, 16, &cfg);
+    let se = train_seignn(&ds, 16, &cfg).unwrap();
     println!(
         "  {:<16} {:>8.3} {:>10.2} {:>10}",
         se.name,
@@ -135,7 +135,8 @@ pub fn a4_cross_batch_flow() -> bool {
         se.train_secs,
         crate::mib(se.peak_mem_bytes)
     );
-    let (hi, stats) = train_history(&ds, 5, &TrainConfig { batch_size: 512, ..cfg.clone() });
+    let (hi, stats) =
+        train_history(&ds, 5, &TrainConfig { batch_size: 512, ..cfg.clone() }).unwrap();
     println!(
         "  {:<16} {:>8.3} {:>10.2} {:>10}   (hit rate {:.2}, mean age {:.1} iters)",
         hi.name,

@@ -17,11 +17,13 @@ pub fn e5_spectral_heterophily() -> bool {
     let cfg = TrainConfig { epochs: 30, hidden: vec![32], ..Default::default() };
     for h in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
         let ds = sbm_dataset(4_000, 4, 12.0, h, 16, 0.4, 0, 0.5, 0.25, 6);
-        let mlp = train_decoupled(&ds, &PrecomputeMethod::None, &cfg).1.test_acc;
-        let sgc = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1.test_acc;
-        let ld2 =
-            train_decoupled(&ds, &PrecomputeMethod::Ld2(Ld2Config::default()), &cfg).1.test_acc;
-        let gcn = train_full_gcn(&ds, &cfg).1.test_acc;
+        let mlp = train_decoupled(&ds, &PrecomputeMethod::None, &cfg).unwrap().1.test_acc;
+        let sgc = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap().1.test_acc;
+        let ld2 = train_decoupled(&ds, &PrecomputeMethod::Ld2(Ld2Config::default()), &cfg)
+            .unwrap()
+            .1
+            .test_acc;
+        let gcn = train_full_gcn(&ds, &cfg).unwrap().1.test_acc;
         println!("  {h:<6.2} {mlp:>8.3} {sgc:>8.3} {ld2:>8.3} {gcn:>8.3}");
     }
     // Over-smoothing curve: feature diversity vs propagation depth.
@@ -59,11 +61,11 @@ pub fn e6_similarity() -> bool {
         sgnn_spectral::diagnostics::edge_homophily(&ds.graph, &ds.labels)
     );
     let cfg = TrainConfig { epochs: 40, hidden: vec![32], ..Default::default() };
-    let gcn = train_full_gcn(&ds, &cfg).1.test_acc;
+    let gcn = train_full_gcn(&ds, &cfg).unwrap().1.test_acc;
     println!("  gcn reference (coupled)           acc={gcn:.3}");
-    let mlp = train_decoupled(&ds, &PrecomputeMethod::None, &cfg).1.test_acc;
+    let mlp = train_decoupled(&ds, &PrecomputeMethod::None, &cfg).unwrap().1.test_acc;
     println!("  mlp baseline (no graph)           acc={mlp:.3}");
-    let sgc = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1.test_acc;
+    let sgc = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap().1.test_acc;
     println!("  sgc-k2 (low-pass decoupled)       acc={sgc:.3}");
     // SIMGA-style: raw features plus aggregation passes over the top-k
     // SimRank graph — global structurally-similar context instead of the
@@ -76,7 +78,7 @@ pub fn e6_similarity() -> bool {
     let emb = ds.features.concat_cols(&global).unwrap().concat_cols(&global2).unwrap();
     let mut ds_sim = ds.clone();
     ds_sim.features = emb;
-    let simga = train_decoupled(&ds_sim, &PrecomputeMethod::None, &cfg).1.test_acc;
+    let simga = train_decoupled(&ds_sim, &PrecomputeMethod::None, &cfg).unwrap().1.test_acc;
     println!(
         "  simga-style (X ⊕ SX ⊕ S²X)        acc={simga:.3}  (simrank precompute {sim_secs:.2}s)"
     );
@@ -84,7 +86,7 @@ pub fn e6_similarity() -> bool {
     // heterophily with informative attributes (rewiring trusts feature
     // similarity, so features must carry signal).
     let ds_r = sbm_dataset(1_500, 3, 10.0, 0.15, 12, 0.4, 0, 0.5, 0.25, 9);
-    let gcn_r = train_full_gcn(&ds_r, &cfg).1.test_acc;
+    let gcn_r = train_full_gcn(&ds_r, &cfg).unwrap().1.test_acc;
     let (rewired, rep) = sgnn_sim::rewire(
         &ds_r.graph,
         &ds_r.features,
@@ -96,7 +98,7 @@ pub fn e6_similarity() -> bool {
     );
     let mut ds_rw = ds_r.clone();
     ds_rw.graph = rewired;
-    let dhgr = train_full_gcn(&ds_rw, &cfg).1.test_acc;
+    let dhgr = train_full_gcn(&ds_rw, &cfg).unwrap().1.test_acc;
     println!("  --- rewiring regime (n=1500, deg 10, h=0.15, clean attrs) ---");
     println!("  gcn on raw graph                  acc={gcn_r:.3}");
     println!(
@@ -171,8 +173,12 @@ pub fn e8_implicit() -> bool {
     let cfg = TrainConfig { epochs: 80, hidden: vec![16], dropout: 0.0, ..Default::default() };
     for len in [8usize, 16, 32, 64] {
         let ds = chain_dataset(96, len, 2, 4, 0.1, 13);
-        let gcn2 = train_full_gcn(&ds, &TrainConfig { hidden: vec![16], ..cfg.clone() }).1.test_acc;
+        let gcn2 = train_full_gcn(&ds, &TrainConfig { hidden: vec![16], ..cfg.clone() })
+            .unwrap()
+            .1
+            .test_acc;
         let gcn4 = train_full_gcn(&ds, &TrainConfig { hidden: vec![16, 16, 16], ..cfg.clone() })
+            .unwrap()
             .1
             .test_acc;
         // Implicit model on the *oriented* chain operator (each node pulls
@@ -198,7 +204,7 @@ pub fn e8_implicit() -> bool {
         );
         let mut ds_imp = ds.clone();
         ds_imp.features = z;
-        let imp = train_decoupled(&ds_imp, &PrecomputeMethod::None, &cfg).1.test_acc;
+        let imp = train_decoupled(&ds_imp, &PrecomputeMethod::None, &cfg).unwrap().1.test_acc;
         println!("  {len:<10} {gcn2:>10.3} {gcn4:>10.3} {imp:>10.3}");
     }
     println!("\n  solver comparison (γ=0.9, 2k-node SBM, tol 1e-8):");

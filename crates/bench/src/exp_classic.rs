@@ -123,16 +123,17 @@ pub fn e3_sampling_families() -> bool {
     );
     print_report_header();
     let cfg = TrainConfig { epochs: 20, hidden: vec![32], ..Default::default() };
-    print_report(&train_full_gcn(&ds, &cfg).1);
+    print_report(&train_full_gcn(&ds, &cfg).unwrap().1);
     let cfg_s = TrainConfig { epochs: 6, batch_size: 512, ..cfg.clone() };
-    print_report(&train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).1);
-    print_report(&train_sampled(&ds, &SamplerKind::LayerWise(vec![512, 512]), &cfg_s).1);
-    print_report(&train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg_s).1);
+    print_report(&train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).unwrap().1);
+    print_report(&train_sampled(&ds, &SamplerKind::LayerWise(vec![512, 512]), &cfg_s).unwrap().1);
+    print_report(&train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg_s).unwrap().1);
     print_report(
         &train_saint(&ds, sgnn_sample::SaintSampler::RandomWalk { roots: 300, length: 4 }, 8, &cfg)
+            .unwrap()
             .1,
     );
-    print_report(&train_cluster_gcn(&ds, 20, 2, &cfg).1);
+    print_report(&train_cluster_gcn(&ds, 20, 2, &cfg).unwrap().1);
     println!("\n  shape check: all samplers within a few points of full-batch accuracy");
     println!("  at a fraction of its peak memory.");
     true
@@ -147,13 +148,15 @@ pub fn e4_decoupled_scaling() -> bool {
         println!("\n  n = {} (m = {}):", n, ds.graph.num_edges() / 2);
         print_report_header();
         let cfg = TrainConfig { epochs: 15, hidden: vec![32], ..Default::default() };
-        print_report(&train_full_gcn(&ds, &cfg).1);
-        print_report(&train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1);
+        print_report(&train_full_gcn(&ds, &cfg).unwrap().1);
+        print_report(&train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap().1);
         print_report(
-            &train_decoupled(&ds, &PrecomputeMethod::Appnp { alpha: 0.15, k: 10 }, &cfg).1,
+            &train_decoupled(&ds, &PrecomputeMethod::Appnp { alpha: 0.15, k: 10 }, &cfg).unwrap().1,
         );
         print_report(
-            &train_decoupled(&ds, &PrecomputeMethod::Scara { alpha: 0.15, eps: 1e-5 }, &cfg).1,
+            &train_decoupled(&ds, &PrecomputeMethod::Scara { alpha: 0.15, eps: 1e-5 }, &cfg)
+                .unwrap()
+                .1,
         );
     }
     println!("\n  shape check: the GCN/decoupled peak-memory gap widens with n;");

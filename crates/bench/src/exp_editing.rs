@@ -32,7 +32,7 @@ pub fn e9_sparsification() -> bool {
         // Train the decoupled head on the pruned embedding.
         let mut ds2 = ds.clone();
         ds2.features = emb;
-        let acc = train_decoupled(&ds2, &PrecomputeMethod::None, &cfg).1.test_acc;
+        let acc = train_decoupled(&ds2, &PrecomputeMethod::None, &cfg).unwrap().1.test_acc;
         println!(
             "  {:<10} {:>11.1}% {:>12.4} {:>10.2} {:>10.3}",
             delta,
@@ -144,7 +144,7 @@ pub fn e12_coarsening() -> bool {
     println!("E12: coarsening & condensation (paper §3.3.4, GDEM [33]/GC-SNTK [49])");
     let ds = sbm_dataset(10_000, 4, 12.0, 0.85, 16, 0.8, 0, 0.5, 0.25, 25);
     let cfg = TrainConfig { epochs: 60, hidden: vec![32], ..Default::default() };
-    let full = train_full_gcn(&ds, &cfg).1;
+    let full = train_full_gcn(&ds, &cfg).unwrap().1;
     println!(
         "\n  {:<10} {:>8} {:>10} {:>10} {:>12}",
         "ratio", "acc", "train(s)", "peak MiB", "λ-match err"
@@ -158,7 +158,7 @@ pub fn e12_coarsening() -> bool {
         "-"
     );
     for ratio in [0.5f64, 0.3, 0.1, 0.05] {
-        let r = train_coarse(&ds, ratio, &cfg);
+        let r = train_coarse(&ds, ratio, &cfg).unwrap();
         let c = sgnn_coarsen::coarsen_to_ratio(&ds.graph, ratio, cfg.seed);
         let m = sgnn_coarsen::gdem::eigenvalue_match(&ds.graph, &c, 5, 26);
         println!(
@@ -172,7 +172,7 @@ pub fn e12_coarsening() -> bool {
     }
     // Feature-aware coarsening (ConvMatch) at the same ratio for contrast.
     let cm = sgnn_coarsen::convmatch::convmatch_coarsen(&ds.graph, &ds.features, 0.3);
-    let r = sgnn_core::trainer::train_coarse_with(&ds, &cm, &cfg, "convmatch-0.3");
+    let r = sgnn_core::trainer::train_coarse_with(&ds, &cm, &cfg, "convmatch-0.3").unwrap();
     println!(
         "  {:<10} {:>8.3} {:>10.2} {:>10} {:>12}",
         "cm-0.3",
@@ -223,17 +223,17 @@ pub fn e13_memory_map() -> bool {
     let row = |name: &str, peak: usize, acc: f64| {
         println!("  {:<18} {:>10} {:>8.3}", name, crate::mib(peak), acc);
     };
-    let r = train_full_gcn(&ds, &cfg).1;
+    let r = train_full_gcn(&ds, &cfg).unwrap().1;
     row("gcn-full", r.peak_mem_bytes, r.test_acc);
     crate::emit_report(&r);
-    let r = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).1;
+    let r = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap().1;
     row("sgc-decoupled", r.peak_mem_bytes, r.test_acc);
     crate::emit_report(&r);
     let cfg_s = TrainConfig { epochs: 5, batch_size: 512, ..cfg.clone() };
-    let r = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).1;
+    let r = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).unwrap().1;
     row("sage-sampled", r.peak_mem_bytes, r.test_acc);
     crate::emit_report(&r);
-    let r = train_coarse(&ds, 0.1, &TrainConfig { epochs: 60, ..cfg.clone() });
+    let r = train_coarse(&ds, 0.1, &TrainConfig { epochs: 60, ..cfg.clone() }).unwrap();
     row("coarse-10x", r.peak_mem_bytes, r.test_acc);
     crate::emit_report(&r);
     println!("\n  shape check: full-batch holds graph-scale activations; decoupled");

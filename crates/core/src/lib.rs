@@ -29,6 +29,8 @@
 // parameter list deliberately (documented, stable).
 #![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 
+pub mod ckpt;
+pub mod error;
 pub mod memory;
 pub mod metrics;
 pub mod models;
@@ -38,5 +40,6 @@ pub mod taxonomy;
 pub mod trainer;
 pub mod trainer_ext;
 
+pub use error::{TrainError, TrainResult};
 pub use memory::Ledger;
 pub use trainer::TrainReport;

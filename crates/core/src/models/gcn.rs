@@ -163,6 +163,28 @@ impl Gcn {
         opt.step_done();
     }
 
+    /// Visits every parameter tensor in the slot order [`step`](Gcn::step)
+    /// uses — the checkpoint save/restore contract.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut DenseMatrix)) {
+        for l in &mut self.linears {
+            l.visit_params(&mut |p, _| f(p));
+        }
+    }
+
+    /// Per-layer dropout call counters — the mask stream positions. Part
+    /// of the checkpoint contract: a resumed run must continue the same
+    /// call sequence the reference run would use.
+    pub fn dropout_calls(&self) -> Vec<u64> {
+        self.dropouts.iter().map(|d| d.calls()).collect()
+    }
+
+    /// Restores the dropout call counters (checkpoint resume).
+    pub fn restore_dropout_calls(&mut self, calls: &[u64]) {
+        for (d, &c) in self.dropouts.iter_mut().zip(calls) {
+            d.set_calls(c);
+        }
+    }
+
     /// Peak resident bytes of one training step on an `n_nodes` graph:
     /// two graph-scale activations per layer plus parameters.
     pub fn step_bytes(&self, n_nodes: usize, in_dim: usize) -> usize {

@@ -115,6 +115,15 @@ impl Sage {
         }
     }
 
+    /// Visits every parameter tensor in the slot order [`step`](Sage::step)
+    /// uses — the checkpoint save/restore contract.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut DenseMatrix)) {
+        for l in &mut self.layers {
+            l.lin_self.visit_params(&mut |p, _| f(p));
+            l.lin_neigh.visit_params(&mut |p, _| f(p));
+        }
+    }
+
     /// Optimizer step.
     pub fn step(&mut self, opt: &mut dyn Optimizer) {
         let mut slot = 0usize;

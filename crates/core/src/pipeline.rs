@@ -25,7 +25,18 @@
 //! - `pipeline.overlap_ns` — prepare time hidden behind compute
 //!   (`prep − stall`, saturating);
 //! - `pipeline.prefetch_hits` — batches already waiting when the consumer
-//!   asked.
+//!   asked;
+//! - `pipeline.producer_restarts` — producer panics absorbed by the
+//!   restart budget (see below).
+//!
+//! **Recovery** (DESIGN.md §8): a pipeline built with
+//! [`BatchPipeline::with_restarts`] absorbs up to `max_restarts` producer
+//! panics per `run`. Because `prepare` is pure in the batch index, the
+//! restarted producer re-prepares from the first unconsumed batch and the
+//! consumer observes the exact same `(index, batch)` stream it would have
+//! seen without the panic. Consumer panics are never restarted — `consume`
+//! mutates trainer state and is not replayable — and a producer panic
+//! beyond the budget resurfaces with its original payload.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
@@ -34,11 +45,13 @@ use std::time::Instant;
 static STALL_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.stall_ns");
 static OVERLAP_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.overlap_ns");
 static PREFETCH_HITS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.prefetch_hits");
+static PRODUCER_RESTARTS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.producer_restarts");
 
 /// Drives one epoch's batches through prepare (sampling) and consume
 /// (forward/backward/step), overlapping the two when pipelining is on.
 pub struct BatchPipeline {
     pipelined: bool,
+    max_restarts: u32,
 }
 
 impl BatchPipeline {
@@ -47,7 +60,13 @@ impl BatchPipeline {
     /// configured thread — on a single thread the producer would only
     /// time-slice against the consumer, adding overhead for nothing.
     pub fn new(enabled: bool) -> Self {
-        BatchPipeline { pipelined: enabled && sgnn_linalg::par::num_threads() > 1 }
+        Self::with_restarts(enabled, 0)
+    }
+
+    /// Like [`new`](BatchPipeline::new), plus a per-`run` budget of
+    /// producer restarts (0 = propagate the first producer panic).
+    pub fn with_restarts(enabled: bool, max_restarts: u32) -> Self {
+        BatchPipeline { pipelined: enabled && sgnn_linalg::par::num_threads() > 1, max_restarts }
     }
 
     /// True when `run` will actually overlap prepare with consume.
@@ -62,7 +81,9 @@ impl BatchPipeline {
     ///
     /// `prepare` must be a pure function of `i` (trainers derive the
     /// batch seed from it); a panic in either closure propagates from
-    /// this call without deadlocking the other side.
+    /// this call without deadlocking the other side, except that up to
+    /// `max_restarts` *producer* panics are absorbed by restarting the
+    /// producer at the first unconsumed batch.
     pub fn run<T, P, C>(&self, n: usize, prepare: P, mut consume: C) -> f64
     where
         T: Send,
@@ -70,71 +91,111 @@ impl BatchPipeline {
         C: FnMut(usize, T),
     {
         if !self.pipelined || n <= 1 {
-            let mut secs = 0.0;
-            for i in 0..n {
-                let item = {
-                    let _sp = sgnn_obs::span!("trainer.sample");
-                    let t0 = Instant::now();
-                    let item = prepare(i);
-                    secs += t0.elapsed().as_secs_f64();
-                    item
-                };
-                consume(i, item);
-            }
-            return secs;
+            return self.run_inline(n, &prepare, &mut consume);
         }
-        let slot: Slot<T> = Slot::new();
+        let mut restarts_left = self.max_restarts;
         let mut stall_secs = 0.0;
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                for i in 0..n {
-                    let produced = catch_unwind(AssertUnwindSafe(|| {
-                        let _sp = sgnn_obs::span!("trainer.prefetch");
-                        let t0 = Instant::now();
-                        let item = prepare(i);
-                        (item, t0.elapsed().as_nanos() as u64)
-                    }));
-                    match produced {
-                        Ok((item, prep_ns)) => {
-                            if !slot.put(i, item, prep_ns) {
-                                return; // consumer gone; stop sampling
+        // Next batch to hand to `consume`; persists across producer
+        // restarts so the consumed stream has no gaps or repeats.
+        let mut next = 0usize;
+        loop {
+            let slot: Slot<T> = Slot::new();
+            let start = next;
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in start..n {
+                        let produced = catch_unwind(AssertUnwindSafe(|| {
+                            let _sp = sgnn_obs::span!("trainer.prefetch");
+                            let t0 = Instant::now();
+                            let item = prepare(i);
+                            (item, t0.elapsed().as_nanos() as u64)
+                        }));
+                        match produced {
+                            Ok((item, prep_ns)) => {
+                                if !slot.put(i, item, prep_ns) {
+                                    return; // consumer gone; stop sampling
+                                }
+                            }
+                            Err(payload) => {
+                                slot.poison(Some(payload));
+                                return;
                             }
                         }
-                        Err(payload) => {
-                            slot.poison(Some(payload));
-                            return;
-                        }
                     }
+                });
+                // Poison on unwind so a consumer panic can't strand the
+                // producer inside `put` (scope would then never join).
+                let guard = PoisonOnDrop(&slot);
+                for _ in start..n {
+                    let t0 = Instant::now();
+                    let taken = {
+                        let _sp = sgnn_obs::span!("trainer.sample");
+                        slot.take()
+                    };
+                    let Some((i, item, prep_ns, was_ready)) = taken else {
+                        break; // producer panicked; payload handled below
+                    };
+                    let stall = t0.elapsed();
+                    stall_secs += stall.as_secs_f64();
+                    let stall_ns = stall.as_nanos() as u64;
+                    STALL_NS.add(stall_ns);
+                    OVERLAP_NS.add(prep_ns.saturating_sub(stall_ns));
+                    if was_ready {
+                        PREFETCH_HITS.incr();
+                    }
+                    consume(i, item);
+                    next = i + 1;
                 }
+                std::mem::forget(guard);
             });
-            // Poison on unwind so a consumer panic can't strand the
-            // producer inside `put` (scope would then never join).
-            let guard = PoisonOnDrop(&slot);
-            for _ in 0..n {
-                let t0 = Instant::now();
-                let taken = {
-                    let _sp = sgnn_obs::span!("trainer.sample");
-                    slot.take()
-                };
-                let Some((i, item, prep_ns, was_ready)) = taken else {
-                    break; // producer panicked; payload rethrown below
-                };
-                let stall = t0.elapsed();
-                stall_secs += stall.as_secs_f64();
-                let stall_ns = stall.as_nanos() as u64;
-                STALL_NS.add(stall_ns);
-                OVERLAP_NS.add(prep_ns.saturating_sub(stall_ns));
-                if was_ready {
-                    PREFETCH_HITS.incr();
+            match slot.take_panic() {
+                None => return stall_secs,
+                Some(payload) => {
+                    if restarts_left == 0 {
+                        resume_unwind(payload);
+                    }
+                    restarts_left -= 1;
+                    PRODUCER_RESTARTS.incr();
+                    sgnn_fault::record_recovery_retry();
                 }
-                consume(i, item);
             }
-            std::mem::forget(guard);
-        });
-        if let Some(payload) = slot.take_panic() {
-            resume_unwind(payload);
         }
-        stall_secs
+    }
+
+    /// Inline fallback — same restart semantics, no producer thread.
+    fn run_inline<T, P, C>(&self, n: usize, prepare: &P, consume: &mut C) -> f64
+    where
+        T: Send,
+        P: Fn(usize) -> T + Sync,
+        C: FnMut(usize, T),
+    {
+        let mut secs = 0.0;
+        let mut restarts_left = self.max_restarts;
+        let mut i = 0usize;
+        while i < n {
+            let produced = catch_unwind(AssertUnwindSafe(|| {
+                let _sp = sgnn_obs::span!("trainer.sample");
+                let t0 = Instant::now();
+                let item = prepare(i);
+                (item, t0.elapsed().as_secs_f64())
+            }));
+            match produced {
+                Ok((item, s)) => {
+                    secs += s;
+                    consume(i, item);
+                    i += 1;
+                }
+                Err(payload) => {
+                    if restarts_left == 0 {
+                        resume_unwind(payload);
+                    }
+                    restarts_left -= 1;
+                    PRODUCER_RESTARTS.incr();
+                    sgnn_fault::record_recovery_retry();
+                }
+            }
+        }
+        secs
     }
 }
 
@@ -233,12 +294,16 @@ mod tests {
 
     /// Exercises the pipelined path directly, independent of thread config.
     fn forced() -> BatchPipeline {
-        BatchPipeline { pipelined: true }
+        BatchPipeline { pipelined: true, max_restarts: 0 }
+    }
+
+    fn inline() -> BatchPipeline {
+        BatchPipeline { pipelined: false, max_restarts: 0 }
     }
 
     #[test]
     fn inline_and_pipelined_visit_batches_in_order() {
-        for pipe in [BatchPipeline { pipelined: false }, forced()] {
+        for pipe in [inline(), forced()] {
             let mut seen = Vec::new();
             let secs = pipe.run(7, |i| i * 10, |i, v| seen.push((i, v)));
             assert_eq!(seen, (0..7).map(|i| (i, i * 10)).collect::<Vec<_>>());
@@ -308,5 +373,78 @@ mod tests {
             );
         }));
         assert!(hit.is_err());
+    }
+
+    #[test]
+    fn restart_replays_identical_batch_stream() {
+        // One producer panic mid-epoch; with a restart budget the consumer
+        // must still see every (index, value) pair exactly once, in order.
+        for pipe in [
+            BatchPipeline { pipelined: true, max_restarts: 1 },
+            BatchPipeline { pipelined: false, max_restarts: 1 },
+        ] {
+            let fired = std::sync::atomic::AtomicBool::new(false);
+            let mut seen = Vec::new();
+            pipe.run(
+                6,
+                |i| {
+                    if i == 3 && !fired.swap(true, Ordering::SeqCst) {
+                        panic!("injected producer fault");
+                    }
+                    i * 10
+                },
+                |i, v| seen.push((i, v)),
+            );
+            assert_eq!(seen, (0..6).map(|i| (i, i * 10)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panic_beyond_restart_budget_resurfaces_payload() {
+        let pipe = BatchPipeline { pipelined: true, max_restarts: 2 };
+        let hit = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pipe.run(
+                4,
+                |i| {
+                    if i == 1 {
+                        panic!("always fails");
+                    }
+                    i
+                },
+                |_, _| {},
+            );
+        }));
+        let payload = hit.expect_err("exhausted budget must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "always fails");
+    }
+
+    #[test]
+    fn restarted_producer_does_not_repeat_consumed_batches() {
+        // The panic fires after several batches were already consumed; the
+        // restarted producer must resume from the first unconsumed index.
+        let pipe = BatchPipeline { pipelined: true, max_restarts: 1 };
+        let fired = std::sync::atomic::AtomicBool::new(false);
+        let prepares = AtomicUsize::new(0);
+        let mut seen = Vec::new();
+        pipe.run(
+            5,
+            |i| {
+                prepares.fetch_add(1, Ordering::SeqCst);
+                if i == 4 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("late fault");
+                }
+                i
+            },
+            |i, v| seen.push((i, v)),
+        );
+        assert_eq!(seen, (0..5).map(|i| (i, i)).collect::<Vec<_>>());
+        // Re-preparation is bounded: at worst the in-flight batch plus the
+        // faulted one are prepared twice.
+        assert!(
+            prepares.load(Ordering::SeqCst) <= 8,
+            "{} prepares",
+            prepares.load(Ordering::SeqCst)
+        );
     }
 }

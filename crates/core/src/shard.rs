@@ -48,10 +48,15 @@
 //! the *global* operator is released once the plan is built — the
 //! sharded trainer's resident set is the plan, not the graph.
 
-use crate::memory::Ledger;
+use crate::error::{TrainError, TrainResult};
 use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
-use crate::trainer::{EarlyStopper, TrainConfig, TrainReport};
+use crate::trainer::{
+    apply_resume, build_ledger, ensure_classes, maybe_checkpoint, poll_epoch_kill, EarlyStopper,
+    TrainConfig, TrainReport,
+};
 use sgnn_data::Dataset;
+use sgnn_fault::crc::crc32_f32s;
+use sgnn_fault::FaultPlan;
 use sgnn_graph::spmm::spmm_into;
 use sgnn_linalg::par::par_map_chunks;
 use sgnn_linalg::reduce::{accumulate_fx, colsum_fx, grad_fx, merge_fx};
@@ -155,6 +160,9 @@ fn tree_allreduce(mut parts: Vec<Vec<i128>>, bytes: &mut u64) -> Vec<i128> {
     parts.into_iter().next().expect("at least one shard")
 }
 
+/// Bounded-retry budget for a checksum-failed halo exchange.
+const MAX_HALO_RETRIES: u32 = 3;
+
 /// Shared state of one sharded run.
 struct Runtime<'a> {
     plan: &'a ShardPlan,
@@ -165,11 +173,53 @@ struct Runtime<'a> {
     seed: u64,
     total_w: f32,
     comm: Comm,
+    /// Armed fault injector; `None` also disables the halo checksum
+    /// verification below, keeping the fault machinery zero-overhead for
+    /// normal runs (the repo-wide "free when off" rule).
+    fault: Option<&'a FaultPlan>,
+    /// Global BSP superstep counter: every compute barrier and every
+    /// exchange barrier across all epochs increments it, which gives
+    /// `Fault::KillAtSuperstep` a stable positional address.
+    superstep: u64,
+    /// Global halo-exchange counter (training and eval passes).
+    exchange_idx: u64,
+    /// Superstep at which an armed kill fired.
+    killed: Option<u64>,
+    /// `(exchange, retries)` of a halo exchange still corrupt after the
+    /// retry budget.
+    halo_fail: Option<(u64, u32)>,
 }
 
 impl Runtime<'_> {
     fn num_layers(&self) -> usize {
         self.dims.len() - 1
+    }
+
+    /// One BSP barrier: advances the superstep counter, polls the kill
+    /// site, and reports whether the epoch should abort (either from a
+    /// kill at this barrier or a fault recorded at an earlier one).
+    fn poll_superstep(&mut self) -> bool {
+        let s = self.superstep;
+        self.superstep += 1;
+        if let Some(plan) = self.fault {
+            if plan.poll_kill_superstep(s) {
+                self.killed = Some(s);
+            }
+        }
+        self.faulted()
+    }
+
+    fn faulted(&self) -> bool {
+        self.killed.is_some() || self.halo_fail.is_some()
+    }
+
+    /// The error for a recorded fault, if any (checked by the epoch loop
+    /// after each phase so `Err` is returned instead of panicking).
+    fn fault_error(&self) -> Option<TrainError> {
+        if let Some((exchange, retries)) = self.halo_fail {
+            return Some(TrainError::HaloCorrupt { exchange, retries });
+        }
+        self.killed.map(|s| TrainError::InjectedCrash { site: "superstep", at: s })
     }
 
     /// Halo exchange: builds each shard's full `n_local × d` buffer from
@@ -179,9 +229,17 @@ impl Runtime<'_> {
     /// sources (`outs`) and destinations are distinct allocations, so
     /// every shard reads a consistent snapshot regardless of task
     /// scheduling.
+    ///
+    /// With a fault plan armed, every built buffer is checksummed against
+    /// its sender-side CRC-32 and mismatching shards are rebuilt from the
+    /// (still pristine) sources, up to [`MAX_HALO_RETRIES`] times — the
+    /// checksum-verified-retry recovery policy of DESIGN.md §8. Without a
+    /// plan no checksums are computed at all.
     fn exchange(&mut self, outs: &[DenseMatrix], d: usize) -> Vec<DenseMatrix> {
+        let xid = self.exchange_idx;
+        self.exchange_idx += 1;
         let plan = self.plan;
-        let built = par_map_chunks(plan.k, |s| {
+        let build = |s: usize| {
             let shard = &plan.shards[s];
             let mut h = DenseMatrix::zeros(shard.n_local(), d);
             for (r, &lr) in shard.owned_local.iter().enumerate() {
@@ -192,13 +250,38 @@ impl Runtime<'_> {
                     .copy_from_slice(outs[owner as usize].row(rank as usize));
             }
             h
-        });
+        };
+        let mut built = par_map_chunks(plan.k, build);
         let v = plan.halo_vectors();
         let b = v * d as u64 * 4;
         HALO_VECTORS.add(v);
         HALO_BYTES.add(b);
         self.comm.halo_vectors += v;
         self.comm.halo_bytes += b;
+        if let Some(fp) = self.fault {
+            // Sender-side checksums of the pristine buffers, then the
+            // injector corrupts one buffer "in transit".
+            let want: Vec<u32> = built.iter().map(|h| crc32_f32s(h.data())).collect();
+            fp.corrupt_halo_buf(xid, built[xid as usize % plan.k].data_mut());
+            let mut retries = 0u32;
+            loop {
+                let bad: Vec<usize> =
+                    (0..plan.k).filter(|&s| crc32_f32s(built[s].data()) != want[s]).collect();
+                if bad.is_empty() {
+                    break;
+                }
+                if retries >= MAX_HALO_RETRIES {
+                    self.halo_fail = Some((xid, retries));
+                    break;
+                }
+                retries += 1;
+                sgnn_fault::record_recovery_retry();
+                // Re-exchange only the shards whose buffer failed.
+                for &s in &bad {
+                    built[s] = build(s);
+                }
+            }
+        }
         built
     }
 
@@ -230,6 +313,9 @@ impl Runtime<'_> {
         let mut h_locals: Vec<DenseMatrix> = Vec::new();
         let mut logits: Vec<DenseMatrix> = Vec::new();
         for i in 0..l {
+            if self.poll_superstep() {
+                return (logits, x_caches, relu_masks);
+            }
             let layer = gcn.layer(i);
             let (w, b) = (&layer.w, &layer.b);
             let (d_in, d_out) = (self.dims[i], self.dims[i + 1]);
@@ -278,6 +364,9 @@ impl Runtime<'_> {
                 logits = zs;
             } else {
                 relu_masks.push(ms);
+                if self.poll_superstep() {
+                    return (logits, x_caches, relu_masks);
+                }
                 h_locals = self.exchange(&zs, d_out);
             }
         }
@@ -288,6 +377,9 @@ impl Runtime<'_> {
     /// scalar loss is a fixed-point partial per shard, tree-allreduced;
     /// gradient rows are per-row given the global weight total.
     fn loss_and_grad(&mut self, logits: &[DenseMatrix]) -> (f32, Vec<DenseMatrix>) {
+        if self.poll_superstep() {
+            return (0.0, Vec::new());
+        }
         let c = self.dims[self.num_layers()];
         let (ctxs, total_w) = (self.ctxs, self.total_w);
         let parts: Vec<(i128, DenseMatrix)> = par_map_chunks(self.plan.k, |s| {
@@ -335,6 +427,9 @@ impl Runtime<'_> {
         let mut gw_tot: Vec<Vec<i128>> = vec![Vec::new(); l];
         let mut gb_tot: Vec<Vec<i128>> = vec![Vec::new(); l];
         for i in (0..l).rev() {
+            if self.poll_superstep() {
+                return;
+            }
             let (d_in, d_out) = (self.dims[i], self.dims[i + 1]);
             let last = i + 1 == l;
             let wt = gcn.layer(i).w.transpose();
@@ -385,7 +480,11 @@ impl Runtime<'_> {
             self.comm.allreduce_bytes += bytes;
             if i > 0 {
                 // The layer-0 propagation of the reference is computed
-                // and discarded; shards skip it outright.
+                // and discarded; shards skip it outright. One poll covers
+                // the exchange and the propagate barrier it feeds.
+                if self.poll_superstep() {
+                    return;
+                }
                 let full = self.exchange(&d_ahs, d_in);
                 let this = &*self;
                 g_owned = par_map_chunks(k, |s| this.propagate_owned(s, &full[s], d_in));
@@ -465,17 +564,18 @@ pub fn train_sharded_gcn(
     ds: &Dataset,
     part: &Partition,
     cfg: &TrainConfig,
-) -> (Gcn, TrainReport, ShardStats) {
+) -> TrainResult<(Gcn, TrainReport, ShardStats)> {
     let n = ds.num_nodes();
     assert_eq!(part.parts.len(), n, "partition must cover the dataset");
+    ensure_classes(ds)?;
     let k = part.k;
-    let mut ledger = Ledger::new();
+    let mut ledger = build_ledger(cfg);
     let t0 = Instant::now();
     let op = gcn_operator(&ds.graph);
     let op_bytes = op.nbytes();
-    ledger.alloc(op_bytes);
+    ledger.try_alloc(op_bytes)?;
     let plan = ShardPlan::build(&op, part).expect("operator covered by partition");
-    ledger.alloc(plan.nbytes());
+    ledger.try_alloc(plan.nbytes())?;
     drop(op);
     ledger.free(op_bytes);
 
@@ -512,7 +612,7 @@ pub fn train_sharded_gcn(
             }
         }
     }
-    ledger.alloc(ctxs.iter().map(|c| c.features.nbytes()).sum());
+    ledger.try_alloc(ctxs.iter().map(|c| c.features.nbytes()).sum())?;
     let precompute_secs = t0.elapsed().as_secs_f64();
 
     let mut gcn = Gcn::new(
@@ -534,7 +634,7 @@ pub fn train_sharded_gcn(
         .sum();
     let fx_bytes: usize =
         (0..l).map(|i| (dims[i] * dims[i + 1] + dims[i + 1]) * 16).sum::<usize>() * (k + 1);
-    ledger.transient(acts + fx_bytes + gcn.step_bytes(0, ds.feature_dim()));
+    ledger.try_transient(acts + fx_bytes + gcn.step_bytes(0, ds.feature_dim()))?;
     SKEW.record((plan.nnz_skew() * 1000.0) as u64);
 
     let mut rt = Runtime {
@@ -545,52 +645,99 @@ pub fn train_sharded_gcn(
         seed: cfg.seed,
         total_w: (ds.splits.train.len() as f32).max(1e-12),
         comm: Comm::default(),
+        fault: cfg.fault_plan.as_deref(),
+        superstep: 0,
+        exchange_idx: 0,
+        killed: None,
+        halo_fail: None,
     };
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut phases = PhaseBreakdown::new();
     let mut final_loss = 0f32;
     let mut epochs_run = 0usize;
+    let trainer_name = format!("gcn-shard-k{k}");
+    let start_epoch = apply_resume(
+        cfg,
+        &trainer_name,
+        &mut opt,
+        &mut gcn,
+        &mut stopper,
+        &mut epochs_run,
+        &mut final_loss,
+    )?;
     let mut eval_comm = Comm::default();
+    // Epochs executed by *this* run (excluding resumed-past ones), so
+    // per-epoch communication stats stay honest after a resume.
+    let mut session_epochs = 0usize;
     let t1 = Instant::now();
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
         epochs_run += 1;
+        session_epochs += 1;
         let call = epoch as u64 + 1; // the reference model's dropout call number
         let (loss, dl_owned, x_caches, relu_masks) = phases.time(Phase::Forward, || {
             let (logits, x_caches, relu_masks) = rt.forward_train(&gcn, call);
+            if rt.faulted() {
+                return (0.0, Vec::new(), x_caches, relu_masks);
+            }
             let (loss, dl) = rt.loss_and_grad(&logits);
             (loss, dl, x_caches, relu_masks)
         });
+        if let Some(e) = rt.fault_error() {
+            return Err(e);
+        }
         final_loss = loss;
         phases.time(Phase::Backward, || {
             rt.backward(&mut gcn, dl_owned, &x_caches, &relu_masks, call);
         });
+        if let Some(e) = rt.fault_error() {
+            return Err(e);
+        }
         phases.time(Phase::Step, || gcn.step(&mut opt));
+        let mut stop = false;
         if cfg.patience.is_some() {
             let before = rt.comm;
             let val = phases.time(Phase::Eval, || {
                 let logits = rt.inference_logits(&gcn);
                 rt.accuracy_of(&logits, |c| &c.val, ds.splits.val.len())
             });
+            if let Some(e) = rt.fault_error() {
+                return Err(e);
+            }
             // Reclassify the eval pass's traffic so per-epoch training
             // volume stays a clean multiple of the plan.
             eval_comm.halo_bytes += rt.comm.halo_bytes - before.halo_bytes;
             eval_comm.halo_vectors += rt.comm.halo_vectors - before.halo_vectors;
             rt.comm = before;
-            if stopper.should_stop(val) {
-                break;
-            }
+            stop = stopper.should_stop(val);
+        }
+        maybe_checkpoint(
+            cfg,
+            &trainer_name,
+            epoch + 1,
+            final_loss,
+            &stopper,
+            stop,
+            &opt,
+            &mut gcn,
+        )?;
+        if stop {
+            break;
         }
     }
     let train_secs = t1.elapsed().as_secs_f64();
     let train_comm = rt.comm;
     let logits = rt.inference_logits(&gcn);
+    if let Some(e) = rt.fault_error() {
+        return Err(e);
+    }
     let val_acc = rt.accuracy_of(&logits, |c| &c.val, ds.splits.val.len());
     let test_acc = rt.accuracy_of(&logits, |c| &c.test, ds.splits.test.len());
     eval_comm.halo_bytes += rt.comm.halo_bytes - train_comm.halo_bytes;
     eval_comm.halo_vectors += rt.comm.halo_vectors - train_comm.halo_vectors;
-    let epochs_div = epochs_run.max(1) as u64;
+    let epochs_div = session_epochs.max(1) as u64;
     let stats = ShardStats {
         k,
         epochs: epochs_run,
@@ -614,7 +761,7 @@ pub fn train_sharded_gcn(
         epochs_run,
         phases,
     };
-    (gcn, report, stats)
+    Ok((gcn, report, stats))
 }
 
 #[cfg(test)]
@@ -640,10 +787,10 @@ mod tests {
     fn sharded_matches_single_process_bitwise_smoke() {
         let ds = sbm_dataset(300, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 7);
         let cfg = TrainConfig { epochs: 5, hidden: vec![8], ..Default::default() };
-        let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg);
+        let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
         for k in [1usize, 3] {
             let part = hash_partition(ds.num_nodes(), k);
-            let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg);
+            let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
             assert_eq!(report.final_loss.to_bits(), ref_report.final_loss.to_bits(), "k={k}");
             assert_eq!(report.test_acc, ref_report.test_acc, "k={k}");
             assert_eq!(report.val_acc, ref_report.val_acc, "k={k}");
@@ -667,9 +814,9 @@ mod tests {
         let ds = sbm_dataset(240, 3, 8.0, 0.9, 5, 0.7, 0, 0.5, 0.25, 3);
         let cfg =
             TrainConfig { epochs: 40, hidden: vec![8], patience: Some(4), ..Default::default() };
-        let (_, ref_report) = train_full_gcn(&ds, &cfg);
+        let (_, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
         let part = hash_partition(ds.num_nodes(), 2);
-        let (_, report, _) = train_sharded_gcn(&ds, &part, &cfg);
+        let (_, report, _) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
         assert_eq!(report.epochs_run, ref_report.epochs_run);
         assert_eq!(report.val_acc, ref_report.val_acc);
         assert_eq!(report.final_loss.to_bits(), ref_report.final_loss.to_bits());

@@ -10,16 +10,21 @@
 //! | [`train_cluster_gcn`] | partition batches | §3.1.2, Cluster-GCN |
 //! | [`train_coarse`] | coarse-graph training | §3.3.4 |
 
+use crate::ckpt::{ckpt_path, save_epoch, try_restore, ResumeState, SlotParams};
+use crate::error::{TrainError, TrainResult};
 use crate::memory::{matrix_bytes, Ledger};
 use crate::models::decoupled::{DecoupledModel, PrecomputeMethod};
 use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
 use crate::models::sage::Sage;
 use sgnn_data::Dataset;
+use sgnn_fault::FaultPlan;
 use sgnn_graph::NodeId;
 use sgnn_linalg::DenseMatrix;
 use sgnn_nn::loss::{accuracy, softmax_cross_entropy};
 use sgnn_nn::optim::Adam;
 use sgnn_obs::{Phase, PhaseBreakdown};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared hyperparameters.
@@ -49,6 +54,23 @@ pub struct TrainConfig {
     /// Results are bitwise identical either way; with a single configured
     /// thread the trainers fall back to the inline path regardless.
     pub prefetch: bool,
+    /// Directory for rolling post-epoch checkpoints (one
+    /// `<trainer>.ckpt` file per trainer, atomically replaced each
+    /// epoch). `None` disables checkpointing.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Checkpoint file to restore before training. A missing file is a
+    /// cold start (the killed-before-first-checkpoint case); a corrupt
+    /// or mismatched file is an error. Resumed runs reproduce the
+    /// uninterrupted run bit-for-bit (DESIGN.md §8).
+    pub resume_from: Option<PathBuf>,
+    /// Deterministic fault injector polled at epoch/superstep/batch
+    /// boundaries (tests and chaos drills). `None` means no polls — and
+    /// no checksum-verification overhead on the halo path.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Explicit memory budget in bytes; combined (min) with
+    /// `SGNN_MEM_BUDGET` and any fault-plan budget. Exceeding it makes
+    /// trainers return [`TrainError::BudgetExceeded`].
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -63,8 +85,83 @@ impl Default for TrainConfig {
             seed: 0,
             patience: None,
             prefetch: true,
+            ckpt_dir: None,
+            resume_from: None,
+            fault_plan: None,
+            mem_budget: None,
         }
     }
+}
+
+/// Ledger with the effective budget: the tightest of the config budget,
+/// the fault plan's simulated budget, and `SGNN_MEM_BUDGET`.
+pub(crate) fn build_ledger(cfg: &TrainConfig) -> Ledger {
+    let plan_budget = cfg.fault_plan.as_ref().and_then(|p| p.budget()).map(|b| b as usize);
+    let explicit = match (cfg.mem_budget, plan_budget) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    Ledger::budgeted(explicit)
+}
+
+/// Guards the argmax paths: a dataset with zero classes would make every
+/// per-row argmax undefined. Checked once at trainer entry so the inner
+/// loops can assume `num_classes ≥ 1`.
+pub(crate) fn ensure_classes(ds: &Dataset) -> TrainResult<()> {
+    if ds.num_classes == 0 {
+        return Err(TrainError::EmptyLogits);
+    }
+    Ok(())
+}
+
+/// Polls the fault plan's epoch-kill site.
+pub(crate) fn poll_epoch_kill(cfg: &TrainConfig, epoch: usize) -> TrainResult<()> {
+    if let Some(plan) = &cfg.fault_plan {
+        if plan.poll_kill_epoch(epoch) {
+            return Err(TrainError::InjectedCrash { site: "epoch", at: epoch as u64 });
+        }
+    }
+    Ok(())
+}
+
+/// Loads `cfg.resume_from` (if set) into the optimizer/model and applies
+/// the recovered counters. Returns the epoch to resume at.
+pub(crate) fn apply_resume(
+    cfg: &TrainConfig,
+    trainer: &str,
+    opt: &mut Adam,
+    model: &mut dyn SlotParams,
+    stopper: &mut EarlyStopper,
+    epochs_run: &mut usize,
+    final_loss: &mut f32,
+) -> TrainResult<usize> {
+    let Some(path) = &cfg.resume_from else { return Ok(0) };
+    let Some(st) = try_restore(path, trainer, opt, model)? else { return Ok(0) };
+    stopper.restore(st.stopper_best, st.stopper_bad);
+    *epochs_run = st.epoch_done;
+    *final_loss = st.final_loss;
+    // A run that already stopped early replays its break: no more epochs.
+    Ok(if st.stopped { usize::MAX } else { st.epoch_done })
+}
+
+/// Writes the rolling post-epoch checkpoint when `cfg.ckpt_dir` is set.
+pub(crate) fn maybe_checkpoint(
+    cfg: &TrainConfig,
+    trainer: &str,
+    epoch_done: usize,
+    final_loss: f32,
+    stopper: &EarlyStopper,
+    stopped: bool,
+    opt: &Adam,
+    model: &mut dyn SlotParams,
+) -> TrainResult<()> {
+    let Some(dir) = &cfg.ckpt_dir else { return Ok(()) };
+    let (best, bad) = stopper.state();
+    let state =
+        ResumeState { epoch_done, final_loss, stopper_best: best, stopper_bad: bad, stopped };
+    let bytes = save_epoch(&ckpt_path(dir, trainer), trainer, &state, opt, model)?;
+    sgnn_fault::record_ckpt_bytes(bytes);
+    Ok(())
 }
 
 /// Validation-accuracy early stopper shared by the trainers.
@@ -77,6 +174,18 @@ pub(crate) struct EarlyStopper {
 impl EarlyStopper {
     pub(crate) fn new(patience: Option<usize>) -> Self {
         EarlyStopper { patience, best: f64::NEG_INFINITY, bad: 0 }
+    }
+
+    /// `(best, bad)` for checkpointing.
+    pub(crate) fn state(&self) -> (f64, usize) {
+        (self.best, self.bad)
+    }
+
+    /// Restores checkpointed `(best, bad)` — bit-exact, so a resumed run
+    /// makes the same stop decisions as the uninterrupted one.
+    pub(crate) fn restore(&mut self, best: f64, bad: usize) {
+        self.best = best;
+        self.bad = bad;
     }
 
     /// Records a validation score; returns `true` when training should
@@ -134,20 +243,21 @@ fn rows_of(nodes: &[NodeId]) -> Vec<usize> {
 }
 
 /// Trains a full-batch GCN (experiment baseline).
-pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
-    let mut ledger = Ledger::new();
+pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> TrainResult<(Gcn, TrainReport)> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
     let t0 = Instant::now();
     let op = gcn_operator(&ds.graph);
     let precompute_secs = t0.elapsed().as_secs_f64();
-    ledger.alloc(op.nbytes());
-    ledger.alloc(ds.features.nbytes());
+    ledger.try_alloc(op.nbytes())?;
+    ledger.try_alloc(ds.features.nbytes())?;
     let mut gcn = Gcn::new(
         ds.feature_dim(),
         ds.num_classes,
         &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
     );
     // Full-batch training keeps every layer activation resident.
-    ledger.transient(gcn.step_bytes(ds.num_nodes(), ds.feature_dim()));
+    ledger.try_transient(gcn.step_bytes(ds.num_nodes(), ds.feature_dim()))?;
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let train_rows = rows_of(&ds.splits.train);
     let train_labels = ds.labels_of(&ds.splits.train);
@@ -157,7 +267,17 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut epochs_run = 0usize;
     let mut phases = PhaseBreakdown::new();
-    for _ in 0..cfg.epochs {
+    let start_epoch = apply_resume(
+        cfg,
+        "gcn-full",
+        &mut opt,
+        &mut gcn,
+        &mut stopper,
+        &mut epochs_run,
+        &mut final_loss,
+    )?;
+    for epoch in start_epoch..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
         epochs_run += 1;
         let (loss, dl_batch) = phases.time(Phase::Forward, || {
@@ -173,6 +293,7 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
             gcn.backward(&op, &dl);
         });
         phases.time(Phase::Step, || gcn.step(&mut opt));
+        let mut stop = false;
         if cfg.patience.is_some() {
             let val = phases.time(Phase::Eval, || {
                 let logits = gcn.forward_inference(&op, &ds.features);
@@ -181,9 +302,11 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
                     &ds.labels_of(&ds.splits.val),
                 )
             });
-            if stopper.should_stop(val) {
-                break;
-            }
+            stop = stopper.should_stop(val);
+        }
+        maybe_checkpoint(cfg, "gcn-full", epoch + 1, final_loss, &stopper, stop, &opt, &mut gcn)?;
+        if stop {
+            break;
         }
     }
     let train_secs = t1.elapsed().as_secs_f64();
@@ -203,7 +326,7 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> (Gcn, TrainReport) {
         epochs_run,
         phases,
     };
-    (gcn, report)
+    Ok((gcn, report))
 }
 
 /// Trains a decoupled model (precompute + mini-batch MLP).
@@ -211,26 +334,28 @@ pub fn train_decoupled(
     ds: &Dataset,
     method: &PrecomputeMethod,
     cfg: &TrainConfig,
-) -> (DecoupledModel, TrainReport) {
-    let mut ledger = Ledger::new();
+) -> TrainResult<(DecoupledModel, TrainReport)> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
     let t0 = Instant::now();
     let mut model = DecoupledModel::new(ds, method, &cfg.hidden, cfg.dropout, cfg.seed);
     let precompute_secs = t0.elapsed().as_secs_f64();
     // The embedding is the only graph-scale resident object; training
     // touches batch-sized slices.
-    ledger.alloc(model.embedding.nbytes());
-    ledger.transient(
+    ledger.try_alloc(model.embedding.nbytes())?;
+    ledger.try_transient(
         matrix_bytes(cfg.batch_size, model.embedding.cols())
             + matrix_bytes(cfg.batch_size, ds.num_classes)
             + model.mlp.nbytes(),
-    );
+    )?;
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut epochs_run = 0usize;
     let mut phases = PhaseBreakdown::new();
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
         epochs_run += 1;
         for chunk in ds.splits.train.chunks(cfg.batch_size) {
@@ -280,7 +405,7 @@ pub fn train_decoupled(
         epochs_run,
         phases,
     };
-    (model, report)
+    Ok((model, report))
 }
 
 /// Neighbor-sampling strategy for [`train_sampled`].
@@ -322,26 +447,53 @@ pub fn train_sampled(
     ds: &Dataset,
     sampler: &SamplerKind,
     cfg: &TrainConfig,
-) -> (Sage, TrainReport) {
-    let mut ledger = Ledger::new();
-    ledger.alloc(ds.features.nbytes()); // feature store stays host-side resident
+) -> TrainResult<(Sage, TrainReport)> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
+    ledger.try_alloc(ds.features.nbytes())?; // feature store stays host-side resident
     let mut dims = vec![ds.feature_dim()];
     dims.extend_from_slice(&cfg.hidden);
     dims.push(ds.num_classes);
     assert_eq!(dims.len() - 1, sampler.layers(), "one fanout per layer");
+    let name = match sampler {
+        SamplerKind::NodeWise(_) => "sage-nodewise",
+        SamplerKind::LayerWise(_) => "sage-ladies",
+        SamplerKind::Labor(_) => "sage-labor",
+    };
     let mut sage = Sage::new(&dims, cfg.seed);
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut max_batch_bytes = 0usize;
     let mut phases = PhaseBreakdown::new();
-    let pipe = crate::pipeline::BatchPipeline::new(cfg.prefetch);
+    let pipe = crate::pipeline::BatchPipeline::with_restarts(
+        cfg.prefetch,
+        if cfg.fault_plan.is_some() { 1 } else { 0 },
+    );
     let chunks: Vec<&[NodeId]> = ds.splits.train.chunks(cfg.batch_size).collect();
-    for epoch in 0..cfg.epochs {
+    let mut stopper = EarlyStopper::new(None);
+    let mut epochs_run = 0usize;
+    let start_epoch = apply_resume(
+        cfg,
+        name,
+        &mut opt,
+        &mut sage,
+        &mut stopper,
+        &mut epochs_run,
+        &mut final_loss,
+    )?;
+    for epoch in start_epoch..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
+        epochs_run += 1;
         let sample_secs = pipe.run(
             chunks.len(),
             |bi| {
+                if let Some(plan) = &cfg.fault_plan {
+                    if plan.poll_producer_panic(epoch * chunks.len() + bi) {
+                        panic!("injected: pipeline producer fault at batch {bi}");
+                    }
+                }
                 let seed =
                     cfg.seed.wrapping_add((epoch * 10_000 + bi) as u64).wrapping_mul(0x9E37_79B9);
                 let blocks = sampler.sample(&ds.graph, chunks[bi], seed);
@@ -368,10 +520,15 @@ pub fn train_sampled(
             },
         );
         phases.add(Phase::Sample, sample_secs);
+        maybe_checkpoint(cfg, name, epoch + 1, final_loss, &stopper, false, &opt, &mut sage)?;
     }
     // The double buffer keeps at most one prefetched batch alive next to
     // the one being computed.
-    ledger.transient(if pipe.is_pipelined() { 2 * max_batch_bytes } else { max_batch_bytes });
+    ledger.try_transient(if pipe.is_pipelined() {
+        2 * max_batch_bytes
+    } else {
+        max_batch_bytes
+    })?;
     let train_secs = t1.elapsed().as_secs_f64();
     // Evaluate with wide fanouts for near-exact aggregation.
     let eval = |nodes: &[NodeId]| -> f64 {
@@ -390,11 +547,6 @@ pub fn train_sampled(
     };
     let val_acc = eval(&ds.splits.val);
     let test_acc = eval(&ds.splits.test);
-    let name = match sampler {
-        SamplerKind::NodeWise(_) => "sage-nodewise",
-        SamplerKind::LayerWise(_) => "sage-ladies",
-        SamplerKind::Labor(_) => "sage-labor",
-    };
     let report = TrainReport {
         name: name.into(),
         test_acc,
@@ -403,10 +555,10 @@ pub fn train_sampled(
         precompute_secs: 0.0,
         train_secs,
         peak_mem_bytes: ledger.peak(),
-        epochs_run: cfg.epochs,
+        epochs_run,
         phases,
     };
-    (sage, report)
+    Ok((sage, report))
 }
 
 /// Trains a GCN on GraphSAINT subgraph batches.
@@ -415,12 +567,19 @@ pub fn train_saint(
     sampler: sgnn_sample::SaintSampler,
     batches_per_epoch: usize,
     cfg: &TrainConfig,
-) -> (Gcn, TrainReport) {
-    let mut ledger = Ledger::new();
-    ledger.alloc(ds.features.nbytes());
+) -> TrainResult<(Gcn, TrainReport)> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
+    ledger.try_alloc(ds.features.nbytes())?;
     let t0 = Instant::now();
     let norms = sgnn_sample::saint::estimate_norms(&ds.graph, sampler, 20, cfg.seed);
     let precompute_secs = t0.elapsed().as_secs_f64();
+    let sampler_name = match sampler {
+        sgnn_sample::SaintSampler::Node { .. } => "node",
+        sgnn_sample::SaintSampler::Edge { .. } => "edge",
+        sgnn_sample::SaintSampler::RandomWalk { .. } => "rw",
+    };
+    let name = format!("saint-{sampler_name}");
     let mut gcn = Gcn::new(
         ds.feature_dim(),
         ds.num_classes,
@@ -435,12 +594,33 @@ pub fn train_saint(
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
     let mut phases = PhaseBreakdown::new();
-    let pipe = crate::pipeline::BatchPipeline::new(cfg.prefetch);
-    for epoch in 0..cfg.epochs {
+    let pipe = crate::pipeline::BatchPipeline::with_restarts(
+        cfg.prefetch,
+        if cfg.fault_plan.is_some() { 1 } else { 0 },
+    );
+    let mut stopper = EarlyStopper::new(None);
+    let mut epochs_run = 0usize;
+    let start_epoch = apply_resume(
+        cfg,
+        &name,
+        &mut opt,
+        &mut gcn,
+        &mut stopper,
+        &mut epochs_run,
+        &mut final_loss,
+    )?;
+    for epoch in start_epoch..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
+        epochs_run += 1;
         let sample_secs = pipe.run(
             batches_per_epoch,
             |b| {
+                if let Some(plan) = &cfg.fault_plan {
+                    if plan.poll_producer_panic(epoch * batches_per_epoch + b) {
+                        panic!("injected: pipeline producer fault at batch {b}");
+                    }
+                }
                 let seed = cfg.seed.wrapping_add((epoch * 1_000 + b) as u64 + 17);
                 let mut sub = sgnn_sample::saint::sample_subgraph(&ds.graph, sampler, seed);
                 sgnn_sample::saint::apply_norms(&mut sub, &norms);
@@ -485,8 +665,9 @@ pub fn train_saint(
             },
         );
         phases.add(Phase::Sample, sample_secs);
+        maybe_checkpoint(cfg, &name, epoch + 1, final_loss, &stopper, false, &opt, &mut gcn)?;
     }
-    ledger.transient(max_batch);
+    ledger.try_transient(max_batch)?;
     let train_secs = t1.elapsed().as_secs_f64();
     // Full-graph inference for evaluation.
     let op = gcn_operator(&ds.graph);
@@ -495,23 +676,18 @@ pub fn train_saint(
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc =
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
-    let sampler_name = match sampler {
-        sgnn_sample::SaintSampler::Node { .. } => "node",
-        sgnn_sample::SaintSampler::Edge { .. } => "edge",
-        sgnn_sample::SaintSampler::RandomWalk { .. } => "rw",
-    };
     let report = TrainReport {
-        name: format!("saint-{sampler_name}"),
+        name,
         test_acc,
         val_acc,
         final_loss,
         precompute_secs,
         train_secs,
         peak_mem_bytes: ledger.peak(),
-        epochs_run: cfg.epochs,
+        epochs_run,
         phases,
     };
-    (gcn, report)
+    Ok((gcn, report))
 }
 
 /// Trains a GCN on Cluster-GCN partition batches.
@@ -520,9 +696,10 @@ pub fn train_cluster_gcn(
     num_clusters: usize,
     clusters_per_batch: usize,
     cfg: &TrainConfig,
-) -> (Gcn, TrainReport) {
-    let mut ledger = Ledger::new();
-    ledger.alloc(ds.features.nbytes());
+) -> TrainResult<(Gcn, TrainReport)> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
+    ledger.try_alloc(ds.features.nbytes())?;
     let t0 = Instant::now();
     let batcher = sgnn_partition::cluster::ClusterBatcher::new(&ds.graph, num_clusters, cfg.seed);
     let precompute_secs = t0.elapsed().as_secs_f64();
@@ -540,9 +717,25 @@ pub fn train_cluster_gcn(
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
     let mut phases = PhaseBreakdown::new();
-    let pipe = crate::pipeline::BatchPipeline::new(cfg.prefetch);
-    for epoch in 0..cfg.epochs {
+    let pipe = crate::pipeline::BatchPipeline::with_restarts(
+        cfg.prefetch,
+        if cfg.fault_plan.is_some() { 1 } else { 0 },
+    );
+    let mut stopper = EarlyStopper::new(None);
+    let mut epochs_run = 0usize;
+    let start_epoch = apply_resume(
+        cfg,
+        "cluster-gcn",
+        &mut opt,
+        &mut gcn,
+        &mut stopper,
+        &mut epochs_run,
+        &mut final_loss,
+    )?;
+    for epoch in start_epoch..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
+        epochs_run += 1;
         // Partition assignment is one epoch-level shuffle, not per-batch
         // work — it stays inline; only per-batch operator/feature
         // construction rides the prefetch pipeline.
@@ -552,6 +745,11 @@ pub fn train_cluster_gcn(
         let sample_secs = pipe.run(
             batches.len(),
             |b| {
+                if let Some(plan) = &cfg.fault_plan {
+                    if plan.poll_producer_panic(epoch * batches.len() + b) {
+                        panic!("injected: pipeline producer fault at batch {b}");
+                    }
+                }
                 let batch = &batches[b];
                 let op = gcn_operator(&batch.graph);
                 let rows = rows_of(&batch.nodes);
@@ -591,8 +789,18 @@ pub fn train_cluster_gcn(
             },
         );
         phases.add(Phase::Sample, sample_secs);
+        maybe_checkpoint(
+            cfg,
+            "cluster-gcn",
+            epoch + 1,
+            final_loss,
+            &stopper,
+            false,
+            &opt,
+            &mut gcn,
+        )?;
     }
-    ledger.transient(max_batch);
+    ledger.try_transient(max_batch)?;
     let train_secs = t1.elapsed().as_secs_f64();
     let op = gcn_operator(&ds.graph);
     let logits = gcn.forward_inference(&op, &ds.features);
@@ -608,20 +816,20 @@ pub fn train_cluster_gcn(
         precompute_secs,
         train_secs,
         peak_mem_bytes: ledger.peak(),
-        epochs_run: cfg.epochs,
+        epochs_run,
         phases,
     };
-    (gcn, report)
+    Ok((gcn, report))
 }
 
 /// Trains a GCN on a coarsened graph and lifts predictions (E12).
-pub fn train_coarse(ds: &Dataset, ratio: f64, cfg: &TrainConfig) -> TrainReport {
+pub fn train_coarse(ds: &Dataset, ratio: f64, cfg: &TrainConfig) -> TrainResult<TrainReport> {
     let t0 = Instant::now();
     let coarse = sgnn_coarsen::coarsen_to_ratio(&ds.graph, ratio, cfg.seed);
     let coarsen_secs = t0.elapsed().as_secs_f64();
-    let mut r = train_coarse_with(ds, &coarse, cfg, &format!("coarse-r{ratio}"));
+    let mut r = train_coarse_with(ds, &coarse, cfg, &format!("coarse-r{ratio}"))?;
     r.precompute_secs += coarsen_secs;
-    r
+    Ok(r)
 }
 
 /// Trains a GCN on a *given* coarsening (HEM, ConvMatch, …) and lifts
@@ -631,17 +839,18 @@ pub fn train_coarse_with(
     coarse: &sgnn_coarsen::CoarseGraph,
     cfg: &TrainConfig,
     name: &str,
-) -> TrainReport {
-    let mut ledger = Ledger::new();
+) -> TrainResult<TrainReport> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
     let t0 = Instant::now();
     // Projection reads the fine feature matrix while the coarse one is
     // being built, so both are briefly resident together.
-    ledger.alloc(ds.features.nbytes());
+    ledger.try_alloc(ds.features.nbytes())?;
     let cx = coarse.project_features(&ds.features);
     let precompute_secs = t0.elapsed().as_secs_f64();
-    ledger.alloc(cx.nbytes());
+    ledger.try_alloc(cx.nbytes())?;
     ledger.free(ds.features.nbytes());
-    ledger.alloc(coarse.graph.nbytes());
+    ledger.try_alloc(coarse.graph.nbytes())?;
     // Coarse training labels: majority vote over *train-split members*
     // only, so test labels never leak into training.
     let cn = coarse.num_coarse();
@@ -657,8 +866,14 @@ pub fn train_coarse_with(
         let total: u32 = row.iter().sum();
         if total > 0 {
             train_coarse_nodes.push(c);
-            coarse_labels[c] =
-                row.iter().enumerate().max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i))).unwrap().0;
+            // Non-empty by the `ensure_classes` entry guard: `row` has
+            // `num_classes ≥ 1` elements.
+            coarse_labels[c] = row
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+                .expect("num_classes >= 1 checked at trainer entry")
+                .0;
         }
     }
     let op = gcn_operator(&coarse.graph);
@@ -667,13 +882,14 @@ pub fn train_coarse_with(
         ds.num_classes,
         &GcnConfig { hidden: cfg.hidden.clone(), dropout: cfg.dropout, seed: cfg.seed },
     );
-    ledger.transient(gcn.step_bytes(cn, ds.feature_dim()));
+    ledger.try_transient(gcn.step_bytes(cn, ds.feature_dim()))?;
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let train_labels: Vec<usize> = train_coarse_nodes.iter().map(|&c| coarse_labels[c]).collect();
     let t1 = Instant::now();
     let mut final_loss = 0f32;
     let mut phases = PhaseBreakdown::new();
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
         let (loss, dl_batch) = phases.time(Phase::Forward, || {
             let logits = gcn.forward(&op, &cx);
@@ -699,7 +915,7 @@ pub fn train_coarse_with(
         &fine_logits.gather_rows(&rows_of(&ds.splits.test)),
         &ds.labels_of(&ds.splits.test),
     );
-    TrainReport {
+    Ok(TrainReport {
         name: name.to_string(),
         test_acc,
         val_acc,
@@ -709,7 +925,7 @@ pub fn train_coarse_with(
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
         phases,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -728,7 +944,7 @@ mod tests {
     #[test]
     fn full_gcn_report_is_complete_and_accurate() {
         let ds = small_ds();
-        let (_, r) = train_full_gcn(&ds, &fast_cfg());
+        let (_, r) = train_full_gcn(&ds, &fast_cfg()).unwrap();
         assert!(r.test_acc > 0.8, "acc {}", r.test_acc);
         assert!(r.peak_mem_bytes > 0);
         assert!(r.train_secs > 0.0);
@@ -746,8 +962,8 @@ mod tests {
     #[test]
     fn decoupled_sgc_matches_gcn_accuracy_with_less_memory() {
         let ds = small_ds();
-        let (_, gcn) = train_full_gcn(&ds, &fast_cfg());
-        let (_, sgc) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &fast_cfg());
+        let (_, gcn) = train_full_gcn(&ds, &fast_cfg()).unwrap();
+        let (_, sgc) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &fast_cfg()).unwrap();
         assert!(sgc.test_acc > gcn.test_acc - 0.07, "sgc {} vs gcn {}", sgc.test_acc, gcn.test_acc);
         assert!(
             sgc.peak_mem_bytes < gcn.peak_mem_bytes,
@@ -762,9 +978,9 @@ mod tests {
         let ds = small_ds();
         let cfg =
             TrainConfig { epochs: 25, hidden: vec![16], batch_size: 128, ..Default::default() };
-        let (_, nw) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg);
+        let (_, nw) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg).unwrap();
         assert!(nw.test_acc > 0.7, "node-wise {}", nw.test_acc);
-        let (_, lb) = train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg);
+        let (_, lb) = train_sampled(&ds, &SamplerKind::Labor(vec![5, 5]), &cfg).unwrap();
         assert!(lb.test_acc > 0.7, "labor {}", lb.test_acc);
     }
 
@@ -777,9 +993,10 @@ mod tests {
             sgnn_sample::SaintSampler::RandomWalk { roots: 40, length: 6 },
             4,
             &cfg,
-        );
+        )
+        .unwrap();
         assert!(saint.test_acc > 0.7, "saint {}", saint.test_acc);
-        let (_, cgcn) = train_cluster_gcn(&ds, 8, 2, &cfg);
+        let (_, cgcn) = train_cluster_gcn(&ds, 8, 2, &cfg).unwrap();
         assert!(cgcn.test_acc > 0.7, "cluster {}", cgcn.test_acc);
     }
 
@@ -787,10 +1004,10 @@ mod tests {
     fn early_stopping_halts_before_epoch_budget() {
         let ds = small_ds();
         let cfg = TrainConfig { epochs: 500, patience: Some(20), ..fast_cfg() };
-        let (_, r) = train_full_gcn(&ds, &cfg);
+        let (_, r) = train_full_gcn(&ds, &cfg).unwrap();
         assert!(r.epochs_run < 500, "ran all {} epochs", r.epochs_run);
         assert!(r.test_acc > 0.8, "acc {}", r.test_acc);
-        let (_, rd) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+        let (_, rd) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap();
         assert!(rd.epochs_run < 500);
         assert!(rd.test_acc > 0.8);
     }
@@ -799,8 +1016,8 @@ mod tests {
     fn coarse_training_trades_accuracy_for_cost() {
         let ds = small_ds();
         let cfg = fast_cfg();
-        let full = train_full_gcn(&ds, &cfg).1;
-        let half = train_coarse(&ds, 0.5, &cfg);
+        let full = train_full_gcn(&ds, &cfg).unwrap().1;
+        let half = train_coarse(&ds, 0.5, &cfg).unwrap();
         assert!(half.test_acc > 0.6, "coarse acc {}", half.test_acc);
         // Coarse training uses less peak memory than full training.
         assert!(half.peak_mem_bytes < full.peak_mem_bytes);

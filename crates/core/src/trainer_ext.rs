@@ -7,9 +7,9 @@
 //! two surveyed mechanisms: cached (stale) out-of-batch embeddings, and a
 //! coarse summary layer every batch can reach.
 
-use crate::memory::Ledger;
+use crate::error::TrainResult;
 use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
-use crate::trainer::{TrainConfig, TrainReport};
+use crate::trainer::{build_ledger, ensure_classes, poll_epoch_kill, TrainConfig, TrainReport};
 use sgnn_data::Dataset;
 use sgnn_graph::NodeId;
 use sgnn_linalg::DenseMatrix;
@@ -44,14 +44,15 @@ pub fn train_history(
     ds: &Dataset,
     fanout: usize,
     cfg: &TrainConfig,
-) -> (TrainReport, HistoryStats) {
+) -> TrainResult<(TrainReport, HistoryStats)> {
+    ensure_classes(ds)?;
     let hidden = *cfg.hidden.first().unwrap_or(&32);
     let d = ds.feature_dim();
     let n = ds.num_nodes();
-    let mut ledger = Ledger::new();
-    ledger.alloc(ds.features.nbytes());
+    let mut ledger = build_ledger(cfg);
+    ledger.try_alloc(ds.features.nbytes())?;
     let cache = HistoryCache::new(n, hidden);
-    ledger.alloc(cache.nbytes());
+    ledger.try_alloc(cache.nbytes())?;
     // Layer 1: features → hidden; layer 2: hidden → classes.
     let mut self1 = Linear::new(d, hidden, cfg.seed);
     let mut neigh1 = Linear::new(d, hidden, cfg.seed + 1);
@@ -77,6 +78,7 @@ pub fn train_history(
     let mut schedule: Vec<NodeId> = (0..n as NodeId).collect();
     let mut phases = PhaseBreakdown::new();
     for epoch in 0..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
         // Deterministic reshuffle per epoch.
         let mut rng = sgnn_linalg::rng::seeded(cfg.seed.wrapping_add(epoch as u64));
@@ -161,9 +163,9 @@ pub fn train_history(
             });
             // Refresh the cache with this batch's fresh activations.
             cache.push_batch(chunk, iter, &h1_batch);
-            ledger.transient(
+            ledger.try_transient(
                 x_src1.nbytes() + h1_src.nbytes() + 2 * h1_batch.nbytes() + agg2.nbytes(),
-            );
+            )?;
         }
     }
     let train_secs = t1.elapsed().as_secs_f64();
@@ -209,14 +211,15 @@ pub fn train_history(
         epochs_run: cfg.epochs,
         phases,
     };
-    (report, stats)
+    Ok((report, stats))
 }
 
 /// SEIGNN-style training: partition into subgraphs, add linked coarse
 /// nodes, and train GCN batches of (one subgraph + all coarse nodes) so
 /// inter-subgraph information keeps flowing.
-pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainReport {
-    let mut ledger = Ledger::new();
+pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainResult<TrainReport> {
+    ensure_classes(ds)?;
+    let mut ledger = build_ledger(cfg);
     let t0 = Instant::now();
     let p = sgnn_partition::multilevel_partition(
         &ds.graph,
@@ -226,7 +229,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
     let aug = sgnn_coarsen::seignn::augment(&ds.graph, &p);
     let ax = aug.augment_features(&ds.features);
     let precompute_secs = t0.elapsed().as_secs_f64();
-    ledger.alloc(ax.nbytes());
+    ledger.try_alloc(ax.nbytes())?;
     let mut gcn = Gcn::new(
         ds.feature_dim(),
         ds.num_classes,
@@ -241,7 +244,8 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
     let mut final_loss = 0f32;
     let mut max_batch = 0usize;
     let mut phases = PhaseBreakdown::new();
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        poll_epoch_kill(cfg, epoch)?;
         let _ep = sgnn_obs::span!("trainer.epoch");
         for part in 0..parts as u32 {
             let (op, x, map, idx, labels) = phases.time(Phase::Sample, || {
@@ -280,7 +284,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
             phases.time(Phase::Step, || gcn.step(&mut opt));
         }
     }
-    ledger.transient(max_batch);
+    ledger.try_transient(max_batch)?;
     let train_secs = t1.elapsed().as_secs_f64();
     // Evaluate on the full augmented graph; read original-node logits.
     let op = gcn_operator(&aug.graph);
@@ -289,7 +293,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc =
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
-    TrainReport {
+    Ok(TrainReport {
         name: format!("seignn-p{parts}"),
         test_acc,
         val_acc,
@@ -299,7 +303,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainRepor
         peak_mem_bytes: ledger.peak(),
         epochs_run: cfg.epochs,
         phases,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -312,7 +316,7 @@ mod tests {
         let ds = sbm_dataset(800, 3, 10.0, 0.9, 8, 0.8, 0, 0.5, 0.25, 1);
         let cfg =
             TrainConfig { epochs: 30, hidden: vec![16], batch_size: 100, ..Default::default() };
-        let (report, stats) = train_history(&ds, 5, &cfg);
+        let (report, stats) = train_history(&ds, 5, &cfg).unwrap();
         assert!(report.test_acc > 0.75, "acc {}", report.test_acc);
         // After the first epoch the cache serves most fetches.
         assert!(stats.hit_rate > 0.5, "hit rate {}", stats.hit_rate);
@@ -323,7 +327,7 @@ mod tests {
     fn seignn_trainer_learns_and_beats_isolated_batches() {
         let ds = sbm_dataset(900, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 2);
         let cfg = TrainConfig { epochs: 30, hidden: vec![16], ..Default::default() };
-        let r = train_seignn(&ds, 6, &cfg);
+        let r = train_seignn(&ds, 6, &cfg).unwrap();
         assert!(r.test_acc > 0.75, "seignn acc {}", r.test_acc);
     }
 }

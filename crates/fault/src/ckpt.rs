@@ -1,0 +1,443 @@
+//! CRC-checksummed, atomically-written checkpoint container.
+//!
+//! A checkpoint is a flat sequence of named binary records:
+//!
+//! ```text
+//! "SGNNCKP1"                                    file magic, 8 bytes
+//! repeat:
+//!   u32  name_len    (LE)
+//!   [u8] name        (utf-8)
+//!   u64  payload_len (LE)
+//!   [u8] payload
+//!   u32  crc32(name ++ payload)  (LE, IEEE)
+//! ```
+//!
+//! Design rules, each load-bearing for the recovery determinism contract
+//! (DESIGN.md §8):
+//!
+//! - **Atomic persistence.** [`Ckpt::save`] writes `<path>.tmp`, fsyncs,
+//!   then renames onto `path`. A crash mid-save leaves either the old
+//!   checkpoint or a stray `.tmp` — never a half-written `path`, so the
+//!   "latest valid checkpoint" scan can trust whatever it finds.
+//! - **Verify before deserialize.** [`Ckpt::load`] checks the magic and
+//!   every record's CRC while parsing; a truncated file or a single
+//!   flipped bit is rejected with an error naming the byte offset
+//!   ([`CkptError::Truncated`] / [`CkptError::CrcMismatch`]), and no
+//!   record from a bad file is ever handed to the caller.
+//! - **Bit-exact floats.** `f32`/`f64` values round-trip through their
+//!   IEEE-754 bit patterns (`to_le_bytes`), never through text — resume
+//!   must reproduce the uninterrupted run's weights to the bit.
+//!
+//! The counter `ckpt.bytes` accumulates bytes written by `save`.
+
+use crate::crc::{crc32, crc32_update};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+static CKPT_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("ckpt.bytes");
+
+const MAGIC: &[u8; 8] = b"SGNNCKP1";
+
+/// Checkpoint load/save errors. Corruption errors carry the byte offset
+/// of the offending record so operators can inspect the file directly.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem error (open, write, rename, …).
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file ends mid-record; `offset` is where the truncated record
+    /// starts.
+    Truncated {
+        /// Byte offset of the record that could not be read completely.
+        offset: u64,
+    },
+    /// A record's stored CRC does not match its contents.
+    CrcMismatch {
+        /// Name of the corrupt record (empty if the name itself is
+        /// unreadable).
+        record: String,
+        /// Byte offset of the record within the file.
+        offset: u64,
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the record as read.
+        computed: u32,
+    },
+    /// Structurally invalid record (e.g. non-utf8 name) at `offset`.
+    Malformed {
+        /// Byte offset of the record.
+        offset: u64,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A required field is absent from an otherwise valid checkpoint.
+    Missing {
+        /// The field name the caller asked for.
+        field: String,
+    },
+    /// A field exists but has the wrong length/shape for the requested
+    /// type.
+    WrongShape {
+        /// The field name.
+        field: String,
+        /// Expected byte length (0 = "a multiple of the element size").
+        expected: usize,
+        /// Actual byte length.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::Truncated { offset } => {
+                write!(f, "checkpoint truncated: record at byte offset {offset} is incomplete")
+            }
+            CkptError::CrcMismatch { record, offset, stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch in record `{record}` at byte offset {offset}: \
+                 stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CkptError::Malformed { offset, what } => {
+                write!(f, "malformed checkpoint record at byte offset {offset}: {what}")
+            }
+            CkptError::Missing { field } => write!(f, "checkpoint field `{field}` missing"),
+            CkptError::WrongShape { field, expected, found } => {
+                write!(f, "checkpoint field `{field}` has {found} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// An in-memory checkpoint: ordered named records. Build with the `put_*`
+/// methods and [`save`](Ckpt::save); read with [`load`](Ckpt::load) and
+/// the typed getters.
+#[derive(Debug, Default)]
+pub struct Ckpt {
+    records: Vec<(String, Vec<u8>)>,
+}
+
+impl Ckpt {
+    /// Empty checkpoint.
+    pub fn new() -> Self {
+        Ckpt::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records have been added.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Adds a raw byte record. Later records with the same name shadow
+    /// earlier ones on read.
+    pub fn put_bytes(&mut self, name: &str, bytes: Vec<u8>) {
+        self.records.push((name.to_string(), bytes));
+    }
+
+    /// Adds an `f32` array record (little-endian IEEE bits).
+    pub fn put_f32s(&mut self, name: &str, values: &[f32]) {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put_bytes(name, bytes);
+    }
+
+    /// Adds a `u64` scalar record.
+    pub fn put_u64(&mut self, name: &str, v: u64) {
+        self.put_bytes(name, v.to_le_bytes().to_vec());
+    }
+
+    /// Adds a `u64` array record.
+    pub fn put_u64s(&mut self, name: &str, values: &[u64]) {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.put_bytes(name, bytes);
+    }
+
+    /// Adds an `f64` scalar record (IEEE bits).
+    pub fn put_f64(&mut self, name: &str, v: f64) {
+        self.put_bytes(name, v.to_bits().to_le_bytes().to_vec());
+    }
+
+    /// Adds a string record.
+    pub fn put_str(&mut self, name: &str, v: &str) {
+        self.put_bytes(name, v.as_bytes().to_vec());
+    }
+
+    fn find(&self, name: &str) -> Result<&[u8], CkptError> {
+        self.records
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+            .ok_or_else(|| CkptError::Missing { field: name.to_string() })
+    }
+
+    /// Raw bytes of a record.
+    pub fn bytes(&self, name: &str) -> Result<&[u8], CkptError> {
+        self.find(name)
+    }
+
+    /// An `f32` array record.
+    pub fn f32s(&self, name: &str) -> Result<Vec<f32>, CkptError> {
+        let b = self.find(name)?;
+        if b.len() % 4 != 0 {
+            return Err(CkptError::WrongShape {
+                field: name.to_string(),
+                expected: 0,
+                found: b.len(),
+            });
+        }
+        Ok(b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+
+    /// A `u64` scalar record.
+    pub fn u64(&self, name: &str) -> Result<u64, CkptError> {
+        let b = self.find(name)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| CkptError::WrongShape {
+            field: name.to_string(),
+            expected: 8,
+            found: b.len(),
+        })?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// A `u64` array record.
+    pub fn u64s(&self, name: &str) -> Result<Vec<u64>, CkptError> {
+        let b = self.find(name)?;
+        if b.len() % 8 != 0 {
+            return Err(CkptError::WrongShape {
+                field: name.to_string(),
+                expected: 0,
+                found: b.len(),
+            });
+        }
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
+    /// An `f64` scalar record.
+    pub fn f64(&self, name: &str) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64(name)?))
+    }
+
+    /// A string record.
+    pub fn str_(&self, name: &str) -> Result<&str, CkptError> {
+        std::str::from_utf8(self.find(name)?)
+            .map_err(|_| CkptError::Malformed { offset: 0, what: "record is not utf-8" })
+    }
+
+    /// Serialized byte size (magic + all framed records).
+    pub fn nbytes(&self) -> u64 {
+        let body: usize = self.records.iter().map(|(n, b)| 4 + n.len() + 8 + b.len() + 4).sum();
+        (MAGIC.len() + body) as u64
+    }
+
+    /// Serializes to the wire format (no I/O).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.nbytes() as usize);
+        out.extend_from_slice(MAGIC);
+        for (name, payload) in &self.records {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+            let mut state = 0xFFFF_FFFFu32;
+            state = crc32_update(state, name.as_bytes());
+            state = crc32_update(state, payload);
+            out.extend_from_slice(&(state ^ 0xFFFF_FFFF).to_le_bytes());
+        }
+        out
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, fsync,
+    /// rename onto `path`. Returns the bytes written (also added to the
+    /// `ckpt.bytes` counter).
+    pub fn save(&self, path: &Path) -> Result<u64, CkptError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        CKPT_BYTES.add(bytes.len() as u64);
+        sgnn_obs::trace_counter("ckpt.bytes", "bytes", bytes.len() as u64);
+        Ok(bytes.len() as u64)
+    }
+
+    /// Parses a checkpoint image, verifying every record CRC. See
+    /// [`load`](Ckpt::load) for the file-level wrapper.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CkptError> {
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let mut records = Vec::new();
+        let mut pos = MAGIC.len();
+        while pos < data.len() {
+            let record_offset = pos as u64;
+            let take = |pos: &mut usize, n: usize| -> Result<&[u8], CkptError> {
+                if *pos + n > data.len() {
+                    return Err(CkptError::Truncated { offset: record_offset });
+                }
+                let s = &data[*pos..*pos + n];
+                *pos += n;
+                Ok(s)
+            };
+            let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let name_bytes = take(&mut pos, name_len)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| CkptError::Malformed {
+                    offset: record_offset,
+                    what: "record name is not utf-8",
+                })?
+                .to_string();
+            let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let payload = take(&mut pos, payload_len)?.to_vec();
+            let stored = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let mut state = 0xFFFF_FFFFu32;
+            state = crc32_update(state, name.as_bytes());
+            state = crc32_update(state, &payload);
+            let computed = state ^ 0xFFFF_FFFF;
+            if computed != stored {
+                return Err(CkptError::CrcMismatch {
+                    record: name,
+                    offset: record_offset,
+                    stored,
+                    computed,
+                });
+            }
+            records.push((name, payload));
+        }
+        Ok(Ckpt { records })
+    }
+
+    /// Loads and verifies a checkpoint file. Any corruption (bad magic,
+    /// truncation, CRC mismatch) is an error; no partially-verified data
+    /// escapes.
+    pub fn load(path: &Path) -> Result<Self, CkptError> {
+        let data = fs::read(path)?;
+        let _ = crc32(&[]); // warm the CRC table outside the parse loop
+        Self::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sgnn_ckpt_{}_{tag}.ckpt", std::process::id()))
+    }
+
+    fn sample() -> Ckpt {
+        let mut c = Ckpt::new();
+        c.put_str("meta.name", "gcn-full");
+        c.put_u64("meta.epoch", 7);
+        c.put_f32s("param.0", &[1.5, -2.25, f32::MIN_POSITIVE, 0.0]);
+        c.put_f64("stopper.best", 0.912345678);
+        c.put_u64s("meta.dims", &[6, 16, 3]);
+        c
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let path = tmp_path("roundtrip");
+        let c = sample();
+        let written = c.save(&path).unwrap();
+        assert_eq!(written, c.nbytes());
+        let back = Ckpt::load(&path).unwrap();
+        assert_eq!(back.str_("meta.name").unwrap(), "gcn-full");
+        assert_eq!(back.u64("meta.epoch").unwrap(), 7);
+        let p: Vec<u32> = back.f32s("param.0").unwrap().iter().map(|v| v.to_bits()).collect();
+        let q: Vec<u32> =
+            [1.5f32, -2.25, f32::MIN_POSITIVE, 0.0].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(p, q);
+        assert_eq!(back.f64("stopper.best").unwrap().to_bits(), 0.912345678f64.to_bits());
+        assert_eq!(back.u64s("meta.dims").unwrap(), vec![6, 16, 3]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_with_offset() {
+        let bytes = sample().to_bytes();
+        // Cut mid-way through the third record's payload.
+        for cut in [bytes.len() - 1, bytes.len() - 10, 9] {
+            let err = Ckpt::from_bytes(&bytes[..cut]).unwrap_err();
+            match err {
+                CkptError::Truncated { offset } => {
+                    assert!(offset >= 8, "offset {offset} must be past the magic");
+                    assert!((offset as usize) < bytes.len());
+                }
+                other => panic!("expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_is_rejected_with_record_and_offset() {
+        let mut bytes = sample().to_bytes();
+        // Flip one bit inside the payload of `param.0` (find it by name).
+        let name_pos = bytes.windows(7).position(|w| w == b"param.0").unwrap();
+        let flip_at = name_pos + 7 + 8 + 5; // into the payload
+        bytes[flip_at] ^= 0x10;
+        let err = Ckpt::from_bytes(&bytes).unwrap_err();
+        match err {
+            CkptError::CrcMismatch { record, offset, stored, computed } => {
+                assert_eq!(record, "param.0");
+                assert!(offset > 0 && (offset as usize) < bytes.len());
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(Ckpt::from_bytes(b"NOTACKPT"), Err(CkptError::BadMagic)));
+        assert!(matches!(Ckpt::from_bytes(b""), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let path = tmp_path("atomic");
+        sample().save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists(), "tmp file must be renamed away");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_and_wrong_shape_fields_error() {
+        let c = sample();
+        assert!(matches!(c.u64("nope"), Err(CkptError::Missing { .. })));
+        assert!(matches!(c.u64("meta.dims"), Err(CkptError::WrongShape { .. })));
+    }
+}

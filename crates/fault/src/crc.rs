@@ -1,0 +1,91 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) — the checksum guarding
+//! checkpoint records and halo-exchange buffers.
+//!
+//! Table-driven, one table built at first use. The polynomial choice is
+//! deliberate: it is the `crc32` every external tool (zlib, `cksum -o 3`,
+//! Python's `binascii`) computes, so checkpoint records can be verified
+//! from outside the process.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE reflected, init/final-xor `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed `state = 0xFFFF_FFFF`, fold chunks through this,
+/// and finish with `state ^ 0xFFFF_FFFF`.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    for &b in data {
+        state = t[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// CRC-32 over the raw little-endian bytes of an `f32` slice — the halo
+/// exchange checksum (sender computes it over the outgoing rows, receiver
+/// verifies it over what arrived).
+pub fn crc32_f32s(data: &[f32]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    for v in data {
+        state = crc32_update(state, &v.to_le_bytes());
+    }
+    state ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"split across several updates";
+        let mut state = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn f32_crc_matches_byte_crc() {
+        let vals = [1.5f32, -0.25, 3.75e-3, f32::MIN_POSITIVE];
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(crc32_f32s(&vals), crc32(&bytes));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 256];
+        let base = crc32(&data);
+        for bit in [0usize, 7, 100, 2047] {
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&data), base, "bit {bit} undetected");
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

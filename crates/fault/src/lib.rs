@@ -1,0 +1,72 @@
+//! # sgnn-fault
+//!
+//! The resilience substrate: deterministic fault injection and
+//! CRC-checksummed checkpoint files (DESIGN.md §8).
+//!
+//! A production-scale training system is defined as much by what happens
+//! when a worker dies mid-superstep as by its steady-state throughput.
+//! Because the whole training stack is bitwise deterministic (stateless
+//! dropout hashes, chunk-seeded samplers, fixed-point allreduce —
+//! DESIGN.md §6/§7), recovery here is *testable to the bit*: kill a run
+//! anywhere, resume from the last checkpoint, and the final weights must
+//! equal the uninterrupted run exactly. This crate provides the two
+//! halves of that story:
+//!
+//! - [`plan`] — [`FaultPlan`], a seed-driven injector that trainers poll
+//!   at well-defined sites (epoch start, shard superstep, halo exchange,
+//!   pipeline producer) and that can impose an artificial memory budget.
+//!   Every fault is one-shot and fires deterministically, so a faulted
+//!   run is exactly reproducible.
+//! - [`ckpt`] — a record-oriented checkpoint container with a CRC-32
+//!   per record and atomic write-temp-then-rename persistence. Corrupt
+//!   or truncated files are rejected with errors naming the byte offset;
+//!   they are never partially deserialized.
+//!
+//! Counters (DESIGN.md §5 naming): `fault.injected` (every fault that
+//! fired), `recovery.retries` (bounded-retry attempts consumed by any
+//! recovery policy), `ckpt.bytes` (checkpoint bytes written). With
+//! tracing on, each increment also emits a `ph:"C"` trace event.
+
+pub mod ckpt;
+pub mod crc;
+pub mod plan;
+
+pub use ckpt::{Ckpt, CkptError};
+pub use crc::crc32;
+pub use plan::{Fault, FaultPlan};
+
+static FAULT_INJECTED: sgnn_obs::Counter = sgnn_obs::Counter::new("fault.injected");
+static RECOVERY_RETRIES: sgnn_obs::Counter = sgnn_obs::Counter::new("recovery.retries");
+static CKPT_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("ckpt.bytes");
+
+/// Records one injected fault (counter `fault.injected`, plus a trace
+/// counter event when tracing). [`FaultPlan`] calls this when a fault
+/// fires; custom injectors may call it directly.
+pub fn record_injected() {
+    FAULT_INJECTED.incr();
+    sgnn_obs::trace_counter("fault.injected", "count", FAULT_INJECTED.value().max(1));
+}
+
+/// Records one recovery retry (counter `recovery.retries`): a halo
+/// re-exchange after a checksum mismatch, a pipeline producer restart
+/// after a panic, or any other bounded-retry attempt.
+pub fn record_recovery_retry() {
+    RECOVERY_RETRIES.incr();
+    sgnn_obs::trace_counter("recovery.retries", "count", RECOVERY_RETRIES.value().max(1));
+}
+
+/// Records checkpoint bytes written (counter `ckpt.bytes`).
+pub fn record_ckpt_bytes(bytes: u64) {
+    CKPT_BYTES.add(bytes);
+    sgnn_obs::trace_counter("ckpt.bytes", "bytes", CKPT_BYTES.value().max(bytes));
+}
+
+/// Current `fault.injected` counter value (0 with observability off).
+pub fn injected_count() -> u64 {
+    FAULT_INJECTED.value()
+}
+
+/// Current `recovery.retries` counter value (0 with observability off).
+pub fn retry_count() -> u64 {
+    RECOVERY_RETRIES.value()
+}

@@ -1,0 +1,251 @@
+//! [`FaultPlan`]: a deterministic, seed-driven fault injector.
+//!
+//! A plan is built once (test setup or CLI flag), wrapped in an `Arc`,
+//! and handed to a trainer through `TrainConfig`. Trainers *poll* the
+//! plan at well-defined sites:
+//!
+//! | site                         | poll                                  |
+//! |------------------------------|---------------------------------------|
+//! | start of each training epoch | [`FaultPlan::poll_kill_epoch`]        |
+//! | each shard BSP superstep     | [`FaultPlan::poll_kill_superstep`]    |
+//! | after a halo buffer is built | [`FaultPlan::corrupt_halo`]           |
+//! | each pipeline `prepare` call | [`FaultPlan::poll_producer_panic`]    |
+//! | `Ledger` budget checks       | [`FaultPlan::mem_budget`]             |
+//!
+//! Determinism rules (the "fault-plan seeding rules" of DESIGN.md §8):
+//!
+//! - **One-shot.** Each armed fault fires exactly once (an `AtomicBool`
+//!   latch), so a bounded retry of the faulted operation deterministically
+//!   succeeds — which is what lets recovery tests assert convergence
+//!   instead of looping forever.
+//! - **Positional, not temporal.** Faults trigger on logical indices
+//!   (epoch number, superstep number, exchange number, batch number),
+//!   never on wall-clock time, so a faulted run is exactly reproducible.
+//! - **Seeded corruption.** Which bits [`corrupt_halo`](FaultPlan::corrupt_halo)
+//!   flips is derived from the plan seed and the exchange index via
+//!   SplitMix64 — two runs with the same plan corrupt the same bits.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One injectable fault. All indices are 0-based logical positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Abort training at the start of epoch `epoch` (after the previous
+    /// epoch's checkpoint was written).
+    KillAtEpoch {
+        /// Epoch index at which to die.
+        epoch: usize,
+    },
+    /// Abort sharded training at global BSP superstep `superstep`
+    /// (supersteps count every compute/exchange barrier across epochs).
+    KillAtSuperstep {
+        /// Global superstep index at which to die.
+        superstep: u64,
+    },
+    /// Flip `flips` seed-chosen bits in the halo buffer of global
+    /// exchange `exchange` — "in transit", after the sender checksummed
+    /// it.
+    CorruptHalo {
+        /// Global halo-exchange index to corrupt.
+        exchange: u64,
+        /// Number of bits to flip.
+        flips: u32,
+    },
+    /// Panic the `BatchPipeline` producer while preparing batch `batch`.
+    PanicProducer {
+        /// Global batch index at which the producer panics.
+        batch: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Armed {
+    fault: Fault,
+    fired: AtomicBool,
+}
+
+/// A set of armed faults plus an optional memory budget. Build with the
+/// chained `kill_at_*`/`corrupt_halo`/`panic_producer`/`mem_budget`
+/// methods, then share via `Arc`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Armed>,
+    mem_budget: Option<u64>,
+}
+
+/// SplitMix64: the workspace-standard cheap seed expander (same scheme
+/// the samplers use for chunk seeds).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Empty plan with a corruption seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new(), mem_budget: None }
+    }
+
+    fn arm(mut self, fault: Fault) -> Self {
+        self.faults.push(Armed { fault, fired: AtomicBool::new(false) });
+        self
+    }
+
+    /// Arms a [`Fault::KillAtEpoch`].
+    pub fn kill_at_epoch(self, epoch: usize) -> Self {
+        self.arm(Fault::KillAtEpoch { epoch })
+    }
+
+    /// Arms a [`Fault::KillAtSuperstep`].
+    pub fn kill_at_superstep(self, superstep: u64) -> Self {
+        self.arm(Fault::KillAtSuperstep { superstep })
+    }
+
+    /// Arms a [`Fault::CorruptHalo`].
+    pub fn corrupt_halo(self, exchange: u64, flips: u32) -> Self {
+        self.arm(Fault::CorruptHalo { exchange, flips })
+    }
+
+    /// Arms a [`Fault::PanicProducer`].
+    pub fn panic_producer(self, batch: usize) -> Self {
+        self.arm(Fault::PanicProducer { batch })
+    }
+
+    /// Caps the `Ledger` byte budget (simulated memory exhaustion).
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// The simulated memory budget, if one was set.
+    pub fn budget(&self) -> Option<u64> {
+        self.mem_budget
+    }
+
+    /// Fires the first not-yet-fired fault matching `pred`, if any.
+    fn fire(&self, pred: impl Fn(&Fault) -> bool) -> Option<Fault> {
+        for armed in &self.faults {
+            if pred(&armed.fault) && !armed.fired.swap(true, Ordering::Relaxed) {
+                crate::record_injected();
+                return Some(armed.fault);
+            }
+        }
+        None
+    }
+
+    /// True exactly once for an armed `KillAtEpoch { epoch }`.
+    pub fn poll_kill_epoch(&self, epoch: usize) -> bool {
+        self.fire(|f| matches!(f, Fault::KillAtEpoch { epoch: e } if *e == epoch)).is_some()
+    }
+
+    /// True exactly once for an armed `KillAtSuperstep { superstep }`.
+    pub fn poll_kill_superstep(&self, superstep: u64) -> bool {
+        self.fire(|f| matches!(f, Fault::KillAtSuperstep { superstep: s } if *s == superstep))
+            .is_some()
+    }
+
+    /// True exactly once for an armed `PanicProducer { batch }`.
+    pub fn poll_producer_panic(&self, batch: usize) -> bool {
+        self.fire(|f| matches!(f, Fault::PanicProducer { batch: b } if *b == batch)).is_some()
+    }
+
+    /// If a `CorruptHalo` is armed for `exchange`, flips its seed-chosen
+    /// bits in `buf` (once) and returns `true`. Bit positions are
+    /// `splitmix64(seed, exchange, i)`-derived, so corruption is
+    /// reproducible across runs of the same plan.
+    pub fn corrupt_halo_buf(&self, exchange: u64, buf: &mut [f32]) -> bool {
+        let Some(Fault::CorruptHalo { flips, .. }) =
+            self.fire(|f| matches!(f, Fault::CorruptHalo { exchange: x, .. } if *x == exchange))
+        else {
+            return false;
+        };
+        if buf.is_empty() {
+            return true; // fired, but nothing to corrupt
+        }
+        let total_bits = buf.len() as u64 * 32;
+        for i in 0..flips as u64 {
+            let r = splitmix64(self.seed ^ splitmix64(exchange ^ (i << 32)));
+            let bit = r % total_bits;
+            let word = (bit / 32) as usize;
+            buf[word] = f32::from_bits(buf[word].to_bits() ^ (1u32 << (bit % 32)));
+        }
+        true
+    }
+
+    /// Number of armed faults that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.faults.iter().filter(|a| a.fired.load(Ordering::Relaxed)).count()
+    }
+
+    /// True when every armed fault has fired (useful for asserting a
+    /// sweep actually exercised the plan).
+    pub fn exhausted(&self) -> bool {
+        self.faults.iter().all(|a| a.fired.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::crc32_f32s;
+
+    #[test]
+    fn faults_are_one_shot() {
+        let plan = FaultPlan::new(1).kill_at_epoch(3).panic_producer(2).kill_at_superstep(5);
+        assert!(!plan.poll_kill_epoch(0));
+        assert!(!plan.poll_kill_epoch(2));
+        assert!(plan.poll_kill_epoch(3), "armed epoch fires");
+        assert!(!plan.poll_kill_epoch(3), "second poll at same epoch must not re-fire");
+        assert!(plan.poll_producer_panic(2));
+        assert!(!plan.poll_producer_panic(2));
+        assert!(plan.poll_kill_superstep(5));
+        assert!(!plan.poll_kill_superstep(5));
+        assert!(plan.exhausted());
+        assert_eq!(plan.fired_count(), 3);
+    }
+
+    #[test]
+    fn halo_corruption_is_deterministic_and_detectable() {
+        let base: Vec<f32> = (0..64).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let clean_crc = crc32_f32s(&base);
+
+        let mut a = base.clone();
+        let mut b = base.clone();
+        assert!(FaultPlan::new(42).corrupt_halo(7, 3).corrupt_halo_buf(7, &mut a));
+        assert!(FaultPlan::new(42).corrupt_halo(7, 3).corrupt_halo_buf(7, &mut b));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "same seed ⇒ same corruption");
+        assert_ne!(crc32_f32s(&a), clean_crc, "corruption must break the checksum");
+
+        let mut c = base.clone();
+        assert!(FaultPlan::new(43).corrupt_halo(7, 3).corrupt_halo_buf(7, &mut c));
+        assert_ne!(bits(&a), bits(&c), "different seed ⇒ different corruption");
+
+        // Wrong exchange index: nothing fires, buffer untouched.
+        let mut d = base.clone();
+        let plan = FaultPlan::new(42).corrupt_halo(7, 3);
+        assert!(!plan.corrupt_halo_buf(6, &mut d));
+        assert_eq!(bits(&d), bits(&base));
+        // The armed exchange still fires afterwards, exactly once.
+        assert!(plan.corrupt_halo_buf(7, &mut d));
+        assert!(!plan.corrupt_halo_buf(7, &mut d));
+    }
+
+    #[test]
+    fn budget_is_carried() {
+        assert_eq!(FaultPlan::new(0).budget(), None);
+        assert_eq!(FaultPlan::new(0).mem_budget(1 << 20).budget(), Some(1 << 20));
+    }
+
+    #[test]
+    fn empty_buffer_fires_without_panicking() {
+        let plan = FaultPlan::new(9).corrupt_halo(0, 8);
+        let mut empty: Vec<f32> = Vec::new();
+        assert!(plan.corrupt_halo_buf(0, &mut empty));
+        assert!(plan.exhausted());
+    }
+}

@@ -25,8 +25,9 @@
 //! bitwise identical at any thread count because partition boundaries
 //! depend only on the input, never on execution order.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -104,8 +105,9 @@ struct Job {
     /// Worker-participation permits left (`participants - 1`; the
     /// submitter always participates).
     permits: AtomicUsize,
-    /// Set when any chunk panicked; re-raised by the submitter.
-    panicked: AtomicBool,
+    /// First chunk panic's payload; re-raised by the submitter so callers
+    /// see the original message, not a generic pool error.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 unsafe impl Send for Job {}
@@ -205,8 +207,8 @@ fn worker_loop(pool: &'static Pool, worker: usize) {
 }
 
 /// Claims and runs chunks until the counter is exhausted, returning how
-/// many this thread executed. Chunk panics are recorded (not propagated)
-/// so the job always drains.
+/// many this thread executed. Chunk panics are captured (the first
+/// payload is kept) so the job always drains; the submitter re-raises.
 fn execute_chunks(job: &Job) -> u64 {
     let run = unsafe { &*job.run };
     let mut executed = 0u64;
@@ -215,8 +217,11 @@ fn execute_chunks(job: &Job) -> u64 {
         if i >= job.num_chunks {
             break;
         }
-        if catch_unwind(AssertUnwindSafe(|| run(i))).is_err() {
-            job.panicked.store(true, Ordering::Relaxed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+            let mut slot = job.panic_payload.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
         }
         job.done.fetch_add(1, Ordering::Release);
         executed += 1;
@@ -254,7 +259,7 @@ fn run_job(num_chunks: usize, participants: usize, run: &(dyn Fn(usize) + Sync))
         done: AtomicUsize::new(0),
         num_chunks,
         permits: AtomicUsize::new(participants.saturating_sub(1).min(pool.workers)),
-        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
     };
     {
         let mut s = pool.state.lock();
@@ -281,8 +286,9 @@ fn run_job(num_chunks: usize, participants: usize, run: &(dyn Fn(usize) + Sync))
     if let Some(t0) = submit_from {
         POOL_SUBMIT_NS.add(t0.elapsed().as_nanos() as u64);
     }
-    if job.panicked.load(Ordering::Relaxed) {
-        panic!("parallel worker panicked");
+    let payload = job.panic_payload.lock().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
     }
 }
 
@@ -684,15 +690,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel worker panicked")]
-    fn worker_panic_propagates_to_submitter() {
+    #[should_panic(expected = "chunk zero exploded")]
+    fn worker_panic_propagates_to_submitter_with_payload() {
         let _g = threads_guard();
         set_threads(0);
         if num_threads() < 2 {
             // Single-core host: the pool never engages, so the dispatch
             // path under test does not exist here.
-            panic!("parallel worker panicked");
+            panic!("chunk zero exploded");
         }
+        // The submitter must re-raise the *original* payload — recovery
+        // layers above (pipeline restart, fault tests) match on it.
         par_chunks(1024, 1, |s, _| {
             if s == 0 {
                 panic!("chunk zero exploded");

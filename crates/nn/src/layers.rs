@@ -179,6 +179,18 @@ impl Dropout {
         seed.wrapping_add(call.wrapping_mul(0x9E37_79B9))
     }
 
+    /// Training-forward calls made so far. Part of the checkpoint
+    /// contract: the mask stream position is the only RNG-adjacent state
+    /// a model carries, so resume must put it back.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Restores the call counter (checkpoint resume).
+    pub fn set_calls(&mut self, calls: u64) {
+        self.calls = calls;
+    }
+
     /// Mask scale for one element: `0.0` (dropped) or `1/(1−p)` (kept),
     /// as a pure function of `(call_seed, element index)`. `elem` is the
     /// flat row-major index `row·cols + col` of the *full* forward

@@ -80,6 +80,23 @@ impl Adam {
         self.weight_decay = wd;
         self
     }
+
+    /// Snapshot of the mutable optimizer state for checkpointing: the
+    /// step counter and the per-slot first/second moment buffers, in
+    /// slot order. Bit-exact restore via [`restore_state`](Adam::restore_state)
+    /// is what makes resumed training reproduce an uninterrupted run.
+    pub fn export_state(&self) -> (i32, &[Vec<f32>], &[Vec<f32>]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restores state captured by [`export_state`](Adam::export_state).
+    /// Slot buffers re-shape lazily on the next `update` if a restored
+    /// slot is empty, so restoring into a fresh optimizer is safe.
+    pub fn restore_state(&mut self, t: i32, m: Vec<Vec<f32>>, v: Vec<Vec<f32>>) {
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
 }
 
 impl Optimizer for Adam {

@@ -122,6 +122,17 @@ pub fn reset() {
     counters::reset();
 }
 
+/// Emits a `ph:"C"` counter event to the JSONL trace sink when tracing
+/// is on; a no-op otherwise. For instrumentation points in other crates
+/// (e.g. `sgnn-fault`'s recovery counters) that want their increments
+/// visible on the trace timeline, not just in the final snapshot.
+#[inline]
+pub fn trace_counter(name: &'static str, series: &str, value: u64) {
+    if tracing() {
+        trace::emit_counter(name, series, value);
+    }
+}
+
 /// Returns a monotonic timestamp origin shared by every trace event in
 /// the process.
 pub(crate) fn epoch_origin() -> std::time::Instant {

@@ -25,16 +25,16 @@ fn main() {
     let cfg = TrainConfig { epochs: 40, hidden: vec![32], ..Default::default() };
 
     println!("baseline GCN (low-pass only) —");
-    let (_, gcn) = train_full_gcn(&ds, &cfg);
+    let (_, gcn) = train_full_gcn(&ds, &cfg).unwrap();
     println!("  gcn          acc={:.3}", gcn.test_acc);
 
     println!("graph-free MLP (ignores the misleading edges) —");
-    let (_, mlp) = train_decoupled(&ds, &PrecomputeMethod::None, &cfg);
+    let (_, mlp) = train_decoupled(&ds, &PrecomputeMethod::None, &cfg).unwrap();
     println!("  mlp          acc={:.3}", mlp.test_acc);
 
     println!("LD2 multi-channel embedding (low ⊕ high ⊕ PPR channels) —");
     let ld2 = Ld2Config { low_hops: 2, high_hops: 2, ppr_channel: true, ..Default::default() };
-    let (_, ld2r) = train_decoupled(&ds, &PrecomputeMethod::Ld2(ld2), &cfg);
+    let (_, ld2r) = train_decoupled(&ds, &PrecomputeMethod::Ld2(ld2), &cfg).unwrap();
     println!("  ld2          acc={:.3}", ld2r.test_acc);
 
     println!("DHGR-style rewiring, then GCN on the repaired graph —");
@@ -52,7 +52,7 @@ fn main() {
     );
     let mut ds2 = ds.clone();
     ds2.graph = rewired;
-    let (_, gcn2) = train_full_gcn(&ds2, &cfg);
+    let (_, gcn2) = train_full_gcn(&ds2, &cfg).unwrap();
     println!("  gcn+rewire   acc={:.3}", gcn2.test_acc);
 
     println!("\nExpected shape (survey §3.2): GCN < MLP < {{LD2, rewired GCN}} —");

@@ -49,16 +49,16 @@ fn main() {
     let cfg = TrainConfig { epochs: 30, hidden: vec![32], ..Default::default() };
 
     println!("1/3  full-batch GCN (the canonical baseline)…");
-    let (_, gcn) = train_full_gcn(&ds, &cfg);
+    let (_, gcn) = train_full_gcn(&ds, &cfg).unwrap();
     print_row(&gcn);
 
     println!("2/3  decoupled SGC (precompute Â²X once, then mini-batch MLP)…");
-    let (_, sgc) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+    let (_, sgc) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap();
     print_row(&sgc);
 
     println!("3/3  sampled GraphSAGE (node-wise fanout 5×5)…");
     let cfg_s = TrainConfig { epochs: 10, batch_size: 512, ..cfg.clone() };
-    let (_, sage) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s);
+    let (_, sage) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).unwrap();
     print_row(&sage);
 
     println!("\nThe survey's §3.1.2 story in one table: all three reach similar");

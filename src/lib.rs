@@ -10,9 +10,13 @@
 //!
 //! let ds = sbm_dataset(300, 3, 8.0, 0.85, 8, 0.6, 0, 0.5, 0.25, 42);
 //! let cfg = TrainConfig { epochs: 20, ..Default::default() };
-//! let (_, report) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+//! let (_, report) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap();
 //! assert!(report.test_acc > 0.5);
 //! ```
+//!
+//! Trainers return [`core::error::TrainResult`]: `Err` covers memory-budget
+//! rejection ([`core::error::TrainError::BudgetExceeded`]) and the injected
+//! faults of [`sgnn_fault`] (see `crates/fault` and DESIGN.md §8).
 
 /// Zero-overhead-when-off tracing, counters, and phase profiling.
 pub use sgnn_obs as obs;
@@ -49,6 +53,9 @@ pub use sgnn_nn as nn;
 
 /// The unified framework: model zoo, trainers, metrics, taxonomy.
 pub use sgnn_core as core;
+
+/// Deterministic fault injection, CRC-checksummed checkpoints, recovery.
+pub use sgnn_fault as fault;
 
 /// Synthetic dataset generators and splits.
 pub use sgnn_data as data;

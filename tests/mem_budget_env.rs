@@ -1,0 +1,24 @@
+//! `SGNN_MEM_BUDGET` environment-variable budget (DESIGN.md §8).
+//!
+//! Lives in its own test binary: the variable is process-global, and the
+//! budget is re-read at every `Ledger` construction, so any concurrently
+//! running trainer in the same process would also be capped. Keeping this
+//! file to a single test makes the mutation race-free.
+
+use sgnn::core::error::TrainError;
+use sgnn::core::trainer::{train_full_gcn, TrainConfig};
+use sgnn::data::sbm_dataset;
+
+#[test]
+fn env_budget_caps_trainers_and_lifts_cleanly() {
+    let ds = sbm_dataset(200, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 31);
+    let cfg = TrainConfig { epochs: 2, hidden: vec![4], ..Default::default() };
+
+    std::env::set_var("SGNN_MEM_BUDGET", "1K");
+    let err = train_full_gcn(&ds, &cfg).err().expect("1 KiB env budget must trip");
+    assert!(matches!(err, TrainError::BudgetExceeded(_)), "got {err:?}");
+
+    std::env::remove_var("SGNN_MEM_BUDGET");
+    let (_, report) = train_full_gcn(&ds, &cfg).unwrap();
+    assert!(report.final_loss.is_finite());
+}

@@ -62,7 +62,7 @@ fn trace_file_is_wellformed_jsonl_with_expected_spans() {
     sgnn::obs::reset();
     let ds = sgnn::data::sbm_dataset(400, 3, 8.0, 0.85, 8, 0.6, 0, 0.5, 0.25, 5);
     let cfg = sgnn::core::trainer::TrainConfig { epochs: 3, hidden: vec![8], ..Default::default() };
-    let (_, report) = sgnn::core::trainer::train_full_gcn(&ds, &cfg);
+    let (_, report) = sgnn::core::trainer::train_full_gcn(&ds, &cfg).unwrap();
     assert!(report.phases.total_secs() > 0.0);
     sgnn::obs::disable(); // flushes the sink
     let text = std::fs::read_to_string(trace_path()).expect("trace file exists");

@@ -23,23 +23,24 @@ fn every_training_family_learns_the_same_dataset() {
     let ds = dataset();
     let cfg = cfg();
     let mut results: Vec<(String, f64)> = Vec::new();
-    let (_, r) = train_full_gcn(&ds, &cfg);
+    let (_, r) = train_full_gcn(&ds, &cfg).unwrap();
     results.push((r.name.clone(), r.test_acc));
     for method in [
         PrecomputeMethod::Sgc { k: 2 },
         PrecomputeMethod::Appnp { alpha: 0.15, k: 8 },
         PrecomputeMethod::Ld2(Ld2Config::default()),
     ] {
-        let (_, r) = train_decoupled(&ds, &method, &cfg);
+        let (_, r) = train_decoupled(&ds, &method, &cfg).unwrap();
         results.push((r.name.clone(), r.test_acc));
     }
     let cfg_s = TrainConfig { epochs: 20, batch_size: 128, ..cfg.clone() };
-    let (_, r) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s);
+    let (_, r) = train_sampled(&ds, &SamplerKind::NodeWise(vec![5, 5]), &cfg_s).unwrap();
     results.push((r.name.clone(), r.test_acc));
     let (_, r) =
-        train_saint(&ds, sgnn::sample::SaintSampler::RandomWalk { roots: 50, length: 5 }, 4, &cfg);
+        train_saint(&ds, sgnn::sample::SaintSampler::RandomWalk { roots: 50, length: 5 }, 4, &cfg)
+            .unwrap();
     results.push((r.name.clone(), r.test_acc));
-    let (_, r) = train_cluster_gcn(&ds, 8, 2, &cfg);
+    let (_, r) = train_cluster_gcn(&ds, 8, 2, &cfg).unwrap();
     results.push((r.name.clone(), r.test_acc));
     for (name, acc) in &results {
         assert!(*acc > 0.65, "{name} accuracy {acc} too low: {results:?}");
@@ -52,8 +53,8 @@ fn decoupled_peak_memory_beats_full_batch_at_scale() {
     // decoupled pipeline's peak memory is far below full-batch GCN's.
     let ds = sbm_dataset(5_000, 4, 10.0, 0.9, 16, 0.8, 0, 0.5, 0.25, 22);
     let cfg = TrainConfig { epochs: 15, hidden: vec![32], ..Default::default() };
-    let (_, full) = train_full_gcn(&ds, &cfg);
-    let (_, dec) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg);
+    let (_, full) = train_full_gcn(&ds, &cfg).unwrap();
+    let (_, dec) = train_decoupled(&ds, &PrecomputeMethod::Sgc { k: 2 }, &cfg).unwrap();
     assert!(
         (dec.peak_mem_bytes as f64) < 0.6 * full.peak_mem_bytes as f64,
         "decoupled {} vs full {}",
@@ -67,8 +68,8 @@ fn decoupled_peak_memory_beats_full_batch_at_scale() {
 fn coarse_training_is_cheaper_and_close_in_accuracy() {
     let ds = dataset();
     let cfg = cfg();
-    let (_, full) = train_full_gcn(&ds, &cfg);
-    let coarse = train_coarse(&ds, 0.3, &cfg);
+    let (_, full) = train_full_gcn(&ds, &cfg).unwrap();
+    let coarse = train_coarse(&ds, 0.3, &cfg).unwrap();
     assert!(coarse.peak_mem_bytes < full.peak_mem_bytes);
     assert!(
         coarse.test_acc > full.test_acc - 0.25,

@@ -156,9 +156,9 @@ fn pipelined_train_sampled_matches_inline_exactly() {
             prefetch: false,
             ..Default::default()
         };
-        let (_, inline) = train_sampled(&ds, &sampler, &cfg);
+        let (_, inline) = train_sampled(&ds, &sampler, &cfg).unwrap();
         let (_, piped) =
-            train_sampled(&ds, &sampler, &TrainConfig { prefetch: true, ..cfg.clone() });
+            train_sampled(&ds, &sampler, &TrainConfig { prefetch: true, ..cfg.clone() }).unwrap();
         assert_eq!(
             inline.final_loss.to_bits(),
             piped.final_loss.to_bits(),

@@ -82,9 +82,9 @@ proptest! {
         let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
         let ds = sbm_dataset(n, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, seed);
         let cfg = TrainConfig { epochs, hidden: vec![hidden], seed, ..Default::default() };
-        let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg);
+        let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
         let part = partition_by(which, &ds.graph, k);
-        let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg);
+        let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
         let tag = format!("n={n} k={k} which={which} seed={seed}");
         assert_reports_match(&ref_report, &report, &tag);
         assert_weights_match(&ref_gcn, &gcn, &tag);
@@ -108,9 +108,9 @@ proptest! {
             seed,
             ..Default::default()
         };
-        let (_, ref_report) = train_full_gcn(&ds, &cfg);
+        let (_, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
         let part = partition_by(which, &ds.graph, k);
-        let (_, report, _) = train_sharded_gcn(&ds, &part, &cfg);
+        let (_, report, _) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
         assert_reports_match(&ref_report, &report, &format!("patience k={k} which={which}"));
     }
 }
@@ -122,11 +122,11 @@ fn all_partitioners_match_at_k_1_2_4() {
     let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
     let ds = sbm_dataset(320, 3, 9.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 11);
     let cfg = TrainConfig { epochs: 4, hidden: vec![8], ..Default::default() };
-    let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg);
+    let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
     for which in 0..4usize {
         for k in [1usize, 2, 4] {
             let part = partition_by(which, &ds.graph, k);
-            let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg);
+            let (gcn, report, stats) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
             let tag = format!("which={which} k={k}");
             assert_reports_match(&ref_report, &report, &tag);
             assert_weights_match(&ref_gcn, &gcn, &tag);
@@ -150,11 +150,11 @@ fn sharded_training_matches_at_two_threads() {
     let ds = sbm_dataset(300, 3, 8.0, 0.85, 6, 0.8, 0, 0.5, 0.25, 5);
     let cfg = TrainConfig { epochs: 3, hidden: vec![8], ..Default::default() };
     set_threads(1);
-    let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg);
+    let (ref_gcn, ref_report) = train_full_gcn(&ds, &cfg).unwrap();
     set_threads(2);
     for which in 0..4usize {
         let part = partition_by(which, &ds.graph, 4);
-        let (gcn, report, _) = train_sharded_gcn(&ds, &part, &cfg);
+        let (gcn, report, _) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
         let tag = format!("2-thread which={which}");
         assert_reports_match(&ref_report, &report, &tag);
         assert_weights_match(&ref_gcn, &gcn, &tag);
