@@ -1,28 +1,37 @@
-//! `benchkernels` — machine-readable kernel perf snapshot.
+//! `benchkernels` — machine-readable kernel perf snapshot with roofline
+//! attribution.
 //!
 //! ```text
-//! cargo run --release -p sgnn-bench --bin benchkernels            # writes bench_out/BENCH_kernels.json
+//! cargo run --release -p sgnn-bench --bin benchkernels                 # bench_out/BENCH_kernels.json
+//! cargo run --release -p sgnn-bench --features simd --bin benchkernels # AVX2/NEON kernels
+//! cargo run --release -p sgnn-bench --bin benchkernels -- --quick      # small workload (CI smoke)
+//! cargo run --release -p sgnn-bench --bin benchkernels -- --json      # + ObsReport line on stdout
 //! cargo run --release -p sgnn-bench --bin benchkernels -- out.json
-//! cargo run --release -p sgnn-bench --bin benchkernels -- --json
 //! ```
 //!
-//! Times the pooled, nnz-balanced kernels against the seed-era baselines
-//! (scoped-spawn dispatch, row-count-partitioned spmm) on fixed seeded
-//! workloads and writes one JSON object so future PRs can diff the perf
-//! trajectory.
+//! Each kernel variant is reported with its timing *and* its analytic
+//! flop/byte counts read back from the `linalg.*.flops` /
+//! `linalg.*.bytes_moved` roofline counters (DESIGN.md §9), so the JSON
+//! attributes every speedup: arithmetic intensity says whether a variant
+//! is bandwidth- or compute-bound, the `simd_backend` field says which
+//! lane width produced the numbers, and the quantized rows show the gather
+//! bytes int8/f16 payloads save. Before timing, the bitwise contract
+//! (blocked ≡ balanced) and the quantization tolerance are asserted on the
+//! bench workload itself.
 //!
-//! With `--json`, observability is enabled for the run and a final line
-//! with the single-line [`sgnn_obs::ObsReport`] snapshot (span tree, spmm
-//! nnz counters, pool steal/idle counters) is printed to stdout. Note the
-//! kernel timings then include the (small) enabled-path overhead; leave
-//! the flag off when recording baselines.
+//! With `--json`, observability stays enabled for the timed phase and a
+//! final line with the single-line [`sgnn_obs::ObsReport`] snapshot is
+//! printed to stdout. Kernel timings then include the (small)
+//! enabled-path overhead; leave the flag off when recording baselines.
 
 use sgnn_bench::kernel_baseline::{scoped_chunks, spmm_rowcount};
+use sgnn_graph::blocked::{spmm_blocked_into, spmm_quant_into, BlockSpec};
 use sgnn_graph::normalize::{normalized_adjacency, NormKind};
-use sgnn_graph::spmm::{spmm_into, spmv};
+use sgnn_graph::spmm::{spmm_bytes, spmm_flops, spmm_into, spmv};
 use sgnn_graph::{generate, CsrGraph};
 use sgnn_linalg::par::{num_threads, par_chunks, set_threads};
-use sgnn_linalg::DenseMatrix;
+use sgnn_linalg::quant::{qmatmul_bytes, qmatmul_into, QuantMatrix};
+use sgnn_linalg::{simd, DenseMatrix};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -62,28 +71,61 @@ fn time_interleaved(rounds: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> 
     (ta[rounds / 2], tb[rounds / 2])
 }
 
-struct Entry {
+/// One kernel variant's roofline row.
+struct Kernel {
     name: &'static str,
     seconds: f64,
+    flops: u64,
+    bytes: u64,
+}
+
+impl Kernel {
+    fn json(&self) -> String {
+        let intensity = self.flops as f64 / self.bytes.max(1) as f64;
+        let gflops = self.flops as f64 / self.seconds / 1e9;
+        let gbps = self.bytes as f64 / self.seconds / 1e9;
+        format!(
+            "{{\"seconds\": {:.9}, \"flops\": {}, \"bytes_moved\": {}, \
+             \"intensity_flops_per_byte\": {:.4}, \"gflops\": {:.3}, \"gbytes_per_sec\": {:.3}}}",
+            self.seconds, self.flops, self.bytes, intensity, gflops, gbps
+        )
+    }
+}
+
+/// Runs `f` once with observability on and returns the roofline counter
+/// pair `(<prefix>.flops, <prefix>.bytes_moved)` it recorded. `keep_on`
+/// leaves observability enabled afterwards (`--json` mode).
+fn attribute(prefix: &str, keep_on: bool, f: impl FnOnce()) -> (u64, u64) {
+    sgnn_obs::enable();
+    sgnn_obs::reset();
+    f();
+    let report = sgnn_obs::report();
+    if !keep_on {
+        sgnn_obs::disable();
+    }
+    let get = |name: String| report.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value);
+    (get(format!("{prefix}.flops")), get(format!("{prefix}.bytes_moved")))
+}
+
+fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f32 {
+    a.data().iter().zip(b.data()).fold(0f32, |m, (x, y)| m.max((x - y).abs()))
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs_json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--json" && a != "--quick");
     let out_path =
         args.into_iter().next().unwrap_or_else(|| "bench_out/BENCH_kernels.json".to_string());
-    if obs_json {
-        sgnn_obs::enable();
-    }
     let threads = num_threads();
-    let mut entries: Vec<Entry> = Vec::new();
 
     // --- Dispatch overhead: tiny input, cost is the handoff itself. ---
     let sink = AtomicU64::new(0);
-    let dispatch_reps = 2_000usize;
+    let dispatch_reps = if quick { 200usize } else { 2_000 };
+    let rounds = if quick { 5 } else { 9 };
     let (pooled, scoped) = time_interleaved(
-        9,
+        rounds,
         || {
             for _ in 0..dispatch_reps {
                 par_chunks(black_box(4096), 64, |s, e| {
@@ -100,17 +142,13 @@ fn main() {
         },
     );
     let (pooled, scoped) = (pooled / dispatch_reps as f64, scoped / dispatch_reps as f64);
-    entries.push(Entry { name: "dispatch_pooled_tiny", seconds: pooled });
-    entries.push(Entry { name: "dispatch_scoped_tiny", seconds: scoped });
 
-    // Same microbench with 2 threads requested: this is where the designs
-    // diverge — the seed spawns (and joins) OS threads on every call, the
-    // pool hands work to already-running workers. At the 1-thread default
-    // both collapse to a direct call and measure equal.
+    // Same microbench with 2 threads requested: the seed spawns OS threads
+    // per call, the pool hands work to already-running workers.
     set_threads(2);
-    let reps2 = 200usize;
+    let reps2 = if quick { 50usize } else { 200 };
     let (pooled2, scoped2) = time_interleaved(
-        9,
+        rounds,
         || {
             for _ in 0..reps2 {
                 par_chunks(black_box(4096), 64, |s, e| {
@@ -128,46 +166,153 @@ fn main() {
     );
     set_threads(0);
     let (pooled2, scoped2) = (pooled2 / reps2 as f64, scoped2 / reps2 as f64);
-    entries.push(Entry { name: "dispatch_pooled_tiny_t2", seconds: pooled2 });
-    entries.push(Entry { name: "dispatch_scoped_tiny_t2", seconds: scoped2 });
 
-    // --- spmm load balance: BA-100k power-law graph, d = 64. ---
+    // --- SpMM variants: BA power-law graph, sym-normalized, d = 64. ---
+    let n = if quick { 20_000usize } else { 100_000 };
+    let d = 64usize;
     let a: CsrGraph =
-        normalized_adjacency(&generate::barabasi_albert(100_000, 8, 7), NormKind::Sym, true)
-            .unwrap();
-    let x = DenseMatrix::gaussian(100_000, 64, 1.0, 8);
-    let mut y = DenseMatrix::zeros(100_000, 64);
+        normalized_adjacency(&generate::barabasi_albert(n, 8, 7), NormKind::Sym, true).unwrap();
+    let x = DenseMatrix::gaussian(n, d, 1.0, 8);
+    let spec = BlockSpec::auto(&a, d);
+    let mut y = DenseMatrix::zeros(n, d);
+    let mut yb = DenseMatrix::zeros(n, d);
+
+    // Contract check 1: blocked must be bitwise-identical to balanced.
+    spmm_into(&a, &x, &mut y);
+    spmm_blocked_into(&a, &x, &mut yb, spec);
+    assert_eq!(
+        y.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        yb.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "blocked SpMM diverged from spmm_into — bitwise contract broken"
+    );
+
+    // Contract check 2: quantized aggregation stays inside tolerance
+    // (sym-normalized rows sum ≤ 1, features ~N(0,1); DESIGN.md §9).
+    let xq8 = QuantMatrix::quantize_i8(&x);
+    let xq16 = QuantMatrix::quantize_f16(&x);
+    let mut yq = DenseMatrix::zeros(n, d);
+    spmm_quant_into(&a, &xq8, &mut yq, spec);
+    let err_i8 = max_abs_diff(&yq, &y);
+    spmm_quant_into(&a, &xq16, &mut yq, spec);
+    let err_f16 = max_abs_diff(&yq, &y);
+    assert!(err_i8 < 0.05, "int8 aggregation error {err_i8} out of tolerance");
+    assert!(err_f16 < 0.01, "f16 aggregation error {err_f16} out of tolerance");
+
+    // Roofline attribution: counters from one observed call per variant.
+    let (fl_spmm, by_spmm) = attribute("linalg.spmm", false, || spmm_into(&a, &x, &mut y));
+    let (fl_blk, by_blk) =
+        attribute("linalg.spmm_blocked", false, || spmm_blocked_into(&a, &x, &mut yb, spec));
+    let (fl_q8, by_q8) =
+        attribute("linalg.spmm_quant", false, || spmm_quant_into(&a, &xq8, &mut yq, spec));
+    let (fl_q16, by_q16) =
+        attribute("linalg.spmm_quant", obs_json, || spmm_quant_into(&a, &xq16, &mut yq, spec));
+
+    let spmm_rounds = if quick { 7 } else { 15 };
     let (balanced, rowcount) = time_interleaved(
-        15,
+        spmm_rounds,
         || spmm_into(black_box(&a), black_box(&x), &mut y),
         || {
             black_box(spmm_rowcount(black_box(&a), black_box(&x)));
         },
     );
-    entries.push(Entry { name: "spmm_balanced_ba100k_d64", seconds: balanced });
-    entries.push(Entry { name: "spmm_rowcount_ba100k_d64", seconds: rowcount });
+    let (blocked, balanced2) = time_interleaved(
+        spmm_rounds,
+        || spmm_blocked_into(black_box(&a), black_box(&x), &mut yb, spec),
+        || spmm_into(black_box(&a), black_box(&x), &mut y),
+    );
+    let balanced_best = balanced.min(balanced2);
+    let mut yq2 = DenseMatrix::zeros(n, d);
+    let (quant_i8, quant_f16) = time_interleaved(
+        spmm_rounds,
+        || spmm_quant_into(black_box(&a), black_box(&xq8), &mut yq, spec),
+        || spmm_quant_into(black_box(&a), black_box(&xq16), &mut yq2, spec),
+    );
 
-    // --- spmv: previously single-threaded, now pooled. ---
-    let xv: Vec<f32> = x.data()[..100_000].to_vec();
-    let mut yv = vec![0.0f32; 100_000];
-    let spmv_t = time_median(9, || spmv(black_box(&a), black_box(&xv), &mut yv));
-    entries.push(Entry { name: "spmv_ba100k", seconds: spmv_t });
+    let mut kernels: Vec<Kernel> = vec![
+        Kernel { name: "spmm_balanced", seconds: balanced_best, flops: fl_spmm, bytes: by_spmm },
+        Kernel { name: "spmm_blocked", seconds: blocked, flops: fl_blk, bytes: by_blk },
+        // The rowcount baseline has no counters of its own; it performs the
+        // same analytic work as the balanced kernel.
+        Kernel {
+            name: "spmm_rowcount",
+            seconds: rowcount,
+            flops: spmm_flops(&a, d),
+            bytes: spmm_bytes(&a, d),
+        },
+        Kernel { name: "spmm_quant_int8", seconds: quant_i8, flops: fl_q8, bytes: by_q8 },
+        Kernel { name: "spmm_quant_f16", seconds: quant_f16, flops: fl_q16, bytes: by_q16 },
+    ];
+
+    // --- spmv on the same operator. ---
+    let xv: Vec<f32> = x.data()[..n].to_vec();
+    let mut yv = vec![0.0f32; n];
+    let (fl_spmv, by_spmv) = attribute("linalg.spmv", obs_json, || spmv(&a, &xv, &mut yv));
+    let spmv_t = time_median(rounds, || spmv(black_box(&a), black_box(&xv), &mut yv));
+    kernels.push(Kernel { name: "spmv", seconds: spmv_t, flops: fl_spmv, bytes: by_spmv });
+
+    // --- Dense GEMM (the GCN combination step) and its quantized twin. ---
+    let w = DenseMatrix::gaussian(d, d, 0.5, 9);
+    let mut h = DenseMatrix::zeros(n, d);
+    let (fl_mm, by_mm) =
+        attribute("linalg.matmul", obs_json, || x.matmul_into(&w, &mut h).unwrap());
+    let matmul_t =
+        time_median(rounds, || black_box(&x).matmul_into(black_box(&w), &mut h).unwrap());
+    kernels.push(Kernel { name: "matmul_f32", seconds: matmul_t, flops: fl_mm, bytes: by_mm });
+
+    let wq8 = QuantMatrix::quantize_i8(&w);
+    let wq16 = QuantMatrix::quantize_f16(&w);
+    let mut h2 = DenseMatrix::zeros(n, d);
+    let (qmm_i8, qmm_f16) = time_interleaved(
+        rounds,
+        || qmatmul_into(black_box(&xq8), black_box(&wq8), &mut h).unwrap(),
+        || qmatmul_into(black_box(&xq16), black_box(&wq16), &mut h2).unwrap(),
+    );
+    let qmm_flops = (2 * n * d * d + n * d) as u64;
+    kernels.push(Kernel {
+        name: "qmatmul_int8",
+        seconds: qmm_i8,
+        flops: qmm_flops,
+        bytes: qmatmul_bytes(&xq8, &wq8) as u64,
+    });
+    kernels.push(Kernel {
+        name: "qmatmul_f16",
+        seconds: qmm_f16,
+        flops: qmm_flops,
+        bytes: qmatmul_bytes(&xq16, &wq16) as u64,
+    });
 
     // --- Report. ---
     let spmm_speedup = rowcount / balanced;
+    let blocked_speedup = balanced_best / blocked;
     let dispatch_speedup = scoped2 / pooled2;
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(
-        "  \"workload\": \"barabasi_albert(100000, 8, seed 7), sym-normalized, d=64\",\n",
-    );
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"barabasi_albert({n}, 8, seed 7), sym-normalized, d={d}\",\n"
+    ));
+    json.push_str(&format!("  \"simd_backend\": \"{}\",\n", simd::active_backend()));
+    json.push_str(&format!("  \"simd_f32_lanes\": {},\n", simd::f32_lanes()));
+    json.push_str(&format!(
+        "  \"block_spec\": {{\"row_block\": {}, \"col_block\": {}}},\n",
+        spec.row_block, spec.col_block
+    ));
     json.push_str("  \"timings_sec\": {\n");
-    for (i, e) in entries.iter().enumerate() {
-        let comma = if i + 1 < entries.len() { "," } else { "" };
-        json.push_str(&format!("    \"{}\": {:.9}{comma}\n", e.name, e.seconds));
+    json.push_str(&format!("    \"dispatch_pooled_tiny\": {pooled:.9},\n"));
+    json.push_str(&format!("    \"dispatch_scoped_tiny\": {scoped:.9},\n"));
+    json.push_str(&format!("    \"dispatch_pooled_tiny_t2\": {pooled2:.9},\n"));
+    json.push_str(&format!("    \"dispatch_scoped_tiny_t2\": {scoped2:.9}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"kernels\": {\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {}{comma}\n", k.name, k.json()));
     }
     json.push_str("  },\n");
+    json.push_str(&format!("  \"quant_max_abs_err_int8\": {err_i8:.6},\n"));
+    json.push_str(&format!("  \"quant_max_abs_err_f16\": {err_f16:.6},\n"));
     json.push_str(&format!("  \"spmm_speedup_vs_rowcount\": {spmm_speedup:.3},\n"));
+    json.push_str(&format!("  \"spmm_blocked_speedup_vs_balanced\": {blocked_speedup:.3},\n"));
     json.push_str(&format!("  \"dispatch_speedup_vs_scoped\": {dispatch_speedup:.3}\n"));
     json.push_str("}\n");
 

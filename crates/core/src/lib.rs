@@ -43,3 +43,5 @@ pub mod trainer_ext;
 pub use error::{TrainError, TrainResult};
 pub use memory::Ledger;
 pub use trainer::TrainReport;
+// Inference numeric mode (F32 default; int8/f16 opt-in, DESIGN.md §9).
+pub use sgnn_linalg::QuantMode;

@@ -1,0 +1,330 @@
+//! 2-D cache-blocked SpMM with register-tiled inner kernels.
+//!
+//! [`spmm_into`](crate::spmm::spmm_into) streams each destination row's
+//! full feature width per edge, reloading the output row from memory on
+//! every axpy. This module tiles the product two ways:
+//!
+//! - **Feature columns** are processed in windows of
+//!   [`BlockSpec::col_block`] entries so the
+//!   [`sgnn_linalg::simd::row_gather_weighted`] kernels can hold the whole
+//!   window in vector registers across a row's edge loop — one output
+//!   store per (row, window) instead of one load+store per edge.
+//! - **Destination rows** are processed in tiles of
+//!   [`BlockSpec::row_block`] rows so the set of gathered source sub-rows
+//!   stays L2-resident within a tile; composing with an RCM/degree
+//!   ordering from [`crate::reorder`] clusters those sources further.
+//!
+//! Per feature column the accumulation chain (first edge initializes,
+//! later edges add, CSR order) is exactly the one `spmm_into` produces, so
+//! [`spmm_blocked_into`] is **bitwise identical** to `spmm_into` for every
+//! block size and thread count — DESIGN.md §9. Feature widths ≤ 4 delegate
+//! to `spmm_into`'s register micro-kernels outright (blocking cannot split
+//! them and their accumulate-from-zero order differs on `-0.0`).
+//!
+//! [`spmm_quant_into`] is the inference-only quantized twin: it gathers
+//! int8/f16 payloads (4×/2× fewer bytes per edge) and accumulates in f32;
+//! its error tolerance is documented in DESIGN.md §9 and pinned by tests.
+
+use crate::csr::CsrGraph;
+use sgnn_linalg::quant::{QuantMatrix, QuantPayload};
+use sgnn_linalg::{par, simd, DenseMatrix};
+
+/// Minimum scalar multiply-adds that justify engaging the worker pool
+/// (same threshold as `spmm_into`).
+const MIN_PAR_WORK: usize = 1 << 16;
+
+static BLOCKED_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm_blocked.calls");
+static BLOCKED_FLOPS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm_blocked.flops");
+static BLOCKED_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm_blocked.bytes_moved");
+static QUANT_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm_quant.calls");
+static QUANT_FLOPS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm_quant.flops");
+static QUANT_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm_quant.bytes_moved");
+
+/// Tile geometry for the blocked SpMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Destination rows per tile (L2 residency knob).
+    pub row_block: usize,
+    /// Feature columns per window (register residency knob).
+    pub col_block: usize,
+}
+
+impl BlockSpec {
+    /// Picks tile sizes for a graph/feature-width pair.
+    ///
+    /// The column window is the feature width capped at 64 (eight YMM
+    /// accumulators — the widest register tile the AVX2 gather kernel
+    /// holds). The row tile targets half of a typical 2 MB L2 for the
+    /// gathered source sub-rows, sized with the mean degree as the
+    /// distinct-source estimate.
+    pub fn auto(g: &CsrGraph, d: usize) -> BlockSpec {
+        let col_block = d.clamp(1, 64);
+        let n = g.num_nodes().max(1);
+        let mean_deg = (g.num_edges() as f64 / n as f64).max(1.0);
+        let l2_target = 1 << 20; // bytes
+        let per_row = mean_deg * col_block as f64 * 4.0 + 1.0;
+        let row_block = ((l2_target as f64 / per_row) as usize).clamp(32, 8192);
+        BlockSpec { row_block, col_block }
+    }
+}
+
+/// `Y = A · X`, bitwise identical to [`crate::spmm::spmm_into`] for every
+/// `spec`, overwriting `y`.
+pub fn spmm_blocked_into(g: &CsrGraph, x: &DenseMatrix, y: &mut DenseMatrix, spec: BlockSpec) {
+    assert_eq!(x.rows(), g.num_nodes(), "feature rows must equal node count");
+    assert_eq!(
+        y.shape(),
+        (g.num_nodes(), x.cols()),
+        "output shape must be (num_nodes, feature_cols)"
+    );
+    assert!(spec.row_block > 0 && spec.col_block > 0, "block sizes must be positive");
+    let d = x.cols();
+    if d == 0 {
+        return;
+    }
+    // The ≤ 4-wide micro-kernels in spmm_into accumulate from zero (their
+    // chain differs from init-from-first only on -0.0, but differs); a
+    // column window can't split them anyway, so delegate.
+    if d <= 4 {
+        crate::spmm::spmm_into(g, x, y);
+        return;
+    }
+    let _sp = sgnn_obs::span!("linalg.spmm_blocked");
+    BLOCKED_CALLS.incr();
+    BLOCKED_FLOPS.add(crate::spmm::spmm_flops(g, d));
+    BLOCKED_BYTES.add(crate::spmm::spmm_bytes(g, d));
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let weights = g.weights();
+    let xd = x.data();
+    let min_weight = (MIN_PAR_WORK / d).max(1);
+    par::par_balanced_rows_mut(y.data_mut(), d, indptr, min_weight, |first_row, chunk| {
+        let rows = chunk.len() / d;
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + spec.row_block).min(rows);
+            let mut c0 = 0;
+            while c0 < d {
+                let tw = spec.col_block.min(d - c0);
+                for local in r0..r1 {
+                    let u = first_row + local;
+                    let (lo, hi) = (indptr[u], indptr[u + 1]);
+                    let out = &mut chunk[local * d + c0..local * d + c0 + tw];
+                    if lo == hi {
+                        out.fill(0.0);
+                        continue;
+                    }
+                    match weights {
+                        None => simd::row_gather_unweighted(out, xd, d, c0, &indices[lo..hi]),
+                        Some(ws) => {
+                            simd::row_gather_weighted(out, xd, d, c0, &indices[lo..hi], &ws[lo..hi])
+                        }
+                    }
+                }
+                c0 += tw;
+            }
+            r0 = r1;
+        }
+    });
+}
+
+/// Allocating convenience wrapper around [`spmm_blocked_into`] with
+/// [`BlockSpec::auto`] geometry.
+pub fn spmm_blocked(g: &CsrGraph, x: &DenseMatrix) -> DenseMatrix {
+    let mut y = DenseMatrix::zeros(g.num_nodes(), x.cols());
+    spmm_blocked_into(g, x, &mut y, BlockSpec::auto(g, x.cols()));
+    y
+}
+
+/// `Y = A · Xq` over quantized features — the inference-only serving
+/// path. Accumulates in f32 from a zeroed window; per-source scales fold
+/// into the per-edge coefficient. Error bound: DESIGN.md §9.
+pub fn spmm_quant_into(g: &CsrGraph, xq: &QuantMatrix, y: &mut DenseMatrix, spec: BlockSpec) {
+    assert_eq!(xq.rows(), g.num_nodes(), "feature rows must equal node count");
+    assert_eq!(
+        y.shape(),
+        (g.num_nodes(), xq.cols()),
+        "output shape must be (num_nodes, feature_cols)"
+    );
+    assert!(spec.row_block > 0 && spec.col_block > 0, "block sizes must be positive");
+    let d = xq.cols();
+    if d == 0 {
+        return;
+    }
+    let _sp = sgnn_obs::span!("linalg.spmm_quant");
+    QUANT_CALLS.incr();
+    QUANT_FLOPS.add(crate::spmm::spmm_flops(g, d) + g.num_edges() as u64 * d as u64);
+    QUANT_BYTES.add(spmm_quant_bytes(g, xq));
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let weights = g.weights();
+    let scales = xq.scales();
+    let min_weight = (MIN_PAR_WORK / d).max(1);
+    par::par_balanced_rows_mut(y.data_mut(), d, indptr, min_weight, |first_row, chunk| {
+        let rows = chunk.len() / d;
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + spec.row_block).min(rows);
+            let mut c0 = 0;
+            while c0 < d {
+                let tw = spec.col_block.min(d - c0);
+                for local in r0..r1 {
+                    let u = first_row + local;
+                    let (lo, hi) = (indptr[u], indptr[u + 1]);
+                    let out = &mut chunk[local * d + c0..local * d + c0 + tw];
+                    if lo == hi {
+                        out.fill(0.0);
+                        continue;
+                    }
+                    let idx = &indices[lo..hi];
+                    let ws = weights.map(|w| &w[lo..hi]);
+                    match xq.payload() {
+                        QuantPayload::I8(q) => {
+                            simd::row_gather_q_i8(out, q, scales, d, c0, idx, ws)
+                        }
+                        QuantPayload::F16(h) => {
+                            simd::row_gather_q_f16(out, h, scales, d, c0, idx, ws)
+                        }
+                    }
+                }
+                c0 += tw;
+            }
+            r0 = r1;
+        }
+    });
+}
+
+/// Analytic compulsory traffic for [`spmm_quant_into`]: quantized payload
+/// gathers plus scale lookups, f32 output (compare with
+/// [`crate::spmm::spmm_bytes`] for the f32 gather volume this saves).
+pub fn spmm_quant_bytes(g: &CsrGraph, xq: &QuantMatrix) -> u64 {
+    let nnz = g.num_edges() as u64;
+    let n = g.num_nodes() as u64;
+    let d = xq.cols() as u64;
+    let elem = xq.mode().elem_bytes() as u64;
+    let index_stream = 4 * nnz + 8 * (n + 1);
+    let weight_stream = if g.weights().is_some() { 4 * nnz } else { 0 };
+    index_stream + weight_stream + 4 * nnz + elem * d * nnz + 4 * n * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::normalize::{normalized_adjacency, NormKind};
+    use crate::reorder::{compute_order, relabel, Reordering};
+    use crate::spmm::{spmm, spmm_into};
+    use sgnn_linalg::QuantMode;
+
+    fn bits(m: &DenseMatrix) -> Vec<u32> {
+        m.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn blocked_is_bitwise_equal_across_specs() {
+        let raw = generate::barabasi_albert(400, 4, 3);
+        let weighted = normalized_adjacency(&raw, NormKind::Sym, true).unwrap();
+        for g in [&raw, &weighted] {
+            for d in [5usize, 8, 64, 70] {
+                let x = DenseMatrix::gaussian(g.num_nodes(), d, 1.0, d as u64);
+                let want = spmm(g, &x);
+                for spec in [
+                    BlockSpec { row_block: 1, col_block: 1 },
+                    BlockSpec { row_block: 7, col_block: 8 },
+                    BlockSpec { row_block: 64, col_block: 33 },
+                    BlockSpec::auto(g, d),
+                ] {
+                    let mut y =
+                        DenseMatrix::from_vec(g.num_nodes(), d, vec![f32::NAN; g.num_nodes() * d]);
+                    spmm_blocked_into(g, &x, &mut y, spec);
+                    assert_eq!(bits(&y), bits(&want), "d={d} spec={spec:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_widths_delegate_and_agree() {
+        let g = normalized_adjacency(&generate::barabasi_albert(200, 3, 9), NormKind::Sym, true)
+            .unwrap();
+        for d in 1..=4usize {
+            let x = DenseMatrix::gaussian(200, d, 1.0, d as u64);
+            let want = spmm(&g, &x);
+            let mut y = DenseMatrix::zeros(200, d);
+            spmm_blocked_into(&g, &x, &mut y, BlockSpec { row_block: 16, col_block: 2 });
+            assert_eq!(bits(&y), bits(&want), "d={d}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_after_rcm_relabel() {
+        let g = normalized_adjacency(&generate::barabasi_albert(300, 4, 1), NormKind::Sym, true)
+            .unwrap();
+        let order = compute_order(&g, Reordering::Rcm);
+        let (rg, _) = relabel(&g, &order);
+        let x = DenseMatrix::gaussian(300, 32, 1.0, 5);
+        let mut want = DenseMatrix::zeros(300, 32);
+        spmm_into(&rg, &x, &mut want);
+        let mut y = DenseMatrix::zeros(300, 32);
+        spmm_blocked_into(&rg, &x, &mut y, BlockSpec { row_block: 48, col_block: 16 });
+        assert_eq!(bits(&y), bits(&want));
+    }
+
+    #[test]
+    fn blocked_handles_isolated_nodes() {
+        // Node 3 has no edges; its rows must be zeroed in every window.
+        let g = crate::GraphBuilder::new(5)
+            .symmetric()
+            .edges(&[(0, 1), (1, 2), (4, 0)])
+            .build()
+            .unwrap();
+        let x = DenseMatrix::gaussian(5, 9, 1.0, 2);
+        let want = spmm(&g, &x);
+        let mut y = DenseMatrix::from_vec(5, 9, vec![f32::NAN; 45]);
+        spmm_blocked_into(&g, &x, &mut y, BlockSpec { row_block: 2, col_block: 4 });
+        assert_eq!(bits(&y), bits(&want));
+    }
+
+    #[test]
+    fn quant_spmm_stays_inside_documented_tolerance() {
+        let g = normalized_adjacency(&generate::barabasi_albert(500, 5, 7), NormKind::Sym, true)
+            .unwrap();
+        let d = 48;
+        let x = DenseMatrix::gaussian(500, d, 1.0, 11);
+        let exact = spmm(&g, &x);
+        let spec = BlockSpec::auto(&g, d);
+        for (mode, tol) in [(QuantMode::Int8, 2e-2f32), (QuantMode::F16, 4e-3f32)] {
+            let xq = QuantMatrix::quantize(&x, mode).unwrap();
+            let mut y = DenseMatrix::zeros(500, d);
+            spmm_quant_into(&g, &xq, &mut y, spec);
+            let mut max_err = 0f32;
+            for (a, b) in y.data().iter().zip(exact.data()) {
+                max_err = max_err.max((a - b).abs());
+            }
+            // Normalized adjacency keeps row sums ≤ 1, so the aggregate
+            // error stays near the per-element quantization step.
+            assert!(max_err < tol, "{}: max_err {max_err}", mode.label());
+            assert!(max_err > 0.0, "{}: suspiciously exact", mode.label());
+        }
+    }
+
+    #[test]
+    fn quant_bytes_shrink_with_payload_width() {
+        let g = normalized_adjacency(&generate::barabasi_albert(100, 4, 2), NormKind::Sym, true)
+            .unwrap();
+        let x = DenseMatrix::gaussian(100, 64, 1.0, 1);
+        let f32_bytes = crate::spmm::spmm_bytes(&g, 64);
+        let q8 = spmm_quant_bytes(&g, &QuantMatrix::quantize_i8(&x));
+        let q16 = spmm_quant_bytes(&g, &QuantMatrix::quantize_f16(&x));
+        assert!(q8 < q16 && q16 < f32_bytes, "{q8} {q16} {f32_bytes}");
+    }
+
+    #[test]
+    fn auto_spec_is_sane() {
+        let g = generate::barabasi_albert(1000, 8, 4);
+        let spec = BlockSpec::auto(&g, 64);
+        assert_eq!(spec.col_block, 64);
+        assert!((32..=8192).contains(&spec.row_block), "{spec:?}");
+        assert_eq!(BlockSpec::auto(&g, 7).col_block, 7);
+    }
+}

@@ -18,6 +18,8 @@
 //!   producing weighted CSR operators.
 //! - [`spmm`] — parallel sparse×dense products, plus `f64` operator adapters
 //!   ([`CsrOpF64`]) feeding the eigensolvers in `sgnn-linalg`.
+//! - [`blocked`] — 2-D cache-blocked / register-tiled SpMM (bitwise equal to
+//!   [`spmm`]) and the quantized inference SpMM (DESIGN.md §9).
 //! - [`traverse`] — BFS, connected components, k-hop neighborhoods.
 //! - [`io`] — text edge-list and binary (`bytes`-based) persistence.
 
@@ -26,6 +28,7 @@
 // parameter list deliberately (documented, stable).
 #![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 
+pub mod blocked;
 pub mod builder;
 pub mod csr;
 pub mod generate;

@@ -29,8 +29,12 @@ const MIN_PAR_WORK: usize = 1 << 16;
 // (DESIGN.md §5) even though the CSR kernels live in sgnn-graph.
 static SPMM_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.calls");
 static SPMM_NNZ: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.nnz");
+static SPMM_FLOPS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.flops");
+static SPMM_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.bytes_moved");
 static SPMV_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmv.calls");
 static SPMV_NNZ: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmv.nnz");
+static SPMV_FLOPS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmv.flops");
+static SPMV_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmv.bytes_moved");
 
 /// Computes `Y = A · X` where `A` is `g` interpreted as a sparse matrix.
 ///
@@ -61,6 +65,8 @@ pub fn spmm_into(g: &CsrGraph, x: &DenseMatrix, y: &mut DenseMatrix) {
     let _sp = sgnn_obs::span!("linalg.spmm");
     SPMM_CALLS.incr();
     SPMM_NNZ.add(g.num_edges() as u64);
+    SPMM_FLOPS.add(spmm_flops(g, d));
+    SPMM_BYTES.add(spmm_bytes(g, d));
     let indptr = g.indptr();
     let indices = g.indices();
     let weights = g.weights();
@@ -236,6 +242,8 @@ pub fn spmv(g: &CsrGraph, x: &[f32], y: &mut [f32]) {
     let _sp = sgnn_obs::span!("linalg.spmv");
     SPMV_CALLS.incr();
     SPMV_NNZ.add(g.num_edges() as u64);
+    SPMV_FLOPS.add(spmm_flops(g, 1));
+    SPMV_BYTES.add(spmm_bytes(g, 1));
     let indptr = g.indptr();
     let indices = g.indices();
     let weights = g.weights();
@@ -325,12 +333,32 @@ impl MatVecF64 for CsrOpF64<'_> {
     }
 }
 
-/// Number of scalar multiply-adds one `spmm` performs: `nnz(A) · d`.
+/// Scalar floating-point operations one `spmm` performs: `2 · nnz(A) · d`
+/// for a weighted graph (multiply + add per gathered element) and
+/// `nnz(A) · d` for unit weights (the multiply is hoisted away entirely).
 ///
 /// The experiments report this as the device-independent work measure the
-/// survey's complexity discussions use.
+/// survey's complexity discussions use; together with [`spmm_bytes`] it is
+/// the roofline numerator the `linalg.spmm.flops` counter carries.
 pub fn spmm_flops(g: &CsrGraph, d: usize) -> u64 {
-    g.num_edges() as u64 * d as u64
+    let per_elem = if g.weights().is_some() { 2 } else { 1 };
+    per_elem * g.num_edges() as u64 * d as u64
+}
+
+/// Analytic compulsory traffic of one `spmm` in bytes — the roofline
+/// denominator carried by the `linalg.spmm.bytes_moved` counter.
+///
+/// Counts what the kernel *requests*, assuming no cache reuse between
+/// edges: the `indptr`/`indices`/weight streams, one `d`-wide f32 gather
+/// per edge, and one output write per destination row. Cache blocking and
+/// reordering lower the DRAM bytes actually moved below this model — that
+/// gap is exactly the locality win `benchkernels` attributes.
+pub fn spmm_bytes(g: &CsrGraph, d: usize) -> u64 {
+    let nnz = g.num_edges() as u64;
+    let n = g.num_nodes() as u64;
+    let index_stream = 4 * nnz + 8 * (n + 1);
+    let weight_stream = if g.weights().is_some() { 4 * nnz } else { 0 };
+    index_stream + weight_stream + 4 * d as u64 * nnz + 4 * n * d as u64
 }
 
 #[cfg(test)]
@@ -449,9 +477,28 @@ mod tests {
 
     #[test]
     fn flops_formula() {
-        let g = generate::chain(10);
+        let g = generate::chain(10); // unweighted: adds only
         assert_eq!(spmm_flops(&g, 16), 18 * 16);
+        let w = normalized_adjacency(&g, NormKind::Sym, false).unwrap();
+        assert_eq!(w.num_edges(), 18);
+        assert_eq!(spmm_flops(&w, 16), 2 * 18 * 16); // weighted: mul + add
     }
+
+    #[test]
+    fn bytes_model_counts_every_stream() {
+        let g = generate::chain(10);
+        let n = 10u64;
+        let nnz = 18u64;
+        let d = 16u64;
+        let expect = 4 * nnz + 8 * (n + 1) + 4 * d * nnz + 4 * n * d;
+        assert_eq!(spmm_bytes(&g, 16), expect);
+        let w = normalized_adjacency(&g, NormKind::Sym, false).unwrap();
+        assert_eq!(spmm_bytes(&w, 16), expect + 4 * nnz);
+    }
+
+    // The analytic-model ↔ counter cross-check lives in
+    // crates/graph/tests/roofline_counters.rs: obs state is process-global,
+    // so it runs alone in its own integration-test process.
 
     #[test]
     fn spmm_zero_width_features() {

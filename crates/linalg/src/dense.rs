@@ -12,6 +12,12 @@ use crate::vecops;
 use crate::{LinalgError, Result};
 use rand::RngExt;
 
+// Roofline attribution (DESIGN.md §9): each GEMM call site records its
+// analytic flop count and compulsory traffic so `benchkernels` can report
+// arithmetic intensity per kernel variant.
+static MATMUL_FLOPS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.matmul.flops");
+static MATMUL_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.matmul.bytes_moved");
+
 /// A dense row-major `f32` matrix.
 #[derive(Clone, PartialEq)]
 pub struct DenseMatrix {
@@ -182,6 +188,12 @@ impl DenseMatrix {
             });
         }
         let _sp = sgnn_obs::span!("linalg.matmul");
+        MATMUL_FLOPS.add(2 * (self.rows * self.cols * rhs.cols) as u64);
+        // Compulsory model: both operands read once, output zeroed and
+        // accumulated (two sweeps).
+        MATMUL_BYTES.add(
+            4 * (self.rows * self.cols + rhs.rows * rhs.cols + 2 * self.rows * rhs.cols) as u64,
+        );
         let (k, n) = (self.cols, rhs.cols);
         let lhs = &self.data;
         let rhsd = &rhs.data;

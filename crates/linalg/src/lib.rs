@@ -24,6 +24,10 @@
 //!   shard trainer's bitwise-equality guarantee (DESIGN.md §7).
 //! - [`rng`] — deterministic Gaussian sampling (Box–Muller) since the
 //!   allowed `rand` build ships no normal distribution.
+//! - [`simd`] — explicit AVX2/NEON micro-kernels behind the `simd` feature,
+//!   bitwise-identical to their scalar fallbacks (DESIGN.md §9).
+//! - [`quant`] — int8/f16 inference-only quantized matrices with f32
+//!   accumulation and a documented error tolerance.
 
 // Numeric kernels index several parallel flat buffers at once; iterator
 // rewrites obscure them. Config-style constructors take their full
@@ -33,13 +37,16 @@
 pub mod dense;
 pub mod eigen;
 pub mod par;
+pub mod quant;
 pub mod reduce;
 pub mod rng;
+pub mod simd;
 pub mod solve;
 pub mod vecops;
 
 pub use dense::DenseMatrix;
 pub use eigen::{jacobi_eigen, lanczos, EigenPairs, MatVecF64};
+pub use quant::{qmatmul_into, QuantMatrix, QuantMode};
 pub use solve::{conjugate_gradient, CgResult};
 
 /// Errors produced by linear-algebra routines.

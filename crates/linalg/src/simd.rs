@@ -1,0 +1,729 @@
+//! Explicit-SIMD micro-kernels behind the `simd` feature flag.
+//!
+//! Every kernel here is an element-wise (lane-independent) operation or an
+//! edge-ordered gather whose per-element operation sequence is *identical*
+//! to the scalar reference: multiplies and adds are emitted separately
+//! (never fused into FMA, which rounds once instead of twice), lanes never
+//! exchange values, and accumulation order over edges is preserved. That
+//! makes every f32/f64 kernel in this module **bitwise identical** to its
+//! scalar fallback — the DESIGN.md §4–§8 determinism contracts hold with
+//! the feature on or off, at any thread count.
+//!
+//! Dispatch: with the `simd` feature enabled, x86_64 picks AVX2 when the
+//! CPU has it (runtime-detected once, cached in an atomic) and aarch64
+//! uses NEON (baseline on that architecture); everything else — and every
+//! build without the feature — runs the scalar loops below, which are the
+//! exact kernels the workspace shipped before this module existed. The
+//! quantized kernels ([`axpy_i8`], [`axpy_f16`]) follow the same rule:
+//! integer→float conversions are exact in both paths, so quantized
+//! inference is also bitwise reproducible across backends (its *error* is
+//! relative to f32, not across machines; see `quant`).
+
+/// Name of the backend the f32 kernels will actually run on — used by
+/// `benchkernels` to attribute speedups to lanes honestly.
+pub fn active_backend() -> &'static str {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if x86::avx2() {
+            return "avx2";
+        }
+        "scalar(no-avx2)"
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        return "neon";
+    }
+    #[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        "scalar"
+    }
+}
+
+/// f32 lanes per vector op on the active backend (1 = scalar).
+pub fn f32_lanes() -> usize {
+    match active_backend() {
+        "avx2" => 8,
+        "neon" => 4,
+        _ => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels (used by vecops and the dense GEMM)
+// ---------------------------------------------------------------------------
+
+/// `y += alpha * x` (f32). Bitwise identical across backends.
+#[inline]
+pub fn axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::axpy_f32_avx2(alpha, x, y) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    return neon::axpy_f32_neon(alpha, x, y);
+    #[allow(unreachable_code)]
+    scalar_axpy_f32(alpha, x, y)
+}
+
+/// `y += x` (f32). Bitwise identical across backends.
+#[inline]
+pub fn add_f32(x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::add_f32_avx2(x, y) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    return neon::add_f32_neon(x, y);
+    #[allow(unreachable_code)]
+    for (o, s) in y.iter_mut().zip(x) {
+        *o += *s;
+    }
+}
+
+/// `y += alpha * x` (f64). Bitwise identical across backends.
+#[inline]
+pub fn axpy_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::axpy_f64_avx2(alpha, x, y) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    return neon::axpy_f64_neon(alpha, x, y);
+    #[allow(unreachable_code)]
+    scalar_axpy_f64(alpha, x, y)
+}
+
+/// `x *= alpha` in place (f32). Bitwise identical across backends.
+#[inline]
+pub fn scale_f32(x: &mut [f32], alpha: f32) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::scale_f32_avx2(x, alpha) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    return neon::scale_f32_neon(x, alpha);
+    #[allow(unreachable_code)]
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// `y += alpha * (x[i] as f32)` for int8 payloads (quantized inference:
+/// the i8→f32 conversion is exact, so backends agree bitwise).
+#[inline]
+pub fn axpy_i8(alpha: f32, x: &[i8], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::axpy_i8_avx2(alpha, x, y) };
+    }
+    #[allow(unreachable_code)]
+    for (o, &q) in y.iter_mut().zip(x) {
+        *o += alpha * q as f32;
+    }
+}
+
+/// `y += alpha * f16_to_f32(x[i])` for IEEE-754 binary16 payloads stored
+/// as `u16` bits (the conversion is exact in both paths).
+#[inline]
+pub fn axpy_f16(alpha: f32, x: &[u16], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::f16c() {
+        return unsafe { x86::axpy_f16_f16c(alpha, x, y) };
+    }
+    #[allow(unreachable_code)]
+    for (o, &h) in y.iter_mut().zip(x) {
+        *o += alpha * crate::quant::f16_to_f32(h);
+    }
+}
+
+#[inline]
+fn scalar_axpy_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+#[inline]
+fn scalar_axpy_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-gather kernels (the SpMM inner loop)
+// ---------------------------------------------------------------------------
+//
+// One call aggregates one destination row's neighbors over one feature
+// column window: `out[j] = Σ_e w_e · x[idx_e · d + col_off + j]`, edges in
+// CSR order, initialized from the *first* edge (matching the production
+// `rows_weighted`/`rows_unweighted` semantics exactly — no zero-init pass,
+// so `-0.0` sources reproduce too). The SIMD versions hold the whole
+// column window in vector registers across the edge loop, so per edge the
+// only memory traffic is the gathered source row; dispatch happens once
+// per (row, window), never per edge.
+
+/// Unweighted gather-accumulate into `out` (a `tw`-wide column window).
+/// `idx` must be non-empty; callers zero-fill empty rows themselves.
+#[inline]
+pub fn row_gather_unweighted(out: &mut [f32], xd: &[f32], d: usize, col_off: usize, idx: &[u32]) {
+    debug_assert!(!idx.is_empty());
+    debug_assert!(col_off + out.len() <= d);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::row_gather_avx2(out, xd, d, col_off, idx, None) };
+    }
+    #[allow(unreachable_code)]
+    scalar_row_gather(out, xd, d, col_off, idx, None)
+}
+
+/// Weighted gather-accumulate; `ws` is the row's edge-weight slice,
+/// parallel to `idx`.
+#[inline]
+pub fn row_gather_weighted(
+    out: &mut [f32],
+    xd: &[f32],
+    d: usize,
+    col_off: usize,
+    idx: &[u32],
+    ws: &[f32],
+) {
+    debug_assert!(!idx.is_empty());
+    debug_assert_eq!(idx.len(), ws.len());
+    debug_assert!(col_off + out.len() <= d);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x86::avx2() {
+        return unsafe { x86::row_gather_avx2(out, xd, d, col_off, idx, Some(ws)) };
+    }
+    #[allow(unreachable_code)]
+    scalar_row_gather(out, xd, d, col_off, idx, Some(ws))
+}
+
+/// Scalar reference for the gather kernels: edge-outer, exactly the
+/// production `rows_*` loop restricted to a column window.
+fn scalar_row_gather(
+    out: &mut [f32],
+    xd: &[f32],
+    d: usize,
+    col_off: usize,
+    idx: &[u32],
+    ws: Option<&[f32]>,
+) {
+    let tw = out.len();
+    let src0 = &xd[idx[0] as usize * d + col_off..][..tw];
+    match ws {
+        None => {
+            out.copy_from_slice(src0);
+            for &v in &idx[1..] {
+                let src = &xd[v as usize * d + col_off..][..tw];
+                for (o, s) in out.iter_mut().zip(src) {
+                    *o += *s;
+                }
+            }
+        }
+        Some(ws) => {
+            let w0 = ws[0];
+            for (o, s) in out.iter_mut().zip(src0) {
+                *o = w0 * *s;
+            }
+            for (e, &v) in idx.iter().enumerate().skip(1) {
+                let w = ws[e];
+                let src = &xd[v as usize * d + col_off..][..tw];
+                for (o, s) in out.iter_mut().zip(src) {
+                    *o += w * *s;
+                }
+            }
+        }
+    }
+}
+
+/// Quantized-feature gather: `out[j] += Σ_e (w_e · scale[v_e]) ·
+/// payload(v_e, j)` with f32 accumulation, edges in CSR order, starting
+/// from zeroed `out` (quantized aggregation is toleranced, not bitwise
+/// against f32 — but it IS bitwise across backends). `payload` is the
+/// int8 view; see [`row_gather_q_f16`] for the f16 twin.
+#[inline]
+pub fn row_gather_q_i8(
+    out: &mut [f32],
+    xq: &[i8],
+    scales: &[f32],
+    d: usize,
+    col_off: usize,
+    idx: &[u32],
+    ws: Option<&[f32]>,
+) {
+    out.fill(0.0);
+    let tw = out.len();
+    for (e, &v) in idx.iter().enumerate() {
+        let a = scales[v as usize] * ws.map_or(1.0, |w| w[e]);
+        axpy_i8(a, &xq[v as usize * d + col_off..][..tw], out);
+    }
+}
+
+/// f16 twin of [`row_gather_q_i8`] (per-node scales are 1.0 for f16, but
+/// the row scale slot is kept so both payloads share one call shape).
+#[inline]
+pub fn row_gather_q_f16(
+    out: &mut [f32],
+    xh: &[u16],
+    scales: &[f32],
+    d: usize,
+    col_off: usize,
+    idx: &[u32],
+    ws: Option<&[f32]>,
+) {
+    out.fill(0.0);
+    let tw = out.len();
+    for (e, &v) in idx.iter().enumerate() {
+        let a = scales[v as usize] * ws.map_or(1.0, |w| w[e]);
+        axpy_f16(a, &xh[v as usize * d + col_off..][..tw], out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86_64 AVX2 backend
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use std::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Cached runtime feature probe: 0 = unknown, 1 = absent, 2 = present.
+    macro_rules! probe {
+        ($fn_name:ident, $feat:tt) => {
+            #[inline]
+            pub(super) fn $fn_name() -> bool {
+                static STATE: AtomicU8 = AtomicU8::new(0);
+                match STATE.load(Ordering::Relaxed) {
+                    2 => true,
+                    1 => false,
+                    _ => {
+                        let has = std::arch::is_x86_feature_detected!($feat);
+                        STATE.store(if has { 2 } else { 1 }, Ordering::Relaxed);
+                        has
+                    }
+                }
+            }
+        };
+    }
+
+    probe!(avx2, "avx2");
+    probe!(f16c_raw, "f16c");
+
+    #[inline]
+    pub(super) fn f16c() -> bool {
+        // The f16 axpy uses AVX2 register math around the F16C convert.
+        avx2() && f16c_raw()
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_f32_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let a = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            // mul then add (no FMA): two roundings, same as scalar.
+            let r = _mm256_add_ps(yv, _mm256_mul_ps(a, xv));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) += alpha * *x.get_unchecked(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_f32_avx2(x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(yv, xv));
+            i += 8;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) += *x.get_unchecked(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_f64_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let a = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 4 <= n {
+            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+            let r = _mm256_add_pd(yv, _mm256_mul_pd(a, xv));
+            _mm256_storeu_pd(y.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) += alpha * *x.get_unchecked(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_f32_avx2(x: &mut [f32], alpha: f32) {
+        let n = x.len();
+        let a = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            _mm256_storeu_ps(x.as_mut_ptr().add(i), _mm256_mul_ps(xv, a));
+            i += 8;
+        }
+        while i < n {
+            *x.get_unchecked_mut(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_i8_avx2(alpha: f32, x: &[i8], y: &mut [f32]) {
+        let n = x.len();
+        let a = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            // 8 × i8 → sign-extend to i32 → exact convert to f32.
+            let q = _mm_loadl_epi64(x.as_ptr().add(i) as *const __m128i);
+            let xi = _mm256_cvtepi8_epi32(q);
+            let xv = _mm256_cvtepi32_ps(xi);
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            let r = _mm256_add_ps(yv, _mm256_mul_ps(a, xv));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) += alpha * *x.get_unchecked(i) as f32;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,f16c")]
+    pub(super) unsafe fn axpy_f16_f16c(alpha: f32, x: &[u16], y: &mut [f32]) {
+        let n = x.len();
+        let a = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let h = _mm_loadu_si128(x.as_ptr().add(i) as *const __m128i);
+            let xv = _mm256_cvtph_ps(h); // exact f16 → f32
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            let r = _mm256_add_ps(yv, _mm256_mul_ps(a, xv));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) += alpha * crate::quant::f16_to_f32(*x.get_unchecked(i));
+            i += 1;
+        }
+    }
+
+    /// Register-tiled gather: the column window lives in YMM accumulators
+    /// across the whole edge loop. Windows wider than 64 are processed in
+    /// 64/32/16/8-column register tiles (each tile re-walks the row's
+    /// edge slice, which is L1-resident); the sub-8 tail is scalar.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn row_gather_avx2(
+        out: &mut [f32],
+        xd: &[f32],
+        d: usize,
+        col_off: usize,
+        idx: &[u32],
+        ws: Option<&[f32]>,
+    ) {
+        let tw = out.len();
+        let mut j = 0;
+        while tw - j >= 64 {
+            gather_tile::<8>(&mut out[j..j + 64], xd, d, col_off + j, idx, ws);
+            j += 64;
+        }
+        while tw - j >= 32 {
+            gather_tile::<4>(&mut out[j..j + 32], xd, d, col_off + j, idx, ws);
+            j += 32;
+        }
+        while tw - j >= 16 {
+            gather_tile::<2>(&mut out[j..j + 16], xd, d, col_off + j, idx, ws);
+            j += 16;
+        }
+        while tw - j >= 8 {
+            gather_tile::<1>(&mut out[j..j + 8], xd, d, col_off + j, idx, ws);
+            j += 8;
+        }
+        if j < tw {
+            super::scalar_row_gather(&mut out[j..], xd, d, col_off + j, idx, ws);
+        }
+    }
+
+    /// One register tile of `N` YMM accumulators (8·N columns).
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_tile<const N: usize>(
+        out: &mut [f32],
+        xd: &[f32],
+        d: usize,
+        col: usize,
+        idx: &[u32],
+        ws: Option<&[f32]>,
+    ) {
+        debug_assert_eq!(out.len(), 8 * N);
+        let mut acc = [_mm256_setzero_ps(); N];
+        let base0 = xd.as_ptr().add(idx[0] as usize * d + col);
+        match ws {
+            None => {
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_loadu_ps(base0.add(8 * k));
+                }
+                for &v in &idx[1..] {
+                    let base = xd.as_ptr().add(v as usize * d + col);
+                    for (k, a) in acc.iter_mut().enumerate() {
+                        *a = _mm256_add_ps(*a, _mm256_loadu_ps(base.add(8 * k)));
+                    }
+                }
+            }
+            Some(ws) => {
+                let w0 = _mm256_set1_ps(ws[0]);
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_mul_ps(w0, _mm256_loadu_ps(base0.add(8 * k)));
+                }
+                for (e, &v) in idx.iter().enumerate().skip(1) {
+                    let w = _mm256_set1_ps(*ws.get_unchecked(e));
+                    let base = xd.as_ptr().add(v as usize * d + col);
+                    for (k, a) in acc.iter_mut().enumerate() {
+                        *a = _mm256_add_ps(*a, _mm256_mul_ps(w, _mm256_loadu_ps(base.add(8 * k))));
+                    }
+                }
+            }
+        }
+        for (k, a) in acc.iter().enumerate() {
+            _mm256_storeu_ps(out.as_mut_ptr().add(8 * k), *a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON backend (element-wise kernels only; gathers use scalar)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon {
+    use std::arch::aarch64::*;
+
+    #[inline]
+    pub(super) fn axpy_f32_neon(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        unsafe {
+            let a = vdupq_n_f32(alpha);
+            let mut i = 0;
+            while i + 4 <= n {
+                let xv = vld1q_f32(x.as_ptr().add(i));
+                let yv = vld1q_f32(y.as_ptr().add(i));
+                // vmulq + vaddq, NOT vfmaq: two roundings, same as scalar.
+                vst1q_f32(y.as_mut_ptr().add(i), vaddq_f32(yv, vmulq_f32(a, xv)));
+                i += 4;
+            }
+            while i < n {
+                *y.get_unchecked_mut(i) += alpha * *x.get_unchecked(i);
+                i += 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(super) fn add_f32_neon(x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        unsafe {
+            let mut i = 0;
+            while i + 4 <= n {
+                let xv = vld1q_f32(x.as_ptr().add(i));
+                let yv = vld1q_f32(y.as_ptr().add(i));
+                vst1q_f32(y.as_mut_ptr().add(i), vaddq_f32(yv, xv));
+                i += 4;
+            }
+            while i < n {
+                *y.get_unchecked_mut(i) += *x.get_unchecked(i);
+                i += 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(super) fn axpy_f64_neon(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        unsafe {
+            let a = vdupq_n_f64(alpha);
+            let mut i = 0;
+            while i + 2 <= n {
+                let xv = vld1q_f64(x.as_ptr().add(i));
+                let yv = vld1q_f64(y.as_ptr().add(i));
+                vst1q_f64(y.as_mut_ptr().add(i), vaddq_f64(yv, vmulq_f64(a, xv)));
+                i += 2;
+            }
+            while i < n {
+                *y.get_unchecked_mut(i) += alpha * *x.get_unchecked(i);
+                i += 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(super) fn scale_f32_neon(x: &mut [f32], alpha: f32) {
+        let n = x.len();
+        unsafe {
+            let a = vdupq_n_f32(alpha);
+            let mut i = 0;
+            while i + 4 <= n {
+                let xv = vld1q_f32(x.as_ptr().add(i));
+                vst1q_f32(x.as_mut_ptr().add(i), vmulq_f32(xv, a));
+                i += 4;
+            }
+            while i < n {
+                *x.get_unchecked_mut(i) *= alpha;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Odd lengths exercise both the vector body and the scalar tail.
+    const LENS: [usize; 6] = [1, 7, 8, 9, 31, 130];
+
+    fn gaussian(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = crate::rng::seeded(seed);
+        let mut v = vec![0f32; n];
+        crate::rng::fill_gaussian(&mut rng, &mut v, 0.0, 1.0);
+        v
+    }
+
+    #[test]
+    fn axpy_f32_bitwise_matches_scalar() {
+        for &n in &LENS {
+            let x = gaussian(n, 1);
+            let mut y = gaussian(n, 2);
+            let mut y_ref = y.clone();
+            axpy_f32(1.37, &x, &mut y);
+            scalar_axpy_f32(1.37, &x, &mut y_ref);
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n} backend={}",
+                active_backend()
+            );
+        }
+    }
+
+    #[test]
+    fn add_and_scale_bitwise_match_scalar() {
+        for &n in &LENS {
+            let x = gaussian(n, 3);
+            let mut y = gaussian(n, 4);
+            let mut y_ref = y.clone();
+            add_f32(&x, &mut y);
+            for (o, s) in y_ref.iter_mut().zip(&x) {
+                *o += *s;
+            }
+            assert_eq!(y, y_ref, "add n={n}");
+            scale_f32(&mut y, 0.731);
+            for v in y_ref.iter_mut() {
+                *v *= 0.731;
+            }
+            assert_eq!(y, y_ref, "scale n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_f64_bitwise_matches_scalar() {
+        for &n in &LENS {
+            let x: Vec<f64> = gaussian(n, 5).iter().map(|&v| v as f64).collect();
+            let mut y: Vec<f64> = gaussian(n, 6).iter().map(|&v| v as f64).collect();
+            let mut y_ref = y.clone();
+            axpy_f64(-0.9137, &x, &mut y);
+            scalar_axpy_f64(-0.9137, &x, &mut y_ref);
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_i8_matches_scalar() {
+        for &n in &LENS {
+            let x: Vec<i8> = (0..n).map(|i| ((i as i64 * 37 - 64) % 127) as i8).collect();
+            let mut y = gaussian(n, 7);
+            let mut y_ref = y.clone();
+            axpy_i8(0.031, &x, &mut y);
+            for (o, &q) in y_ref.iter_mut().zip(&x) {
+                *o += 0.031 * q as f32;
+            }
+            assert_eq!(y, y_ref, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_f16_matches_scalar() {
+        for &n in &LENS {
+            let x: Vec<u16> = gaussian(n, 8).iter().map(|&v| crate::quant::f32_to_f16(v)).collect();
+            let mut y = gaussian(n, 9);
+            let mut y_ref = y.clone();
+            axpy_f16(1.5, &x, &mut y);
+            for (o, &h) in y_ref.iter_mut().zip(&x) {
+                *o += 1.5 * crate::quant::f16_to_f32(h);
+            }
+            assert_eq!(y, y_ref, "n={n}");
+        }
+    }
+
+    #[test]
+    fn row_gather_bitwise_matches_scalar_reference() {
+        // A fake 10-row feature matrix with d = 70 (covers the 64/32/16/8
+        // register tiles plus a scalar tail in one window).
+        let d = 70usize;
+        let xd = gaussian(10 * d, 10);
+        let idx: Vec<u32> = vec![3, 0, 9, 9, 5, 1];
+        let ws = gaussian(idx.len(), 11);
+        for col_off in [0usize, 3, 64] {
+            for tw in [d - col_off, 1.min(d - col_off)] {
+                let mut out = vec![0f32; tw];
+                let mut out_ref = vec![0f32; tw];
+                row_gather_weighted(&mut out, &xd, d, col_off, &idx, &ws);
+                scalar_row_gather(&mut out_ref, &xd, d, col_off, &idx, Some(&ws));
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    out_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "weighted col_off={col_off} tw={tw}"
+                );
+                row_gather_unweighted(&mut out, &xd, d, col_off, &idx);
+                scalar_row_gather(&mut out_ref, &xd, d, col_off, &idx, None);
+                assert_eq!(out, out_ref, "unweighted col_off={col_off} tw={tw}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_lane_report_is_consistent() {
+        let b = active_backend();
+        let l = f32_lanes();
+        match b {
+            "avx2" => assert_eq!(l, 8),
+            "neon" => assert_eq!(l, 4),
+            _ => assert_eq!(l, 1),
+        }
+    }
+}

@@ -26,30 +26,25 @@ pub fn dot64(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`. SIMD-accelerated under the `simd` feature
+/// (bitwise-identical; see [`crate::simd`]).
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += alpha * x[i];
-    }
+    crate::simd::axpy_f32(alpha, x, y);
 }
 
 /// `y += alpha * x` in `f64`.
 #[inline]
 pub fn axpy64(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += alpha * x[i];
-    }
+    crate::simd::axpy_f64(alpha, x, y);
 }
 
 /// Scales a slice in place.
 #[inline]
 pub fn scale(x: &mut [f32], alpha: f32) {
-    for v in x.iter_mut() {
-        *v *= alpha;
-    }
+    crate::simd::scale_f32(x, alpha);
 }
 
 /// Scales an `f64` slice in place.

@@ -5,7 +5,7 @@
 //! clears them. Optimizers visit `(param, grad)` pairs through
 //! [`Linear::visit_params`].
 
-use sgnn_linalg::{reduce, DenseMatrix};
+use sgnn_linalg::{reduce, DenseMatrix, QuantMatrix, QuantMode};
 
 /// Fully-connected layer `Y = X·W + b`.
 #[derive(Debug, Clone)]
@@ -56,6 +56,25 @@ impl Linear {
     /// Inference-only forward (no cache).
     pub fn forward_inference(&self, x: &DenseMatrix) -> DenseMatrix {
         let mut y = x.matmul(&self.w).expect("linear shape mismatch");
+        for r in 0..y.rows() {
+            sgnn_linalg::vecops::axpy(1.0, self.b.row(0), y.row_mut(r));
+        }
+        y
+    }
+
+    /// Inference-only forward under a numeric `mode`. [`QuantMode::F32`]
+    /// (the default) is exactly [`forward_inference`](Self::forward_inference);
+    /// the quantized modes compress activations and weights per row,
+    /// accumulate in f32, and keep the bias addition in f32. Error
+    /// tolerance: DESIGN.md §9. Weights are quantized per call — a
+    /// serving deployment would cache `QuantMatrix::quantize(&self.w, _)`.
+    pub fn forward_inference_quant(&self, x: &DenseMatrix, mode: QuantMode) -> DenseMatrix {
+        let Some(wq) = QuantMatrix::quantize(&self.w, mode) else {
+            return self.forward_inference(x);
+        };
+        let xq = QuantMatrix::quantize(x, mode).expect("mode is quantized");
+        let mut y = DenseMatrix::zeros(x.rows(), self.out_dim());
+        sgnn_linalg::qmatmul_into(&xq, &wq, &mut y).expect("linear shape mismatch");
         for r in 0..y.rows() {
             sgnn_linalg::vecops::axpy(1.0, self.b.row(0), y.row_mut(r));
         }

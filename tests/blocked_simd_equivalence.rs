@@ -1,0 +1,170 @@
+//! Equivalence properties for the cache-blocked and explicit-SIMD kernels
+//! (DESIGN.md §9): `spmm_blocked_into` must be *bitwise* identical to
+//! `spmm_into` for every block shape, thread count, and row order — the
+//! blocked kernel only re-tiles the iteration space, it never reassociates
+//! a per-column accumulation chain — and the element-wise SIMD primitives
+//! must match the plain mul-then-add scalar loop bit for bit (no FMA).
+//!
+//! The quantized aggregation path is the one *toleranced* kernel: its
+//! error versus f32 must stay inside the documented budget on
+//! sym-normalized operators.
+//!
+//! This file exercises the facade build; under `--features simd` the same
+//! assertions pin the AVX2/NEON backends to the scalar semantics.
+
+use proptest::prelude::*;
+use sgnn::graph::blocked::{spmm_blocked_into, spmm_quant_into, BlockSpec};
+use sgnn::graph::generate;
+use sgnn::graph::normalize::{normalized_adjacency, NormKind};
+use sgnn::graph::reorder::{compute_order, relabel, Reordering};
+use sgnn::graph::spmm::spmm_into;
+use sgnn::linalg::par::set_threads;
+use sgnn::linalg::simd;
+use sgnn::linalg::{DenseMatrix, QuantMatrix};
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the global thread count (the test harness
+/// runs #[test] functions concurrently and `set_threads` is process-wide).
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn bits(m: &DenseMatrix) -> Vec<u32> {
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Blocked SpMM is bitwise-equal to `spmm_into` for arbitrary block
+    /// shapes and feature widths (including the d ≤ 4 delegation range and
+    /// widths straddling the SIMD register-tile sizes), at one thread and
+    /// with the pool enabled, on raw and weighted operators — and stays so
+    /// after an RCM relabel, the order the tiling is designed to compose
+    /// with.
+    #[test]
+    fn blocked_spmm_bitwise_equals_balanced(
+        n in 200usize..1500,
+        m in 1usize..5,
+        d in 1usize..96,
+        row_block in 1usize..300,
+        col_block in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let g = generate::barabasi_albert(n, m, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let order = compute_order(&g, Reordering::Rcm);
+        let (rg, _) = relabel(&g, &order);
+        let x = DenseMatrix::gaussian(n, d, 1.0, seed + 1);
+        let spec = BlockSpec { row_block, col_block };
+        for op in [&g, &a, &rg] {
+            for threads in [1usize, 0] {
+                set_threads(threads);
+                let mut reference = DenseMatrix::zeros(n, d);
+                reference.data_mut().fill(f32::NAN);
+                spmm_into(op, &x, &mut reference);
+                let mut tiled = DenseMatrix::zeros(n, d);
+                tiled.data_mut().fill(f32::NAN); // stale scratch must not leak
+                spmm_blocked_into(op, &x, &mut tiled, spec);
+                prop_assert_eq!(
+                    bits(&reference),
+                    bits(&tiled),
+                    "blocked != balanced (d={}, spec={}x{}, threads={})",
+                    d, row_block, col_block, threads
+                );
+            }
+        }
+        set_threads(0);
+    }
+
+    /// Element-wise SIMD primitives match the scalar mul-then-add loop
+    /// bitwise on awkward (non-multiple-of-lane) lengths. axpy64 is the
+    /// f64 eigensolver/optimizer path.
+    #[test]
+    fn simd_axpy_bitwise_matches_scalar_loop(
+        len in 1usize..200,
+        alpha in -4.0f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let x = DenseMatrix::gaussian(1, len, 1.0, seed);
+        let mut y = DenseMatrix::gaussian(1, len, 1.0, seed + 1);
+        let mut expected: Vec<f32> = y.data().to_vec();
+        for (e, &v) in expected.iter_mut().zip(x.data()) {
+            *e += alpha * v;
+        }
+        simd::axpy_f32(alpha, x.data(), y.data_mut());
+        prop_assert_eq!(
+            y.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let a64 = alpha as f64;
+        let x64: Vec<f64> = x.data().iter().map(|&v| v as f64).collect();
+        let mut y64: Vec<f64> = expected.iter().map(|&v| v as f64).collect();
+        let mut exp64 = y64.clone();
+        for (e, &v) in exp64.iter_mut().zip(&x64) {
+            *e += a64 * v;
+        }
+        simd::axpy_f64(a64, &x64, &mut y64);
+        prop_assert_eq!(
+            y64.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            exp64.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The quantized aggregation path stays inside the documented error
+    /// budget (DESIGN.md §9) on sym-normalized operators, where row weight
+    /// sums are ≤ 1 and the per-element representation error bounds the
+    /// output error directly.
+    #[test]
+    fn quantized_spmm_stays_inside_tolerance(
+        n in 200usize..1200,
+        m in 1usize..5,
+        d in 5usize..64,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let a = normalized_adjacency(&g, NormKind::Sym, true).unwrap();
+        let x = DenseMatrix::gaussian(n, d, 1.0, seed + 1);
+        let spec = BlockSpec::auto(&a, d);
+        let mut reference = DenseMatrix::zeros(n, d);
+        spmm_into(&a, &x, &mut reference);
+        let max_abs = x.data().iter().fold(0f32, |acc, v| acc.max(v.abs()));
+        let mut out = DenseMatrix::zeros(n, d);
+        spmm_quant_into(&a, &QuantMatrix::quantize_i8(&x), &mut out, spec);
+        let err_i8 = out
+            .data()
+            .iter()
+            .zip(reference.data())
+            .fold(0f32, |acc, (q, f)| acc.max((q - f).abs()));
+        // Per-element int8 error ≤ scale/2 = max_abs/254; weight sums ≤ 1
+        // plus f32 accumulation slack.
+        prop_assert!(
+            err_i8 <= max_abs / 254.0 * 1.5 + 1e-5,
+            "int8 error {} above budget (max_abs={})", err_i8, max_abs
+        );
+        spmm_quant_into(&a, &QuantMatrix::quantize_f16(&x), &mut out, spec);
+        let err_f16 = out
+            .data()
+            .iter()
+            .zip(reference.data())
+            .fold(0f32, |acc, (q, f)| acc.max((q - f).abs()));
+        // f16 relative error ≤ 2^-11 per element.
+        prop_assert!(
+            err_f16 <= max_abs / 2048.0 * 1.5 + 1e-5,
+            "f16 error {} above budget (max_abs={})", err_f16, max_abs
+        );
+    }
+}
+
+/// The SIMD backend reports a coherent identity: lane width is a power of
+/// two and matches the advertised backend family.
+#[test]
+fn simd_backend_reports_coherent_identity() {
+    let backend = simd::active_backend();
+    let lanes = simd::f32_lanes();
+    assert!(lanes.is_power_of_two(), "lane count {lanes} not a power of two");
+    match backend {
+        "avx2" | "neon" => assert!(lanes > 1, "{backend} backend must report vector lanes"),
+        _ => assert_eq!(lanes, 1, "scalar backend must report 1 lane"),
+    }
+}
