@@ -1,0 +1,88 @@
+//! `benchdiff` — the bench-regression gate.
+//!
+//! ```text
+//! benchdiff <baseline.json> <fresh.json> [--time-ratio R] [--time-floor S]
+//! ```
+//!
+//! Compares a fresh `bench_out/BENCH_*.json` against a committed
+//! `baselines/*.json` under per-metric-class tolerance bands (see
+//! `sgnn_bench::diff`): analytic flop/byte counts must match exactly,
+//! wall times may drift up to `--time-ratio` (default 10x, with a
+//! `--time-floor` small-value cutoff, default 0.05 s), throughput may
+//! fall by the same ratio, quantization error may grow 1.5x, and config
+//! echo fields are ignored. A baseline metric missing from the fresh run
+//! is always a regression.
+//!
+//! Exit codes: 0 = gate passed, 1 = regression detected, 2 = usage /
+//! I/O / parse error. CI runs this after the `--quick` bench bins.
+
+use sgnn_bench::diff::{compare_files, Tolerance, Verdict};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: benchdiff <baseline.json> <fresh.json> [--time-ratio R] [--time-floor S]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--time-ratio" | "--time-floor" => {
+                let Some(raw) = args.get(i + 1) else { return usage() };
+                let Ok(v) = raw.parse::<f64>() else { return usage() };
+                if args[i] == "--time-ratio" {
+                    tol.time_ratio = v;
+                } else {
+                    tol.time_floor = v;
+                }
+                i += 2;
+            }
+            "--help" | "-h" => return usage(),
+            p => {
+                paths.push(p);
+                i += 1;
+            }
+        }
+    }
+    let [base, fresh] = paths[..] else { return usage() };
+
+    let report = match compare_files(base, fresh, &tol) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let gated = report.metrics.iter().filter(|m| m.verdict != Verdict::Info).count();
+    for m in &report.metrics {
+        match m.verdict {
+            Verdict::Regression => {
+                let base_s = m.base.map_or("-".into(), |v| v.to_string());
+                let fresh_s = m.fresh.map_or("-".into(), |v| v.to_string());
+                println!(
+                    "REGRESSION  {}  base={} fresh={}  ({})",
+                    m.path, base_s, fresh_s, m.reason
+                );
+            }
+            Verdict::Info if m.base.is_none() => {
+                println!("new         {}  fresh={}", m.path, m.fresh.unwrap_or(f64::NAN));
+            }
+            _ => {}
+        }
+    }
+    let regressions = report.regressions().len();
+    println!(
+        "benchdiff: {} vs {}: {} metrics gated, {} regression(s)",
+        base, fresh, gated, regressions
+    );
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

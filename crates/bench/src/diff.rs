@@ -1,0 +1,393 @@
+//! Bench-regression gate: compares a fresh `BENCH_*.json` against a
+//! committed baseline with per-metric-class tolerance bands.
+//!
+//! Both documents are flattened to dotted-path → number (arrays by
+//! index — the bench bins emit deterministic order), then every numeric
+//! path in the *baseline* is checked against the fresh value under the
+//! band its metric class earns:
+//!
+//! | class | matched by | band |
+//! |---|---|---|
+//! | analytic counts | `flops`, `bytes_moved`, `*_bytes*`, `*vectors*`, `*_slots` | exact (bit-deterministic work/comm models) |
+//! | derived ratios | `intensity_*`, `*skew*` | relative 1e-6 |
+//! | wall time (lower better) | `*seconds*`, `*_secs*`, `*_sec*`, `*_ns` | fresh ≤ base × `time_ratio`, values under `time_floor` always pass |
+//! | throughput (higher better) | `gflops`, `*_per_sec`, `*speedup*` | fresh ≥ base ÷ `time_ratio` |
+//! | quantization error | `*_err_*`, `*_err` | fresh ≤ base × 1.5 + 1e-6 |
+//! | config echo | `threads`, `quick`, `k`, `lanes`, `row_block`, `col_block`, `epochs` | ignored |
+//!
+//! A baseline metric missing from the fresh run is always a regression
+//! (coverage must not silently shrink); fresh-only metrics are reported
+//! as informational. The wide default `time_ratio` (10×) absorbs
+//! cross-host noise on CI-sized `--quick` runs while still catching
+//! order-of-magnitude regressions; tighten it for same-host trending.
+
+use crate::jsonv::Value;
+use std::collections::BTreeMap;
+
+/// Tolerance knobs for one comparison run.
+#[derive(Debug, Clone)]
+pub struct Tolerance {
+    /// Allowed slowdown (and inverse throughput loss) ratio.
+    pub time_ratio: f64,
+    /// Absolute seconds under which time metrics always pass (too small
+    /// to measure reliably on shared CI).
+    pub time_floor: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance { time_ratio: 10.0, time_floor: 0.05 }
+    }
+}
+
+/// One comparison verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the band.
+    Ok,
+    /// Outside the band — fails the gate.
+    Regression,
+    /// Not gated (config echo, unknown metric, fresh-only metric).
+    Info,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Dotted path into the JSON document.
+    pub path: String,
+    /// Baseline value (`None` for fresh-only metrics).
+    pub base: Option<f64>,
+    /// Fresh value (`None` when missing from the fresh run).
+    pub fresh: Option<f64>,
+    /// Gate outcome.
+    pub verdict: Verdict,
+    /// Human-readable reason for the verdict.
+    pub reason: String,
+}
+
+/// Result of one baseline/fresh comparison.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every compared path, sorted.
+    pub metrics: Vec<MetricDiff>,
+}
+
+impl DiffReport {
+    /// All regressions, in path order.
+    pub fn regressions(&self) -> Vec<&MetricDiff> {
+        self.metrics.iter().filter(|m| m.verdict == Verdict::Regression).collect()
+    }
+
+    /// True when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.metrics.iter().all(|m| m.verdict != Verdict::Regression)
+    }
+}
+
+/// Flattens every numeric leaf to `dotted.path → value`. Arrays index
+/// numerically (`grid.3.epoch_secs`); strings/bools/nulls are skipped.
+pub fn flatten(v: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    flatten_into(v, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(v: &Value, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Value::Num(n) => {
+            out.insert(prefix, *n);
+        }
+        Value::Obj(fields) => {
+            for (k, child) in fields {
+                let p = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten_into(child, p, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let p = if prefix.is_empty() { i.to_string() } else { format!("{prefix}.{i}") };
+                flatten_into(child, p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Metric classes (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    ExactCount,
+    NearExact,
+    LowerBetterTime,
+    HigherBetterRate,
+    ErrorBound,
+    Ignored,
+    Unknown,
+}
+
+fn classify(path: &str) -> Class {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let ignored = [
+        "threads",
+        "quick",
+        "k",
+        "epochs",
+        "simd_f32_lanes",
+        "row_block",
+        "col_block",
+        "fault_injected",
+        "recovery_retries",
+    ];
+    if ignored.contains(&leaf) {
+        return Class::Ignored;
+    }
+    if leaf == "flops" || leaf == "bytes_moved" {
+        return Class::ExactCount;
+    }
+    if leaf.contains("bytes") || leaf.contains("vectors") || leaf.ends_with("_slots") {
+        return Class::ExactCount;
+    }
+    if leaf.starts_with("intensity") || leaf.contains("skew") {
+        return Class::NearExact;
+    }
+    if leaf.contains("err") {
+        return Class::ErrorBound;
+    }
+    if leaf.contains("gflops") || leaf.ends_with("_per_sec") || leaf.contains("speedup") {
+        return Class::HigherBetterRate;
+    }
+    if leaf.contains("seconds") || leaf.contains("secs") || leaf.contains("sec") {
+        return Class::LowerBetterTime;
+    }
+    if leaf.ends_with("_ns") || leaf.ends_with("_us") {
+        return Class::LowerBetterTime;
+    }
+    Class::Unknown
+}
+
+fn check(class: Class, base: f64, fresh: f64, tol: &Tolerance) -> (Verdict, String) {
+    match class {
+        Class::Ignored | Class::Unknown => (Verdict::Info, "not gated".into()),
+        Class::ExactCount => {
+            if base == fresh {
+                (Verdict::Ok, "exact match".into())
+            } else {
+                (Verdict::Regression, format!("analytic count changed: {base} -> {fresh}"))
+            }
+        }
+        Class::NearExact => {
+            let rel = (fresh - base).abs() / base.abs().max(1e-12);
+            if rel <= 1e-6 {
+                (Verdict::Ok, "within 1e-6 relative".into())
+            } else {
+                (Verdict::Regression, format!("derived ratio moved {rel:.2e}: {base} -> {fresh}"))
+            }
+        }
+        Class::LowerBetterTime => {
+            if fresh <= tol.time_floor || fresh <= base * tol.time_ratio {
+                (Verdict::Ok, format!("within {}x slowdown band", tol.time_ratio))
+            } else {
+                (
+                    Verdict::Regression,
+                    format!(
+                        "slowdown {:.2}x exceeds {}x: {base} -> {fresh}",
+                        fresh / base.max(1e-12),
+                        tol.time_ratio
+                    ),
+                )
+            }
+        }
+        Class::HigherBetterRate => {
+            if base <= 0.0 || fresh >= base / tol.time_ratio {
+                (Verdict::Ok, format!("within {}x throughput band", tol.time_ratio))
+            } else {
+                (
+                    Verdict::Regression,
+                    format!(
+                        "throughput fell {:.2}x beyond {}x: {base} -> {fresh}",
+                        base / fresh.max(1e-12),
+                        tol.time_ratio
+                    ),
+                )
+            }
+        }
+        Class::ErrorBound => {
+            if fresh <= base * 1.5 + 1e-6 {
+                (Verdict::Ok, "within 1.5x error band".into())
+            } else {
+                (Verdict::Regression, format!("error bound grew: {base} -> {fresh}"))
+            }
+        }
+    }
+}
+
+/// Compares `fresh` against `base` under `tol`.
+pub fn compare(base: &Value, fresh: &Value, tol: &Tolerance) -> DiffReport {
+    let base_flat = flatten(base);
+    let fresh_flat = flatten(fresh);
+    let mut metrics = Vec::new();
+    for (path, &b) in &base_flat {
+        match fresh_flat.get(path) {
+            None => {
+                let verdict = if classify(path) == Class::Ignored {
+                    Verdict::Info
+                } else {
+                    Verdict::Regression
+                };
+                metrics.push(MetricDiff {
+                    path: path.clone(),
+                    base: Some(b),
+                    fresh: None,
+                    verdict,
+                    reason: "metric missing from fresh run".into(),
+                });
+            }
+            Some(&f) => {
+                let (verdict, reason) = check(classify(path), b, f, tol);
+                metrics.push(MetricDiff {
+                    path: path.clone(),
+                    base: Some(b),
+                    fresh: Some(f),
+                    verdict,
+                    reason,
+                });
+            }
+        }
+    }
+    for (path, &f) in &fresh_flat {
+        if !base_flat.contains_key(path) {
+            metrics.push(MetricDiff {
+                path: path.clone(),
+                base: None,
+                fresh: Some(f),
+                verdict: Verdict::Info,
+                reason: "new metric (not in baseline)".into(),
+            });
+        }
+    }
+    metrics.sort_by(|a, b| a.path.cmp(&b.path));
+    DiffReport { metrics }
+}
+
+/// Loads and parses both files, then compares. `Err` is an I/O or parse
+/// problem (exit code 2 territory), distinct from a failing gate.
+pub fn compare_files(
+    base_path: &str,
+    fresh_path: &str,
+    tol: &Tolerance,
+) -> Result<DiffReport, String> {
+    let base_text =
+        std::fs::read_to_string(base_path).map_err(|e| format!("read {base_path}: {e}"))?;
+    let fresh_text =
+        std::fs::read_to_string(fresh_path).map_err(|e| format!("read {fresh_path}: {e}"))?;
+    let base = crate::jsonv::parse(&base_text).map_err(|e| format!("parse {base_path}: {e}"))?;
+    let fresh = crate::jsonv::parse(&fresh_text).map_err(|e| format!("parse {fresh_path}: {e}"))?;
+    Ok(compare(&base, &fresh, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonv::parse;
+
+    const BASE: &str = r#"{
+        "threads": 4,
+        "quick": true,
+        "kernels": {
+            "spmm_balanced": {"seconds": 0.1, "flops": 1000, "bytes_moved": 4000,
+                              "intensity_flops_per_byte": 0.25, "gflops": 2.0}
+        },
+        "quant_max_abs_err_int8": 0.01,
+        "spmm_speedup_vs_rowcount": 1.4,
+        "grid": [{"k": 4, "epoch_secs": 0.2, "halo_bytes_per_epoch": 512}]
+    }"#;
+
+    fn tol() -> Tolerance {
+        Tolerance::default()
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let v = parse(BASE).unwrap();
+        let r = compare(&v, &v, &tol());
+        assert!(r.passed(), "regressions: {:?}", r.regressions());
+        // Gated metrics were actually checked, not all Info.
+        assert!(r.metrics.iter().any(|m| m.path.ends_with("flops") && m.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn perturbed_time_fails_only_past_the_band() {
+        let v = parse(BASE).unwrap();
+        // 5x slower: inside the 10x band.
+        let ok = parse(&BASE.replace("\"seconds\": 0.1", "\"seconds\": 0.5")).unwrap();
+        assert!(compare(&v, &ok, &tol()).passed());
+        // 100x slower: regression.
+        let bad = parse(&BASE.replace("\"seconds\": 0.1", "\"seconds\": 10.0")).unwrap();
+        let r = compare(&v, &bad, &tol());
+        assert!(!r.passed());
+        assert_eq!(r.regressions()[0].path, "kernels.spmm_balanced.seconds");
+    }
+
+    #[test]
+    fn tiny_times_pass_regardless_of_ratio() {
+        let base = parse(r#"{"timings_sec": {"dispatch": 0.00001}}"#).unwrap();
+        let fresh = parse(r#"{"timings_sec": {"dispatch": 0.01}}"#).unwrap();
+        // 1000x ratio but under the 0.05 s floor: noise, not regression.
+        assert!(compare(&base, &fresh, &tol()).passed());
+    }
+
+    #[test]
+    fn analytic_counts_must_match_exactly() {
+        let v = parse(BASE).unwrap();
+        let bad = parse(&BASE.replace("\"flops\": 1000", "\"flops\": 1001")).unwrap();
+        let r = compare(&v, &bad, &tol());
+        assert!(!r.passed());
+        assert!(r.regressions()[0].path.ends_with(".flops"));
+        let bad_halo = parse(&BASE.replace("512", "640")).unwrap();
+        assert!(!compare(&v, &bad_halo, &tol()).passed(), "halo bytes are analytic");
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_and_new_metric_is_not() {
+        let v = parse(BASE).unwrap();
+        let missing = parse(&BASE.replace(", \"gflops\": 2.0", "")).unwrap();
+        let r = compare(&v, &missing, &tol());
+        assert!(!r.passed());
+        assert!(r.regressions()[0].reason.contains("missing"));
+        let extra = parse(&BASE.replace("\"quick\": true", "\"quick\": true, \"new_metric\": 1.0"))
+            .unwrap();
+        let r = compare(&v, &extra, &tol());
+        assert!(r.passed());
+        assert!(r.metrics.iter().any(|m| m.path == "new_metric" && m.verdict == Verdict::Info));
+    }
+
+    #[test]
+    fn throughput_and_error_bands() {
+        let v = parse(BASE).unwrap();
+        let slow = parse(&BASE.replace("\"gflops\": 2.0", "\"gflops\": 0.1")).unwrap();
+        assert!(!compare(&v, &slow, &tol()).passed(), "20x throughput loss fails");
+        let erry = parse(&BASE.replace("0.01", "0.04")).unwrap();
+        assert!(!compare(&v, &erry, &tol()).passed(), "4x quant error fails");
+        let noisy_err = parse(&BASE.replace("0.01", "0.012")).unwrap();
+        assert!(compare(&v, &noisy_err, &tol()).passed(), "1.2x quant error passes");
+    }
+
+    #[test]
+    fn config_echo_is_not_gated() {
+        let v = parse(BASE).unwrap();
+        let other = parse(&BASE.replace("\"threads\": 4", "\"threads\": 8")).unwrap();
+        assert!(compare(&v, &other, &tol()).passed());
+    }
+
+    #[test]
+    fn speedup_class_gates_lower_values() {
+        let v = parse(BASE).unwrap();
+        let bad = parse(
+            &BASE
+                .replace("\"spmm_speedup_vs_rowcount\": 1.4", "\"spmm_speedup_vs_rowcount\": 0.05"),
+        )
+        .unwrap();
+        assert!(!compare(&v, &bad, &tol()).passed());
+    }
+}

@@ -10,10 +10,12 @@
 //! Each `e*` function is self-contained: it generates its workload,
 //! sweeps its parameter, and prints the same rows EXPERIMENTS.md records.
 
+pub mod diff;
 pub mod exp_ablations;
 pub mod exp_analytics;
 pub mod exp_classic;
 pub mod exp_editing;
+pub mod jsonv;
 pub mod kernel_baseline;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -80,7 +80,9 @@ pub fn save_epoch(
     opt: &Adam,
     model: &mut dyn SlotParams,
 ) -> Result<u64, TrainError> {
+    static CKPT_WRITE_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("ckpt.write.ns");
     let _sp = sgnn_obs::span!("trainer.checkpoint");
+    let _ht = CKPT_WRITE_NS.time();
     let mut c = Ckpt::new();
     c.put_str("meta.trainer", trainer);
     c.put_u64("meta.epoch_done", state.epoch_done as u64);

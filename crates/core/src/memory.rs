@@ -41,6 +41,14 @@ impl std::fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
+// Every ledger mirrors its accounting into two global gauges so memory
+// shows up in metric exports without reading a `TrainReport`:
+// `mem.ledger.peak_bytes` is the high-water mark across all ledgers in
+// the process; `mem.ledger.current_bytes` is the latest residency
+// reported by whichever ledger moved last (a level, so it can go down).
+static LEDGER_PEAK: sgnn_obs::Gauge = sgnn_obs::Gauge::new("mem.ledger.peak_bytes");
+static LEDGER_CURRENT: sgnn_obs::Gauge = sgnn_obs::Gauge::new("mem.ledger.current_bytes");
+
 /// A simple high-water-mark allocator ledger, optionally budget-capped.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
@@ -77,6 +85,8 @@ impl Ledger {
     pub fn alloc(&mut self, bytes: usize) {
         self.current += bytes;
         self.peak = self.peak.max(self.current);
+        LEDGER_CURRENT.set(self.current as u64);
+        LEDGER_PEAK.record(self.peak as u64);
     }
 
     /// Checked [`alloc`](Ledger::alloc): refuses (without charging) if
@@ -90,12 +100,14 @@ impl Ledger {
     /// Releases `bytes` (saturating).
     pub fn free(&mut self, bytes: usize) {
         self.current = self.current.saturating_sub(bytes);
+        LEDGER_CURRENT.set(self.current as u64);
     }
 
     /// Charges a transient allocation: bumps the peak but not the steady
     /// state (alloc immediately followed by free).
     pub fn transient(&mut self, bytes: usize) {
         self.peak = self.peak.max(self.current + bytes);
+        LEDGER_PEAK.record(self.peak as u64);
     }
 
     /// Checked [`transient`](Ledger::transient): the transient must fit
@@ -191,6 +203,23 @@ mod tests {
     #[test]
     fn matrix_bytes_formula() {
         assert_eq!(matrix_bytes(10, 8), 320);
+    }
+
+    #[test]
+    fn ledger_mirrors_into_obs_gauges() {
+        // Other tests in this binary may run ledgers concurrently, so
+        // assert lower bounds, not exact equality, on the global gauges.
+        sgnn_obs::enable();
+        let mut l = Ledger::new();
+        l.alloc(4096);
+        l.transient(1024);
+        let report = sgnn_obs::report();
+        let peak = report.gauges.iter().find(|g| g.name == "mem.ledger.peak_bytes");
+        assert!(peak.is_some_and(|g| g.value >= 5120), "peak gauge: {peak:?}");
+        let current = report.gauges.iter().find(|g| g.name == "mem.ledger.current_bytes");
+        assert!(current.is_some(), "current gauge registered");
+        l.free(4096);
+        sgnn_obs::disable();
     }
 
     #[test]

@@ -43,6 +43,10 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 static STALL_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.stall_ns");
+/// Per-batch distribution of the consumer's wait for the next batch:
+/// stall time on the pipelined path, full prepare time inline. The
+/// monotonic total stays in `pipeline.stall_ns` (DESIGN.md §10).
+static BATCH_STALL_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("pipeline.batch_stall.ns");
 static OVERLAP_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.overlap_ns");
 static PREFETCH_HITS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.prefetch_hits");
 static PRODUCER_RESTARTS: sgnn_obs::Counter = sgnn_obs::Counter::new("pipeline.producer_restarts");
@@ -139,6 +143,7 @@ impl BatchPipeline {
                     stall_secs += stall.as_secs_f64();
                     let stall_ns = stall.as_nanos() as u64;
                     STALL_NS.add(stall_ns);
+                    BATCH_STALL_NS.record(stall_ns);
                     OVERLAP_NS.add(prep_ns.saturating_sub(stall_ns));
                     if was_ready {
                         PREFETCH_HITS.incr();
@@ -182,6 +187,7 @@ impl BatchPipeline {
             match produced {
                 Ok((item, s)) => {
                     secs += s;
+                    BATCH_STALL_NS.record((s * 1e9) as u64);
                     consume(i, item);
                     i += 1;
                 }

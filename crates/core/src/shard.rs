@@ -72,6 +72,8 @@ static HALO_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.halo_bytes")
 static HALO_VECTORS: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.halo_vectors");
 static ALLREDUCE_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.allreduce_bytes");
 static SKEW: sgnn_obs::Gauge = sgnn_obs::Gauge::new("shard.skew");
+/// Per-superstep halo-exchange latency (build + verify + any repair).
+static HALO_EXCHANGE_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("comm.halo_exchange.ns");
 
 /// Measured communication/skew profile of one sharded training run —
 /// the execution-side numbers the E2 analytic model is checked against.
@@ -236,6 +238,7 @@ impl Runtime<'_> {
     /// checksum-verified-retry recovery policy of DESIGN.md §8. Without a
     /// plan no checksums are computed at all.
     fn exchange(&mut self, outs: &[DenseMatrix], d: usize) -> Vec<DenseMatrix> {
+        let _ht = HALO_EXCHANGE_NS.time();
         let xid = self.exchange_idx;
         self.exchange_idx += 1;
         let plan = self.plan;
@@ -723,6 +726,7 @@ pub fn train_sharded_gcn(
             &opt,
             &mut gcn,
         )?;
+        sgnn_obs::mark_epoch(epoch as u64);
         if stop {
             break;
         }
@@ -750,6 +754,7 @@ pub fn train_sharded_gcn(
         nnz_skew: plan.nnz_skew(),
         replication_slots: plan.shards.iter().map(|s| s.n_local() as u64).sum(),
     };
+    sgnn_obs::export_now();
     let report = TrainReport {
         name: format!("gcn-shard-k{k}"),
         test_acc,

@@ -305,6 +305,7 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> TrainResult<(Gcn, Trai
             stop = stopper.should_stop(val);
         }
         maybe_checkpoint(cfg, "gcn-full", epoch + 1, final_loss, &stopper, stop, &opt, &mut gcn)?;
+        sgnn_obs::mark_epoch(epoch as u64);
         if stop {
             break;
         }
@@ -315,6 +316,7 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> TrainResult<(Gcn, Trai
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc =
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    sgnn_obs::export_now();
     let report = TrainReport {
         name: "gcn-full".into(),
         test_acc,
@@ -374,13 +376,16 @@ pub fn train_decoupled(
             });
             phases.time(Phase::Step, || model.mlp.step(&mut opt));
         }
+        let mut stop = false;
         if cfg.patience.is_some() {
             let val = phases.time(Phase::Eval, || {
                 accuracy(&model.logits_for(&ds.splits.val), &ds.labels_of(&ds.splits.val))
             });
-            if stopper.should_stop(val) {
-                break;
-            }
+            stop = stopper.should_stop(val);
+        }
+        sgnn_obs::mark_epoch(epoch as u64);
+        if stop {
+            break;
         }
     }
     let train_secs = t1.elapsed().as_secs_f64();
@@ -394,6 +399,7 @@ pub fn train_decoupled(
         PrecomputeMethod::Heat { .. } => "heat".to_string(),
         PrecomputeMethod::Ld2(_) => "ld2".to_string(),
     };
+    sgnn_obs::export_now();
     let report = TrainReport {
         name,
         test_acc,
@@ -521,6 +527,7 @@ pub fn train_sampled(
         );
         phases.add(Phase::Sample, sample_secs);
         maybe_checkpoint(cfg, name, epoch + 1, final_loss, &stopper, false, &opt, &mut sage)?;
+        sgnn_obs::mark_epoch(epoch as u64);
     }
     // The double buffer keeps at most one prefetched batch alive next to
     // the one being computed.
@@ -547,6 +554,7 @@ pub fn train_sampled(
     };
     let val_acc = eval(&ds.splits.val);
     let test_acc = eval(&ds.splits.test);
+    sgnn_obs::export_now();
     let report = TrainReport {
         name: name.into(),
         test_acc,
@@ -666,6 +674,7 @@ pub fn train_saint(
         );
         phases.add(Phase::Sample, sample_secs);
         maybe_checkpoint(cfg, &name, epoch + 1, final_loss, &stopper, false, &opt, &mut gcn)?;
+        sgnn_obs::mark_epoch(epoch as u64);
     }
     ledger.try_transient(max_batch)?;
     let train_secs = t1.elapsed().as_secs_f64();
@@ -676,6 +685,7 @@ pub fn train_saint(
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc =
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    sgnn_obs::export_now();
     let report = TrainReport {
         name,
         test_acc,
@@ -799,6 +809,7 @@ pub fn train_cluster_gcn(
             &opt,
             &mut gcn,
         )?;
+        sgnn_obs::mark_epoch(epoch as u64);
     }
     ledger.try_transient(max_batch)?;
     let train_secs = t1.elapsed().as_secs_f64();
@@ -808,6 +819,7 @@ pub fn train_cluster_gcn(
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc =
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    sgnn_obs::export_now();
     let report = TrainReport {
         name: "cluster-gcn".into(),
         test_acc,
@@ -904,6 +916,7 @@ pub fn train_coarse_with(
             gcn.backward(&op, &dl);
         });
         phases.time(Phase::Step, || gcn.step(&mut opt));
+        sgnn_obs::mark_epoch(epoch as u64);
     }
     let train_secs = t1.elapsed().as_secs_f64();
     // Lift coarse logits to fine nodes and evaluate on the real test set.
@@ -915,6 +928,7 @@ pub fn train_coarse_with(
         &fine_logits.gather_rows(&rows_of(&ds.splits.test)),
         &ds.labels_of(&ds.splits.test),
     );
+    sgnn_obs::export_now();
     Ok(TrainReport {
         name: name.to_string(),
         test_acc,

@@ -167,6 +167,7 @@ pub fn train_history(
                 x_src1.nbytes() + h1_src.nbytes() + 2 * h1_batch.nbytes() + agg2.nbytes(),
             )?;
         }
+        sgnn_obs::mark_epoch(epoch as u64);
     }
     let train_secs = t1.elapsed().as_secs_f64();
     // Inference: exact 2-hop with wide fanout (no cache).
@@ -200,6 +201,7 @@ pub fn train_history(
         hit_rate: hits as f64 / fetches.max(1) as f64,
         mean_age: if hits > 0 { age_sum / hits as f64 } else { 0.0 },
     };
+    sgnn_obs::export_now();
     let report = TrainReport {
         name: "history-cache".into(),
         test_acc,
@@ -283,6 +285,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainResul
             });
             phases.time(Phase::Step, || gcn.step(&mut opt));
         }
+        sgnn_obs::mark_epoch(epoch as u64);
     }
     ledger.try_transient(max_batch)?;
     let train_secs = t1.elapsed().as_secs_f64();
@@ -293,6 +296,7 @@ pub fn train_seignn(ds: &Dataset, parts: usize, cfg: &TrainConfig) -> TrainResul
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.val)), &ds.labels_of(&ds.splits.val));
     let test_acc =
         accuracy(&logits.gather_rows(&rows_of(&ds.splits.test)), &ds.labels_of(&ds.splits.test));
+    sgnn_obs::export_now();
     Ok(TrainReport {
         name: format!("seignn-p{parts}"),
         test_acc,

@@ -28,6 +28,7 @@ const MIN_PAR_WORK: usize = 1 << 16;
 // balanced-split granularity. Spans use the logical-layer name `linalg.*`
 // (DESIGN.md §5) even though the CSR kernels live in sgnn-graph.
 static SPMM_CALLS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.calls");
+static SPMM_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("linalg.spmm.ns");
 static SPMM_NNZ: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.nnz");
 static SPMM_FLOPS: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.flops");
 static SPMM_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("linalg.spmm.bytes_moved");
@@ -63,6 +64,7 @@ pub fn spmm_into(g: &CsrGraph, x: &DenseMatrix, y: &mut DenseMatrix) {
         return;
     }
     let _sp = sgnn_obs::span!("linalg.spmm");
+    let _ht = SPMM_NS.time();
     SPMM_CALLS.incr();
     SPMM_NNZ.add(g.num_edges() as u64);
     SPMM_FLOPS.add(spmm_flops(g, d));

@@ -89,6 +89,21 @@ impl Gauge {
         self.value.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Overwrites the gauge with the latest value `v` when enabled (a
+    /// level gauge rather than a high-water mark — e.g.
+    /// `mem.ledger.current_bytes` tracks residency, which must be able
+    /// to go down).
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if crate::state() == 0 {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.value.store(v, Ordering::Relaxed);
+    }
+
     /// Current high-water mark.
     pub fn value(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -148,14 +163,24 @@ static FRONTIER_SUM: [AtomicU64; MAX_FRONTIER_HOPS] = [ZERO; MAX_FRONTIER_HOPS];
 static FRONTIER_MAX: [AtomicU64; MAX_FRONTIER_HOPS] = [ZERO; MAX_FRONTIER_HOPS];
 static FRONTIER_SAMPLES: [AtomicU64; MAX_FRONTIER_HOPS] = [ZERO; MAX_FRONTIER_HOPS];
 
+/// Counts frontier samples whose hop saturated into the last slot —
+/// depth ≥ [`MAX_FRONTIER_HOPS`] is aggregated, never silently dropped,
+/// and this counter makes the saturation visible in every export.
+static FRONTIER_OVERFLOW: Counter = Counter::new("obs.frontier.overflow");
+
 /// Records a sampled frontier of `nodes` nodes at `hop` hops from the
 /// batch targets (hop 0 = the targets themselves). The per-hop means in
 /// the [`crate::ObsReport`] are the neighborhood-explosion curve; with
-/// tracing on, each sample additionally becomes a `ph:"C"` event.
+/// tracing on, each sample additionally becomes a `ph:"C"` event. Hops
+/// past the fixed slot array saturate into the last slot and bump
+/// `obs.frontier.overflow`.
 #[inline]
 pub fn record_frontier(hop: usize, nodes: usize) {
     if crate::state() == 0 {
         return;
+    }
+    if hop >= MAX_FRONTIER_HOPS {
+        FRONTIER_OVERFLOW.incr();
     }
     let h = hop.min(MAX_FRONTIER_HOPS - 1);
     FRONTIER_SUM[h].fetch_add(nodes as u64, Ordering::Relaxed);
@@ -309,6 +334,39 @@ mod tests {
         assert_eq!(snap[1].samples, 2);
         assert!((snap[1].mean_nodes - 500.0).abs() < 1e-9);
         assert_eq!(snap[1].max_nodes, 600);
+        crate::disable();
+    }
+
+    #[test]
+    fn gauge_set_overwrites_in_both_directions() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        TEST_GAUGE.set(10);
+        TEST_GAUGE.set(3);
+        assert_eq!(TEST_GAUGE.value(), 3, "set() is a level gauge, not a high-water mark");
+        crate::disable();
+        TEST_GAUGE.set(99);
+        assert_eq!(TEST_GAUGE.value(), 3, "disabled set must be dropped");
+    }
+
+    #[test]
+    fn deep_frontier_hops_saturate_with_overflow_counter() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        record_frontier(MAX_FRONTIER_HOPS - 1, 10);
+        record_frontier(MAX_FRONTIER_HOPS, 20);
+        record_frontier(MAX_FRONTIER_HOPS + 5, 30);
+        let snap = frontier_snapshot();
+        let last = snap.iter().find(|f| f.hop == MAX_FRONTIER_HOPS - 1).expect("last slot");
+        assert_eq!(last.samples, 3, "deep hops must saturate into the last slot");
+        assert_eq!(last.total_nodes, 60);
+        let overflow = counters_snapshot()
+            .into_iter()
+            .find(|c| c.name == "obs.frontier.overflow")
+            .expect("overflow counter registered");
+        assert_eq!(overflow.value, 2, "only hops >= MAX_FRONTIER_HOPS overflow");
         crate::disable();
     }
 

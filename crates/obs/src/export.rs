@@ -1,0 +1,210 @@
+//! Machine-scrapeable metric exporters: Prometheus text exposition
+//! (v0.0.4) and a stable-field-order JSON snapshot.
+//!
+//! Activation: `SGNN_OBS=prom` or `SGNN_OBS=json` turns aggregation on
+//! and arms [`export_now`], which every trainer calls on exit; the dump
+//! goes to `SGNN_OBS_FILE` (default `sgnn_metrics.prom` /
+//! `sgnn_metrics.json`). Both formats are also available on demand via
+//! [`prometheus_text`] / [`json_snapshot`] regardless of mode.
+//!
+//! **Naming is a compatibility surface** (DESIGN.md §10): a metric
+//! `layer.op.metric` exports as `sgnn_layer_op_metric` (dots and dashes
+//! become underscores, `sgnn_` prefix). Counters export as `counter`,
+//! gauges as `gauge`, histograms as `summary` with
+//! `{quantile="0.5|0.9|0.99|0.999"}` rows plus `_sum`/`_count`; frontier
+//! and worker-pool slots become labeled families (`hop=`/`worker=`).
+//! Each registered metric name yields exactly one family — pinned by a
+//! round-trip proptest in `tests/observability.rs`.
+
+use std::io;
+use std::path::Path;
+
+/// `layer.op.metric` → `sgnn_layer_op_metric` (Prometheus-safe).
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("sgnn_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format v0.0.4. Empty registries render as an empty string (a valid
+/// exposition).
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for c in crate::counters::counters_snapshot() {
+        let n = prom_name(&c.name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.value));
+    }
+    for g in crate::counters::gauges_snapshot() {
+        let n = prom_name(&g.name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.value));
+    }
+    for h in crate::histogram::histograms_snapshot() {
+        let n = prom_name(&h.name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99), ("0.999", h.p999)] {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    let frontier = crate::counters::frontier_snapshot();
+    if !frontier.is_empty() {
+        out.push_str("# TYPE sgnn_sample_frontier_nodes gauge\n");
+        for f in &frontier {
+            out.push_str(&format!(
+                "sgnn_sample_frontier_nodes{{hop=\"{}\",stat=\"mean\"}} {}\n",
+                f.hop, f.mean_nodes
+            ));
+            out.push_str(&format!(
+                "sgnn_sample_frontier_nodes{{hop=\"{}\",stat=\"max\"}} {}\n",
+                f.hop, f.max_nodes
+            ));
+        }
+    }
+    let workers = crate::counters::workers_snapshot();
+    if !workers.is_empty() {
+        out.push_str("# TYPE sgnn_pool_worker_chunks counter\n");
+        for w in &workers {
+            out.push_str(&format!(
+                "sgnn_pool_worker_chunks{{worker=\"{}\"}} {}\n",
+                w.worker, w.chunks
+            ));
+        }
+    }
+    out
+}
+
+/// Full JSON export: the [`crate::ObsReport`] snapshot plus the
+/// per-epoch time series, with the documented stable field order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportSnapshot {
+    /// Point-in-time aggregation snapshot.
+    pub report: crate::ObsReport,
+    /// Per-epoch series ring contents.
+    pub series: crate::series::SeriesSnapshot,
+}
+
+serde::impl_serialize!(ExportSnapshot { report, series });
+
+/// Takes a full export snapshot (report + series).
+pub fn export_snapshot() -> ExportSnapshot {
+    ExportSnapshot { report: crate::report(), series: crate::series::series_snapshot() }
+}
+
+/// Serializes the full export snapshot to JSON.
+pub fn json_snapshot() -> String {
+    serde::json::to_string(&export_snapshot())
+}
+
+/// Writes the Prometheus exposition to `path`.
+pub fn export_prom_to(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, prometheus_text())
+}
+
+/// Writes the JSON export snapshot to `path`.
+pub fn export_json_to(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, json_snapshot())
+}
+
+fn export_path(default: &str) -> String {
+    std::env::var("SGNN_OBS_FILE")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Dumps metrics if an export mode is armed (`SGNN_OBS=prom|json` or
+/// [`crate::enable_export_prom`] / [`crate::enable_export_json`]); a
+/// no-op otherwise. Trainers call this once on exit — it sits entirely
+/// outside the numeric path, so arming it changes no trained bits
+/// (pinned by a bitwise test in `tests/observability.rs`).
+pub fn export_now() {
+    let s = crate::state();
+    if s & crate::FLAG_PROM != 0 {
+        let path = export_path("sgnn_metrics.prom");
+        if let Err(e) = export_prom_to(&path) {
+            eprintln!("sgnn-obs: cannot write Prometheus export to {path}: {e}");
+        }
+    }
+    if s & crate::FLAG_JSON != 0 {
+        let path = export_path("sgnn_metrics.json");
+        if let Err(e) = export_json_to(&path) {
+            eprintln!("sgnn-obs: cannot write JSON export to {path}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    static EXPORT_COUNTER: crate::Counter = crate::Counter::new("test.export.counter");
+    static EXPORT_HIST: crate::Histogram = crate::Histogram::new("test.export.ns");
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("linalg.spmm.ns"), "sgnn_linalg_spmm_ns");
+        assert_eq!(prom_name("mem.ledger.peak_bytes"), "sgnn_mem_ledger_peak_bytes");
+        assert_eq!(prom_name("a-b.c"), "sgnn_a_b_c");
+    }
+
+    #[test]
+    fn exposition_carries_counter_and_summary_families() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        EXPORT_COUNTER.add(3);
+        for v in [10u64, 20, 30, 40] {
+            EXPORT_HIST.record(v);
+        }
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE sgnn_test_export_counter counter\n"));
+        assert!(text.contains("sgnn_test_export_counter 3\n"));
+        assert!(text.contains("# TYPE sgnn_test_export_ns summary\n"));
+        assert!(text.contains("sgnn_test_export_ns{quantile=\"0.5\"} 20\n"));
+        assert!(text.contains("sgnn_test_export_ns_sum 100\n"));
+        assert!(text.contains("sgnn_test_export_ns_count 4\n"));
+        // Exposition lines are `name[{labels}] value` or comments.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE sgnn_") || line.starts_with("sgnn_"),
+                "unexpected exposition line: {line}"
+            );
+        }
+        crate::disable();
+    }
+
+    #[test]
+    fn json_snapshot_has_report_then_series() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        EXPORT_COUNTER.add(1);
+        crate::mark_epoch(0);
+        let json = json_snapshot();
+        assert!(json.starts_with("{\"report\":{\"enabled\":true,"));
+        let report_pos = json.find("\"report\":").unwrap();
+        let series_pos = json.find("\"series\":").unwrap();
+        assert!(report_pos < series_pos);
+        assert!(json.contains("\"samples\":[{\"epoch\":0,"));
+        crate::disable();
+    }
+
+    #[test]
+    fn export_now_is_noop_without_export_mode() {
+        let _g = test_lock::guard();
+        crate::enable(); // aggregation on, but no export flag
+        export_now(); // must not write sgnn_metrics.* into the test cwd
+        assert!(!std::path::Path::new("sgnn_metrics.prom").exists());
+        assert!(!std::path::Path::new("sgnn_metrics.json").exists());
+        crate::disable();
+    }
+}

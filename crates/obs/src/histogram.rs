@@ -1,0 +1,476 @@
+//! Lock-free log-bucketed latency histograms (HDR-style).
+//!
+//! A [`Histogram`] is declared as a static at its point of use, exactly
+//! like a [`crate::Counter`]:
+//!
+//! ```
+//! static SPMM_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("linalg.spmm.ns");
+//! SPMM_NS.record(1234); // nanoseconds, or any u64-valued sample
+//! ```
+//!
+//! **Bucket scheme** (DESIGN.md §10): base-2 octaves subdivided into
+//! `2^SUB_BITS = 16` sub-buckets. Values below 16 get their own
+//! single-value bucket (exact); a value `v ≥ 16` with highest set bit
+//! `h` lands in octave `h - 4` at sub-bucket `(v >> (h - 4)) & 15`.
+//! Bucket width in octave `o` is `2^o`, while the bucket's lower bound
+//! is at least `16 · 2^o`, so the **relative error of any quantile is
+//! ≤ 1/16 (6.25%)**: the true quantile lies inside the reported bucket.
+//! 16 exact buckets + 60 octaves × 16 sub-buckets = 976 buckets cover
+//! the full `u64` range.
+//!
+//! **Concurrency**: recording picks one of [`NUM_SHARDS`] shards by a
+//! cheap per-thread id and does three relaxed `fetch_add`s (bucket,
+//! count, sum) plus `fetch_min`/`fetch_max` — no locks anywhere on the
+//! hot path. Snapshots merge the shards. The disabled path is the same
+//! single relaxed load as `Counter` (< 2 ns, pinned by a test below).
+
+use crate::counters::CounterStat;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Sub-bucket resolution: each base-2 octave splits into `2^SUB_BITS`
+/// sub-buckets, bounding quantile relative error at `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16 sub-buckets per octave
+
+/// Total buckets: 16 exact single-value buckets for `v < 16`, then 60
+/// octaves × 16 sub-buckets covering the rest of the `u64` range.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB; // 976
+
+/// Independent bucket shards; threads hash onto one to avoid cache-line
+/// ping-pong between concurrent recorders.
+pub const NUM_SHARDS: usize = 4;
+
+/// Maps a sample to its bucket index (see module docs for the scheme).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros() as usize; // h >= SUB_BITS
+    let octave = h - SUB_BITS as usize;
+    let sub = (v >> octave) as usize & (SUB - 1);
+    (octave + 1) * SUB + sub
+}
+
+/// Inclusive `[low, high]` value range of bucket `i`. Buckets below
+/// `2 * SUB` hold exactly one value; octave `o` buckets have width `2^o`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 2 * SUB {
+        return (i as u64, i as u64);
+    }
+    let octave = i / SUB - 1;
+    let sub = i % SUB;
+    let low = ((SUB + sub) as u64) << octave;
+    (low, low + ((1u64 << octave) - 1))
+}
+
+struct Shard {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SHARD: Shard = Shard { buckets: [ZERO; NUM_BUCKETS], count: ZERO, sum: ZERO };
+
+/// A lock-free log-bucketed histogram static. Same lifecycle contract
+/// as [`crate::Counter`]: const-constructed, self-registering on the
+/// first enabled record, zeroed by [`crate::reset`].
+pub struct Histogram {
+    name: &'static str,
+    shards: [Shard; NUM_SHARDS],
+    min: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// Cheap stable per-thread shard assignment.
+#[inline]
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: usize = {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            NEXT.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS
+        };
+    }
+    SHARD.with(|s| *s)
+}
+
+impl Histogram {
+    /// Declares a histogram. `name` follows the `layer.op.metric` scheme;
+    /// latency histograms end in `.ns` by convention (DESIGN.md §10).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            shards: [EMPTY_SHARD; NUM_SHARDS],
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample when observability is enabled; no-op (one
+    /// relaxed load) when off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if crate::state() == 0 {
+            return;
+        }
+        self.record_enabled(v);
+    }
+
+    fn record_enabled(&'static self, v: u64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts a wall-clock timer whose drop records elapsed nanoseconds.
+    /// When observability is off no clock is read and drop is free.
+    #[inline]
+    pub fn time(&'static self) -> HistTimer {
+        let start = if crate::state() == 0 { None } else { Some(Instant::now()) };
+        HistTimer { hist: self, start }
+    }
+
+    /// Merges all shards into one snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            count += shard.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+            for (b, v) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *b += v.load(Ordering::Relaxed);
+            }
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Convenience: quantile straight off a fresh snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            for b in &shard.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+        }
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner()).push(self);
+        }
+    }
+}
+
+/// RAII timer from [`Histogram::time`].
+pub struct HistTimer {
+    hist: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.hist.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A merged point-in-time view of one histogram, with exact-bound
+/// quantile queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping; practical workloads never wrap).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`). Returns the upper bound of the
+    /// bucket containing the rank-`⌈q·count⌉` sample, clamped to the
+    /// observed `[min, max]` — so the result is within one bucket width
+    /// (relative error ≤ `2^-SUB_BITS`) of the exact sorted-sample
+    /// quantile. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(i).1.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (index ↔ [`bucket_bounds`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Condenses the snapshot into the serializable fixed-quantile form.
+    pub fn stat(&self) -> HistogramStat {
+        HistogramStat {
+            name: self.name.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// Serializable histogram summary: fixed quantiles plus count/sum/min/max.
+/// Field order is part of the export compatibility surface (DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Histogram name.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (≤ 1 bucket width above the exact value).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+serde::impl_serialize!(HistogramStat { name, count, sum, min, max, p50, p90, p99, p999 });
+
+/// Snapshots every registered histogram, sorted by name.
+pub fn histograms_snapshot() -> Vec<HistogramStat> {
+    let mut out: Vec<HistogramStat> = HISTOGRAMS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|h| h.snapshot().stat())
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Flattens every registered histogram into `name.count` / `name.sum` /
+/// `name.p50` / `name.p99` counter-stat rows for the time series.
+pub(crate) fn histograms_flat() -> Vec<CounterStat> {
+    let mut out = Vec::new();
+    for h in histograms_snapshot() {
+        out.push(CounterStat { name: format!("{}.count", h.name), value: h.count });
+        out.push(CounterStat { name: format!("{}.sum", h.name), value: h.sum });
+        out.push(CounterStat { name: format!("{}.p50", h.name), value: h.p50 });
+        out.push(CounterStat { name: format!("{}.p99", h.name), value: h.p99 });
+    }
+    out
+}
+
+/// Zeroes every registered histogram (part of [`crate::reset`]).
+pub(crate) fn reset() {
+    for h in HISTOGRAMS.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        h.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    static TEST_HIST: Histogram = Histogram::new("test.hist.ns");
+    static MERGE_HIST: Histogram = Histogram::new("test.hist.merge");
+    static QUANT_HIST: Histogram = Histogram::new("test.hist.quant");
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..(2 * SUB as u64) {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_and_bound_error() {
+        // Every bucket's bounds must round-trip through bucket_index, be
+        // contiguous, and keep width/low ≤ 2^-SUB_BITS.
+        let mut prev_high: Option<u64> = None;
+        for i in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(bucket_index(low), i, "low bound of bucket {i}");
+            assert_eq!(bucket_index(high), i, "high bound of bucket {i}");
+            if let Some(p) = prev_high {
+                assert_eq!(low, p + 1, "gap before bucket {i}");
+            }
+            if low > 0 {
+                let width = high - low;
+                assert!(
+                    (width as f64) / (low as f64) <= 1.0 / SUB as f64,
+                    "bucket {i} relative width {} / {}",
+                    width,
+                    low
+                );
+            }
+            prev_high = Some(high);
+        }
+        assert_eq!(prev_high, Some(u64::MAX), "buckets must cover all of u64");
+    }
+
+    #[test]
+    fn records_and_reports_quantiles_within_bound() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        // Deterministic log-uniform-ish samples via an LCG.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let shift = (x >> 58) % 40; // spread over ~12 orders of magnitude
+            samples.push((x >> shift).max(1));
+        }
+        for &s in &samples {
+            TEST_HIST.record(s);
+        }
+        let snap = TEST_HIST.snapshot();
+        assert_eq!(snap.count, samples.len() as u64);
+        let exact_sum: u64 = samples.iter().copied().fold(0u64, u64::wrapping_add);
+        assert_eq!(snap.sum, exact_sum);
+        samples.sort_unstable();
+        assert_eq!(snap.min, samples[0]);
+        assert_eq!(snap.max, *samples.last().unwrap());
+        for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = snap.quantile(q);
+            // The estimate is the containing bucket's upper bound: never
+            // below the exact value, above it by at most one bucket width.
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            let rel = (est - exact) as f64 / exact.max(1) as f64;
+            assert!(rel <= 1.0 / SUB as f64 + 1e-12, "q={q}: rel err {rel}");
+        }
+        crate::disable();
+    }
+
+    #[test]
+    fn merges_across_threads() {
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        MERGE_HIST.record(t * 1000 + i + 1);
+                    }
+                });
+            }
+        });
+        let snap = MERGE_HIST.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 8000);
+        assert_eq!(snap.sum, (1..=8000u64).sum::<u64>());
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_record_is_dropped_and_reset_clears() {
+        let _g = test_lock::guard();
+        crate::disable();
+        QUANT_HIST.record(42);
+        assert_eq!(QUANT_HIST.snapshot().count, 0, "disabled record must be dropped");
+        crate::enable();
+        QUANT_HIST.record(42);
+        {
+            let _t = QUANT_HIST.time();
+        }
+        assert_eq!(QUANT_HIST.snapshot().count, 2);
+        let stats = histograms_snapshot();
+        assert!(stats.iter().any(|h| h.name == "test.hist.quant" && h.count == 2));
+        crate::reset();
+        assert_eq!(QUANT_HIST.snapshot().count, 0);
+        assert_eq!(QUANT_HIST.snapshot().min, 0);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_record_costs_under_budget() {
+        let _g = test_lock::guard();
+        crate::disable();
+        // Same harness and budget as the span/counter pin: < 2 ns/call
+        // (one relaxed load + predicted branch), asserted at 10× for
+        // shared-CI noise.
+        let reps: u32 = 2_000_000;
+        let t = std::time::Instant::now();
+        for i in 0..reps {
+            TEST_HIST.record(u64::from(i));
+            std::hint::black_box(i);
+        }
+        let per_call = t.elapsed().as_nanos() as f64 / f64::from(reps);
+        assert!(per_call < 20.0, "disabled record() cost {per_call:.2} ns/call (budget 2 ns)");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Histogram::new("test.hist.empty").snapshot();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.stat().p999, 0);
+    }
+}

@@ -22,21 +22,31 @@
 //!   (`{"ph":"X","name":…,"ts":…,"dur":…,"tid":…}` with microsecond
 //!   units), so `[…]`-wrapping the lines yields a loadable trace.
 //!
-//! Activation: set `SGNN_OBS=1` (counters + span aggregation) or
+//! Activation: set `SGNN_OBS=1` (counters + span aggregation),
 //! `SGNN_OBS=trace` (additionally stream JSONL events to `SGNN_OBS_FILE`,
-//! default `sgnn_trace.jsonl`), or call [`enable`] / [`enable_trace`]
-//! programmatically. Span naming convention: `layer.op` (e.g.
-//! `linalg.spmm`, `trainer.epoch`) — see DESIGN.md §5.
+//! default `sgnn_trace.jsonl`), or `SGNN_OBS=prom` / `SGNN_OBS=json`
+//! (aggregate, then dump a Prometheus exposition / JSON snapshot to
+//! `SGNN_OBS_FILE` when a trainer exits — see [`export_now`]). All modes
+//! are also reachable programmatically ([`enable`], [`enable_trace`],
+//! [`enable_export_prom`], [`enable_export_json`]). Span naming
+//! convention: `layer.op` (e.g. `linalg.spmm`, `trainer.epoch`) — see
+//! DESIGN.md §5; metric export naming is DESIGN.md §10.
 
 #![allow(clippy::needless_range_loop)]
 
 pub mod counters;
+pub mod export;
+pub mod histogram;
 pub mod report;
+pub mod series;
 pub mod span;
 pub mod trace;
 
 pub use counters::{record_frontier, record_worker_chunks, Counter, Gauge};
+pub use export::{export_now, json_snapshot, prometheus_text};
+pub use histogram::{Histogram, HistogramSnapshot, HistogramStat};
 pub use report::{report, ObsReport, Phase, PhaseBreakdown};
+pub use series::{mark_epoch, EpochSample, SeriesSnapshot, TimeSeries};
 pub use span::SpanGuard;
 pub use trace::flush;
 
@@ -46,6 +56,10 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub(crate) const FLAG_ON: u8 = 1;
 /// JSONL trace events are emitted on span close.
 pub(crate) const FLAG_TRACE: u8 = 2;
+/// A Prometheus exposition is dumped by [`export_now`].
+pub(crate) const FLAG_PROM: u8 = 4;
+/// A JSON snapshot is dumped by [`export_now`].
+pub(crate) const FLAG_JSON: u8 = 8;
 /// Sentinel: the `SGNN_OBS` environment variable has not been read yet.
 const UNINIT: u8 = 0xFF;
 
@@ -67,7 +81,9 @@ pub(crate) fn state() -> u8 {
 /// to force early initialization.
 ///
 /// Recognized values: unset/empty/`0`/`off` → disabled; `trace` →
-/// counters + spans + JSONL trace; anything else → counters + spans.
+/// counters + spans + JSONL trace; `prom` / `json` → counters + spans +
+/// an exit-time metrics dump ([`export_now`]); anything else →
+/// counters + spans.
 #[cold]
 pub fn init_from_env() -> u8 {
     let flags = match std::env::var("SGNN_OBS") {
@@ -75,6 +91,8 @@ pub fn init_from_env() -> u8 {
         Ok(v) => match v.as_str() {
             "" | "0" | "off" => 0,
             "trace" => FLAG_ON | FLAG_TRACE,
+            "prom" => FLAG_ON | FLAG_PROM,
+            "json" => FLAG_ON | FLAG_JSON,
             _ => FLAG_ON,
         },
     };
@@ -106,6 +124,20 @@ pub fn enable_trace() {
     STATE.store(FLAG_ON | FLAG_TRACE, Ordering::Relaxed);
 }
 
+/// Enables aggregation and arms [`export_now`] to dump a Prometheus
+/// exposition — the programmatic equivalent of `SGNN_OBS=prom`.
+pub fn enable_export_prom() {
+    state();
+    STATE.store(FLAG_ON | FLAG_PROM, Ordering::Relaxed);
+}
+
+/// Enables aggregation and arms [`export_now`] to dump a JSON snapshot —
+/// the programmatic equivalent of `SGNN_OBS=json`.
+pub fn enable_export_json() {
+    state();
+    STATE.store(FLAG_ON | FLAG_JSON, Ordering::Relaxed);
+}
+
 /// Disables all instrumentation. Already-aggregated data is kept (use
 /// [`reset`] to discard it); the trace sink is flushed.
 pub fn disable() {
@@ -114,12 +146,15 @@ pub fn disable() {
     trace::flush();
 }
 
-/// Zeroes all aggregated spans, counters, gauges, and frontier/worker
-/// statistics. Call between measurement phases that must not bleed into
-/// each other (bench bins do this between workloads).
+/// Zeroes all aggregated spans, counters, gauges, histograms, the
+/// per-epoch series ring, and frontier/worker statistics. Call between
+/// measurement phases that must not bleed into each other (bench bins do
+/// this between workloads).
 pub fn reset() {
     span::reset();
     counters::reset();
+    histogram::reset();
+    series::reset();
 }
 
 /// Emits a `ph:"C"` counter event to the JSONL trace sink when tracing

@@ -2,6 +2,7 @@
 //! [`PhaseBreakdown`] trainers fill in.
 
 use crate::counters::{CounterStat, FrontierStat, WorkerStat};
+use crate::histogram::HistogramStat;
 use crate::span::SpanStats;
 use std::time::Instant;
 
@@ -21,6 +22,9 @@ pub struct ObsReport {
     pub counters: Vec<CounterStat>,
     /// All registered gauges (high-water marks), sorted by name.
     pub gauges: Vec<CounterStat>,
+    /// All registered histograms (fixed-quantile summaries), sorted by
+    /// name.
+    pub histograms: Vec<HistogramStat>,
     /// Sampling frontier sizes per hop (the E1 explosion curve).
     pub frontier: Vec<FrontierStat>,
     /// Chunks executed per pool worker (steal distribution).
@@ -33,6 +37,7 @@ serde::impl_serialize!(ObsReport {
     spans,
     counters,
     gauges,
+    histograms,
     frontier,
     pool_workers
 });
@@ -47,6 +52,7 @@ pub fn report() -> ObsReport {
         spans: crate::span::snapshot(),
         counters: crate::counters::counters_snapshot(),
         gauges: crate::counters::gauges_snapshot(),
+        histograms: crate::histogram::histograms_snapshot(),
         frontier: crate::counters::frontier_snapshot(),
         pool_workers: crate::counters::workers_snapshot(),
     }

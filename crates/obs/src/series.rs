@@ -1,0 +1,214 @@
+//! Per-epoch metric time series: a fixed-capacity ring buffer of
+//! snapshots, one per `trainer.epoch`.
+//!
+//! Every trainer calls [`crate::mark_epoch`] at the end of each epoch;
+//! when observability is enabled this appends an [`EpochSample`] —
+//! cumulative counters, gauges, and flattened histogram summaries at
+//! that instant — to the global [`TimeSeries`]. Consumers diff
+//! consecutive samples to recover per-epoch rates (epoch time,
+//! comm bytes/epoch, ledger-peak growth, …) from a single run.
+//!
+//! **Retention** (DESIGN.md §10): the ring keeps the most recent
+//! `SGNN_OBS_SERIES_CAP` samples (default 512). When full, the oldest
+//! sample is dropped and [`SeriesSnapshot::dropped`] counts the loss —
+//! truncation is always visible in the export, never silent.
+
+use crate::counters::CounterStat;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity when `SGNN_OBS_SERIES_CAP` is unset.
+pub const DEFAULT_SERIES_CAP: usize = 512;
+
+/// One per-epoch snapshot. Values are **cumulative** at snapshot time;
+/// diff consecutive samples for per-epoch deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSample {
+    /// Epoch index the trainer reported (0-based).
+    pub epoch: u64,
+    /// Microseconds since the process trace origin.
+    pub ts_us: u64,
+    /// Counters, gauges, and histogram `count`/`sum`/`p50`/`p99` rows,
+    /// name-sorted within each group.
+    pub values: Vec<CounterStat>,
+}
+
+serde::impl_serialize!(EpochSample { epoch, ts_us, values });
+
+/// Serializable view of the ring at export time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// Ring capacity in samples.
+    pub capacity: usize,
+    /// Samples evicted because the ring was full.
+    pub dropped: u64,
+    /// Retained samples, oldest first.
+    pub samples: Vec<EpochSample>,
+}
+
+serde::impl_serialize!(SeriesSnapshot { capacity, dropped, samples });
+
+/// A fixed-capacity ring of epoch samples. The global instance behind
+/// [`crate::mark_epoch`] covers trainers; the type is public so bench
+/// harnesses can keep private series with their own capacity.
+#[derive(Debug)]
+pub struct TimeSeries {
+    cap: usize,
+    dropped: u64,
+    ring: VecDeque<EpochSample>,
+}
+
+impl TimeSeries {
+    /// Ring holding at most `cap` samples (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        TimeSeries { cap, dropped: 0, ring: VecDeque::with_capacity(cap) }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: EpochSample) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(sample);
+    }
+
+    /// Retained samples, oldest first.
+    pub fn snapshot(&self) -> SeriesSnapshot {
+        SeriesSnapshot {
+            capacity: self.cap,
+            dropped: self.dropped,
+            samples: self.ring.iter().cloned().collect(),
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.ring.clear();
+        self.dropped = 0;
+    }
+}
+
+static SERIES: Mutex<Option<TimeSeries>> = Mutex::new(None);
+
+fn env_cap() -> usize {
+    std::env::var("SGNN_OBS_SERIES_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_SERIES_CAP)
+}
+
+/// Records one epoch sample into the global series when observability is
+/// enabled; a no-op (one relaxed load) when off. Called by every trainer
+/// at the end of each `trainer.epoch`. Off the hot path: once per epoch,
+/// a mutex and a few hundred atomic loads are invisible next to a
+/// training epoch.
+pub fn mark_epoch(epoch: u64) {
+    if crate::state() == 0 {
+        return;
+    }
+    mark_epoch_enabled(epoch);
+}
+
+#[cold]
+fn mark_epoch_enabled(epoch: u64) {
+    let mut values = crate::counters::counters_snapshot();
+    values.extend(crate::counters::gauges_snapshot());
+    values.extend(crate::histogram::histograms_flat());
+    let ts_us = crate::epoch_origin().elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let mut series = SERIES.lock().unwrap_or_else(|e| e.into_inner());
+    series.get_or_insert_with(|| TimeSeries::new(env_cap())).push(EpochSample {
+        epoch,
+        ts_us,
+        values,
+    });
+}
+
+/// Snapshot of the global per-epoch series (empty if nothing recorded).
+pub fn series_snapshot() -> SeriesSnapshot {
+    let series = SERIES.lock().unwrap_or_else(|e| e.into_inner());
+    match &*series {
+        Some(s) => s.snapshot(),
+        None => SeriesSnapshot { capacity: env_cap(), dropped: 0, samples: Vec::new() },
+    }
+}
+
+/// Clears the global series (part of [`crate::reset`]).
+pub(crate) fn reset() {
+    if let Some(s) = SERIES.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+        s.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut ts = TimeSeries::new(3);
+        for e in 0..5u64 {
+            ts.push(EpochSample { epoch: e, ts_us: e * 10, values: vec![] });
+        }
+        let snap = ts.snapshot();
+        assert_eq!(snap.capacity, 3);
+        assert_eq!(snap.dropped, 2);
+        let epochs: Vec<u64> = snap.samples.iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ts = TimeSeries::new(0);
+        ts.push(EpochSample { epoch: 0, ts_us: 0, values: vec![] });
+        ts.push(EpochSample { epoch: 1, ts_us: 1, values: vec![] });
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.snapshot().samples[0].epoch, 1);
+    }
+
+    #[test]
+    fn mark_epoch_gated_on_enabled_and_reset_clears() {
+        let _g = test_lock::guard();
+        crate::disable();
+        crate::reset();
+        mark_epoch(0);
+        assert!(series_snapshot().samples.is_empty(), "disabled mark_epoch must be dropped");
+        crate::enable();
+        mark_epoch(0);
+        mark_epoch(1);
+        let snap = series_snapshot();
+        assert_eq!(snap.samples.len(), 2);
+        assert_eq!(snap.samples[1].epoch, 1);
+        assert!(snap.samples[0].ts_us <= snap.samples[1].ts_us);
+        crate::reset();
+        assert!(series_snapshot().samples.is_empty());
+        crate::disable();
+    }
+
+    #[test]
+    fn epoch_samples_carry_registered_metrics() {
+        static SERIES_TEST_COUNTER: crate::Counter = crate::Counter::new("test.series.counter");
+        let _g = test_lock::guard();
+        crate::enable();
+        crate::reset();
+        SERIES_TEST_COUNTER.add(7);
+        mark_epoch(3);
+        let snap = series_snapshot();
+        let sample = snap.samples.last().unwrap();
+        let row = sample.values.iter().find(|v| v.name == "test.series.counter");
+        assert_eq!(row.map(|r| r.value), Some(7));
+        crate::disable();
+    }
+}

@@ -101,6 +101,7 @@ fn labor_blocks_impl(
     parallel: bool,
 ) -> Vec<Block> {
     let _sp = sgnn_obs::span!("sample.blocks");
+    let _ht = crate::SAMPLE_BLOCK_NS.time();
     sgnn_obs::record_frontier(0, targets.len());
     let mut blocks_rev = Vec::with_capacity(fanouts.len());
     let mut dst: Vec<NodeId> = targets.to_vec();

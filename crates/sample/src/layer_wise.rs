@@ -158,6 +158,7 @@ fn ladies_blocks_impl(
     parallel: bool,
 ) -> Vec<Block> {
     let _sp = sgnn_obs::span!("sample.blocks");
+    let _ht = crate::SAMPLE_BLOCK_NS.time();
     sgnn_obs::record_frontier(0, targets.len());
     let mut blocks_rev = Vec::with_capacity(layer_sizes.len());
     let mut dst: Vec<NodeId> = targets.to_vec();

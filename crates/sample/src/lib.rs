@@ -48,3 +48,10 @@ pub use history::HistoryCache;
 pub use node_wise::sample_blocks;
 pub use saint::{SaintSampler, SaintSubgraph};
 pub use walks::WalkStore;
+
+/// Latency distribution of one multi-hop block-sampling call, shared by
+/// the node-wise, layer-wise, and LABOR samplers (one histogram family:
+/// the per-call cost is what batch-construction budgets care about,
+/// whichever strategy produced the blocks).
+pub(crate) static SAMPLE_BLOCK_NS: sgnn_obs::Histogram =
+    sgnn_obs::Histogram::new("sample.block.ns");

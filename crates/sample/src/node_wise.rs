@@ -48,6 +48,7 @@ fn sample_blocks_impl(
     parallel: bool,
 ) -> Vec<Block> {
     let _sp = sgnn_obs::span!("sample.blocks");
+    let _ht = crate::SAMPLE_BLOCK_NS.time();
     let n = g.num_nodes();
     // Hop 0 = the batch targets themselves; expansions land at hop + 1.
     sgnn_obs::record_frontier(0, targets.len());
