@@ -27,8 +27,10 @@
 
 use sgnn_core::shard::{train_sharded_gcn, ShardStats};
 use sgnn_core::trainer::{train_full_gcn, TrainConfig};
+use sgnn_core::CommRegime;
 use sgnn_data::sbm_dataset;
 use sgnn_graph::CsrGraph;
+use sgnn_linalg::QuantMode;
 use sgnn_partition::multilevel::MultilevelConfig;
 use sgnn_partition::{comm, fennel, hash_partition, ldg, multilevel_partition, Partition};
 
@@ -117,6 +119,76 @@ fn main() {
             });
         }
     }
+    // ---- Compressed-regime frontier at k = 8 (DESIGN.md §11) ----------
+    //
+    // Bytes-saved and staleness-vs-loss on the flagship shard count:
+    // identity compression (f32, s=1) must stay bitwise-exact; int8
+    // rows must save ≥ 3× halo bytes; every row's loss must stay within
+    // the §11 divergence bound of the exact reference.
+    const LOSS_DIVERGENCE_BOUND: f32 = 0.15;
+    let frontier_regimes: [CommRegime; 5] = [
+        CommRegime::Compressed { quant: QuantMode::F32, staleness: 1 },
+        CommRegime::Compressed { quant: QuantMode::F16, staleness: 1 },
+        CommRegime::Compressed { quant: QuantMode::Int8, staleness: 1 },
+        CommRegime::Compressed { quant: QuantMode::Int8, staleness: 2 },
+        CommRegime::Compressed { quant: QuantMode::Int8, staleness: 4 },
+    ];
+    struct FrontierRow {
+        regime: String,
+        epoch_secs: f64,
+        stats: ShardStats,
+        final_loss: f32,
+        loss_delta: f64,
+        bytes_saved_ratio: f64,
+    }
+    let frontier_k = 8usize;
+    let frontier_part = partition_by("multilevel", &ds.graph, frontier_k);
+    let mut frontier: Vec<FrontierRow> = Vec::new();
+    for regime in frontier_regimes {
+        let cfg = TrainConfig { comm_regime: regime, ..cfg.clone() };
+        sgnn_obs::reset();
+        let (_, report, stats) = train_sharded_gcn(&ds, &frontier_part, &cfg).unwrap();
+        let moved = stats.halo_bytes_per_epoch.max(1);
+        let ratio = (moved + stats.halo_bytes_saved_per_epoch) as f64 / moved as f64;
+        let delta = (report.final_loss as f64 - ref_report.final_loss as f64).abs();
+        if regime == (CommRegime::Compressed { quant: QuantMode::F32, staleness: 1 }) {
+            assert_eq!(
+                report.final_loss.to_bits(),
+                ref_report.final_loss.to_bits(),
+                "identity compression (f32, s=1) must be bitwise-exact"
+            );
+        }
+        if let Some((QuantMode::Int8, _)) = regime.compressed() {
+            assert!(
+                ratio >= 3.0,
+                "{}: int8 halos must save ≥ 3× bytes (got {ratio:.3}×)",
+                stats.regime
+            );
+        }
+        assert!(
+            delta <= LOSS_DIVERGENCE_BOUND as f64,
+            "{}: |Δloss| = {delta:.6} exceeds the §11 bound {LOSS_DIVERGENCE_BOUND}",
+            stats.regime
+        );
+        let epoch_secs = report.train_secs / report.epochs_run.max(1) as f64;
+        eprintln!(
+            "frontier k={frontier_k} {}: {epoch_secs:.4}s/epoch, halo {} B/epoch \
+             (saved {} B/epoch, {ratio:.2}x), stale hits {}, Δloss {delta:.6}",
+            stats.regime,
+            stats.halo_bytes_per_epoch,
+            stats.halo_bytes_saved_per_epoch,
+            stats.stale_hits
+        );
+        frontier.push(FrontierRow {
+            regime: stats.regime.clone(),
+            epoch_secs,
+            stats,
+            final_loss: report.final_loss,
+            loss_delta: delta,
+            bytes_saved_ratio: ratio,
+        });
+    }
+
     let obs = sgnn_obs::report();
     sgnn_obs::disable();
 
@@ -165,6 +237,26 @@ fn main() {
             c.edge_cut,
             c.stats.nnz_skew,
             c.stats.replication_slots
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"compressed_frontier\": [\n");
+    for (i, f) in frontier.iter().enumerate() {
+        let comma = if i + 1 < frontier.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"k\": {frontier_k}, \"epoch_secs\": {:.9}, \
+             \"halo_bytes_per_epoch\": {}, \"halo_bytes_saved_per_epoch\": {}, \
+             \"bytes_saved_ratio\": {:.6}, \"stale_hits\": {}, \"overlap_ns\": {}, \
+             \"final_loss\": {:.9}, \"loss_delta\": {:.9}}}{comma}\n",
+            f.regime,
+            f.epoch_secs,
+            f.stats.halo_bytes_per_epoch,
+            f.stats.halo_bytes_saved_per_epoch,
+            f.bytes_saved_ratio,
+            f.stats.stale_hits,
+            f.stats.overlap_ns,
+            f.final_loss,
+            f.loss_delta
         ));
     }
     json.push_str("  ]\n}\n");

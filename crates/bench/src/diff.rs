@@ -8,11 +8,11 @@
 //!
 //! | class | matched by | band |
 //! |---|---|---|
-//! | analytic counts | `flops`, `bytes_moved`, `*_bytes*`, `*vectors*`, `*_slots` | exact (bit-deterministic work/comm models) |
-//! | derived ratios | `intensity_*`, `*skew*` | relative 1e-6 |
+//! | analytic counts | `flops`, `bytes_moved`, `*_bytes*`, `*vectors*`, `*_slots`, `*stale*` | exact (bit-deterministic work/comm models) |
+//! | derived ratios | `intensity_*`, `*skew*`, `*_ratio` | relative 1e-6 |
 //! | wall time (lower better) | `*seconds*`, `*_secs*`, `*_sec*`, `*_ns` | fresh ≤ base × `time_ratio`, values under `time_floor` always pass |
 //! | throughput (higher better) | `gflops`, `*_per_sec`, `*speedup*` | fresh ≥ base ÷ `time_ratio` |
-//! | quantization error | `*_err_*`, `*_err` | fresh ≤ base × 1.5 + 1e-6 |
+//! | quantization error | `*_err_*`, `*_err`, `*loss*` | fresh ≤ base × 1.5 + 1e-6 |
 //! | config echo | `threads`, `quick`, `k`, `lanes`, `row_block`, `col_block`, `epochs` | ignored |
 //!
 //! A baseline metric missing from the fresh run is always a regression
@@ -145,8 +145,24 @@ fn classify(path: &str) -> Class {
     if leaf == "flops" || leaf == "bytes_moved" {
         return Class::ExactCount;
     }
+    // Before the `bytes` rule: `bytes_saved_ratio` is a derived float,
+    // not an analytic count.
+    if leaf.ends_with("_ratio") {
+        return Class::NearExact;
+    }
     if leaf.contains("bytes") || leaf.contains("vectors") || leaf.ends_with("_slots") {
         return Class::ExactCount;
+    }
+    // Stale-hit counts follow the deterministic refresh schedule, so
+    // they are exactly reproducible.
+    if leaf.contains("stale") {
+        return Class::ExactCount;
+    }
+    // Training losses (and exact-vs-compressed loss deltas) are
+    // bit-deterministic on one host but may drift across toolchains;
+    // gate them like quantization errors.
+    if leaf.contains("loss") {
+        return Class::ErrorBound;
     }
     if leaf.starts_with("intensity") || leaf.contains("skew") {
         return Class::NearExact;
@@ -378,6 +394,28 @@ mod tests {
         let v = parse(BASE).unwrap();
         let other = parse(&BASE.replace("\"threads\": 4", "\"threads\": 8")).unwrap();
         assert!(compare(&v, &other, &tol()).passed());
+    }
+
+    #[test]
+    fn compressed_frontier_bands() {
+        let frontier = r#"{"compressed_frontier": [
+            {"bytes_saved_ratio": 3.5555, "stale_hits": 120,
+             "final_loss": 0.61, "loss_delta": 0.00002, "overlap_ns": 1500}
+        ]}"#;
+        let v = parse(frontier).unwrap();
+        assert!(compare(&v, &v, &tol()).passed());
+        // Saved-bytes ratios are derived floats: 1e-6 relative, not exact.
+        let drift = parse(&frontier.replace("3.5555", "3.6")).unwrap();
+        let r = compare(&v, &drift, &tol());
+        assert_eq!(r.regressions()[0].path, "compressed_frontier.0.bytes_saved_ratio");
+        // Stale hits follow the deterministic refresh schedule: exact.
+        let stale = parse(&frontier.replace("120", "121")).unwrap();
+        assert!(!compare(&v, &stale, &tol()).passed(), "stale hits are schedule-exact");
+        // Loss deltas gate like errors: 1.5x band, not exact bits.
+        let noisy = parse(&frontier.replace("0.00002", "0.000025")).unwrap();
+        assert!(compare(&v, &noisy, &tol()).passed(), "1.25x loss delta passes");
+        let diverged = parse(&frontier.replace("0.00002", "0.01")).unwrap();
+        assert!(!compare(&v, &diverged, &tol()).passed(), "500x loss delta fails");
     }
 
     #[test]

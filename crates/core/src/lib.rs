@@ -36,12 +36,14 @@ pub mod metrics;
 pub mod models;
 pub mod pipeline;
 pub mod shard;
+pub mod shard_comm;
 pub mod taxonomy;
 pub mod trainer;
 pub mod trainer_ext;
 
 pub use error::{TrainError, TrainResult};
 pub use memory::Ledger;
+pub use shard_comm::CommRegime;
 pub use trainer::TrainReport;
 // Inference numeric mode (F32 default; int8/f16 opt-in, DESIGN.md §9).
 pub use sgnn_linalg::QuantMode;

@@ -50,6 +50,7 @@
 
 use crate::error::{TrainError, TrainResult};
 use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
+use crate::shard_comm::CommState;
 use crate::trainer::{
     apply_resume, build_ledger, ensure_classes, maybe_checkpoint, poll_epoch_kill, EarlyStopper,
     TrainConfig, TrainReport,
@@ -59,6 +60,7 @@ use sgnn_fault::crc::crc32_f32s;
 use sgnn_fault::FaultPlan;
 use sgnn_graph::spmm::spmm_into;
 use sgnn_linalg::par::par_map_chunks;
+use sgnn_linalg::quant::{ef_compress_rows, wire_bytes_per_vector};
 use sgnn_linalg::reduce::{accumulate_fx, colsum_fx, grad_fx, merge_fx};
 use sgnn_linalg::{vecops, DenseMatrix};
 use sgnn_nn::layers::Dropout;
@@ -72,8 +74,24 @@ static HALO_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.halo_bytes")
 static HALO_VECTORS: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.halo_vectors");
 static ALLREDUCE_BYTES: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.allreduce_bytes");
 static SKEW: sgnn_obs::Gauge = sgnn_obs::Gauge::new("shard.skew");
-/// Per-superstep halo-exchange latency (build + verify + any repair).
+/// Per-superstep halo-exchange latency of *training* passes (build +
+/// verify + any repair; for the compressed regime, compress + ghost
+/// build + verify + assembly of a refresh).
 static HALO_EXCHANGE_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("comm.halo_exchange.ns");
+/// Halo-exchange latency of evaluation passes (early-stopping + final),
+/// kept out of the training histogram so training p99s stay honest.
+static EVAL_HALO_EXCHANGE_NS: sgnn_obs::Histogram =
+    sgnn_obs::Histogram::new("comm.eval_halo_exchange.ns");
+/// Ghost bytes *not* moved by the compressed regime versus an exact f32
+/// exchange (quantization savings + stale-hit elisions).
+static BYTES_SAVED: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.bytes_saved");
+/// Ghost vectors served from a stale cache instead of the wire.
+static STALE_HITS: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.stale_hits");
+/// Interior-aggregation nanoseconds overlapped with in-flight exchanges.
+static OVERLAP_NS: sgnn_obs::Counter = sgnn_obs::Counter::new("comm.overlap_ns");
+/// Effective halo compression ratio ×1000 (exact-equivalent bytes over
+/// bytes actually moved; 1000 = no compression).
+static COMPRESSION_RATIO: sgnn_obs::Gauge = sgnn_obs::Gauge::new("comm.compression_ratio");
 
 /// Measured communication/skew profile of one sharded training run —
 /// the execution-side numbers the E2 analytic model is checked against.
@@ -101,6 +119,16 @@ pub struct ShardStats {
     /// Total local slots `Σ_s (owned_s + halo_s)` — replication factor
     /// times `n`.
     pub replication_slots: u64,
+    /// Communication regime label (`exact`, `int8,s=4`, …).
+    pub regime: String,
+    /// Ghost bytes per training epoch not moved versus an exact f32
+    /// exchange (0 in the exact regime).
+    pub halo_bytes_saved_per_epoch: u64,
+    /// Ghost vectors served from a stale cache over the whole run.
+    pub stale_hits: u64,
+    /// Interior-aggregation nanoseconds overlapped with in-flight
+    /// exchanges over the whole run.
+    pub overlap_ns: u64,
 }
 
 serde::impl_serialize!(ShardStats {
@@ -113,7 +141,11 @@ serde::impl_serialize!(ShardStats {
     allreduce_bytes_per_epoch,
     eval_halo_bytes,
     nnz_skew,
-    replication_slots
+    replication_slots,
+    regime,
+    halo_bytes_saved_per_epoch,
+    stale_hits,
+    overlap_ns
 });
 
 /// Per-shard trainer-side context: feature slice, gather indices, and
@@ -165,6 +197,25 @@ fn tree_allreduce(mut parts: Vec<Vec<i128>>, bytes: &mut u64) -> Vec<i128> {
 /// Bounded-retry budget for a checksum-failed halo exchange.
 const MAX_HALO_RETRIES: u32 = 3;
 
+/// Builds shard `s`'s ghost matrix (`|halo| × d`) from the senders'
+/// dequantized export blocks — the receive side of a compressed
+/// exchange. `halo_pos[s][t]` locates halo slot `t`'s row inside its
+/// owner's block.
+fn build_ghost(
+    plan: &ShardPlan,
+    halo_pos: &[Vec<u32>],
+    deqs: &[DenseMatrix],
+    s: usize,
+    d: usize,
+) -> DenseMatrix {
+    let shard = &plan.shards[s];
+    let mut gm = DenseMatrix::zeros(shard.halo.len(), d);
+    for (j, &(owner, _rank)) in shard.halo_src.iter().enumerate() {
+        gm.row_mut(j).copy_from_slice(deqs[owner as usize].row(halo_pos[s][j] as usize));
+    }
+    gm
+}
+
 /// Shared state of one sharded run.
 struct Runtime<'a> {
     plan: &'a ShardPlan,
@@ -190,6 +241,13 @@ struct Runtime<'a> {
     /// `(exchange, retries)` of a halo exchange still corrupt after the
     /// retry budget.
     halo_fail: Option<(u64, u32)>,
+    /// Compressed-regime state (`None` = exact regime). Training passes
+    /// route through the compressed forward/backward when set; eval
+    /// passes always exchange exact f32.
+    comm_state: Option<CommState>,
+    /// True while an evaluation pass runs, routing exchange latency to
+    /// `comm.eval_halo_exchange.ns` instead of the training histogram.
+    in_eval: bool,
 }
 
 impl Runtime<'_> {
@@ -238,7 +296,7 @@ impl Runtime<'_> {
     /// checksum-verified-retry recovery policy of DESIGN.md §8. Without a
     /// plan no checksums are computed at all.
     fn exchange(&mut self, outs: &[DenseMatrix], d: usize) -> Vec<DenseMatrix> {
-        let _ht = HALO_EXCHANGE_NS.time();
+        let t_exch = Instant::now();
         let xid = self.exchange_idx;
         self.exchange_idx += 1;
         let plan = self.plan;
@@ -285,7 +343,19 @@ impl Runtime<'_> {
                 }
             }
         }
+        self.record_exchange_ns(t_exch);
         built
+    }
+
+    /// Records an exchange's wall time into the training or eval
+    /// latency histogram depending on the current pass.
+    fn record_exchange_ns(&self, t0: Instant) {
+        let ns = t0.elapsed().as_nanos() as u64;
+        if self.in_eval {
+            EVAL_HALO_EXCHANGE_NS.record(ns);
+        } else {
+            HALO_EXCHANGE_NS.record(ns);
+        }
     }
 
     /// One shard's propagation: local SpMM over the shard operator, then
@@ -296,6 +366,377 @@ impl Runtime<'_> {
         let mut scratch = DenseMatrix::zeros(shard.n_local(), d);
         spmm_into(&shard.op, input, &mut scratch);
         scratch.gather_rows(&self.ctxs[s].owned_rows)
+    }
+
+    // ---- Compressed regime (DESIGN.md §11) ----------------------------
+
+    /// Sender-side compression superstep at `site`: each shard gathers
+    /// its export block, adds its error-feedback residual, quantizes,
+    /// and keeps the new residual. Returns the dequantized blocks every
+    /// receiver reads — sender and receivers decode identically, so one
+    /// quantization per exported row serves all its ghost copies.
+    fn compress_blocks(&mut self, site: usize, outs: &[DenseMatrix]) -> Vec<DenseMatrix> {
+        let k = self.plan.k;
+        let state = self.comm_state.as_mut().expect("compressed regime");
+        let mode = state.mode;
+        let (exports, resids) = (&state.exports, &state.residuals[site]);
+        let results: Vec<(DenseMatrix, DenseMatrix)> = par_map_chunks(k, |s| {
+            let block = outs[s].gather_rows(&exports[s]);
+            let mut r = resids[s].clone();
+            let deq = ef_compress_rows(&block, &mut r, mode);
+            (deq, r)
+        });
+        let mut deqs = Vec::with_capacity(k);
+        for (s, (deq, r)) in results.into_iter().enumerate() {
+            state.residuals[site][s] = r;
+            deqs.push(deq);
+        }
+        deqs
+    }
+
+    /// The overlap superstep of a refresh: pool tasks `0..k` materialize
+    /// each shard's ghost matrix from the dequantized blocks (the
+    /// exchange "in flight") while tasks `k..2k` run interior
+    /// aggregation `op_interior · outs` for the next propagation.
+    /// Interior task time is recorded as `comm.overlap_ns` — the compute
+    /// hidden behind the exchange.
+    fn ghosts_with_interior(
+        &mut self,
+        deqs: &[DenseMatrix],
+        outs: &[DenseMatrix],
+        d: usize,
+    ) -> (Vec<DenseMatrix>, Vec<DenseMatrix>) {
+        let k = self.plan.k;
+        let plan = self.plan;
+        let state = self.comm_state.as_ref().expect("compressed regime");
+        let (halo_pos, op_interior) = (&state.halo_pos, &state.op_interior);
+        let results: Vec<(DenseMatrix, u64)> = par_map_chunks(2 * k, |t| {
+            let t0 = Instant::now();
+            let m = if t < k {
+                build_ghost(plan, halo_pos, deqs, t, d)
+            } else {
+                let s = t - k;
+                let mut scratch = DenseMatrix::zeros(plan.shards[s].owned.len(), d);
+                spmm_into(&op_interior[s], &outs[s], &mut scratch);
+                scratch
+            };
+            (m, t0.elapsed().as_nanos() as u64)
+        });
+        let mut ghosts = Vec::with_capacity(k);
+        let mut interiors = Vec::with_capacity(k);
+        let mut ns = 0u64;
+        for (t, (m, dt)) in results.into_iter().enumerate() {
+            if t < k {
+                ghosts.push(m);
+            } else {
+                interiors.push(m);
+                ns += dt;
+            }
+        }
+        OVERLAP_NS.add(ns);
+        self.comm_state.as_mut().expect("compressed regime").overlap_ns += ns;
+        (ghosts, interiors)
+    }
+
+    /// CRC-verifies compressed ghost matrices under an armed fault plan:
+    /// sender-side checksums of the pristine builds, one injected
+    /// in-transit corruption, and bounded rebuild-from-source retries —
+    /// the DESIGN.md §8 policy with the same budget as the exact path.
+    fn verify_ghosts(
+        &mut self,
+        ghosts: &mut [DenseMatrix],
+        deqs: &[DenseMatrix],
+        xid: u64,
+        d: usize,
+    ) {
+        let Some(fp) = self.fault else { return };
+        let k = self.plan.k;
+        let mut fail = None;
+        {
+            let state = self.comm_state.as_ref().expect("compressed regime");
+            let want: Vec<u32> = ghosts.iter().map(|g| crc32_f32s(g.data())).collect();
+            fp.corrupt_halo_buf(xid, ghosts[xid as usize % k].data_mut());
+            let mut retries = 0u32;
+            loop {
+                let bad: Vec<usize> =
+                    (0..k).filter(|&s| crc32_f32s(ghosts[s].data()) != want[s]).collect();
+                if bad.is_empty() {
+                    break;
+                }
+                if retries >= MAX_HALO_RETRIES {
+                    fail = Some((xid, retries));
+                    break;
+                }
+                retries += 1;
+                sgnn_fault::record_recovery_retry();
+                for &s in &bad {
+                    ghosts[s] = build_ghost(self.plan, &state.halo_pos, deqs, s, d);
+                }
+            }
+        }
+        if fail.is_some() {
+            self.halo_fail = fail;
+        }
+    }
+
+    /// Assembles each shard's full `n_local × d` propagation input:
+    /// fresh owned rows from `outs`, ghost rows from `ghosts`.
+    fn assemble_full(
+        &self,
+        outs: &[DenseMatrix],
+        ghosts: &[DenseMatrix],
+        d: usize,
+    ) -> Vec<DenseMatrix> {
+        let plan = self.plan;
+        par_map_chunks(plan.k, |s| {
+            let shard = &plan.shards[s];
+            let mut h = DenseMatrix::zeros(shard.n_local(), d);
+            for (r, &lr) in shard.owned_local.iter().enumerate() {
+                h.row_mut(lr as usize).copy_from_slice(outs[s].row(r));
+            }
+            for (j, &hl) in shard.halo_local.iter().enumerate() {
+                h.row_mut(hl as usize).copy_from_slice(ghosts[s].row(j));
+            }
+            h
+        })
+    }
+
+    /// Stale superstep: assemble propagation inputs from the site's
+    /// ghost cache — no wire traffic at all — while interior aggregation
+    /// runs alongside on the same pool.
+    fn stale_assemble_with_interior(
+        &mut self,
+        site: usize,
+        outs: &[DenseMatrix],
+        d: usize,
+    ) -> (Vec<DenseMatrix>, Vec<DenseMatrix>) {
+        let k = self.plan.k;
+        let plan = self.plan;
+        let state = self.comm_state.as_ref().expect("compressed regime");
+        let (cache, op_interior) = (&state.cache[site], &state.op_interior);
+        let results: Vec<DenseMatrix> = par_map_chunks(2 * k, |t| {
+            if t < k {
+                let shard = &plan.shards[t];
+                let mut h = DenseMatrix::zeros(shard.n_local(), d);
+                for (r, &lr) in shard.owned_local.iter().enumerate() {
+                    h.row_mut(lr as usize).copy_from_slice(outs[t].row(r));
+                }
+                for (j, &hl) in shard.halo_local.iter().enumerate() {
+                    h.row_mut(hl as usize).copy_from_slice(cache[t].row(j));
+                }
+                h
+            } else {
+                let s = t - k;
+                let mut scratch = DenseMatrix::zeros(plan.shards[s].owned.len(), d);
+                spmm_into(&op_interior[s], &outs[s], &mut scratch);
+                scratch
+            }
+        });
+        let mut it = results.into_iter();
+        let fulls: Vec<DenseMatrix> = it.by_ref().take(k).collect();
+        let interiors: Vec<DenseMatrix> = it.collect();
+        (fulls, interiors)
+    }
+
+    /// One compressed forward exchange at `site` — or a stale-hit skip.
+    /// Returns the assembled propagation inputs and the interior
+    /// aggregation for the next layer, and settles all byte accounting
+    /// (`comm.halo_bytes` counts quantized wire bytes per (ghost,
+    /// reader) pair; the delta to the exact regime's `4·d` per pair goes
+    /// to `comm.bytes_saved`).
+    fn exchange_compressed_fwd(
+        &mut self,
+        site: usize,
+        outs: &[DenseMatrix],
+        d: usize,
+    ) -> (Vec<DenseMatrix>, Vec<DenseMatrix>) {
+        let t_exch = Instant::now();
+        let v = self.plan.halo_vectors();
+        let exact_bytes = v * 4 * d as u64;
+        let (mode, refresh) = {
+            let state = self.comm_state.as_mut().expect("compressed regime");
+            (state.mode, state.tick_refresh(site))
+        };
+        if refresh {
+            let xid = self.exchange_idx;
+            self.exchange_idx += 1;
+            let deqs = self.compress_blocks(site, outs);
+            let (mut ghosts, interiors) = self.ghosts_with_interior(&deqs, outs, d);
+            self.verify_ghosts(&mut ghosts, &deqs, xid, d);
+            let wire = v * wire_bytes_per_vector(mode, d);
+            HALO_VECTORS.add(v);
+            HALO_BYTES.add(wire);
+            BYTES_SAVED.add(exact_bytes - wire);
+            self.comm.halo_vectors += v;
+            self.comm.halo_bytes += wire;
+            let fulls = self.assemble_full(outs, &ghosts, d);
+            let state = self.comm_state.as_mut().expect("compressed regime");
+            state.bytes_saved += exact_bytes - wire;
+            state.cache[site] = ghosts;
+            self.record_exchange_ns(t_exch);
+            (fulls, interiors)
+        } else {
+            STALE_HITS.add(v);
+            BYTES_SAVED.add(exact_bytes);
+            let state = self.comm_state.as_mut().expect("compressed regime");
+            state.stale_hits += v;
+            state.bytes_saved += exact_bytes;
+            self.stale_assemble_with_interior(site, outs, d)
+        }
+    }
+
+    /// Compressed backward exchange for layer `i > 0`: error-feedback
+    /// compressed gradients, always fresh (staleness applies to forward
+    /// activations only), overlapped with interior propagation. Returns
+    /// the next `g_owned`.
+    fn exchange_compressed_bwd(
+        &mut self,
+        l: usize,
+        i: usize,
+        d_ahs: &[DenseMatrix],
+        d: usize,
+    ) -> Vec<DenseMatrix> {
+        let t_exch = Instant::now();
+        let site = CommState::bwd_site(l, i);
+        let v = self.plan.halo_vectors();
+        let exact_bytes = v * 4 * d as u64;
+        let mode = self.comm_state.as_ref().expect("compressed regime").mode;
+        let xid = self.exchange_idx;
+        self.exchange_idx += 1;
+        let deqs = self.compress_blocks(site, d_ahs);
+        let (mut ghosts, interiors) = self.ghosts_with_interior(&deqs, d_ahs, d);
+        self.verify_ghosts(&mut ghosts, &deqs, xid, d);
+        let wire = v * wire_bytes_per_vector(mode, d);
+        HALO_VECTORS.add(v);
+        HALO_BYTES.add(wire);
+        BYTES_SAVED.add(exact_bytes - wire);
+        self.comm.halo_vectors += v;
+        self.comm.halo_bytes += wire;
+        self.comm_state.as_mut().expect("compressed regime").bytes_saved += exact_bytes - wire;
+        let fulls = self.assemble_full(d_ahs, &ghosts, d);
+        self.record_exchange_ns(t_exch);
+        self.boundary_merge(&interiors, &fulls, d)
+    }
+
+    /// Owned-row propagation from a precomputed interior part plus
+    /// boundary rows recomputed over the assembled inputs — row-for-row
+    /// the same kernel invocations as [`Runtime::propagate_owned`]: both
+    /// sub-operators carry *complete* rows of the local operator, so
+    /// every row goes through the unsplit SpMM kernel and keeps its
+    /// exact bit pattern.
+    fn boundary_merge(
+        &self,
+        interiors: &[DenseMatrix],
+        fulls: &[DenseMatrix],
+        d: usize,
+    ) -> Vec<DenseMatrix> {
+        let plan = self.plan;
+        let state = self.comm_state.as_ref().expect("compressed regime");
+        let op_boundary = &state.op_boundary;
+        par_map_chunks(plan.k, |s| {
+            let shard = &plan.shards[s];
+            let mut out = interiors[s].clone();
+            let mut scratch = DenseMatrix::zeros(shard.n_local(), d);
+            spmm_into(&op_boundary[s], &fulls[s], &mut scratch);
+            for &r in shard.boundary_rows() {
+                out.row_mut(r as usize)
+                    .copy_from_slice(scratch.row(shard.owned_local[r as usize] as usize));
+            }
+            out
+        })
+    }
+
+    /// Compressed training forward (DESIGN.md §11): layer 0 aggregates
+    /// from the feature slice exactly like the exact path; later layers
+    /// merge the interior aggregation precomputed during the previous
+    /// exchange with boundary rows recomputed over the assembled
+    /// (quantized and possibly stale) inputs. The dense tail of every
+    /// layer — matmul, bias, ReLU, stateless dropout — is
+    /// element-for-element the exact path's code, which is why `F32`
+    /// quantization with staleness ≤ 1 reproduces it bitwise.
+    #[allow(clippy::type_complexity)]
+    fn forward_compressed(
+        &mut self,
+        gcn: &Gcn,
+        epoch: u64,
+    ) -> (Vec<DenseMatrix>, Vec<Vec<DenseMatrix>>, Vec<Vec<Vec<bool>>>) {
+        let l = self.num_layers();
+        let k = self.plan.k;
+        let mut x_caches: Vec<Vec<DenseMatrix>> = Vec::with_capacity(l);
+        let mut relu_masks: Vec<Vec<Vec<bool>>> = Vec::with_capacity(l.saturating_sub(1));
+        let mut h_locals: Vec<DenseMatrix> = Vec::new();
+        let mut x_int: Vec<DenseMatrix> = Vec::new();
+        let mut logits: Vec<DenseMatrix> = Vec::new();
+        for i in 0..l {
+            if self.poll_superstep() {
+                return (logits, x_caches, relu_masks);
+            }
+            let layer = gcn.layer(i);
+            let (w, b) = (&layer.w, &layer.b);
+            let (d_in, d_out) = (self.dims[i], self.dims[i + 1]);
+            let last = i + 1 == l;
+            let cs = Dropout::call_seed(self.seed.wrapping_add(100 + i as u64), epoch);
+            let p = self.p_drop;
+            let (plan, ctxs) = (self.plan, self.ctxs);
+            let op_boundary = &self.comm_state.as_ref().expect("compressed regime").op_boundary;
+            let (h_ref, x_ref) = (&h_locals, &x_int);
+            let results: Vec<(DenseMatrix, DenseMatrix, Vec<bool>)> = par_map_chunks(k, |s| {
+                let shard = &plan.shards[s];
+                let x_owned = if i == 0 {
+                    let mut scratch = DenseMatrix::zeros(shard.n_local(), d_in);
+                    spmm_into(&shard.op, &ctxs[s].features, &mut scratch);
+                    scratch.gather_rows(&ctxs[s].owned_rows)
+                } else {
+                    let mut x = x_ref[s].clone();
+                    let mut scratch = DenseMatrix::zeros(shard.n_local(), d_in);
+                    spmm_into(&op_boundary[s], &h_ref[s], &mut scratch);
+                    for &r in shard.boundary_rows() {
+                        x.row_mut(r as usize)
+                            .copy_from_slice(scratch.row(shard.owned_local[r as usize] as usize));
+                    }
+                    x
+                };
+                let mut z = x_owned.matmul(w).expect("linear shapes");
+                for r in 0..z.rows() {
+                    vecops::axpy(1.0, b.row(0), z.row_mut(r));
+                }
+                let mut mask = Vec::new();
+                if !last {
+                    mask.reserve(z.rows() * d_out);
+                    for (r, &g) in shard.owned.iter().enumerate() {
+                        let row = z.row_mut(r);
+                        for (c, slot) in row.iter_mut().enumerate() {
+                            let v = *slot;
+                            mask.push(v > 0.0);
+                            *slot = v.max(0.0)
+                                * Dropout::element_scale(cs, p, g as u64 * d_out as u64 + c as u64);
+                        }
+                    }
+                }
+                (z, x_owned, mask)
+            });
+            let mut zs = Vec::with_capacity(k);
+            let mut xs = Vec::with_capacity(k);
+            let mut ms = Vec::with_capacity(k);
+            for (z, x, m) in results {
+                zs.push(z);
+                xs.push(x);
+                ms.push(m);
+            }
+            x_caches.push(xs);
+            if last {
+                logits = zs;
+            } else {
+                relu_masks.push(ms);
+                if self.poll_superstep() {
+                    return (logits, x_caches, relu_masks);
+                }
+                let (fulls, interiors) = self.exchange_compressed_fwd(i, &zs, d_out);
+                h_locals = fulls;
+                x_int = interiors;
+            }
+        }
+        (logits, x_caches, relu_masks)
     }
 
     /// Training forward: per layer, a compute superstep (one pool task
@@ -488,9 +929,13 @@ impl Runtime<'_> {
                 if self.poll_superstep() {
                     return;
                 }
-                let full = self.exchange(&d_ahs, d_in);
-                let this = &*self;
-                g_owned = par_map_chunks(k, |s| this.propagate_owned(s, &full[s], d_in));
+                if self.comm_state.is_some() {
+                    g_owned = self.exchange_compressed_bwd(l, i, &d_ahs, d_in);
+                } else {
+                    let full = self.exchange(&d_ahs, d_in);
+                    let this = &*self;
+                    g_owned = par_map_chunks(k, |s| this.propagate_owned(s, &full[s], d_in));
+                }
             }
         }
         gcn.zero_grad();
@@ -640,6 +1085,17 @@ pub fn train_sharded_gcn(
     ledger.try_transient(acts + fx_bytes + gcn.step_bytes(0, ds.feature_dim()))?;
     SKEW.record((plan.nnz_skew() * 1000.0) as u64);
 
+    // Compressed-regime state: export lists, interior/boundary
+    // sub-operators, EF residuals, and ghost caches — charged to the
+    // ledger like any other resident structure.
+    let comm_state = cfg
+        .comm_regime
+        .compressed()
+        .map(|(mode, staleness)| CommState::build(&plan, &dims, mode, staleness));
+    if let Some(st) = &comm_state {
+        ledger.try_alloc(st.nbytes(&plan, &dims))?;
+    }
+
     let mut rt = Runtime {
         plan: &plan,
         ctxs: &ctxs,
@@ -653,6 +1109,8 @@ pub fn train_sharded_gcn(
         exchange_idx: 0,
         killed: None,
         halo_fail: None,
+        comm_state,
+        in_eval: false,
     };
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut stopper = EarlyStopper::new(cfg.patience);
@@ -681,7 +1139,11 @@ pub fn train_sharded_gcn(
         session_epochs += 1;
         let call = epoch as u64 + 1; // the reference model's dropout call number
         let (loss, dl_owned, x_caches, relu_masks) = phases.time(Phase::Forward, || {
-            let (logits, x_caches, relu_masks) = rt.forward_train(&gcn, call);
+            let (logits, x_caches, relu_masks) = if rt.comm_state.is_some() {
+                rt.forward_compressed(&gcn, call)
+            } else {
+                rt.forward_train(&gcn, call)
+            };
             if rt.faulted() {
                 return (0.0, Vec::new(), x_caches, relu_masks);
             }
@@ -703,7 +1165,9 @@ pub fn train_sharded_gcn(
         if cfg.patience.is_some() {
             let before = rt.comm;
             let val = phases.time(Phase::Eval, || {
+                rt.in_eval = true;
                 let logits = rt.inference_logits(&gcn);
+                rt.in_eval = false;
                 rt.accuracy_of(&logits, |c| &c.val, ds.splits.val.len())
             });
             if let Some(e) = rt.fault_error() {
@@ -733,7 +1197,9 @@ pub fn train_sharded_gcn(
     }
     let train_secs = t1.elapsed().as_secs_f64();
     let train_comm = rt.comm;
+    rt.in_eval = true;
     let logits = rt.inference_logits(&gcn);
+    rt.in_eval = false;
     if let Some(e) = rt.fault_error() {
         return Err(e);
     }
@@ -742,6 +1208,18 @@ pub fn train_sharded_gcn(
     eval_comm.halo_bytes += rt.comm.halo_bytes - train_comm.halo_bytes;
     eval_comm.halo_vectors += rt.comm.halo_vectors - train_comm.halo_vectors;
     let epochs_div = session_epochs.max(1) as u64;
+    let (bytes_saved, stale_hits, overlap_ns) = rt
+        .comm_state
+        .as_ref()
+        .map(|s| (s.bytes_saved, s.stale_hits, s.overlap_ns))
+        .unwrap_or((0, 0, 0));
+    if rt.comm_state.is_some() {
+        // Effective ratio of exact-equivalent ghost bytes to bytes moved
+        // (×1000); stale hits count as moved-for-free, so s > 1 pushes
+        // the ratio beyond pure quantization.
+        let moved = train_comm.halo_bytes.max(1);
+        COMPRESSION_RATIO.set((moved + bytes_saved).saturating_mul(1000) / moved);
+    }
     let stats = ShardStats {
         k,
         epochs: epochs_run,
@@ -753,6 +1231,10 @@ pub fn train_sharded_gcn(
         eval_halo_bytes: eval_comm.halo_bytes,
         nnz_skew: plan.nnz_skew(),
         replication_slots: plan.shards.iter().map(|s| s.n_local() as u64).sum(),
+        regime: cfg.comm_regime.label(),
+        halo_bytes_saved_per_epoch: bytes_saved / epochs_div,
+        stale_hits,
+        overlap_ns,
     };
     sgnn_obs::export_now();
     let report = TrainReport {

@@ -1,0 +1,396 @@
+//! Communication regimes for the sharded trainer (DESIGN.md §11).
+//!
+//! The exact regime of [`crate::shard::train_sharded_gcn`] moves full-f32
+//! ghost activations every superstep and stalls compute on the exchange
+//! barrier. The survey's distributed-training chapter names three levers
+//! that relax this — payload compression, bounded-staleness historical
+//! embeddings, and communication/computation overlap — and this module
+//! holds the shared plumbing for all three:
+//!
+//! - [`CommRegime`] — the `TrainConfig` knob selecting `Exact` (default,
+//!   bitwise-identical to the single-process reference) or `Compressed`
+//!   (quantized + stale-tolerant + overlapped, with a documented loss
+//!   bound instead of bitwise equality).
+//! - [`CommState`] — the per-run mutable state of the compressed path:
+//!   sender export lists, halo→export row maps, the interior/boundary
+//!   sub-operators that let interior aggregation run while the exchange
+//!   is in flight, per-site error-feedback residuals, and the per-site
+//!   ghost caches with their deterministic refresh clocks.
+//!
+//! ## Why the sub-operators exist
+//!
+//! The shard-local SpMM kernel initializes each output row from its
+//! *first neighbor* for wide rows, so splitting a row's accumulation
+//! across two hand-written loops would change the floating-point
+//! operation order (and `-0.0` handling) relative to the exact path.
+//! Instead, the overlap path builds two derived CSR operators per shard
+//! that each carry *complete* rows of the original local operator:
+//!
+//! - `op_interior` lives in **owned-rank space** (`n = |owned|`): row `r`
+//!   is non-empty iff rank `r` is interior, and then holds rank `r`'s
+//!   full adjacency with every local slot remapped to the owner rank of
+//!   that (necessarily owned) slot. Its input is the shard's own
+//!   owned-row activation matrix — available *before* the exchange — so
+//!   interior aggregation overlaps the halo transfer.
+//! - `op_boundary` lives in **local-slot space** (`n = n_local`): only
+//!   the local slots of boundary ranks carry rows (their full original
+//!   adjacency). Its input is the assembled post-exchange buffer.
+//!
+//! Both remaps are monotone, so neighbor order — and therefore every
+//! row's bit pattern — matches the unsplit kernel exactly. With `F32`
+//! "compression" and staleness ≤ 1 the compressed path is consequently
+//! bitwise-identical to the exact path (the degenerate case the
+//! differential tests pin).
+
+use sgnn_graph::CsrGraph;
+use sgnn_linalg::{DenseMatrix, QuantMode};
+use sgnn_partition::ShardPlan;
+
+/// Halo-exchange regime of the sharded trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommRegime {
+    /// Full-f32 synchronous exchange; bitwise-identical to
+    /// [`crate::trainer::train_full_gcn`] (DESIGN.md §7).
+    #[default]
+    Exact,
+    /// Quantized, stale-tolerant, overlapped exchange (DESIGN.md §11).
+    Compressed {
+        /// Ghost-payload wire format. `F32` is identity compression:
+        /// with `staleness ≤ 1` it reproduces the exact path bitwise
+        /// while still exercising the compressed machinery.
+        quant: QuantMode,
+        /// Forward ghost caches may be reused for this many supersteps
+        /// before a refresh; `≤ 1` means every forward exchange is
+        /// fresh. Backward gradients are always exchanged fresh.
+        staleness: u64,
+    },
+}
+
+impl CommRegime {
+    /// Stable label for reports and bench output (`exact`, `int8,s=4`, …).
+    pub fn label(self) -> String {
+        match self {
+            CommRegime::Exact => "exact".to_string(),
+            CommRegime::Compressed { quant, staleness } => {
+                format!("{},s={}", quant.label(), staleness.max(1))
+            }
+        }
+    }
+
+    /// Parses a CLI/CI spelling: `exact`, `<mode>`, or `<mode>,s=<n>`
+    /// (mode per [`QuantMode::parse`]; bare `<mode>` means `s=1`).
+    pub fn parse(s: &str) -> Option<CommRegime> {
+        let t = s.trim().to_ascii_lowercase();
+        if t == "exact" {
+            return Some(CommRegime::Exact);
+        }
+        let (mode, stale) = match t.split_once(",s=") {
+            Some((m, n)) => (m, n.parse::<u64>().ok()?),
+            None => (t.as_str(), 1),
+        };
+        Some(CommRegime::Compressed { quant: QuantMode::parse(mode)?, staleness: stale })
+    }
+
+    /// `Some((mode, staleness))` for the compressed regime (staleness
+    /// clamped to ≥ 1), `None` for exact.
+    pub fn compressed(self) -> Option<(QuantMode, u64)> {
+        match self {
+            CommRegime::Exact => None,
+            CommRegime::Compressed { quant, staleness } => Some((quant, staleness.max(1))),
+        }
+    }
+}
+
+/// Mutable per-run state of the compressed exchange path.
+///
+/// Sites index the distinct exchange points of an `L`-layer model:
+/// forward site `i ∈ [0, L−1)` moves the layer-`i` output (width
+/// `dims[i+1]`); backward site `(L−1) + (i−1)` for `i ∈ [1, L)` moves
+/// the layer-`i` input gradient (width `dims[i]`). Each site keeps its
+/// own error-feedback residual per shard so compression error never
+/// leaks across sites; only forward sites have ghost caches and
+/// staleness clocks.
+pub(crate) struct CommState {
+    pub mode: QuantMode,
+    pub staleness: u64,
+    /// Per-shard sorted owned ranks some other shard ghosts — the rows
+    /// actually transmitted each refresh ([`ShardPlan::export_ranks`]).
+    pub exports: Vec<Vec<usize>>,
+    /// `halo_pos[s][t]`: row of shard `s`'s halo slot `t` inside its
+    /// owner's export block.
+    pub halo_pos: Vec<Vec<u32>>,
+    /// Owned-rank-space interior aggregation operator per shard.
+    pub op_interior: Vec<CsrGraph>,
+    /// Local-slot-space boundary aggregation operator per shard.
+    pub op_boundary: Vec<CsrGraph>,
+    /// Error-feedback residuals, `[site][shard]`, shaped
+    /// `|exports[shard]| × d_site`. Zero-initialized; for lossless
+    /// `F32` they stay exactly zero.
+    pub residuals: Vec<Vec<DenseMatrix>>,
+    /// Forward ghost caches, `[forward site][shard]`, shaped
+    /// `|halo[shard]| × d_site`; empty (0×0) until the first refresh.
+    pub cache: Vec<Vec<DenseMatrix>>,
+    /// Visit counter per forward site — the deterministic staleness
+    /// clock: visit `v` refreshes iff `v % staleness == 0`, independent
+    /// of thread count and wall time.
+    pub visits: Vec<u64>,
+    /// Ghost bytes not moved versus an exact f32 exchange (quantization
+    /// savings on refreshes + whole exchanges elided by stale hits).
+    pub bytes_saved: u64,
+    /// Ghost vectors served from a stale cache instead of the wire.
+    pub stale_hits: u64,
+    /// Nanoseconds of interior aggregation overlapped with in-flight
+    /// exchanges (summed across shard tasks).
+    pub overlap_ns: u64,
+}
+
+impl CommState {
+    /// Builds the compressed-path state for `plan` and the layer widths
+    /// `dims = [in_dim, hidden…, classes]`.
+    pub fn build(plan: &ShardPlan, dims: &[usize], mode: QuantMode, staleness: u64) -> CommState {
+        let l = dims.len() - 1;
+        let exports: Vec<Vec<usize>> = plan
+            .export_ranks()
+            .into_iter()
+            .map(|e| e.into_iter().map(|r| r as usize).collect())
+            .collect();
+        let halo_pos: Vec<Vec<u32>> = plan
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .halo_src
+                    .iter()
+                    .map(|&(owner, rank)| {
+                        exports[owner as usize]
+                            .binary_search(&(rank as usize))
+                            .expect("ghosted rank is exported") as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut op_interior = Vec::with_capacity(plan.k);
+        let mut op_boundary = Vec::with_capacity(plan.k);
+        for shard in &plan.shards {
+            let n_owned = shard.owned.len();
+            let n_local = shard.n_local();
+            // Local slot → owned rank (valid only for owned slots).
+            let mut rank_of_slot = vec![u32::MAX; n_local];
+            for (r, &lr) in shard.owned_local.iter().enumerate() {
+                rank_of_slot[lr as usize] = r as u32;
+            }
+            let mut is_interior = vec![false; n_owned];
+            for &r in shard.interior_rows() {
+                is_interior[r as usize] = true;
+            }
+            let weighted = shard.op.weights().is_some();
+            // Interior operator: full rows of interior ranks, columns
+            // remapped local-slot → owned-rank (monotone over owned
+            // slots, so strict ascending order is preserved).
+            let mut indptr = vec![0usize; n_owned + 1];
+            let mut indices = Vec::new();
+            let mut weights = Vec::new();
+            for r in 0..n_owned {
+                if is_interior[r] {
+                    let lr = shard.owned_local[r];
+                    for (j, &lv) in shard.op.neighbors(lr).iter().enumerate() {
+                        indices.push(rank_of_slot[lv as usize]);
+                        if let Some(w) = shard.op.weights_of(lr) {
+                            weights.push(w[j]);
+                        }
+                    }
+                }
+                indptr[r + 1] = indices.len();
+            }
+            op_interior.push(
+                CsrGraph::from_parts(n_owned, indptr, indices, weighted.then_some(weights))
+                    .expect("interior slice preserves CSR invariants"),
+            );
+            // Boundary operator: full rows of boundary ranks at their
+            // local slots, untouched column space.
+            let mut is_boundary_slot = vec![false; n_local];
+            for &r in shard.boundary_rows() {
+                is_boundary_slot[shard.owned_local[r as usize] as usize] = true;
+            }
+            let mut indptr = vec![0usize; n_local + 1];
+            let mut indices = Vec::new();
+            let mut weights = Vec::new();
+            for lu in 0..n_local {
+                if is_boundary_slot[lu] {
+                    for (j, &lv) in shard.op.neighbors(lu as u32).iter().enumerate() {
+                        indices.push(lv);
+                        if let Some(w) = shard.op.weights_of(lu as u32) {
+                            weights.push(w[j]);
+                        }
+                    }
+                }
+                indptr[lu + 1] = indices.len();
+            }
+            op_boundary.push(
+                CsrGraph::from_parts(n_local, indptr, indices, weighted.then_some(weights))
+                    .expect("boundary slice preserves CSR invariants"),
+            );
+        }
+        let fwd_sites = l - 1;
+        let total_sites = 2 * (l - 1);
+        let site_dim = |site: usize| {
+            if site < fwd_sites {
+                dims[site + 1]
+            } else {
+                dims[site - fwd_sites + 1]
+            }
+        };
+        let residuals: Vec<Vec<DenseMatrix>> = (0..total_sites)
+            .map(|site| {
+                exports.iter().map(|e| DenseMatrix::zeros(e.len(), site_dim(site))).collect()
+            })
+            .collect();
+        let cache: Vec<Vec<DenseMatrix>> = (0..fwd_sites)
+            .map(|_| (0..plan.k).map(|_| DenseMatrix::zeros(0, 0)).collect())
+            .collect();
+        CommState {
+            mode,
+            staleness: staleness.max(1),
+            exports,
+            halo_pos,
+            op_interior,
+            op_boundary,
+            residuals,
+            cache,
+            visits: vec![0; fwd_sites],
+            bytes_saved: 0,
+            stale_hits: 0,
+            overlap_ns: 0,
+        }
+    }
+
+    /// Backward site index for layer `i` (`1 ≤ i < L`), given `L` layers.
+    #[inline]
+    pub fn bwd_site(l: usize, i: usize) -> usize {
+        (l - 1) + (i - 1)
+    }
+
+    /// Advances forward site `site`'s staleness clock; true when this
+    /// visit must refresh (fetch fresh ghosts over the wire).
+    pub fn tick_refresh(&mut self, site: usize) -> bool {
+        let v = self.visits[site];
+        self.visits[site] += 1;
+        v.is_multiple_of(self.staleness)
+    }
+
+    /// Resident bytes of the state (ledger accounting): sub-operators,
+    /// index maps, residuals, and fully-populated ghost caches (charged
+    /// up front even though caches fill lazily).
+    pub fn nbytes(&self, plan: &ShardPlan, dims: &[usize]) -> usize {
+        let l = dims.len() - 1;
+        let ops: usize = self
+            .op_interior
+            .iter()
+            .zip(&self.op_boundary)
+            .map(|(a, b)| a.nbytes() + b.nbytes())
+            .sum();
+        let maps: usize = self.exports.iter().map(|e| e.len() * 8).sum::<usize>()
+            + self.halo_pos.iter().map(|h| h.len() * 4).sum::<usize>();
+        let resid: usize = self.residuals.iter().flatten().map(|m| m.nbytes()).sum();
+        let caches: usize = (0..l.saturating_sub(1))
+            .map(|i| plan.shards.iter().map(|s| s.halo.len() * dims[i + 1] * 4).sum::<usize>())
+            .sum();
+        ops + maps + resid + caches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_partition::{hash_partition, Partition, ShardPlan};
+
+    #[test]
+    fn regime_labels_and_parse_round_trip() {
+        assert_eq!(CommRegime::Exact.label(), "exact");
+        let c = CommRegime::Compressed { quant: QuantMode::Int8, staleness: 4 };
+        assert_eq!(c.label(), "int8,s=4");
+        assert_eq!(CommRegime::parse("exact"), Some(CommRegime::Exact));
+        assert_eq!(CommRegime::parse("int8,s=4"), Some(c));
+        assert_eq!(
+            CommRegime::parse("f16"),
+            Some(CommRegime::Compressed { quant: QuantMode::F16, staleness: 1 })
+        );
+        assert_eq!(CommRegime::parse("nope"), None);
+        // Staleness 0 is clamped to 1 everywhere it matters.
+        let z = CommRegime::Compressed { quant: QuantMode::F32, staleness: 0 };
+        assert_eq!(z.compressed(), Some((QuantMode::F32, 1)));
+        assert_eq!(z.label(), "f32,s=1");
+        assert_eq!(CommRegime::default(), CommRegime::Exact);
+    }
+
+    /// The interior operator carries exactly the interior ranks' rows
+    /// (remapped) and the boundary operator exactly the boundary slots'
+    /// rows (in place); together they cover the local operator's owned
+    /// rows with identical weights.
+    #[test]
+    fn sub_operators_tile_the_local_operator() {
+        let g = sgnn_graph::generate::barabasi_albert(120, 2, 9);
+        let p = hash_partition(g.num_nodes(), 3);
+        let plan = ShardPlan::build(&g, &p).unwrap();
+        let state = CommState::build(&plan, &[4, 8, 3], QuantMode::Int8, 2);
+        for (s, shard) in plan.shards.iter().enumerate() {
+            let oi = &state.op_interior[s];
+            let ob = &state.op_boundary[s];
+            assert_eq!(oi.num_nodes(), shard.owned.len());
+            assert_eq!(ob.num_nodes(), shard.n_local());
+            let mut is_interior = vec![false; shard.owned.len()];
+            for &r in shard.interior_rows() {
+                is_interior[r as usize] = true;
+            }
+            for (r, &lr) in shard.owned_local.iter().enumerate() {
+                let full = shard.op.neighbors(lr);
+                if is_interior[r] {
+                    // Interior row: same length, slots remapped to ranks.
+                    let got = oi.neighbors(r as u32);
+                    assert_eq!(got.len(), full.len());
+                    for (&rank, &slot) in got.iter().zip(full) {
+                        assert_eq!(shard.owned_local[rank as usize], slot);
+                    }
+                    assert_eq!(oi.weights_of(r as u32), shard.op.weights_of(lr));
+                    assert!(ob.neighbors(lr).is_empty());
+                } else {
+                    assert!(oi.neighbors(r as u32).is_empty());
+                    assert_eq!(ob.neighbors(lr), full);
+                    assert_eq!(ob.weights_of(lr), shard.op.weights_of(lr));
+                }
+            }
+            // Halo slots carry no rows in either operator.
+            for &hl in &shard.halo_local {
+                assert!(ob.neighbors(hl).is_empty());
+            }
+        }
+        // Every halo slot's export position points back at its rank.
+        for (s, shard) in plan.shards.iter().enumerate() {
+            for (t, &(owner, rank)) in shard.halo_src.iter().enumerate() {
+                let pos = state.halo_pos[s][t] as usize;
+                assert_eq!(state.exports[owner as usize][pos], rank as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn staleness_clock_is_deterministic() {
+        let g = sgnn_graph::GraphBuilder::new(4)
+            .symmetric()
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let plan = ShardPlan::build(&g, &p).unwrap();
+        let mut st = CommState::build(&plan, &[4, 8, 8, 3], QuantMode::F16, 3);
+        // Two forward sites, each on its own clock: refresh at visits
+        // 0, 3, 6, … regardless of the other site's clock.
+        let hits: Vec<bool> = (0..7).map(|_| st.tick_refresh(0)).collect();
+        assert_eq!(hits, [true, false, false, true, false, false, true]);
+        assert!(st.tick_refresh(1));
+        assert!(!st.tick_refresh(1));
+        // Staleness 1: every visit refreshes.
+        let mut fresh = CommState::build(&plan, &[4, 8, 3], QuantMode::F32, 1);
+        assert!((0..5).all(|_| fresh.tick_refresh(0)));
+    }
+}

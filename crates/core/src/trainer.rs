@@ -16,6 +16,7 @@ use crate::memory::{matrix_bytes, Ledger};
 use crate::models::decoupled::{DecoupledModel, PrecomputeMethod};
 use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
 use crate::models::sage::Sage;
+use crate::shard_comm::CommRegime;
 use sgnn_data::Dataset;
 use sgnn_fault::FaultPlan;
 use sgnn_graph::NodeId;
@@ -71,6 +72,11 @@ pub struct TrainConfig {
     /// `SGNN_MEM_BUDGET` and any fault-plan budget. Exceeding it makes
     /// trainers return [`TrainError::BudgetExceeded`].
     pub mem_budget: Option<usize>,
+    /// Halo-exchange regime for [`crate::shard::train_sharded_gcn`]:
+    /// `Exact` (default, bitwise-identical to the reference) or
+    /// `Compressed` (quantized / stale-tolerant / overlapped, DESIGN.md
+    /// §11). Ignored by the single-process trainers.
+    pub comm_regime: CommRegime,
 }
 
 impl Default for TrainConfig {
@@ -89,6 +95,7 @@ impl Default for TrainConfig {
             resume_from: None,
             fault_plan: None,
             mem_budget: None,
+            comm_regime: CommRegime::Exact,
         }
     }
 }

@@ -49,6 +49,13 @@ pub struct Shard {
     /// Exchange map, parallel to `halo`: `(owner shard, rank in the
     /// owner's `owned` list)`.
     pub halo_src: Vec<(u32, u32)>,
+    /// Owned ranks whose local adjacency touches **no** halo slot —
+    /// these rows aggregate entirely from data the shard already owns,
+    /// so their compute never waits on a halo exchange. Sorted.
+    pub interior: Vec<u32>,
+    /// Owned ranks with at least one ghost neighbor (complement of
+    /// [`Shard::interior`] within the owned set). Sorted.
+    pub boundary: Vec<u32>,
     /// Local operator: owned rows carry their full (relabeled) global
     /// adjacency, halo rows are empty.
     pub op: CsrGraph,
@@ -59,6 +66,22 @@ impl Shard {
     #[inline]
     pub fn n_local(&self) -> usize {
         self.locals.len()
+    }
+
+    /// Owned ranks with zero ghost neighbors (see [`Shard::interior`]).
+    /// The communication/computation-overlap trainer computes these rows
+    /// while the halo exchange for [`Shard::boundary_rows`] is in flight.
+    #[inline]
+    pub fn interior_rows(&self) -> &[u32] {
+        &self.interior
+    }
+
+    /// Owned ranks that read at least one halo slot (see
+    /// [`Shard::boundary`]). `interior_rows ∪ boundary_rows` is exactly
+    /// the owned set, disjointly.
+    #[inline]
+    pub fn boundary_rows(&self) -> &[u32] {
+        &self.boundary
     }
 }
 
@@ -129,6 +152,17 @@ impl ShardPlan {
             let halo_src =
                 halo.iter().map(|&g| (part.parts[g as usize], owned_rank[g as usize])).collect();
             let local_op = op.relabeled_slice(&locals, &keep)?;
+            // Interior/boundary partition of the owned ranks: a row is
+            // interior iff every local neighbor is an owned slot (`keep`).
+            let mut interior = Vec::new();
+            let mut boundary = Vec::new();
+            for (r, &lr) in owned_local.iter().enumerate() {
+                if local_op.neighbors(lr).iter().all(|&lv| keep[lv as usize]) {
+                    interior.push(r as u32);
+                } else {
+                    boundary.push(r as u32);
+                }
+            }
             shards.push(Shard {
                 owned,
                 halo,
@@ -136,6 +170,8 @@ impl ShardPlan {
                 owned_local,
                 halo_local,
                 halo_src,
+                interior,
+                boundary,
                 op: local_op,
             });
         }
@@ -147,6 +183,25 @@ impl ShardPlan {
     /// `comm::simulate`'s `vectors_per_layer` on symmetric operators.
     pub fn halo_vectors(&self) -> u64 {
         self.shards.iter().map(|s| s.halo.len() as u64).sum()
+    }
+
+    /// Per-shard **export lists**: for each shard `s`, the sorted unique
+    /// owned ranks that appear in some other shard's halo — the rows `s`
+    /// must actually transmit each exchange. A compressing sender
+    /// quantizes each exported row once (and keeps its error-feedback
+    /// residual once) no matter how many shards ghost it.
+    pub fn export_ranks(&self) -> Vec<Vec<u32>> {
+        let mut exports: Vec<Vec<u32>> = vec![Vec::new(); self.k];
+        for shard in &self.shards {
+            for &(owner, rank) in &shard.halo_src {
+                exports[owner as usize].push(rank);
+            }
+        }
+        for list in &mut exports {
+            list.sort_unstable();
+            list.dedup();
+        }
+        exports
     }
 
     /// Shard-compute skew: max over shards of local-operator nnz divided
@@ -172,6 +227,7 @@ impl ShardPlan {
                     + s.owned_local.len() * 4
                     + s.halo_local.len() * 4
                     + s.halo_src.len() * 8
+                    + (s.interior.len() + s.boundary.len()) * 4
             })
             .sum()
     }
@@ -224,7 +280,44 @@ mod tests {
             for &hl in &shard.halo_local {
                 assert!(shard.op.neighbors(hl).is_empty());
             }
+            // interior ∪ boundary = owned ranks, disjointly; interior rows
+            // touch no halo slot, boundary rows touch at least one.
+            let mut is_halo_slot = vec![false; shard.n_local()];
+            for &hl in &shard.halo_local {
+                is_halo_slot[hl as usize] = true;
+            }
+            let mut merged: Vec<u32> =
+                shard.interior.iter().chain(&shard.boundary).copied().collect();
+            merged.sort_unstable();
+            assert_eq!(merged, (0..shard.owned.len() as u32).collect::<Vec<_>>());
+            for &r in shard.interior_rows() {
+                let lr = shard.owned_local[r as usize];
+                assert!(
+                    shard.op.neighbors(lr).iter().all(|&lv| !is_halo_slot[lv as usize]),
+                    "interior row {r} reads a halo slot"
+                );
+            }
+            for &r in shard.boundary_rows() {
+                let lr = shard.owned_local[r as usize];
+                assert!(
+                    shard.op.neighbors(lr).iter().any(|&lv| is_halo_slot[lv as usize]),
+                    "boundary row {r} reads no halo slot"
+                );
+            }
         }
+        // Export lists: every halo entry resolves to a row of its owner's
+        // export list, and every exported rank is ghosted by someone.
+        let exports = plan.export_ranks();
+        let mut referenced: Vec<Vec<bool>> = exports.iter().map(|e| vec![false; e.len()]).collect();
+        for shard in &plan.shards {
+            for &(owner, rank) in &shard.halo_src {
+                let pos = exports[owner as usize]
+                    .binary_search(&rank)
+                    .expect("halo entry present in owner's export list");
+                referenced[owner as usize][pos] = true;
+            }
+        }
+        assert!(referenced.iter().all(|flags| flags.iter().all(|&f| f)), "no dead exports");
     }
 
     #[test]
@@ -246,6 +339,14 @@ mod tests {
         assert_eq!(plan.shards[1].halo, vec![1]);
         assert_eq!(plan.shards[1].halo_src, vec![(0, 1)]); // node 1 = shard 0's rank 1
         assert_eq!(plan.halo_vectors(), 2);
+        // Node 0 only reads node 1 (owned) → interior; node 1 reads the
+        // ghost 2 → boundary. Mirrored on shard 1.
+        assert_eq!(plan.shards[0].interior_rows(), &[0]);
+        assert_eq!(plan.shards[0].boundary_rows(), &[1]);
+        assert_eq!(plan.shards[1].interior_rows(), &[1]);
+        assert_eq!(plan.shards[1].boundary_rows(), &[0]);
+        // Each shard exports exactly the rank the other side ghosts.
+        assert_eq!(plan.export_ranks(), vec![vec![1], vec![0]]);
         check_invariants(&g, &p, &plan);
     }
 

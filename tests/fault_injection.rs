@@ -173,6 +173,45 @@ fn halo_corruption_is_detected_and_repaired_bitwise() {
     }
 }
 
+/// The checksum-verified bounded-retry policy covers *compressed* halo
+/// payloads too (DESIGN.md §11): corruption injected into a quantized
+/// ghost matrix is detected sender-side-CRC vs rebuilt-CRC and repaired
+/// from the pristine dequantized blocks, leaving the run identical to
+/// the same compressed run without the fault.
+#[test]
+fn compressed_halo_corruption_is_detected_and_repaired() {
+    use sgnn::core::CommRegime;
+    use sgnn::linalg::QuantMode;
+    let ds = small_ds();
+    for (quant, staleness) in [(QuantMode::Int8, 1u64), (QuantMode::F16, 2)] {
+        let base = TrainConfig {
+            epochs: 3,
+            hidden: vec![6],
+            dropout: 0.1,
+            comm_regime: CommRegime::Compressed { quant, staleness },
+            ..Default::default()
+        };
+        let part = hash_partition(ds.num_nodes(), 3);
+        let (_, clean_report, _) = train_sharded_gcn(&ds, &part, &base).unwrap();
+        for exchange in [0u64, 1, 3] {
+            let plan = Arc::new(FaultPlan::new(97).corrupt_halo(exchange, 8));
+            let cfg = TrainConfig { fault_plan: Some(Arc::clone(&plan)), ..base.clone() };
+            let (_, report, _) = train_sharded_gcn(&ds, &part, &cfg).unwrap();
+            assert!(
+                plan.exhausted(),
+                "{quant:?} s={staleness}: corruption of exchange {exchange} never fired"
+            );
+            assert_eq!(
+                report.final_loss.to_bits(),
+                clean_report.final_loss.to_bits(),
+                "{quant:?} s={staleness} exchange={exchange}: repair must restore the clean run"
+            );
+            assert_eq!(report.val_acc, clean_report.val_acc);
+            assert_eq!(report.test_acc, clean_report.test_acc);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Memory exhaustion → graceful Err from every trainer
 // ---------------------------------------------------------------------------
