@@ -1,0 +1,292 @@
+//! `benchserve` — online-serving latency/throughput snapshot.
+//!
+//! ```text
+//! cargo run --release -p sgnn-bench --bin benchserve             # writes bench_out/BENCH_serve.json
+//! cargo run --release -p sgnn-bench --bin benchserve -- --quick  # CI-sized workload
+//! cargo run --release -p sgnn-bench --bin benchserve -- --json   # + ObsReport line on stdout
+//! ```
+//!
+//! Two sections, one JSON object:
+//!
+//! 1. **Replay** — a fixed Zipf-skewed request trace against a
+//!    `Hot`-policy engine, served batched and (on a fresh engine)
+//!    one-at-a-time. The answers must be bitwise identical and the
+//!    cache/planner counters must replay exactly (both asserted here;
+//!    proptested in `tests/serving_equivalence.rs`), so the emitted
+//!    `cache_hits`/`plan_*`/`requests` counters are exact-gated by
+//!    `benchdiff`. A third engine with a `Full` store checks the
+//!    column-parallel precompute against the sequential reference
+//!    bitwise.
+//! 2. **Open loop** — heavy-tail arrivals (Pareto inter-arrival times,
+//!    Zipf node popularity) produced by a generator thread into the
+//!    admission queue while the serving loop coalesces under a deadline
+//!    window; reports p50/p99/p999 end-to-end latency and queries/sec.
+//!    Timing numbers get the wide 10× `benchdiff` band; the answer-bit
+//!    contract is covered by the replay section, which timing cannot
+//!    perturb.
+
+use rand::RngExt;
+use sgnn_graph::{generate, CsrGraph, NodeId};
+use sgnn_linalg::{DenseMatrix, QuantMode};
+use sgnn_nn::Mlp;
+use sgnn_serve::{
+    run_server, smooth_matrix_seq, AdmissionQueue, BatchConfig, PlannerConfig, PrecomputePolicy,
+    ServeConfig, ServeEngine, Strategy,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Zipf(`s`) sampler over `n` ranks via inverse-CDF binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut impl RngExt) -> usize {
+        let u: f64 = rng.random();
+        let target = u * self.cdf[self.cdf.len() - 1];
+        self.cdf.partition_point(|&c| c < target).min(self.cdf.len() - 1)
+    }
+}
+
+/// A Zipf-popular request trace where rank 0 is the highest-degree node
+/// (hot requests hit the hot store, like production skew does).
+fn zipf_trace(g: &CsrGraph, len: usize, skew: f64, seed: u64) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+    by_degree.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+    let zipf = Zipf::new(n, skew);
+    let mut rng = sgnn_linalg::rng::seeded(seed);
+    (0..len).map(|_| by_degree[zipf.sample(&mut rng)]).collect()
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u32> {
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--json" && a != "--quick");
+    let out_path =
+        args.into_iter().next().unwrap_or_else(|| "bench_out/BENCH_serve.json".to_string());
+    sgnn_obs::enable();
+
+    // --- Replay: fixed trace, exact-gated counters. ---------------------
+    let (rn, requests, batch) = if quick { (2_000, 1_200, 16) } else { (8_000, 6_000, 32) };
+    let rg = generate::barabasi_albert(rn, 4, 7);
+    let rx = DenseMatrix::gaussian(rn, 8, 1.0, 3);
+    let head = Mlp::new(&[8, 16, 5], 0.0, 11);
+    // Store smaller than the hub set so the trace exercises all three
+    // strategies: the exact gate on `plan_sampled`/`plan_full` is vacuous
+    // if one path never fires.
+    let planner = PlannerConfig {
+        hub_degree: 16,
+        hub_frontier: 2_048,
+        full_eps: 1e-6,
+        sampled_eps: 1e-4,
+        escalate_below: None,
+    };
+    let cfg = ServeConfig {
+        alpha: 0.15,
+        policy: PrecomputePolicy::Hot { count: rn / 20, eps: 1e-6 },
+        planner: planner.clone(),
+        cache_capacity: 128,
+        quant: QuantMode::F32,
+    };
+    let trace = zipf_trace(&rg, requests, 0.9, 42);
+
+    let t0 = Instant::now();
+    let mut batched = ServeEngine::new(rg.clone(), rx.clone(), head.clone(), cfg.clone());
+    let precompute_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut batched_logits: Vec<Vec<u32>> = Vec::with_capacity(trace.len() / batch + 1);
+    for chunk in trace.chunks(batch) {
+        batched_logits.push(bits(&batched.serve_batch(chunk)));
+    }
+    let replay_secs = t1.elapsed().as_secs_f64();
+
+    // Differential: fresh engine, same trace one-at-a-time — identical
+    // bits, identical replay counters.
+    let mut solo = ServeEngine::new(rg.clone(), rx.clone(), head.clone(), cfg.clone());
+    let mut cursor = trace.iter();
+    for chunk_bits in &batched_logits {
+        for (row, want) in chunk_bits.chunks(5).enumerate() {
+            let u = *cursor.next().expect("trace length matches");
+            let (one, _) = solo.serve_one(u);
+            let got: Vec<u32> = one.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "row {row}: batched logits diverged from one-at-a-time");
+        }
+    }
+    // `batches` necessarily differs (75 coalesced batches vs 1200 solo
+    // calls); every per-request counter must replay exactly.
+    let mut want_stats = solo.stats().clone();
+    want_stats.batches = batched.stats().batches;
+    assert_eq!(
+        batched.stats(),
+        &want_stats,
+        "replay counters diverged between batched and one-at-a-time serving"
+    );
+    let stats = batched.stats().clone();
+
+    // Full-store sanity: the column-parallel precompute serves answers
+    // bitwise equal to head(sequential smoothing), batch-assembled with
+    // the scratch-reusing gather.
+    {
+        let full_cfg = ServeConfig { policy: PrecomputePolicy::Full { rmax: 1e-4 }, ..cfg.clone() };
+        let mut full = ServeEngine::new(rg.clone(), rx.clone(), head.clone(), full_cfg);
+        let (emb_seq, _) = smooth_matrix_seq(&rg, &rx, 0.15, 1e-4);
+        let probe: Vec<NodeId> = trace.iter().take(64).copied().collect();
+        let (got, strategies) = full.serve_batch_with_strategies(&probe);
+        assert!(strategies.iter().all(|&s| s == Strategy::Cached));
+        let rows: Vec<usize> = probe.iter().map(|&u| u as usize).collect();
+        let mut gathered = DenseMatrix::zeros(rows.len(), rx.cols());
+        emb_seq.gather_rows_into(&rows, &mut gathered);
+        let want = head.forward_inference(&gathered);
+        assert_eq!(bits(&got), bits(&want), "full-store answers diverged from seq reference");
+    }
+    eprintln!(
+        "replay: {requests} requests, store {} rows, cache h/m/e {}/{}/{}, \
+         plan c/f/s {}/{}/{} in {replay_secs:.3}s",
+        batched.store_rows(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.plan_cached,
+        stats.plan_full,
+        stats.plan_sampled
+    );
+
+    // --- Open loop: heavy-tail arrivals against the admission queue. ----
+    let (on, oreq, mean_gap_us) = if quick { (20_000, 2_500, 150) } else { (100_000, 20_000, 100) };
+    let og = generate::barabasi_albert(on, if quick { 4 } else { 8 }, 9);
+    let ox = DenseMatrix::gaussian(on, 16, 1.0, 5);
+    let ohead = Mlp::new(&[16, 32, 8], 0.0, 13);
+    let ocfg = ServeConfig {
+        alpha: 0.15,
+        policy: PrecomputePolicy::Hot { count: on / 20, eps: 1e-5 },
+        planner: PlannerConfig {
+            hub_degree: 48,
+            hub_frontier: 16_384,
+            full_eps: 1e-5,
+            sampled_eps: 1e-3,
+            escalate_below: None,
+        },
+        cache_capacity: 4_096,
+        quant: QuantMode::Int8,
+    };
+    let t2 = Instant::now();
+    let mut engine = ServeEngine::new(og.clone(), ox, ohead, ocfg);
+    let open_precompute_secs = t2.elapsed().as_secs_f64();
+
+    // Pre-draw the whole arrival schedule so the producer thread only
+    // sleeps and pushes: Zipf(0.9) popularity, Pareto(a = 2) gaps with
+    // mean `2 * scale` — bursts plus occasional multi-ms silences.
+    let nodes = zipf_trace(&og, oreq, 0.9, 77);
+    let mut rng = sgnn_linalg::rng::seeded(99);
+    let scale_us = mean_gap_us as f64 / 2.0;
+    let gaps_us: Vec<u64> = (0..oreq)
+        .map(|_| {
+            let u: f64 = rng.random();
+            (scale_us / (1.0 - u).sqrt()).min(5_000.0) as u64
+        })
+        .collect();
+    let queue = Arc::new(AdmissionQueue::new());
+    let producer = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for (u, gap) in nodes.into_iter().zip(gaps_us) {
+                std::thread::sleep(Duration::from_micros(gap));
+                queue.push(u);
+            }
+            queue.close();
+        })
+    };
+    let bcfg = BatchConfig { deadline: Duration::from_micros(200), max_batch: 64 };
+    let t3 = Instant::now();
+    let served = run_server(&mut engine, &queue, &bcfg);
+    let open_secs = t3.elapsed().as_secs_f64();
+    producer.join().unwrap();
+    assert_eq!(served.len(), oreq, "open-loop server dropped queries");
+    let mut lat: Vec<u64> = served.iter().map(|s| s.latency_ns).collect();
+    lat.sort_unstable();
+    let (p50, p99, p999) = (quantile(&lat, 0.5), quantile(&lat, 0.99), quantile(&lat, 0.999));
+    let qps = oreq as f64 / open_secs;
+    let batches =
+        served.iter().filter(|s| s.batch_size >= 1).map(|s| 1.0 / s.batch_size as f64).sum::<f64>();
+    let mean_batch = oreq as f64 / batches;
+    let ostats = engine.stats().clone();
+    eprintln!(
+        "open_loop: {oreq} requests in {open_secs:.3}s ({qps:.0} q/s), \
+         p50/p99/p999 {p50}/{p99}/{p999} ns, mean batch {mean_batch:.2}"
+    );
+
+    // --- Report. --------------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"threads_hardware\": {},\n",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    ));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"replay\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": \"barabasi_albert({rn}, 4, seed 7), zipf(0.9) trace, hot store {}, cache 128\",\n",
+        rn / 10
+    ));
+    json.push_str(&format!("    \"requests\": {},\n", stats.requests));
+    json.push_str(&format!("    \"store_hits\": {},\n", stats.store_hits));
+    json.push_str(&format!("    \"cache_hits\": {},\n", stats.cache_hits));
+    json.push_str(&format!("    \"cache_misses\": {},\n", stats.cache_misses));
+    json.push_str(&format!("    \"cache_evictions\": {},\n", stats.cache_evictions));
+    json.push_str(&format!("    \"plan_cached\": {},\n", stats.plan_cached));
+    json.push_str(&format!("    \"plan_full\": {},\n", stats.plan_full));
+    json.push_str(&format!("    \"plan_sampled\": {},\n", stats.plan_sampled));
+    json.push_str(&format!("    \"precompute_secs\": {precompute_secs:.9},\n"));
+    json.push_str(&format!("    \"replay_secs\": {replay_secs:.9}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"open_loop\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": \"barabasi_albert({on}), zipf(0.9) popularity, pareto arrivals mean {mean_gap_us}us, deadline 200us, max_batch 64, int8 head\",\n"
+    ));
+    json.push_str(&format!("    \"requests\": {oreq},\n"));
+    json.push_str(&format!("    \"queries_per_sec\": {qps:.3},\n"));
+    json.push_str(&format!("    \"p50_ns\": {p50},\n"));
+    json.push_str(&format!("    \"p99_ns\": {p99},\n"));
+    json.push_str(&format!("    \"p999_ns\": {p999},\n"));
+    json.push_str(&format!("    \"mean_batch\": {mean_batch:.3},\n"));
+    json.push_str(&format!("    \"open_store_hits\": {},\n", ostats.store_hits));
+    json.push_str(&format!("    \"precompute_secs\": {open_precompute_secs:.9},\n"));
+    json.push_str(&format!("    \"open_secs\": {open_secs:.9}\n"));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    if obs_json {
+        println!("{}", serde::json::to_string(&sgnn_obs::report()));
+        sgnn_obs::flush();
+    }
+    sgnn_obs::disable();
+}

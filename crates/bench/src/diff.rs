@@ -8,7 +8,7 @@
 //!
 //! | class | matched by | band |
 //! |---|---|---|
-//! | analytic counts | `flops`, `bytes_moved`, `*_bytes*`, `*vectors*`, `*_slots`, `*stale*` | exact (bit-deterministic work/comm models) |
+//! | analytic counts | `flops`, `bytes_moved`, `*_bytes*`, `*vectors*`, `*_slots`, `*stale*`, `cache_hits/misses/evictions`, `store_hits`, `plan_*`, `requests` | exact (bit-deterministic work/comm/replay models) |
 //! | derived ratios | `intensity_*`, `*skew*`, `*_ratio` | relative 1e-6 |
 //! | wall time (lower better) | `*seconds*`, `*_secs*`, `*_sec*`, `*_ns` | fresh ≤ base × `time_ratio`, values under `time_floor` always pass |
 //! | throughput (higher better) | `gflops`, `*_per_sec`, `*speedup*` | fresh ≥ base ÷ `time_ratio` |
@@ -156,6 +156,19 @@ fn classify(path: &str) -> Class {
     // Stale-hit counts follow the deterministic refresh schedule, so
     // they are exactly reproducible.
     if leaf.contains("stale") {
+        return Class::ExactCount;
+    }
+    // Serving replay counters: cache/store hits, misses, evictions and
+    // planner decision counts are pure functions of the request trace
+    // (DESIGN.md §12), so the gate holds them exact. (Deliberately not
+    // a bare `*hits` rule: `prefetch_hits` is timing-dependent.)
+    if leaf == "cache_hits"
+        || leaf == "cache_misses"
+        || leaf == "cache_evictions"
+        || leaf == "store_hits"
+        || leaf.starts_with("plan_")
+        || leaf == "requests"
+    {
         return Class::ExactCount;
     }
     // Training losses (and exact-vs-compressed loss deltas) are
@@ -416,6 +429,37 @@ mod tests {
         assert!(compare(&v, &noisy, &tol()).passed(), "1.25x loss delta passes");
         let diverged = parse(&frontier.replace("0.00002", "0.01")).unwrap();
         assert!(!compare(&v, &diverged, &tol()).passed(), "500x loss delta fails");
+    }
+
+    #[test]
+    fn serving_bands() {
+        let serving = r#"{"replay": {"cache_hits": 40, "cache_misses": 24,
+             "cache_evictions": 8, "store_hits": 100, "plan_full": 20,
+             "plan_sampled": 4, "plan_escalated": 2, "requests": 164},
+            "open_loop": {"p50_ns": 80000, "p99_ns": 900000, "p999_ns": 2000000,
+             "queries_per_sec": 52000.0, "prefetch_hits": 7}}"#;
+        let v = parse(serving).unwrap();
+        assert!(compare(&v, &v, &tol()).passed());
+        // Replay counters are trace-exact: any drift fails.
+        for (from, to) in [
+            ("\"cache_hits\": 40", "\"cache_hits\": 41"),
+            ("\"plan_full\": 20", "\"plan_full\": 19"),
+        ] {
+            let bad = parse(&serving.replace(from, to)).unwrap();
+            assert!(!compare(&v, &bad, &tol()).passed(), "{from} must gate exactly");
+        }
+        // Latency quantiles get the 10x time band.
+        let slow_ok = parse(&serving.replace("900000", "4000000")).unwrap();
+        assert!(compare(&v, &slow_ok, &tol()).passed(), "4.4x p99 within band");
+        let slow_bad = parse(&serving.replace("900000", "20000000")).unwrap();
+        assert!(!compare(&v, &slow_bad, &tol()).passed(), "22x p99 regresses");
+        // Throughput gates on the low side.
+        let starved = parse(&serving.replace("52000.0", "1000.0")).unwrap();
+        assert!(!compare(&v, &starved, &tol()).passed(), "52x qps drop regresses");
+        // Timing-dependent prefetch hits stay ungated.
+        let jitter =
+            parse(&serving.replace("\"prefetch_hits\": 7", "\"prefetch_hits\": 9")).unwrap();
+        assert!(compare(&v, &jitter, &tol()).passed(), "prefetch_hits is not trace-exact");
     }
 
     #[test]

@@ -358,6 +358,19 @@ impl DenseMatrix {
         out
     }
 
+    /// Gathers the given rows into `out` (shape `len × cols`), reusing
+    /// the caller's scratch — the allocation-free variant of
+    /// [`gather_rows`](Self::gather_rows) for serving hot paths that
+    /// assemble a coalesced batch per request window.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut DenseMatrix) {
+        assert_eq!(out.rows(), indices.len(), "gather_rows_into row mismatch");
+        assert_eq!(out.cols(), self.cols, "gather_rows_into col mismatch");
+        for (i, &src) in indices.iter().enumerate() {
+            debug_assert!(src < self.rows);
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+    }
+
     /// Scatters rows of `src` back into `self` at the given indices
     /// (inverse of [`gather_rows`](Self::gather_rows)).
     pub fn scatter_rows(&mut self, indices: &[usize], src: &DenseMatrix) {
@@ -418,6 +431,16 @@ impl DenseMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gather_rows_into_matches_gather_rows() {
+        let a = DenseMatrix::gaussian(9, 4, 1.0, 11);
+        let idx = [7usize, 0, 7, 3];
+        let want = a.gather_rows(&idx);
+        let mut got = DenseMatrix::zeros(idx.len(), 4);
+        a.gather_rows_into(&idx, &mut got);
+        assert_eq!(got.data(), want.data());
+    }
 
     #[test]
     fn matmul_matches_hand_computation() {

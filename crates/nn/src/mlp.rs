@@ -96,6 +96,30 @@ impl Mlp {
         h
     }
 
+    /// Inference forward with quantized linear layers (DESIGN.md §9).
+    /// `QuantMode::F32` routes through [`Self::forward_inference`] and
+    /// is bitwise-identical to it; `Int8`/`F16` quantize per layer and
+    /// document tolerance instead — the serving engine's quantized head
+    /// path.
+    pub fn forward_inference_quant(
+        &self,
+        x: &DenseMatrix,
+        mode: sgnn_linalg::QuantMode,
+    ) -> DenseMatrix {
+        if !mode.is_quantized() {
+            return self.forward_inference(x);
+        }
+        let mut h = x.clone();
+        let n = self.linears.len();
+        for i in 0..n {
+            h = self.linears[i].forward_inference_quant(&h, mode);
+            if i + 1 < n {
+                h = self.relus[i].forward_inference(&h);
+            }
+        }
+        h
+    }
+
     /// Backward pass from logits gradient; returns the input gradient.
     pub fn backward(&mut self, dlogits: &DenseMatrix) -> DenseMatrix {
         let n = self.linears.len();
@@ -195,6 +219,24 @@ mod tests {
         }
         let logits = mlp.forward_inference(&x);
         assert_eq!(accuracy(&logits, &targets), 1.0, "logits {:?}", logits.data());
+    }
+
+    #[test]
+    fn quant_forward_f32_is_bitwise_and_lossy_is_close() {
+        let mlp = Mlp::new(&[6, 12, 4], 0.0, 3);
+        let x = DenseMatrix::gaussian(20, 6, 1.0, 5);
+        let exact = mlp.forward_inference(&x);
+        let f32_mode = mlp.forward_inference_quant(&x, sgnn_linalg::QuantMode::F32);
+        assert_eq!(f32_mode.data(), exact.data());
+        let scale = exact.data().iter().fold(0f32, |m, v| m.max(v.abs()));
+        for (mode, tol) in
+            [(sgnn_linalg::QuantMode::Int8, 0.05f32), (sgnn_linalg::QuantMode::F16, 0.01f32)]
+        {
+            let got = mlp.forward_inference_quant(&x, mode);
+            let max_err =
+                got.data().iter().zip(exact.data()).fold(0f32, |m, (a, b)| m.max((a - b).abs()));
+            assert!(max_err < tol * scale.max(1.0), "{}: max_err {max_err}", mode.label());
+        }
     }
 
     #[test]

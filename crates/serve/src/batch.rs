@@ -1,0 +1,226 @@
+//! Admission batching: coalesce concurrent queries into one head matmul.
+//!
+//! Producers push `(node, enqueue-time)` into an [`AdmissionQueue`];
+//! [`run_server`] drains it in arrival order. When a query opens a
+//! batch, the server keeps admitting queries until either the deadline
+//! window (measured from admission of the *first* query in the batch)
+//! elapses or the batch reaches `max_batch`, then answers the whole
+//! batch with one `serve_batch` call. Deadline semantics (DESIGN.md
+//! §12): the window bounds *added* queueing delay — a query never waits
+//! more than `deadline` past the moment it could have been served solo,
+//! and a full batch is released immediately.
+//!
+//! Timing affects only *when* work happens and how it is grouped, never
+//! the answer bits: `serve_batch` rows are bitwise-equal to
+//! one-at-a-time answers (see `crates/serve/src/engine.rs`), so the
+//! open-loop harness can batch aggressively without a correctness
+//! trade.
+
+use crate::engine::ServeEngine;
+use sgnn_graph::NodeId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+static BATCHES: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.batch.count");
+static BATCHED_QUERIES: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.batch.queries");
+static QUEUE_WAIT_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("serve.queue.wait_ns");
+
+/// Admission window configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// How long the server holds an open batch for co-arriving queries.
+    pub deadline: Duration,
+    /// Hard cap on coalesced batch size.
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { deadline: Duration::from_micros(200), max_batch: 64 }
+    }
+}
+
+/// One answered query, as reported by [`run_server`].
+#[derive(Debug, Clone)]
+pub struct ServedQuery {
+    /// The queried node.
+    pub node: NodeId,
+    /// End-to-end latency (enqueue → answer ready), nanoseconds.
+    pub latency_ns: u64,
+    /// Size of the batch this query was coalesced into.
+    pub batch_size: usize,
+}
+
+/// MPSC arrival queue with shutdown, shared between load generators and
+/// the serving loop.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    inner: Mutex<VecDeque<(NodeId, Instant)>>,
+    arrived: Condvar,
+    closed: AtomicBool,
+}
+
+impl AdmissionQueue {
+    /// An empty open queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues one query, stamping its arrival time.
+    pub fn push(&self, node: NodeId) {
+        let mut q = self.inner.lock().unwrap();
+        q.push_back((node, Instant::now()));
+        drop(q);
+        self.arrived.notify_one();
+    }
+
+    /// Marks the end of the arrival stream; `run_server` drains what is
+    /// left and returns.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.arrived.notify_all();
+    }
+
+    /// Queries currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Pops up to `max` queries without blocking.
+    fn drain(&self, max: usize, out: &mut Vec<(NodeId, Instant)>) {
+        let mut q = self.inner.lock().unwrap();
+        while out.len() < max {
+            match q.pop_front() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+    }
+
+    /// Blocks until a query arrives or the queue is closed and empty.
+    /// Returns `false` on shutdown.
+    fn wait_nonempty(&self) -> bool {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if !q.is_empty() {
+                return true;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self.arrived.wait_timeout(q, Duration::from_millis(5)).unwrap();
+            q = guard;
+        }
+    }
+}
+
+/// Serves the queue to exhaustion (queue closed *and* drained),
+/// coalescing under `cfg`, and reports per-query latency in completion
+/// order.
+pub fn run_server(
+    engine: &mut ServeEngine,
+    queue: &AdmissionQueue,
+    cfg: &BatchConfig,
+) -> Vec<ServedQuery> {
+    assert!(cfg.max_batch >= 1, "max_batch must admit at least one query");
+    let mut served = Vec::new();
+    let mut pending: Vec<(NodeId, Instant)> = Vec::with_capacity(cfg.max_batch);
+    while queue.wait_nonempty() {
+        pending.clear();
+        queue.drain(cfg.max_batch, &mut pending);
+        if pending.is_empty() {
+            continue;
+        }
+        // Hold the window open for co-arrivals, measured from admission
+        // of the batch opener.
+        let window_end = Instant::now() + cfg.deadline;
+        while pending.len() < cfg.max_batch {
+            let now = Instant::now();
+            if now >= window_end {
+                break;
+            }
+            if queue.depth() == 0 {
+                std::thread::sleep((window_end - now).min(Duration::from_micros(50)));
+            }
+            queue.drain(cfg.max_batch, &mut pending);
+        }
+        let nodes: Vec<NodeId> = pending.iter().map(|&(u, _)| u).collect();
+        let _ = engine.serve_batch(&nodes);
+        let done = Instant::now();
+        BATCHES.incr();
+        BATCHED_QUERIES.add(nodes.len() as u64);
+        for &(node, enqueued) in &pending {
+            let latency_ns = done.duration_since(enqueued).as_nanos() as u64;
+            QUEUE_WAIT_NS.record(latency_ns);
+            served.push(ServedQuery { node, latency_ns, batch_size: nodes.len() });
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::plan::PlannerConfig;
+    use crate::store::PrecomputePolicy;
+    use sgnn_graph::generate;
+    use sgnn_linalg::DenseMatrix;
+    use sgnn_nn::Mlp;
+
+    fn engine() -> ServeEngine {
+        let g = generate::barabasi_albert(80, 3, 5);
+        let x = DenseMatrix::gaussian(80, 4, 1.0, 2);
+        let head = Mlp::new(&[4, 6, 3], 0.0, 7);
+        let cfg = ServeConfig {
+            policy: PrecomputePolicy::Full { rmax: 1e-3 },
+            planner: PlannerConfig::default(),
+            ..Default::default()
+        };
+        ServeEngine::new(g, x, head, cfg)
+    }
+
+    #[test]
+    fn server_answers_every_enqueued_query() {
+        let mut e = engine();
+        let q = AdmissionQueue::new();
+        for u in 0..50u32 {
+            q.push(u % 80);
+        }
+        q.close();
+        let served =
+            run_server(&mut e, &q, &BatchConfig { deadline: Duration::ZERO, max_batch: 8 });
+        assert_eq!(served.len(), 50);
+        assert_eq!(e.stats().requests, 50);
+        assert!(served.iter().all(|s| s.batch_size >= 1 && s.batch_size <= 8));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_drains_cleanly() {
+        let mut e = engine();
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        let producer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                for u in 0..200u32 {
+                    q.push(u % 80);
+                    if u % 16 == 0 {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+                q.close();
+            })
+        };
+        let served = run_server(
+            &mut e,
+            &q,
+            &BatchConfig { deadline: Duration::from_micros(300), max_batch: 32 },
+        );
+        producer.join().unwrap();
+        assert_eq!(served.len(), 200);
+        assert!(served.iter().any(|s| s.batch_size > 1), "no query was ever coalesced");
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic LRU cache for on-demand embedding rows.
+//!
+//! Recency is tracked with a monotone use-stamp per entry; eviction
+//! removes the minimum stamp. Stamps are unique, so eviction order is a
+//! pure function of the request trace — no hashing order, timing, or
+//! thread interleaving can change which row is dropped. That is what
+//! lets the serving suite assert cache hit/miss/eviction counts are
+//! reproducible run-to-run and across `SGNN_THREADS` settings.
+
+use sgnn_graph::NodeId;
+use std::collections::HashMap;
+
+static CACHE_HITS: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.cache.hits");
+static CACHE_MISSES: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.cache.misses");
+static CACHE_EVICTIONS: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.cache.evictions");
+
+/// LRU map `NodeId → embedding row` with capacity `capacity` (zero
+/// disables caching entirely: every probe is a miss, inserts are
+/// dropped).
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<NodeId, (u64, Vec<f32>)>,
+    /// Probe hits since construction.
+    pub hits: u64,
+    /// Probe misses since construction.
+    pub misses: u64,
+    /// Evictions since construction.
+    pub evictions: u64,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` rows.
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, clock: 0, entries: HashMap::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Looks up `u`, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, u: NodeId) -> Option<&[f32]> {
+        match self.entries.get_mut(&u) {
+            Some((stamp, row)) => {
+                self.clock += 1;
+                *stamp = self.clock;
+                self.hits += 1;
+                CACHE_HITS.incr();
+                Some(row)
+            }
+            None => {
+                self.misses += 1;
+                CACHE_MISSES.incr();
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `u`, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, u: NodeId, row: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&u) {
+            // Stamps are unique, so the minimum is unambiguous.
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k)
+                .expect("non-empty at capacity");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+            CACHE_EVICTIONS.incr();
+        }
+        self.entries.insert(u, (self.clock, row));
+    }
+
+    /// Rows currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        assert!(c.get(1).is_some()); // 1 is now most recent
+        c.insert(3, vec![3.0]); // evicts 2
+        assert_eq!(c.evictions, 1);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(7, vec![1.0]);
+        assert!(c.get(7).is_none());
+        assert_eq!((c.hits, c.misses, c.evictions), (0, 1, 0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinserting_resident_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        c.insert(1, vec![1.5]);
+        assert_eq!(c.evictions, 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap(), &[1.5][..]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The serving engine: store + planner + cache + MLP head.
+//!
+//! `serve_one` and `serve_batch` share one implementation; a batch
+//! acquires embedding rows in request order (so cache/planner
+//! bookkeeping is a pure function of the request trace), assembles them
+//! into one matrix, and applies the head as a single (optionally
+//! quantized) matmul. The dense matmul computes each output row
+//! independently in a fixed k-order, so batched logits are bitwise
+//! identical to one-at-a-time logits — the coalescing contract
+//! DESIGN.md §12 documents and `tests/serving_equivalence.rs` pins.
+//!
+//! Cache admission rule (load-bearing for that contract): only
+//! full-quality rows — `FullProp` answers and `Sampled` answers that
+//! escalated to full — are admitted to the LRU. A non-escalated
+//! `Sampled` row is never cached. Together with escalation being a pure
+//! function of the (deterministic) row bits, every answer for node `u`
+//! is one of two fixed bit patterns (`head(full_row(u))` or
+//! `head(sampled_row(u))`), chosen identically no matter how requests
+//! are batched or interleaved.
+
+use crate::cache::LruCache;
+use crate::plan::{PlannerConfig, QueryPlanner, Strategy};
+use crate::push::fresh_row;
+use crate::store::{EmbeddingStore, PrecomputePolicy};
+use sgnn_graph::{CsrGraph, NodeId};
+use sgnn_linalg::{DenseMatrix, QuantMode};
+use sgnn_nn::Mlp;
+
+static REQUEST_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("serve.request.ns");
+static BATCH_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("serve.batch.ns");
+static PLAN_ESCALATED: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.plan.escalated");
+static STORE_HITS: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.store.hits");
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// PPR restart probability of the serving operator.
+    pub alpha: f64,
+    /// What the embedding store precomputes.
+    pub policy: PrecomputePolicy,
+    /// Planner thresholds and tolerances.
+    pub planner: PlannerConfig,
+    /// LRU capacity for on-demand rows (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Head precision: `F32` is bitwise-identical to the training-time
+    /// forward; `Int8`/`F16` trade documented tolerance for speed
+    /// (DESIGN.md §9).
+    pub quant: QuantMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            alpha: 0.15,
+            policy: PrecomputePolicy::Full { rmax: 1e-4 },
+            planner: PlannerConfig::default(),
+            cache_capacity: 1024,
+            quant: QuantMode::F32,
+        }
+    }
+}
+
+/// Replay-exact serving counters, kept per engine so tests can assert
+/// on them without enabling the global obs registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batches served (a `serve_one` call counts as a batch of 1).
+    pub batches: u64,
+    /// Rows answered straight from the precomputed store.
+    pub store_hits: u64,
+    /// LRU cache hits.
+    pub cache_hits: u64,
+    /// LRU cache misses (probes that fell through to a fresh push).
+    pub cache_misses: u64,
+    /// LRU evictions.
+    pub cache_evictions: u64,
+    /// Planner `Cached` decisions.
+    pub plan_cached: u64,
+    /// Planner `FullProp` decisions.
+    pub plan_full: u64,
+    /// Planner `Sampled` decisions.
+    pub plan_sampled: u64,
+    /// Sampled answers escalated to full propagation.
+    pub plan_escalated: u64,
+}
+
+/// Request-driven inference over a fixed `(graph, features, head)`.
+pub struct ServeEngine {
+    g: CsrGraph,
+    x: DenseMatrix,
+    head: Mlp,
+    cfg: ServeConfig,
+    store: EmbeddingStore,
+    planner: QueryPlanner,
+    cache: LruCache,
+    stats: ServeStats,
+}
+
+impl ServeEngine {
+    /// Builds the store and planner and takes ownership of the serving
+    /// state.
+    pub fn new(g: CsrGraph, x: DenseMatrix, head: Mlp, cfg: ServeConfig) -> Self {
+        let store = EmbeddingStore::build(&g, &x, cfg.alpha, &cfg.policy);
+        let planner = QueryPlanner::new(&g, cfg.planner.clone());
+        let cache = LruCache::new(cfg.cache_capacity);
+        ServeEngine { g, x, head, cfg, store, planner, cache, stats: ServeStats::default() }
+    }
+
+    /// Answers one request: logits plus the strategy that produced them.
+    pub fn serve_one(&mut self, u: NodeId) -> (Vec<f32>, Strategy) {
+        let _t = REQUEST_NS.time();
+        let (logits, strategies) = self.serve_impl(&[u]);
+        (logits.row(0).to_vec(), strategies[0])
+    }
+
+    /// Answers a coalesced batch with one head matmul. Row `i` is
+    /// bitwise-equal to `serve_one(nodes[i])` on an engine that saw the
+    /// same request prefix.
+    pub fn serve_batch(&mut self, nodes: &[NodeId]) -> DenseMatrix {
+        self.serve_impl(nodes).0
+    }
+
+    /// Like [`Self::serve_batch`] but also reports per-row strategies.
+    pub fn serve_batch_with_strategies(
+        &mut self,
+        nodes: &[NodeId],
+    ) -> (DenseMatrix, Vec<Strategy>) {
+        self.serve_impl(nodes)
+    }
+
+    fn serve_impl(&mut self, nodes: &[NodeId]) -> (DenseMatrix, Vec<Strategy>) {
+        let _t = BATCH_NS.time();
+        let d = self.x.cols();
+        let mut emb = DenseMatrix::zeros(nodes.len(), d);
+        let mut strategies = Vec::with_capacity(nodes.len());
+        // Row acquisition in request order: every cache/planner update
+        // below is a pure function of the trace served so far.
+        for (i, &u) in nodes.iter().enumerate() {
+            let (row, strategy) = self.acquire_row(u);
+            emb.row_mut(i).copy_from_slice(&row);
+            strategies.push(strategy);
+        }
+        let mut logits = self.head_forward(&emb);
+        if let Some(tau) = self.cfg.planner.escalate_below {
+            for (i, s) in strategies.iter_mut().enumerate() {
+                if *s != Strategy::Sampled || max_softmax(logits.row(i)) >= tau {
+                    continue;
+                }
+                // Low-confidence sampled answer: recompute at full
+                // tolerance, admit the full row, re-run the head on
+                // just this row.
+                let u = nodes[i];
+                let full =
+                    fresh_row(&self.g, &self.x, u, self.cfg.alpha, self.cfg.planner.full_eps);
+                self.cache.insert(u, full.clone());
+                let mut one = DenseMatrix::zeros(1, d);
+                one.row_mut(0).copy_from_slice(&full);
+                let fixed = self.head_forward(&one);
+                logits.row_mut(i).copy_from_slice(fixed.row(0));
+                self.stats.plan_escalated += 1;
+                PLAN_ESCALATED.incr();
+            }
+        }
+        self.stats.requests += nodes.len() as u64;
+        self.stats.batches += 1;
+        self.sync_stats();
+        (logits, strategies)
+    }
+
+    /// Store → cache → fresh push, with full-quality-only cache
+    /// admission.
+    fn acquire_row(&mut self, u: NodeId) -> (Vec<f32>, Strategy) {
+        if let Some(row) = self.store.get(u) {
+            self.stats.store_hits += 1;
+            STORE_HITS.incr();
+            let _ = self.planner.plan(u, true);
+            return (row.to_vec(), Strategy::Cached);
+        }
+        if let Some(row) = self.cache.get(u) {
+            let row = row.to_vec();
+            let _ = self.planner.plan(u, true);
+            return (row, Strategy::Cached);
+        }
+        let strategy = self.planner.plan(u, false);
+        let eps = match strategy {
+            Strategy::FullProp => self.cfg.planner.full_eps,
+            Strategy::Sampled => self.cfg.planner.sampled_eps,
+            Strategy::Cached => unreachable!("planner saw has_row = false"),
+        };
+        let row = fresh_row(&self.g, &self.x, u, self.cfg.alpha, eps);
+        if strategy == Strategy::FullProp {
+            self.cache.insert(u, row.clone());
+        }
+        (row, strategy)
+    }
+
+    fn head_forward(&self, emb: &DenseMatrix) -> DenseMatrix {
+        if self.cfg.quant.is_quantized() {
+            self.head.forward_inference_quant(emb, self.cfg.quant)
+        } else {
+            self.head.forward_inference(emb)
+        }
+    }
+
+    fn sync_stats(&mut self) {
+        self.stats.cache_hits = self.cache.hits;
+        self.stats.cache_misses = self.cache.misses;
+        self.stats.cache_evictions = self.cache.evictions;
+        self.stats.plan_cached = self.planner.cached;
+        self.stats.plan_full = self.planner.full;
+        self.stats.plan_sampled = self.planner.sampled;
+    }
+
+    /// Replay-exact counters accumulated so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Rows the store materialized at build time.
+    pub fn store_rows(&self) -> usize {
+        self.store.rows_built()
+    }
+}
+
+/// Max softmax probability of one logits row (stable shift-by-max form,
+/// fixed summation order).
+pub fn max_softmax(logits: &[f32]) -> f32 {
+    let m = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let denom: f32 = logits.iter().map(|&l| (l - m).exp()).sum();
+    1.0 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    fn engine(policy: PrecomputePolicy, cache: usize) -> ServeEngine {
+        let g = generate::barabasi_albert(120, 3, 5);
+        let x = DenseMatrix::gaussian(120, 6, 1.0, 2);
+        let head = Mlp::new(&[6, 8, 3], 0.0, 7);
+        let cfg = ServeConfig {
+            policy,
+            cache_capacity: cache,
+            planner: PlannerConfig { hub_degree: 8, ..Default::default() },
+            ..Default::default()
+        };
+        ServeEngine::new(g, x, head, cfg)
+    }
+
+    #[test]
+    fn full_store_answers_everything_cached() {
+        let mut e = engine(PrecomputePolicy::Full { rmax: 1e-4 }, 16);
+        for u in [0u32, 5, 60, 119] {
+            let (logits, s) = e.serve_one(u);
+            assert_eq!(s, Strategy::Cached);
+            assert_eq!(logits.len(), 3);
+        }
+        assert_eq!(e.stats().store_hits, 4);
+        assert_eq!(e.stats().plan_cached, 4);
+    }
+
+    #[test]
+    fn fullprop_rows_are_cached_and_reused() {
+        let mut e = engine(PrecomputePolicy::None, 16);
+        // Find a non-hub node: FullProp, admitted to cache.
+        let u = (0..120u32).find(|&u| e.planner.degree(u) < 8).unwrap();
+        let (first, s1) = e.serve_one(u);
+        assert_eq!(s1, Strategy::FullProp);
+        let (second, s2) = e.serve_one(u);
+        assert_eq!(s2, Strategy::Cached);
+        assert_eq!(first, second, "cached answer must equal the fresh one");
+        assert_eq!(e.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn sampled_rows_are_not_cached() {
+        let mut e = engine(PrecomputePolicy::None, 16);
+        let hub = (0..120u32).max_by_key(|&u| e.planner.degree(u)).unwrap();
+        let (_, s1) = e.serve_one(hub);
+        assert_eq!(s1, Strategy::Sampled);
+        let (_, s2) = e.serve_one(hub);
+        assert_eq!(s2, Strategy::Sampled, "sampled rows must not be admitted");
+        assert_eq!(e.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_rows_match_serve_one_bitwise() {
+        let trace: Vec<NodeId> = vec![3, 50, 3, 100, 7, 50, 119, 0, 3];
+        let mut a = engine(PrecomputePolicy::Hot { count: 20, eps: 1e-7 }, 4);
+        let mut b = engine(PrecomputePolicy::Hot { count: 20, eps: 1e-7 }, 4);
+        let batched = a.serve_batch(&trace);
+        for (i, &u) in trace.iter().enumerate() {
+            let (one, _) = b.serve_one(u);
+            let batch_bits: Vec<u32> = batched.row(i).iter().map(|v| v.to_bits()).collect();
+            let one_bits: Vec<u32> = one.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, one_bits, "row {i} (node {u}) diverged");
+        }
+    }
+
+    #[test]
+    fn escalation_upgrades_low_confidence_sampled_answers() {
+        let g = generate::barabasi_albert(120, 3, 5);
+        let x = DenseMatrix::gaussian(120, 6, 1.0, 2);
+        let head = Mlp::new(&[6, 8, 3], 0.0, 7);
+        let cfg = ServeConfig {
+            policy: PrecomputePolicy::None,
+            cache_capacity: 16,
+            planner: PlannerConfig {
+                hub_degree: 1,             // everything is a hub → everything Sampled
+                escalate_below: Some(1.1), // τ > 1 → always escalate
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut e = ServeEngine::new(g, x, head, cfg);
+        let (esc, s) = e.serve_one(42);
+        assert_eq!(s, Strategy::Sampled);
+        assert_eq!(e.stats().plan_escalated, 1);
+        // The escalated answer equals a pure FullProp answer bitwise.
+        let g2 = generate::barabasi_albert(120, 3, 5);
+        let x2 = DenseMatrix::gaussian(120, 6, 1.0, 2);
+        let head2 = Mlp::new(&[6, 8, 3], 0.0, 7);
+        let cfg2 = ServeConfig {
+            policy: PrecomputePolicy::None,
+            cache_capacity: 16,
+            planner: PlannerConfig { hub_degree: u32::MAX, ..Default::default() },
+            ..Default::default()
+        };
+        let mut full = ServeEngine::new(g2, x2, head2, cfg2);
+        let (want, s2) = full.serve_one(42);
+        assert_eq!(s2, Strategy::FullProp);
+        let a: Vec<u32> = esc.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,49 @@
+//! # sgnn-serve — request-driven online inference
+//!
+//! The survey's decoupled-model taxonomy (§3.1.2) reduces GNN inference
+//! to "embedding lookup + cheap MLP" once propagation is precomputed.
+//! This crate is that serving layer (ROADMAP item 1, DESIGN.md §12):
+//!
+//! - [`push`] — the serving smoothing operator `S = Σ α(1−α)^i P^i`
+//!   (row-stochastic `P = D⁻¹A`, dangling rows self-loop), computed
+//!   either by SCARA-style feature-oriented push with residual
+//!   threshold `rmax` (column-parallel, bitwise thread-invariant) or
+//!   exactly for `rmax = 0`. The documented approximation contract is
+//!   an entrywise bound: `|cached − exact| < rmax`.
+//! - [`store`] — the decoupled embedding store the precompute feeds:
+//!   all rows (`Full`), only hot high-degree rows (`Hot`), or nothing
+//!   (`None` — everything on demand).
+//! - [`plan`] — the node-adaptive query planner (ablation A2 / NAI
+//!   generalized into a runtime policy): cached-embedding vs
+//!   full-propagation vs sampled (coarse-push) inference per request,
+//!   decided from degree/frontier statistics, with optional
+//!   confidence-gated escalation.
+//! - [`cache`] — deterministic LRU embedding cache with
+//!   `serve.cache.hits/misses/evictions` counters.
+//! - [`engine`] — [`engine::ServeEngine`]: `serve_one`/`serve_batch`
+//!   answering logits per node, batched answers bitwise-equal to
+//!   one-at-a-time answers.
+//! - [`batch`] — admission batching: an arrival queue whose server
+//!   coalesces concurrent queries within a deadline window into one
+//!   batched head application (the open-loop harness `benchserve`
+//!   drives this).
+//!
+//! The determinism contract is pinned by `tests/serving_equivalence.rs`
+//! and `tests/ppr_invariants.rs`; DESIGN.md §12 states it in prose.
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod plan;
+pub mod push;
+pub mod store;
+
+pub use batch::{run_server, AdmissionQueue, BatchConfig, ServedQuery};
+pub use cache::LruCache;
+pub use engine::{ServeConfig, ServeEngine, ServeStats};
+pub use plan::{PlannerConfig, QueryPlanner, Strategy};
+pub use push::{
+    fresh_row, smooth_column, smooth_column_exact, smooth_column_push, smooth_matrix,
+    smooth_matrix_seq, ServePushStats,
+};
+pub use store::{EmbeddingStore, PrecomputePolicy};

@@ -1,0 +1,162 @@
+//! Node-adaptive query planner.
+//!
+//! Generalizes the A2 ablation / NAI confidence gating into a runtime
+//! policy object: per request the planner picks **cached-embedding**
+//! (store or LRU row exists), **full-propagation** (tight-eps per-node
+//! push), or **sampled** inference (coarse-eps push) from the node's
+//! degree and estimated 2-hop frontier. The intuition is the survey's
+//! neighborhood-explosion argument: a hub's push frontier is the
+//! expensive part of a request, so hubs get the coarse strategy and —
+//! optionally — a confidence-gated escalation back to full propagation
+//! (the NAI pattern, applied at serve time).
+//!
+//! Tie-break order is fixed and documented (DESIGN.md §12):
+//! store row ≻ cache row ≻ frontier/degree rule. Decisions are pure in
+//! `(node stats, store/cache occupancy)`, which is what makes planner
+//! decision counts replay-exact in the differential suite.
+
+use sgnn_graph::{CsrGraph, NodeId};
+
+static PLAN_CACHED: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.plan.cached");
+static PLAN_FULL: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.plan.full");
+static PLAN_SAMPLED: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.plan.sampled");
+
+/// How one request is answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Row served from the embedding store or the LRU cache.
+    Cached,
+    /// Fresh per-node push at the tight `full_eps` tolerance.
+    FullProp,
+    /// Fresh per-node push at the coarse `sampled_eps` tolerance.
+    Sampled,
+}
+
+/// Planner thresholds and tolerances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Degree at or above which a node is treated as a hub.
+    pub hub_degree: u32,
+    /// Estimated 2-hop frontier (`deg(u) + Σ_{v∈N(u)} deg(v)`) at or
+    /// above which a node is treated as a hub.
+    pub hub_frontier: u64,
+    /// Push tolerance for `FullProp`.
+    pub full_eps: f64,
+    /// Push tolerance for `Sampled`.
+    pub sampled_eps: f64,
+    /// `Some(τ)`: escalate a `Sampled` answer to `FullProp` when its
+    /// max softmax confidence falls below `τ`.
+    pub escalate_below: Option<f32>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            hub_degree: 64,
+            hub_frontier: 4096,
+            full_eps: 1e-7,
+            sampled_eps: 1e-4,
+            escalate_below: None,
+        }
+    }
+}
+
+/// The runtime policy object: precomputed per-node stats + thresholds.
+#[derive(Debug, Clone)]
+pub struct QueryPlanner {
+    cfg: PlannerConfig,
+    degree: Vec<u32>,
+    frontier: Vec<u64>,
+    /// `Cached` decisions made.
+    pub cached: u64,
+    /// `FullProp` decisions made.
+    pub full: u64,
+    /// `Sampled` decisions made.
+    pub sampled: u64,
+}
+
+impl QueryPlanner {
+    /// Precomputes degree/frontier statistics for every node.
+    pub fn new(g: &CsrGraph, cfg: PlannerConfig) -> Self {
+        let n = g.num_nodes();
+        let degree: Vec<u32> = (0..n as NodeId).map(|u| g.degree(u) as u32).collect();
+        let frontier: Vec<u64> = (0..n as NodeId)
+            .map(|u| {
+                g.degree(u) as u64 + g.neighbors(u).iter().map(|&v| g.degree(v) as u64).sum::<u64>()
+            })
+            .collect();
+        QueryPlanner { cfg, degree, frontier, cached: 0, full: 0, sampled: 0 }
+    }
+
+    /// Plans one request. `has_row` says whether the store or cache
+    /// already holds the node's embedding row.
+    pub fn plan(&mut self, u: NodeId, has_row: bool) -> Strategy {
+        let s = if has_row {
+            Strategy::Cached
+        } else if self.degree[u as usize] >= self.cfg.hub_degree
+            || self.frontier[u as usize] >= self.cfg.hub_frontier
+        {
+            Strategy::Sampled
+        } else {
+            Strategy::FullProp
+        };
+        match s {
+            Strategy::Cached => {
+                self.cached += 1;
+                PLAN_CACHED.incr();
+            }
+            Strategy::FullProp => {
+                self.full += 1;
+                PLAN_FULL.incr();
+            }
+            Strategy::Sampled => {
+                self.sampled += 1;
+                PLAN_SAMPLED.incr();
+            }
+        }
+        s
+    }
+
+    /// The thresholds/tolerances this planner runs with.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Precomputed degree of `u`.
+    pub fn degree(&self, u: NodeId) -> u32 {
+        self.degree[u as usize]
+    }
+
+    /// Precomputed 2-hop frontier estimate of `u`.
+    pub fn frontier(&self, u: NodeId) -> u64 {
+        self.frontier[u as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn hubs_get_sampled_and_leaves_get_full() {
+        let g = generate::star(50); // node 0 has degree 49, leaves degree 1
+        let cfg = PlannerConfig { hub_degree: 10, hub_frontier: u64::MAX, ..Default::default() };
+        let mut p = QueryPlanner::new(&g, cfg);
+        assert_eq!(p.plan(0, false), Strategy::Sampled);
+        assert_eq!(p.plan(1, false), Strategy::FullProp);
+        assert_eq!(p.plan(1, true), Strategy::Cached);
+        assert_eq!((p.cached, p.full, p.sampled), (1, 1, 1));
+    }
+
+    #[test]
+    fn frontier_rule_catches_hub_adjacent_nodes() {
+        // A star leaf has degree 1 but frontier 1 + 49 = 50: the 2-hop
+        // estimate sees through to the hub.
+        let g = generate::star(50);
+        let cfg = PlannerConfig { hub_degree: u32::MAX, hub_frontier: 40, ..Default::default() };
+        let mut p = QueryPlanner::new(&g, cfg);
+        assert_eq!(p.frontier(1), 50);
+        assert_eq!(p.plan(1, false), Strategy::Sampled);
+    }
+}

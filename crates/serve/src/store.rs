@@ -1,0 +1,150 @@
+//! Decoupled embedding store — the precompute target.
+//!
+//! `Full` materializes every row of `S·X` with the column-parallel push
+//! ([`crate::push::smooth_matrix`], SCARA's feature-oriented layout).
+//! `Hot` precomputes only the top-degree rows via the *per-node* path
+//! ([`crate::push::fresh_row`]) at the planner's `FullProp` tolerance —
+//! deliberately the same function the engine uses on demand, so a
+//! store-backed answer and a freshly computed `FullProp` answer for the
+//! same node are bitwise identical (DESIGN.md §12). `None` precomputes
+//! nothing and leaves every request to the planner/cache.
+
+use crate::push::{fresh_row, smooth_matrix, ServePushStats};
+use sgnn_graph::{CsrGraph, NodeId};
+use sgnn_linalg::par::par_map_chunks;
+use sgnn_linalg::DenseMatrix;
+
+static PRECOMPUTE_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("serve.precompute.ns");
+static STORE_ROWS: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.store.rows");
+
+/// What the store precomputes at build time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrecomputePolicy {
+    /// Every row, by feature-oriented column push at threshold `rmax`
+    /// (`rmax = 0` → exact kernel).
+    Full {
+        /// Residual threshold; entrywise error bound of the store.
+        rmax: f64,
+    },
+    /// The `count` highest-degree rows (ties broken by ascending node
+    /// id), each via the per-node push at tolerance `eps`.
+    Hot {
+        /// Number of rows to precompute.
+        count: usize,
+        /// Per-node push tolerance — keep equal to the planner's
+        /// `full_eps` so store rows match on-demand `FullProp` rows
+        /// bitwise.
+        eps: f64,
+    },
+    /// Nothing precomputed; every request is planned on demand.
+    None,
+}
+
+/// Precomputed embedding rows, present for a policy-dependent node set.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    emb: DenseMatrix,
+    present: Vec<bool>,
+    rows_built: usize,
+    push_stats: ServePushStats,
+}
+
+impl EmbeddingStore {
+    /// Builds the store for `policy` over `(g, x)` with restart `alpha`.
+    pub fn build(g: &CsrGraph, x: &DenseMatrix, alpha: f64, policy: &PrecomputePolicy) -> Self {
+        let _t = PRECOMPUTE_NS.time();
+        let n = g.num_nodes();
+        let d = x.cols();
+        let (emb, present, stats) = match policy {
+            PrecomputePolicy::Full { rmax } => {
+                let (emb, stats) = smooth_matrix(g, x, alpha, *rmax);
+                (emb, vec![true; n], stats)
+            }
+            PrecomputePolicy::Hot { count, eps } => {
+                let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+                by_degree.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+                by_degree.truncate(*count);
+                let rows =
+                    par_map_chunks(by_degree.len(), |i| fresh_row(g, x, by_degree[i], alpha, *eps));
+                let mut emb = DenseMatrix::zeros(n, d);
+                let mut present = vec![false; n];
+                for (u, row) in by_degree.iter().zip(rows.iter()) {
+                    present[*u as usize] = true;
+                    emb.row_mut(*u as usize).copy_from_slice(row);
+                }
+                (emb, present, ServePushStats::default())
+            }
+            PrecomputePolicy::None => {
+                (DenseMatrix::zeros(0, d), vec![false; n], ServePushStats::default())
+            }
+        };
+        let rows_built = present.iter().filter(|&&p| p).count();
+        STORE_ROWS.add(rows_built as u64);
+        EmbeddingStore { emb, present, rows_built, push_stats: stats }
+    }
+
+    /// The precomputed row for `u`, if the policy covered it.
+    pub fn get(&self, u: NodeId) -> Option<&[f32]> {
+        if *self.present.get(u as usize)? {
+            Some(self.emb.row(u as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Number of rows materialized at build time.
+    pub fn rows_built(&self) -> usize {
+        self.rows_built
+    }
+
+    /// Push work done at build time (zero for `Hot`/`None`, whose work
+    /// is per-node and accounted by the prop-push counters).
+    pub fn push_stats(&self) -> &ServePushStats {
+        &self.push_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_graph::generate;
+
+    #[test]
+    fn full_store_covers_everything() {
+        let g = generate::erdos_renyi(60, 0.1, false, 1);
+        let x = DenseMatrix::gaussian(60, 3, 1.0, 2);
+        let s = EmbeddingStore::build(&g, &x, 0.15, &PrecomputePolicy::Full { rmax: 1e-4 });
+        assert_eq!(s.rows_built(), 60);
+        assert!((0..60).all(|u| s.get(u).is_some()));
+    }
+
+    #[test]
+    fn hot_store_selects_top_degree_rows() {
+        let g = generate::barabasi_albert(100, 3, 7);
+        let x = DenseMatrix::gaussian(100, 3, 1.0, 2);
+        let s =
+            EmbeddingStore::build(&g, &x, 0.15, &PrecomputePolicy::Hot { count: 10, eps: 1e-6 });
+        assert_eq!(s.rows_built(), 10);
+        let mut cut = usize::MAX;
+        let mut max_absent = 0usize;
+        for u in 0..100u32 {
+            match s.get(u) {
+                Some(row) => {
+                    assert_eq!(row, fresh_row(&g, &x, u, 0.15, 1e-6).as_slice());
+                    cut = cut.min(g.degree(u));
+                }
+                None => max_absent = max_absent.max(g.degree(u)),
+            }
+        }
+        assert!(cut >= max_absent, "store must hold the highest-degree rows");
+    }
+
+    #[test]
+    fn none_store_is_empty() {
+        let g = generate::erdos_renyi(20, 0.2, false, 3);
+        let x = DenseMatrix::gaussian(20, 2, 1.0, 4);
+        let s = EmbeddingStore::build(&g, &x, 0.15, &PrecomputePolicy::None);
+        assert_eq!(s.rows_built(), 0);
+        assert!((0..20).all(|u| s.get(u).is_none()));
+    }
+}

@@ -59,3 +59,7 @@ pub use sgnn_fault as fault;
 
 /// Synthetic dataset generators and splits.
 pub use sgnn_data as data;
+
+/// Request-driven online inference: PPR-push precompute, adaptive query
+/// planning, admission batching (DESIGN.md §12).
+pub use sgnn_serve as serve;

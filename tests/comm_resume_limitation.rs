@@ -1,0 +1,160 @@
+//! Regression pin for the DESIGN.md §11 limitation: resuming a
+//! `CommRegime::Compressed` run from a checkpoint is **correct but not
+//! bitwise**.
+//!
+//! The checkpoint carries parameters, Adam moments, and the stopper —
+//! the *entire* evolving state of an exact-regime run, which is why
+//! `tests/recovery_equivalence.rs` can demand bitwise resume there, and
+//! why the `Exact` case below must stay bitwise. The compressed regime
+//! keeps two extra pieces of state *outside* the checkpoint: the
+//! error-feedback residuals and the stale ghost snapshots
+//! (`staleness > 1`). A resume restarts both at zero/fresh, so the
+//! post-resume trajectory diverges bit-for-bit from an uninterrupted
+//! compressed run — while staying inside the same §11 loss-divergence
+//! envelope that bounds lossy compression itself.
+//!
+//! If `compressed_resume_is_correct_but_not_bitwise` ever fails on its
+//! `diverged` assertion, the limitation has been FIXED (EF residuals
+//! and ghost snapshots made part of the checkpoint): update DESIGN.md
+//! §11 and flip this test to demand bitwise resume instead.
+
+use sgnn::core::ckpt::SlotParams;
+use sgnn::core::error::TrainError;
+use sgnn::core::shard::train_sharded_gcn;
+use sgnn::core::trainer::{train_full_gcn, TrainConfig};
+use sgnn::core::CommRegime;
+use sgnn::data::sbm_dataset;
+use sgnn::fault::FaultPlan;
+use sgnn::linalg::QuantMode;
+use sgnn::partition::hash_partition;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Same envelope `tests/comm_regime.rs` enforces for lossy compression.
+const LOSS_DIVERGENCE_BOUND: f32 = 0.15;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sgnn_commresume_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn maybe_ckpt(dir: &Path) -> Option<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    assert!(files.len() <= 1, "one rolling checkpoint per trainer, found {files:?}");
+    files.pop()
+}
+
+fn param_bits<M: SlotParams>(model: &mut M) -> Vec<u32> {
+    let mut bits = Vec::new();
+    model.visit_params_mut(&mut |p| bits.extend(p.data().iter().map(|v| v.to_bits())));
+    bits
+}
+
+fn small_ds() -> sgnn::data::Dataset {
+    sbm_dataset(240, 3, 8.0, 0.85, 5, 0.8, 0, 0.5, 0.25, 7)
+}
+
+/// Control: the exact regime resumes bitwise from a mid-run superstep
+/// kill — the contrast that makes the compressed case a limitation and
+/// not a recovery bug.
+#[test]
+fn exact_resume_stays_bitwise() {
+    let ds = small_ds();
+    let base = TrainConfig { epochs: 4, hidden: vec![6], dropout: 0.1, ..Default::default() };
+    let part = hash_partition(ds.num_nodes(), 2);
+    let (mut reference, ref_report, _) = train_sharded_gcn(&ds, &part, &base).unwrap();
+    let ref_bits = param_bits(&mut reference);
+    let dir = tmp_dir("exact_s3");
+    let plan = Arc::new(FaultPlan::new(5).kill_at_superstep(3));
+    let cfg = TrainConfig {
+        ckpt_dir: Some(dir.clone()),
+        fault_plan: Some(Arc::clone(&plan)),
+        ..base.clone()
+    };
+    match train_sharded_gcn(&ds, &part, &cfg) {
+        Ok(_) => panic!("kill at superstep 3 did not fire"),
+        Err(e) => {
+            assert!(matches!(e, TrainError::InjectedCrash { site: "superstep", at: 3 }), "{e:?}")
+        }
+    }
+    let resume = TrainConfig { resume_from: maybe_ckpt(&dir), ..base };
+    let (mut gcn, report, _) = train_sharded_gcn(&ds, &part, &resume).unwrap();
+    assert_eq!(report.final_loss.to_bits(), ref_report.final_loss.to_bits());
+    assert_eq!(param_bits(&mut gcn), ref_bits, "exact regime must resume bitwise");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The pinned limitation: an int8 / staleness-2 compressed run killed
+/// mid-flight and resumed (a) lands inside the §11 loss envelope
+/// against the exact reference, but (b) does NOT reproduce the
+/// uninterrupted compressed run bit-for-bit, because EF residuals and
+/// stale ghost snapshots are not checkpointed.
+#[test]
+fn compressed_resume_is_correct_but_not_bitwise() {
+    let ds = small_ds();
+    let base = TrainConfig { epochs: 4, hidden: vec![6], dropout: 0.1, ..Default::default() };
+    let compressed = TrainConfig {
+        comm_regime: CommRegime::Compressed { quant: QuantMode::Int8, staleness: 2 },
+        ..base.clone()
+    };
+    let part = hash_partition(ds.num_nodes(), 2);
+    let (_, exact_report) = train_full_gcn(&ds, &base).unwrap();
+    let (mut uninterrupted, _, _) = train_sharded_gcn(&ds, &part, &compressed).unwrap();
+    let uninterrupted_bits = param_bits(&mut uninterrupted);
+
+    // Sweep several kill sites: every resumed run must satisfy (a); at
+    // least one must exhibit (b) — a single site could in principle land
+    // after the last lossy exchange of its epoch, where no EF/ghost
+    // state is pending.
+    let mut diverged = false;
+    let mut resumed_runs = 0usize;
+    for s in [2u64, 3, 5, 7] {
+        let dir = tmp_dir(&format!("int8_s{s}"));
+        let plan = Arc::new(FaultPlan::new(9).kill_at_superstep(s));
+        let cfg = TrainConfig {
+            ckpt_dir: Some(dir.clone()),
+            fault_plan: Some(Arc::clone(&plan)),
+            ..compressed.clone()
+        };
+        match train_sharded_gcn(&ds, &part, &cfg) {
+            Err(e) => {
+                assert!(
+                    matches!(e, TrainError::InjectedCrash { site: "superstep", at } if at == s),
+                    "s={s}: unexpected error {e:?}"
+                );
+                let resume = TrainConfig { resume_from: maybe_ckpt(&dir), ..compressed.clone() };
+                let (mut gcn, report, _) = train_sharded_gcn(&ds, &part, &resume).unwrap();
+                resumed_runs += 1;
+                // (a) Correctness: resumed compressed loss stays within
+                // the §11 envelope of the exact reference.
+                let delta = (report.final_loss - exact_report.final_loss).abs();
+                assert!(
+                    delta <= LOSS_DIVERGENCE_BOUND,
+                    "s={s}: |Δloss| = {delta} exceeds the §11 bound {LOSS_DIVERGENCE_BOUND}"
+                );
+                // (b) The limitation: bit-level divergence from the
+                // uninterrupted compressed run.
+                if param_bits(&mut gcn) != uninterrupted_bits {
+                    diverged = true;
+                }
+            }
+            Ok(_) => {
+                // Kill site past the schedule end — nothing to resume.
+                assert!(!plan.exhausted(), "s={s}: run completed after its kill fired");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(resumed_runs >= 2, "kill sweep never interrupted the run");
+    assert!(
+        diverged,
+        "every compressed resume was bitwise — the §11 limitation appears fixed; \
+         update DESIGN.md §11 and make this test demand bitwise resume"
+    );
+}

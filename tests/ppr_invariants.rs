@@ -1,0 +1,170 @@
+//! Analytic invariants of the serving push kernels (DESIGN.md §12).
+//!
+//! Three families:
+//!
+//! - **Termination contract** — `smooth_column_push` returns with every
+//!   residual strictly below `rmax`; the estimate is then within `rmax`
+//!   of the exact operator entrywise (the bound the serving layer
+//!   advertises).
+//! - **Mass invariants** — the ACL forward push conserves probability
+//!   mass (`Σp + Σr = 1`, so `Σp ≤ 1`, entrywise non-negative), and the
+//!   power-iteration reference sums to 1; the exact feature kernel
+//!   fixes the constant column (`S·1 = 1`).
+//! - **Relabel equivariance** — the smoothing operator commutes with
+//!   node relabeling (RCM / degree-sort round-trip): exact answers move
+//!   with the permutation to f64 summation-order noise, and thresholded
+//!   push answers stay within the `2·rmax` triangle bound even though
+//!   the push *order* (and hence the exact bits) changes.
+
+use proptest::prelude::*;
+use sgnn::graph::reorder::{compute_order, relabel, Reordering};
+use sgnn::graph::{generate, NodeId};
+use sgnn::prop::forward_push;
+use sgnn::prop::push::ppr_power;
+use sgnn::serve::{smooth_column_exact, smooth_column_push};
+
+/// Permutes a feature column alongside `relabel`'s `old → new` map.
+fn permute(x: &[f64], new_of_old: &[NodeId]) -> Vec<f64> {
+    let mut out = vec![0f64; x.len()];
+    for (old, &v) in x.iter().enumerate() {
+        out[new_of_old[old] as usize] = v;
+    }
+    out
+}
+
+fn column(n: usize, seed: u64) -> Vec<f64> {
+    // Signed, deterministic, O(1)-magnitude feature column.
+    (0..n).map(|i| (((i as u64 * 2654435761 + seed) % 1000) as f64 / 500.0) - 1.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every residual is strictly below `rmax` at termination, and the
+    /// estimate honors the advertised entrywise bound against the exact
+    /// kernel.
+    #[test]
+    fn residuals_below_rmax_at_termination(
+        n in 50usize..400,
+        m in 1usize..5,
+        rmax_exp in 2u32..6,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let x = column(n, seed);
+        let rmax = 10f64.powi(-(rmax_exp as i32));
+        let (p, r, stats) = smooth_column_push(&g, &x, 0.15, rmax);
+        prop_assert!(r.iter().all(|v| v.abs() < rmax), "residual at/above rmax after termination");
+        prop_assert!(stats.pushes > 0);
+        let (exact, _) = smooth_column_exact(&g, &x, 0.15);
+        for u in 0..n {
+            prop_assert!(
+                (p[u] - exact[u]).abs() < rmax,
+                "node {}: |p − S·x| = {:.3e} ≥ rmax", u, (p[u] - exact[u]).abs()
+            );
+        }
+    }
+
+    /// ACL forward push: `0 ≤ p`, `Σp ≤ 1`, and the deficit equals the
+    /// residual mass left behind (conservation); the power-iteration
+    /// reference distributes to total mass 1.
+    #[test]
+    fn ppr_mass_is_conserved_and_sums_bounded(
+        n in 50usize..400,
+        m in 1usize..5,
+        src in 0usize..400,
+        eps_exp in 3u32..6,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let src = (src % n) as NodeId;
+        let eps = 10f64.powi(-(eps_exp as i32));
+        let (p, stats) = forward_push(&g, src, 0.15, eps);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        let sum: f64 = p.iter().sum();
+        prop_assert!(sum <= 1.0 + 1e-12, "Σp = {} > 1", sum);
+        prop_assert!(stats.nnz > 0);
+        // Exact column sum: power iteration to convergence.
+        let pi = ppr_power(&g, src, 0.15, 1e-12, 10_000);
+        let pi_sum: f64 = pi.iter().sum();
+        prop_assert!((pi_sum - 1.0).abs() < 1e-9, "exact PPR mass {} ≠ 1", pi_sum);
+        // Push underestimates entrywise within eps·deg (ACL guarantee).
+        for u in 0..n {
+            let gap = pi[u] - p[u];
+            prop_assert!(
+                gap >= -1e-9 && gap <= eps * g.degree(u as NodeId).max(1) as f64 + 1e-9,
+                "node {}: π − p = {:.3e} outside [0, eps·deg]", u, gap
+            );
+        }
+    }
+
+    /// Relabel equivariance: smoothing then permuting equals permuting
+    /// then smoothing — exactly (to f64 noise) for the exact kernel,
+    /// within `2·rmax` for the thresholded push (each side is within
+    /// `rmax` of its own exact answer, and the exact answers coincide).
+    #[test]
+    fn push_invariant_under_relabel_round_trip(
+        n in 50usize..300,
+        m in 1usize..5,
+        rmax_exp in 3u32..6,
+        rcm in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::barabasi_albert(n, m, seed);
+        let x = column(n, seed ^ 3);
+        let strategy = if rcm { Reordering::Rcm } else { Reordering::DegreeSort };
+        let perm = compute_order(&g, strategy);
+        let (g2, new_of_old) = relabel(&g, &perm);
+        let x2 = permute(&x, &new_of_old);
+
+        let (exact, _) = smooth_column_exact(&g, &x, 0.15);
+        let (exact2, _) = smooth_column_exact(&g2, &x2, 0.15);
+        for u in 0..n {
+            let diff = (exact2[new_of_old[u] as usize] - exact[u]).abs();
+            prop_assert!(diff < 1e-9, "exact kernel moved under relabel: node {} diff {:.3e}", u, diff);
+        }
+
+        let rmax = 10f64.powi(-(rmax_exp as i32));
+        let (p, _, _) = smooth_column_push(&g, &x, 0.15, rmax);
+        let (p2, _, _) = smooth_column_push(&g2, &x2, 0.15, rmax);
+        for u in 0..n {
+            let diff = (p2[new_of_old[u] as usize] - p[u]).abs();
+            prop_assert!(
+                diff < 2.0 * rmax,
+                "push broke the 2·rmax relabel bound: node {} diff {:.3e}", u, diff
+            );
+        }
+    }
+}
+
+/// A relabel round-trip (permute, then permute back with the inverse)
+/// restores the original graph's push answers *bitwise* — the CSR the
+/// builder produces is canonical (sorted adjacency), so the round-trip
+/// graph is the original graph.
+#[test]
+fn relabel_round_trip_is_bitwise() {
+    let g = generate::barabasi_albert(180, 3, 21);
+    let x = column(180, 9);
+    let perm = compute_order(&g, Reordering::Rcm);
+    let (g2, new_of_old) = relabel(&g, &perm);
+    // Inverse permutation: g2's node `new_of_old[old]` must become
+    // `old` again, so position `old` of the order holds that g2 id.
+    let inverse: Vec<NodeId> = (0..180u32).map(|old| new_of_old[old as usize]).collect();
+    let (g3, back_map) = relabel(&g2, &inverse);
+    assert_eq!(g3.num_nodes(), g.num_nodes());
+    let (p, r, _) = smooth_column_push(&g, &x, 0.15, 1e-4);
+    let (p3, r3, _) = smooth_column_push(&g3, &x, 0.15, 1e-4);
+    assert_eq!(
+        p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        p3.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "round-trip graph must reproduce push estimates bitwise"
+    );
+    assert_eq!(
+        r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        r3.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    // The double relabel composes to the identity.
+    for old in 0..180usize {
+        assert_eq!(back_map[new_of_old[old] as usize] as usize, old);
+    }
+}
