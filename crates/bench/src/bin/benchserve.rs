@@ -6,7 +6,7 @@
 //! cargo run --release -p sgnn-bench --bin benchserve -- --json   # + ObsReport line on stdout
 //! ```
 //!
-//! Two sections, one JSON object:
+//! Five sections, one JSON object:
 //!
 //! 1. **Replay** — a fixed Zipf-skewed request trace against a
 //!    `Hot`-policy engine, served batched and (on a fresh engine)
@@ -17,21 +17,41 @@
 //!    `benchdiff`. A third engine with a `Full` store checks the
 //!    column-parallel precompute against the sequential reference
 //!    bitwise.
-//! 2. **Open loop** — heavy-tail arrivals (Pareto inter-arrival times,
+//! 2. **Degraded replay** — a recorded overload trace (per request:
+//!    node, pressure rung, expired flag, observed deadline outcome)
+//!    walked twice; ladder decisions, shed/degrade counts, stale
+//!    serves, and breaker trips must be identical, so those counters
+//!    are exact-gated by `benchdiff` (DESIGN.md §13).
+//! 3. **Open loop** — heavy-tail arrivals (Pareto inter-arrival times,
 //!    Zipf node popularity) produced by a generator thread into the
 //!    admission queue while the serving loop coalesces under a deadline
 //!    window; reports p50/p99/p999 end-to-end latency and queries/sec.
 //!    Timing numbers get the wide 10× `benchdiff` band; the answer-bit
 //!    contract is covered by the replay section, which timing cannot
 //!    perturb.
+//! 4. **Overload** — measures saturation throughput closed-loop, then
+//!    drives the open loop well past it (~4× offered) twice: once with
+//!    the overload layer off (unbounded queue, serve everything), once
+//!    with it on (bounded admission + degradation ladder + deadline
+//!    budgets). Asserts shedding-on sustains strictly higher goodput
+//!    (answers within budget per second) at strictly lower p99.
+//!    Timing-dependent shed/degrade totals are exported with a `_live`
+//!    suffix, which `benchdiff` deliberately leaves ungated.
+//! 5. **Chaos** — the open loop under an armed serving fault plan
+//!    (latency spike, store-row corruption ×2, stalled producer): every
+//!    accepted query is still answered at its normal tier and both
+//!    corrupted rows are CRC-caught and rebuilt (`store_repairs` is
+//!    exact-gated — corruption indices are part of the plan).
 
 use rand::RngExt;
+use sgnn_fault::FaultPlan;
 use sgnn_graph::{generate, CsrGraph, NodeId};
 use sgnn_linalg::{DenseMatrix, QuantMode};
 use sgnn_nn::Mlp;
 use sgnn_serve::{
-    run_server, smooth_matrix_seq, AdmissionQueue, BatchConfig, PlannerConfig, PrecomputePolicy,
-    ServeConfig, ServeEngine, Strategy,
+    run_server, smooth_matrix_seq, AdmissionQueue, BatchConfig, BreakerConfig, OverloadConfig,
+    PlannerConfig, PrecomputePolicy, Pressure, PressureConfig, PressuredRequest, ServeConfig,
+    ServeEngine, ServedQuery, Strategy,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -109,6 +129,7 @@ fn main() {
         planner: planner.clone(),
         cache_capacity: 128,
         quant: QuantMode::F32,
+        ..Default::default()
     };
     let trace = zipf_trace(&rg, requests, 0.9, 42);
 
@@ -173,6 +194,75 @@ fn main() {
         stats.plan_sampled
     );
 
+    // --- Degraded replay: recorded overload trace, exact-gated. ---------
+    // Same schedule shape `tests/serving_overload.rs` pins: 40 distinct
+    // nodes under a rotating pressure ladder (8-request blocks), every
+    // 11th request arriving with an expired budget, recorded deadline
+    // outcomes fed back to the breaker. The walk is a pure function of
+    // the trace, so two fresh engines must agree on every answered bit
+    // and every counter.
+    let dreq: u64 = if quick { 480 } else { 1_920 };
+    let degraded_walk = || {
+        let g = generate::barabasi_albert(160, 3, 5);
+        let x = DenseMatrix::gaussian(160, 5, 1.0, 2);
+        let dhead = Mlp::new(&[5, 8, 4], 0.0, 17);
+        let dcfg = ServeConfig {
+            policy: PrecomputePolicy::Hot { count: 16, eps: 1e-6 },
+            planner: PlannerConfig {
+                hub_degree: 10,
+                hub_frontier: 512,
+                full_eps: 1e-6,
+                sampled_eps: 1e-3,
+                escalate_below: None,
+            },
+            cache_capacity: 64,
+            breaker: Some(BreakerConfig { trip_after: 2, probe_after: 3 }),
+            ..Default::default()
+        };
+        let mut e = ServeEngine::new(g, x, dhead, dcfg);
+        let reqs: Vec<PressuredRequest> = (0..dreq)
+            .map(|i| {
+                let pressure = match (i / 8) % 4 {
+                    0 => Pressure::Normal,
+                    1 => Pressure::Degraded,
+                    2 => Pressure::CachedOnly,
+                    _ => Pressure::Shed,
+                };
+                PressuredRequest { node: ((i * 13) % 40) as NodeId, pressure, expired: i % 11 == 0 }
+            })
+            .collect();
+        let mut all_bits = Vec::new();
+        for (b, chunk) in reqs.chunks(9).enumerate() {
+            let (logits, strategies) = e.serve_batch_pressured(chunk);
+            for (j, &s) in strategies.iter().enumerate() {
+                e.note_outcome(s, (b * 9 + j) % 5 < 2);
+            }
+            all_bits.extend(bits(&logits));
+        }
+        let breaker_state = e.breaker_state();
+        (all_bits, e.stats().clone(), breaker_state)
+    };
+    let t_d = Instant::now();
+    let (dbits, dstats, dbreaker) = degraded_walk();
+    let degraded_secs = t_d.elapsed().as_secs_f64();
+    let (dbits2, dstats2, dbreaker2) = degraded_walk();
+    assert_eq!(dbits, dbits2, "degraded-replay answers diverged between identical walks");
+    assert_eq!(dstats, dstats2, "degraded-replay counters diverged between identical walks");
+    assert_eq!(dbreaker, dbreaker2);
+    assert!(
+        dstats.shed > 0
+            && dstats.degraded > 0
+            && dstats.plan_stale > 0
+            && dstats.breaker_trips > 0
+            && dstats.deadline_miss > 0,
+        "degraded-replay schedule must exercise the whole ladder: {dstats:?}"
+    );
+    eprintln!(
+        "degraded_replay: {dreq} requests, shed/degraded/stale {}/{}/{}, \
+         deadline_miss {}, breaker trips {} in {degraded_secs:.3}s",
+        dstats.shed, dstats.degraded, dstats.plan_stale, dstats.deadline_miss, dstats.breaker_trips
+    );
+
     // --- Open loop: heavy-tail arrivals against the admission queue. ----
     let (on, oreq, mean_gap_us) = if quick { (20_000, 2_500, 150) } else { (100_000, 20_000, 100) };
     let og = generate::barabasi_albert(on, if quick { 4 } else { 8 }, 9);
@@ -190,6 +280,7 @@ fn main() {
         },
         cache_capacity: 4_096,
         quant: QuantMode::Int8,
+        ..Default::default()
     };
     let t2 = Instant::now();
     let mut engine = ServeEngine::new(og.clone(), ox, ohead, ocfg);
@@ -218,7 +309,7 @@ fn main() {
             queue.close();
         })
     };
-    let bcfg = BatchConfig { deadline: Duration::from_micros(200), max_batch: 64 };
+    let bcfg = BatchConfig { deadline: Duration::from_micros(200), max_batch: 64, overload: None };
     let t3 = Instant::now();
     let served = run_server(&mut engine, &queue, &bcfg);
     let open_secs = t3.elapsed().as_secs_f64();
@@ -235,6 +326,202 @@ fn main() {
     eprintln!(
         "open_loop: {oreq} requests in {open_secs:.3}s ({qps:.0} q/s), \
          p50/p99/p999 {p50}/{p99}/{p999} ns, mean batch {mean_batch:.2}"
+    );
+
+    // --- Overload: goodput with shedding on vs off past saturation. -----
+    let (sn, sreq) = if quick { (10_000, 2_500) } else { (40_000, 10_000) };
+    let sg = generate::barabasi_albert(sn, 4, 21);
+    let sx = DenseMatrix::gaussian(sn, 8, 1.0, 23);
+    let shead = Mlp::new(&[8, 16, 5], 0.0, 29);
+    let scfg = ServeConfig {
+        alpha: 0.15,
+        policy: PrecomputePolicy::Hot { count: sn / 20, eps: 1e-5 },
+        planner: PlannerConfig {
+            hub_degree: 24,
+            hub_frontier: 4_096,
+            full_eps: 1e-5,
+            sampled_eps: 1e-3,
+            escalate_below: None,
+        },
+        cache_capacity: 1_024,
+        quant: QuantMode::Int8,
+        ..Default::default()
+    };
+    // Saturation: closed-loop service rate with the queue pre-filled —
+    // the fastest this engine can answer this workload.
+    let sat_qps = {
+        let mut e = ServeEngine::new(sg.clone(), sx.clone(), shead.clone(), scfg.clone());
+        let q = AdmissionQueue::new();
+        for &u in &zipf_trace(&sg, sreq, 0.9, 31) {
+            q.push(u);
+        }
+        q.close();
+        let t = Instant::now();
+        let served = run_server(
+            &mut e,
+            &q,
+            &BatchConfig { deadline: Duration::ZERO, max_batch: 64, overload: None },
+        );
+        assert_eq!(served.len(), sreq);
+        sreq as f64 / t.elapsed().as_secs_f64()
+    };
+    let service_ns = (1e9 / sat_qps) as u64;
+    // A request "made it" when it was answered (not shed) within this
+    // budget: ~128 service times, i.e. generous at saturation but far
+    // below the queue delay an unshed overload run accumulates.
+    let budget = Duration::from_nanos((service_ns * 128).clamp(1_000_000, 20_000_000));
+    // Offer ~4x saturation. The producer sleeps once per 64-request
+    // burst so scheduler sleep granularity cannot pull the offered rate
+    // back under saturation.
+    let gap_ns = (1e9 / (4.0 * sat_qps)) as u64;
+    let overload_nodes = zipf_trace(&sg, sreq, 0.9, 37);
+    let drive = |queue: AdmissionQueue,
+                 overload: Option<OverloadConfig>,
+                 breaker: Option<BreakerConfig>|
+     -> (Vec<ServedQuery>, u64, u64, f64, f64) {
+        let mut e = ServeEngine::new(
+            sg.clone(),
+            sx.clone(),
+            shead.clone(),
+            ServeConfig { breaker, ..scfg.clone() },
+        );
+        let queue = Arc::new(queue);
+        let producer = {
+            let queue = Arc::clone(&queue);
+            let nodes = overload_nodes.clone();
+            std::thread::spawn(move || {
+                let t = Instant::now();
+                for (i, u) in nodes.into_iter().enumerate() {
+                    if i % 64 == 0 {
+                        std::thread::sleep(Duration::from_nanos(gap_ns * 64));
+                    }
+                    queue.push(u);
+                }
+                queue.close();
+                t.elapsed().as_secs_f64()
+            })
+        };
+        let t = Instant::now();
+        let served = run_server(
+            &mut e,
+            &queue,
+            &BatchConfig { deadline: Duration::from_micros(200), max_batch: 64, overload },
+        );
+        let secs = t.elapsed().as_secs_f64();
+        let producer_secs = producer.join().unwrap();
+        (served, e.stats().shed, e.stats().degraded, secs, producer_secs)
+    };
+    let (a_served, a_shed, a_degraded, a_secs, a_prod_secs) =
+        drive(AdmissionQueue::new(), None, None);
+    let shed_on = OverloadConfig {
+        pressure: PressureConfig { degrade_at: 64, cached_only_at: 160, shed_at: 320 },
+        request_deadline: Some(budget),
+    };
+    let (b_served, b_ladder_shed, b_degraded, b_secs, b_prod_secs) =
+        drive(AdmissionQueue::bounded(512), Some(shed_on), Some(BreakerConfig::default()));
+    let offered_qps = sreq as f64 / a_prod_secs.min(b_prod_secs);
+    assert!(
+        offered_qps > 2.0 * sat_qps,
+        "offered load {offered_qps:.0} q/s must exceed 2x saturation ({sat_qps:.0} q/s)"
+    );
+    let goodput = |served: &[ServedQuery], secs: f64| {
+        let ok = served
+            .iter()
+            .filter(|s| s.strategy != Strategy::Shed && s.latency_ns <= budget.as_nanos() as u64)
+            .count();
+        ok as f64 / secs
+    };
+    let p99_answered = |served: &[ServedQuery]| {
+        let mut lat: Vec<u64> =
+            served.iter().filter(|s| s.strategy != Strategy::Shed).map(|s| s.latency_ns).collect();
+        assert!(!lat.is_empty(), "overload run answered nothing");
+        lat.sort_unstable();
+        quantile(&lat, 0.99)
+    };
+    let (a_goodput, b_goodput) = (goodput(&a_served, a_secs), goodput(&b_served, b_secs));
+    let (a_p99, b_p99) = (p99_answered(&a_served), p99_answered(&b_served));
+    assert_eq!(a_served.len(), sreq, "the unshed run must eventually answer everything");
+    assert_eq!(a_shed + a_degraded, 0, "no overload config -> no ladder activity");
+    assert!(
+        b_goodput > a_goodput,
+        "shedding on must sustain higher goodput past saturation: \
+         on {b_goodput:.0} q/s vs off {a_goodput:.0} q/s at {offered_qps:.0} q/s offered"
+    );
+    assert!(
+        b_p99 < a_p99,
+        "shedding on must answer at lower p99 past saturation: on {b_p99} ns vs off {a_p99} ns"
+    );
+    let b_total_shed =
+        b_ladder_shed + b_served.iter().filter(|s| s.strategy == Strategy::Shed).count() as u64;
+    eprintln!(
+        "overload: sat {sat_qps:.0} q/s, offered {offered_qps:.0} q/s, budget {budget:?}; \
+         goodput off/on {a_goodput:.0}/{b_goodput:.0} q/s, p99 off/on {a_p99}/{b_p99} ns, \
+         shed(on) {b_total_shed}, degraded(on) {b_degraded}"
+    );
+
+    // --- Chaos: armed serving faults through the full loop. -------------
+    let (cn, creq) = (1_500, if quick { 600 } else { 1_200 });
+    let cg = generate::barabasi_albert(cn, 3, 41);
+    let cx = DenseMatrix::gaussian(cn, 6, 1.0, 43);
+    let chead = Mlp::new(&[6, 12, 4], 0.0, 47);
+    let plan = Arc::new(
+        FaultPlan::new(51)
+            .spike_request(7, 400)
+            .corrupt_store_row_at(19, 6)
+            .corrupt_store_row_at(257, 4)
+            .stall_producer(103, 900),
+    );
+    let ccfg = ServeConfig {
+        policy: PrecomputePolicy::Full { rmax: 1e-4 },
+        fault_plan: Some(Arc::clone(&plan)),
+        ..Default::default()
+    };
+    let mut ce = ServeEngine::new(cg.clone(), cx, chead, ccfg);
+    let cq = Arc::new(AdmissionQueue::new());
+    let cproducer = {
+        let cq = Arc::clone(&cq);
+        let nodes = zipf_trace(&cg, creq, 0.9, 53);
+        let cplan = Arc::clone(&plan);
+        std::thread::spawn(move || {
+            for (i, u) in nodes.into_iter().enumerate() {
+                if let Some(stall) = cplan.poll_producer_stall(i as u64) {
+                    std::thread::sleep(stall);
+                }
+                if i % 8 == 0 {
+                    std::thread::sleep(Duration::from_micros(80));
+                }
+                cq.push(u);
+            }
+            cq.close();
+        })
+    };
+    let t_c = Instant::now();
+    let cserved = run_server(
+        &mut ce,
+        &cq,
+        &BatchConfig {
+            deadline: Duration::from_micros(200),
+            max_batch: 32,
+            overload: Some(OverloadConfig {
+                pressure: PressureConfig::disabled(),
+                request_deadline: None,
+            }),
+        },
+    );
+    let chaos_secs = t_c.elapsed().as_secs_f64();
+    cproducer.join().unwrap();
+    assert!(plan.exhausted(), "all four armed serving faults must fire");
+    assert_eq!(cserved.len(), creq, "chaos must not drop an accepted query");
+    assert!(
+        cserved.iter().all(|s| s.strategy == Strategy::Cached),
+        "a full store answers at the cached tier, faults or not"
+    );
+    let crepairs = ce.stats().store_repairs;
+    assert_eq!(crepairs, 2, "both corrupted rows must be CRC-caught and rebuilt");
+    let chaos_injected = sgnn_fault::injected_count();
+    eprintln!(
+        "chaos: {creq} requests under spike+corruption+stall, {crepairs} store repairs, \
+         {chaos_injected} faults injected in {chaos_secs:.3}s"
     );
 
     // --- Report. --------------------------------------------------------
@@ -260,6 +547,19 @@ fn main() {
     json.push_str(&format!("    \"precompute_secs\": {precompute_secs:.9},\n"));
     json.push_str(&format!("    \"replay_secs\": {replay_secs:.9}\n"));
     json.push_str("  },\n");
+    json.push_str("  \"degraded_replay\": {\n");
+    json.push_str(
+        "    \"workload\": \"barabasi_albert(160, 3, seed 5), 40-node walk, 8-request pressure blocks, expired every 11th, hot store 16, cache 64, breaker 2/3\",\n"
+    );
+    json.push_str(&format!("    \"requests\": {},\n", dstats.requests));
+    json.push_str(&format!("    \"shed\": {},\n", dstats.shed));
+    json.push_str(&format!("    \"degraded\": {},\n", dstats.degraded));
+    json.push_str(&format!("    \"plan_stale\": {},\n", dstats.plan_stale));
+    json.push_str(&format!("    \"deadline_miss\": {},\n", dstats.deadline_miss));
+    json.push_str(&format!("    \"breaker_trips\": {},\n", dstats.breaker_trips));
+    json.push_str(&format!("    \"breaker_state\": {dbreaker},\n"));
+    json.push_str(&format!("    \"degraded_secs\": {degraded_secs:.9}\n"));
+    json.push_str("  },\n");
     json.push_str("  \"open_loop\": {\n");
     json.push_str(&format!(
         "    \"workload\": \"barabasi_albert({on}), zipf(0.9) popularity, pareto arrivals mean {mean_gap_us}us, deadline 200us, max_batch 64, int8 head\",\n"
@@ -273,6 +573,34 @@ fn main() {
     json.push_str(&format!("    \"open_store_hits\": {},\n", ostats.store_hits));
     json.push_str(&format!("    \"precompute_secs\": {open_precompute_secs:.9},\n"));
     json.push_str(&format!("    \"open_secs\": {open_secs:.9}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"overload\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": \"barabasi_albert({sn}), zipf(0.9), ~4x saturation offered, bounded 512, ladder 64/160/320, budget 128 service times\",\n"
+    ));
+    json.push_str(&format!("    \"offered_requests\": {sreq},\n"));
+    json.push_str(&format!("    \"saturation_per_sec\": {sat_qps:.3},\n"));
+    json.push_str(&format!("    \"offered_per_sec\": {offered_qps:.3},\n"));
+    json.push_str(&format!("    \"budget_live_ns\": {},\n", budget.as_nanos()));
+    json.push_str(&format!("    \"goodput_off_per_sec\": {a_goodput:.3},\n"));
+    json.push_str(&format!("    \"goodput_on_per_sec\": {b_goodput:.3},\n"));
+    json.push_str(&format!("    \"p99_off_ns\": {a_p99},\n"));
+    json.push_str(&format!("    \"p99_on_ns\": {b_p99},\n"));
+    // Timing-dependent by construction (which requests land on which
+    // rung depends on live queue depth): exported `_live`, ungated.
+    json.push_str(&format!("    \"shed_live\": {b_total_shed},\n"));
+    json.push_str(&format!("    \"degraded_live\": {b_degraded},\n"));
+    json.push_str(&format!("    \"overload_off_secs\": {a_secs:.9},\n"));
+    json.push_str(&format!("    \"overload_on_secs\": {b_secs:.9}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"chaos\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": \"barabasi_albert({cn}), full store, spike@7 corrupt@19,257 stall@103\",\n"
+    ));
+    json.push_str(&format!("    \"requests\": {creq},\n"));
+    json.push_str(&format!("    \"store_repairs\": {crepairs},\n"));
+    json.push_str(&format!("    \"fault_injected\": {chaos_injected},\n"));
+    json.push_str(&format!("    \"chaos_secs\": {chaos_secs:.9}\n"));
     json.push_str("  }\n");
     json.push_str("}\n");
 

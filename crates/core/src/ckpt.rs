@@ -51,6 +51,24 @@ pub trait SlotParams {
     fn restore_rng_calls(&mut self, _calls: &[u64]) {}
 }
 
+/// Extra trainer-side state checkpointed alongside the model — e.g. the
+/// compressed-exchange comm state (error-feedback residuals, ghost
+/// caches, staleness clocks), which evolves across epochs just like
+/// Adam's moments and must survive a kill for compressed resume to be
+/// bitwise (DESIGN.md §11). Implementors write namespaced records in
+/// [`save`](CkptSidecar::save) and must validate every record against
+/// the live state before mutating anything in
+/// [`restore`](CkptSidecar::restore).
+pub trait CkptSidecar {
+    /// Appends this state's records to the epoch checkpoint.
+    fn save(&self, c: &mut Ckpt);
+
+    /// Restores the records written by [`save`](CkptSidecar::save);
+    /// errors (missing records, shape mismatches) must leave the live
+    /// state untouched.
+    fn restore(&mut self, c: &Ckpt) -> Result<(), CkptError>;
+}
+
 /// Trainer state recovered from a checkpoint.
 #[derive(Debug, Clone)]
 pub struct ResumeState {
@@ -79,6 +97,7 @@ pub fn save_epoch(
     state: &ResumeState,
     opt: &Adam,
     model: &mut dyn SlotParams,
+    sidecar: Option<&dyn CkptSidecar>,
 ) -> Result<u64, TrainError> {
     static CKPT_WRITE_NS: sgnn_obs::Histogram = sgnn_obs::Histogram::new("ckpt.write.ns");
     let _sp = sgnn_obs::span!("trainer.checkpoint");
@@ -110,6 +129,9 @@ pub fn save_epoch(
         c.put_f32s(&format!("adam.v.{i}"), buf);
     }
     c.put_u64("adam.slots", m.len() as u64);
+    if let Some(side) = sidecar {
+        side.save(&mut c);
+    }
     Ok(c.save(path)?)
 }
 
@@ -125,6 +147,7 @@ pub fn try_restore(
     trainer: &str,
     opt: &mut Adam,
     model: &mut dyn SlotParams,
+    sidecar: Option<&mut dyn CkptSidecar>,
 ) -> Result<Option<ResumeState>, TrainError> {
     let _sp = sgnn_obs::span!("trainer.recover");
     let c = match Ckpt::load(path) {
@@ -184,6 +207,12 @@ pub fn try_restore(
         stopped: c.u64("meta.stopped")? != 0,
     };
     let t = c.u64("adam.t")? as i32;
+    // Sidecar restores before the model copy-back: its contract is
+    // validate-then-copy, so a sidecar error leaves model and optimizer
+    // untouched, and a sidecar success cannot be followed by a failure.
+    if let Some(side) = sidecar {
+        side.restore(&c)?;
+    }
     // All records verified — copy back.
     let mut it = params.into_iter();
     model.visit_params_mut(&mut |p| {
@@ -248,11 +277,12 @@ mod tests {
             stopper_bad: 2,
             stopped: false,
         };
-        save_epoch(&path, "gcn-full", &state, &opt, &mut src).unwrap();
+        save_epoch(&path, "gcn-full", &state, &opt, &mut src, None).unwrap();
 
         let mut dst = Gcn::new(5, 3, &GcnConfig { hidden: vec![4], dropout: 0.1, seed: 999 });
         let mut opt2 = Adam::new(0.01);
-        let back = try_restore(&path, "gcn-full", &mut opt2, &mut dst).unwrap().expect("present");
+        let back =
+            try_restore(&path, "gcn-full", &mut opt2, &mut dst, None).unwrap().expect("present");
         assert_eq!(back.epoch_done, 9);
         assert_eq!(back.final_loss.to_bits(), 0.4375f32.to_bits());
         assert_eq!(back.stopper_best.to_bits(), 0.87f64.to_bits());
@@ -266,8 +296,9 @@ mod tests {
     fn missing_file_is_cold_start() {
         let mut g = Gcn::new(3, 2, &GcnConfig::default());
         let mut opt = Adam::new(0.01);
-        let r = try_restore(Path::new("/nonexistent/dir/x.ckpt"), "gcn-full", &mut opt, &mut g)
-            .unwrap();
+        let r =
+            try_restore(Path::new("/nonexistent/dir/x.ckpt"), "gcn-full", &mut opt, &mut g, None)
+                .unwrap();
         assert!(r.is_none());
     }
 
@@ -283,9 +314,9 @@ mod tests {
             stopper_bad: 0,
             stopped: false,
         };
-        save_epoch(&path, "gcn-full", &st, &opt, &mut g).unwrap();
+        save_epoch(&path, "gcn-full", &st, &opt, &mut g, None).unwrap();
         let before = bits_of(&mut g);
-        let err = try_restore(&path, "saint-rw", &mut opt, &mut g).unwrap_err();
+        let err = try_restore(&path, "saint-rw", &mut opt, &mut g, None).unwrap_err();
         assert!(matches!(err, TrainError::CheckpointMismatch { .. }), "{err:?}");
         assert_eq!(bits_of(&mut g), before, "failed restore must not touch the model");
         let _ = std::fs::remove_file(&path);
@@ -303,10 +334,10 @@ mod tests {
             stopper_bad: 0,
             stopped: false,
         };
-        save_epoch(&path, "gcn-full", &st, &opt, &mut small).unwrap();
+        save_epoch(&path, "gcn-full", &st, &opt, &mut small, None).unwrap();
         let mut big = Gcn::new(6, 4, &GcnConfig { hidden: vec![8], dropout: 0.0, seed: 2 });
         let before = bits_of(&mut big);
-        let err = try_restore(&path, "gcn-full", &mut opt, &mut big).unwrap_err();
+        let err = try_restore(&path, "gcn-full", &mut opt, &mut big, None).unwrap_err();
         assert!(matches!(err, TrainError::CheckpointMismatch { .. }), "{err:?}");
         assert_eq!(bits_of(&mut big), before);
         let _ = std::fs::remove_file(&path);

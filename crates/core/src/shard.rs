@@ -48,6 +48,7 @@
 //! the *global* operator is released once the plan is built — the
 //! sharded trainer's resident set is the plan, not the graph.
 
+use crate::ckpt::CkptSidecar;
 use crate::error::{TrainError, TrainResult};
 use crate::models::gcn::{gcn_operator, Gcn, GcnConfig};
 use crate::shard_comm::CommState;
@@ -1123,6 +1124,7 @@ pub fn train_sharded_gcn(
         &trainer_name,
         &mut opt,
         &mut gcn,
+        rt.comm_state.as_mut().map(|s| s as &mut dyn CkptSidecar),
         &mut stopper,
         &mut epochs_run,
         &mut final_loss,
@@ -1189,6 +1191,7 @@ pub fn train_sharded_gcn(
             stop,
             &opt,
             &mut gcn,
+            rt.comm_state.as_ref().map(|s| s as &dyn CkptSidecar),
         )?;
         sgnn_obs::mark_epoch(epoch as u64);
         if stop {

@@ -42,6 +42,8 @@
 //! bitwise-identical to the exact path (the degenerate case the
 //! differential tests pin).
 
+use crate::ckpt::CkptSidecar;
+use sgnn_fault::{Ckpt, CkptError};
 use sgnn_graph::CsrGraph;
 use sgnn_linalg::{DenseMatrix, QuantMode};
 use sgnn_partition::ShardPlan;
@@ -296,6 +298,110 @@ impl CommState {
             .map(|i| plan.shards.iter().map(|s| s.halo.len() * dims[i + 1] * 4).sum::<usize>())
             .sum();
         ops + maps + resid + caches
+    }
+}
+
+/// Checkpoints the compressed path's epoch-evolving state (DESIGN.md
+/// §11): error-feedback residuals, forward ghost caches, staleness
+/// clocks, and the cumulative traffic counters. Together with the model
+/// and Adam records this makes `Compressed` resume bitwise — without the
+/// residuals a resumed run re-quantizes from zero carry-over and every
+/// subsequent exchange drifts; without the caches and clocks a resumed
+/// mid-staleness-window run refetches fresh ghosts the uninterrupted run
+/// served stale. `overlap_ns` is deliberately not saved: it is
+/// wall-clock telemetry, not state the numerics depend on.
+///
+/// All records live under the `comm.` prefix. Ghost caches store their
+/// row count explicitly because a cache is 0×0 until its first refresh,
+/// and that emptiness must round-trip as-is.
+impl CkptSidecar for CommState {
+    fn save(&self, c: &mut Ckpt) {
+        c.put_u64("comm.sites", self.residuals.len() as u64);
+        c.put_u64("comm.shards", self.exports.len() as u64);
+        c.put_u64s("comm.visits", &self.visits);
+        c.put_u64("comm.bytes_saved", self.bytes_saved);
+        c.put_u64("comm.stale_hits", self.stale_hits);
+        for (s, per_shard) in self.residuals.iter().enumerate() {
+            for (k, r) in per_shard.iter().enumerate() {
+                c.put_f32s(&format!("comm.resid.{s}.{k}"), r.data());
+            }
+        }
+        for (s, per_shard) in self.cache.iter().enumerate() {
+            for (k, m) in per_shard.iter().enumerate() {
+                c.put_u64(&format!("comm.cache.{s}.{k}.rows"), m.rows() as u64);
+                c.put_f32s(&format!("comm.cache.{s}.{k}"), m.data());
+            }
+        }
+    }
+
+    fn restore(&mut self, c: &Ckpt) -> Result<(), CkptError> {
+        let wrong = |field: String, expected: usize, found: usize| CkptError::WrongShape {
+            field,
+            expected: expected * 4,
+            found: found * 4,
+        };
+        let sites = c.u64("comm.sites")? as usize;
+        let shards = c.u64("comm.shards")? as usize;
+        if sites != self.residuals.len() || shards != self.exports.len() {
+            return Err(wrong("comm.sites".to_string(), self.residuals.len(), sites));
+        }
+        let visits = c.u64s("comm.visits")?;
+        if visits.len() != self.visits.len() {
+            return Err(wrong("comm.visits".to_string(), self.visits.len(), visits.len()));
+        }
+        let bytes_saved = c.u64("comm.bytes_saved")?;
+        let stale_hits = c.u64("comm.stale_hits")?;
+        // Validate every tensor record against the live shapes before
+        // touching anything (the same no-half-restore rule as params).
+        let mut resid = Vec::with_capacity(sites);
+        for (s, per_shard) in self.residuals.iter().enumerate() {
+            let mut row = Vec::with_capacity(per_shard.len());
+            for (k, r) in per_shard.iter().enumerate() {
+                let field = format!("comm.resid.{s}.{k}");
+                let vals = c.f32s(&field)?;
+                if vals.len() != r.data().len() {
+                    return Err(wrong(field, r.data().len(), vals.len()));
+                }
+                row.push(vals);
+            }
+            resid.push(row);
+        }
+        let mut caches = Vec::with_capacity(self.cache.len());
+        for s in 0..self.cache.len() {
+            let mut row = Vec::with_capacity(shards);
+            for k in 0..shards {
+                let field = format!("comm.cache.{s}.{k}");
+                let rows = c.u64(&format!("{field}.rows"))? as usize;
+                let vals = c.f32s(&field)?;
+                // A cache is either still unfilled (0×0) or holds one
+                // ghost row per halo slot at the site's width.
+                let halo = self.halo_pos[k].len();
+                let cols = self.residuals[s][k].cols();
+                if !(rows == 0 || rows == halo) || vals.len() != rows * cols {
+                    return Err(wrong(field, halo * cols, vals.len()));
+                }
+                row.push((rows, cols, vals));
+            }
+            caches.push(row);
+        }
+        // All records verified — copy back.
+        self.visits.copy_from_slice(&visits);
+        self.bytes_saved = bytes_saved;
+        self.stale_hits = stale_hits;
+        for (per_shard, vals) in self.residuals.iter_mut().zip(resid) {
+            for (r, v) in per_shard.iter_mut().zip(vals) {
+                r.data_mut().copy_from_slice(&v);
+            }
+        }
+        for (per_shard, vals) in self.cache.iter_mut().zip(caches) {
+            for (m, (rows, cols, v)) in per_shard.iter_mut().zip(vals) {
+                // Unfilled caches round-trip as the 0×0 the builder made.
+                let mut fresh = DenseMatrix::zeros(rows, if rows == 0 { 0 } else { cols });
+                fresh.data_mut().copy_from_slice(&v);
+                *m = fresh;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -10,7 +10,7 @@
 //! | [`train_cluster_gcn`] | partition batches | §3.1.2, Cluster-GCN |
 //! | [`train_coarse`] | coarse-graph training | §3.3.4 |
 
-use crate::ckpt::{ckpt_path, save_epoch, try_restore, ResumeState, SlotParams};
+use crate::ckpt::{ckpt_path, save_epoch, try_restore, CkptSidecar, ResumeState, SlotParams};
 use crate::error::{TrainError, TrainResult};
 use crate::memory::{matrix_bytes, Ledger};
 use crate::models::decoupled::{DecoupledModel, PrecomputeMethod};
@@ -138,12 +138,13 @@ pub(crate) fn apply_resume(
     trainer: &str,
     opt: &mut Adam,
     model: &mut dyn SlotParams,
+    sidecar: Option<&mut dyn CkptSidecar>,
     stopper: &mut EarlyStopper,
     epochs_run: &mut usize,
     final_loss: &mut f32,
 ) -> TrainResult<usize> {
     let Some(path) = &cfg.resume_from else { return Ok(0) };
-    let Some(st) = try_restore(path, trainer, opt, model)? else { return Ok(0) };
+    let Some(st) = try_restore(path, trainer, opt, model, sidecar)? else { return Ok(0) };
     stopper.restore(st.stopper_best, st.stopper_bad);
     *epochs_run = st.epoch_done;
     *final_loss = st.final_loss;
@@ -161,12 +162,13 @@ pub(crate) fn maybe_checkpoint(
     stopped: bool,
     opt: &Adam,
     model: &mut dyn SlotParams,
+    sidecar: Option<&dyn CkptSidecar>,
 ) -> TrainResult<()> {
     let Some(dir) = &cfg.ckpt_dir else { return Ok(()) };
     let (best, bad) = stopper.state();
     let state =
         ResumeState { epoch_done, final_loss, stopper_best: best, stopper_bad: bad, stopped };
-    let bytes = save_epoch(&ckpt_path(dir, trainer), trainer, &state, opt, model)?;
+    let bytes = save_epoch(&ckpt_path(dir, trainer), trainer, &state, opt, model, sidecar)?;
     sgnn_fault::record_ckpt_bytes(bytes);
     Ok(())
 }
@@ -279,6 +281,7 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> TrainResult<(Gcn, Trai
         "gcn-full",
         &mut opt,
         &mut gcn,
+        None,
         &mut stopper,
         &mut epochs_run,
         &mut final_loss,
@@ -311,7 +314,17 @@ pub fn train_full_gcn(ds: &Dataset, cfg: &TrainConfig) -> TrainResult<(Gcn, Trai
             });
             stop = stopper.should_stop(val);
         }
-        maybe_checkpoint(cfg, "gcn-full", epoch + 1, final_loss, &stopper, stop, &opt, &mut gcn)?;
+        maybe_checkpoint(
+            cfg,
+            "gcn-full",
+            epoch + 1,
+            final_loss,
+            &stopper,
+            stop,
+            &opt,
+            &mut gcn,
+            None,
+        )?;
         sgnn_obs::mark_epoch(epoch as u64);
         if stop {
             break;
@@ -491,6 +504,7 @@ pub fn train_sampled(
         name,
         &mut opt,
         &mut sage,
+        None,
         &mut stopper,
         &mut epochs_run,
         &mut final_loss,
@@ -533,7 +547,7 @@ pub fn train_sampled(
             },
         );
         phases.add(Phase::Sample, sample_secs);
-        maybe_checkpoint(cfg, name, epoch + 1, final_loss, &stopper, false, &opt, &mut sage)?;
+        maybe_checkpoint(cfg, name, epoch + 1, final_loss, &stopper, false, &opt, &mut sage, None)?;
         sgnn_obs::mark_epoch(epoch as u64);
     }
     // The double buffer keeps at most one prefetched batch alive next to
@@ -620,6 +634,7 @@ pub fn train_saint(
         &name,
         &mut opt,
         &mut gcn,
+        None,
         &mut stopper,
         &mut epochs_run,
         &mut final_loss,
@@ -680,7 +695,7 @@ pub fn train_saint(
             },
         );
         phases.add(Phase::Sample, sample_secs);
-        maybe_checkpoint(cfg, &name, epoch + 1, final_loss, &stopper, false, &opt, &mut gcn)?;
+        maybe_checkpoint(cfg, &name, epoch + 1, final_loss, &stopper, false, &opt, &mut gcn, None)?;
         sgnn_obs::mark_epoch(epoch as u64);
     }
     ledger.try_transient(max_batch)?;
@@ -745,6 +760,7 @@ pub fn train_cluster_gcn(
         "cluster-gcn",
         &mut opt,
         &mut gcn,
+        None,
         &mut stopper,
         &mut epochs_run,
         &mut final_loss,
@@ -815,6 +831,7 @@ pub fn train_cluster_gcn(
             false,
             &opt,
             &mut gcn,
+            None,
         )?;
         sgnn_obs::mark_epoch(epoch as u64);
     }

@@ -11,6 +11,9 @@
 //! | after a halo buffer is built | [`FaultPlan::corrupt_halo`]           |
 //! | each pipeline `prepare` call | [`FaultPlan::poll_producer_panic`]    |
 //! | `Ledger` budget checks       | [`FaultPlan::mem_budget`]             |
+//! | each served request          | [`FaultPlan::poll_request_spike`]     |
+//! | each store-row read          | [`FaultPlan::corrupt_store_row`]      |
+//! | each load-generator enqueue  | [`FaultPlan::poll_producer_stall`]    |
 //!
 //! Determinism rules (the "fault-plan seeding rules" of DESIGN.md §8):
 //!
@@ -55,6 +58,33 @@ pub enum Fault {
     PanicProducer {
         /// Global batch index at which the producer panics.
         batch: usize,
+    },
+    /// Delay serving request `request` by `delay_us` microseconds — a
+    /// per-request latency spike. Timing-only: answer bits are
+    /// unaffected, but deadline/breaker machinery observes the spike.
+    SpikeRequest {
+        /// Global served-request index to delay.
+        request: u64,
+        /// Injected delay, microseconds.
+        delay_us: u64,
+    },
+    /// Flip `flips` seed-chosen bits in the embedding-store row read by
+    /// request `request` — "at rest" corruption, after the store
+    /// checksummed the row at build time.
+    CorruptStoreRow {
+        /// Global served-request index whose store read is corrupted.
+        request: u64,
+        /// Number of bits to flip.
+        flips: u32,
+    },
+    /// Stall the serving load generator for `stall_us` microseconds
+    /// before enqueuing request `request` (an upstream producer hiccup:
+    /// the queue drains, then a burst follows).
+    StallProducer {
+        /// Load-generator enqueue index at which to stall.
+        request: u64,
+        /// Injected stall, microseconds.
+        stall_us: u64,
     },
 }
 
@@ -113,6 +143,21 @@ impl FaultPlan {
     /// Arms a [`Fault::PanicProducer`].
     pub fn panic_producer(self, batch: usize) -> Self {
         self.arm(Fault::PanicProducer { batch })
+    }
+
+    /// Arms a [`Fault::SpikeRequest`].
+    pub fn spike_request(self, request: u64, delay_us: u64) -> Self {
+        self.arm(Fault::SpikeRequest { request, delay_us })
+    }
+
+    /// Arms a [`Fault::CorruptStoreRow`].
+    pub fn corrupt_store_row_at(self, request: u64, flips: u32) -> Self {
+        self.arm(Fault::CorruptStoreRow { request, flips })
+    }
+
+    /// Arms a [`Fault::StallProducer`].
+    pub fn stall_producer(self, request: u64, stall_us: u64) -> Self {
+        self.arm(Fault::StallProducer { request, stall_us })
     }
 
     /// Caps the `Ledger` byte budget (simulated memory exhaustion).
@@ -176,6 +221,54 @@ impl FaultPlan {
         true
     }
 
+    /// If a `SpikeRequest` is armed for served-request index `request`,
+    /// fires it (once) and returns the delay the caller should impose.
+    /// Timing-only: bits served are unaffected.
+    pub fn poll_request_spike(&self, request: u64) -> Option<std::time::Duration> {
+        match self.fire(|f| matches!(f, Fault::SpikeRequest { request: r, .. } if *r == request)) {
+            Some(Fault::SpikeRequest { delay_us, .. }) => {
+                Some(std::time::Duration::from_micros(delay_us))
+            }
+            _ => None,
+        }
+    }
+
+    /// If a `StallProducer` is armed for enqueue index `request`, fires
+    /// it (once) and returns the stall the load generator should sleep.
+    pub fn poll_producer_stall(&self, request: u64) -> Option<std::time::Duration> {
+        match self.fire(|f| matches!(f, Fault::StallProducer { request: r, .. } if *r == request)) {
+            Some(Fault::StallProducer { stall_us, .. }) => {
+                Some(std::time::Duration::from_micros(stall_us))
+            }
+            _ => None,
+        }
+    }
+
+    /// If a `CorruptStoreRow` is armed for served-request index
+    /// `request`, flips its seed-chosen bits in `row` (once) and returns
+    /// `true`. Same SplitMix64 derivation as
+    /// [`corrupt_halo_buf`](FaultPlan::corrupt_halo_buf) with a distinct
+    /// domain tag, so store and halo corruption of the same index differ
+    /// but both replay exactly.
+    pub fn corrupt_store_row(&self, request: u64, row: &mut [f32]) -> bool {
+        let Some(Fault::CorruptStoreRow { flips, .. }) =
+            self.fire(|f| matches!(f, Fault::CorruptStoreRow { request: r, .. } if *r == request))
+        else {
+            return false;
+        };
+        if row.is_empty() {
+            return true; // fired, but nothing to corrupt
+        }
+        let total_bits = row.len() as u64 * 32;
+        for i in 0..flips as u64 {
+            let r = splitmix64(self.seed ^ splitmix64(request ^ (i << 32) ^ 0x5E7E_57A7E)); // "store-state" tag
+            let bit = r % total_bits;
+            let word = (bit / 32) as usize;
+            row[word] = f32::from_bits(row[word].to_bits() ^ (1u32 << (bit % 32)));
+        }
+        true
+    }
+
     /// Number of armed faults that have fired so far.
     pub fn fired_count(&self) -> usize {
         self.faults.iter().filter(|a| a.fired.load(Ordering::Relaxed)).count()
@@ -233,6 +326,36 @@ mod tests {
         // The armed exchange still fires afterwards, exactly once.
         assert!(plan.corrupt_halo_buf(7, &mut d));
         assert!(!plan.corrupt_halo_buf(7, &mut d));
+    }
+
+    #[test]
+    fn serving_faults_fire_once_at_their_indices() {
+        let plan = FaultPlan::new(5)
+            .spike_request(3, 250)
+            .stall_producer(7, 400)
+            .corrupt_store_row_at(9, 4);
+        assert!(plan.poll_request_spike(2).is_none());
+        assert_eq!(plan.poll_request_spike(3), Some(std::time::Duration::from_micros(250)));
+        assert!(plan.poll_request_spike(3).is_none(), "one-shot");
+        assert_eq!(plan.poll_producer_stall(7), Some(std::time::Duration::from_micros(400)));
+        assert!(plan.poll_producer_stall(7).is_none());
+
+        let base: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut a = base.clone();
+        assert!(!plan.corrupt_store_row(8, &mut a), "wrong index must not fire");
+        assert_eq!(a, base);
+        assert!(plan.corrupt_store_row(9, &mut a));
+        assert_ne!(crc32_f32s(&a), crc32_f32s(&base), "corruption must break the checksum");
+        // Same plan seed ⇒ same corruption; distinct from halo corruption
+        // of the same index.
+        let mut b = base.clone();
+        assert!(FaultPlan::new(5).corrupt_store_row_at(9, 4).corrupt_store_row(9, &mut b));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        let mut c = base.clone();
+        assert!(FaultPlan::new(5).corrupt_halo(9, 4).corrupt_halo_buf(9, &mut c));
+        assert_ne!(bits(&a), bits(&c), "store corruption domain must differ from halo");
+        assert!(plan.exhausted());
     }
 
     #[test]

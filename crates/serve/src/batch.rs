@@ -1,26 +1,63 @@
 //! Admission batching: coalesce concurrent queries into one head matmul.
 //!
-//! Producers push `(node, enqueue-time)` into an [`AdmissionQueue`];
-//! [`run_server`] drains it in arrival order. When a query opens a
-//! batch, the server keeps admitting queries until either the deadline
-//! window (measured from admission of the *first* query in the batch)
-//! elapses or the batch reaches `max_batch`, then answers the whole
-//! batch with one `serve_batch` call. Deadline semantics (DESIGN.md
-//! §12): the window bounds *added* queueing delay — a query never waits
-//! more than `deadline` past the moment it could have been served solo,
-//! and a full batch is released immediately.
+//! Producers push `(node, enqueue-time, optional deadline)` into an
+//! [`AdmissionQueue`]; [`run_server`] drains it in arrival order. When
+//! a query opens a batch, the server keeps admitting queries until
+//! either the deadline window (measured from admission of the *first*
+//! query in the batch) elapses or the batch reaches `max_batch`, then
+//! answers the whole batch with one `serve_batch` call. Deadline
+//! semantics (DESIGN.md §12): the window bounds *added* queueing delay
+//! — a query never waits more than `deadline` past the moment it could
+//! have been served solo, and a full batch is released immediately.
 //!
 //! Timing affects only *when* work happens and how it is grouped, never
 //! the answer bits: `serve_batch` rows are bitwise-equal to
 //! one-at-a-time answers (see `crates/serve/src/engine.rs`), so the
 //! open-loop harness can batch aggressively without a correctness
-//! trade.
+//! trade. Under an [`OverloadConfig`] the server additionally derives a
+//! [`Pressure`] level from the queue depth observed when each batch
+//! opens, threads per-request deadline budgets through the engine, and
+//! feeds observed deadline outcomes back to the circuit breaker —
+//! timing then chooses *which* rung of the deterministic degradation
+//! ladder serves each request, and the engine-side decision remains a
+//! pure function of that recorded `(pressure, expired)` context
+//! (DESIGN.md §13).
+//!
+//! ## Queue shutdown contract
+//!
+//! Deterministic, documented outcomes for every shutdown edge (pinned
+//! by `tests/serving_overload.rs`):
+//!
+//! - **Close-while-draining** — every query admitted before [`close`]
+//!   is served; `run_server` returns only once the queue is closed
+//!   *and* empty. No query is lost.
+//! - **Enqueue-after-close** — rejected: [`push`] returns `false` and
+//!   the query is never admitted (it does not count as a shed).
+//! - **Concurrent producers racing `close`** — each push resolves
+//!   under the queue lock: a push that acquires the lock before the
+//!   close is admitted and served, one after is rejected. Either way
+//!   producers and server cannot deadlock, because `close` wakes every
+//!   waiter on the same condvar that arrivals notify.
+//! - **Bounded queue full** — reject-newest: [`push`] returns `false`
+//!   and the reject is counted (`serve.shed.count`,
+//!   [`AdmissionQueue::shed_count`]).
+//! - **Poisoned lock** — a producer that panics while holding the
+//!   queue mutex poisons it; the queue recovers the guard
+//!   (`PoisonError::into_inner`) instead of propagating the panic, so
+//!   one crashed producer cannot take down the server. Every critical
+//!   section leaves the queue structurally consistent, which is what
+//!   makes the recovery sound.
+//!
+//! [`close`]: AdmissionQueue::close
+//! [`push`]: AdmissionQueue::push
 
-use crate::engine::ServeEngine;
+use crate::engine::{PressuredRequest, ServeEngine};
+use crate::plan::{record_shed, Strategy};
+use crate::pressure::{OverloadConfig, Pressure};
 use sgnn_graph::NodeId;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 static BATCHES: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.batch.count");
@@ -34,11 +71,16 @@ pub struct BatchConfig {
     pub deadline: Duration,
     /// Hard cap on coalesced batch size.
     pub max_batch: usize,
+    /// `Some` enables the overload-robustness layer: queue-depth
+    /// pressure → degradation ladder, per-request deadline budgets, and
+    /// breaker feedback. `None` (default) is the PR 9 serving path,
+    /// bit-for-bit.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { deadline: Duration::from_micros(200), max_batch: 64 }
+        BatchConfig { deadline: Duration::from_micros(200), max_batch: 64, overload: None }
     }
 }
 
@@ -51,48 +93,116 @@ pub struct ServedQuery {
     pub latency_ns: u64,
     /// Size of the batch this query was coalesced into.
     pub batch_size: usize,
+    /// The tier that answered it ([`Strategy::Shed`] = zero-logit shed
+    /// response).
+    pub strategy: Strategy,
+    /// True when the answer arrived after the request's deadline budget.
+    pub deadline_missed: bool,
 }
 
-/// MPSC arrival queue with shutdown, shared between load generators and
-/// the serving loop.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    node: NodeId,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+}
+
 #[derive(Debug, Default)]
+struct QueueInner {
+    q: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// MPSC arrival queue with shutdown and optional bounded admission,
+/// shared between load generators and the serving loop.
+#[derive(Debug)]
 pub struct AdmissionQueue {
-    inner: Mutex<VecDeque<(NodeId, Instant)>>,
+    inner: Mutex<QueueInner>,
     arrived: Condvar,
-    closed: AtomicBool,
+    capacity: usize,
+    shed: AtomicU64,
+}
+
+impl Default for AdmissionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AdmissionQueue {
-    /// An empty open queue.
+    /// An empty open queue with unbounded admission.
     pub fn new() -> Self {
-        Self::default()
+        Self::bounded(usize::MAX)
     }
 
-    /// Enqueues one query, stamping its arrival time.
-    pub fn push(&self, node: NodeId) {
-        let mut q = self.inner.lock().unwrap();
-        q.push_back((node, Instant::now()));
-        drop(q);
+    /// An empty open queue that rejects the newest arrival once
+    /// `capacity` queries are waiting (admission-control load shedding,
+    /// counted in `serve.shed.count`).
+    pub fn bounded(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(QueueInner::default()),
+            arrived: Condvar::new(),
+            capacity,
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the queue, recovering from a poisoned mutex: a producer
+    /// that panicked mid-push leaves the queue structurally consistent
+    /// (every critical section is a single `VecDeque` operation), so
+    /// serving continues instead of propagating the panic.
+    fn lock_inner(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues one query, stamping its arrival time. Returns `false` —
+    /// and does not admit the query — when the queue is closed or full
+    /// (the latter counts toward `serve.shed.count`).
+    pub fn push(&self, node: NodeId) -> bool {
+        self.push_with_deadline(node, None)
+    }
+
+    /// [`push`](Self::push) with a per-request deadline budget that
+    /// overrides the server's default for this query.
+    pub fn push_with_deadline(&self, node: NodeId, deadline: Option<Duration>) -> bool {
+        let mut inner = self.lock_inner();
+        if inner.closed {
+            return false;
+        }
+        if inner.q.len() >= self.capacity {
+            drop(inner);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            record_shed();
+            return false;
+        }
+        inner.q.push_back(Pending { node, enqueued: Instant::now(), deadline });
+        drop(inner);
         self.arrived.notify_one();
+        true
     }
 
     /// Marks the end of the arrival stream; `run_server` drains what is
-    /// left and returns.
+    /// left and returns. Wakes every waiting server thread.
     pub fn close(&self) {
-        self.closed.store(true, Ordering::SeqCst);
+        self.lock_inner().closed = true;
         self.arrived.notify_all();
     }
 
     /// Queries currently waiting.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.lock_inner().q.len()
+    }
+
+    /// Arrivals rejected because the queue was at capacity.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Pops up to `max` queries without blocking.
-    fn drain(&self, max: usize, out: &mut Vec<(NodeId, Instant)>) {
-        let mut q = self.inner.lock().unwrap();
+    fn drain(&self, max: usize, out: &mut Vec<Pending>) {
+        let mut inner = self.lock_inner();
         while out.len() < max {
-            match q.pop_front() {
+            match inner.q.pop_front() {
                 Some(item) => out.push(item),
                 None => break,
             }
@@ -100,25 +210,28 @@ impl AdmissionQueue {
     }
 
     /// Blocks until a query arrives or the queue is closed and empty.
-    /// Returns `false` on shutdown.
+    /// Returns `false` on shutdown. Purely notification-driven: `push`
+    /// notifies one waiter, `close` notifies all — no polling timeout.
     fn wait_nonempty(&self) -> bool {
-        let mut q = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         loop {
-            if !q.is_empty() {
+            if !inner.q.is_empty() {
                 return true;
             }
-            if self.closed.load(Ordering::SeqCst) {
+            if inner.closed {
                 return false;
             }
-            let (guard, _) = self.arrived.wait_timeout(q, Duration::from_millis(5)).unwrap();
-            q = guard;
+            inner = self.arrived.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 /// Serves the queue to exhaustion (queue closed *and* drained),
 /// coalescing under `cfg`, and reports per-query latency in completion
-/// order.
+/// order. With `cfg.overload` set, each batch is served at the pressure
+/// level derived from the queue depth observed when the batch opened,
+/// expired deadline budgets drop requests to the cheapest viable tier,
+/// and per-request outcomes feed the engine's breaker.
 pub fn run_server(
     engine: &mut ServeEngine,
     queue: &AdmissionQueue,
@@ -126,9 +239,13 @@ pub fn run_server(
 ) -> Vec<ServedQuery> {
     assert!(cfg.max_batch >= 1, "max_batch must admit at least one query");
     let mut served = Vec::new();
-    let mut pending: Vec<(NodeId, Instant)> = Vec::with_capacity(cfg.max_batch);
+    let mut pending: Vec<Pending> = Vec::with_capacity(cfg.max_batch);
     while queue.wait_nonempty() {
         pending.clear();
+        // Depth at batch admission — the observable the pressure ladder
+        // is a function of. Sampled before the drain so it includes
+        // this batch's own queries.
+        let depth_at_open = queue.depth();
         queue.drain(cfg.max_batch, &mut pending);
         if pending.is_empty() {
             continue;
@@ -146,15 +263,36 @@ pub fn run_server(
             }
             queue.drain(cfg.max_batch, &mut pending);
         }
-        let nodes: Vec<NodeId> = pending.iter().map(|&(u, _)| u).collect();
-        let _ = engine.serve_batch(&nodes);
+        let pressure =
+            cfg.overload.as_ref().map_or(Pressure::Normal, |o| o.pressure.level(depth_at_open));
+        let default_deadline = cfg.overload.as_ref().and_then(|o| o.request_deadline);
+        let admit = Instant::now();
+        let reqs: Vec<PressuredRequest> = pending
+            .iter()
+            .map(|p| {
+                let budget = p.deadline.or(default_deadline);
+                let expired = budget.is_some_and(|d| admit.duration_since(p.enqueued) > d);
+                PressuredRequest { node: p.node, pressure, expired }
+            })
+            .collect();
+        let (_, strategies) = engine.serve_batch_pressured(&reqs);
         let done = Instant::now();
         BATCHES.incr();
-        BATCHED_QUERIES.add(nodes.len() as u64);
-        for &(node, enqueued) in &pending {
-            let latency_ns = done.duration_since(enqueued).as_nanos() as u64;
+        BATCHED_QUERIES.add(pending.len() as u64);
+        for (i, p) in pending.iter().enumerate() {
+            let latency_ns = done.duration_since(p.enqueued).as_nanos() as u64;
             QUEUE_WAIT_NS.record(latency_ns);
-            served.push(ServedQuery { node, latency_ns, batch_size: nodes.len() });
+            let budget = p.deadline.or(default_deadline);
+            let deadline_missed = strategies[i] != Strategy::Shed
+                && budget.is_some_and(|d| done.duration_since(p.enqueued) > d);
+            engine.note_outcome(strategies[i], deadline_missed);
+            served.push(ServedQuery {
+                node: p.node,
+                latency_ns,
+                batch_size: pending.len(),
+                strategy: strategies[i],
+                deadline_missed,
+            });
         }
     }
     served
@@ -187,14 +325,18 @@ mod tests {
         let mut e = engine();
         let q = AdmissionQueue::new();
         for u in 0..50u32 {
-            q.push(u % 80);
+            assert!(q.push(u % 80));
         }
         q.close();
-        let served =
-            run_server(&mut e, &q, &BatchConfig { deadline: Duration::ZERO, max_batch: 8 });
+        let served = run_server(
+            &mut e,
+            &q,
+            &BatchConfig { deadline: Duration::ZERO, max_batch: 8, overload: None },
+        );
         assert_eq!(served.len(), 50);
         assert_eq!(e.stats().requests, 50);
         assert!(served.iter().all(|s| s.batch_size >= 1 && s.batch_size <= 8));
+        assert!(served.iter().all(|s| s.strategy == Strategy::Cached && !s.deadline_missed));
         assert_eq!(q.depth(), 0);
     }
 
@@ -206,7 +348,7 @@ mod tests {
             let q = std::sync::Arc::clone(&q);
             std::thread::spawn(move || {
                 for u in 0..200u32 {
-                    q.push(u % 80);
+                    assert!(q.push(u % 80));
                     if u % 16 == 0 {
                         std::thread::sleep(Duration::from_micros(100));
                     }
@@ -217,10 +359,75 @@ mod tests {
         let served = run_server(
             &mut e,
             &q,
-            &BatchConfig { deadline: Duration::from_micros(300), max_batch: 32 },
+            &BatchConfig { deadline: Duration::from_micros(300), max_batch: 32, overload: None },
         );
         producer.join().unwrap();
         assert_eq!(served.len(), 200);
         assert!(served.iter().any(|s| s.batch_size > 1), "no query was ever coalesced");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_newest_when_full() {
+        let q = AdmissionQueue::bounded(3);
+        assert!(q.push(0));
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3), "fourth arrival must be rejected");
+        assert!(!q.push(4));
+        assert_eq!(q.shed_count(), 2);
+        assert_eq!(q.depth(), 3, "rejected arrivals are never admitted");
+    }
+
+    #[test]
+    fn enqueue_after_close_is_rejected_not_shed() {
+        let q = AdmissionQueue::bounded(8);
+        assert!(q.push(1));
+        q.close();
+        assert!(!q.push(2), "push after close must be rejected");
+        assert_eq!(q.shed_count(), 0, "a post-close reject is not a capacity shed");
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_take_down_the_server() {
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        assert!(q.push(5));
+        // A producer panics while holding the queue mutex.
+        let poisoner = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.inner.lock().unwrap();
+                panic!("producer crashed mid-push");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(q.inner.is_poisoned(), "the panic must have poisoned the lock");
+        // The queue recovers: pushes, depth, and serving all still work.
+        assert!(q.push(7));
+        assert_eq!(q.depth(), 2);
+        q.close();
+        let mut e = engine();
+        let served = run_server(
+            &mut e,
+            &q,
+            &BatchConfig { deadline: Duration::ZERO, max_batch: 8, overload: None },
+        );
+        assert_eq!(served.len(), 2);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_server_without_polling() {
+        let q = std::sync::Arc::new(AdmissionQueue::new());
+        let server = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.wait_nonempty())
+        };
+        // Give the server time to block on the condvar, then close; the
+        // notification (not a timeout) must wake it promptly.
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        q.close();
+        assert!(!server.join().unwrap(), "close on an empty queue reports shutdown");
+        assert!(t0.elapsed() < Duration::from_millis(100));
     }
 }

@@ -6,6 +6,14 @@
 //! thread interleaving can change which row is dropped. That is what
 //! lets the serving suite assert cache hit/miss/eviction counts are
 //! reproducible run-to-run and across `SGNN_THREADS` settings.
+//!
+//! Each entry carries a quality bit: full-quality rows (FullProp or
+//! escalated answers) versus *stale* rows — sampled-quality rows
+//! admitted only under overload pressure (DESIGN.md §13). A probe
+//! states whether stale rows are acceptable; a stale row probed with
+//! `accept_stale = false` counts as a miss (the caller recomputes and
+//! the fresh insert overwrites it), so the zero-pressure path behaves
+//! exactly as if stale rows did not exist.
 
 use sgnn_graph::NodeId;
 use std::collections::HashMap;
@@ -21,7 +29,7 @@ static CACHE_EVICTIONS: sgnn_obs::Counter = sgnn_obs::Counter::new("serve.cache.
 pub struct LruCache {
     capacity: usize,
     clock: u64,
-    entries: HashMap<NodeId, (u64, Vec<f32>)>,
+    entries: HashMap<NodeId, Entry>,
     /// Probe hits since construction.
     pub hits: u64,
     /// Probe misses since construction.
@@ -30,23 +38,39 @@ pub struct LruCache {
     pub evictions: u64,
 }
 
+#[derive(Debug, Clone)]
+struct Entry {
+    stamp: u64,
+    full_quality: bool,
+    row: Vec<f32>,
+}
+
 impl LruCache {
     /// An empty cache holding at most `capacity` rows.
     pub fn new(capacity: usize) -> Self {
         LruCache { capacity, clock: 0, entries: HashMap::new(), hits: 0, misses: 0, evictions: 0 }
     }
 
-    /// Looks up `u`, counting a hit or miss and refreshing recency.
+    /// Looks up `u` expecting a full-quality row (the zero-pressure
+    /// path), counting a hit or miss and refreshing recency.
     pub fn get(&mut self, u: NodeId) -> Option<&[f32]> {
+        self.probe(u, false).map(|(row, _)| row)
+    }
+
+    /// Looks up `u`, counting a hit or miss and refreshing recency on a
+    /// hit. When `accept_stale` is false a resident stale row counts as
+    /// a miss (and its recency is untouched, so it stays first in line
+    /// for eviction). Returns the row and whether it is full quality.
+    pub fn probe(&mut self, u: NodeId, accept_stale: bool) -> Option<(&[f32], bool)> {
         match self.entries.get_mut(&u) {
-            Some((stamp, row)) => {
+            Some(e) if e.full_quality || accept_stale => {
                 self.clock += 1;
-                *stamp = self.clock;
+                e.stamp = self.clock;
                 self.hits += 1;
                 CACHE_HITS.incr();
-                Some(row)
+                Some((&e.row, e.full_quality))
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 CACHE_MISSES.incr();
                 None
@@ -54,26 +78,42 @@ impl LruCache {
         }
     }
 
-    /// Inserts (or refreshes) `u`, evicting the least-recently-used
-    /// entry when full.
+    /// Inserts (or refreshes) `u` as a full-quality row, evicting the
+    /// least-recently-used entry when full.
     pub fn insert(&mut self, u: NodeId, row: Vec<f32>) {
+        self.insert_quality(u, row, true);
+    }
+
+    /// Inserts (or refreshes) `u` with an explicit quality bit. A
+    /// full-quality insert overwrites a stale row; a stale insert never
+    /// downgrades a resident full-quality row (it only refreshes
+    /// recency).
+    pub fn insert_quality(&mut self, u: NodeId, row: Vec<f32>, full_quality: bool) {
         if self.capacity == 0 {
             return;
         }
         self.clock += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&u) {
+        if let Some(e) = self.entries.get_mut(&u) {
+            e.stamp = self.clock;
+            if full_quality || !e.full_quality {
+                e.full_quality = full_quality;
+                e.row = row;
+            }
+            return;
+        }
+        if self.entries.len() >= self.capacity {
             // Stamps are unique, so the minimum is unambiguous.
             let victim = *self
                 .entries
                 .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
+                .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k)
                 .expect("non-empty at capacity");
             self.entries.remove(&victim);
             self.evictions += 1;
             CACHE_EVICTIONS.incr();
         }
-        self.entries.insert(u, (self.clock, row));
+        self.entries.insert(u, Entry { stamp: self.clock, full_quality, row });
     }
 
     /// Rows currently resident.
@@ -122,5 +162,34 @@ mod tests {
         assert_eq!(c.evictions, 0);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(1).unwrap(), &[1.5][..]);
+    }
+
+    #[test]
+    fn stale_rows_are_invisible_to_full_quality_probes() {
+        let mut c = LruCache::new(2);
+        c.insert_quality(1, vec![0.5], false);
+        assert!(c.get(1).is_none(), "stale row must read as a miss at zero pressure");
+        assert_eq!((c.hits, c.misses), (0, 1));
+        assert_eq!(c.probe(1, true), Some((&[0.5][..], false)));
+        assert_eq!(c.hits, 1);
+        // A full-quality insert upgrades the slot…
+        c.insert(1, vec![1.0]);
+        assert_eq!(c.probe(1, true), Some((&[1.0][..], true)));
+        // …and a later stale insert must not downgrade it.
+        c.insert_quality(1, vec![0.25], false);
+        assert_eq!(c.get(1).unwrap(), &[1.0][..]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn rejected_stale_probe_leaves_recency_untouched() {
+        let mut c = LruCache::new(2);
+        c.insert_quality(1, vec![0.1], false);
+        c.insert(2, vec![2.0]);
+        assert!(c.get(1).is_none()); // miss: stamp of 1 unchanged
+        c.insert(3, vec![3.0]); // must evict the stale row, not node 2
+        assert!(c.probe(1, true).is_none());
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
     }
 }

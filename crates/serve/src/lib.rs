@@ -26,22 +26,31 @@
 //! - [`batch`] — admission batching: an arrival queue whose server
 //!   coalesces concurrent queries within a deadline window into one
 //!   batched head application (the open-loop harness `benchserve`
-//!   drives this).
+//!   drives this). Optionally bounded (reject-newest admission
+//!   control) with per-request deadline budgets.
+//! - [`pressure`] — the overload-robustness layer (DESIGN.md §13):
+//!   queue-depth pressure signal driving the planner's
+//!   graceful-degradation ladder (FullProp → Sampled → store/stale
+//!   row → explicit shed), plus the FullProp circuit breaker with a
+//!   deterministic request-counted probe schedule.
 //!
 //! The determinism contract is pinned by `tests/serving_equivalence.rs`
-//! and `tests/ppr_invariants.rs`; DESIGN.md §12 states it in prose.
+//! and `tests/ppr_invariants.rs`; the overload/degradation contract by
+//! `tests/serving_overload.rs`. DESIGN.md §12–§13 state them in prose.
 
 pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod plan;
+pub mod pressure;
 pub mod push;
 pub mod store;
 
 pub use batch::{run_server, AdmissionQueue, BatchConfig, ServedQuery};
 pub use cache::LruCache;
-pub use engine::{ServeConfig, ServeEngine, ServeStats};
-pub use plan::{PlannerConfig, QueryPlanner, Strategy};
+pub use engine::{PressuredRequest, ServeConfig, ServeEngine, ServeStats};
+pub use plan::{PlannerConfig, QueryPlanner, RowState, Strategy};
+pub use pressure::{BreakerConfig, CircuitBreaker, OverloadConfig, Pressure, PressureConfig};
 pub use push::{
     fresh_row, smooth_column, smooth_column_exact, smooth_column_push, smooth_matrix,
     smooth_matrix_seq, ServePushStats,

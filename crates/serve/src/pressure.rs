@@ -1,0 +1,313 @@
+//! Overload pressure signal and the FullProp circuit breaker.
+//!
+//! Both objects here are deliberately *pure state machines*: the
+//! pressure level is a pure function of an observed queue depth, and
+//! the breaker advances only on the explicit `on_full_decision` /
+//! `observe` calls it is fed. Wall-clock time never enters either —
+//! the live server feeds them measurements, the differential suite
+//! feeds them a recorded trace, and both walks produce identical
+//! transitions (DESIGN.md §13). That is what makes shed/degrade counts
+//! and breaker trips replay-exact while latencies remain time-banded.
+
+static PRESSURE_GAUGE: sgnn_obs::Gauge = sgnn_obs::Gauge::new("serve.pressure");
+static BREAKER_STATE: sgnn_obs::Gauge = sgnn_obs::Gauge::new("serve.breaker.state");
+
+/// Position on the graceful-degradation ladder, ordered by severity.
+/// `run_server` derives it from queue depth at batch admission; the
+/// planner turns it into a serving tier (DESIGN.md §13 ladder table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// No overload: the PR 9 planning rule applies unchanged.
+    Normal = 0,
+    /// Queue building: fresh pushes run at the coarse `sampled_eps`;
+    /// stale cache rows are acceptable answers.
+    Degraded = 1,
+    /// Queue deep: only precomputed/cached rows are viable; everything
+    /// else is shed.
+    CachedOnly = 2,
+    /// Queue beyond recovery: every request in the batch is shed.
+    Shed = 3,
+}
+
+impl Pressure {
+    /// Gauge/JSON encoding (0..=3).
+    pub fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Queue-depth thresholds mapping observed depth → [`Pressure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PressureConfig {
+    /// Depth at or above which pressure is `Degraded`.
+    pub degrade_at: usize,
+    /// Depth at or above which pressure is `CachedOnly`.
+    pub cached_only_at: usize,
+    /// Depth at or above which pressure is `Shed`.
+    pub shed_at: usize,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        PressureConfig { degrade_at: 64, cached_only_at: 256, shed_at: 1024 }
+    }
+}
+
+impl PressureConfig {
+    /// Thresholds so high the ladder never engages (the
+    /// harmlessness-when-idle configuration).
+    pub fn disabled() -> Self {
+        PressureConfig { degrade_at: usize::MAX, cached_only_at: usize::MAX, shed_at: usize::MAX }
+    }
+
+    /// Pure depth → level map; also publishes the `serve.pressure`
+    /// level gauge.
+    pub fn level(&self, depth: usize) -> Pressure {
+        let p = if depth >= self.shed_at {
+            Pressure::Shed
+        } else if depth >= self.cached_only_at {
+            Pressure::CachedOnly
+        } else if depth >= self.degrade_at {
+            Pressure::Degraded
+        } else {
+            Pressure::Normal
+        };
+        PRESSURE_GAUGE.set(p.as_u64());
+        p
+    }
+}
+
+/// Breaker thresholds. The schedule is counted in *requests*, never in
+/// wall-clock time, so a recorded miss/hit sequence replays the exact
+/// trip/probe/close transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive deadline misses that trip the breaker open.
+    pub trip_after: usize,
+    /// FullProp-eligible requests demoted while open before the breaker
+    /// half-opens and lets one probe through.
+    pub probe_after: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 8, probe_after: 32 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    /// `demoted` counts FullProp-eligible requests demoted since the
+    /// trip — the deterministic probe schedule.
+    Open {
+        demoted: usize,
+    },
+    /// One probe is in flight (was allowed through as FullProp); its
+    /// observed outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// Circuit breaker over the FullProp tier: repeated deadline misses
+/// trip it open, demoting FullProp decisions to Sampled until a
+/// half-open probe succeeds. Gauge `serve.breaker.state` publishes
+/// 0 = closed, 1 = open, 2 = half-open.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_misses: usize,
+    /// Times the breaker tripped open (including probe-failure re-opens).
+    pub trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BREAKER_STATE.set(0);
+        CircuitBreaker { cfg, state: BreakerState::Closed, consecutive_misses: 0, trips: 0 }
+    }
+
+    fn publish(&self) {
+        BREAKER_STATE.set(match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open { .. } => 1,
+            BreakerState::HalfOpen => 2,
+        });
+    }
+
+    /// Called for every request the ladder would serve as `FullProp`.
+    /// Returns `true` when the request must be demoted to `Sampled`.
+    /// While open, each demotion advances the probe schedule; after
+    /// `probe_after` demotions the breaker half-opens and the *next*
+    /// FullProp-eligible request goes through as the probe.
+    pub fn on_full_decision(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => false,
+            BreakerState::HalfOpen => false, // the probe itself
+            BreakerState::Open { demoted } => {
+                let demoted = demoted + 1;
+                if demoted >= self.cfg.probe_after {
+                    self.state = BreakerState::HalfOpen;
+                } else {
+                    self.state = BreakerState::Open { demoted };
+                }
+                self.publish();
+                true
+            }
+        }
+    }
+
+    /// Feeds one observed request outcome. `was_full` marks answers the
+    /// engine actually served at the FullProp tier (probe candidates);
+    /// `missed` marks a deadline miss. Transitions: `trip_after`
+    /// consecutive misses trip Closed → Open; a half-open probe closes
+    /// the breaker on success and re-opens it (counting a new trip) on
+    /// a miss.
+    pub fn observe(&mut self, was_full: bool, missed: bool) {
+        match self.state {
+            BreakerState::HalfOpen if was_full => {
+                if missed {
+                    self.trips += 1;
+                    self.state = BreakerState::Open { demoted: 0 };
+                } else {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_misses = 0;
+                }
+                self.publish();
+            }
+            BreakerState::Closed => {
+                if missed {
+                    self.consecutive_misses += 1;
+                    if self.consecutive_misses >= self.cfg.trip_after {
+                        self.trips += 1;
+                        self.state = BreakerState::Open { demoted: 0 };
+                        self.publish();
+                    }
+                } else {
+                    self.consecutive_misses = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True while open or half-open (pressure is still on FullProp).
+    pub fn is_open(&self) -> bool {
+        self.state != BreakerState::Closed
+    }
+
+    /// Gauge encoding of the current state (0/1/2).
+    pub fn state_code(&self) -> u64 {
+        match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open { .. } => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Everything `run_server` needs to run the overload-robustness layer.
+/// `None` (the default) reproduces the PR 9 serving path bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Queue-depth ladder thresholds.
+    pub pressure: PressureConfig,
+    /// Per-request deadline budget applied at admission to requests
+    /// that did not carry their own; `None` = no default budget.
+    pub request_deadline: Option<std::time::Duration>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            pressure: PressureConfig::default(),
+            request_deadline: Some(std::time::Duration::from_millis(5)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_levels_are_monotone_in_depth() {
+        let cfg = PressureConfig { degrade_at: 4, cached_only_at: 8, shed_at: 16 };
+        assert_eq!(cfg.level(0), Pressure::Normal);
+        assert_eq!(cfg.level(3), Pressure::Normal);
+        assert_eq!(cfg.level(4), Pressure::Degraded);
+        assert_eq!(cfg.level(8), Pressure::CachedOnly);
+        assert_eq!(cfg.level(15), Pressure::CachedOnly);
+        assert_eq!(cfg.level(16), Pressure::Shed);
+        assert_eq!(cfg.level(usize::MAX - 1), Pressure::Shed);
+        assert!(Pressure::Normal < Pressure::Degraded && Pressure::CachedOnly < Pressure::Shed);
+    }
+
+    #[test]
+    fn disabled_pressure_never_leaves_normal() {
+        let cfg = PressureConfig::disabled();
+        assert_eq!(cfg.level(1 << 40), Pressure::Normal);
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_closes_deterministically() {
+        let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 3, probe_after: 2 });
+        assert!(!b.is_open());
+        // Two misses, a hit, then three misses: only the uninterrupted
+        // run of three trips it.
+        b.observe(true, true);
+        b.observe(true, true);
+        b.observe(true, false);
+        assert!(!b.is_open());
+        b.observe(true, true);
+        b.observe(true, true);
+        b.observe(true, true);
+        assert!(b.is_open());
+        assert_eq!(b.trips, 1);
+        // Probe schedule: exactly `probe_after` demotions, then the
+        // next FullProp candidate goes through as the probe.
+        assert!(b.on_full_decision());
+        assert!(b.on_full_decision());
+        assert!(!b.on_full_decision(), "half-open probe must pass through");
+        assert_eq!(b.state_code(), 2);
+        // Probe misses → re-open (a new trip), schedule restarts.
+        b.observe(true, true);
+        assert!(b.is_open());
+        assert_eq!(b.trips, 2);
+        assert!(b.on_full_decision());
+        assert!(b.on_full_decision());
+        assert!(!b.on_full_decision());
+        // Probe succeeds → closed, consecutive-miss counter reset.
+        b.observe(true, false);
+        assert!(!b.is_open());
+        assert_eq!(b.state_code(), 0);
+        // Non-FullProp outcomes do not resolve a half-open probe.
+        b.observe(true, true);
+        b.observe(true, true);
+        b.observe(true, true);
+        assert!(b.on_full_decision());
+        assert!(b.on_full_decision());
+        assert!(!b.on_full_decision());
+        b.observe(false, true); // a sampled miss: probe still pending
+        assert_eq!(b.state_code(), 2);
+        b.observe(true, false);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn identical_feed_sequences_replay_identical_transitions() {
+        let feed = [true, true, false, true, true, true, true, false, true, true];
+        let run = || {
+            let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 2, probe_after: 1 });
+            let mut log = Vec::new();
+            for (i, &missed) in feed.iter().enumerate() {
+                let demoted = b.on_full_decision();
+                b.observe(!demoted, missed);
+                log.push((i, demoted, b.state_code(), b.trips));
+            }
+            log
+        };
+        assert_eq!(run(), run(), "breaker walk must be a pure function of the feed");
+    }
+}

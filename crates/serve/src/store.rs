@@ -9,7 +9,14 @@
 //! same node are bitwise identical (DESIGN.md §12). `None` precomputes
 //! nothing and leaves every request to the planner/cache.
 
+//! Every present row is CRC-32 checksummed at build time
+//! ([`EmbeddingStore::verify`]); the engine verifies reads only when a
+//! fault plan is armed and rebuilds a corrupted row with the same push
+//! kernel that built it — for `Hot` stores the repaired row is bitwise
+//! the original (DESIGN.md §13).
+
 use crate::push::{fresh_row, smooth_matrix, ServePushStats};
+use sgnn_fault::crc::crc32_f32s;
 use sgnn_graph::{CsrGraph, NodeId};
 use sgnn_linalg::par::par_map_chunks;
 use sgnn_linalg::DenseMatrix;
@@ -45,6 +52,7 @@ pub enum PrecomputePolicy {
 pub struct EmbeddingStore {
     emb: DenseMatrix,
     present: Vec<bool>,
+    crcs: Vec<u32>,
     rows_built: usize,
     push_stats: ServePushStats,
 }
@@ -80,7 +88,12 @@ impl EmbeddingStore {
         };
         let rows_built = present.iter().filter(|&&p| p).count();
         STORE_ROWS.add(rows_built as u64);
-        EmbeddingStore { emb, present, rows_built, push_stats: stats }
+        let crcs = present
+            .iter()
+            .enumerate()
+            .map(|(u, &p)| if p { crc32_f32s(emb.row(u)) } else { 0 })
+            .collect();
+        EmbeddingStore { emb, present, crcs, rows_built, push_stats: stats }
     }
 
     /// The precomputed row for `u`, if the policy covered it.
@@ -90,6 +103,32 @@ impl EmbeddingStore {
         } else {
             None
         }
+    }
+
+    /// True when the stored bits of `u` still match the CRC recorded at
+    /// build (or repair) time. Absent rows verify trivially.
+    pub fn verify(&self, u: NodeId) -> bool {
+        match self.present.get(u as usize) {
+            Some(true) => crc32_f32s(self.emb.row(u as usize)) == self.crcs[u as usize],
+            _ => true,
+        }
+    }
+
+    /// Mutable access to a present row — the fault-injection surface
+    /// the engine uses to corrupt a row "at rest".
+    pub(crate) fn row_mut(&mut self, u: NodeId) -> Option<&mut [f32]> {
+        if *self.present.get(u as usize)? {
+            Some(self.emb.row_mut(u as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Overwrites a present row with freshly rebuilt bits and re-seals
+    /// its CRC.
+    pub(crate) fn repair(&mut self, u: NodeId, row: &[f32]) {
+        self.emb.row_mut(u as usize).copy_from_slice(row);
+        self.crcs[u as usize] = crc32_f32s(row);
     }
 
     /// Number of rows materialized at build time.
@@ -137,6 +176,29 @@ mod tests {
             }
         }
         assert!(cut >= max_absent, "store must hold the highest-degree rows");
+    }
+
+    #[test]
+    fn corrupted_row_fails_verify_and_repair_reseals_it() {
+        let g = generate::barabasi_albert(100, 3, 7);
+        let x = DenseMatrix::gaussian(100, 3, 1.0, 2);
+        let mut s =
+            EmbeddingStore::build(&g, &x, 0.15, &PrecomputePolicy::Hot { count: 10, eps: 1e-6 });
+        let u = (0..100u32).find(|&u| s.get(u).is_some()).unwrap();
+        assert!(s.verify(u));
+        let original = s.get(u).unwrap().to_vec();
+        let row = s.row_mut(u).unwrap();
+        row[0] = f32::from_bits(row[0].to_bits() ^ 1);
+        assert!(!s.verify(u), "a single flipped bit must break the CRC");
+        let rebuilt = fresh_row(&g, &x, u, 0.15, 1e-6);
+        s.repair(u, &rebuilt);
+        assert!(s.verify(u));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(s.get(u).unwrap()), bits(&original), "Hot repair is bitwise");
+        // Absent rows verify trivially and expose no mutable surface.
+        let absent = (0..100u32).find(|&u| s.get(u).is_none()).unwrap();
+        assert!(s.verify(absent));
+        assert!(s.row_mut(absent).is_none());
     }
 
     #[test]

@@ -1,22 +1,21 @@
-//! Regression pin for the DESIGN.md §11 limitation: resuming a
-//! `CommRegime::Compressed` run from a checkpoint is **correct but not
-//! bitwise**.
+//! Regression pin for compressed-resume determinism (DESIGN.md §11).
 //!
-//! The checkpoint carries parameters, Adam moments, and the stopper —
-//! the *entire* evolving state of an exact-regime run, which is why
-//! `tests/recovery_equivalence.rs` can demand bitwise resume there, and
-//! why the `Exact` case below must stay bitwise. The compressed regime
-//! keeps two extra pieces of state *outside* the checkpoint: the
-//! error-feedback residuals and the stale ghost snapshots
-//! (`staleness > 1`). A resume restarts both at zero/fresh, so the
-//! post-resume trajectory diverges bit-for-bit from an uninterrupted
-//! compressed run — while staying inside the same §11 loss-divergence
-//! envelope that bounds lossy compression itself.
+//! Historically this file pinned a *limitation*: resuming a
+//! `CommRegime::Compressed` run from a checkpoint was correct but not
+//! bitwise, because the checkpoint carried only parameters, Adam
+//! moments, and the stopper, while the compressed regime keeps two
+//! extra pieces of epoch-evolving state — the error-feedback residuals
+//! and the stale ghost snapshots (`staleness > 1`). A resume restarted
+//! both at zero/fresh and the trajectory diverged bit-for-bit.
 //!
-//! If `compressed_resume_is_correct_but_not_bitwise` ever fails on its
-//! `diverged` assertion, the limitation has been FIXED (EF residuals
-//! and ghost snapshots made part of the checkpoint): update DESIGN.md
-//! §11 and flip this test to demand bitwise resume instead.
+//! The limitation is fixed: `core::ckpt` now threads a checkpoint
+//! sidecar (`CkptSidecar`) through `save_epoch`/`try_restore`, and the
+//! sharded trainer registers its `CommState` — residuals, ghost caches,
+//! and staleness clocks ride in the same atomically-written file as the
+//! parameters. This test therefore demands what
+//! `tests/recovery_equivalence.rs` demands of the exact regime: a
+//! killed-and-resumed compressed run reproduces the uninterrupted
+//! compressed run bit-for-bit, at every kill site.
 
 use sgnn::core::ckpt::SlotParams;
 use sgnn::core::error::TrainError;
@@ -61,8 +60,9 @@ fn small_ds() -> sgnn::data::Dataset {
 }
 
 /// Control: the exact regime resumes bitwise from a mid-run superstep
-/// kill — the contrast that makes the compressed case a limitation and
-/// not a recovery bug.
+/// kill. Its checkpoint format is untouched by the sidecar (exact runs
+/// register none), so this also pins that the fix costs the exact path
+/// nothing.
 #[test]
 fn exact_resume_stays_bitwise() {
     let ds = small_ds();
@@ -90,13 +90,13 @@ fn exact_resume_stays_bitwise() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The pinned limitation: an int8 / staleness-2 compressed run killed
-/// mid-flight and resumed (a) lands inside the §11 loss envelope
-/// against the exact reference, but (b) does NOT reproduce the
-/// uninterrupted compressed run bit-for-bit, because EF residuals and
-/// stale ghost snapshots are not checkpointed.
+/// The former limitation, now the contract: an int8 / staleness-2
+/// compressed run killed mid-flight and resumed (a) lands inside the
+/// §11 loss envelope against the exact reference and (b) reproduces the
+/// uninterrupted compressed run bit-for-bit — EF residuals, ghost
+/// caches, and staleness clocks all ride in the checkpoint sidecar.
 #[test]
-fn compressed_resume_is_correct_but_not_bitwise() {
+fn compressed_resume_is_bitwise() {
     let ds = small_ds();
     let base = TrainConfig { epochs: 4, hidden: vec![6], dropout: 0.1, ..Default::default() };
     let compressed = TrainConfig {
@@ -105,14 +105,12 @@ fn compressed_resume_is_correct_but_not_bitwise() {
     };
     let part = hash_partition(ds.num_nodes(), 2);
     let (_, exact_report) = train_full_gcn(&ds, &base).unwrap();
-    let (mut uninterrupted, _, _) = train_sharded_gcn(&ds, &part, &compressed).unwrap();
+    let (mut uninterrupted, un_report, _) = train_sharded_gcn(&ds, &part, &compressed).unwrap();
     let uninterrupted_bits = param_bits(&mut uninterrupted);
 
-    // Sweep several kill sites: every resumed run must satisfy (a); at
-    // least one must exhibit (b) — a single site could in principle land
-    // after the last lossy exchange of its epoch, where no EF/ghost
-    // state is pending.
-    let mut diverged = false;
+    // Sweep several kill sites so the pin covers resumes that land both
+    // mid-staleness-window (pending stale ghosts) and right after a
+    // refresh (pending EF residuals only).
     let mut resumed_runs = 0usize;
     for s in [2u64, 3, 5, 7] {
         let dir = tmp_dir(&format!("int8_s{s}"));
@@ -138,11 +136,18 @@ fn compressed_resume_is_correct_but_not_bitwise() {
                     delta <= LOSS_DIVERGENCE_BOUND,
                     "s={s}: |Δloss| = {delta} exceeds the §11 bound {LOSS_DIVERGENCE_BOUND}"
                 );
-                // (b) The limitation: bit-level divergence from the
+                // (b) Determinism: bitwise identity with the
                 // uninterrupted compressed run.
-                if param_bits(&mut gcn) != uninterrupted_bits {
-                    diverged = true;
-                }
+                assert_eq!(
+                    report.final_loss.to_bits(),
+                    un_report.final_loss.to_bits(),
+                    "s={s}: resumed loss must match the uninterrupted run bitwise"
+                );
+                assert_eq!(
+                    param_bits(&mut gcn),
+                    uninterrupted_bits,
+                    "s={s}: compressed resume must be bitwise"
+                );
             }
             Ok(_) => {
                 // Kill site past the schedule end — nothing to resume.
@@ -152,9 +157,4 @@ fn compressed_resume_is_correct_but_not_bitwise() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     assert!(resumed_runs >= 2, "kill sweep never interrupted the run");
-    assert!(
-        diverged,
-        "every compressed resume was bitwise — the §11 limitation appears fixed; \
-         update DESIGN.md §11 and make this test demand bitwise resume"
-    );
 }

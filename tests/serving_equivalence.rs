@@ -57,6 +57,7 @@ fn engine(n: usize, seed: u64, cache: usize, escalate: Option<f32>) -> ServeEngi
         },
         cache_capacity: cache,
         quant: QuantMode::F32,
+        ..Default::default()
     };
     ServeEngine::new(g, x, head, cfg)
 }

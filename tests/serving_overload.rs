@@ -1,0 +1,327 @@
+//! Overload/degradation contract of `sgnn-serve` (DESIGN.md §13).
+//!
+//! Pins the three properties the overload layer is built around:
+//!
+//! - **Harmless when idle** — with an unbounded queue, disabled
+//!   pressure thresholds, no deadline budgets, no breaker trips, and no
+//!   fault plan, the pressured serving path is the PR 9 path
+//!   bit-for-bit: identical logits and identical replay counters.
+//! - **Replay-exact under load** — a *recorded* overload trace (per
+//!   request: node, pressure, expired flag, observed deadline outcome)
+//!   replays the exact same ladder decisions, shed/degrade counts, and
+//!   breaker transitions run-to-run. Wall-clock only ever chooses which
+//!   rung a live request lands on; given the rung, the bits are pure.
+//!   CI runs this file under `SGNN_THREADS=1/2` to pin thread
+//!   invariance as well.
+//! - **Deterministic shutdown and chaos behavior** — the queue's
+//!   documented shutdown edges hold under racing producers, and armed
+//!   serving faults (latency spikes, store-row corruption) are absorbed
+//!   without changing any answered bit.
+
+use sgnn::fault::FaultPlan;
+use sgnn::graph::{generate, NodeId};
+use sgnn::linalg::par::set_threads;
+use sgnn::linalg::DenseMatrix;
+use sgnn::nn::Mlp;
+use sgnn::serve::{
+    run_server, AdmissionQueue, BatchConfig, BreakerConfig, OverloadConfig, PlannerConfig,
+    PrecomputePolicy, Pressure, PressureConfig, PressuredRequest, ServeConfig, ServeEngine,
+    ServeStats, Strategy,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Serializes tests that flip the global thread count (same pattern as
+/// `tests/serving_equivalence.rs`).
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn bits(m: &DenseMatrix) -> Vec<u32> {
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+const N: usize = 160;
+
+fn engine_with_cache(
+    policy: PrecomputePolicy,
+    breaker: Option<BreakerConfig>,
+    cache_capacity: usize,
+) -> ServeEngine {
+    let g = generate::barabasi_albert(N, 3, 5);
+    let x = DenseMatrix::gaussian(N, 5, 1.0, 2);
+    let head = Mlp::new(&[5, 8, 4], 0.0, 17);
+    let cfg = ServeConfig {
+        policy,
+        planner: PlannerConfig {
+            hub_degree: 10,
+            hub_frontier: 512,
+            full_eps: 1e-6,
+            sampled_eps: 1e-3,
+            escalate_below: None,
+        },
+        cache_capacity,
+        breaker,
+        ..Default::default()
+    };
+    ServeEngine::new(g, x, head, cfg)
+}
+
+fn engine(policy: PrecomputePolicy, breaker: Option<BreakerConfig>) -> ServeEngine {
+    engine_with_cache(policy, breaker, 8)
+}
+
+fn hot() -> PrecomputePolicy {
+    PrecomputePolicy::Hot { count: N / 10, eps: 1e-6 }
+}
+
+/// Idle differential: the pressured path with everything at `Normal`
+/// (and a configured-but-untripped breaker) must be bitwise the PR 9
+/// path — same logits, same counters.
+#[test]
+fn idle_overload_layer_is_bitwise_harmless() {
+    let trace: Vec<NodeId> = (0..120u32).map(|i| (i * 13) % N as u32).collect();
+    let mut pressured = engine(hot(), Some(BreakerConfig::default()));
+    let mut plain = engine(hot(), None);
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    for chunk in trace.chunks(9) {
+        let reqs: Vec<PressuredRequest> = chunk
+            .iter()
+            .map(|&node| PressuredRequest { node, pressure: Pressure::Normal, expired: false })
+            .collect();
+        let (logits, strategies) = pressured.serve_batch_pressured(&reqs);
+        for &s in &strategies {
+            pressured.note_outcome(s, false);
+        }
+        got.extend(bits(&logits));
+        want.extend(bits(&plain.serve_batch(chunk)));
+    }
+    assert_eq!(got, want, "idle pressured serving must be bitwise the PR 9 path");
+    assert_eq!(pressured.stats(), plain.stats(), "idle counters must match exactly");
+    assert_eq!(pressured.stats().shed, 0);
+    assert_eq!(pressured.stats().degraded, 0);
+    assert_eq!(pressured.stats().deadline_miss, 0);
+    assert_eq!(pressured.breaker_state(), 0, "breaker must stay closed when nothing misses");
+}
+
+/// The same idleness, through `run_server`: an overload config whose
+/// thresholds never fire and with no deadline budget serves the same
+/// strategies and counters as the PR 9 server loop.
+#[test]
+fn run_server_with_disabled_overload_matches_plain_serving() {
+    let serve = |overload: Option<OverloadConfig>| {
+        let mut e = engine(hot(), None);
+        let q = AdmissionQueue::new();
+        for i in 0..80u32 {
+            assert!(q.push((i * 7) % N as u32));
+        }
+        q.close();
+        let served = run_server(
+            &mut e,
+            &q,
+            &BatchConfig { deadline: Duration::ZERO, max_batch: 16, overload },
+        );
+        let strategies: Vec<Strategy> = served.iter().map(|s| s.strategy).collect();
+        let missed: Vec<bool> = served.iter().map(|s| s.deadline_missed).collect();
+        (strategies, missed, e.stats().clone())
+    };
+    let disabled = OverloadConfig { pressure: PressureConfig::disabled(), request_deadline: None };
+    let (s_a, m_a, stats_a) = serve(Some(disabled));
+    let (s_b, m_b, stats_b) = serve(None);
+    assert_eq!(s_a, s_b);
+    assert!(m_a.iter().all(|&m| !m), "no budget → no deadline misses");
+    assert_eq!(m_a, m_b);
+    assert_eq!(stats_a, stats_b);
+}
+
+/// One recorded overload walk: a deterministic pressure/expiry schedule
+/// over a skewed node trace, with recorded deadline outcomes fed back
+/// to the breaker. Returns everything observable.
+fn replay_walk() -> (Vec<u32>, Vec<Strategy>, ServeStats, u64) {
+    // Cache 64 > the 40 distinct nodes below: stale rows admitted on a
+    // Degraded visit are never evicted, so the CachedOnly revisit of the
+    // same node (40 requests later, one pressure class over) serves them.
+    let mut e = engine_with_cache(hot(), Some(BreakerConfig { trip_after: 2, probe_after: 3 }), 64);
+    let mut all_bits = Vec::new();
+    let mut all_strategies = Vec::new();
+    let reqs: Vec<PressuredRequest> = (0..240u64)
+        .map(|i| {
+            let pressure = match (i / 8) % 4 {
+                0 => Pressure::Normal,
+                1 => Pressure::Degraded,
+                2 => Pressure::CachedOnly,
+                _ => Pressure::Shed,
+            };
+            PressuredRequest { node: ((i * 13) % 40) as NodeId, pressure, expired: i % 11 == 0 }
+        })
+        .collect();
+    for (b, chunk) in reqs.chunks(9).enumerate() {
+        let (logits, strategies) = e.serve_batch_pressured(chunk);
+        for (j, &s) in strategies.iter().enumerate() {
+            // Recorded outcome: deterministic in the request index, as a
+            // replay harness would feed it from a trace file.
+            let missed = (b * 9 + j) % 5 < 2;
+            e.note_outcome(s, missed);
+        }
+        all_bits.extend(bits(&logits));
+        all_strategies.extend(strategies);
+    }
+    let breaker_state = e.breaker_state();
+    (all_bits, all_strategies, e.stats().clone(), breaker_state)
+}
+
+/// Recorded overload traces replay exactly: ladder decisions, shed and
+/// degrade counts, breaker trips, and every answered bit — run-to-run
+/// and across `SGNN_THREADS=1/2`.
+#[test]
+fn recorded_overload_trace_replays_exactly() {
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut reference: Option<(Vec<u32>, Vec<Strategy>, ServeStats, u64)> = None;
+    for t in [1usize, 2, 2] {
+        set_threads(t);
+        let run = replay_walk();
+        match &reference {
+            None => {
+                // The schedule must actually exercise the machinery it
+                // pins, not idle through it.
+                let stats = &run.2;
+                assert!(stats.shed > 0, "schedule never shed");
+                assert!(stats.degraded > 0, "schedule never degraded");
+                assert!(stats.plan_stale > 0, "schedule never served a stale row");
+                assert!(stats.breaker_trips > 0, "schedule never tripped the breaker");
+                assert!(stats.deadline_miss > 0, "schedule never missed a deadline");
+                reference = Some(run);
+            }
+            Some(want) => assert_eq!(&run, want, "overload replay diverged at {t} thread(s)"),
+        }
+    }
+    set_threads(0);
+}
+
+/// Deadline budgets thread from enqueue to answer: a zero budget is
+/// expired by serve time, so store-backed requests fall to their
+/// cheapest viable tier (`Cached`) and row-less requests are shed —
+/// never a push.
+#[test]
+fn expired_budgets_are_answered_by_cheapest_viable_tier() {
+    // Full store: every expired request still has a fresh row → Cached,
+    // and the answer missed its (zero) budget.
+    let mut e = engine(PrecomputePolicy::Full { rmax: 1e-4 }, None);
+    let q = AdmissionQueue::new();
+    for i in 0..40u32 {
+        assert!(q.push_with_deadline(i % N as u32, Some(Duration::ZERO)));
+    }
+    q.close();
+    // The budget clock starts at enqueue; any elapsed time expires it.
+    std::thread::sleep(Duration::from_millis(2));
+    let cfg = BatchConfig {
+        deadline: Duration::ZERO,
+        max_batch: 8,
+        overload: Some(OverloadConfig {
+            pressure: PressureConfig::disabled(),
+            request_deadline: None,
+        }),
+    };
+    let served = run_server(&mut e, &q, &cfg);
+    assert_eq!(served.len(), 40);
+    assert!(served.iter().all(|s| s.strategy == Strategy::Cached));
+    assert!(served.iter().all(|s| s.deadline_missed));
+    assert_eq!(e.stats().deadline_miss, 40);
+    assert_eq!(e.stats().shed, 0);
+
+    // No store, no cache: an expired request has no viable row → shed
+    // (zero logits), and sheds never count as deadline misses.
+    let mut none = engine(PrecomputePolicy::None, None);
+    let q = AdmissionQueue::new();
+    for i in 0..20u32 {
+        assert!(q.push_with_deadline(i % N as u32, Some(Duration::ZERO)));
+    }
+    q.close();
+    std::thread::sleep(Duration::from_millis(2));
+    let served = run_server(&mut none, &q, &cfg);
+    assert!(served.iter().all(|s| s.strategy == Strategy::Shed));
+    assert_eq!(none.stats().shed, 20);
+    assert_eq!(none.stats().deadline_miss, 0, "a shed is not a deadline miss");
+}
+
+/// Shutdown edges under racing producers: every push that was accepted
+/// is served, every push after close (or over capacity) is rejected,
+/// and nothing deadlocks. Close-while-draining, concurrent producers,
+/// and enqueue-after-close in one walk.
+#[test]
+fn racing_producers_and_close_lose_no_accepted_query() {
+    let q = Arc::new(AdmissionQueue::bounded(64));
+    let accepted: Vec<_> = (0..4)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for i in 0..150u32 {
+                    if q.push((p * 150 + i) % N as u32) {
+                        ok += 1;
+                    }
+                    if i % 32 == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    // Close midway through the producers' lives: pushes that acquired
+    // the lock first are admitted and must be served; later ones are
+    // rejected at the push site.
+    std::thread::sleep(Duration::from_millis(1));
+    let closer = {
+        let q = Arc::clone(&q);
+        std::thread::spawn(move || q.close())
+    };
+    let mut e = engine(hot(), None);
+    let served = run_server(
+        &mut e,
+        &q,
+        &BatchConfig { deadline: Duration::from_micros(100), max_batch: 16, overload: None },
+    );
+    let accepted: u64 = accepted.into_iter().map(|h| h.join().unwrap()).sum();
+    closer.join().unwrap();
+    assert_eq!(served.len() as u64, accepted, "accepted and served must agree exactly");
+    assert_eq!(e.stats().requests, accepted);
+    assert_eq!(q.depth(), 0, "run_server returns only once the queue is drained");
+    assert!(!q.push(0), "the queue stays closed");
+    // Capacity rejects (if the bounded queue ever filled) were counted;
+    // post-close rejects were not.
+    assert_eq!(q.shed_count() + accepted, q.shed_count() + served.len() as u64);
+}
+
+/// Armed serving faults in the full loop: a latency spike delays but
+/// never changes an answer, and store-row corruption is caught by the
+/// CRC verify and repaired in place — all accepted queries are still
+/// answered at their normal tier.
+#[test]
+fn chaos_spike_and_store_corruption_are_absorbed() {
+    let g = generate::barabasi_albert(N, 3, 5);
+    let x = DenseMatrix::gaussian(N, 5, 1.0, 2);
+    let head = Mlp::new(&[5, 8, 4], 0.0, 17);
+    // Full store → every request reads a store row, so the corruption
+    // poll at request index 3 certainly targets a present row.
+    let plan = Arc::new(FaultPlan::new(23).spike_request(1, 300).corrupt_store_row_at(3, 4));
+    let cfg = ServeConfig {
+        policy: PrecomputePolicy::Full { rmax: 1e-4 },
+        fault_plan: Some(Arc::clone(&plan)),
+        ..Default::default()
+    };
+    let mut e = ServeEngine::new(g, x, head, cfg);
+    let q = AdmissionQueue::new();
+    for i in 0..30u32 {
+        assert!(q.push((i * 11) % N as u32));
+    }
+    q.close();
+    let served = run_server(
+        &mut e,
+        &q,
+        &BatchConfig { deadline: Duration::ZERO, max_batch: 8, overload: None },
+    );
+    assert!(plan.exhausted(), "both serving faults must have fired");
+    assert_eq!(served.len(), 30);
+    assert!(served.iter().all(|s| s.strategy == Strategy::Cached));
+    assert_eq!(e.stats().store_repairs, 1, "the corrupted row must be rebuilt exactly once");
+}
